@@ -1,0 +1,51 @@
+// E2 — Figure 1: "Thumb-2 Performance and Code Size", per-benchmark view.
+//
+// The figure shows per-benchmark bars of performance and code size for the
+// three encodings; this harness prints the same series, normalized to W32.
+#include "bench_util.h"
+
+using namespace aces;
+using namespace aces::bench;
+
+namespace {
+
+void bar(double pct) {
+  const int n = static_cast<int>(pct / 5.0 + 0.5);
+  for (int k = 0; k < n && k < 60; ++k) {
+    std::printf("#");
+  }
+  std::printf(" %.0f%%\n", pct);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E2 / Figure 1: per-kernel performance and code size "
+              "(W32 = 100%%) ===\n");
+  const auto w = run_suite(isa::Encoding::w32, MemRegime::zero_wait);
+  const auto n = run_suite(isa::Encoding::n16, MemRegime::zero_wait);
+  const auto b = run_suite(isa::Encoding::b32, MemRegime::zero_wait);
+
+  std::printf("\n-- Performance (higher is better) --\n");
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    std::printf("%s\n", w[k].name.c_str());
+    std::printf("  %-4s ", "N16");
+    bar(100.0 * static_cast<double>(w[k].cycles) /
+        static_cast<double>(n[k].cycles));
+    std::printf("  %-4s ", "B32");
+    bar(100.0 * static_cast<double>(w[k].cycles) /
+        static_cast<double>(b[k].cycles));
+  }
+
+  std::printf("\n-- Code size (lower is better) --\n");
+  std::printf("%-16s %8s %8s %6s %8s %6s\n", "kernel", "W32", "N16", "rel",
+              "B32", "rel");
+  print_rule();
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    std::printf("%-16s %8u %8u %5.0f%% %8u %5.0f%%\n", w[k].name.c_str(),
+                w[k].code_bytes, n[k].code_bytes,
+                100.0 * n[k].code_bytes / w[k].code_bytes, b[k].code_bytes,
+                100.0 * b[k].code_bytes / w[k].code_bytes);
+  }
+  return 0;
+}

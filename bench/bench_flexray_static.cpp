@@ -1,0 +1,65 @@
+// E12 (extension) — FlexRay static segment vs CAN for the same traffic.
+//
+// The paper's distributed vision eventually pushed safety traffic toward
+// time-triggered buses; this harness assigns the SAE-flavored message set
+// to a FlexRay static schedule and contrasts worst-case latency and
+// determinism against the CAN bounds of E9.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sched/can_rta.h"
+#include "sched/flexray.h"
+
+using namespace aces;
+using namespace aces::bench;
+using sim::SimTime;
+using sim::kMicrosecond;
+using sim::kMillisecond;
+
+int main() {
+  std::printf("=== E12: FlexRay static segment vs CAN (same message set) "
+              "===\n\n");
+  std::vector<sched::CanMessage> msgs = {
+      {"engine_torque", 0x050, 8, 5 * kMillisecond, 0, 0},
+      {"wheel_speed", 0x0A0, 6, 10 * kMillisecond, 0, 0},
+      {"brake_pressure", 0x0C0, 4, 10 * kMillisecond, 0, 0},
+      {"steering_angle", 0x120, 4, 20 * kMillisecond, 0, 0},
+      {"gear_state", 0x200, 2, 40 * kMillisecond, 0, 0},
+      {"door_status", 0x400, 1, 80 * kMillisecond, 0, 0},
+      {"hvac_state", 0x500, 4, 80 * kMillisecond, 0, 0},
+      {"diag_response", 0x7A0, 8, 160 * kMillisecond, 0, 0},
+  };
+  const sched::CanRtaResult can_bound = sched::can_rta(msgs, 250'000);
+
+  sched::FlexrayConfig cfg;
+  cfg.cycle_length = 5 * kMillisecond;
+  cfg.static_slots = 12;
+  cfg.slot_length = 100 * kMicrosecond;
+  std::vector<sched::FlexrayFrame> frames;
+  for (std::size_t k = 0; k < msgs.size(); ++k) {
+    frames.push_back(sched::FlexrayFrame{
+        msgs[k].name, static_cast<int>(k % 4), msgs[k].period});
+  }
+  const sched::FlexraySchedule schedule =
+      sched::build_static_schedule(cfg, frames);
+  ACES_CHECK(schedule.feasible);
+
+  std::printf("%-16s %10s %14s %14s %8s\n", "message", "period",
+              "CAN bound", "FlexRay bound", "slot/rep");
+  print_rule();
+  for (std::size_t k = 0; k < msgs.size(); ++k) {
+    const auto& a = schedule.of(static_cast<int>(k));
+    std::printf("%-16s %8lldms %12lldus %12lldus %5u/%u\n",
+                msgs[k].name.c_str(),
+                static_cast<long long>(msgs[k].period / kMillisecond),
+                static_cast<long long>(can_bound.response[k] / 1000),
+                static_cast<long long>(a.worst_latency / 1000), a.slot,
+                a.repetition);
+  }
+  std::printf("\nstatic segment utilization: %.0f%%\n",
+              100.0 * schedule.static_utilization);
+  std::printf("\nShape: CAN gives tight latency to the top identifiers but "
+              "degrades down the\npriority order; the TDMA table gives "
+              "every frame a flat, load-independent bound.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E10 — OSEK task scheduling: simulated kernel vs response-time analysis.
+//
+// Random task sets are generated at increasing utilization; each runs for
+// two simulated seconds on the OSEK-like kernel with priority-ceiling
+// resources, and the observed worst responses are set against the RTA
+// bounds (with PCP blocking terms).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rtos/kernel.h"
+#include "sched/rta.h"
+
+using namespace aces;
+using namespace aces::bench;
+using sim::SimTime;
+using sim::kMicrosecond;
+using sim::kMillisecond;
+
+int main() {
+  std::printf("=== E10: OSEK fixed-priority scheduling — simulation vs RTA "
+              "===\n");
+  support::Rng256 rng(808);
+  for (const double target_util : {0.35, 0.55, 0.75}) {
+    // Build a 5-task set near the target utilization, with one shared
+    // resource between the lowest and highest priority tasks.
+    std::vector<sched::RtaTask> tasks;
+    const int n = 5;
+    for (int k = 0; k < n; ++k) {
+      sched::RtaTask t;
+      t.name = "t" + std::to_string(k);
+      t.period = (4 + static_cast<SimTime>(rng.next_below(40))) *
+                 kMillisecond;
+      t.wcet = static_cast<SimTime>(static_cast<double>(t.period) *
+                                    target_util / n);
+      t.priority = 100 - k;
+      tasks.push_back(t);
+    }
+    const SimTime cs_len = tasks[n - 1].wcet / 4;
+    std::vector<sched::CriticalSection> sections = {
+        {n - 1, 0, cs_len},
+        {0, 0, cs_len / 4},
+    };
+    sched::apply_pcp_blocking(tasks, sections);
+    // Standard overhead accounting: each job costs two context switches.
+    std::vector<sched::RtaTask> analysis = tasks;
+    for (auto& t : analysis) {
+      t.wcet += 2 * 5 * kMicrosecond;
+    }
+    const sched::RtaResult bound = sched::response_time_analysis(analysis);
+
+    sim::EventQueue q;
+    rtos::Kernel kernel(q, 5 * kMicrosecond);
+    const rtos::ResourceId res = kernel.create_resource("shared");
+    std::vector<rtos::TaskId> ids;
+    for (int k = 0; k < n; ++k) {
+      rtos::TaskConfig cfg;
+      cfg.name = tasks[static_cast<std::size_t>(k)].name;
+      cfg.priority = tasks[static_cast<std::size_t>(k)].priority;
+      const SimTime c = tasks[static_cast<std::size_t>(k)].wcet;
+      if (k == 0 || k == n - 1) {
+        const SimTime cs = k == 0 ? cs_len / 4 : cs_len;
+        rtos::Segment pre{rtos::Segment::Kind::execute, (c - cs) / 2, -1};
+        rtos::Segment lock{rtos::Segment::Kind::lock, 0, res};
+        rtos::Segment body{rtos::Segment::Kind::execute, cs, -1};
+        rtos::Segment unlock{rtos::Segment::Kind::unlock, 0, res};
+        rtos::Segment post{rtos::Segment::Kind::execute, c - cs - (c - cs) / 2,
+                           -1};
+        cfg.body = {pre, lock, body, unlock, post};
+      } else {
+        cfg.body = {rtos::Segment{rtos::Segment::Kind::execute, c, -1}};
+      }
+      ids.push_back(kernel.create_task(cfg));
+      kernel.task_uses(ids.back(), res);
+      kernel.set_alarm(ids.back(), 0,
+                       tasks[static_cast<std::size_t>(k)].period);
+    }
+    kernel.start();
+    q.run_until(2 * sim::kSecond);
+
+    std::printf("\n-- utilization %.0f%% (analysis: %s) --\n",
+                100.0 * sched::utilization(tasks),
+                bound.schedulable ? "schedulable" : "NOT schedulable");
+    std::printf("%-6s %8s %8s %10s %12s %12s %8s\n", "task", "C(us)",
+                "T(ms)", "B(us)", "sim worst", "RTA bound", "margin");
+    print_rule();
+    for (int k = 0; k < n; ++k) {
+      const auto& st = kernel.stats(ids[static_cast<std::size_t>(k)]);
+      const auto bk = bound.response[static_cast<std::size_t>(k)];
+      std::printf("%-6s %8lld %8lld %10lld %10lldus %10lldus %7.0f%%\n",
+                  tasks[static_cast<std::size_t>(k)].name.c_str(),
+                  static_cast<long long>(
+                      tasks[static_cast<std::size_t>(k)].wcet / 1000),
+                  static_cast<long long>(
+                      tasks[static_cast<std::size_t>(k)].period /
+                      kMillisecond),
+                  static_cast<long long>(
+                      tasks[static_cast<std::size_t>(k)].blocking / 1000),
+                  static_cast<long long>(st.worst_response / 1000),
+                  static_cast<long long>(bk / 1000),
+                  bk == 0 ? 0.0
+                          : 100.0 * static_cast<double>(st.worst_response) /
+                                static_cast<double>(bk));
+    }
+    std::printf("context switches: %llu, worst ceiling blocking observed: "
+                "%lldus\n",
+                static_cast<unsigned long long>(kernel.context_switches()),
+                static_cast<long long>(kernel.worst_blocking() / 1000));
+  }
+  std::printf("\nNote: the RTA charges each job two context switches "
+              "(standard overhead\naccounting), so the bounds dominate the "
+              "simulation with margins approaching\n100%% as load rises.\n");
+  return 0;
+}

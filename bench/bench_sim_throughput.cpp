@@ -1,0 +1,65 @@
+// Host-side microbenchmarks (google-benchmark): throughput of the
+// simulation substrate itself — instruction-set simulator MIPS and
+// event-queue operations/second. Not a paper experiment; it documents that
+// the models are fast enough for the sweeps the other benches run.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sim/event_queue.h"
+
+using namespace aces;
+using namespace aces::bench;
+
+namespace {
+
+void BM_IssInstructionThroughput(benchmark::State& state) {
+  const workloads::Kernel& kernel = workloads::autoindy_suite()[4];  // crc16
+  const kir::KFunction f = kernel.build();
+  const kir::LoweredProgram prog =
+      kir::lower_program({&f}, isa::Encoding::b32, cpu::kFlashBase);
+  cpu::System sys(system_for(isa::Encoding::b32, MemRegime::zero_wait));
+  sys.load(prog.image);
+  support::Rng256 rng(1);
+  const workloads::Instance in = kernel.make_instance(rng, workloads::kDataBase);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const workloads::RunResult r =
+        workloads::run_instance(sys, prog.entry_of(kernel.name), in);
+    benchmark::DoNotOptimize(r.value);
+    instructions += r.instructions;
+  }
+  state.counters["sim_insns/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IssInstructionThroughput);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int fired = 0;
+    for (int k = 0; k < 1000; ++k) {
+      q.schedule_at(k * 10, [&fired] { ++fired; });
+    }
+    q.run_until(1'000'000);
+    benchmark::DoNotOptimize(fired);
+    events += 1000;
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_LoweringThroughput(benchmark::State& state) {
+  const kir::KFunction f = workloads::build_crc16();
+  for (auto _ : state) {
+    const kir::LoweredProgram prog =
+        kir::lower_program({&f}, isa::Encoding::b32, 0);
+    benchmark::DoNotOptimize(prog.code_bytes);
+  }
+}
+BENCHMARK(BM_LoweringThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+// E6 — §3.1.3: soft errors in cache and TCM RAM, with and without fault
+// tolerance.
+//
+// Paper: cosmic-ray upsets are detected by the fault-tolerant RAM; tag
+// errors become cache misses, corrupted I-fetches force invalidate+reload,
+// corrupted data reads abort precisely and recover, and the TCM "hold and
+// repair" stalls the core without an interrupt.
+//
+// Harness: the map_interp kernel runs continuously on a cached HP-class
+// system while a seeded injector plants upsets at an accelerated rate.
+// Reported per rate x FT setting: detected/recovered counts, silent
+// corruptions (wrong kernel results), and the cycle overhead of recovery.
+#include "bench_util.h"
+#include "mem/fault_injector.h"
+
+using namespace aces;
+using namespace aces::bench;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t runs = 0;
+  std::uint64_t wrong_results = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t tag_errors = 0;
+  std::uint64_t silent = 0;
+  double overhead_pct = 0.0;
+};
+
+Outcome run_rate(double upsets_per_mcycle, bool ft) {
+  const workloads::Kernel& kernel = workloads::autoindy_suite()[1];  // map
+  const kir::KFunction f = kernel.build();
+  const kir::LoweredProgram prog =
+      kir::lower_program({&f}, isa::Encoding::w32, cpu::kFlashBase);
+
+  cpu::SystemConfig cfg = system_for(isa::Encoding::w32,
+                                     MemRegime::slow_flash);
+  mem::CacheConfig icache;
+  icache.line_bytes = 16;
+  icache.num_sets = 32;
+  icache.ways = 2;
+  icache.fault_tolerant = ft;
+  cfg.icache = icache;
+  mem::CacheConfig dcache = icache;
+  dcache.cacheable_base = cpu::kFlashBase;
+  dcache.cacheable_limit = cpu::kSramBase + 0x10000;
+  cfg.dcache = dcache;
+  cpu::System sys(cfg);
+  sys.load(prog.image);
+
+  mem::FaultInjectorConfig fic;
+  fic.upsets_per_mcycle = upsets_per_mcycle;
+  mem::FaultInjector injector(fic, support::Rng256(123));
+  injector.attach(*sys.icache());
+  injector.attach(*sys.dcache());
+  sys.core().set_cycle_hook([&injector](std::uint64_t now) {
+    (void)injector.advance_to(now);
+  });
+
+  // Baseline cycles with no injection for the overhead metric.
+  support::Rng256 rng(55);
+  std::vector<workloads::Instance> instances;
+  for (int k = 0; k < 150; ++k) {
+    instances.push_back(kernel.make_instance(rng, workloads::kDataBase));
+  }
+
+  Outcome out;
+  std::uint64_t cycles = 0;
+  std::uint64_t completed = 0;
+  for (const workloads::Instance& in : instances) {
+    ++out.runs;
+    // The loader writes beneath the cache; invalidate for coherence.
+    sys.dcache()->invalidate_all();
+    try {
+      const workloads::RunResult r =
+          workloads::run_instance(sys, prog.entry_of(kernel.name), in);
+      cycles += r.cycles;
+      ++completed;
+      if (r.value != in.expected) {
+        ++out.wrong_results;
+      }
+    } catch (const std::logic_error&) {
+      // Corrupted fetch decoded into wild code that faulted or ran away —
+      // the unprotected configuration's worst outcome.
+      ++out.wrong_results;
+    }
+  }
+  const auto& is = sys.icache()->stats();
+  const auto& ds = sys.dcache()->stats();
+  out.recoveries = is.ifetch_refills + ds.ifetch_refills +
+                   is.data_aborts_recovered + ds.data_aborts_recovered;
+  out.tag_errors = is.tag_errors_detected + ds.tag_errors_detected;
+  out.silent = is.silent_corruptions + ds.silent_corruptions;
+
+  // Clean reference run for overhead (same share of the instance list).
+  cpu::System clean(cfg);
+  clean.load(prog.image);
+  std::uint64_t clean_cycles = 0;
+  std::uint64_t clean_completed = 0;
+  for (const workloads::Instance& in : instances) {
+    clean.dcache()->invalidate_all();
+    clean_cycles +=
+        workloads::run_instance(clean, prog.entry_of(kernel.name), in).cycles;
+    ++clean_completed;
+  }
+  if (completed > 0 && clean_completed > 0) {
+    const double per = static_cast<double>(cycles) /
+                       static_cast<double>(completed);
+    const double clean_per = static_cast<double>(clean_cycles) /
+                             static_cast<double>(clean_completed);
+    out.overhead_pct = 100.0 * (per - clean_per) / clean_per;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E6 / §3.1.3: soft errors with fault-tolerant cache RAM "
+              "===\n\n");
+  std::printf("map_interp x150 on cached W32 core, accelerated upset "
+              "rates:\n\n");
+  std::printf("%-10s %-4s %8s %10s %10s %10s %10s\n", "rate/Mcy", "FT",
+              "wrong", "recovered", "tag-err", "silent", "overhead");
+  print_rule();
+  for (const double rate : {50.0, 500.0, 5000.0}) {
+    for (const bool ft : {false, true}) {
+      const Outcome o = run_rate(rate, ft);
+      std::printf("%-10.0f %-4s %8llu %10llu %10llu %10llu %9.2f%%\n", rate,
+                  ft ? "on" : "off",
+                  static_cast<unsigned long long>(o.wrong_results),
+                  static_cast<unsigned long long>(o.recoveries),
+                  static_cast<unsigned long long>(o.tag_errors),
+                  static_cast<unsigned long long>(o.silent), o.overhead_pct);
+    }
+  }
+  std::printf("\nShape: FT=on never returns a wrong result (recoveries "
+              "absorb every upset)\nat bounded overhead; FT=off lets "
+              "corrupted values reach the application.\n");
+
+  // TCM hold-and-repair micro-measurement.
+  std::printf("\nTCM hold-and-repair:\n");
+  print_rule();
+  for (const bool ft : {false, true}) {
+    mem::TcmConfig tc;
+    tc.size_bytes = 1024;
+    tc.fault_tolerant = ft;
+    tc.repair_cycles = 6;
+    mem::Tcm tcm(tc);
+    support::Rng256 rng(9);
+    std::uint64_t cycles = 0;
+    std::uint64_t bad = 0;
+    for (int k = 0; k < 4096; ++k) {
+      const std::uint32_t addr = static_cast<std::uint32_t>(
+          rng.next_below(256)) * 4;
+      ACES_CHECK(tcm.write(addr, 4, 0xA5A5A5A5u, 0).ok());
+      if (rng.chance(0.05)) {
+        tcm.inject_bit_flips(addr + rng.next_below(4),
+                             static_cast<std::uint8_t>(
+                                 1u << rng.next_below(8)));
+      }
+      const mem::MemResult r = tcm.read(addr, 4, mem::Access::read, 0);
+      cycles += r.cycles;
+      bad += r.value != 0xA5A5A5A5u ? 1 : 0;
+    }
+    std::printf("FT=%-3s  avg read %.3f cy   corrupted reads %llu/4096   "
+                "repairs %llu\n",
+                ft ? "on" : "off", static_cast<double>(cycles) / 4096.0,
+                static_cast<unsigned long long>(bad),
+                static_cast<unsigned long long>(tcm.stats().repairs));
+  }
+  return 0;
+}

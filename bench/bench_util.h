@@ -1,0 +1,99 @@
+// Shared helpers for the experiment harnesses.
+//
+// Each bench binary regenerates one table/figure of the paper (see the
+// per-experiment index in DESIGN.md) and prints paper-style rows. Numbers
+// are simulated cycles from the ACES models — the shapes, not ARM's
+// absolute silicon numbers, are the reproduction target (EXPERIMENTS.md
+// records both).
+#ifndef ACES_BENCH_BENCH_UTIL_H
+#define ACES_BENCH_BENCH_UTIL_H
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cpu/system.h"
+#include "kir/lower.h"
+#include "workloads/autoindy.h"
+#include "workloads/runner.h"
+
+namespace aces::bench {
+
+// Memory regimes for the encoding comparisons.
+enum class MemRegime {
+  zero_wait,   // ideal 32-bit memory (Table 1's benchmarking condition)
+  slow_flash,  // embedded flash behind a fast core (§2.2's condition)
+};
+
+inline cpu::SystemConfig system_for(isa::Encoding e, MemRegime regime) {
+  cpu::SystemConfig c;
+  c.core.encoding = e;
+  c.core.timings = e == isa::Encoding::b32 ? cpu::CoreTimings::modern_mcu()
+                                           : cpu::CoreTimings::legacy_hp();
+  c.flash.size_bytes = 128 * 1024;
+  c.flash.line_access_cycles = regime == MemRegime::zero_wait ? 1 : 5;
+  return c;
+}
+
+struct KernelScore {
+  std::string name;
+  std::uint64_t cycles = 0;     // total over the instance batch
+  std::uint32_t code_bytes = 0;
+};
+
+// Runs every suite kernel on one encoding/regime; deterministic seeds.
+inline std::vector<KernelScore> run_suite(isa::Encoding e, MemRegime regime,
+                                          int instances = 20,
+                                          const kir::LoweringOptions* opts =
+                                              nullptr) {
+  std::vector<KernelScore> out;
+  for (const workloads::Kernel& k : workloads::autoindy_suite()) {
+    const kir::KFunction f = k.build();
+    const kir::LoweredProgram prog =
+        opts != nullptr
+            ? kir::lower_program({&f}, e, *opts, cpu::kFlashBase)
+            : kir::lower_program({&f}, e, cpu::kFlashBase);
+    cpu::System sys(system_for(e, regime));
+    sys.load(prog.image);
+    support::Rng256 rng(99);  // same instances for every encoding
+    KernelScore score;
+    score.name = k.name;
+    score.code_bytes = prog.code_bytes;
+    for (int it = 0; it < instances; ++it) {
+      const workloads::Instance in = k.make_instance(rng, workloads::kDataBase);
+      const workloads::RunResult r =
+          workloads::run_instance(sys, prog.entry_of(k.name), in);
+      ACES_CHECK_MSG(r.value == in.expected, "kernel result mismatch");
+      score.cycles += r.cycles;
+    }
+    out.push_back(score);
+  }
+  return out;
+}
+
+// Geometric mean of per-kernel rates (1/cycles), normalized later.
+inline double geomean_rate(const std::vector<KernelScore>& scores) {
+  double acc = 0.0;
+  for (const KernelScore& s : scores) {
+    acc += std::log(1.0 / static_cast<double>(s.cycles));
+  }
+  return std::exp(acc / static_cast<double>(scores.size()));
+}
+
+inline std::uint32_t total_code(const std::vector<KernelScore>& scores) {
+  std::uint32_t total = 0;
+  for (const KernelScore& s : scores) {
+    total += s.code_bytes;
+  }
+  return total;
+}
+
+inline void print_rule() {
+  std::printf(
+      "--------------------------------------------------------------\n");
+}
+
+}  // namespace aces::bench
+
+#endif  // ACES_BENCH_BENCH_UTIL_H

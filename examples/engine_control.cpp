@@ -1,0 +1,116 @@
+// Engine control: the paper's §3.1.2 "tooth-to-spark" scenario.
+//
+// A crank-wheel tooth fires an interrupt; the handler must compute the
+// spark delay "regularly and timely... if it is to be serviced predictably
+// and reliably". The main loop streams multi-word loads (diagnostics) from
+// slow flash — exactly the workload whose cache/LDM behavior jeopardizes
+// predictability. The example sweeps engine speed and reports ISR latency
+// jitter with the atomic vs restartable LDM configurations.
+//
+//   $ ./examples/engine_control
+#include <cstdio>
+
+#include "cpu/system.h"
+#include "cpu/vic.h"
+#include "isa/assembler.h"
+#include "support/rng.h"
+
+using namespace aces;
+using namespace aces::isa;
+
+namespace {
+
+struct JitterReport {
+  std::uint64_t best = ~0ull;
+  std::uint64_t worst = 0;
+  double avg = 0.0;
+};
+
+JitterReport run(bool restartable, unsigned rpm, int teeth) {
+  // Main loop: block diagnostics (ldm-heavy) from flash data.
+  Assembler a(Encoding::w32, cpu::kFlashBase);
+  const Label entry = a.bound_label();
+  a.load_literal(r0, cpu::kFlashBase + 0x1000);
+  const Label top = a.bound_label();
+  Instruction ldm;
+  ldm.op = Op::ldm;
+  ldm.rn = r0;
+  ldm.reglist = 0x0FF0;
+  a.ins(ldm);
+  a.b(top);
+  a.pool();
+  // Crank ISR: tooth period -> spark delay (multiply + shift; the full
+  // table-based version lives in the workloads suite).
+  const Label isr = a.bound_label();
+  a.ins(ins_push(0x000F | (1u << lr)));
+  a.load_literal(r1, cpu::kSramBase + 0x200);  // tooth period mailbox
+  a.ins(ins_ldst_imm(Op::ldr, r2, r1, 0));
+  a.ins(ins_mov_imm(r3, 45, SetFlags::any));   // advance (deg x2)
+  a.ins(ins_rrr(Op::mul, r2, r2, r3, SetFlags::any));
+  a.ins(ins_rri(Op::lsr, r2, r2, 4, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r2, r1, 4));     // schedule the spark
+  a.ins(ins_pop(0x000F | (1u << pc)));
+  a.pool();
+  const Image image = a.assemble();
+
+  cpu::SystemConfig cfg;
+  cfg.core.encoding = Encoding::w32;
+  cfg.core.timings = cpu::CoreTimings::legacy_hp();
+  cfg.core.restartable_ldm = restartable;
+  cfg.flash.size_bytes = 128 * 1024;
+  cfg.flash.line_access_cycles = 8;
+  cpu::System sys(cfg);
+  sys.load(image);
+  cpu::ClassicVic::Config vc;
+  vc.irq_handler = a.label_address(isr);
+  cpu::ClassicVic vic(vc);
+  sys.core().set_interrupt_controller(&vic);
+  sys.core().reset(a.label_address(entry), sys.initial_sp());
+
+  // Tooth period in core cycles at 100 MHz, 60-tooth wheel.
+  const std::uint64_t tooth_cycles = 100'000'000ull * 60 / (rpm * 60 * 60);
+  std::uint64_t next_tooth = 500;
+  int fired = 0;
+  sys.core().set_cycle_hook([&](std::uint64_t now) {
+    if (fired < teeth && now >= next_tooth) {
+      vic.raise(cpu::ClassicVic::kIrq, now);
+      next_tooth += tooth_cycles;
+      ++fired;
+    }
+  });
+  while (static_cast<int>(vic.latencies(0).size()) < teeth) {
+    (void)sys.core().step();
+  }
+  JitterReport rep;
+  for (const std::uint64_t latency : vic.latencies(0)) {
+    rep.best = std::min(rep.best, latency);
+    rep.worst = std::max(rep.worst, latency);
+    rep.avg += static_cast<double>(latency) / teeth;
+  }
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("tooth-to-spark ISR latency, 100 MHz core, ldm-heavy "
+              "background (cycles)\n\n");
+  std::printf("%-8s | %26s | %26s\n", "", "atomic ldm", "restartable ldm");
+  std::printf("%-8s | %8s %8s %8s | %8s %8s %8s\n", "rpm", "best", "avg",
+              "worst", "best", "avg", "worst");
+  std::printf("-------------------------------------------------------------"
+              "-------------\n");
+  for (const unsigned rpm : {800u, 2400u, 6000u}) {
+    const JitterReport atomic = run(false, rpm, 120);
+    const JitterReport restart = run(true, rpm, 120);
+    std::printf("%-8u | %8llu %8.1f %8llu | %8llu %8.1f %8llu\n", rpm,
+                static_cast<unsigned long long>(atomic.best), atomic.avg,
+                static_cast<unsigned long long>(atomic.worst),
+                static_cast<unsigned long long>(restart.best), restart.avg,
+                static_cast<unsigned long long>(restart.worst));
+  }
+  std::printf("\nThe restartable configuration caps the worst case near the "
+              "single-beat\nlatency — the jitter an ignition schedule "
+              "actually cares about.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "can/bus.h"
+
+#include "support/check.h"
+
+namespace aces::can {
+
+using sim::SimTime;
+
+CanBus::CanBus(sim::EventQueue& queue, std::uint32_t bitrate_bps)
+    : queue_(queue) {
+  ACES_CHECK(bitrate_bps > 0);
+  bit_time_ = sim::kSecond / bitrate_bps;
+  ACES_CHECK_MSG(bit_time_ > 0, "bit rate too high for ns resolution");
+}
+
+NodeId CanBus::attach_node(std::string name) {
+  Node n;
+  n.name = std::move(name);
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void CanBus::subscribe(NodeId node, RxHandler handler) {
+  nodes_[static_cast<std::size_t>(node)].handlers.push_back(
+      std::move(handler));
+}
+
+void CanBus::send(NodeId node, const CanFrame& frame) {
+  Pending p;
+  p.frame = frame;
+  p.queued_at = queue_.now();
+  // Controllers with priority-ordered mailboxes: the node always offers
+  // its lowest identifier to arbitration (required for the classic RTA to
+  // be sound; FIFO-queued controllers need a different analysis).
+  auto& q = nodes_[static_cast<std::size_t>(node)].queue;
+  auto it = q.begin();
+  while (it != q.end() && it->frame.id <= frame.id) {
+    ++it;
+  }
+  q.insert(it, std::move(p));
+  if (!busy_) {
+    try_start();
+  }
+}
+
+void CanBus::try_start() {
+  ACES_CHECK(!busy_);
+  // Arbitration: every node presents its head-of-queue frame; the lowest
+  // identifier (dominant bits win) takes the bus.
+  NodeId winner = -1;
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    if (nodes_[k].queue.empty()) {
+      continue;
+    }
+    if (winner < 0 ||
+        nodes_[k].queue.front().frame.id <
+            nodes_[static_cast<std::size_t>(winner)].queue.front().frame.id) {
+      winner = static_cast<NodeId>(k);
+    }
+  }
+  if (winner < 0) {
+    return;
+  }
+  Node& node = nodes_[static_cast<std::size_t>(winner)];
+  const Pending pending = node.queue.front();
+  node.queue.pop_front();
+  const SimTime duration = frame_time(pending.frame);
+  busy_ = true;
+  busy_time_ += duration;
+  queue_.schedule_in(duration, [this, pending, winner] {
+    busy_ = false;
+    MessageStats& s = stats_[pending.frame.id];
+    ++s.sent;
+    const SimTime latency = queue_.now() - pending.queued_at;
+    s.worst_latency = std::max(s.worst_latency, latency);
+    s.total_latency += latency;
+    // Deliver to every node except the transmitter.
+    for (std::size_t k = 0; k < nodes_.size(); ++k) {
+      if (static_cast<NodeId>(k) == winner) {
+        continue;
+      }
+      for (const RxHandler& h : nodes_[k].handlers) {
+        h(pending.frame, queue_.now());
+      }
+    }
+    try_start();
+  });
+}
+
+}  // namespace aces::can

@@ -1,0 +1,71 @@
+#include "can/frame.h"
+
+#include "support/check.h"
+
+namespace aces::can {
+
+std::uint16_t crc15(const std::vector<bool>& bits) {
+  std::uint16_t crc = 0;
+  for (const bool bit : bits) {
+    const bool msb = ((crc >> 14) & 1u) != 0;
+    crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+    if (msb != bit) {
+      crc ^= 0x4599;
+    }
+  }
+  return crc;
+}
+
+std::vector<bool> stuffable_bits(const CanFrame& frame) {
+  ACES_CHECK_MSG(frame.id < (1u << 11), "standard identifiers are 11-bit");
+  ACES_CHECK_MSG(frame.dlc <= 8, "dlc is 0..8");
+  std::vector<bool> bits;
+  bits.push_back(false);  // SOF (dominant)
+  for (int k = 10; k >= 0; --k) {
+    bits.push_back(((frame.id >> k) & 1u) != 0);
+  }
+  bits.push_back(false);  // RTR (data frame)
+  bits.push_back(false);  // IDE (standard)
+  bits.push_back(false);  // r0
+  for (int k = 3; k >= 0; --k) {
+    bits.push_back(((frame.dlc >> k) & 1u) != 0);
+  }
+  for (unsigned b = 0; b < frame.dlc; ++b) {
+    for (int k = 7; k >= 0; --k) {
+      bits.push_back(((frame.data[b] >> k) & 1u) != 0);
+    }
+  }
+  const std::uint16_t crc = crc15(bits);
+  for (int k = 14; k >= 0; --k) {
+    bits.push_back(((crc >> k) & 1u) != 0);
+  }
+  return bits;
+}
+
+unsigned exact_wire_bits(const CanFrame& frame) {
+  const std::vector<bool> bits = stuffable_bits(frame);
+  unsigned stuffed = 0;
+  unsigned run = 0;
+  bool last = false;
+  bool have_last = false;
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    bool b = bits[k];
+    if (have_last && b == last) {
+      ++run;
+    } else {
+      run = 1;
+      last = b;
+      have_last = true;
+    }
+    if (run == 5) {
+      // A stuff bit of opposite polarity is inserted; it starts a new run
+      // that the following data bit may extend.
+      ++stuffed;
+      last = !b;
+      run = 1;
+    }
+  }
+  return static_cast<unsigned>(bits.size()) + stuffed + 13;
+}
+
+}  // namespace aces::can

@@ -1,0 +1,44 @@
+// CAN 2.0A frame model with exact bit-level serialization.
+//
+// The simulator prices every transmission with the frame's true on-wire
+// length: SOF, 11-bit identifier, RTR/IDE/r0, DLC, data, the real CRC-15
+// (poly 0x4599), then bit stuffing over the stuffable span — plus the fixed
+// CRC delimiter / ACK / EOF / IFS tail. The worst-case length formula used
+// by the response-time analysis (sched/can_rta.h) upper-bounds this exact
+// length; tests assert that property over randomized frames.
+#ifndef ACES_CAN_FRAME_H
+#define ACES_CAN_FRAME_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace aces::can {
+
+struct CanFrame {
+  std::uint32_t id = 0;  // 11-bit standard identifier (lower wins arbitration)
+  unsigned dlc = 8;      // 0..8 data bytes
+  std::array<std::uint8_t, 8> data{};
+};
+
+// CRC-15 over the given bit sequence (poly 0x4599, initial 0).
+[[nodiscard]] std::uint16_t crc15(const std::vector<bool>& bits);
+
+// Serializes header+data+crc (the stuffable region), unstuffed.
+[[nodiscard]] std::vector<bool> stuffable_bits(const CanFrame& frame);
+
+// Exact on-wire bit count: stuffed stuffable region + fixed 13-bit tail
+// (CRC delimiter, ACK slot+delimiter, 7-bit EOF, 3-bit interframe space).
+[[nodiscard]] unsigned exact_wire_bits(const CanFrame& frame);
+
+// Classic worst-case length bound for a standard frame with `dlc` data
+// bytes (Tindell/Davis): stuffable region g = 34 + 8*dlc may gain
+// floor((g-1)/4) stuff bits; the 13-bit tail is never stuffed.
+[[nodiscard]] constexpr unsigned worst_case_wire_bits(unsigned dlc) {
+  const unsigned g = 34 + 8 * dlc;
+  return g + (g - 1) / 4 + 13;
+}
+
+}  // namespace aces::can
+
+#endif  // ACES_CAN_FRAME_H

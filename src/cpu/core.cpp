@@ -1,0 +1,787 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+
+#include "cpu/fpb.h"
+#include "cpu/intc.h"
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace aces::cpu {
+
+using isa::AddrMode;
+using isa::Cond;
+using isa::Instruction;
+using isa::Op;
+using isa::SetFlags;
+using support::bits;
+using support::sign_extend;
+
+Core::Core(CoreConfig config, mem::MemPort& ifetch, mem::MemPort& data)
+    : config_(config),
+      codec_(isa::codec_for(config.encoding)),
+      ifetch_(ifetch),
+      data_(data) {
+  privileged_ = config_.privileged;
+}
+
+void Core::reset(std::uint32_t entry_pc, std::uint32_t initial_sp) {
+  regs_.fill(0);
+  regs_[isa::pc] = entry_pc;
+  regs_[isa::sp] = initial_sp;
+  regs_[isa::lr] = kExitReturn;
+  flags_ = isa::Flags{};
+  privileged_ = config_.privileged;
+  irq_enabled_ = true;
+  wfi_ = false;
+  clear_it_state();
+  halt_ = HaltReason::none;
+  fault_info_ = CoreFault{};
+}
+
+// ----- memory helpers --------------------------------------------------------
+
+bool Core::mem_read(std::uint32_t addr, unsigned size, std::uint32_t* value,
+                    std::uint32_t* cycles, bool do_sign_extend,
+                    unsigned ext_bits) {
+  if (mpu_ != nullptr &&
+      mpu_->check(addr, size, mem::Access::read, privileged_) !=
+          mem::Fault::none) {
+    do_fault(mem::Fault::mpu_violation, addr, mem::Access::read);
+    return false;
+  }
+  const mem::MemResult r = data_.read(addr, size, mem::Access::read, cycles_);
+  *cycles += r.cycles;
+  if (!r.ok()) {
+    do_fault(r.fault, addr, mem::Access::read);
+    return false;
+  }
+  *value = do_sign_extend
+               ? static_cast<std::uint32_t>(sign_extend(r.value, ext_bits))
+               : r.value;
+  ++stats_.loads;
+  return true;
+}
+
+bool Core::mem_write(std::uint32_t addr, unsigned size, std::uint32_t value,
+                     std::uint32_t* cycles) {
+  if (mpu_ != nullptr &&
+      mpu_->check(addr, size, mem::Access::write, privileged_) !=
+          mem::Fault::none) {
+    do_fault(mem::Fault::mpu_violation, addr, mem::Access::write);
+    return false;
+  }
+  const mem::MemResult r = data_.write(addr, size, value, cycles_);
+  *cycles += r.cycles;
+  if (!r.ok()) {
+    do_fault(r.fault, addr, mem::Access::write);
+    return false;
+  }
+  ++stats_.stores;
+  return true;
+}
+
+bool Core::push_word(std::uint32_t value) {
+  std::uint32_t cycles = 0;
+  regs_[isa::sp] -= 4;
+  const bool ok = mem_write(regs_[isa::sp], 4, value, &cycles);
+  cycles_ += cycles;
+  return ok;
+}
+
+bool Core::pop_word(std::uint32_t* value) {
+  std::uint32_t cycles = 0;
+  const bool ok = mem_read(regs_[isa::sp], 4, value, &cycles, false, 32);
+  regs_[isa::sp] += 4;
+  cycles_ += cycles;
+  return ok;
+}
+
+std::optional<std::uint32_t> Core::read_vector(std::uint32_t addr) {
+  const mem::MemResult r = data_.read(addr, 4, mem::Access::read, cycles_);
+  cycles_ += r.cycles;
+  if (!r.ok()) {
+    do_fault(r.fault, addr, mem::Access::read);
+    return std::nullopt;
+  }
+  return r.value;
+}
+
+void Core::do_fault(mem::Fault kind, std::uint32_t addr, mem::Access access) {
+  fault_info_ = CoreFault{kind, addr, cur_pc_, access};
+  if (has_fault_handler_) {
+    // Minimal precise-fault model: save return address in lr (magic-tagged)
+    // and vector to the handler in privileged mode. The OSEK kernel model
+    // uses this to kill the offending task.
+    regs_[isa::lr] = kExitReturn;  // fault handlers end the enclosing run
+    regs_[isa::pc] = fault_handler_pc_;
+    privileged_ = true;
+    clear_it_state();
+    cycles_ += config_.timings.exception_entry_base +
+               config_.timings.branch_taken_penalty;
+    return;
+  }
+  halt(HaltReason::fault);
+}
+
+// ----- flags ------------------------------------------------------------------
+
+void Core::set_nz(std::uint32_t result) {
+  flags_.n = (result >> 31) != 0;
+  flags_.z = result == 0;
+}
+
+std::uint32_t Core::add_with_carry(std::uint32_t a, std::uint32_t b,
+                                   bool carry_in, bool set) {
+  const std::uint64_t u = static_cast<std::uint64_t>(a) + b + (carry_in ? 1 : 0);
+  const std::int64_t s = static_cast<std::int64_t>(static_cast<std::int32_t>(a)) +
+                         static_cast<std::int32_t>(b) + (carry_in ? 1 : 0);
+  const auto r = static_cast<std::uint32_t>(u);
+  if (set) {
+    set_nz(r);
+    flags_.c = (u >> 32) != 0;
+    flags_.v = s != static_cast<std::int32_t>(r);
+  }
+  return r;
+}
+
+// ----- IT blocks ---------------------------------------------------------------
+
+void Core::start_it(const Instruction& it) {
+  const auto fc = static_cast<std::uint8_t>(it.cond);
+  const std::uint8_t mask = it.it_mask & 0xF;
+  // The block length is encoded by the position of the lowest set bit
+  // (the terminator): n = 4 - lowest_set_bit_index.
+  int n = 0;
+  for (int b = 0; b <= 3; ++b) {
+    if ((mask >> b) & 1u) {
+      n = 4 - b;
+      break;
+    }
+  }
+  it_conds_[0] = it.cond;
+  for (int k = 1; k < n; ++k) {
+    const std::uint8_t low = (mask >> (4 - k)) & 1u;
+    it_conds_[static_cast<std::size_t>(k)] =
+        static_cast<Cond>((fc & 0xEu) | low);
+  }
+  it_pos_ = 0;
+  it_remaining_ = static_cast<std::uint8_t>(n);
+}
+
+std::uint32_t Core::pack_psr() const {
+  std::uint32_t psr = 0;
+  psr |= flags_.n ? (1u << 31) : 0;
+  psr |= flags_.z ? (1u << 30) : 0;
+  psr |= flags_.c ? (1u << 29) : 0;
+  psr |= flags_.v ? (1u << 28) : 0;
+  psr |= privileged_ ? (1u << 16) : 0;
+  psr |= irq_enabled_ ? (1u << 17) : 0;
+  psr |= static_cast<std::uint32_t>(it_pos_ & 3u) << 18;
+  psr |= static_cast<std::uint32_t>(it_remaining_ & 7u) << 20;
+  for (unsigned k = 0; k < 4; ++k) {
+    psr |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(it_conds_[k]) & 0xFu)
+           << (4 * k);
+  }
+  return psr;
+}
+
+void Core::restore_psr(std::uint32_t psr) {
+  flags_.n = (psr >> 31) & 1u;
+  flags_.z = (psr >> 30) & 1u;
+  flags_.c = (psr >> 29) & 1u;
+  flags_.v = (psr >> 28) & 1u;
+  privileged_ = (psr >> 16) & 1u;
+  irq_enabled_ = (psr >> 17) & 1u;
+  it_pos_ = static_cast<std::uint8_t>((psr >> 18) & 3u);
+  it_remaining_ = static_cast<std::uint8_t>((psr >> 20) & 7u);
+  for (unsigned k = 0; k < 4; ++k) {
+    it_conds_[k] = static_cast<Cond>((psr >> (4 * k)) & 0xFu);
+  }
+}
+
+// ----- timing helpers -----------------------------------------------------------
+
+std::uint32_t Core::mul_cycles(std::uint32_t operand) const {
+  const CoreTimings& t = config_.timings;
+  if (!t.mul_early_termination) {
+    return t.mul_base;
+  }
+  const unsigned sig_bits = 32 - support::count_leading_zeros(operand);
+  return t.mul_base + t.mul_per_byte * ((sig_bits + 7) / 8);
+}
+
+std::uint32_t Core::div_cycles(std::uint32_t dividend) const {
+  const CoreTimings& t = config_.timings;
+  const unsigned sig_bits = 32 - support::count_leading_zeros(dividend);
+  return t.div_base + sig_bits / std::max(1u, t.div_bits_per_cycle);
+}
+
+// ----- fetch ---------------------------------------------------------------------
+
+bool Core::fetch_decode(std::uint32_t addr, Decoded* out,
+                        std::uint32_t* fetch_cycles) {
+  // Flash-patch lookup bypasses memory (served from patch RAM in 1 cycle).
+  if (fpb_ != nullptr) {
+    if (const auto patch = fpb_->lookup(addr)) {
+      if (patch->breakpoint) {
+        halt(HaltReason::breakpoint);
+        return false;
+      }
+      out->insn = patch->replacement;
+      out->size = patch->replacement_size;
+      *fetch_cycles = 1;
+      return true;
+    }
+  }
+
+  const unsigned unit = config_.encoding == isa::Encoding::w32 ? 4 : 2;
+  if (mpu_ != nullptr &&
+      mpu_->check(addr, unit, mem::Access::fetch, privileged_) !=
+          mem::Fault::none) {
+    do_fault(mem::Fault::mpu_violation, addr, mem::Access::fetch);
+    return false;
+  }
+  std::uint8_t buf[4] = {0, 0, 0, 0};
+  const mem::MemResult first =
+      ifetch_.read(addr, unit, mem::Access::fetch, cycles_);
+  *fetch_cycles = first.cycles;
+  if (!first.ok()) {
+    do_fault(first.fault, addr, mem::Access::fetch);
+    return false;
+  }
+  for (unsigned k = 0; k < unit; ++k) {
+    buf[k] = static_cast<std::uint8_t>(first.value >> (8 * k));
+  }
+
+  int n = codec_.decode(std::span<const std::uint8_t>(buf, unit), *&out->insn);
+  if (n == 0 && unit == 2) {
+    // Possibly the first half of a 32-bit instruction: fetch the second
+    // halfword (sequential, so the streamer prices it kindly).
+    const mem::MemResult second =
+        ifetch_.read(addr + 2, 2, mem::Access::fetch, cycles_ + *fetch_cycles);
+    *fetch_cycles += second.cycles;
+    if (!second.ok()) {
+      do_fault(second.fault, addr + 2, mem::Access::fetch);
+      return false;
+    }
+    buf[2] = static_cast<std::uint8_t>(second.value);
+    buf[3] = static_cast<std::uint8_t>(second.value >> 8);
+    n = codec_.decode(std::span<const std::uint8_t>(buf, 4), out->insn);
+  }
+  if (n == 0) {
+    halt(HaltReason::invalid_insn);
+    return false;
+  }
+  out->size = n;
+  return true;
+}
+
+// ----- control transfer -----------------------------------------------------------
+
+void Core::branch_to(std::uint32_t target) {
+  if (target >= kExcReturnBase) {
+    if (target == kExitReturn) {
+      halt(HaltReason::exited);
+      return;
+    }
+    if (intc_ != nullptr && intc_->exception_return(*this, target)) {
+      return;
+    }
+    halt(HaltReason::fault);
+    fault_info_ = CoreFault{mem::Fault::unmapped, target, cur_pc_,
+                            mem::Access::fetch};
+    return;
+  }
+  regs_[isa::pc] = target & ~1u;  // bit 0 is an interworking hint; ignore
+  clear_it_state();
+  cycles_ += config_.timings.branch_taken_penalty;
+  ++stats_.taken_branches;
+}
+
+// ----- main step --------------------------------------------------------------------
+
+bool Core::step() {
+  if (halt_ != HaltReason::none) {
+    return false;
+  }
+  if (cycle_hook_) {
+    cycle_hook_(cycles_);
+  }
+  if (wfi_) {
+    if (intc_ != nullptr && intc_->would_preempt(*this)) {
+      wfi_ = false;
+    } else {
+      cycles_ += 1;
+      return true;
+    }
+  }
+  if (intc_ != nullptr) {
+    intc_->poll(*this);
+    if (halt_ != HaltReason::none) {
+      return false;
+    }
+  }
+
+  cur_pc_ = regs_[isa::pc];
+  Decoded d;
+  std::uint32_t fetch_cycles = 0;
+  if (!fetch_decode(cur_pc_, &d, &fetch_cycles)) {
+    cycles_ += fetch_cycles;
+    return halt_ == HaltReason::none;
+  }
+
+  // Default sequential advance; execute() may overwrite (branch/restart).
+  regs_[isa::pc] = cur_pc_ + static_cast<std::uint32_t>(d.size);
+
+  std::uint32_t exec_cycles = 0;
+  execute(d, &exec_cycles);
+
+  // Pipeline overlap: fetch of the next instruction hides behind execute.
+  cycles_ += std::max(fetch_cycles, exec_cycles);
+  ++insns_;
+  ++stats_.instructions;
+  return halt_ == HaltReason::none;
+}
+
+HaltReason Core::run(std::uint64_t max_instructions) {
+  const std::uint64_t limit = insns_ + max_instructions;
+  while (halt_ == HaltReason::none) {
+    if (insns_ >= limit) {
+      return HaltReason::insn_limit;
+    }
+    (void)step();
+  }
+  return halt_;
+}
+
+// ----- execute ---------------------------------------------------------------------
+
+void Core::execute(const Decoded& d, std::uint32_t* exec_cycles) {
+  const Instruction& i = d.insn;
+  const CoreTimings& t = config_.timings;
+  *exec_cycles = t.data_op;
+
+  // Predication: IT block (B32) or encoded condition (W32). The IT
+  // instruction itself is never predicated — its cond field is the block's
+  // first condition, not a guard on the IT.
+  bool in_it = false;
+  Cond cond = i.op == Op::it ? Cond::al : i.cond;
+  if (it_active() && i.op != Op::it) {
+    cond = it_conds_[it_pos_];
+    in_it = true;
+    advance_it();
+  }
+  if (cond != Cond::al && !isa::cond_holds(cond, flags_)) {
+    ++stats_.predicated_skips;
+    return;  // 1 cycle for the annulled slot
+  }
+
+  // Effective flag-setting: inside an IT block only compares write flags
+  // (the Thumb-2 rule that lets 16-bit ALU forms be predicated).
+  const bool compare_op = i.op == Op::cmp || i.op == Op::cmn ||
+                          i.op == Op::tst || i.op == Op::teq;
+  const bool set =
+      (i.set_flags == SetFlags::yes) && (!in_it || compare_op);
+
+  const auto op2 = [&]() -> std::uint32_t {
+    return i.uses_imm ? static_cast<std::uint32_t>(i.imm) : regs_[i.rm];
+  };
+
+  switch (i.op) {
+    // ----- arithmetic -----
+    case Op::add:
+      regs_[i.rd] = add_with_carry(regs_[i.rn], op2(), false, set);
+      break;
+    case Op::adc:
+      regs_[i.rd] = add_with_carry(regs_[i.rn], op2(), flags_.c, set);
+      break;
+    case Op::sub:
+      regs_[i.rd] = add_with_carry(regs_[i.rn], ~op2(), true, set);
+      break;
+    case Op::sbc:
+      regs_[i.rd] = add_with_carry(regs_[i.rn], ~op2(), flags_.c, set);
+      break;
+    case Op::rsb:
+      regs_[i.rd] = add_with_carry(~regs_[i.rn], op2(), true, set);
+      break;
+    case Op::cmp:
+      (void)add_with_carry(regs_[i.rn], ~op2(), true, true);
+      break;
+    case Op::cmn:
+      (void)add_with_carry(regs_[i.rn], op2(), false, true);
+      break;
+
+    // ----- logical -----
+    case Op::and_:
+      regs_[i.rd] = regs_[i.rn] & op2();
+      if (set) set_nz(regs_[i.rd]);
+      break;
+    case Op::orr:
+      regs_[i.rd] = regs_[i.rn] | op2();
+      if (set) set_nz(regs_[i.rd]);
+      break;
+    case Op::eor:
+      regs_[i.rd] = regs_[i.rn] ^ op2();
+      if (set) set_nz(regs_[i.rd]);
+      break;
+    case Op::bic:
+      regs_[i.rd] = regs_[i.rn] & ~op2();
+      if (set) set_nz(regs_[i.rd]);
+      break;
+    case Op::tst: {
+      set_nz(regs_[i.rn] & op2());
+      break;
+    }
+    case Op::teq: {
+      set_nz(regs_[i.rn] ^ op2());
+      break;
+    }
+    case Op::mov:
+      regs_[i.rd] = op2();
+      if (set) set_nz(regs_[i.rd]);
+      break;
+    case Op::mvn:
+      regs_[i.rd] = ~op2();
+      if (set) set_nz(regs_[i.rd]);
+      break;
+
+    // ----- shifts -----
+    case Op::lsl:
+    case Op::lsr:
+    case Op::asr:
+    case Op::ror: {
+      const std::uint32_t v = regs_[i.rn];
+      const std::uint32_t amount_full = i.uses_imm
+                                            ? static_cast<std::uint32_t>(i.imm)
+                                            : (regs_[i.rm] & 0xFF);
+      std::uint32_t r = v;
+      bool carry = flags_.c;
+      if (amount_full != 0) {
+        const std::uint32_t a = amount_full;
+        switch (i.op) {
+          case Op::lsl:
+            r = a >= 32 ? 0 : v << a;
+            carry = a <= 32 && ((v >> (32 - std::min(a, 32u))) & 1u);
+            if (a > 32) carry = false;
+            break;
+          case Op::lsr:
+            r = a >= 32 ? 0 : v >> a;
+            carry = a <= 32 && ((v >> (std::min(a, 32u) - 1)) & 1u);
+            if (a > 32) carry = false;
+            break;
+          case Op::asr:
+            r = a >= 32 ? (v >> 31 ? 0xFFFFFFFFu : 0)
+                        : static_cast<std::uint32_t>(
+                              static_cast<std::int32_t>(v) >>
+                              static_cast<int>(a));
+            carry = a >= 32 ? (v >> 31) != 0 : ((v >> (a - 1)) & 1u) != 0;
+            break;
+          default: {
+            const unsigned rot = a % 32;
+            r = support::rotate_right(v, rot);
+            carry = (r >> 31) != 0;
+            break;
+          }
+        }
+      }
+      regs_[i.rd] = r;
+      if (set) {
+        set_nz(r);
+        if (amount_full != 0) {
+          flags_.c = carry;
+        }
+      }
+      break;
+    }
+
+    // ----- multiply / divide -----
+    case Op::mul:
+      regs_[i.rd] = regs_[i.rn] * regs_[i.rm];
+      if (set) set_nz(regs_[i.rd]);
+      *exec_cycles = mul_cycles(regs_[i.rm]);
+      break;
+    case Op::mla:
+      regs_[i.rd] = regs_[i.rn] * regs_[i.rm] + regs_[i.ra];
+      *exec_cycles = mul_cycles(regs_[i.rm]) + 1;
+      break;
+    case Op::sdiv: {
+      const auto n = static_cast<std::int32_t>(regs_[i.rn]);
+      const auto m = static_cast<std::int32_t>(regs_[i.rm]);
+      // ARM semantics: divide by zero yields zero; INT_MIN/-1 wraps.
+      regs_[i.rd] = m == 0 ? 0
+                    : (n == INT32_MIN && m == -1)
+                        ? static_cast<std::uint32_t>(INT32_MIN)
+                        : static_cast<std::uint32_t>(n / m);
+      *exec_cycles = div_cycles(regs_[i.rn]);
+      break;
+    }
+    case Op::udiv:
+      regs_[i.rd] = regs_[i.rm] == 0 ? 0 : regs_[i.rn] / regs_[i.rm];
+      *exec_cycles = div_cycles(regs_[i.rn]);
+      break;
+
+    // ----- wide moves / bitfield (B32) -----
+    case Op::movw:
+      regs_[i.rd] = static_cast<std::uint32_t>(i.imm) & 0xFFFFu;
+      break;
+    case Op::movt:
+      regs_[i.rd] = (regs_[i.rd] & 0xFFFFu) |
+                    ((static_cast<std::uint32_t>(i.imm) & 0xFFFFu) << 16);
+      break;
+    case Op::bfi:
+      regs_[i.rd] = support::insert_bits(
+          regs_[i.rd], regs_[i.rn], static_cast<unsigned>(i.imm), i.width);
+      break;
+    case Op::bfc:
+      regs_[i.rd] = support::insert_bits(regs_[i.rd], 0,
+                                         static_cast<unsigned>(i.imm),
+                                         i.width);
+      break;
+    case Op::ubfx:
+      regs_[i.rd] =
+          bits(regs_[i.rn], static_cast<unsigned>(i.imm), i.width);
+      break;
+    case Op::sbfx:
+      regs_[i.rd] = static_cast<std::uint32_t>(sign_extend(
+          bits(regs_[i.rn], static_cast<unsigned>(i.imm), i.width), i.width));
+      break;
+    case Op::rbit:
+      regs_[i.rd] = support::reverse_bits(regs_[i.rm]);
+      break;
+    case Op::rev:
+      regs_[i.rd] = support::reverse_bytes(regs_[i.rm]);
+      break;
+    case Op::rev16:
+      regs_[i.rd] = support::reverse_bytes16(regs_[i.rm]);
+      break;
+    case Op::clz:
+      regs_[i.rd] = support::count_leading_zeros(regs_[i.rm]);
+      break;
+    case Op::sxtb:
+      regs_[i.rd] = static_cast<std::uint32_t>(
+          sign_extend(regs_[i.rm] & 0xFF, 8));
+      break;
+    case Op::sxth:
+      regs_[i.rd] = static_cast<std::uint32_t>(
+          sign_extend(regs_[i.rm] & 0xFFFF, 16));
+      break;
+    case Op::uxtb:
+      regs_[i.rd] = regs_[i.rm] & 0xFF;
+      break;
+    case Op::uxth:
+      regs_[i.rd] = regs_[i.rm] & 0xFFFF;
+      break;
+
+    // ----- loads / stores -----
+    case Op::ldr:
+    case Op::ldrb:
+    case Op::ldrh:
+    case Op::ldrsb:
+    case Op::ldrsh: {
+      std::uint32_t addr = 0;
+      switch (i.addr) {
+        case AddrMode::offset_imm:
+          addr = regs_[i.rn] + static_cast<std::uint32_t>(i.imm);
+          break;
+        case AddrMode::offset_reg:
+          addr = regs_[i.rn] + regs_[i.rm];
+          break;
+        case AddrMode::pc_rel:
+          addr = static_cast<std::uint32_t>(
+                     support::align_down(cur_pc_ + 4, 4)) +
+                 static_cast<std::uint32_t>(i.imm);
+          break;
+        default:
+          break;
+      }
+      unsigned size = 4;
+      bool sign = false;
+      unsigned ext = 32;
+      switch (i.op) {
+        case Op::ldrb: size = 1; break;
+        case Op::ldrh: size = 2; break;
+        case Op::ldrsb: size = 1; sign = true; ext = 8; break;
+        case Op::ldrsh: size = 2; sign = true; ext = 16; break;
+        default: break;
+      }
+      std::uint32_t value = 0;
+      std::uint32_t cycles = 0;
+      if (!mem_read(addr, size, &value, &cycles, sign, ext)) {
+        return;
+      }
+      regs_[i.rd] = value;
+      *exec_cycles = t.data_op + t.load_extra + cycles;
+      break;
+    }
+    case Op::str:
+    case Op::strb:
+    case Op::strh: {
+      const std::uint32_t addr =
+          i.addr == AddrMode::offset_imm
+              ? regs_[i.rn] + static_cast<std::uint32_t>(i.imm)
+              : regs_[i.rn] + regs_[i.rm];
+      const unsigned size = i.op == Op::strb ? 1 : i.op == Op::strh ? 2 : 4;
+      std::uint32_t cycles = 0;
+      if (!mem_write(addr, size, regs_[i.rd], &cycles)) {
+        return;
+      }
+      *exec_cycles = t.data_op + t.store_extra + cycles;
+      break;
+    }
+    case Op::adr:
+      regs_[i.rd] = static_cast<std::uint32_t>(
+                        support::align_down(cur_pc_ + 4, 4)) +
+                    static_cast<std::uint32_t>(i.imm);
+      break;
+
+    // ----- multiple transfer -----
+    case Op::ldm:
+    case Op::pop: {
+      const bool is_pop = i.op == Op::pop;
+      std::uint32_t addr = is_pop ? regs_[isa::sp] : regs_[i.rn];
+      std::uint32_t cycles = t.ldm_base;
+      std::uint32_t branch_target = 0;
+      bool do_branch = false;
+      unsigned transferred = 0;
+      for (isa::Reg r = 0; r < 16; ++r) {
+        if (((i.reglist >> r) & 1u) == 0) {
+          continue;
+        }
+        // §3.1.2: a pending interrupt may abandon the transfer; the whole
+        // instruction restarts after the handler returns.
+        if (cycle_hook_) {
+          cycle_hook_(cycles_ + cycles);
+        }
+        if (config_.restartable_ldm && transferred > 0 && intc_ != nullptr &&
+            intc_->would_preempt(*this)) {
+          regs_[isa::pc] = cur_pc_;  // restart this instruction
+          ++stats_.ldm_restarts;
+          *exec_cycles = cycles;
+          return;
+        }
+        std::uint32_t value = 0;
+        if (!mem_read(addr, 4, &value, &cycles, false, 32)) {
+          return;
+        }
+        if (r == isa::pc) {
+          branch_target = value;
+          do_branch = true;
+        } else {
+          regs_[r] = value;
+        }
+        addr += 4;
+        ++transferred;
+      }
+      if (is_pop) {
+        regs_[isa::sp] = addr;
+      } else if (i.writeback) {
+        regs_[i.rn] = addr;
+      }
+      *exec_cycles = cycles;
+      if (do_branch) {
+        branch_to(branch_target);
+      }
+      break;
+    }
+    case Op::stm:
+    case Op::push: {
+      const bool is_push = i.op == Op::push;
+      const unsigned count = support::popcount(i.reglist);
+      std::uint32_t addr = is_push ? regs_[isa::sp] - 4 * count : regs_[i.rn];
+      const std::uint32_t base_new = addr + (is_push ? 0 : 4 * count);
+      std::uint32_t cycles = t.ldm_base;
+      unsigned transferred = 0;
+      for (isa::Reg r = 0; r < 16; ++r) {
+        if (((i.reglist >> r) & 1u) == 0) {
+          continue;
+        }
+        if (cycle_hook_) {
+          cycle_hook_(cycles_ + cycles);
+        }
+        if (config_.restartable_ldm && transferred > 0 && intc_ != nullptr &&
+            intc_->would_preempt(*this)) {
+          regs_[isa::pc] = cur_pc_;
+          ++stats_.ldm_restarts;
+          *exec_cycles = cycles;
+          return;
+        }
+        if (!mem_write(addr, 4, regs_[r], &cycles)) {
+          return;
+        }
+        addr += 4;
+        ++transferred;
+      }
+      if (is_push) {
+        regs_[isa::sp] -= 4 * count;
+      } else if (i.writeback) {
+        regs_[i.rn] = base_new;
+      }
+      *exec_cycles = cycles;
+      break;
+    }
+
+    // ----- branches -----
+    case Op::b:
+      branch_to(cur_pc_ + static_cast<std::uint32_t>(
+                              static_cast<std::int32_t>(i.imm)));
+      break;
+    case Op::bl:
+      regs_[isa::lr] = cur_pc_ + static_cast<std::uint32_t>(d.size);
+      branch_to(cur_pc_ + static_cast<std::uint32_t>(
+                              static_cast<std::int32_t>(i.imm)));
+      *exec_cycles = t.data_op + t.branch_link_extra;
+      break;
+    case Op::bx:
+      branch_to(regs_[i.rm]);
+      break;
+    case Op::cbz:
+    case Op::cbnz: {
+      const bool zero = regs_[i.rn] == 0;
+      if (zero == (i.op == Op::cbz)) {
+        branch_to(cur_pc_ + static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(i.imm)));
+      }
+      break;
+    }
+    case Op::tbb: {
+      const std::uint32_t entry_addr = regs_[i.rn] + regs_[i.rm];
+      std::uint32_t entry = 0;
+      std::uint32_t cycles = 0;
+      if (!mem_read(entry_addr, 1, &entry, &cycles, false, 32)) {
+        return;
+      }
+      *exec_cycles = t.data_op + t.load_extra + cycles;
+      branch_to(cur_pc_ + 4 + 2 * entry);
+      break;
+    }
+
+    case Op::it:
+      start_it(i);
+      break;
+
+    // ----- system -----
+    case Op::nop:
+      break;
+    case Op::svc:
+      if (i.imm == 0) {
+        halt(HaltReason::exited);
+      } else {
+        // No supervisor-call table in the ISA-level model.
+        halt(HaltReason::breakpoint);
+      }
+      break;
+    case Op::bkpt:
+      halt(HaltReason::breakpoint);
+      break;
+    case Op::cps:
+      irq_enabled_ = i.imm == 0;
+      break;
+    case Op::wfi:
+      wfi_ = true;
+      break;
+  }
+}
+
+}  // namespace aces::cpu

@@ -1,0 +1,216 @@
+// The UC32 core: decode/execute engine shared by both modeled processors.
+//
+// A Core is configured with an encoding (W32 / N16 / B32), a timing profile
+// (timings.h), instruction and data memory ports, and optionally an MPU and
+// an interrupt controller. The high-performance processor of §3.1 is a Core
+// with Encoding::w32|n16 + legacy_hp timings + ClassicVic (+ caches on its
+// ports); the microcontroller of §3.2 is a Core with Encoding::b32 +
+// modern_mcu timings + Ivc (+ bit-band on its bus).
+//
+// Exception-return convention: entering an exception sets lr to a magic
+// value >= kExcReturnBase; executing bx/pop into such an address hands
+// control to the interrupt controller, which restores state (mirrors the
+// ARM EXC_RETURN mechanism).
+#ifndef ACES_CPU_CORE_H
+#define ACES_CPU_CORE_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "cpu/timings.h"
+#include "isa/codec.h"
+#include "isa/isa.h"
+#include "mem/mpu.h"
+#include "mem/port.h"
+
+namespace aces::cpu {
+
+class InterruptController;
+class FlashPatchUnit;
+
+inline constexpr std::uint32_t kExcReturnBase = 0xFFFF'FF00u;
+// Branching here ends the program (reset() plants it in lr, so a bare
+// `bx lr` from the entry function exits cleanly with r0 as status).
+inline constexpr std::uint32_t kExitReturn = 0xFFFF'FFE0u;
+
+enum class HaltReason : std::uint8_t {
+  none,          // still running
+  exited,        // svc #0 — normal program exit, r0 = status
+  breakpoint,    // bkpt executed (no debugger attached)
+  fault,         // unhandled memory/MPU fault
+  invalid_insn,  // undecodable opcode reached
+  insn_limit,    // run() budget exhausted
+};
+
+struct CoreFault {
+  mem::Fault kind = mem::Fault::none;
+  std::uint32_t address = 0;
+  std::uint32_t pc = 0;
+  mem::Access access = mem::Access::read;
+};
+
+struct CoreConfig {
+  isa::Encoding encoding = isa::Encoding::b32;
+  CoreTimings timings = CoreTimings::modern_mcu();
+  // §3.1.2: allow a pending interrupt to abandon and later restart an
+  // in-flight ldm/stm instead of waiting for every transfer (and miss).
+  bool restartable_ldm = false;
+  // Initial privilege (OSEK kernels run tasks unprivileged).
+  bool privileged = true;
+};
+
+class Core {
+ public:
+  Core(CoreConfig config, mem::MemPort& ifetch, mem::MemPort& data);
+
+  // ----- wiring -----
+  void set_mpu(mem::Mpu* mpu) { mpu_ = mpu; }
+  void set_interrupt_controller(InterruptController* intc) { intc_ = intc; }
+  void set_flash_patch(FlashPatchUnit* fpb) { fpb_ = fpb; }
+  // Handler for MPU/bus faults; without one, a fault halts the core.
+  void set_fault_handler(std::uint32_t pc) {
+    fault_handler_pc_ = pc;
+    has_fault_handler_ = true;
+  }
+  // Environment callback invoked with the current cycle count at every
+  // instruction boundary AND between ldm/stm transfer beats. Experiments
+  // use it to assert interrupt lines at exact cycle times — which is what
+  // makes mid-instruction arrival (the §3.1.2 scenario) reachable in an
+  // instruction-atomic simulator.
+  using CycleHook = std::function<void(std::uint64_t)>;
+  void set_cycle_hook(CycleHook hook) { cycle_hook_ = std::move(hook); }
+
+  // ----- control -----
+  void reset(std::uint32_t entry_pc, std::uint32_t initial_sp);
+  // Executes one instruction (or takes one interrupt). Returns false when
+  // halted.
+  bool step();
+  // Runs until halt or the instruction budget is exhausted.
+  HaltReason run(std::uint64_t max_instructions);
+
+  // ----- state access -----
+  [[nodiscard]] std::uint32_t reg(isa::Reg r) const { return regs_[r]; }
+  void set_reg(isa::Reg r, std::uint32_t v) { regs_[r] = v; }
+  [[nodiscard]] std::uint32_t pc() const { return regs_[isa::pc]; }
+  [[nodiscard]] const isa::Flags& flags() const { return flags_; }
+  void set_flags(const isa::Flags& f) { flags_ = f; }
+  [[nodiscard]] bool privileged() const { return privileged_; }
+  void set_privileged(bool p) { privileged_ = p; }
+  [[nodiscard]] bool interrupts_enabled() const { return irq_enabled_; }
+  void set_interrupts_enabled(bool e) { irq_enabled_ = e; }
+  [[nodiscard]] bool waiting_for_interrupt() const { return wfi_; }
+  void clear_wait() { wfi_ = false; }
+
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::uint64_t instructions() const { return insns_; }
+  void add_cycles(std::uint64_t c) { cycles_ += c; }
+
+  [[nodiscard]] HaltReason halt_reason() const { return halt_; }
+  [[nodiscard]] const CoreFault& fault_info() const { return fault_info_; }
+  [[nodiscard]] const CoreConfig& config() const { return config_; }
+
+  // Current instruction address while inside execute() (for diagnostics).
+  [[nodiscard]] std::uint32_t current_pc() const { return cur_pc_; }
+
+  // ----- used by interrupt controllers -----
+  // Pushes/pops one word on the active stack through the data port,
+  // charging cycles. Returns false on a (fatal) stack fault.
+  bool push_word(std::uint32_t value);
+  bool pop_word(std::uint32_t* value);
+  // Reads a vector-table entry (a code address) through the data port.
+  [[nodiscard]] std::optional<std::uint32_t> read_vector(std::uint32_t addr);
+  // Clears any in-progress IT block (exception entry kills predication).
+  void clear_it_state() { it_remaining_ = 0; it_pos_ = 0; }
+  // Packs/restores the program status (NZCV, privilege, interrupt enable,
+  // IT state) — what real hardware banks in an xPSR across exceptions.
+  [[nodiscard]] std::uint32_t pack_psr() const;
+  void restore_psr(std::uint32_t psr);
+
+  struct Stats {
+    std::uint64_t instructions = 0;
+    std::uint64_t taken_branches = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t predicated_skips = 0;
+    std::uint64_t ldm_restarts = 0;  // §3.1.2 restartable ldm/stm abandons
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Decoded {
+    isa::Instruction insn;
+    int size = 0;
+  };
+
+  // Fetches and decodes at `addr`, charging fetch cycles (halfword-stream
+  // fetches for the 16/32-bit encodings). Returns false on fetch fault /
+  // undecodable bits / breakpoint.
+  bool fetch_decode(std::uint32_t addr, Decoded* out,
+                    std::uint32_t* fetch_cycles);
+  void execute(const Decoded& d, std::uint32_t* exec_cycles);
+
+  // Memory helpers: MPU check + data port access; sets pending fault.
+  bool mem_read(std::uint32_t addr, unsigned size, std::uint32_t* value,
+                std::uint32_t* cycles, bool sign_extend, unsigned ext_bits);
+  bool mem_write(std::uint32_t addr, unsigned size, std::uint32_t value,
+                 std::uint32_t* cycles);
+
+  void do_fault(mem::Fault kind, std::uint32_t addr, mem::Access access);
+  void halt(HaltReason reason) { halt_ = reason; }
+
+  // Flag helpers.
+  void set_nz(std::uint32_t result);
+  std::uint32_t add_with_carry(std::uint32_t a, std::uint32_t b, bool carry_in,
+                               bool set_flags);
+
+  // IT block bookkeeping (B32).
+  [[nodiscard]] bool it_active() const { return it_remaining_ > 0; }
+  void advance_it() {
+    if (it_remaining_ > 0) {
+      ++it_pos_;
+      --it_remaining_;
+    }
+  }
+  void start_it(const isa::Instruction& it);
+  // Resolves target and transfers control (handles exception-return magic).
+  void branch_to(std::uint32_t target);
+
+  [[nodiscard]] std::uint32_t mul_cycles(std::uint32_t operand) const;
+  [[nodiscard]] std::uint32_t div_cycles(std::uint32_t dividend) const;
+
+  CoreConfig config_;
+  const isa::Codec& codec_;
+  mem::MemPort& ifetch_;
+  mem::MemPort& data_;
+  mem::Mpu* mpu_ = nullptr;
+  InterruptController* intc_ = nullptr;
+  FlashPatchUnit* fpb_ = nullptr;
+
+  std::array<std::uint32_t, 16> regs_{};
+  isa::Flags flags_;
+  bool privileged_ = true;
+  bool irq_enabled_ = true;
+  bool wfi_ = false;
+
+  // IT state: per-slot conditions, consumed front-first.
+  std::array<isa::Cond, 4> it_conds_{};
+  std::uint8_t it_pos_ = 0;
+  std::uint8_t it_remaining_ = 0;
+
+  std::uint32_t cur_pc_ = 0;  // address of the instruction in flight
+  std::uint64_t cycles_ = 0;
+  std::uint64_t insns_ = 0;
+  HaltReason halt_ = HaltReason::none;
+  CoreFault fault_info_;
+  std::uint32_t fault_handler_pc_ = 0;
+  bool has_fault_handler_ = false;
+  CycleHook cycle_hook_;
+
+  Stats stats_;
+};
+
+}  // namespace aces::cpu
+
+#endif  // ACES_CPU_CORE_H

@@ -1,0 +1,79 @@
+// Flash patch and breakpoint unit (§3.2.2).
+//
+// Low-cost parts keep code in flash that cannot be cheaply re-flashed during
+// bring-up, so the debug block can remap up to eight instruction addresses:
+// either to a breakpoint (halting for the single-wire debugger) or to a
+// substitute instruction held in a small patch RAM — "up to eight words can
+// be configured as RAM, providing an equivalent of eight breakpoints".
+#ifndef ACES_CPU_FPB_H
+#define ACES_CPU_FPB_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "isa/isa.h"
+#include "support/check.h"
+
+namespace aces::cpu {
+
+class FlashPatchUnit {
+ public:
+  static constexpr unsigned kSlots = 8;
+
+  struct Patch {
+    bool breakpoint = true;          // else: substitute instruction
+    isa::Instruction replacement{};  // used when !breakpoint
+    int replacement_size = 2;        // bytes the substitute pretends to be
+  };
+
+  // Installs a breakpoint at a code address.
+  void set_breakpoint(unsigned slot, std::uint32_t addr) {
+    ACES_CHECK(slot < kSlots);
+    entries_[slot] = Entry{addr, Patch{}};
+  }
+
+  // Remaps the instruction at addr to `replacement` (served from patch RAM).
+  void set_patch(unsigned slot, std::uint32_t addr, const Patch& patch) {
+    ACES_CHECK(slot < kSlots);
+    entries_[slot] = Entry{addr, patch};
+  }
+
+  void clear(unsigned slot) {
+    ACES_CHECK(slot < kSlots);
+    entries_[slot].reset();
+  }
+  void clear_all() {
+    for (auto& e : entries_) {
+      e.reset();
+    }
+  }
+
+  [[nodiscard]] std::optional<Patch> lookup(std::uint32_t addr) const {
+    for (const auto& e : entries_) {
+      if (e && e->addr == addr) {
+        return e->patch;
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] unsigned used_slots() const {
+    unsigned n = 0;
+    for (const auto& e : entries_) {
+      n += e.has_value() ? 1 : 0;
+    }
+    return n;
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t addr = 0;
+    Patch patch;
+  };
+  std::array<std::optional<Entry>, kSlots> entries_{};
+};
+
+}  // namespace aces::cpu
+
+#endif  // ACES_CPU_FPB_H

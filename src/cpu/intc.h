@@ -1,0 +1,43 @@
+// Interrupt controller interface.
+//
+// Two implementations reproduce the paper's two interrupt philosophies:
+//   ClassicVic (vic.h) — §3.1: IRQ/FIQ lines, no hardware register saving
+//     (the handler's own push/pop is the "software preamble/postamble"),
+//     optional non-maskable FIQ for watchdog service.
+//   Ivc (ivc.h) — §3.2.1 / Figure 4: prioritized lines, hardware stacking
+//     of the caller-saved context overlapped with the vector fetch, and
+//     tail-chaining of back-to-back interrupts.
+#ifndef ACES_CPU_INTC_H
+#define ACES_CPU_INTC_H
+
+#include <cstdint>
+
+namespace aces::cpu {
+
+class Core;
+
+class InterruptController {
+ public:
+  virtual ~InterruptController() = default;
+
+  // Environment side: asserts/clears an interrupt line. `now` is the cycle
+  // at which the request is raised (used for latency accounting).
+  virtual void raise(unsigned line, std::uint64_t now) = 0;
+  virtual void clear(unsigned line) = 0;
+
+  // True if an enabled request would preempt the core right now (consulted
+  // by wfi and by the restartable ldm/stm machinery).
+  [[nodiscard]] virtual bool would_preempt(const Core& core) const = 0;
+
+  // Called at every instruction boundary; performs exception entry when a
+  // request is due (modifies core state and charges cycles).
+  virtual void poll(Core& core) = 0;
+
+  // Handles a branch to an exception-return magic address. Returns false
+  // if the value does not belong to this controller.
+  virtual bool exception_return(Core& core, std::uint32_t target) = 0;
+};
+
+}  // namespace aces::cpu
+
+#endif  // ACES_CPU_INTC_H

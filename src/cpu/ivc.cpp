@@ -1,0 +1,176 @@
+#include "cpu/ivc.h"
+
+#include "support/check.h"
+
+namespace aces::cpu {
+
+Ivc::Ivc(Config config) : config_(config) {
+  ACES_CHECK(config_.lines >= 1 && config_.lines <= 240);
+  lines_.resize(config_.lines);
+  if (config_.nmi_line >= 0) {
+    ACES_CHECK(static_cast<unsigned>(config_.nmi_line) < config_.lines);
+    lines_[static_cast<unsigned>(config_.nmi_line)].enabled = true;
+    lines_[static_cast<unsigned>(config_.nmi_line)].priority = 0;
+  }
+}
+
+void Ivc::enable_line(unsigned line, std::uint8_t priority) {
+  ACES_CHECK(line < config_.lines);
+  lines_[line].enabled = true;
+  lines_[line].priority = priority;
+}
+
+void Ivc::disable_line(unsigned line) {
+  ACES_CHECK(line < config_.lines);
+  lines_[line].enabled = false;
+}
+
+void Ivc::raise(unsigned line, std::uint64_t now) {
+  ACES_CHECK(line < config_.lines);
+  if (!lines_[line].pending) {
+    lines_[line].pending = true;
+    lines_[line].raised_at = now;
+  }
+}
+
+void Ivc::clear(unsigned line) {
+  ACES_CHECK(line < config_.lines);
+  lines_[line].pending = false;
+}
+
+int Ivc::active_priority() const {
+  int best = 256;  // lower value = more urgent
+  for (const unsigned line : active_) {
+    best = std::min(best, static_cast<int>(lines_[line].priority));
+  }
+  return best;
+}
+
+int Ivc::select(const Core& core) const {
+  int best_line = -1;
+  int best_prio = active_priority();  // must strictly outrank to preempt
+  for (unsigned k = 0; k < config_.lines; ++k) {
+    const Line& l = lines_[k];
+    if (!l.enabled || !l.pending) {
+      continue;
+    }
+    const bool is_nmi = config_.nmi_line == static_cast<int>(k);
+    if (!is_nmi && !core.interrupts_enabled()) {
+      continue;  // PRIMASK-style global disable
+    }
+    if (static_cast<int>(l.priority) < best_prio) {
+      best_prio = l.priority;
+      best_line = static_cast<int>(k);
+    }
+  }
+  return best_line;
+}
+
+bool Ivc::would_preempt(const Core& core) const {
+  return select(core) >= 0;
+}
+
+void Ivc::jump_to_vector(Core& core, unsigned line) {
+  const auto vector = core.read_vector(config_.vector_table + 4 * line);
+  if (!vector) {
+    return;  // vector table fault already recorded by the core
+  }
+  core.set_reg(isa::pc, *vector & ~1u);
+  core.set_privileged(true);
+  core.set_reg(isa::lr, kExcReturnBase +
+                            static_cast<std::uint32_t>(active_.size() - 1));
+  lines_[line].pending = false;
+  lines_[line].latencies.push_back(core.cycles() - lines_[line].raised_at);
+}
+
+void Ivc::stack_and_enter(Core& core, unsigned line) {
+  // Hardware stacking: 8 words, as compiled handlers expect an AAPCS-like
+  // frame. The vector fetch is issued alongside; both costs are paid via
+  // the memory ports.
+  core.add_cycles(core.config().timings.exception_entry_base);
+  const std::uint32_t saved[8] = {
+      core.reg(isa::r0),  core.reg(isa::r1), core.reg(isa::r2),
+      core.reg(isa::r3),  core.reg(isa::r12), core.reg(isa::lr),
+      core.pc(),          core.pack_psr()};
+  for (int k = 7; k >= 0; --k) {
+    if (!core.push_word(saved[static_cast<unsigned>(k)])) {
+      return;  // stacking fault (stack overflow onto bad memory)
+    }
+  }
+  core.clear_it_state();
+  active_.push_back(line);
+  ++stats_.entries;
+  if (active_.size() > 1) {
+    ++stats_.preemptions;
+  }
+  jump_to_vector(core, line);
+}
+
+void Ivc::poll(Core& core) {
+  const int line = select(core);
+  if (line >= 0) {
+    stack_and_enter(core, static_cast<unsigned>(line));
+  }
+}
+
+bool Ivc::exception_return(Core& core, std::uint32_t target) {
+  if (active_.empty()) {
+    return false;
+  }
+  const std::uint32_t expected =
+      kExcReturnBase + static_cast<std::uint32_t>(active_.size() - 1);
+  if (target != expected) {
+    return false;
+  }
+  const unsigned finished = active_.back();
+  (void)finished;
+  active_.pop_back();
+
+  // Tail-chaining: if another interrupt is due, skip the unstack/restack
+  // pair entirely (Figure 4's back-to-back case).
+  const int next = select(core);
+  if (next >= 0) {
+    active_.push_back(static_cast<unsigned>(next));
+    ++stats_.entries;
+    ++stats_.tail_chains;
+    core.add_cycles(core.config().timings.tail_chain_cycles);
+    core.clear_it_state();
+    jump_to_vector(core, static_cast<unsigned>(next));
+    return true;
+  }
+
+  // Full return: unstack the 8-word frame.
+  std::uint32_t frame[8];
+  for (auto& w : frame) {
+    if (!core.pop_word(&w)) {
+      return true;  // unstack fault recorded by core
+    }
+  }
+  core.set_reg(isa::r0, frame[0]);
+  core.set_reg(isa::r1, frame[1]);
+  core.set_reg(isa::r2, frame[2]);
+  core.set_reg(isa::r3, frame[3]);
+  core.set_reg(isa::r12, frame[4]);
+  core.set_reg(isa::lr, frame[5]);
+  core.set_reg(isa::pc, frame[6]);
+  core.restore_psr(frame[7]);
+  core.add_cycles(core.config().timings.exception_return_base);
+  ++stats_.returns;
+  return true;
+}
+
+void Ivc::reset_stats() {
+  stats_ = Stats{};
+  for (Line& l : lines_) {
+    l.latencies.clear();
+  }
+}
+
+void Ivc::reset() {
+  active_.clear();
+  for (Line& l : lines_) {
+    l.pending = false;
+  }
+}
+
+}  // namespace aces::cpu

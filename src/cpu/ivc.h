@@ -1,0 +1,89 @@
+// Ivc: the §3.2.1 microcontroller interrupt scheme (Figure 4).
+//
+// Prioritized interrupt lines with:
+//   - hardware stacking: the caller-saved context (r0-r3, r12, lr, return
+//     pc, psr — 8 words) is pushed by hardware, so handlers are plain
+//     compiled functions with no assembly stubs;
+//   - vector fetch from a table in memory, performed during the stacking
+//     sequence (the paper's "fetch vectors ... while simultaneously writing
+//     important system variables");
+//   - tail-chaining: when a handler returns with another interrupt pending,
+//     the context is NOT unstacked and re-stacked — the core jumps to the
+//     next vector after a short internal sequence;
+//   - nested preemption by priority, plus an optional non-maskable line.
+#ifndef ACES_CPU_IVC_H
+#define ACES_CPU_IVC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/core.h"
+#include "cpu/intc.h"
+
+namespace aces::cpu {
+
+class Ivc final : public InterruptController {
+ public:
+  struct Config {
+    std::uint32_t vector_table = 0;  // word per line: handler address
+    unsigned lines = 16;
+    int nmi_line = -1;  // this line ignores masking (and outranks all)
+  };
+
+  explicit Ivc(Config config);
+
+  // ----- line configuration -----
+  void enable_line(unsigned line, std::uint8_t priority);
+  void disable_line(unsigned line);
+
+  // ----- InterruptController -----
+  void raise(unsigned line, std::uint64_t now) override;
+  void clear(unsigned line) override;
+  [[nodiscard]] bool would_preempt(const Core& core) const override;
+  void poll(Core& core) override;
+  bool exception_return(Core& core, std::uint32_t target) override;
+
+  // ----- experiment probes -----
+  [[nodiscard]] const std::vector<std::uint64_t>& latencies(
+      unsigned line) const {
+    return lines_[line].latencies;
+  }
+  struct Stats {
+    std::uint64_t entries = 0;
+    std::uint64_t tail_chains = 0;
+    std::uint64_t preemptions = 0;  // nested entries
+    std::uint64_t returns = 0;      // full unstack returns
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats();
+  // Clears pending/active interrupt state (system reset); statistics and
+  // line configuration are preserved.
+  void reset();
+  [[nodiscard]] unsigned active_depth() const {
+    return static_cast<unsigned>(active_.size());
+  }
+
+ private:
+  struct Line {
+    bool enabled = false;
+    bool pending = false;
+    std::uint8_t priority = 255;
+    std::uint64_t raised_at = 0;
+    std::vector<std::uint64_t> latencies;
+  };
+
+  // Best runnable pending line given the current active priority, or -1.
+  [[nodiscard]] int select(const Core& core) const;
+  [[nodiscard]] int active_priority() const;
+  void stack_and_enter(Core& core, unsigned line);
+  void jump_to_vector(Core& core, unsigned line);
+
+  Config config_;
+  std::vector<Line> lines_;
+  std::vector<unsigned> active_;  // stack of active line numbers
+  Stats stats_;
+};
+
+}  // namespace aces::cpu
+
+#endif  // ACES_CPU_IVC_H

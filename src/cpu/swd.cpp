@@ -1,0 +1,252 @@
+#include "cpu/swd.h"
+
+namespace aces::cpu {
+
+namespace {
+
+constexpr unsigned kOpBits = 4;
+constexpr unsigned kWordBits = 32;
+
+// Even parity over a bit vector range.
+[[nodiscard]] bool parity_of(const std::vector<bool>& bits, std::size_t from,
+                             std::size_t to) {
+  bool p = false;
+  for (std::size_t k = from; k < to; ++k) {
+    p ^= bits[k];
+  }
+  return p;
+}
+
+[[nodiscard]] std::uint32_t word_of(const std::vector<bool>& bits,
+                                    std::size_t from) {
+  std::uint32_t v = 0;
+  for (unsigned k = 0; k < kWordBits; ++k) {
+    v |= static_cast<std::uint32_t>(bits[from + k] ? 1u : 0u) << k;
+  }
+  return v;
+}
+
+void append_word(std::vector<bool>& bits, std::uint32_t v) {
+  for (unsigned k = 0; k < kWordBits; ++k) {
+    bits.push_back(((v >> k) & 1u) != 0);
+  }
+}
+
+}  // namespace
+
+void SingleWireDebug::shift_in(bool bit) {
+  ++bit_count_;
+  if (!in_frame_) {
+    if (bit) {  // START bit
+      in_frame_ = true;
+      in_bits_.clear();
+    }
+    return;
+  }
+  in_bits_.push_back(bit);
+
+  if (in_bits_.size() < kOpBits + kWordBits + 1) {
+    return;
+  }
+  // Do we have a complete frame? Depends on the op (writes carry data).
+  std::uint8_t op = 0;
+  for (unsigned k = 0; k < kOpBits; ++k) {
+    op |= static_cast<std::uint8_t>((in_bits_[k] ? 1u : 0u) << k);
+  }
+  const bool has_data = op == static_cast<std::uint8_t>(SwdOp::write_mem) ||
+                        op == static_cast<std::uint8_t>(SwdOp::write_reg);
+  const std::size_t payload =
+      kOpBits + kWordBits + (has_data ? kWordBits : 0);
+  if (in_bits_.size() < payload + 1) {
+    return;
+  }
+  execute_command();
+  in_frame_ = false;
+}
+
+bool SingleWireDebug::shift_out() {
+  ++bit_count_;
+  if (out_pos_ >= out_bits_.size()) {
+    out_bits_.clear();
+    out_pos_ = 0;
+    return false;  // idle line
+  }
+  return out_bits_[out_pos_++];
+}
+
+void SingleWireDebug::respond_ok(std::optional<std::uint32_t> data) {
+  out_bits_.clear();
+  out_pos_ = 0;
+  out_bits_.push_back(true);  // OK
+  if (data) {
+    append_word(out_bits_, *data);
+  }
+  out_bits_.push_back(parity_of(out_bits_, 1, out_bits_.size()));
+}
+
+void SingleWireDebug::respond_error() {
+  out_bits_.clear();
+  out_pos_ = 0;
+  out_bits_.push_back(false);  // error/NAK
+  out_bits_.push_back(false);
+}
+
+void SingleWireDebug::execute_command() {
+  std::uint8_t opbits = 0;
+  for (unsigned k = 0; k < kOpBits; ++k) {
+    opbits |= static_cast<std::uint8_t>((in_bits_[k] ? 1u : 0u) << k);
+  }
+  const auto op = static_cast<SwdOp>(opbits);
+  const std::uint32_t addr = word_of(in_bits_, kOpBits);
+  const bool has_data = op == SwdOp::write_mem || op == SwdOp::write_reg;
+  const std::uint32_t data =
+      has_data ? word_of(in_bits_, kOpBits + kWordBits) : 0;
+  const std::size_t payload = kOpBits + kWordBits + (has_data ? kWordBits : 0);
+  const bool parity = in_bits_[payload];
+  if (parity != parity_of(in_bits_, 0, payload)) {
+    respond_error();
+    return;
+  }
+
+  switch (op) {
+    case SwdOp::read_mem: {
+      const mem::MemResult r = bus_.read(addr, 4, mem::Access::read, 0);
+      if (!r.ok()) {
+        respond_error();
+        return;
+      }
+      respond_ok(r.value);
+      return;
+    }
+    case SwdOp::write_mem: {
+      // Debug writes use the program() backdoor so calibration data can be
+      // dropped even into flash ("dynamic download ... during the
+      // calibration phase").
+      std::uint32_t off = 0;
+      mem::Device* dev = bus_.device_at(addr, &off);
+      if (dev == nullptr) {
+        respond_error();
+        return;
+      }
+      for (unsigned k = 0; k < 4; ++k) {
+        if (!dev->program(off + k, static_cast<std::uint8_t>(data >> (8 * k)))) {
+          respond_error();
+          return;
+        }
+      }
+      respond_ok(std::nullopt);
+      return;
+    }
+    case SwdOp::read_reg:
+      if (addr < 16) {
+        respond_ok(core_.reg(static_cast<isa::Reg>(addr)));
+      } else if (addr == 16) {
+        respond_ok(core_.pack_psr());
+      } else {
+        respond_error();
+      }
+      return;
+    case SwdOp::write_reg:
+      if (addr < 16) {
+        core_.set_reg(static_cast<isa::Reg>(addr), data);
+        respond_ok(std::nullopt);
+      } else {
+        respond_error();
+      }
+      return;
+    case SwdOp::halt:
+      debug_halt_ = true;
+      respond_ok(std::nullopt);
+      return;
+    case SwdOp::resume:
+      debug_halt_ = false;
+      core_.clear_wait();
+      respond_ok(std::nullopt);
+      return;
+  }
+  respond_error();
+}
+
+// ----- host ------------------------------------------------------------------
+
+std::optional<std::vector<bool>> SwdHost::transact(
+    SwdOp op, std::uint32_t addr, std::optional<std::uint32_t> data,
+    unsigned response_payload_bits) {
+  std::vector<bool> frame;
+  for (unsigned k = 0; k < 4; ++k) {
+    frame.push_back(((static_cast<unsigned>(op) >> k) & 1u) != 0);
+  }
+  append_word(frame, addr);
+  if (data) {
+    append_word(frame, *data);
+  }
+  frame.push_back(parity_of(frame, 0, frame.size()));
+
+  port_.shift_in(true);  // START
+  for (const bool b : frame) {
+    port_.shift_in(b);
+  }
+
+  // Clock out: OK bit + payload + parity.
+  std::vector<bool> resp;
+  const bool ok = port_.shift_out();
+  if (!ok) {
+    (void)port_.shift_out();  // drain NAK filler
+    return std::nullopt;
+  }
+  for (unsigned k = 0; k < response_payload_bits + 1; ++k) {
+    resp.push_back(port_.shift_out());
+  }
+  // Verify response parity.
+  bool p = false;
+  for (unsigned k = 0; k < response_payload_bits; ++k) {
+    p ^= resp[k];
+  }
+  if (p != resp[response_payload_bits]) {
+    return std::nullopt;
+  }
+  resp.resize(response_payload_bits);
+  return resp;
+}
+
+std::optional<std::uint32_t> SwdHost::read_mem(std::uint32_t addr) {
+  const auto bits = transact(SwdOp::read_mem, addr, std::nullopt, 32);
+  if (!bits) {
+    return std::nullopt;
+  }
+  std::uint32_t v = 0;
+  for (unsigned k = 0; k < 32; ++k) {
+    v |= static_cast<std::uint32_t>((*bits)[k] ? 1u : 0u) << k;
+  }
+  return v;
+}
+
+bool SwdHost::write_mem(std::uint32_t addr, std::uint32_t value) {
+  return transact(SwdOp::write_mem, addr, value, 0).has_value();
+}
+
+std::optional<std::uint32_t> SwdHost::read_reg(unsigned reg) {
+  const auto bits = transact(SwdOp::read_reg, reg, std::nullopt, 32);
+  if (!bits) {
+    return std::nullopt;
+  }
+  std::uint32_t v = 0;
+  for (unsigned k = 0; k < 32; ++k) {
+    v |= static_cast<std::uint32_t>((*bits)[k] ? 1u : 0u) << k;
+  }
+  return v;
+}
+
+bool SwdHost::write_reg(unsigned reg, std::uint32_t value) {
+  return transact(SwdOp::write_reg, reg, value, 0).has_value();
+}
+
+bool SwdHost::halt() {
+  return transact(SwdOp::halt, 0, std::nullopt, 0).has_value();
+}
+
+bool SwdHost::resume() {
+  return transact(SwdOp::resume, 0, std::nullopt, 0).has_value();
+}
+
+}  // namespace aces::cpu

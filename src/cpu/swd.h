@@ -1,0 +1,89 @@
+// Single-wire debug port (§3.2.2).
+//
+// Low-pin-count packages cannot afford the 5-pin JTAG interface, so the
+// microcontroller exposes its debug access port over one wire: commands and
+// data are shifted in bit-serially, responses are shifted back out. The
+// model implements a small command set sufficient for bring-up/calibration
+// work the paper describes (reading/writing memory and registers, halting,
+// single-stepping, and on-the-fly parameter download into RAM):
+//
+//   frame in:  START(1) | OP(4) | ADDR(32) | [DATA(32) for writes] | PAR(1)
+//   frame out: OK(1) | DATA(32 for reads) | PAR(1)
+//
+// Parity is even over all payload bits; a parity mismatch aborts the
+// command. The host-side convenience wrapper (SwdHost) drives the wire for
+// tests, examples and the calibration demo.
+#ifndef ACES_CPU_SWD_H
+#define ACES_CPU_SWD_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cpu/core.h"
+#include "mem/bus.h"
+
+namespace aces::cpu {
+
+enum class SwdOp : std::uint8_t {
+  read_mem = 0x1,
+  write_mem = 0x2,
+  read_reg = 0x3,   // addr = register number 0..15 (16 = psr)
+  write_reg = 0x4,
+  halt = 0x5,
+  resume = 0x6,
+};
+
+class SingleWireDebug {
+ public:
+  SingleWireDebug(Core& core, mem::Bus& bus) : core_(core), bus_(bus) {}
+
+  // Target side: one bit arrives on the wire.
+  void shift_in(bool bit);
+  // Target side: host clocks a response bit out. Returns false (idle) when
+  // no response is pending.
+  [[nodiscard]] bool shift_out();
+
+  [[nodiscard]] bool response_pending() const { return !out_bits_.empty(); }
+  [[nodiscard]] std::uint64_t bits_transferred() const { return bit_count_; }
+  [[nodiscard]] bool halted_by_debugger() const { return debug_halt_; }
+  [[nodiscard]] bool debug_halt_requested() const { return debug_halt_; }
+
+ private:
+  void execute_command();
+  void respond_ok(std::optional<std::uint32_t> data);
+  void respond_error();
+
+  Core& core_;
+  mem::Bus& bus_;
+  std::vector<bool> in_bits_;
+  std::vector<bool> out_bits_;
+  std::size_t out_pos_ = 0;
+  bool in_frame_ = false;
+  std::uint64_t bit_count_ = 0;
+  bool debug_halt_ = false;
+};
+
+// Host-side driver: formats frames and clocks the wire.
+class SwdHost {
+ public:
+  explicit SwdHost(SingleWireDebug& port) : port_(port) {}
+
+  [[nodiscard]] std::optional<std::uint32_t> read_mem(std::uint32_t addr);
+  [[nodiscard]] bool write_mem(std::uint32_t addr, std::uint32_t value);
+  [[nodiscard]] std::optional<std::uint32_t> read_reg(unsigned reg);
+  [[nodiscard]] bool write_reg(unsigned reg, std::uint32_t value);
+  [[nodiscard]] bool halt();
+  [[nodiscard]] bool resume();
+
+ private:
+  [[nodiscard]] std::optional<std::vector<bool>> transact(
+      SwdOp op, std::uint32_t addr, std::optional<std::uint32_t> data,
+      unsigned response_payload_bits);
+
+  SingleWireDebug& port_;
+};
+
+}  // namespace aces::cpu
+
+#endif  // ACES_CPU_SWD_H

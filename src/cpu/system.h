@@ -1,0 +1,129 @@
+// Canonical single-ECU system wiring.
+//
+// Address map (loosely mirroring common automotive MCU layouts):
+//   0x0000'0000  flash          (code + literal pools + vector tables)
+//   0x1000'0000  TCM            (optional)
+//   0x2000'0000  SRAM           (data + stacks)
+//   0x2200'0000  bit-band alias (optional, over the first SRAM bytes)
+//
+// Tests, benches and examples assemble a program, wire a System with the
+// profile under study (legacy W32/N16 core, cached HP core, modern B32
+// MCU), load the image and run. The instruction port can be direct flash
+// (fetch-bound, §2.2 regime) or an I-cache in front of it (§3.1 regime).
+#ifndef ACES_CPU_SYSTEM_H
+#define ACES_CPU_SYSTEM_H
+
+#include <optional>
+
+#include "cpu/core.h"
+#include "isa/assembler.h"
+#include "mem/bitband.h"
+#include "mem/bus.h"
+#include "mem/cache.h"
+#include "mem/flash.h"
+#include "mem/sram.h"
+#include "mem/tcm.h"
+
+namespace aces::cpu {
+
+inline constexpr std::uint32_t kFlashBase = 0x0000'0000u;
+inline constexpr std::uint32_t kTcmBase = 0x1000'0000u;
+inline constexpr std::uint32_t kSramBase = 0x2000'0000u;
+inline constexpr std::uint32_t kBitBandBase = 0x2200'0000u;
+
+struct SystemConfig {
+  CoreConfig core;
+  mem::FlashConfig flash;
+  std::uint32_t sram_bytes = 64 * 1024;
+  std::optional<mem::TcmConfig> tcm;
+  std::optional<mem::CacheConfig> icache;  // over the flash window
+  std::optional<mem::CacheConfig> dcache;  // over flash+sram
+  std::uint32_t bitband_bytes = 0;         // alias over SRAM start (0 = off)
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config)
+      : flash_(config.flash),
+        sram_("sram", config.sram_bytes),
+        iport_direct_(bus_),
+        dport_direct_(bus_) {
+    bus_.attach(kFlashBase, flash_);
+    bus_.attach(kSramBase, sram_);
+    if (config.tcm) {
+      tcm_.emplace(*config.tcm);
+      bus_.attach(kTcmBase, *tcm_);
+    }
+    if (config.bitband_bytes != 0) {
+      bitband_.emplace(sram_, config.bitband_bytes);
+      bus_.attach(kBitBandBase, *bitband_);
+    }
+    if (config.icache) {
+      mem::CacheConfig c = *config.icache;
+      c.cacheable_base = kFlashBase;
+      c.cacheable_limit = kFlashBase + config.flash.size_bytes;
+      icache_.emplace(c, bus_);
+    }
+    if (config.dcache) {
+      mem::CacheConfig c = *config.dcache;
+      dcache_.emplace(c, bus_);
+    }
+    core_.emplace(config.core,
+                  icache_ ? static_cast<mem::MemPort&>(*icache_)
+                          : static_cast<mem::MemPort&>(iport_direct_),
+                  dcache_ ? static_cast<mem::MemPort&>(*dcache_)
+                          : static_cast<mem::MemPort&>(dport_direct_));
+  }
+
+  // Loads an assembled image (usually into flash).
+  void load(const isa::Image& image) {
+    ACES_CHECK_MSG(
+        bus_.load_image(image.base, image.bytes.data(), image.size()),
+        "image does not fit the memory map");
+  }
+
+  // Convenience: reset to `entry` with the stack at the top of SRAM, pass
+  // up to four arguments, run, and return r0.
+  std::uint32_t call(std::uint32_t entry,
+                     std::initializer_list<std::uint32_t> args = {},
+                     std::uint64_t max_insns = 10'000'000) {
+    core_->reset(entry, initial_sp());
+    unsigned k = 0;
+    for (const std::uint32_t a : args) {
+      core_->set_reg(static_cast<isa::Reg>(k++), a);
+    }
+    const HaltReason r = core_->run(max_insns);
+    ACES_CHECK_MSG(r == HaltReason::exited,
+                   "program did not exit cleanly (halt reason " +
+                       std::to_string(static_cast<int>(r)) + ")");
+    return core_->reg(isa::r0);
+  }
+
+  [[nodiscard]] std::uint32_t initial_sp() const {
+    return kSramBase + sram_.size_bytes();
+  }
+
+  [[nodiscard]] Core& core() { return *core_; }
+  [[nodiscard]] mem::Bus& bus() { return bus_; }
+  [[nodiscard]] mem::Flash& flash() { return flash_; }
+  [[nodiscard]] mem::Sram& sram() { return sram_; }
+  [[nodiscard]] mem::Tcm* tcm() { return tcm_ ? &*tcm_ : nullptr; }
+  [[nodiscard]] mem::Cache* icache() { return icache_ ? &*icache_ : nullptr; }
+  [[nodiscard]] mem::Cache* dcache() { return dcache_ ? &*dcache_ : nullptr; }
+
+ private:
+  mem::Bus bus_;
+  mem::Flash flash_;
+  mem::Sram sram_;
+  std::optional<mem::Tcm> tcm_;
+  std::optional<mem::BitBandAlias> bitband_;
+  mem::DirectPort iport_direct_;
+  mem::DirectPort dport_direct_;
+  std::optional<mem::Cache> icache_;
+  std::optional<mem::Cache> dcache_;
+  std::optional<Core> core_;
+};
+
+}  // namespace aces::cpu
+
+#endif  // ACES_CPU_SYSTEM_H

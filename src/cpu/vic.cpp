@@ -1,0 +1,84 @@
+#include "cpu/vic.h"
+
+#include "support/check.h"
+
+namespace aces::cpu {
+
+void ClassicVic::raise(unsigned line, std::uint64_t now) {
+  ACES_CHECK(line <= kFiq);
+  if (!pending_[line]) {
+    pending_[line] = true;
+    raised_at_[line] = now;
+  }
+}
+
+void ClassicVic::clear(unsigned line) {
+  ACES_CHECK(line <= kFiq);
+  pending_[line] = false;
+}
+
+bool ClassicVic::would_preempt(const Core& core) const {
+  const bool in_fiq = !active_.empty() && active_.back().line == kFiq;
+  if (pending_[kFiq] && !in_fiq &&
+      (config_.fiq_is_nmi || (fiq_enabled_ && core.interrupts_enabled()))) {
+    return true;
+  }
+  if (pending_[kIrq] && active_.empty() && core.interrupts_enabled()) {
+    return true;
+  }
+  return false;
+}
+
+void ClassicVic::enter(Core& core, unsigned line) {
+  Saved s;
+  s.return_pc = core.pc();
+  s.psr = core.pack_psr();
+  s.saved_lr = core.reg(isa::lr);
+  s.line = line;
+  active_.push_back(s);
+
+  pending_[line] = false;
+  core.clear_it_state();
+  core.set_privileged(true);
+  core.set_interrupts_enabled(false);  // I (and effectively F) set on entry
+  core.set_reg(isa::lr, kExcReturnBase +
+                            static_cast<std::uint32_t>(active_.size() - 1));
+  core.set_reg(isa::pc,
+               line == kFiq ? config_.fiq_handler : config_.irq_handler);
+  const CoreTimings& t = core.config().timings;
+  core.add_cycles(t.exception_entry_base + t.branch_taken_penalty);
+  latency_[line].push_back(core.cycles() - raised_at_[line]);
+}
+
+void ClassicVic::poll(Core& core) {
+  const bool in_fiq = !active_.empty() && active_.back().line == kFiq;
+  if (pending_[kFiq] && !in_fiq &&
+      (config_.fiq_is_nmi || (fiq_enabled_ && core.interrupts_enabled()))) {
+    enter(core, kFiq);
+    return;
+  }
+  if (pending_[kIrq] && active_.empty() && core.interrupts_enabled()) {
+    enter(core, kIrq);
+  }
+}
+
+bool ClassicVic::exception_return(Core& core, std::uint32_t target) {
+  if (active_.empty()) {
+    return false;
+  }
+  const std::uint32_t expected =
+      kExcReturnBase + static_cast<std::uint32_t>(active_.size() - 1);
+  if (target != expected) {
+    return false;
+  }
+  const Saved s = active_.back();
+  active_.pop_back();
+  core.set_reg(isa::pc, s.return_pc);
+  core.set_reg(isa::lr, s.saved_lr);
+  core.restore_psr(s.psr);
+  const CoreTimings& t = core.config().timings;
+  core.add_cycles(t.exception_return_base + t.branch_taken_penalty);
+  return true;
+}
+
+}  // namespace aces::cpu

@@ -1,0 +1,81 @@
+// ClassicVic: the §3.1 high-performance processor's interrupt scheme.
+//
+// Two request lines — IRQ and FIQ — with no hardware context saving: the
+// core banks only the return address and status; the handler's own prologue
+// (push {..}) and epilogue (pop {..}) are the software preamble/postamble
+// whose cost Figure 4 contrasts with hardware stacking. FIQ preempts IRQ;
+// optionally FIQ is non-maskable (the §3.1.2 NMI enhancement, so a watchdog
+// can always be serviced even inside interrupt-locked critical sections).
+#ifndef ACES_CPU_VIC_H
+#define ACES_CPU_VIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/core.h"
+#include "cpu/intc.h"
+
+namespace aces::cpu {
+
+class ClassicVic final : public InterruptController {
+ public:
+  static constexpr unsigned kIrq = 0;
+  static constexpr unsigned kFiq = 1;
+
+  struct Config {
+    std::uint32_t irq_handler = 0;
+    std::uint32_t fiq_handler = 0;
+    bool fiq_is_nmi = false;  // §3.1.2: FIQ ignores all masking
+  };
+
+  explicit ClassicVic(Config config) : config_(config) {}
+
+  void raise(unsigned line, std::uint64_t now) override;
+  void clear(unsigned line) override;
+  [[nodiscard]] bool would_preempt(const Core& core) const override;
+  void poll(Core& core) override;
+  bool exception_return(Core& core, std::uint32_t target) override;
+
+  void set_fiq_enabled(bool e) { fiq_enabled_ = e; }
+
+  // Entry latency samples (cycles from raise to first handler instruction),
+  // per line, in arrival order.
+  [[nodiscard]] const std::vector<std::uint64_t>& latencies(
+      unsigned line) const {
+    return latency_[line];
+  }
+  void reset_stats() {
+    latency_[0].clear();
+    latency_[1].clear();
+  }
+  // Clears pending/active interrupt state (system reset).
+  void reset() {
+    active_.clear();
+    pending_[0] = false;
+    pending_[1] = false;
+  }
+  [[nodiscard]] unsigned active_depth() const {
+    return static_cast<unsigned>(active_.size());
+  }
+
+ private:
+  struct Saved {
+    std::uint32_t return_pc = 0;
+    std::uint32_t psr = 0;
+    std::uint32_t saved_lr = 0;
+    unsigned line = 0;
+  };
+
+  void enter(Core& core, unsigned line);
+
+  Config config_;
+  bool fiq_enabled_ = true;
+  bool pending_[2] = {false, false};
+  std::uint64_t raised_at_[2] = {0, 0};
+  std::vector<Saved> active_;
+  std::vector<std::uint64_t> latency_[2];
+};
+
+}  // namespace aces::cpu
+
+#endif  // ACES_CPU_VIC_H

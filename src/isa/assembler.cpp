@@ -1,0 +1,511 @@
+#include "isa/assembler.h"
+
+#include <algorithm>
+
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace aces::isa {
+
+using support::align_up;
+
+namespace {
+
+[[nodiscard]] bool is_branch_op(Op op) {
+  return op == Op::b || op == Op::bl || op == Op::cbz || op == Op::cbnz;
+}
+
+// Worst-case byte size of a branch while its displacement is still unknown
+// (first relaxation iterations); the final encode pass validates ranges.
+[[nodiscard]] int worst_branch_size(Encoding enc, const Instruction& insn) {
+  switch (enc) {
+    case Encoding::w32:
+      return 4;
+    case Encoding::n16:
+      // A conditional branch may expand to inverted-branch-over-branch.
+      return (insn.op == Op::b && insn.cond != Cond::al) ? 4 : 4;
+    case Encoding::b32:
+      // cbz/cbnz may expand to cmp #0 + b<cc> (2 + 4).
+      return (insn.op == Op::cbz || insn.op == Op::cbnz) ? 6 : 4;
+  }
+  return 4;
+}
+
+}  // namespace
+
+Assembler::Assembler(Encoding enc, std::uint32_t text_base)
+    : codec_(codec_for(enc)), encoding_(enc), base_(text_base) {
+  ACES_CHECK_MSG(text_base % 4 == 0, "text base must be word aligned");
+  pool_values_.emplace_back();
+}
+
+Label Assembler::new_label() {
+  const auto l = static_cast<Label>(label_addr_.size());
+  label_addr_.push_back(0);
+  label_bound_.push_back(false);
+  return l;
+}
+
+void Assembler::bind(Label l) {
+  ACES_CHECK(l >= 0 && static_cast<std::size_t>(l) < label_addr_.size());
+  ACES_CHECK_MSG(!label_bound_[static_cast<std::size_t>(l)],
+                 "label bound twice");
+  label_bound_[static_cast<std::size_t>(l)] = true;
+  Item item;
+  item.kind = Kind::bind;
+  item.label = l;
+  items_.push_back(std::move(item));
+}
+
+Label Assembler::bound_label() {
+  const Label l = new_label();
+  bind(l);
+  return l;
+}
+
+void Assembler::ins(const Instruction& insn) {
+  ACES_CHECK_MSG(!is_branch_op(insn.op),
+                 "use branch() for label-targeting instructions");
+  ACES_CHECK_MSG(insn.addr != AddrMode::pc_rel,
+                 "use load_literal() for pc-relative loads");
+  Item item;
+  item.kind = Kind::insn;
+  item.insn = insn;
+  items_.push_back(std::move(item));
+}
+
+void Assembler::branch(const Instruction& insn, Label target) {
+  ACES_CHECK(is_branch_op(insn.op));
+  ACES_CHECK(target >= 0 &&
+             static_cast<std::size_t>(target) < label_addr_.size());
+  Item item;
+  item.kind = Kind::branch;
+  item.insn = insn;
+  item.label = target;
+  items_.push_back(std::move(item));
+}
+
+void Assembler::b(Label target, Cond cond) {
+  Instruction i;
+  i.op = Op::b;
+  i.cond = cond;
+  branch(i, target);
+}
+
+void Assembler::bl(Label target) {
+  Instruction i;
+  i.op = Op::bl;
+  branch(i, target);
+}
+
+void Assembler::load_literal(Reg rd, std::uint32_t value) {
+  Item item;
+  item.kind = Kind::lit_load;
+  item.insn.op = Op::ldr;
+  item.insn.rd = rd;
+  item.insn.addr = AddrMode::pc_rel;
+  item.value = value;
+  item.pool_index = open_pool_;
+  items_.push_back(std::move(item));
+  ++pending_lits_;
+}
+
+void Assembler::adr(Reg rd, Label target) {
+  Item item;
+  item.kind = Kind::adr_label;
+  item.insn.op = Op::adr;
+  item.insn.rd = rd;
+  item.label = target;
+  items_.push_back(std::move(item));
+}
+
+void Assembler::pool() {
+  Item item;
+  item.kind = Kind::pool;
+  item.pool_index = open_pool_;
+  items_.push_back(std::move(item));
+  ++open_pool_;
+  pool_values_.emplace_back();
+  pending_lits_ = 0;
+}
+
+void Assembler::pool_island() {
+  if (pending_lits_ == 0) {
+    return;
+  }
+  const Label skip = new_label();
+  b(skip);
+  pool();
+  bind(skip);
+}
+
+void Assembler::jump_table(Label tbb_site, std::vector<Label> targets) {
+  ACES_CHECK_MSG(!targets.empty(), "empty jump table");
+  Item item;
+  item.kind = Kind::jump_table;
+  item.label = tbb_site;
+  item.targets = std::move(targets);
+  items_.push_back(std::move(item));
+}
+
+void Assembler::align(std::uint32_t n) {
+  ACES_CHECK(support::is_power_of_two(n));
+  Item item;
+  item.kind = Kind::align;
+  item.value = n;
+  items_.push_back(std::move(item));
+}
+
+void Assembler::word(std::uint32_t w) {
+  Item item;
+  item.kind = Kind::data;
+  item.data = {static_cast<std::uint8_t>(w), static_cast<std::uint8_t>(w >> 8),
+               static_cast<std::uint8_t>(w >> 16),
+               static_cast<std::uint8_t>(w >> 24)};
+  items_.push_back(std::move(item));
+}
+
+void Assembler::half(std::uint16_t h) {
+  Item item;
+  item.kind = Kind::data;
+  item.data = {static_cast<std::uint8_t>(h),
+               static_cast<std::uint8_t>(h >> 8)};
+  items_.push_back(std::move(item));
+}
+
+void Assembler::raw(std::span<const std::uint8_t> data) {
+  Item item;
+  item.kind = Kind::data;
+  item.data.assign(data.begin(), data.end());
+  items_.push_back(std::move(item));
+}
+
+void Assembler::finalize_pools() {
+  // Assign each literal a deduplicated slot in its pool.
+  for (Item& item : items_) {
+    if (item.kind != Kind::lit_load) {
+      continue;
+    }
+    auto& values = pool_values_[static_cast<std::size_t>(item.pool_index)];
+    const auto it = std::find(values.begin(), values.end(), item.value);
+    if (it == values.end()) {
+      item.slot = static_cast<int>(values.size());
+      values.push_back(item.value);
+    } else {
+      item.slot = static_cast<int>(it - values.begin());
+    }
+  }
+  pool_addr_.assign(pool_values_.size(), 0);
+}
+
+std::int64_t Assembler::branch_disp(const Item& item) const {
+  return static_cast<std::int64_t>(
+             label_addr_[static_cast<std::size_t>(item.label)]) -
+         static_cast<std::int64_t>(item.addr);
+}
+
+bool Assembler::compute_layout() {
+  bool changed = false;
+  std::uint32_t addr = base_;
+  for (Item& item : items_) {
+    item.addr = addr;
+    int size = item.size;
+    switch (item.kind) {
+      case Kind::bind:
+        if (label_addr_[static_cast<std::size_t>(item.label)] != addr) {
+          label_addr_[static_cast<std::size_t>(item.label)] = addr;
+          changed = true;
+        }
+        size = 0;
+        break;
+
+      case Kind::insn: {
+        const int s = codec_.size_for(item.insn, 0);
+        ACES_CHECK_MSG(s != 0,
+                       std::string("instruction not encodable in ") +
+                           std::string(encoding_name(encoding_)) + ": " +
+                           std::string(op_name(item.insn.op)));
+        size = s;
+        break;
+      }
+
+      case Kind::branch: {
+        if (first_pass_) {
+          // Label addresses are unknown until one full layout pass has run;
+          // seed every branch with its smallest form and let the grow-only
+          // iterations correct it.
+          size = encoding_ == Encoding::w32 ? 4
+                 : item.insn.op == Op::bl   ? 4
+                                            : 2;
+          break;
+        }
+        const std::int64_t disp = branch_disp(item);
+        const bool expandable = item.insn.op == Op::cbz ||
+                                item.insn.op == Op::cbnz ||
+                                (item.insn.op == Op::b &&
+                                 item.insn.cond != Cond::al);
+        if (!item.expanded) {
+          const int native = codec_.size_for(item.insn, disp);
+          if (native != 0) {
+            size = std::max(item.size, native);
+            break;
+          }
+          if (!expandable) {
+            // b/bl out of range: keep the worst native size; the encode
+            // pass throws if the displacement never comes back into range.
+            size = std::max(item.size, worst_branch_size(encoding_, item.insn));
+            break;
+          }
+          item.expanded = true;
+        }
+        // Expanded form sizing.
+        int expanded_size = 0;
+        if (item.insn.op == Op::cbz || item.insn.op == Op::cbnz) {
+          const Instruction cmp0 = ins_cmp_imm(item.insn.rn, 0);
+          const int c = codec_.size_for(cmp0, 0);
+          Instruction bc;
+          bc.op = Op::b;
+          bc.cond = item.insn.op == Op::cbz ? Cond::eq : Cond::ne;
+          const int bsz = codec_.size_for(bc, disp - c);
+          if (c != 0 && bsz != 0) {
+            expanded_size = c + bsz;
+          }
+        } else {
+          Instruction ball;
+          ball.op = Op::b;
+          const int skip_size = encoding_ == Encoding::w32 ? 4 : 2;
+          const int inner = codec_.size_for(ball, disp - skip_size);
+          if (inner != 0) {
+            expanded_size = skip_size + inner;
+          }
+        }
+        size = std::max(item.size,
+                        expanded_size != 0
+                            ? expanded_size
+                            : worst_branch_size(encoding_, item.insn));
+        break;
+      }
+
+      case Kind::lit_load: {
+        const std::uint32_t slot_addr =
+            pool_addr_[static_cast<std::size_t>(item.pool_index)] +
+            4u * static_cast<std::uint32_t>(item.slot);
+        const std::int64_t disp =
+            static_cast<std::int64_t>(slot_addr) -
+            static_cast<std::int64_t>(support::align_down(addr + 4, 4));
+        const int s = codec_.size_for(item.insn, std::max<std::int64_t>(disp, 0));
+        size = std::max(item.size, s != 0 ? s : (encoding_ == Encoding::w32 ? 4 : 2));
+        break;
+      }
+
+      case Kind::adr_label: {
+        const std::int64_t disp =
+            static_cast<std::int64_t>(
+                label_addr_[static_cast<std::size_t>(item.label)]) -
+            static_cast<std::int64_t>(support::align_down(addr + 4, 4));
+        const int s = codec_.size_for(item.insn, std::max<std::int64_t>(disp, 0));
+        size = std::max(item.size, s != 0 ? s : (encoding_ == Encoding::w32 ? 4 : 2));
+        break;
+      }
+
+      case Kind::pool: {
+        const auto& values =
+            pool_values_[static_cast<std::size_t>(item.pool_index)];
+        if (values.empty()) {
+          size = 0;
+          break;
+        }
+        const std::uint32_t aligned = static_cast<std::uint32_t>(
+            align_up(addr, 4));
+        pool_addr_[static_cast<std::size_t>(item.pool_index)] = aligned;
+        size = static_cast<int>(aligned - addr) +
+               4 * static_cast<int>(values.size());
+        break;
+      }
+
+      case Kind::jump_table:
+        size = static_cast<int>(align_up(item.targets.size(), 2));
+        break;
+
+      case Kind::align:
+        size = static_cast<int>(align_up(addr, item.value) - addr);
+        break;
+
+      case Kind::data:
+        size = static_cast<int>(item.data.size());
+        break;
+    }
+    if (size != item.size) {
+      item.size = size;
+      changed = true;
+    }
+    addr += static_cast<std::uint32_t>(item.size);
+  }
+  return changed;
+}
+
+void Assembler::encode_branch(const Item& item,
+                              std::vector<std::uint8_t>& out) {
+  const std::int64_t disp = branch_disp(item);
+  if (!item.expanded) {
+    const int native = codec_.size_for(item.insn, disp);
+    ACES_CHECK_MSG(native != 0 && native <= item.size,
+                   "branch out of range after relaxation");
+    // Encode in exactly item.size bytes (the wide form covers a short
+    // displacement when relaxation settled on the wide size).
+    codec_.encode(item.insn, disp, item.size, out);
+    return;
+  }
+  if (item.insn.op == Op::cbz || item.insn.op == Op::cbnz) {
+    const Instruction cmp0 = ins_cmp_imm(item.insn.rn, 0);
+    const int c = codec_.size_for(cmp0, 0);
+    Instruction bc;
+    bc.op = Op::b;
+    bc.cond = item.insn.op == Op::cbz ? Cond::eq : Cond::ne;
+    const int bsz = item.size - c;
+    ACES_CHECK_MSG(codec_.size_for(bc, disp - c) != 0 &&
+                       codec_.size_for(bc, disp - c) <= bsz,
+                   "cbz expansion out of range");
+    codec_.encode(cmp0, 0, c, out);
+    codec_.encode(bc, disp - c, bsz, out);
+    return;
+  }
+  ACES_CHECK(item.insn.op == Op::b && item.insn.cond != Cond::al);
+  Instruction binv;
+  binv.op = Op::b;
+  binv.cond = invert(item.insn.cond);
+  Instruction ball;
+  ball.op = Op::b;
+  const int skip_size = encoding_ == Encoding::w32 ? 4 : 2;
+  const int inner_size = item.size - skip_size;
+  ACES_CHECK_MSG(codec_.size_for(ball, disp - skip_size) != 0 &&
+                     codec_.size_for(ball, disp - skip_size) <= inner_size,
+                 "conditional branch expansion out of range");
+  // The inverted branch skips over the unconditional inner branch.
+  codec_.encode(binv, skip_size + inner_size, skip_size, out);
+  codec_.encode(ball, disp - skip_size, inner_size, out);
+}
+
+void Assembler::encode_all(std::vector<std::uint8_t>& out) {
+  for (const Item& item : items_) {
+    const std::size_t before = out.size();
+    switch (item.kind) {
+      case Kind::bind:
+        break;
+      case Kind::insn:
+        codec_.encode(item.insn, 0, item.size, out);
+        break;
+      case Kind::branch:
+        encode_branch(item, out);
+        break;
+      case Kind::lit_load: {
+        const std::uint32_t slot_addr =
+            pool_addr_[static_cast<std::size_t>(item.pool_index)] +
+            4u * static_cast<std::uint32_t>(item.slot);
+        const std::int64_t disp =
+            static_cast<std::int64_t>(slot_addr) -
+            static_cast<std::int64_t>(support::align_down(item.addr + 4, 4));
+        ACES_CHECK_MSG(disp >= 0, "literal pool precedes its load");
+        ACES_CHECK_MSG(codec_.size_for(item.insn, disp) != 0 &&
+                           codec_.size_for(item.insn, disp) <= item.size,
+                       "literal pool out of range — insert pool() barriers");
+        codec_.encode(item.insn, disp, item.size, out);
+        break;
+      }
+      case Kind::adr_label: {
+        const std::int64_t disp =
+            static_cast<std::int64_t>(
+                label_addr_[static_cast<std::size_t>(item.label)]) -
+            static_cast<std::int64_t>(support::align_down(item.addr + 4, 4));
+        ACES_CHECK_MSG(disp >= 0 && codec_.size_for(item.insn, disp) != 0 &&
+                           codec_.size_for(item.insn, disp) <= item.size,
+                       "adr target out of range");
+        codec_.encode(item.insn, disp, item.size, out);
+        break;
+      }
+      case Kind::pool: {
+        const auto& values =
+            pool_values_[static_cast<std::size_t>(item.pool_index)];
+        if (values.empty()) {
+          break;
+        }
+        const std::uint32_t aligned =
+            pool_addr_[static_cast<std::size_t>(item.pool_index)];
+        for (std::uint32_t a = item.addr; a < aligned; ++a) {
+          out.push_back(0);
+        }
+        for (const std::uint32_t v : values) {
+          out.push_back(static_cast<std::uint8_t>(v));
+          out.push_back(static_cast<std::uint8_t>(v >> 8));
+          out.push_back(static_cast<std::uint8_t>(v >> 16));
+          out.push_back(static_cast<std::uint8_t>(v >> 24));
+        }
+        break;
+      }
+      case Kind::jump_table: {
+        const std::uint32_t site =
+            label_addr_[static_cast<std::size_t>(item.label)];
+        for (const Label t : item.targets) {
+          const std::int64_t delta =
+              static_cast<std::int64_t>(
+                  label_addr_[static_cast<std::size_t>(t)]) -
+              (static_cast<std::int64_t>(site) + 4);
+          ACES_CHECK_MSG(delta >= 0 && delta % 2 == 0 && delta / 2 <= 255,
+                         "tbb table entry out of range");
+          out.push_back(static_cast<std::uint8_t>(delta / 2));
+        }
+        if (item.targets.size() % 2 != 0) {
+          out.push_back(0);
+        }
+        break;
+      }
+      case Kind::align:
+      {
+        for (int k = 0; k < item.size; ++k) {
+          out.push_back(0);
+        }
+        break;
+      }
+      case Kind::data:
+        out.insert(out.end(), item.data.begin(), item.data.end());
+        break;
+    }
+    ACES_CHECK_MSG(out.size() - before == static_cast<std::size_t>(item.size),
+                   "emitted size mismatch for item");
+  }
+}
+
+Image Assembler::assemble() {
+  ACES_CHECK_MSG(!assembled_, "assemble() called twice");
+  assembled_ = true;
+  // Close any open literal pool.
+  if (!items_.empty()) {
+    pool();
+  }
+  for (std::size_t l = 0; l < label_bound_.size(); ++l) {
+    ACES_CHECK_MSG(label_bound_[l], "unbound label " + std::to_string(l));
+  }
+  finalize_pools();
+
+  bool changed = true;
+  int iterations = 0;
+  while (changed) {
+    changed = compute_layout();
+    first_pass_ = false;
+    ACES_CHECK_MSG(++iterations < 64, "assembler relaxation did not converge");
+  }
+
+  Image image;
+  image.encoding = encoding_;
+  image.base = base_;
+  encode_all(image.bytes);
+  return image;
+}
+
+std::uint32_t Assembler::label_address(Label l) const {
+  ACES_CHECK(assembled_);
+  ACES_CHECK(l >= 0 && static_cast<std::size_t>(l) < label_addr_.size());
+  return label_addr_[static_cast<std::size_t>(l)];
+}
+
+}  // namespace aces::isa

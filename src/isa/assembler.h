@@ -1,0 +1,158 @@
+// Structured assembler for UC32 programs.
+//
+// The assembler is encoding-aware: the same instruction stream assembles to
+// different byte sizes under W32 / N16 / B32, which is precisely what the
+// paper's code-density comparison measures. It provides:
+//   - labels and branch fixups with iterative relaxation (a branch starts at
+//     its smallest form and grows until its displacement fits; conditional
+//     branches that exceed every native range are expanded to an inverted
+//     branch over an unconditional one, and cbz/cbnz fall back to
+//     cmp #0 + b<cc>);
+//   - literal pools: load_literal() collects 32-bit constants which are
+//     deduplicated and emitted at the next pool() barrier, with the pc-
+//     relative load patched to the slot (the §2.2 mechanism whose cost the
+//     flash experiments measure);
+//   - tbb jump tables, raw data and alignment directives.
+//
+// Typical use: the KIR lowering drives one Assembler per program; tests and
+// examples also use it directly as a tiny structured "assembly language".
+#ifndef ACES_ISA_ASSEMBLER_H
+#define ACES_ISA_ASSEMBLER_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/codec.h"
+#include "isa/isa.h"
+
+namespace aces::isa {
+
+// Assembled code image, placed at [base, base + bytes.size()).
+struct Image {
+  Encoding encoding = Encoding::w32;
+  std::uint32_t base = 0;
+  std::vector<std::uint8_t> bytes;
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(bytes.size());
+  }
+  [[nodiscard]] std::uint32_t end() const { return base + size(); }
+};
+
+using Label = std::int32_t;
+
+class Assembler {
+ public:
+  Assembler(Encoding enc, std::uint32_t text_base);
+
+  [[nodiscard]] Encoding encoding() const { return encoding_; }
+
+  // ----- labels -----
+  [[nodiscard]] Label new_label();
+  void bind(Label l);
+  [[nodiscard]] Label bound_label();  // new label bound here
+
+  // ----- instructions -----
+  // Emits a non-control-flow instruction; throws if not representable in
+  // this encoding (the KIR lowering queries codecs first, so a throw here
+  // indicates a lowering bug).
+  void ins(const Instruction& insn);
+
+  // Emits b/bl/cbz/cbnz targeting a label.
+  void branch(const Instruction& insn, Label target);
+  void b(Label target, Cond cond = Cond::al);
+  void bl(Label target);
+
+  // Loads a 32-bit constant via the current literal pool (pc-relative load).
+  void load_literal(Reg rd, std::uint32_t value);
+
+  // Forms the address of a label (pc-relative, forward only).
+  void adr(Reg rd, Label target);
+
+  // Emits the pending literal pool here (must be unreachable, e.g. after an
+  // unconditional branch or return). No-op when no literals are pending.
+  void pool();
+
+  // Emits a pool island in the middle of reachable code: a branch over the
+  // pending pool (how compilers keep literals within pc-relative range in
+  // long functions). No-op when nothing is pending.
+  void pool_island();
+
+  // Literals collected since the last pool barrier.
+  [[nodiscard]] int pending_literals() const { return pending_lits_; }
+
+  // tbb jump table: emits the byte table for a tbb instruction previously
+  // emitted at `tbb_site` (bind a label *at* the tbb instruction). Each
+  // entry k is (address(targets[k]) - (tbb_address + 4)) / 2.
+  void jump_table(Label tbb_site, std::vector<Label> targets);
+
+  // ----- data / layout -----
+  void align(std::uint32_t n);
+  void word(std::uint32_t w);
+  void half(std::uint16_t h);
+  void raw(std::span<const std::uint8_t> data);
+
+  // ----- assembly -----
+  // Resolves sizes and emits the final image. Throws std::logic_error on
+  // unencodable instructions or out-of-range fixups.
+  [[nodiscard]] Image assemble();
+
+  // Valid after assemble().
+  [[nodiscard]] std::uint32_t label_address(Label l) const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    insn,
+    branch,
+    lit_load,
+    adr_label,
+    bind,
+    pool,
+    jump_table,
+    align,
+    data,
+  };
+
+  struct Item {
+    Kind kind = Kind::insn;
+    Instruction insn;
+    Label label = -1;             // branch/adr target or bind label
+    std::uint32_t value = 0;      // literal value / alignment
+    std::vector<std::uint8_t> data;
+    std::vector<Label> targets;   // jump table
+    int pool_index = -1;          // lit_load: which pool; pool: own index
+    int slot = -1;                // lit_load: slot within pool
+    int size = 0;                 // current byte size estimate
+    bool expanded = false;        // branch expanded form
+    std::uint32_t addr = 0;       // resolved address (during relaxation)
+  };
+
+  // Returns the pc-relative displacement convention value for item at
+  // final addresses.
+  [[nodiscard]] std::int64_t branch_disp(const Item& item) const;
+
+  void finalize_pools();
+  bool compute_layout();  // returns true if any size changed
+  void encode_all(std::vector<std::uint8_t>& out);
+  void encode_branch(const Item& item, std::vector<std::uint8_t>& out);
+
+  const Codec& codec_;
+  Encoding encoding_;
+  std::uint32_t base_;
+  std::vector<Item> items_;
+  std::vector<std::uint32_t> label_addr_;
+  std::vector<bool> label_bound_;
+  std::vector<std::vector<std::uint32_t>> pool_values_;  // per pool barrier
+  std::vector<std::uint32_t> pool_addr_;                 // per pool barrier
+  int open_pool_ = 0;  // pool index new literals go to
+  int pending_lits_ = 0;
+  bool assembled_ = false;
+  bool first_pass_ = true;  // layout pass before label addresses are known
+};
+
+}  // namespace aces::isa
+
+#endif  // ACES_ISA_ASSEMBLER_H

@@ -1,0 +1,67 @@
+// Encoder/decoder interface for the three UC32 encodings.
+//
+// Displacement conventions (shared by assembler, codecs and executor):
+//   - Branch-like instructions (b, bl, cbz, cbnz): `disp` is
+//     target_address - instruction_address. Codecs fold in their own
+//     reference-point offset internally; decoders reconstruct imm == disp so
+//     the executor computes target = instruction_address + imm.
+//   - PC-relative loads (AddrMode::pc_rel) and `adr`: `disp` is
+//     literal_address - align4(instruction_address + 4); always >= 0. The
+//     decoder reconstructs imm == disp and the executor re-applies the same
+//     aligned base.
+// Instructions that are not representable in an encoding (e.g. sdiv in W32,
+// bfi in N16) make size_for() return 0; the KIR lowering uses this to choose
+// synthesis strategies, which is exactly the mechanism behind the paper's
+// code-density and performance differences.
+#ifndef ACES_ISA_CODEC_H
+#define ACES_ISA_CODEC_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace aces::isa {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual Encoding encoding() const = 0;
+
+  // Code alignment in bytes (4 for W32, 2 for the halfword streams).
+  [[nodiscard]] virtual int alignment() const = 0;
+
+  // Byte size the instruction encodes to (smallest form that fits), or 0 if
+  // the instruction/displacement is not representable. `disp` is only
+  // consulted for branch-like and pc-relative instructions.
+  [[nodiscard]] virtual int size_for(const Instruction& insn,
+                                     std::int64_t disp) const = 0;
+
+  // Appends exactly `size` bytes (a value previously returned by size_for).
+  virtual void encode(const Instruction& insn, std::int64_t disp, int size,
+                      std::vector<std::uint8_t>& out) const = 0;
+
+  // Decodes the instruction at code[0..]; returns bytes consumed, or 0 if
+  // the bit pattern is not a valid instruction of this encoding.
+  [[nodiscard]] virtual int decode(std::span<const std::uint8_t> code,
+                                   Instruction& out) const = 0;
+};
+
+// Singleton accessors (codecs are stateless).
+[[nodiscard]] const Codec& codec_for(Encoding e);
+[[nodiscard]] const Codec& w32_codec();
+[[nodiscard]] const Codec& n16_codec();
+[[nodiscard]] const Codec& b32_codec();
+
+// ARM-style modified immediate: value == imm8 rotated right by 2*rot4.
+// Returns (rot << 8) | imm8 when encodable. Shared by W32 and B32.
+[[nodiscard]] std::optional<std::uint16_t> encode_modified_imm(
+    std::uint32_t value);
+[[nodiscard]] std::uint32_t decode_modified_imm(std::uint16_t field);
+
+}  // namespace aces::isa
+
+#endif  // ACES_ISA_CODEC_H

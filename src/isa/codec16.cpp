@@ -1,0 +1,807 @@
+#include "isa/codec16.h"
+
+#include "support/bits.h"
+
+namespace aces::isa::detail {
+
+using support::bits;
+using support::fits_signed;
+
+namespace {
+
+// F4 two-address ALU op numbers.
+constexpr int kF4And = 0, kF4Eor = 1, kF4Lsl = 2, kF4Lsr = 3, kF4Asr = 4,
+              kF4Adc = 5, kF4Sbc = 6, kF4Ror = 7, kF4Tst = 8, kF4Neg = 9,
+              kF4Cmp = 10, kF4Cmn = 11, kF4Orr = 12, kF4Mul = 13,
+              kF4Bic = 14, kF4Mvn = 15;
+
+constexpr std::uint16_t f1(int op2, unsigned imm5, Reg rm, Reg rd) {
+  return static_cast<std::uint16_t>((0b000u << 13) | (unsigned(op2) << 11) |
+                                    (imm5 << 6) | (unsigned(rm) << 3) |
+                                    unsigned(rd));
+}
+constexpr std::uint16_t f2(bool imm_form, bool is_sub, unsigned rm_or_imm3,
+                           Reg rn, Reg rd) {
+  return static_cast<std::uint16_t>(
+      (0b00011u << 11) | (unsigned(imm_form) << 10) | (unsigned(is_sub) << 9) |
+      (rm_or_imm3 << 6) | (unsigned(rn) << 3) | unsigned(rd));
+}
+constexpr std::uint16_t f3(int op2, Reg rd, unsigned imm8) {
+  return static_cast<std::uint16_t>((0b001u << 13) | (unsigned(op2) << 11) |
+                                    (unsigned(rd) << 8) | imm8);
+}
+constexpr std::uint16_t f4(int op4, Reg rm, Reg rdn) {
+  return static_cast<std::uint16_t>((0b010000u << 10) | (unsigned(op4) << 6) |
+                                    (unsigned(rm) << 3) | unsigned(rdn));
+}
+constexpr std::uint16_t f5(int op2, Reg rm, Reg rd) {
+  return static_cast<std::uint16_t>((0b010001u << 10) | (unsigned(op2) << 8) |
+                                    ((unsigned(rd) >> 3) << 7) |
+                                    (unsigned(rm) << 3) | (unsigned(rd) & 7u));
+}
+constexpr std::uint16_t f7(int op3, Reg rm, Reg rn, Reg rd) {
+  return static_cast<std::uint16_t>((0b0101u << 12) | (unsigned(op3) << 9) |
+                                    (unsigned(rm) << 6) | (unsigned(rn) << 3) |
+                                    unsigned(rd));
+}
+
+}  // namespace
+
+std::optional<std::uint16_t> encode16(const Instruction& insn,
+                                      std::int64_t disp, bool b32_mode) {
+  const Reg rd = insn.rd, rn = insn.rn, rm = insn.rm;
+  const std::int64_t imm = insn.imm;
+  // Narrow forms have no condition field (conditions come from bcc or, in
+  // b32 mode, from an enclosing IT block — in which case the instruction is
+  // stored with cond al and predicated at execution time).
+  if (insn.cond != Cond::al && insn.op != Op::b && insn.op != Op::it) {
+    return std::nullopt;
+  }
+
+  switch (insn.op) {
+    case Op::mov:
+      if (insn.uses_imm) {
+        if (is_lo(rd) && imm >= 0 && imm <= 255 &&
+            flags_ok_setting(insn.set_flags)) {
+          return f3(0b00, rd, static_cast<unsigned>(imm));
+        }
+        return std::nullopt;
+      }
+      // Register MOV: lo-lo with flags via lsl #0, otherwise the hi form.
+      if (is_lo(rd) && is_lo(rm) && insn.set_flags == SetFlags::yes) {
+        return f1(0b00, 0, rm, rd);
+      }
+      if (flags_ok_nonsetting(insn.set_flags) || (is_lo(rd) && is_lo(rm))) {
+        if (flags_ok_nonsetting(insn.set_flags)) {
+          return f5(0b10, rm, rd);
+        }
+        return f1(0b00, 0, rm, rd);
+      }
+      return std::nullopt;
+
+    case Op::add:
+      if (insn.uses_imm) {
+        if (rd == sp && rn == sp && imm >= 0 && imm <= 508 && imm % 4 == 0 &&
+            flags_ok_nonsetting(insn.set_flags)) {
+          return static_cast<std::uint16_t>((0b10110000u << 8) |
+                                            (unsigned(imm) >> 2));
+        }
+        if (rn == sp && is_lo(rd) && imm >= 0 && imm <= 1020 && imm % 4 == 0 &&
+            flags_ok_nonsetting(insn.set_flags)) {
+          return static_cast<std::uint16_t>((0b1010u << 12) | (1u << 11) |
+                                            (unsigned(rd) << 8) |
+                                            (unsigned(imm) >> 2));
+        }
+        if (is_lo(rd) && is_lo(rn) && flags_ok_setting(insn.set_flags)) {
+          if (rd == rn && imm >= 0 && imm <= 255) {
+            return f3(0b10, rd, static_cast<unsigned>(imm));
+          }
+          if (imm >= 0 && imm <= 7) {
+            return f2(true, false, static_cast<unsigned>(imm), rn, rd);
+          }
+        }
+        return std::nullopt;
+      }
+      if (is_lo(rd) && is_lo(rn) && is_lo(rm) &&
+          flags_ok_setting(insn.set_flags)) {
+        return f2(false, false, rm, rn, rd);
+      }
+      if (rd == rn && flags_ok_nonsetting(insn.set_flags)) {
+        return f5(0b00, rm, rd);
+      }
+      return std::nullopt;
+
+    case Op::sub:
+      if (insn.uses_imm) {
+        if (rd == sp && rn == sp && imm >= 0 && imm <= 508 && imm % 4 == 0 &&
+            flags_ok_nonsetting(insn.set_flags)) {
+          return static_cast<std::uint16_t>((0b10110000u << 8) | (1u << 7) |
+                                            (unsigned(imm) >> 2));
+        }
+        if (is_lo(rd) && is_lo(rn) && flags_ok_setting(insn.set_flags)) {
+          if (rd == rn && imm >= 0 && imm <= 255) {
+            return f3(0b11, rd, static_cast<unsigned>(imm));
+          }
+          if (imm >= 0 && imm <= 7) {
+            return f2(true, true, static_cast<unsigned>(imm), rn, rd);
+          }
+        }
+        return std::nullopt;
+      }
+      if (is_lo(rd) && is_lo(rn) && is_lo(rm) &&
+          flags_ok_setting(insn.set_flags)) {
+        return f2(false, true, rm, rn, rd);
+      }
+      return std::nullopt;
+
+    case Op::rsb:
+      // Only NEG (rsb rd, rn, #0) has a narrow form.
+      if (insn.uses_imm && imm == 0 && is_lo(rd) && is_lo(rn) &&
+          flags_ok_setting(insn.set_flags)) {
+        return f4(kF4Neg, rn, rd);
+      }
+      return std::nullopt;
+
+    case Op::adc:
+    case Op::sbc:
+    case Op::and_:
+    case Op::orr:
+    case Op::eor:
+    case Op::bic: {
+      if (insn.uses_imm || !is_lo(rd) || !is_lo(rm) || rd != rn ||
+          !flags_ok_setting(insn.set_flags)) {
+        return std::nullopt;
+      }
+      int op4 = 0;
+      switch (insn.op) {
+        case Op::adc: op4 = kF4Adc; break;
+        case Op::sbc: op4 = kF4Sbc; break;
+        case Op::and_: op4 = kF4And; break;
+        case Op::orr: op4 = kF4Orr; break;
+        case Op::eor: op4 = kF4Eor; break;
+        default: op4 = kF4Bic; break;
+      }
+      return f4(op4, rm, rd);
+    }
+
+    case Op::mul:
+      // rd = rd * rm (commutative, so either source may coincide with rd).
+      if (insn.uses_imm || !is_lo(rd) || !is_lo(rn) || !is_lo(rm) ||
+          !flags_ok_setting(insn.set_flags)) {
+        return std::nullopt;
+      }
+      if (rd == rn) {
+        return f4(kF4Mul, rm, rd);
+      }
+      if (rd == rm) {
+        return f4(kF4Mul, rn, rd);
+      }
+      return std::nullopt;
+
+    case Op::mvn:
+      if (insn.uses_imm || !is_lo(rd) || !is_lo(rm) ||
+          !flags_ok_setting(insn.set_flags)) {
+        return std::nullopt;
+      }
+      return f4(kF4Mvn, rm, rd);
+
+    case Op::lsl:
+    case Op::lsr:
+    case Op::asr:
+    case Op::ror: {
+      if (!flags_ok_setting(insn.set_flags)) {
+        return std::nullopt;
+      }
+      if (insn.uses_imm) {
+        if (insn.op == Op::ror || !is_lo(rd) || !is_lo(rn)) {
+          return std::nullopt;
+        }
+        const bool shift_ok =
+            insn.op == Op::lsl ? (imm >= 1 && imm <= 31)   // lsl#0 is mov
+                               : (imm >= 1 && imm <= 31);
+        if (!shift_ok) {
+          return std::nullopt;
+        }
+        const int op2 = insn.op == Op::lsl ? 0b00
+                        : insn.op == Op::lsr ? 0b01
+                                             : 0b10;
+        return f1(op2, static_cast<unsigned>(imm), rn, rd);
+      }
+      if (!is_lo(rd) || !is_lo(rm) || rd != rn) {
+        return std::nullopt;
+      }
+      int op4 = 0;
+      switch (insn.op) {
+        case Op::lsl: op4 = kF4Lsl; break;
+        case Op::lsr: op4 = kF4Lsr; break;
+        case Op::asr: op4 = kF4Asr; break;
+        default: op4 = kF4Ror; break;
+      }
+      return f4(op4, rm, rd);
+    }
+
+    case Op::cmp:
+      if (insn.uses_imm) {
+        if (is_lo(rn) && imm >= 0 && imm <= 255) {
+          return f3(0b01, rn, static_cast<unsigned>(imm));
+        }
+        return std::nullopt;
+      }
+      if (is_lo(rn) && is_lo(rm)) {
+        return f4(kF4Cmp, rm, rn);
+      }
+      return f5(0b01, rm, rn);
+
+    case Op::cmn:
+      if (!insn.uses_imm && is_lo(rn) && is_lo(rm)) {
+        return f4(kF4Cmn, rm, rn);
+      }
+      return std::nullopt;
+
+    case Op::tst:
+      if (!insn.uses_imm && is_lo(rn) && is_lo(rm)) {
+        return f4(kF4Tst, rm, rn);
+      }
+      return std::nullopt;
+
+    case Op::ldr:
+    case Op::ldrb:
+    case Op::ldrh:
+    case Op::str:
+    case Op::strb:
+    case Op::strh:
+    case Op::ldrsb:
+    case Op::ldrsh: {
+      if (insn.addr == AddrMode::offset_reg) {
+        if (!is_lo(rd) || !is_lo(rn) || !is_lo(rm)) {
+          return std::nullopt;
+        }
+        int op3 = 0;
+        switch (insn.op) {
+          case Op::str: op3 = 0; break;
+          case Op::strh: op3 = 1; break;
+          case Op::strb: op3 = 2; break;
+          case Op::ldrsb: op3 = 3; break;
+          case Op::ldr: op3 = 4; break;
+          case Op::ldrh: op3 = 5; break;
+          case Op::ldrb: op3 = 6; break;
+          case Op::ldrsh: op3 = 7; break;
+          default: return std::nullopt;
+        }
+        return f7(op3, rm, rn, rd);
+      }
+      if (insn.addr == AddrMode::offset_imm) {
+        if (insn.op == Op::ldrsb || insn.op == Op::ldrsh) {
+          return std::nullopt;  // no narrow signed-load immediate form
+        }
+        const bool load = insn.op == Op::ldr || insn.op == Op::ldrb ||
+                          insn.op == Op::ldrh;
+        // sp-relative word form.
+        if ((insn.op == Op::ldr || insn.op == Op::str) && rn == sp &&
+            is_lo(rd) && imm >= 0 && imm <= 1020 && imm % 4 == 0) {
+          return static_cast<std::uint16_t>((0b1001u << 12) |
+                                            (unsigned(load) << 11) |
+                                            (unsigned(rd) << 8) |
+                                            (unsigned(imm) >> 2));
+        }
+        if (!is_lo(rd) || !is_lo(rn)) {
+          return std::nullopt;
+        }
+        if (insn.op == Op::ldr || insn.op == Op::str) {
+          if (imm >= 0 && imm <= 124 && imm % 4 == 0) {
+            return static_cast<std::uint16_t>(
+                (0b011u << 13) | (0u << 12) | (unsigned(load) << 11) |
+                ((unsigned(imm) >> 2) << 6) | (unsigned(rn) << 3) |
+                unsigned(rd));
+          }
+          return std::nullopt;
+        }
+        if (insn.op == Op::ldrb || insn.op == Op::strb) {
+          if (imm >= 0 && imm <= 31) {
+            return static_cast<std::uint16_t>(
+                (0b011u << 13) | (1u << 12) | (unsigned(load) << 11) |
+                (unsigned(imm) << 6) | (unsigned(rn) << 3) | unsigned(rd));
+          }
+          return std::nullopt;
+        }
+        // Halfword.
+        if (imm >= 0 && imm <= 62 && imm % 2 == 0) {
+          return static_cast<std::uint16_t>(
+              (0b1000u << 12) | (unsigned(load) << 11) |
+              ((unsigned(imm) >> 1) << 6) | (unsigned(rn) << 3) |
+              unsigned(rd));
+        }
+        return std::nullopt;
+      }
+      if (insn.addr == AddrMode::pc_rel) {
+        if (insn.op == Op::ldr && is_lo(rd) && disp >= 0 && disp <= 1020 &&
+            disp % 4 == 0) {
+          return static_cast<std::uint16_t>((0b01001u << 11) |
+                                            (unsigned(rd) << 8) |
+                                            (unsigned(disp) >> 2));
+        }
+        return std::nullopt;
+      }
+      return std::nullopt;
+    }
+
+    case Op::adr:
+      if (is_lo(rd) && disp >= 0 && disp <= 1020 && disp % 4 == 0) {
+        return static_cast<std::uint16_t>((0b1010u << 12) | (0u << 11) |
+                                          (unsigned(rd) << 8) |
+                                          (unsigned(disp) >> 2));
+      }
+      return std::nullopt;
+
+    case Op::push: {
+      const std::uint16_t allowed = 0x00FF | (1u << lr);
+      if ((insn.reglist & ~allowed) != 0 || insn.reglist == 0) {
+        return std::nullopt;
+      }
+      const unsigned r_bit = (insn.reglist >> lr) & 1u;
+      return static_cast<std::uint16_t>((0b1011u << 12) | (0u << 11) |
+                                        (0b10u << 9) | (r_bit << 8) |
+                                        (insn.reglist & 0xFF));
+    }
+    case Op::pop: {
+      const std::uint16_t allowed = 0x00FF | (1u << pc);
+      if ((insn.reglist & ~allowed) != 0 || insn.reglist == 0) {
+        return std::nullopt;
+      }
+      const unsigned r_bit = (insn.reglist >> pc) & 1u;
+      return static_cast<std::uint16_t>((0b1011u << 12) | (1u << 11) |
+                                        (0b10u << 9) | (r_bit << 8) |
+                                        (insn.reglist & 0xFF));
+    }
+
+    case Op::ldm:
+    case Op::stm: {
+      if (!insn.writeback || !is_lo(rn) || insn.reglist == 0 ||
+          (insn.reglist & ~0x00FFu) != 0) {
+        return std::nullopt;
+      }
+      const bool load = insn.op == Op::ldm;
+      return static_cast<std::uint16_t>((0b1100u << 12) |
+                                        (unsigned(load) << 11) |
+                                        (unsigned(rn) << 8) |
+                                        (insn.reglist & 0xFF));
+    }
+
+    case Op::b: {
+      const std::int64_t rel = disp - 4;  // relative to pc+4
+      if (insn.cond == Cond::al) {
+        if (rel % 2 == 0 && fits_signed(rel / 2, 11)) {
+          return static_cast<std::uint16_t>(
+              (0b11100u << 11) | (static_cast<std::uint32_t>(rel / 2) & 0x7FF));
+        }
+        return std::nullopt;
+      }
+      if (rel % 2 == 0 && fits_signed(rel / 2, 8)) {
+        return static_cast<std::uint16_t>(
+            (0b1101u << 12) |
+            (unsigned(static_cast<std::uint8_t>(insn.cond)) << 8) |
+            (static_cast<std::uint32_t>(rel / 2) & 0xFF));
+      }
+      return std::nullopt;
+    }
+
+    case Op::bx:
+      return f5(0b11, rm, 0);
+
+    case Op::cbz:
+    case Op::cbnz: {
+      if (!b32_mode || !is_lo(rn)) {
+        return std::nullopt;
+      }
+      const std::int64_t rel = disp - 4;
+      if (rel < 0 || rel > 126 || rel % 2 != 0) {
+        return std::nullopt;
+      }
+      const unsigned off = static_cast<unsigned>(rel) >> 1;  // 6 bits
+      return static_cast<std::uint16_t>(
+          (0b1011u << 12) | (unsigned(insn.op == Op::cbnz) << 11) |
+          (((off >> 5) & 1u) << 9) | (1u << 8) | ((off & 0x1F) << 3) |
+          unsigned(rn));
+    }
+
+    case Op::it:
+      if (!b32_mode || insn.it_mask == 0) {
+        return std::nullopt;
+      }
+      return static_cast<std::uint16_t>(
+          0xBF00u | (unsigned(static_cast<std::uint8_t>(insn.cond)) << 4) |
+          insn.it_mask);
+
+    case Op::svc:
+      if (imm >= 0 && imm <= 255) {
+        return static_cast<std::uint16_t>(0xDF00u | unsigned(imm));
+      }
+      return std::nullopt;
+
+    case Op::bkpt:
+      if (imm >= 0 && imm <= 255) {
+        return static_cast<std::uint16_t>(0xBE00u | unsigned(imm));
+      }
+      return std::nullopt;
+
+    case Op::nop:
+      return 0xBF00;
+    case Op::wfi:
+      return 0xBF30;
+    case Op::cps:
+      // imm == 1 disables interrupts (cpsid), 0 enables (cpsie).
+      return static_cast<std::uint16_t>(0xB660u | (imm ? 1u : 0u));
+
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<std::array<std::uint16_t, 2>> encode_bl_pair(std::int64_t disp) {
+  const std::int64_t rel = disp - 4;
+  if (rel % 2 != 0 || !fits_signed(rel / 2, 22)) {
+    return std::nullopt;
+  }
+  const auto off = static_cast<std::uint32_t>(rel / 2) & 0x3F'FFFF;
+  return std::array<std::uint16_t, 2>{
+      static_cast<std::uint16_t>((0b11110u << 11) | (off >> 11)),
+      static_cast<std::uint16_t>((0b11111u << 11) | (off & 0x7FF))};
+}
+
+namespace {
+
+Instruction make(Op op) {
+  Instruction i;
+  i.op = op;
+  return i;
+}
+
+bool decode_misc_1011(std::uint16_t hw, bool b32_mode, Instruction& out) {
+  // sp adjust: 1011 0000 S iiiiiii
+  if ((hw & 0xFF00u) == 0xB000u) {
+    const bool is_sub = (hw >> 7) & 1u;
+    out = make(is_sub ? Op::sub : Op::add);
+    out.rd = sp;
+    out.rn = sp;
+    out.uses_imm = true;
+    out.imm = static_cast<std::int64_t>(hw & 0x7Fu) * 4;
+    out.set_flags = SetFlags::no;
+    return true;
+  }
+  // push/pop: 1011 L 10 R rrrrrrrr
+  if ((hw & 0xF600u) == 0xB400u) {
+    const bool is_pop = (hw >> 11) & 1u;
+    const bool r_bit = (hw >> 8) & 1u;
+    out = make(is_pop ? Op::pop : Op::push);
+    out.reglist = static_cast<std::uint16_t>(hw & 0xFFu);
+    if (r_bit) {
+      out.reglist |= static_cast<std::uint16_t>(1u << (is_pop ? pc : lr));
+    }
+    return out.reglist != 0;
+  }
+  // cbz/cbnz: 1011 o0i1 iiiii nnn (b32 only)
+  if (b32_mode && (hw & 0xF500u) == 0xB100u) {
+    const bool nz = (hw >> 11) & 1u;
+    const unsigned off =
+        ((((hw >> 9) & 1u) << 5) | ((hw >> 3) & 0x1Fu)) << 1;
+    out = make(nz ? Op::cbnz : Op::cbz);
+    out.rn = static_cast<Reg>(hw & 7u);
+    out.imm = static_cast<std::int64_t>(off) + 4;
+    return true;
+  }
+  // bkpt: 1011 1110 imm8
+  if ((hw & 0xFF00u) == 0xBE00u) {
+    out = make(Op::bkpt);
+    out.uses_imm = true;
+    out.imm = hw & 0xFFu;
+    return true;
+  }
+  // cps: 1011 0110 0110 000D
+  if ((hw & 0xFFFEu) == 0xB660u) {
+    out = make(Op::cps);
+    out.uses_imm = true;
+    out.imm = hw & 1u;
+    return true;
+  }
+  // hints / IT: 1011 1111 cccc mmmm
+  if ((hw & 0xFF00u) == 0xBF00u) {
+    const unsigned mask = hw & 0xFu;
+    const unsigned top = (hw >> 4) & 0xFu;
+    if (mask == 0) {
+      if (top == 0) {
+        out = make(Op::nop);
+        return true;
+      }
+      if (top == 3) {
+        out = make(Op::wfi);
+        return true;
+      }
+      return false;
+    }
+    if (!b32_mode || top >= 15) {
+      return false;
+    }
+    out = make(Op::it);
+    out.cond = static_cast<Cond>(top);
+    out.it_mask = static_cast<std::uint8_t>(mask);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool decode16(std::uint16_t hw, bool b32_mode, Instruction& out) {
+  if (b32_mode && is_wide_prefix(hw)) {
+    return false;
+  }
+  const unsigned top3 = hw >> 13;
+  switch (top3) {
+    case 0b000: {
+      if (((hw >> 11) & 3u) == 0b11) {
+        // F2 add/sub 3-address.
+        const bool imm_form = (hw >> 10) & 1u;
+        const bool is_sub = (hw >> 9) & 1u;
+        out = make(is_sub ? Op::sub : Op::add);
+        out.rd = static_cast<Reg>(hw & 7u);
+        out.rn = static_cast<Reg>((hw >> 3) & 7u);
+        out.set_flags = SetFlags::yes;
+        if (imm_form) {
+          if (out.rd == out.rn) {
+            return false;  // F3 (imm8) is the canonical rd==rn form
+          }
+          out.uses_imm = true;
+          out.imm = (hw >> 6) & 7u;
+        } else {
+          out.rm = static_cast<Reg>((hw >> 6) & 7u);
+        }
+        return true;
+      }
+      // F1 shift immediate.
+      const unsigned op2 = (hw >> 11) & 3u;
+      const unsigned imm5 = (hw >> 6) & 0x1Fu;
+      const Reg src = static_cast<Reg>((hw >> 3) & 7u);
+      const Reg rd = static_cast<Reg>(hw & 7u);
+      if (op2 == 0b00 && imm5 == 0) {
+        out = make(Op::mov);
+        out.rd = rd;
+        out.rm = src;
+        out.set_flags = SetFlags::yes;
+        return true;
+      }
+      if (imm5 == 0) {
+        return false;  // lsr/asr #0 not used by this ISA
+      }
+      out = make(op2 == 0b00 ? Op::lsl : op2 == 0b01 ? Op::lsr : Op::asr);
+      out.rd = rd;
+      out.rn = src;
+      out.uses_imm = true;
+      out.imm = imm5;
+      out.set_flags = SetFlags::yes;
+      return true;
+    }
+
+    case 0b001: {
+      // F3 mov/cmp/add/sub imm8.
+      const unsigned op2 = (hw >> 11) & 3u;
+      const Reg r = static_cast<Reg>((hw >> 8) & 7u);
+      const std::int64_t imm8 = hw & 0xFFu;
+      switch (op2) {
+        case 0b00: out = make(Op::mov); out.rd = r; break;
+        case 0b01: out = make(Op::cmp); out.rn = r; break;
+        case 0b10: out = make(Op::add); out.rd = r; out.rn = r; break;
+        default:   out = make(Op::sub); out.rd = r; out.rn = r; break;
+      }
+      out.uses_imm = true;
+      out.imm = imm8;
+      out.set_flags = SetFlags::yes;
+      return true;
+    }
+
+    case 0b010: {
+      if ((hw >> 10) == 0b010000u) {
+        // F4 two-address ALU.
+        const unsigned op4 = (hw >> 6) & 0xFu;
+        const Reg rm = static_cast<Reg>((hw >> 3) & 7u);
+        const Reg rdn = static_cast<Reg>(hw & 7u);
+        static constexpr Op ops[16] = {
+            Op::and_, Op::eor, Op::lsl, Op::lsr, Op::asr, Op::adc,
+            Op::sbc,  Op::ror, Op::tst, Op::rsb, Op::cmp, Op::cmn,
+            Op::orr,  Op::mul, Op::bic, Op::mvn};
+        out = make(ops[op4]);
+        out.set_flags = SetFlags::yes;
+        switch (op4) {
+          case kF4Tst:
+          case kF4Cmp:
+          case kF4Cmn:
+            out.rn = rdn;
+            out.rm = rm;
+            break;
+          case kF4Neg:
+            out.rd = rdn;
+            out.rn = rm;
+            out.uses_imm = true;
+            out.imm = 0;
+            break;
+          case kF4Mvn:
+            out.rd = rdn;
+            out.rm = rm;
+            break;
+          default:
+            out.rd = rdn;
+            out.rn = rdn;
+            out.rm = rm;
+            break;
+        }
+        return true;
+      }
+      if ((hw >> 10) == 0b010001u) {
+        // F5 hi-register ops / bx.
+        const unsigned op2 = (hw >> 8) & 3u;
+        const Reg rm = static_cast<Reg>((hw >> 3) & 0xFu);
+        const Reg rd = static_cast<Reg>((((hw >> 7) & 1u) << 3) | (hw & 7u));
+        switch (op2) {
+          case 0b00:
+            out = make(Op::add);
+            out.rd = rd;
+            out.rn = rd;
+            out.rm = rm;
+            out.set_flags = SetFlags::no;
+            return true;
+          case 0b01:
+            if (is_lo(rd) && is_lo(rm)) {
+              return false;  // F4 is the canonical low-register compare
+            }
+            out = make(Op::cmp);
+            out.rn = rd;
+            out.rm = rm;
+            out.set_flags = SetFlags::yes;
+            return true;
+          case 0b10:
+            out = make(Op::mov);
+            out.rd = rd;
+            out.rm = rm;
+            out.set_flags = SetFlags::no;
+            return true;
+          default:
+            if ((hw & 0x0087u) != 0) {
+              return false;
+            }
+            out = make(Op::bx);
+            out.rm = rm;
+            return true;
+        }
+      }
+      if ((hw >> 11) == 0b01001u) {
+        // F6 pc-relative load.
+        out = make(Op::ldr);
+        out.rd = static_cast<Reg>((hw >> 8) & 7u);
+        out.addr = AddrMode::pc_rel;
+        out.imm = static_cast<std::int64_t>(hw & 0xFFu) * 4;
+        return true;
+      }
+      // F7 register-offset load/store.
+      {
+        const unsigned op3 = (hw >> 9) & 7u;
+        static constexpr Op ops[8] = {Op::str,   Op::strh, Op::strb,
+                                      Op::ldrsb, Op::ldr,  Op::ldrh,
+                                      Op::ldrb,  Op::ldrsh};
+        out = make(ops[op3]);
+        out.rm = static_cast<Reg>((hw >> 6) & 7u);
+        out.rn = static_cast<Reg>((hw >> 3) & 7u);
+        out.rd = static_cast<Reg>(hw & 7u);
+        out.addr = AddrMode::offset_reg;
+        return true;
+      }
+    }
+
+    case 0b011: {
+      // F9 word/byte immediate-offset load/store.
+      const bool is_byte = (hw >> 12) & 1u;
+      const bool is_load = (hw >> 11) & 1u;
+      const unsigned imm5 = (hw >> 6) & 0x1Fu;
+      out = make(is_byte ? (is_load ? Op::ldrb : Op::strb)
+                         : (is_load ? Op::ldr : Op::str));
+      out.rn = static_cast<Reg>((hw >> 3) & 7u);
+      out.rd = static_cast<Reg>(hw & 7u);
+      out.addr = AddrMode::offset_imm;
+      out.imm = is_byte ? imm5 : imm5 * 4;
+      return true;
+    }
+
+    default:
+      break;
+  }
+
+  const unsigned top4 = hw >> 12;
+  switch (top4) {
+    case 0b1000: {
+      // F10 halfword immediate-offset.
+      const bool is_load = (hw >> 11) & 1u;
+      out = make(is_load ? Op::ldrh : Op::strh);
+      out.rn = static_cast<Reg>((hw >> 3) & 7u);
+      out.rd = static_cast<Reg>(hw & 7u);
+      out.addr = AddrMode::offset_imm;
+      out.imm = static_cast<std::int64_t>((hw >> 6) & 0x1Fu) * 2;
+      return true;
+    }
+    case 0b1001: {
+      // F11 sp-relative word.
+      const bool is_load = (hw >> 11) & 1u;
+      out = make(is_load ? Op::ldr : Op::str);
+      out.rd = static_cast<Reg>((hw >> 8) & 7u);
+      out.rn = sp;
+      out.addr = AddrMode::offset_imm;
+      out.imm = static_cast<std::int64_t>(hw & 0xFFu) * 4;
+      return true;
+    }
+    case 0b1010: {
+      // F12 adr / add rd, sp, imm.
+      const bool sp_form = (hw >> 11) & 1u;
+      const Reg rd = static_cast<Reg>((hw >> 8) & 7u);
+      const std::int64_t off = static_cast<std::int64_t>(hw & 0xFFu) * 4;
+      if (sp_form) {
+        out = make(Op::add);
+        out.rd = rd;
+        out.rn = sp;
+        out.uses_imm = true;
+        out.imm = off;
+        out.set_flags = SetFlags::no;
+      } else {
+        out = make(Op::adr);
+        out.rd = rd;
+        out.imm = off;
+      }
+      return true;
+    }
+    case 0b1011:
+      return decode_misc_1011(hw, b32_mode, out);
+    case 0b1100: {
+      // F15 ldm/stm with writeback.
+      const bool is_load = (hw >> 11) & 1u;
+      out = make(is_load ? Op::ldm : Op::stm);
+      out.rn = static_cast<Reg>((hw >> 8) & 7u);
+      out.reglist = static_cast<std::uint16_t>(hw & 0xFFu);
+      out.writeback = true;
+      return out.reglist != 0;
+    }
+    case 0b1101: {
+      const unsigned cond4 = (hw >> 8) & 0xFu;
+      if (cond4 == 0xF) {
+        out = make(Op::svc);
+        out.uses_imm = true;
+        out.imm = hw & 0xFFu;
+        return true;
+      }
+      if (cond4 == 0xE) {
+        return false;
+      }
+      out = make(Op::b);
+      out.cond = static_cast<Cond>(cond4);
+      out.imm = support::sign_extend(hw & 0xFFu, 8) * 2 + 4;
+      return true;
+    }
+    default:
+      break;
+  }
+
+  if ((hw >> 11) == 0b11100u) {
+    out = make(Op::b);
+    out.imm = support::sign_extend(hw & 0x7FFu, 11) * 2 + 4;
+    return true;
+  }
+  return false;
+}
+
+bool decode_bl_pair(std::uint16_t hw1, std::uint16_t hw2, Instruction& out) {
+  if ((hw1 >> 11) != 0b11110u || (hw2 >> 11) != 0b11111u) {
+    return false;
+  }
+  const std::uint32_t off =
+      ((static_cast<std::uint32_t>(hw1) & 0x7FFu) << 11) | (hw2 & 0x7FFu);
+  out = make(Op::bl);
+  out.imm = static_cast<std::int64_t>(support::sign_extend(off, 22)) * 2 + 4;
+  return true;
+}
+
+}  // namespace aces::isa::detail

@@ -1,0 +1,60 @@
+// Shared 16-bit ("narrow") instruction forms.
+//
+// The N16 encoding is entirely built from these halfword forms; the B32
+// encoding reuses them for its 16-bit subset (that reuse is the load-bearing
+// design point of the paper: Thumb-2 keeps Thumb's dense forms and adds wide
+// ones). Differences in b32 mode:
+//   - halfwords with the top-5 prefix 11101/11110/11111 are 32-bit prefixes
+//     and never valid 16-bit instructions (so the N16 BL halfword-pair is
+//     not available);
+//   - cbz/cbnz and it are valid;
+//   - bl is not encodable as a pair (B32 has a real 32-bit BL).
+// Internal header - not part of the public API.
+#ifndef ACES_ISA_CODEC16_H
+#define ACES_ISA_CODEC16_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "isa/isa.h"
+
+namespace aces::isa::detail {
+
+// Encodes `insn` into a single narrow halfword. `disp` follows the codec.h
+// conventions. Returns nullopt when no narrow form fits.
+[[nodiscard]] std::optional<std::uint16_t> encode16(const Instruction& insn,
+                                                    std::int64_t disp,
+                                                    bool b32_mode);
+
+// N16-only BL halfword pair (22-bit halfword-scaled displacement).
+[[nodiscard]] std::optional<std::array<std::uint16_t, 2>> encode_bl_pair(
+    std::int64_t disp);
+
+// Decodes one halfword. Returns false for invalid / not-16-bit patterns.
+[[nodiscard]] bool decode16(std::uint16_t hw, bool b32_mode, Instruction& out);
+
+// Decodes the N16 BL pair.
+[[nodiscard]] bool decode_bl_pair(std::uint16_t hw1, std::uint16_t hw2,
+                                  Instruction& out);
+
+// True when the halfword is a 32-bit-instruction prefix in b32 mode.
+[[nodiscard]] constexpr bool is_wide_prefix(std::uint16_t hw) {
+  const unsigned top5 = hw >> 11;
+  return top5 == 0b11101u || top5 == 0b11110u || top5 == 0b11111u;
+}
+
+[[nodiscard]] constexpr bool is_lo(Reg r) { return r < 8; }
+
+// Flag-setting compatibility: narrow ALU forms always set flags, so they
+// accept yes/any; forms that never set flags accept no/any.
+[[nodiscard]] constexpr bool flags_ok_setting(SetFlags s) {
+  return s == SetFlags::yes || s == SetFlags::any;
+}
+[[nodiscard]] constexpr bool flags_ok_nonsetting(SetFlags s) {
+  return s == SetFlags::no || s == SetFlags::any;
+}
+
+}  // namespace aces::isa::detail
+
+#endif  // ACES_ISA_CODEC16_H

@@ -1,0 +1,664 @@
+// B32: the blended 16/32-bit encoding (stands in for Thumb-2).
+//
+// The instruction stream is a sequence of halfwords. A halfword whose top
+// five bits are 11101 / 11110 / 11111 is the first half of a 32-bit
+// instruction; every other halfword is a 16-bit instruction reusing the
+// narrow forms from codec16.h. The 32-bit space is organized in three pages:
+//
+//  page M (11101): memory/multi/misc
+//    hw1 [10:4] op7, [3:0] rn; hw2 varies:
+//      0-7   ldr/ldrb/ldrh/ldrsb/ldrsh/str/strb/strh imm:
+//              hw2 [15:12] rd, [11:0] imm12
+//      8-15  same ops, register offset: hw2 [15:12] rd, [3:0] rm
+//      16    ldr pc-relative: hw2 [15:12] rd, [11:0] imm12
+//      17    adr:             hw2 [15:12] rd, [11:0] imm12
+//      18-21 ldm / ldm! / stm / stm!:  hw2 = reglist
+//      22-23 push / pop:               hw2 = reglist
+//      24    tbb [rn, rm]:             hw2 [3:0] rm
+//
+//  page I (11110): data-processing immediate, movw/movt, branches
+//    hw1 [10] S, [9:4] op6, [3:0] rn|imm4|cond|off[19:16]; hw2 varies:
+//      0-14  and..teq (W32 op5 order): hw2 [15:12] rd, [11:0] mod-imm12
+//      16/17 movw/movt: imm16 = hw1[3:0]:hw2[11:0], hw2 [15:12] rd
+//      20/21 b / bl: off20 = hw1[3:0]:hw2[15:0], halfword-scaled, pc+4
+//      22    b<cond>: hw1 [3:0] cond, hw2 simm16 halfwords, pc+4
+//      24-27 lsl/lsr/asr/ror rd, rn, #imm5: hw2 [15:12] rd, [4:0] imm5
+//
+//  page R (11111): data-processing register, mul/div, bitfield, extend
+//    hw1 [10] S, [9:4] op6, [3:0] rn; hw2 [15:12] rd, [11:8] ra, [3:0] rm
+//      0-14  and..teq  |  16-19 lsl/lsr/asr/ror reg | 20 mul, 21 mla,
+//      22 sdiv, 23 udiv
+//      24 bfi, 25 bfc, 26 ubfx, 27 sbfx: hw2 [11:7] lsb, [6:2] width-1
+//      28 rbit, 29 rev, 30 rev16, 31 clz, 32-35 sxtb/sxth/uxtb/uxth
+//
+// The encoder always prefers a 16-bit form, which is what gives B32 its
+// Thumb-class density while keeping W32-class capability (the paper's
+// central design claim).
+#include "isa/codec.h"
+#include "isa/codec16.h"
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace aces::isa {
+
+using support::bits;
+using support::fits_signed;
+
+namespace {
+
+constexpr unsigned kPageM = 0b11101, kPageI = 0b11110, kPageR = 0b11111;
+
+// page M op7
+constexpr unsigned kMLdrLit = 16, kMAdr = 17, kMLdm = 18, kMLdmWb = 19,
+                   kMStm = 20, kMStmWb = 21, kMPush = 22, kMPop = 23,
+                   kMTbb = 24;
+// page I / R shared dp op6 (W32 op5 order for 0..14)
+constexpr unsigned kDpMov = 9, kDpCmp = 11, kDpTeq = 14;
+constexpr unsigned kIMovw = 16, kIMovt = 17, kIB = 20, kIBl = 21, kIBcc = 22,
+                   kIShiftBase = 24;  // +0 lsl, +1 lsr, +2 asr, +3 ror
+constexpr unsigned kRShiftBase = 16, kRMul = 20, kRMla = 21, kRSdiv = 22,
+                   kRUdiv = 23, kRBfi = 24, kRBfc = 25, kRUbfx = 26,
+                   kRSbfx = 27, kRRbit = 28, kRRev = 29, kRRev16 = 30,
+                   kRClz = 31, kRSxtb = 32, kRSxth = 33, kRUxtb = 34,
+                   kRUxth = 35;
+
+std::optional<unsigned> dp_op6(Op op) {
+  switch (op) {
+    case Op::and_: return 0;
+    case Op::eor: return 1;
+    case Op::sub: return 2;
+    case Op::rsb: return 3;
+    case Op::add: return 4;
+    case Op::adc: return 5;
+    case Op::sbc: return 6;
+    case Op::orr: return 7;
+    case Op::bic: return 8;
+    case Op::mov: return 9;
+    case Op::mvn: return 10;
+    case Op::cmp: return 11;
+    case Op::cmn: return 12;
+    case Op::tst: return 13;
+    case Op::teq: return 14;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<unsigned> mem_idx(Op op) {
+  switch (op) {
+    case Op::ldr: return 0;
+    case Op::ldrb: return 1;
+    case Op::ldrh: return 2;
+    case Op::ldrsb: return 3;
+    case Op::ldrsh: return 4;
+    case Op::str: return 5;
+    case Op::strb: return 6;
+    case Op::strh: return 7;
+    default: return std::nullopt;
+  }
+}
+
+struct Wide {
+  std::uint16_t hw1 = 0;
+  std::uint16_t hw2 = 0;
+};
+
+constexpr std::uint16_t hw1_of(unsigned page, unsigned s, unsigned op,
+                               unsigned low4) {
+  return static_cast<std::uint16_t>((page << 11) | (s << 10) | (op << 4) |
+                                    low4);
+}
+
+// Builds the 32-bit form, or nullopt when unrepresentable.
+std::optional<Wide> build_wide(const Instruction& insn, std::int64_t disp) {
+  // 32-bit B32 instructions carry no condition field; predication comes from
+  // IT blocks, so only AL-encoded instructions reach the encoder (except
+  // bcc, which encodes its condition in hw1).
+  if (insn.cond != Cond::al && insn.op != Op::b) {
+    return std::nullopt;
+  }
+  const unsigned s_bit = insn.set_flags == SetFlags::yes ? 1u : 0u;
+
+  if (const auto op6 = dp_op6(insn.op)) {
+    const bool is_compare = insn.op == Op::cmp || insn.op == Op::cmn ||
+                            insn.op == Op::tst || insn.op == Op::teq;
+    const unsigned s = is_compare ? 1u : s_bit;
+    const Reg rd = is_compare ? 0 : insn.rd;
+    if (insn.uses_imm) {
+      const auto field =
+          insn.imm < 0 ? std::nullopt
+                       : encode_modified_imm(static_cast<std::uint32_t>(
+                             insn.imm));
+      if (!field) {
+        return std::nullopt;
+      }
+      return Wide{hw1_of(kPageI, s, *op6, insn.rn),
+                  static_cast<std::uint16_t>((unsigned(rd) << 12) | *field)};
+    }
+    return Wide{hw1_of(kPageR, s, *op6, insn.rn),
+                static_cast<std::uint16_t>((unsigned(rd) << 12) |
+                                           (unsigned(insn.ra) << 8) |
+                                           unsigned(insn.rm))};
+  }
+
+  switch (insn.op) {
+    case Op::lsl:
+    case Op::lsr:
+    case Op::asr:
+    case Op::ror: {
+      const unsigned k = insn.op == Op::lsl   ? 0u
+                         : insn.op == Op::lsr ? 1u
+                         : insn.op == Op::asr ? 2u
+                                              : 3u;
+      if (insn.uses_imm) {
+        if (insn.imm < 0 || insn.imm > 31) {
+          return std::nullopt;
+        }
+        return Wide{hw1_of(kPageI, s_bit, kIShiftBase + k, insn.rn),
+                    static_cast<std::uint16_t>(
+                        (unsigned(insn.rd) << 12) |
+                        static_cast<unsigned>(insn.imm))};
+      }
+      return Wide{hw1_of(kPageR, s_bit, kRShiftBase + k, insn.rn),
+                  static_cast<std::uint16_t>((unsigned(insn.rd) << 12) |
+                                             unsigned(insn.rm))};
+    }
+
+    case Op::movw:
+    case Op::movt: {
+      if (insn.imm < 0 || insn.imm > 0xFFFF) {
+        return std::nullopt;
+      }
+      const auto v = static_cast<std::uint32_t>(insn.imm);
+      const unsigned op = insn.op == Op::movw ? kIMovw : kIMovt;
+      return Wide{hw1_of(kPageI, 0, op, v >> 12),
+                  static_cast<std::uint16_t>((unsigned(insn.rd) << 12) |
+                                             (v & 0xFFFu))};
+    }
+
+    case Op::mul:
+    case Op::mla:
+    case Op::sdiv:
+    case Op::udiv: {
+      if (insn.uses_imm) {
+        return std::nullopt;
+      }
+      unsigned op = 0;
+      switch (insn.op) {
+        case Op::mul: op = kRMul; break;
+        case Op::mla: op = kRMla; break;
+        case Op::sdiv: op = kRSdiv; break;
+        default: op = kRUdiv; break;
+      }
+      return Wide{hw1_of(kPageR, insn.op == Op::mul ? s_bit : 0, op, insn.rn),
+                  static_cast<std::uint16_t>((unsigned(insn.rd) << 12) |
+                                             (unsigned(insn.ra) << 8) |
+                                             unsigned(insn.rm))};
+    }
+
+    case Op::bfi:
+    case Op::bfc:
+    case Op::ubfx:
+    case Op::sbfx: {
+      if (insn.width < 1 || insn.width > 32 || insn.imm < 0 || insn.imm > 31 ||
+          insn.imm + insn.width > 32) {
+        return std::nullopt;
+      }
+      unsigned op = 0;
+      switch (insn.op) {
+        case Op::bfi: op = kRBfi; break;
+        case Op::bfc: op = kRBfc; break;
+        case Op::ubfx: op = kRUbfx; break;
+        default: op = kRSbfx; break;
+      }
+      const Reg rn = insn.op == Op::bfc ? 0 : insn.rn;
+      return Wide{hw1_of(kPageR, 0, op, rn),
+                  static_cast<std::uint16_t>(
+                      (unsigned(insn.rd) << 12) |
+                      (static_cast<unsigned>(insn.imm) << 7) |
+                      ((unsigned(insn.width) - 1u) << 2))};
+    }
+
+    case Op::rbit:
+    case Op::rev:
+    case Op::rev16:
+    case Op::clz:
+    case Op::sxtb:
+    case Op::sxth:
+    case Op::uxtb:
+    case Op::uxth: {
+      unsigned op = 0;
+      switch (insn.op) {
+        case Op::rbit: op = kRRbit; break;
+        case Op::rev: op = kRRev; break;
+        case Op::rev16: op = kRRev16; break;
+        case Op::clz: op = kRClz; break;
+        case Op::sxtb: op = kRSxtb; break;
+        case Op::sxth: op = kRSxth; break;
+        case Op::uxtb: op = kRUxtb; break;
+        default: op = kRUxth; break;
+      }
+      return Wide{hw1_of(kPageR, 0, op, 0),
+                  static_cast<std::uint16_t>((unsigned(insn.rd) << 12) |
+                                             unsigned(insn.rm))};
+    }
+
+    case Op::ldr:
+    case Op::ldrb:
+    case Op::ldrh:
+    case Op::ldrsb:
+    case Op::ldrsh:
+    case Op::str:
+    case Op::strb:
+    case Op::strh: {
+      const auto idx = mem_idx(insn.op);
+      if (insn.addr == AddrMode::offset_imm) {
+        if (insn.imm < 0 || insn.imm > 4095) {
+          return std::nullopt;
+        }
+        return Wide{hw1_of(kPageM, 0, *idx, insn.rn),
+                    static_cast<std::uint16_t>(
+                        (unsigned(insn.rd) << 12) |
+                        static_cast<unsigned>(insn.imm))};
+      }
+      if (insn.addr == AddrMode::offset_reg) {
+        return Wide{hw1_of(kPageM, 0, *idx + 8, insn.rn),
+                    static_cast<std::uint16_t>((unsigned(insn.rd) << 12) |
+                                               unsigned(insn.rm))};
+      }
+      if (insn.addr == AddrMode::pc_rel && insn.op == Op::ldr) {
+        if (disp < 0 || disp > 4095) {
+          return std::nullopt;
+        }
+        return Wide{hw1_of(kPageM, 0, kMLdrLit, 0),
+                    static_cast<std::uint16_t>(
+                        (unsigned(insn.rd) << 12) |
+                        static_cast<unsigned>(disp))};
+      }
+      return std::nullopt;
+    }
+
+    case Op::adr:
+      if (disp < 0 || disp > 4095) {
+        return std::nullopt;
+      }
+      return Wide{hw1_of(kPageM, 0, kMAdr, 0),
+                  static_cast<std::uint16_t>((unsigned(insn.rd) << 12) |
+                                             static_cast<unsigned>(disp))};
+
+    case Op::ldm:
+    case Op::stm: {
+      if (insn.reglist == 0) {
+        return std::nullopt;
+      }
+      const unsigned op = insn.op == Op::ldm ? (insn.writeback ? kMLdmWb : kMLdm)
+                                             : (insn.writeback ? kMStmWb : kMStm);
+      return Wide{hw1_of(kPageM, 0, op, insn.rn), insn.reglist};
+    }
+    case Op::push:
+      if (insn.reglist == 0) {
+        return std::nullopt;
+      }
+      return Wide{hw1_of(kPageM, 0, kMPush, 0), insn.reglist};
+    case Op::pop:
+      if (insn.reglist == 0) {
+        return std::nullopt;
+      }
+      return Wide{hw1_of(kPageM, 0, kMPop, 0), insn.reglist};
+
+    case Op::tbb:
+      return Wide{hw1_of(kPageM, 0, kMTbb, insn.rn),
+                  static_cast<std::uint16_t>(insn.rm)};
+
+    case Op::b: {
+      const std::int64_t rel = disp - 4;
+      if (rel % 2 != 0) {
+        return std::nullopt;
+      }
+      if (insn.cond == Cond::al) {
+        if (!fits_signed(rel / 2, 20)) {
+          return std::nullopt;
+        }
+        const auto off = static_cast<std::uint32_t>(rel / 2) & 0xF'FFFFu;
+        return Wide{hw1_of(kPageI, 0, kIB, off >> 16),
+                    static_cast<std::uint16_t>(off & 0xFFFFu)};
+      }
+      if (!fits_signed(rel / 2, 16)) {
+        return std::nullopt;
+      }
+      return Wide{hw1_of(kPageI, 0, kIBcc,
+                         static_cast<unsigned>(insn.cond)),
+                  static_cast<std::uint16_t>(
+                      static_cast<std::uint32_t>(rel / 2) & 0xFFFFu)};
+    }
+    case Op::bl: {
+      const std::int64_t rel = disp - 4;
+      if (rel % 2 != 0 || !fits_signed(rel / 2, 20)) {
+        return std::nullopt;
+      }
+      const auto off = static_cast<std::uint32_t>(rel / 2) & 0xF'FFFFu;
+      return Wide{hw1_of(kPageI, 0, kIBl, off >> 16),
+                  static_cast<std::uint16_t>(off & 0xFFFFu)};
+    }
+
+    default:
+      return std::nullopt;
+  }
+}
+
+class B32Codec final : public Codec {
+ public:
+  [[nodiscard]] Encoding encoding() const override { return Encoding::b32; }
+  [[nodiscard]] int alignment() const override { return 2; }
+
+  [[nodiscard]] int size_for(const Instruction& insn,
+                             std::int64_t disp) const override {
+    if (detail::encode16(insn, disp, /*b32_mode=*/true).has_value()) {
+      return 2;
+    }
+    return build_wide(insn, disp).has_value() ? 4 : 0;
+  }
+
+  void encode(const Instruction& insn, std::int64_t disp, int size,
+              std::vector<std::uint8_t>& out) const override {
+    if (size == 2) {
+      const auto hw = detail::encode16(insn, disp, /*b32_mode=*/true);
+      ACES_CHECK_MSG(hw.has_value(), "instruction lost its 16-bit B32 form");
+      out.push_back(static_cast<std::uint8_t>(*hw));
+      out.push_back(static_cast<std::uint8_t>(*hw >> 8));
+      return;
+    }
+    ACES_CHECK(size == 4);
+    const auto wide = build_wide(insn, disp);
+    ACES_CHECK_MSG(wide.has_value(), "instruction not encodable in B32");
+    out.push_back(static_cast<std::uint8_t>(wide->hw1));
+    out.push_back(static_cast<std::uint8_t>(wide->hw1 >> 8));
+    out.push_back(static_cast<std::uint8_t>(wide->hw2));
+    out.push_back(static_cast<std::uint8_t>(wide->hw2 >> 8));
+  }
+
+  [[nodiscard]] int decode(std::span<const std::uint8_t> code,
+                           Instruction& out) const override;
+};
+
+// Decodes the 32-bit form; returns true on success.
+bool decode_wide(std::uint16_t hw1, std::uint16_t hw2, Instruction& out) {
+  const unsigned page = hw1 >> 11;
+  const unsigned s = (hw1 >> 10) & 1u;
+  const unsigned op = (hw1 >> 4) & 0x3Fu;
+  const unsigned low4 = hw1 & 0xFu;
+  const Reg rd = static_cast<Reg>(hw2 >> 12);
+  out = Instruction{};
+
+  static constexpr Op dp_ops[15] = {Op::and_, Op::eor, Op::sub, Op::rsb,
+                                    Op::add,  Op::adc, Op::sbc, Op::orr,
+                                    Op::bic,  Op::mov, Op::mvn, Op::cmp,
+                                    Op::cmn,  Op::tst, Op::teq};
+
+  if (page == kPageI) {
+    if (op <= kDpTeq) {
+      out.op = dp_ops[op];
+      const bool is_compare = op >= kDpCmp && op <= kDpTeq;
+      if (is_compare && (s == 0 || rd != 0)) {
+        return false;  // compares always encode S=1, rd=0
+      }
+      if ((op == kDpMov || out.op == Op::mvn) && low4 != 0) {
+        return false;  // rn field unused by mov/mvn
+      }
+      out.set_flags = (is_compare || s) ? SetFlags::yes : SetFlags::no;
+      out.rd = is_compare ? 0 : rd;
+      out.rn = static_cast<Reg>(low4);
+      if (op == kDpMov || out.op == Op::mvn) {
+        out.rn = 0;
+      }
+      const auto field = static_cast<std::uint16_t>(hw2 & 0xFFF);
+      if (encode_modified_imm(decode_modified_imm(field)) != field) {
+        return false;  // non-canonical rotation
+      }
+      out.uses_imm = true;
+      out.imm = decode_modified_imm(field);
+      return true;
+    }
+    if (op == kIMovw || op == kIMovt) {
+      if (s != 0) {
+        return false;
+      }
+      out.op = op == kIMovw ? Op::movw : Op::movt;
+      out.rd = rd;
+      out.uses_imm = true;
+      out.imm = (static_cast<std::int64_t>(low4) << 12) | (hw2 & 0xFFFu);
+      return true;
+    }
+    if (op == kIB || op == kIBl) {
+      if (s != 0) {
+        return false;
+      }
+      out.op = op == kIB ? Op::b : Op::bl;
+      const std::uint32_t off =
+          (static_cast<std::uint32_t>(low4) << 16) | hw2;
+      out.imm = static_cast<std::int64_t>(support::sign_extend(off, 20)) * 2 + 4;
+      return true;
+    }
+    if (op == kIBcc) {
+      if (low4 > 13 || s != 0) {
+        return false;
+      }
+      out.op = Op::b;
+      out.cond = static_cast<Cond>(low4);
+      out.imm = static_cast<std::int64_t>(support::sign_extend(hw2, 16)) * 2 + 4;
+      return true;
+    }
+    if (op >= kIShiftBase && op <= kIShiftBase + 3) {
+      if ((hw2 & 0x0FE0u) != 0) {
+        return false;  // bits [11:5] unused by shift-immediate
+      }
+      static constexpr Op shifts[4] = {Op::lsl, Op::lsr, Op::asr, Op::ror};
+      out.op = shifts[op - kIShiftBase];
+      out.set_flags = s ? SetFlags::yes : SetFlags::no;
+      out.rd = rd;
+      out.rn = static_cast<Reg>(low4);
+      out.uses_imm = true;
+      out.imm = hw2 & 0x1Fu;
+      return true;
+    }
+    return false;
+  }
+
+  if (page == kPageR) {
+    if (op <= kDpTeq) {
+      out.op = dp_ops[op];
+      const bool is_compare = op >= kDpCmp && op <= kDpTeq;
+      if (is_compare && (s == 0 || rd != 0)) {
+        return false;
+      }
+      if ((op == kDpMov || out.op == Op::mvn) && low4 != 0) {
+        return false;
+      }
+      if ((hw2 & 0x00F0u) != 0) {
+        return false;  // spare bits [7:4]
+      }
+      out.set_flags = (is_compare || s) ? SetFlags::yes : SetFlags::no;
+      out.rd = is_compare ? 0 : rd;
+      out.rn = static_cast<Reg>(low4);
+      if (op == kDpMov || out.op == Op::mvn) {
+        out.rn = 0;
+      }
+      out.ra = static_cast<Reg>((hw2 >> 8) & 0xFu);
+      out.rm = static_cast<Reg>(hw2 & 0xFu);
+      return true;
+    }
+    if (op >= kRShiftBase && op <= kRShiftBase + 3) {
+      if ((hw2 & 0x0FF0u) != 0) {
+        return false;  // bits [11:4] unused by shift-register
+      }
+      static constexpr Op shifts[4] = {Op::lsl, Op::lsr, Op::asr, Op::ror};
+      out.op = shifts[op - kRShiftBase];
+      out.set_flags = s ? SetFlags::yes : SetFlags::no;
+      out.rd = rd;
+      out.rn = static_cast<Reg>(low4);
+      out.rm = static_cast<Reg>(hw2 & 0xFu);
+      return true;
+    }
+    switch (op) {
+      case kRMul:
+      case kRMla:
+      case kRSdiv:
+      case kRUdiv:
+        if (s != 0 && op != kRMul) {
+          return false;  // only mul carries an S bit
+        }
+        if ((hw2 & 0x00F0u) != 0) {
+          return false;
+        }
+        out.op = op == kRMul    ? Op::mul
+                 : op == kRMla  ? Op::mla
+                 : op == kRSdiv ? Op::sdiv
+                                : Op::udiv;
+        out.set_flags = (op == kRMul && s) ? SetFlags::yes : SetFlags::no;
+        out.rd = rd;
+        out.rn = static_cast<Reg>(low4);
+        out.ra = static_cast<Reg>((hw2 >> 8) & 0xFu);
+        out.rm = static_cast<Reg>(hw2 & 0xFu);
+        return true;
+      case kRBfi:
+      case kRBfc:
+      case kRUbfx:
+      case kRSbfx:
+        if (s != 0 || (hw2 & 0x3u) != 0 || (op == kRBfc && low4 != 0)) {
+          return false;
+        }
+        if (((hw2 >> 7) & 0x1Fu) + (((hw2 >> 2) & 0x1Fu) + 1u) > 32u) {
+          return false;  // field exceeds the register
+        }
+        out.op = op == kRBfi    ? Op::bfi
+                 : op == kRBfc  ? Op::bfc
+                 : op == kRUbfx ? Op::ubfx
+                                : Op::sbfx;
+        out.rd = rd;
+        out.rn = static_cast<Reg>(low4);
+        out.imm = (hw2 >> 7) & 0x1Fu;
+        out.width = static_cast<std::uint8_t>(((hw2 >> 2) & 0x1Fu) + 1u);
+        return true;
+      case kRRbit:
+      case kRRev:
+      case kRRev16:
+      case kRClz:
+      case kRSxtb:
+      case kRSxth:
+      case kRUxtb:
+      case kRUxth: {
+        if (s != 0 || low4 != 0 || (hw2 & 0x0FF0u) != 0) {
+          return false;
+        }
+        static constexpr Op unary[8] = {Op::rbit, Op::rev,  Op::rev16,
+                                        Op::clz,  Op::sxtb, Op::sxth,
+                                        Op::uxtb, Op::uxth};
+        out.op = unary[op - kRRbit];
+        out.rd = rd;
+        out.rm = static_cast<Reg>(hw2 & 0xFu);
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  // page M never uses the S-bit position.
+  if (s != 0) {
+    return false;
+  }
+  if (op <= 7) {
+    static constexpr Op mops[8] = {Op::ldr,   Op::ldrb, Op::ldrh, Op::ldrsb,
+                                   Op::ldrsh, Op::str,  Op::strb, Op::strh};
+    out.op = mops[op];
+    out.rd = rd;
+    out.rn = static_cast<Reg>(low4);
+    out.addr = AddrMode::offset_imm;
+    out.imm = hw2 & 0xFFFu;
+    return true;
+  }
+  if (op <= 15) {
+    if ((hw2 & 0x0FF0u) != 0) {
+      return false;  // bits [11:4] unused by register-offset forms
+    }
+    static constexpr Op mops[8] = {Op::ldr,   Op::ldrb, Op::ldrh, Op::ldrsb,
+                                   Op::ldrsh, Op::str,  Op::strb, Op::strh};
+    out.op = mops[op - 8];
+    out.rd = rd;
+    out.rn = static_cast<Reg>(low4);
+    out.addr = AddrMode::offset_reg;
+    out.rm = static_cast<Reg>(hw2 & 0xFu);
+    return true;
+  }
+  switch (op) {
+    case kMLdrLit:
+      if (low4 != 0) {
+        return false;
+      }
+      out.op = Op::ldr;
+      out.rd = rd;
+      out.addr = AddrMode::pc_rel;
+      out.imm = hw2 & 0xFFFu;
+      return true;
+    case kMAdr:
+      if (low4 != 0) {
+        return false;
+      }
+      out.op = Op::adr;
+      out.rd = rd;
+      out.imm = hw2 & 0xFFFu;
+      return true;
+    case kMLdm:
+    case kMLdmWb:
+    case kMStm:
+    case kMStmWb:
+      out.op = (op == kMLdm || op == kMLdmWb) ? Op::ldm : Op::stm;
+      out.writeback = op == kMLdmWb || op == kMStmWb;
+      out.rn = static_cast<Reg>(low4);
+      out.reglist = hw2;
+      return hw2 != 0;
+    case kMPush:
+    case kMPop:
+      if (low4 != 0) {
+        return false;
+      }
+      out.op = op == kMPush ? Op::push : Op::pop;
+      out.reglist = hw2;
+      return hw2 != 0;
+    case kMTbb:
+      if ((hw2 & 0xFFF0u) != 0) {
+        return false;
+      }
+      out.op = Op::tbb;
+      out.rn = static_cast<Reg>(low4);
+      out.rm = static_cast<Reg>(hw2 & 0xFu);
+      return true;
+    default:
+      return false;
+  }
+}
+
+int B32Codec::decode(std::span<const std::uint8_t> code,
+                     Instruction& out) const {
+  if (code.size() < 2) {
+    return 0;
+  }
+  const std::uint16_t hw1 =
+      static_cast<std::uint16_t>(code[0] | (code[1] << 8));
+  if (!detail::is_wide_prefix(hw1)) {
+    return detail::decode16(hw1, /*b32_mode=*/true, out) ? 2 : 0;
+  }
+  if (code.size() < 4) {
+    return 0;
+  }
+  const std::uint16_t hw2 =
+      static_cast<std::uint16_t>(code[2] | (code[3] << 8));
+  return decode_wide(hw1, hw2, out) ? 4 : 0;
+}
+
+const B32Codec kB32Codec;
+
+}  // namespace
+
+const Codec& b32_codec() { return kB32Codec; }
+
+}  // namespace aces::isa

@@ -1,0 +1,73 @@
+// N16: the fixed 16-bit "narrow" encoding (stands in for original Thumb).
+//
+// All instruction forms come from codec16.h; the only multi-halfword
+// construct is the BL prefix/suffix pair (4 bytes), mirroring how Thumb-1
+// achieved long calls before Thumb-2 made BL a genuine 32-bit instruction.
+#include "isa/codec.h"
+#include "isa/codec16.h"
+#include "support/check.h"
+
+namespace aces::isa {
+
+namespace {
+
+class N16Codec final : public Codec {
+ public:
+  [[nodiscard]] Encoding encoding() const override { return Encoding::n16; }
+  [[nodiscard]] int alignment() const override { return 2; }
+
+  [[nodiscard]] int size_for(const Instruction& insn,
+                             std::int64_t disp) const override {
+    if (insn.op == Op::bl) {
+      return detail::encode_bl_pair(disp).has_value() ? 4 : 0;
+    }
+    return detail::encode16(insn, disp, /*b32_mode=*/false).has_value() ? 2
+                                                                        : 0;
+  }
+
+  void encode(const Instruction& insn, std::int64_t disp, int size,
+              std::vector<std::uint8_t>& out) const override {
+    if (insn.op == Op::bl) {
+      ACES_CHECK(size == 4);
+      const auto pair = detail::encode_bl_pair(disp);
+      ACES_CHECK_MSG(pair.has_value(), "bl displacement out of N16 range");
+      for (const std::uint16_t hw : *pair) {
+        out.push_back(static_cast<std::uint8_t>(hw));
+        out.push_back(static_cast<std::uint8_t>(hw >> 8));
+      }
+      return;
+    }
+    ACES_CHECK(size == 2);
+    const auto hw = detail::encode16(insn, disp, /*b32_mode=*/false);
+    ACES_CHECK_MSG(hw.has_value(), "instruction not encodable in N16");
+    out.push_back(static_cast<std::uint8_t>(*hw));
+    out.push_back(static_cast<std::uint8_t>(*hw >> 8));
+  }
+
+  [[nodiscard]] int decode(std::span<const std::uint8_t> code,
+                           Instruction& out) const override {
+    if (code.size() < 2) {
+      return 0;
+    }
+    const std::uint16_t hw1 =
+        static_cast<std::uint16_t>(code[0] | (code[1] << 8));
+    if ((hw1 >> 11) == 0b11110u) {
+      // BL prefix: needs the suffix halfword.
+      if (code.size() < 4) {
+        return 0;
+      }
+      const std::uint16_t hw2 =
+          static_cast<std::uint16_t>(code[2] | (code[3] << 8));
+      return detail::decode_bl_pair(hw1, hw2, out) ? 4 : 0;
+    }
+    return detail::decode16(hw1, /*b32_mode=*/false, out) ? 2 : 0;
+  }
+};
+
+const N16Codec kN16Codec;
+
+}  // namespace
+
+const Codec& n16_codec() { return kN16Codec; }
+
+}  // namespace aces::isa

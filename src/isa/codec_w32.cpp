@@ -1,0 +1,444 @@
+// W32: the fixed 32-bit "wide" encoding (stands in for classic ARM).
+//
+// Word layout (little-endian storage):
+//   [31:28] cond   (al = 14; 15 reserved)
+//   [27:26] class:
+//     00 dp-reg : [25:21] op5, [20] S, [19:16] rd, [15:12] rn, [11:8] ra,
+//                 [3:0] rm
+//     01 dp-imm : [25:21] op5, [20] S, [19:16] rd, [15:12] rn,
+//                 [11:0] modified-imm (imm8 ror 2*rot4)
+//     10 mem    : [25] reg-form, [24:21] op4, [19:16] rd, [15:12] rn,
+//                 [11:0] imm12 | [3:0] rm
+//     11 other  : [25:24] sub:
+//        00 branch: [23:22] kind (0 b, 1 bl, 2 bx, 3 svc), [21:0] simm22
+//                   (word-scaled, relative to pc+8) / rm / imm22
+//        01 multi : [23:21] mop (0 ldm, 1 stm, 2 push, 3 pop), [20] W,
+//                   [19:16] rn, [15:0] reglist
+//        10 system: [23:20] sop (0 nop, 1 bkpt imm16, 2 cps, 3 wfi)
+//
+// Everything is predicated via the cond field — the classic ARM property the
+// paper contrasts with Thumb's branch-only conditionality.
+#include "isa/codec.h"
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace aces::isa {
+
+using support::bits;
+using support::fits_signed;
+
+namespace {
+
+// op5 numbers for data-processing.
+constexpr unsigned kOpAnd = 0, kOpEor = 1, kOpSub = 2, kOpRsb = 3, kOpAdd = 4,
+                   kOpAdc = 5, kOpSbc = 6, kOpOrr = 7, kOpBic = 8, kOpMov = 9,
+                   kOpMvn = 10, kOpCmp = 11, kOpCmn = 12, kOpTst = 13,
+                   kOpTeq = 14, kOpMul = 15, kOpMla = 16, kOpLsl = 17,
+                   kOpLsr = 18, kOpAsr = 19, kOpRor = 20;
+
+constexpr unsigned kMemLdr = 0, kMemLdrb = 1, kMemLdrh = 2, kMemLdrsb = 3,
+                   kMemLdrsh = 4, kMemStr = 5, kMemStrb = 6, kMemStrh = 7,
+                   kMemLdrPc = 8, kMemAdr = 9;
+
+std::optional<unsigned> dp_op5(Op op) {
+  switch (op) {
+    case Op::and_: return kOpAnd;
+    case Op::eor: return kOpEor;
+    case Op::sub: return kOpSub;
+    case Op::rsb: return kOpRsb;
+    case Op::add: return kOpAdd;
+    case Op::adc: return kOpAdc;
+    case Op::sbc: return kOpSbc;
+    case Op::orr: return kOpOrr;
+    case Op::bic: return kOpBic;
+    case Op::mov: return kOpMov;
+    case Op::mvn: return kOpMvn;
+    case Op::cmp: return kOpCmp;
+    case Op::cmn: return kOpCmn;
+    case Op::tst: return kOpTst;
+    case Op::teq: return kOpTeq;
+    case Op::mul: return kOpMul;
+    case Op::mla: return kOpMla;
+    case Op::lsl: return kOpLsl;
+    case Op::lsr: return kOpLsr;
+    case Op::asr: return kOpAsr;
+    case Op::ror: return kOpRor;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<unsigned> mem_op4(Op op) {
+  switch (op) {
+    case Op::ldr: return kMemLdr;
+    case Op::ldrb: return kMemLdrb;
+    case Op::ldrh: return kMemLdrh;
+    case Op::ldrsb: return kMemLdrsb;
+    case Op::ldrsh: return kMemLdrsh;
+    case Op::str: return kMemStr;
+    case Op::strb: return kMemStrb;
+    case Op::strh: return kMemStrh;
+    default: return std::nullopt;
+  }
+}
+
+constexpr std::uint32_t with_cond(Cond c, std::uint32_t word) {
+  return (static_cast<std::uint32_t>(c) << 28) | word;
+}
+
+// Builds the encoded word, or nullopt when unrepresentable.
+std::optional<std::uint32_t> build_word(const Instruction& insn,
+                                        std::int64_t disp) {
+  const auto cond = insn.cond;
+  const bool s_bit = insn.set_flags == SetFlags::yes;
+
+  if (const auto op5 = dp_op5(insn.op)) {
+    const bool is_compare = insn.op == Op::cmp || insn.op == Op::cmn ||
+                            insn.op == Op::tst || insn.op == Op::teq;
+    const bool s = is_compare ? true : s_bit;
+    const Reg rd = is_compare ? 0 : insn.rd;
+    // mul/mla have no immediate form in W32 (as in classic ARM).
+    if (insn.uses_imm) {
+      if (insn.op == Op::mul || insn.op == Op::mla) {
+        return std::nullopt;
+      }
+      const auto field = encode_modified_imm(
+          static_cast<std::uint32_t>(insn.imm));
+      if (!field || insn.imm < 0) {
+        return std::nullopt;
+      }
+      return with_cond(cond, (0b01u << 26) | (*op5 << 21) |
+                                 (unsigned(s) << 20) | (unsigned(rd) << 16) |
+                                 (unsigned(insn.rn) << 12) | *field);
+    }
+    return with_cond(cond, (0b00u << 26) | (*op5 << 21) |
+                               (unsigned(s) << 20) | (unsigned(rd) << 16) |
+                               (unsigned(insn.rn) << 12) |
+                               (unsigned(insn.ra) << 8) |
+                               unsigned(insn.rm));
+  }
+
+  if (const auto op4 = mem_op4(insn.op)) {
+    if (insn.addr == AddrMode::offset_imm) {
+      if (insn.imm < 0 || insn.imm > 4095) {
+        return std::nullopt;
+      }
+      return with_cond(cond, (0b10u << 26) | (*op4 << 21) |
+                                 (unsigned(insn.rd) << 16) |
+                                 (unsigned(insn.rn) << 12) |
+                                 static_cast<std::uint32_t>(insn.imm));
+    }
+    if (insn.addr == AddrMode::offset_reg) {
+      return with_cond(cond, (0b10u << 26) | (1u << 25) | (*op4 << 21) |
+                                 (unsigned(insn.rd) << 16) |
+                                 (unsigned(insn.rn) << 12) |
+                                 unsigned(insn.rm));
+    }
+    if (insn.addr == AddrMode::pc_rel && insn.op == Op::ldr) {
+      if (disp < 0 || disp > 4095) {
+        return std::nullopt;
+      }
+      return with_cond(cond, (0b10u << 26) | (kMemLdrPc << 21) |
+                                 (unsigned(insn.rd) << 16) |
+                                 static_cast<std::uint32_t>(disp));
+    }
+    return std::nullopt;
+  }
+
+  switch (insn.op) {
+    case Op::adr:
+      if (disp < 0 || disp > 4095) {
+        return std::nullopt;
+      }
+      return with_cond(cond, (0b10u << 26) | (kMemAdr << 21) |
+                                 (unsigned(insn.rd) << 16) |
+                                 static_cast<std::uint32_t>(disp));
+
+    case Op::b:
+    case Op::bl: {
+      const std::int64_t rel = disp - 8;
+      if (rel % 4 != 0 || !fits_signed(rel / 4, 22)) {
+        return std::nullopt;
+      }
+      const auto kind = insn.op == Op::b ? 0u : 1u;
+      return with_cond(cond,
+                       (0b11u << 26) | (0b00u << 24) | (kind << 22) |
+                           (static_cast<std::uint32_t>(rel / 4) & 0x3F'FFFFu));
+    }
+    case Op::bx:
+      return with_cond(cond, (0b11u << 26) | (0b00u << 24) | (2u << 22) |
+                                 unsigned(insn.rm));
+    case Op::svc:
+      if (insn.imm < 0 || !support::fits_unsigned(
+                              static_cast<std::uint64_t>(insn.imm), 22)) {
+        return std::nullopt;
+      }
+      return with_cond(cond, (0b11u << 26) | (0b00u << 24) | (3u << 22) |
+                                 static_cast<std::uint32_t>(insn.imm));
+
+    case Op::ldm:
+    case Op::stm:
+    case Op::push:
+    case Op::pop: {
+      if (insn.reglist == 0) {
+        return std::nullopt;
+      }
+      unsigned mop = 0;
+      bool w = insn.writeback;
+      Reg rn = insn.rn;
+      switch (insn.op) {
+        case Op::ldm: mop = 0; break;
+        case Op::stm: mop = 1; break;
+        case Op::push: mop = 2; w = true; rn = sp; break;
+        default: mop = 3; w = true; rn = sp; break;
+      }
+      return with_cond(cond, (0b11u << 26) | (0b01u << 24) | (mop << 21) |
+                                 (unsigned(w) << 20) | (unsigned(rn) << 16) |
+                                 insn.reglist);
+    }
+
+    case Op::nop:
+      return with_cond(cond, (0b11u << 26) | (0b10u << 24) | (0u << 20));
+    case Op::bkpt:
+      if (insn.imm < 0 || insn.imm > 0xFFFF) {
+        return std::nullopt;
+      }
+      return with_cond(cond, (0b11u << 26) | (0b10u << 24) | (1u << 20) |
+                                 static_cast<std::uint32_t>(insn.imm));
+    case Op::cps:
+      return with_cond(cond, (0b11u << 26) | (0b10u << 24) | (2u << 20) |
+                                 (insn.imm ? 1u : 0u));
+    case Op::wfi:
+      return with_cond(cond, (0b11u << 26) | (0b10u << 24) | (3u << 20));
+
+    default:
+      return std::nullopt;  // B32-only instruction
+  }
+}
+
+class W32Codec final : public Codec {
+ public:
+  [[nodiscard]] Encoding encoding() const override { return Encoding::w32; }
+  [[nodiscard]] int alignment() const override { return 4; }
+
+  [[nodiscard]] int size_for(const Instruction& insn,
+                             std::int64_t disp) const override {
+    return build_word(insn, disp).has_value() ? 4 : 0;
+  }
+
+  void encode(const Instruction& insn, std::int64_t disp, int size,
+              std::vector<std::uint8_t>& out) const override {
+    ACES_CHECK(size == 4);
+    const auto word = build_word(insn, disp);
+    ACES_CHECK_MSG(word.has_value(), "instruction not encodable in W32");
+    out.push_back(static_cast<std::uint8_t>(*word));
+    out.push_back(static_cast<std::uint8_t>(*word >> 8));
+    out.push_back(static_cast<std::uint8_t>(*word >> 16));
+    out.push_back(static_cast<std::uint8_t>(*word >> 24));
+  }
+
+  [[nodiscard]] int decode(std::span<const std::uint8_t> code,
+                           Instruction& out) const override;
+};
+
+}  // namespace
+
+int W32Codec::decode(std::span<const std::uint8_t> code,
+                     Instruction& out) const {
+  if (code.size() < 4) {
+    return 0;
+  }
+  const std::uint32_t w = static_cast<std::uint32_t>(code[0]) |
+                          (static_cast<std::uint32_t>(code[1]) << 8) |
+                          (static_cast<std::uint32_t>(code[2]) << 16) |
+                          (static_cast<std::uint32_t>(code[3]) << 24);
+  const unsigned cond4 = bits(w, 28, 4);
+  if (cond4 > 14) {
+    return 0;
+  }
+  out = Instruction{};
+  out.cond = static_cast<Cond>(cond4);
+
+  const unsigned cls = bits(w, 26, 2);
+  if (cls == 0b00 || cls == 0b01) {
+    const unsigned op5 = bits(w, 21, 5);
+    static constexpr Op ops[21] = {
+        Op::and_, Op::eor, Op::sub, Op::rsb, Op::add, Op::adc, Op::sbc,
+        Op::orr,  Op::bic, Op::mov, Op::mvn, Op::cmp, Op::cmn, Op::tst,
+        Op::teq,  Op::mul, Op::mla, Op::lsl, Op::lsr, Op::asr, Op::ror};
+    if (op5 > 20) {
+      return 0;
+    }
+    out.op = ops[op5];
+    const bool is_compare = op5 >= kOpCmp && op5 <= kOpTeq;
+    // Compares always encode with S=1 and rd=0; reject other patterns so
+    // decode/encode stays a fixed point.
+    if (is_compare && (bits(w, 20, 1) == 0 || bits(w, 16, 4) != 0)) {
+      return 0;
+    }
+    out.set_flags =
+        (is_compare || bits(w, 20, 1)) ? SetFlags::yes : SetFlags::no;
+    out.rd = is_compare ? 0 : static_cast<Reg>(bits(w, 16, 4));
+    out.rn = static_cast<Reg>(bits(w, 12, 4));
+    if (is_compare) {
+      out.rn = static_cast<Reg>(bits(w, 12, 4));
+    }
+    if (cls == 0b01) {
+      if (op5 == kOpMul || op5 == kOpMla) {
+        return 0;  // multiplies have no immediate form
+      }
+      const auto field = static_cast<std::uint16_t>(bits(w, 0, 12));
+      // Reject redundant (non-minimal-rotation) modified immediates so the
+      // decoder is canonical.
+      if (encode_modified_imm(decode_modified_imm(field)) != field) {
+        return 0;
+      }
+      out.uses_imm = true;
+      out.imm = decode_modified_imm(field);
+    } else {
+      if (bits(w, 4, 4) != 0) {
+        return 0;  // bits [7:4] unused in the register form
+      }
+      out.ra = static_cast<Reg>(bits(w, 8, 4));
+      out.rm = static_cast<Reg>(bits(w, 0, 4));
+    }
+    return 4;
+  }
+
+  if (cls == 0b10) {
+    if (bits(w, 20, 1) != 0) {
+      return 0;  // unused bit between op4 and rd
+    }
+    const bool reg_form = bits(w, 25, 1) != 0;
+    const unsigned op4 = bits(w, 21, 4);
+    out.rd = static_cast<Reg>(bits(w, 16, 4));
+    out.rn = static_cast<Reg>(bits(w, 12, 4));
+    if (op4 == kMemLdrPc) {
+      if (bits(w, 12, 4) != 0 || reg_form) {
+        return 0;
+      }
+      out.op = Op::ldr;
+      out.addr = AddrMode::pc_rel;
+      out.rn = 0;
+      out.imm = bits(w, 0, 12);
+      return 4;
+    }
+    if (op4 == kMemAdr) {
+      if (bits(w, 12, 4) != 0 || reg_form) {
+        return 0;
+      }
+      out.op = Op::adr;
+      out.rn = 0;
+      out.imm = bits(w, 0, 12);
+      return 4;
+    }
+    static constexpr Op mops[8] = {Op::ldr,   Op::ldrb, Op::ldrh, Op::ldrsb,
+                                   Op::ldrsh, Op::str,  Op::strb, Op::strh};
+    if (op4 > 7) {
+      return 0;
+    }
+    out.op = mops[op4];
+    if (reg_form) {
+      if (bits(w, 4, 8) != 0) {
+        return 0;  // must-be-zero field
+      }
+      out.addr = AddrMode::offset_reg;
+      out.rm = static_cast<Reg>(bits(w, 0, 4));
+    } else {
+      out.addr = AddrMode::offset_imm;
+      out.imm = bits(w, 0, 12);
+    }
+    return 4;
+  }
+
+  // cls == 0b11
+  const unsigned sub = bits(w, 24, 2);
+  if (sub == 0b00) {
+    const unsigned kind = bits(w, 22, 2);
+    switch (kind) {
+      case 0:
+      case 1:
+        out.op = kind == 0 ? Op::b : Op::bl;
+        out.imm =
+            static_cast<std::int64_t>(support::sign_extend(bits(w, 0, 22), 22)) *
+                4 +
+            8;
+        return 4;
+      case 2:
+        if (bits(w, 4, 18) != 0) {
+          return 0;
+        }
+        out.op = Op::bx;
+        out.rm = static_cast<Reg>(bits(w, 0, 4));
+        return 4;
+      default:
+        out.op = Op::svc;
+        out.uses_imm = true;
+        out.imm = bits(w, 0, 22);
+        return 4;
+    }
+  }
+  if (sub == 0b01) {
+    const unsigned mop = bits(w, 21, 3);
+    static constexpr Op mops[4] = {Op::ldm, Op::stm, Op::push, Op::pop};
+    if (mop > 3) {
+      return 0;
+    }
+    out.op = mops[mop];
+    out.writeback = bits(w, 20, 1) != 0;
+    out.rn = static_cast<Reg>(bits(w, 16, 4));
+    out.reglist = static_cast<std::uint16_t>(bits(w, 0, 16));
+    if (out.op == Op::push || out.op == Op::pop) {
+      // push/pop always encode rn=sp with writeback.
+      if (out.rn != sp || !out.writeback) {
+        return 0;
+      }
+      out.rn = 0;
+      out.writeback = false;
+    }
+    return out.reglist != 0 ? 4 : 0;
+  }
+  if (sub == 0b10) {
+    const unsigned sop = bits(w, 20, 4);
+    switch (sop) {
+      case 0:
+        if (bits(w, 0, 20) != 0) {
+          return 0;
+        }
+        out.op = Op::nop;
+        return 4;
+      case 1:
+        if (bits(w, 16, 4) != 0) {
+          return 0;
+        }
+        out.op = Op::bkpt;
+        out.uses_imm = true;
+        out.imm = bits(w, 0, 16);
+        return 4;
+      case 2:
+        if (bits(w, 1, 19) != 0) {
+          return 0;
+        }
+        out.op = Op::cps;
+        out.uses_imm = true;
+        out.imm = bits(w, 0, 1);
+        return 4;
+      case 3:
+        if (bits(w, 0, 20) != 0) {
+          return 0;
+        }
+        out.op = Op::wfi;
+        return 4;
+      default:
+        return 0;
+    }
+  }
+  return 0;
+}
+
+namespace {
+const W32Codec kW32Codec;
+}  // namespace
+
+const Codec& w32_codec() { return kW32Codec; }
+
+}  // namespace aces::isa

@@ -1,0 +1,31 @@
+#include "isa/codec.h"
+#include "support/bits.h"
+
+namespace aces::isa {
+
+const Codec& codec_for(Encoding e) {
+  switch (e) {
+    case Encoding::w32: return w32_codec();
+    case Encoding::n16: return n16_codec();
+    case Encoding::b32: return b32_codec();
+  }
+  return w32_codec();
+}
+
+std::optional<std::uint16_t> encode_modified_imm(std::uint32_t value) {
+  for (unsigned rot = 0; rot < 16; ++rot) {
+    const std::uint32_t rotated = support::rotate_left(value, 2 * rot);
+    if (rotated <= 0xFFu) {
+      return static_cast<std::uint16_t>((rot << 8) | rotated);
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint32_t decode_modified_imm(std::uint16_t field) {
+  const unsigned rot = (field >> 8) & 0xFu;
+  const std::uint32_t imm8 = field & 0xFFu;
+  return support::rotate_right(imm8, 2 * rot);
+}
+
+}  // namespace aces::isa

@@ -1,0 +1,214 @@
+#include "isa/disasm.h"
+
+#include <cstdio>
+
+#include "isa/assembler.h"
+#include "isa/codec.h"
+#include "support/bits.h"
+
+namespace aces::isa {
+
+namespace {
+
+std::string hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+std::string reglist_str(std::uint16_t list) {
+  std::string out = "{";
+  bool first = true;
+  for (Reg r = 0; r < 16; ++r) {
+    if ((list >> r) & 1u) {
+      if (!first) {
+        out += ", ";
+      }
+      out += std::string(reg_name(r));
+      first = false;
+    }
+  }
+  return out + "}";
+}
+
+bool is_load_store(Op op) {
+  switch (op) {
+    case Op::ldr:
+    case Op::ldrb:
+    case Op::ldrh:
+    case Op::ldrsb:
+    case Op::ldrsh:
+    case Op::str:
+    case Op::strb:
+    case Op::strh:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string it_pattern(std::uint8_t mask, Cond firstcond) {
+  // Recover the t/e pattern from the Thumb-style mask.
+  std::string out;
+  const unsigned fc0 = static_cast<unsigned>(firstcond) & 1u;
+  int n = 4;
+  for (int b = 0; b < 4; ++b) {
+    if ((mask >> b) & 1u) {
+      n = 4 - b;
+      break;
+    }
+  }
+  for (int k = 1; k < n; ++k) {
+    const unsigned bit = (mask >> (4 - k)) & 1u;
+    out += (bit == fc0) ? 't' : 'e';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& insn, std::uint32_t addr) {
+  std::string name(op_name(insn.op));
+  if (insn.op == Op::it) {
+    return "it" + it_pattern(insn.it_mask, insn.cond) + " " +
+           std::string(cond_name(insn.cond));
+  }
+  if (insn.cond != Cond::al) {
+    name += std::string(cond_name(insn.cond));
+  }
+  if (insn.set_flags == SetFlags::yes) {
+    switch (insn.op) {
+      case Op::cmp:
+      case Op::cmn:
+      case Op::tst:
+      case Op::teq:
+        break;  // implicit
+      default:
+        name += "s";
+        break;
+    }
+  }
+
+  const auto rd = std::string(reg_name(insn.rd));
+  const auto rn = std::string(reg_name(insn.rn));
+  const auto rm = std::string(reg_name(insn.rm));
+
+  switch (insn.op) {
+    case Op::mov:
+    case Op::mvn:
+    case Op::movw:
+    case Op::movt:
+      return name + " " + rd + ", " +
+             (insn.uses_imm ? "#" + std::to_string(insn.imm) : rm);
+    case Op::cmp:
+    case Op::cmn:
+    case Op::tst:
+    case Op::teq:
+      return name + " " + rn + ", " +
+             (insn.uses_imm ? "#" + std::to_string(insn.imm) : rm);
+    case Op::rbit:
+    case Op::rev:
+    case Op::rev16:
+    case Op::clz:
+    case Op::sxtb:
+    case Op::sxth:
+    case Op::uxtb:
+    case Op::uxth:
+      return name + " " + rd + ", " + rm;
+    case Op::mla:
+      return name + " " + rd + ", " + rn + ", " + rm + ", " +
+             std::string(reg_name(insn.ra));
+    case Op::bfc:
+      return name + " " + rd + ", #" + std::to_string(insn.imm) + ", #" +
+             std::to_string(insn.width);
+    case Op::bfi:
+    case Op::ubfx:
+    case Op::sbfx:
+      return name + " " + rd + ", " + rn + ", #" + std::to_string(insn.imm) +
+             ", #" + std::to_string(insn.width);
+    case Op::adr:
+      return name + " " + rd + ", " +
+             hex(static_cast<std::uint32_t>(
+                 support::align_down(addr + 4, 4) + insn.imm));
+    case Op::ldm:
+    case Op::stm:
+      return name + " " + rn + (insn.writeback ? "!" : "") + ", " +
+             reglist_str(insn.reglist);
+    case Op::push:
+    case Op::pop:
+      return name + " " + reglist_str(insn.reglist);
+    case Op::b:
+    case Op::bl:
+      return name + " " +
+             hex(static_cast<std::uint32_t>(addr + insn.imm));
+    case Op::cbz:
+    case Op::cbnz:
+      return name + " " + rn + ", " +
+             hex(static_cast<std::uint32_t>(addr + insn.imm));
+    case Op::bx:
+      return name + " " + rm;
+    case Op::tbb:
+      return name + " [" + rn + ", " + rm + "]";
+    case Op::svc:
+    case Op::bkpt:
+      return name + " #" + std::to_string(insn.imm);
+    case Op::cps:
+      return insn.imm ? "cpsid" : "cpsie";
+    case Op::nop:
+    case Op::wfi:
+      return name;
+    default:
+      break;
+  }
+
+  if (is_load_store(insn.op)) {
+    switch (insn.addr) {
+      case AddrMode::offset_imm:
+        return name + " " + rd + ", [" + rn +
+               (insn.imm != 0 ? ", #" + std::to_string(insn.imm) : "") + "]";
+      case AddrMode::offset_reg:
+        return name + " " + rd + ", [" + rn + ", " + rm + "]";
+      case AddrMode::pc_rel:
+        return name + " " + rd + ", " +
+               hex(static_cast<std::uint32_t>(
+                   support::align_down(addr + 4, 4) + insn.imm));
+      default:
+        break;
+    }
+  }
+
+  // Remaining data-processing forms: rd, rn, rm|imm.
+  return name + " " + rd + ", " + rn + ", " +
+         (insn.uses_imm ? "#" + std::to_string(insn.imm) : rm);
+}
+
+std::string disassemble_image(const Image& image) {
+  const Codec& codec = codec_for(image.encoding);
+  std::string out;
+  std::uint32_t offset = 0;
+  while (offset < image.size()) {
+    Instruction insn;
+    const int n = codec.decode(
+        std::span(image.bytes).subspan(offset), insn);
+    if (n == 0) {
+      out += "; " + std::to_string(image.size() - offset) +
+             " byte(s) of data/pool\n";
+      break;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%08x:  ", image.base + offset);
+    out += buf;
+    for (int k = 0; k < n; ++k) {
+      std::snprintf(buf, sizeof buf, "%02x",
+                    image.bytes[offset + static_cast<std::uint32_t>(k)]);
+      out += buf;
+    }
+    out += n == 2 ? "      " : "  ";
+    out += disassemble(insn, image.base + offset);
+    out += '\n';
+    offset += static_cast<std::uint32_t>(n);
+  }
+  return out;
+}
+
+}  // namespace aces::isa

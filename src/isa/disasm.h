@@ -1,0 +1,27 @@
+// Textual disassembly of UC32 instructions and images, used by the examples,
+// the debugger model and test diagnostics.
+#ifndef ACES_ISA_DISASM_H
+#define ACES_ISA_DISASM_H
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.h"
+
+namespace aces::isa {
+
+struct Image;
+
+// Formats a single decoded instruction. `addr` is used to resolve
+// pc-relative and branch targets to absolute addresses.
+[[nodiscard]] std::string disassemble(const Instruction& insn,
+                                      std::uint32_t addr = 0);
+
+// Walks an image from its base, one instruction per line
+// ("address: bytes  mnemonic ...\n"). Stops at the first undecodable
+// position (e.g. a literal pool) and notes the remaining byte count.
+[[nodiscard]] std::string disassemble_image(const Image& image);
+
+}  // namespace aces::isa
+
+#endif  // ACES_ISA_DISASM_H

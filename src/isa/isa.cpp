@@ -1,0 +1,252 @@
+#include "isa/isa.h"
+
+#include "support/check.h"
+
+namespace aces::isa {
+
+std::string_view reg_name(Reg r) {
+  static constexpr std::string_view names[16] = {
+      "r0", "r1", "r2",  "r3",  "r4",  "r5", "r6", "r7",
+      "r8", "r9", "r10", "r11", "r12", "sp", "lr", "pc"};
+  ACES_CHECK(r < 16);
+  return names[r];
+}
+
+Cond invert(Cond c) {
+  ACES_CHECK_MSG(c != Cond::al, "AL has no inverse");
+  // Condition pairs differ in the low bit (eq/ne, cs/cc, ...).
+  return static_cast<Cond>(static_cast<std::uint8_t>(c) ^ 1u);
+}
+
+std::string_view cond_name(Cond c) {
+  static constexpr std::string_view names[15] = {
+      "eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+      "hi", "ls", "ge", "lt", "gt", "le", ""};
+  return names[static_cast<std::uint8_t>(c)];
+}
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::add: return "add";
+    case Op::adc: return "adc";
+    case Op::sub: return "sub";
+    case Op::sbc: return "sbc";
+    case Op::rsb: return "rsb";
+    case Op::and_: return "and";
+    case Op::orr: return "orr";
+    case Op::eor: return "eor";
+    case Op::bic: return "bic";
+    case Op::mov: return "mov";
+    case Op::mvn: return "mvn";
+    case Op::lsl: return "lsl";
+    case Op::lsr: return "lsr";
+    case Op::asr: return "asr";
+    case Op::ror: return "ror";
+    case Op::cmp: return "cmp";
+    case Op::cmn: return "cmn";
+    case Op::tst: return "tst";
+    case Op::teq: return "teq";
+    case Op::mul: return "mul";
+    case Op::mla: return "mla";
+    case Op::sdiv: return "sdiv";
+    case Op::udiv: return "udiv";
+    case Op::movw: return "movw";
+    case Op::movt: return "movt";
+    case Op::bfi: return "bfi";
+    case Op::bfc: return "bfc";
+    case Op::ubfx: return "ubfx";
+    case Op::sbfx: return "sbfx";
+    case Op::rbit: return "rbit";
+    case Op::rev: return "rev";
+    case Op::rev16: return "rev16";
+    case Op::clz: return "clz";
+    case Op::sxtb: return "sxtb";
+    case Op::sxth: return "sxth";
+    case Op::uxtb: return "uxtb";
+    case Op::uxth: return "uxth";
+    case Op::ldr: return "ldr";
+    case Op::ldrb: return "ldrb";
+    case Op::ldrh: return "ldrh";
+    case Op::ldrsb: return "ldrsb";
+    case Op::ldrsh: return "ldrsh";
+    case Op::str: return "str";
+    case Op::strb: return "strb";
+    case Op::strh: return "strh";
+    case Op::adr: return "adr";
+    case Op::ldm: return "ldm";
+    case Op::stm: return "stm";
+    case Op::push: return "push";
+    case Op::pop: return "pop";
+    case Op::b: return "b";
+    case Op::bl: return "bl";
+    case Op::bx: return "bx";
+    case Op::cbz: return "cbz";
+    case Op::cbnz: return "cbnz";
+    case Op::tbb: return "tbb";
+    case Op::it: return "it";
+    case Op::nop: return "nop";
+    case Op::svc: return "svc";
+    case Op::bkpt: return "bkpt";
+    case Op::cps: return "cps";
+    case Op::wfi: return "wfi";
+  }
+  return "?";
+}
+
+std::string_view encoding_name(Encoding e) {
+  switch (e) {
+    case Encoding::w32: return "W32";
+    case Encoding::n16: return "N16";
+    case Encoding::b32: return "B32";
+  }
+  return "?";
+}
+
+Instruction ins_rrr(Op op, Reg rd, Reg rn, Reg rm, SetFlags s) {
+  Instruction i;
+  i.op = op;
+  i.rd = rd;
+  i.rn = rn;
+  i.rm = rm;
+  i.set_flags = s;
+  return i;
+}
+
+Instruction ins_rri(Op op, Reg rd, Reg rn, std::int64_t imm, SetFlags s) {
+  Instruction i;
+  i.op = op;
+  i.rd = rd;
+  i.rn = rn;
+  i.uses_imm = true;
+  i.imm = imm;
+  i.set_flags = s;
+  return i;
+}
+
+Instruction ins_mov_imm(Reg rd, std::int64_t imm, SetFlags s) {
+  Instruction i;
+  i.op = Op::mov;
+  i.rd = rd;
+  i.uses_imm = true;
+  i.imm = imm;
+  i.set_flags = s;
+  return i;
+}
+
+Instruction ins_mov_reg(Reg rd, Reg rm, SetFlags s) {
+  Instruction i;
+  i.op = Op::mov;
+  i.rd = rd;
+  i.rm = rm;
+  i.set_flags = s;
+  return i;
+}
+
+Instruction ins_cmp_imm(Reg rn, std::int64_t imm) {
+  Instruction i;
+  i.op = Op::cmp;
+  i.rn = rn;
+  i.uses_imm = true;
+  i.imm = imm;
+  i.set_flags = SetFlags::yes;
+  return i;
+}
+
+Instruction ins_cmp_reg(Reg rn, Reg rm) {
+  Instruction i;
+  i.op = Op::cmp;
+  i.rn = rn;
+  i.rm = rm;
+  i.set_flags = SetFlags::yes;
+  return i;
+}
+
+Instruction ins_ldst_imm(Op op, Reg rd, Reg rn, std::int64_t imm) {
+  Instruction i;
+  i.op = op;
+  i.rd = rd;
+  i.rn = rn;
+  i.addr = AddrMode::offset_imm;
+  i.imm = imm;
+  return i;
+}
+
+Instruction ins_ldst_reg(Op op, Reg rd, Reg rn, Reg rm) {
+  Instruction i;
+  i.op = op;
+  i.rd = rd;
+  i.rn = rn;
+  i.rm = rm;
+  i.addr = AddrMode::offset_reg;
+  return i;
+}
+
+Instruction ins_push(std::uint16_t reglist) {
+  Instruction i;
+  i.op = Op::push;
+  i.reglist = reglist;
+  return i;
+}
+
+Instruction ins_pop(std::uint16_t reglist) {
+  Instruction i;
+  i.op = Op::pop;
+  i.reglist = reglist;
+  return i;
+}
+
+Instruction ins_ret() {
+  Instruction i;
+  i.op = Op::bx;
+  i.rm = lr;
+  return i;
+}
+
+Instruction ins_it(Cond firstcond, std::string_view pattern) {
+  // pattern is "", "t", "e", "tt", ... up to 3 extra slots; the leading
+  // (implicit) T for the first instruction is not written, matching ARM
+  // assembler convention (IT, ITT, ITE, ...).
+  ACES_CHECK(pattern.size() <= 3);
+  ACES_CHECK(firstcond != Cond::al || pattern.empty());
+  const auto fc = static_cast<std::uint8_t>(firstcond);
+  // Thumb IT mask layout: for an n-instruction block, bits 3..(5-n) hold the
+  // low condition bit for slots 2..n ('then' = firstcond low bit, 'else' =
+  // its complement), and bit (4-n) is the 1 terminator.
+  std::uint8_t mask = 0;
+  const std::size_t n = pattern.size() + 1;
+  for (std::size_t k = 1; k < n; ++k) {
+    const char slot = pattern[k - 1];
+    ACES_CHECK(slot == 't' || slot == 'e');
+    const std::uint8_t low = (fc & 1u) ^ (slot == 'e' ? 1u : 0u);
+    mask |= static_cast<std::uint8_t>(low << (4 - k));
+  }
+  mask |= static_cast<std::uint8_t>(1u << (4 - n));
+  Instruction i;
+  i.op = Op::it;
+  i.cond = firstcond;
+  i.it_mask = static_cast<std::uint8_t>(mask & 0xF);
+  return i;
+}
+
+bool cond_holds(Cond c, const Flags& f) {
+  switch (c) {
+    case Cond::eq: return f.z;
+    case Cond::ne: return !f.z;
+    case Cond::cs: return f.c;
+    case Cond::cc: return !f.c;
+    case Cond::mi: return f.n;
+    case Cond::pl: return !f.n;
+    case Cond::vs: return f.v;
+    case Cond::vc: return !f.v;
+    case Cond::hi: return f.c && !f.z;
+    case Cond::ls: return !f.c || f.z;
+    case Cond::ge: return f.n == f.v;
+    case Cond::lt: return f.n != f.v;
+    case Cond::gt: return !f.z && f.n == f.v;
+    case Cond::le: return f.z || f.n != f.v;
+    case Cond::al: return true;
+  }
+  return true;
+}
+
+}  // namespace aces::isa

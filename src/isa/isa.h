@@ -1,0 +1,171 @@
+// UC32: the clean-room unified instruction set at the heart of the
+// reproduction.
+//
+// The paper's central claim (Table 1 / Figure 1) is about one *architecture*
+// with three *encodings*:
+//   - W32  ("wide")    — fixed 32-bit, 3-address, fully predicated; stands in
+//                        for the classic ARM encoding.
+//   - N16  ("narrow")  — fixed 16-bit, 2-address, r0..r7, 8-bit immediates;
+//                        stands in for the original Thumb encoding.
+//   - B32  ("blended") — mixed 16/32-bit stream adding MOVW/MOVT, bitfield
+//                        ops, hardware divide, IT blocks, compare-and-branch
+//                        and table branch; stands in for Thumb-2.
+//
+// This header defines the encoding-independent instruction model. Encoders /
+// decoders for each of the three encodings live in codec_*.cpp, and the
+// shared executor in cpu/.
+#ifndef ACES_ISA_ISA_H
+#define ACES_ISA_ISA_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace aces::isa {
+
+// ----- Registers ------------------------------------------------------------
+
+using Reg = std::uint8_t;  // 0..15
+
+inline constexpr Reg r0 = 0, r1 = 1, r2 = 2, r3 = 3, r4 = 4, r5 = 5, r6 = 6,
+                     r7 = 7, r8 = 8, r9 = 9, r10 = 10, r11 = 11, r12 = 12;
+inline constexpr Reg sp = 13;
+inline constexpr Reg lr = 14;
+inline constexpr Reg pc = 15;
+
+inline constexpr Reg kNoReg = 0xFF;
+
+[[nodiscard]] std::string_view reg_name(Reg r);
+
+// ----- Condition codes ------------------------------------------------------
+
+enum class Cond : std::uint8_t {
+  eq = 0,   // Z
+  ne = 1,   // !Z
+  cs = 2,   // C
+  cc = 3,   // !C
+  mi = 4,   // N
+  pl = 5,   // !N
+  vs = 6,   // V
+  vc = 7,   // !V
+  hi = 8,   // C && !Z
+  ls = 9,   // !C || Z
+  ge = 10,  // N == V
+  lt = 11,  // N != V
+  gt = 12,  // !Z && N == V
+  le = 13,  // Z || N != V
+  al = 14,  // always
+};
+
+[[nodiscard]] Cond invert(Cond c);
+[[nodiscard]] std::string_view cond_name(Cond c);
+
+// ----- Opcodes ---------------------------------------------------------------
+
+enum class Op : std::uint8_t {
+  // Data processing (rd, rn, rm|imm). mov/mvn ignore rn.
+  add, adc, sub, sbc, rsb, and_, orr, eor, bic, mov, mvn,
+  // Shifts (rd, rn, rm|imm).
+  lsl, lsr, asr, ror,
+  // Compares (rn, rm|imm) — always write flags, no destination.
+  cmp, cmn, tst, teq,
+  // Multiply / divide. mla is rd = rn*rm + ra. Divides are B32-native only.
+  mul, mla, sdiv, udiv,
+  // 16-bit immediate builders (B32-only) — the §2.2 literal-pool killers.
+  movw, movt,
+  // Bitfield ops (B32-only): imm = lsb, width = field width.
+  bfi, bfc, ubfx, sbfx,
+  // Bit/byte mirrors and leading-zero count (B32-only).
+  rbit, rev, rev16, clz,
+  // Extend (B32-only).
+  sxtb, sxth, uxtb, uxth,
+  // Loads / stores: addressing per AddrMode (imm offset, reg offset, pc-rel).
+  ldr, ldrb, ldrh, ldrsb, ldrsh, str, strb, strh,
+  // PC-relative address formation (rd = align4(pc+4) + imm).
+  adr,
+  // Multiple transfer, increment-after; writeback optional. push/pop use sp.
+  ldm, stm, push, pop,
+  // Branches. b/bl/cbz/cbnz/tbb use the builder's label machinery.
+  b, bl, bx, cbz, cbnz, tbb,
+  // If-then predication block (B32-only 16-bit instruction).
+  it,
+  // System.
+  nop, svc, bkpt, cps, wfi,
+};
+
+[[nodiscard]] std::string_view op_name(Op op);
+
+// ----- Instruction -----------------------------------------------------------
+
+enum class AddrMode : std::uint8_t {
+  none,
+  offset_imm,  // [rn, #imm]
+  offset_reg,  // [rn, rm]
+  pc_rel,      // [align4(pc+4) + #imm]  (literal pool load)
+};
+
+// Whether a data-processing instruction updates NZCV. `any` is a lowering
+// hint: the flags are dead afterwards, so the encoder may pick whichever
+// form is densest (16-bit narrow ALU forms always set flags, like Thumb).
+// Decoders never produce `any`.
+enum class SetFlags : std::uint8_t { no, yes, any };
+
+struct Instruction {
+  Op op = Op::nop;
+  Cond cond = Cond::al;        // encoded predicate (W32); IT supplies it in B32
+  SetFlags set_flags = SetFlags::no;
+  Reg rd = 0;
+  Reg rn = 0;
+  Reg rm = 0;
+  Reg ra = 0;                  // accumulator for mla
+  bool uses_imm = false;       // operand2 is `imm` rather than rm
+  std::int64_t imm = 0;        // immediate / branch offset / bitfield lsb
+  std::uint8_t width = 0;      // bitfield width (1..32)
+  std::uint16_t reglist = 0;   // ldm/stm/push/pop
+  bool writeback = false;      // ldm/stm base writeback
+  AddrMode addr = AddrMode::none;
+  std::uint8_t it_mask = 0;    // IT block pattern (4-bit, Thumb layout)
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+// ----- Convenience factories (used by the lowering and by tests) -------------
+
+[[nodiscard]] Instruction ins_rrr(Op op, Reg rd, Reg rn, Reg rm,
+                                  SetFlags s = SetFlags::no);
+[[nodiscard]] Instruction ins_rri(Op op, Reg rd, Reg rn, std::int64_t imm,
+                                  SetFlags s = SetFlags::no);
+[[nodiscard]] Instruction ins_mov_imm(Reg rd, std::int64_t imm,
+                                      SetFlags s = SetFlags::no);
+[[nodiscard]] Instruction ins_mov_reg(Reg rd, Reg rm,
+                                      SetFlags s = SetFlags::no);
+[[nodiscard]] Instruction ins_cmp_imm(Reg rn, std::int64_t imm);
+[[nodiscard]] Instruction ins_cmp_reg(Reg rn, Reg rm);
+[[nodiscard]] Instruction ins_ldst_imm(Op op, Reg rd, Reg rn,
+                                       std::int64_t imm);
+[[nodiscard]] Instruction ins_ldst_reg(Op op, Reg rd, Reg rn, Reg rm);
+[[nodiscard]] Instruction ins_push(std::uint16_t reglist);
+[[nodiscard]] Instruction ins_pop(std::uint16_t reglist);
+[[nodiscard]] Instruction ins_ret();  // bx lr
+[[nodiscard]] Instruction ins_it(Cond firstcond, std::string_view pattern);
+
+// ----- Encodings --------------------------------------------------------------
+
+enum class Encoding : std::uint8_t {
+  w32,  // wide fixed 32-bit
+  n16,  // narrow fixed 16-bit
+  b32,  // blended 16/32-bit
+};
+
+[[nodiscard]] std::string_view encoding_name(Encoding e);
+
+// Flag evaluation shared by the executor and tests.
+struct Flags {
+  bool n = false, z = false, c = false, v = false;
+  friend bool operator==(const Flags&, const Flags&) = default;
+};
+
+[[nodiscard]] bool cond_holds(Cond c, const Flags& f);
+
+}  // namespace aces::isa
+
+#endif  // ACES_ISA_ISA_H

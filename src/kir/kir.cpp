@@ -1,0 +1,236 @@
+#include "kir/kir.h"
+
+#include "support/check.h"
+
+namespace aces::kir {
+
+KFunction::KFunction(std::string name, int params)
+    : name_(std::move(name)), params_(params) {
+  ACES_CHECK_MSG(params >= 0 && params <= 4,
+                 "parameters arrive in r0..r3 — at most 4");
+  next_vreg_ = params;
+}
+
+VReg KFunction::v() { return next_vreg_++; }
+
+void KFunction::append(const KInsn& i) {
+  if (i.op == KOp::label) {
+    bind(i.target);
+    return;
+  }
+  body_.push_back(i);
+}
+
+KLabel KFunction::make_label() {
+  label_bound_.push_back(false);
+  return next_label_++;
+}
+
+void KFunction::bind(KLabel l) {
+  ACES_CHECK(l >= 0 && l < next_label_);
+  ACES_CHECK_MSG(!label_bound_[static_cast<std::size_t>(l)],
+                 "KIR label bound twice");
+  label_bound_[static_cast<std::size_t>(l)] = true;
+  KInsn i;
+  i.op = KOp::label;
+  i.target = l;
+  body_.push_back(i);
+}
+
+void KFunction::movi(VReg dst, std::int64_t imm) {
+  KInsn i;
+  i.op = KOp::movi;
+  i.dst = dst;
+  i.imm = imm;
+  body_.push_back(i);
+}
+
+void KFunction::mov(VReg dst, VReg a) {
+  KInsn i;
+  i.op = KOp::mov;
+  i.dst = dst;
+  i.a = a;
+  body_.push_back(i);
+}
+
+void KFunction::arith(KOp op, VReg dst, VReg a, VReg b) {
+  KInsn i;
+  i.op = op;
+  i.dst = dst;
+  i.a = a;
+  i.b = b;
+  body_.push_back(i);
+}
+
+void KFunction::arith_imm(KOp op, VReg dst, VReg a, std::int64_t imm) {
+  KInsn i;
+  i.op = op;
+  i.dst = dst;
+  i.a = a;
+  i.b_is_imm = true;
+  i.imm = imm;
+  body_.push_back(i);
+}
+
+void KFunction::mla(VReg dst, VReg a, VReg b, VReg acc) {
+  KInsn i;
+  i.op = KOp::mla;
+  i.dst = dst;
+  i.a = a;
+  i.b = b;
+  i.c = acc;
+  body_.push_back(i);
+}
+
+void KFunction::load(VReg dst, VReg base, std::int64_t offset, Width w,
+                     bool sign) {
+  KInsn i;
+  i.op = KOp::loadi;
+  i.dst = dst;
+  i.a = base;
+  i.b_is_imm = true;
+  i.imm = offset;
+  i.width = w;
+  i.load_signed = sign;
+  body_.push_back(i);
+}
+
+void KFunction::loadx(VReg dst, VReg base, VReg index, Width w, bool sign) {
+  KInsn i;
+  i.op = KOp::loadx;
+  i.dst = dst;
+  i.a = base;
+  i.b = index;
+  i.width = w;
+  i.load_signed = sign;
+  body_.push_back(i);
+}
+
+void KFunction::store(VReg src, VReg base, std::int64_t offset, Width w) {
+  KInsn i;
+  i.op = KOp::storei;
+  i.a = base;
+  i.b_is_imm = true;
+  i.imm = offset;
+  i.c = src;
+  i.width = w;
+  body_.push_back(i);
+}
+
+void KFunction::storex(VReg src, VReg base, VReg index, Width w) {
+  KInsn i;
+  i.op = KOp::storex;
+  i.a = base;
+  i.b = index;
+  i.c = src;
+  i.width = w;
+  body_.push_back(i);
+}
+
+void KFunction::bfx(VReg dst, VReg a, unsigned lsb, unsigned width,
+                    bool sign) {
+  ACES_CHECK(width >= 1 && lsb + width <= 32);
+  KInsn i;
+  i.op = sign ? KOp::bfx_s : KOp::bfx_u;
+  i.dst = dst;
+  i.a = a;
+  i.lsb = static_cast<std::uint8_t>(lsb);
+  i.bf_width = static_cast<std::uint8_t>(width);
+  body_.push_back(i);
+}
+
+void KFunction::bfi(VReg dst, VReg a, unsigned lsb, unsigned width) {
+  ACES_CHECK(width >= 1 && lsb + width <= 32);
+  KInsn i;
+  i.op = KOp::bfi;
+  i.dst = dst;
+  i.a = a;
+  i.lsb = static_cast<std::uint8_t>(lsb);
+  i.bf_width = static_cast<std::uint8_t>(width);
+  body_.push_back(i);
+}
+
+void KFunction::unary(KOp op, VReg dst, VReg a) {
+  KInsn i;
+  i.op = op;
+  i.dst = dst;
+  i.a = a;
+  body_.push_back(i);
+}
+
+void KFunction::select(VReg dst, isa::Cond cond, VReg a, VReg b, VReg t,
+                       VReg f) {
+  KInsn i;
+  i.op = KOp::select;
+  i.dst = dst;
+  i.cond = cond;
+  i.a = a;
+  i.b = b;
+  i.t = t;
+  i.c = f;
+  body_.push_back(i);
+}
+
+void KFunction::select_imm(VReg dst, isa::Cond cond, VReg a, std::int64_t imm,
+                           VReg t, VReg f) {
+  KInsn i;
+  i.op = KOp::select;
+  i.dst = dst;
+  i.cond = cond;
+  i.a = a;
+  i.b_is_imm = true;
+  i.imm = imm;
+  i.t = t;
+  i.c = f;
+  body_.push_back(i);
+}
+
+void KFunction::br(KLabel target) {
+  KInsn i;
+  i.op = KOp::br;
+  i.target = target;
+  body_.push_back(i);
+}
+
+void KFunction::brcc(isa::Cond cond, VReg a, VReg b, KLabel target) {
+  KInsn i;
+  i.op = KOp::brcc;
+  i.cond = cond;
+  i.a = a;
+  i.b = b;
+  i.target = target;
+  body_.push_back(i);
+}
+
+void KFunction::brcc_imm(isa::Cond cond, VReg a, std::int64_t imm,
+                         KLabel target) {
+  KInsn i;
+  i.op = KOp::brcc;
+  i.cond = cond;
+  i.a = a;
+  i.b_is_imm = true;
+  i.imm = imm;
+  i.target = target;
+  body_.push_back(i);
+}
+
+void KFunction::ret(VReg a) {
+  KInsn i;
+  i.op = KOp::ret;
+  i.a = a;
+  body_.push_back(i);
+}
+
+void KFunction::validate() const {
+  for (std::size_t l = 0; l < label_bound_.size(); ++l) {
+    ACES_CHECK_MSG(label_bound_[l],
+                   name_ + ": unbound KIR label " + std::to_string(l));
+  }
+  ACES_CHECK_MSG(!body_.empty(), name_ + ": empty function");
+  // Every function must end in an unconditional transfer.
+  const KOp last = body_.back().op;
+  ACES_CHECK_MSG(last == KOp::ret || last == KOp::br,
+                 name_ + ": control falls off the end");
+}
+
+}  // namespace aces::kir

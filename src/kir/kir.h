@@ -1,0 +1,125 @@
+// KIR: the kernel intermediate representation.
+//
+// The paper's Table 1 compares one benchmark suite compiled to three
+// encodings. We reproduce that pipeline: each automotive kernel is written
+// once in KIR (a small three-address IR over virtual registers) and lowered
+// by lower.h to W32, N16 or B32 machine code. The encoding-specific
+// lowering decisions — two-address fixups and 8-register pressure on N16,
+// literal pools vs movw/movt, IT blocks vs branches, native vs emulated
+// bitfield ops, hardware vs software divide — are precisely the mechanisms
+// behind the code-density and performance spreads the paper reports.
+#ifndef ACES_KIR_KIR_H
+#define ACES_KIR_KIR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace aces::kir {
+
+using VReg = std::int32_t;
+using KLabel = std::int32_t;
+
+enum class KOp : std::uint8_t {
+  // dst = a OP b|imm
+  add, sub, rsb, mul, sdiv, udiv,
+  and_, orr, eor, bic,
+  shl, shr_u, shr_s, ror,
+  mla,   // dst = a*b + c
+  mov,   // dst = a
+  movi,  // dst = imm (any 32-bit constant)
+  // Memory: address = a + imm (loadi/storei) or a + b (loadx/storex).
+  // Width/signedness via the Width field.
+  loadi, loadx, storei, storex,
+  // Bitfield / bit-level ops (imm = lsb, width field).
+  bfx_u, bfx_s,  // dst = extract(a)
+  bfi,           // dst = insert a into dst at [lsb,width)
+  bit_rev, byte_rev, clz,
+  ext_s8, ext_s16, ext_u8, ext_u16,
+  // dst = (a cond b|imm) ? t : f   — the IT-block / predication lever.
+  select,
+  // Control flow.
+  label, br,
+  brcc,  // if (a cond b|imm) goto target
+  ret,   // return a
+};
+
+enum class Width : std::uint8_t { w8, w16, w32 };
+
+struct KInsn {
+  KOp op = KOp::mov;
+  VReg dst = -1;
+  VReg a = -1;
+  VReg b = -1;
+  VReg c = -1;              // mla accumulator / select 'f' / store source
+  VReg t = -1;              // select 't' operand
+  bool b_is_imm = false;    // operand b is `imm` instead of a vreg
+  std::int64_t imm = 0;     // immediate operand / movi constant
+  isa::Cond cond = isa::Cond::al;  // brcc / select
+  KLabel target = -1;       // label id for label/br/brcc
+  Width width = Width::w32;
+  bool load_signed = false;  // sign-extend sub-word loads
+  std::uint8_t lsb = 0;      // bitfield lsb
+  std::uint8_t bf_width = 0; // bitfield width
+};
+
+// A KIR function: parameters arrive in v0..v(params-1) (mirroring the
+// machine calling convention r0..r3), execution falls through the
+// instruction list, and every path ends in ret.
+class KFunction {
+ public:
+  KFunction(std::string name, int params);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int params() const { return params_; }
+  [[nodiscard]] int num_vregs() const { return next_vreg_; }
+  [[nodiscard]] int num_labels() const { return next_label_; }
+  [[nodiscard]] const std::vector<KInsn>& body() const { return body_; }
+
+  // ----- builder API -----
+  [[nodiscard]] VReg v();           // fresh virtual register
+  [[nodiscard]] KLabel make_label();
+  void bind(KLabel l);
+  // Appends a pre-built instruction (used by the legalizer).
+  void append(const KInsn& i);
+
+  void movi(VReg dst, std::int64_t imm);
+  void mov(VReg dst, VReg a);
+  void arith(KOp op, VReg dst, VReg a, VReg b);
+  void arith_imm(KOp op, VReg dst, VReg a, std::int64_t imm);
+  void mla(VReg dst, VReg a, VReg b, VReg acc);
+  void load(VReg dst, VReg base, std::int64_t offset, Width w,
+            bool sign = false);
+  void loadx(VReg dst, VReg base, VReg index, Width w, bool sign = false);
+  void store(VReg src, VReg base, std::int64_t offset, Width w);
+  void storex(VReg src, VReg base, VReg index, Width w);
+  void bfx(VReg dst, VReg a, unsigned lsb, unsigned width,
+           bool sign = false);
+  void bfi(VReg dst, VReg a, unsigned lsb, unsigned width);
+  void unary(KOp op, VReg dst, VReg a);
+  void select(VReg dst, isa::Cond cond, VReg a, VReg b, VReg t, VReg f);
+  void select_imm(VReg dst, isa::Cond cond, VReg a, std::int64_t imm, VReg t,
+                  VReg f);
+  void br(KLabel target);
+  void brcc(isa::Cond cond, VReg a, VReg b, KLabel target);
+  void brcc_imm(isa::Cond cond, VReg a, std::int64_t imm, KLabel target);
+  void ret(VReg a);
+
+  // Sanity checks (all labels bound, all paths end in ret/br). Throws
+  // std::logic_error on malformed functions.
+  void validate() const;
+
+ private:
+  std::string name_;
+  int params_ = 0;
+  int next_vreg_ = 0;
+  int next_label_ = 0;
+  std::vector<bool> label_bound_;
+  std::vector<KInsn> body_;
+};
+
+}  // namespace aces::kir
+
+#endif  // ACES_KIR_KIR_H

@@ -1,0 +1,1075 @@
+#include "kir/lower.h"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+
+#include "isa/codec.h"
+#include "kir/regalloc.h"
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace aces::kir {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Encoding;
+using isa::Instruction;
+using isa::Label;
+using isa::Op;
+using isa::Reg;
+using isa::SetFlags;
+
+namespace {
+
+// ----- legalization -----------------------------------------------------------
+
+// Rewrites KIR constructs the target cannot express natively into primitive
+// KIR, introducing fresh vregs so that register pressure is visible to the
+// allocator (this is where the narrow encoding starts paying).
+class Legalizer {
+ public:
+  Legalizer(const KFunction& in, const LoweringOptions& opts)
+      : in_(in), opts_(opts), out_(in.name(), in.params()) {
+    // Mirror the vreg space: fresh vregs continue after the input's.
+    for (int k = in.params(); k < in.num_vregs(); ++k) {
+      (void)out_.v();
+    }
+    for (int k = 0; k < in.num_labels(); ++k) {
+      (void)out_.make_label();
+    }
+  }
+
+  KFunction run() {
+    for (const KInsn& i : in_.body()) {
+      rewrite(i);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void rewrite(const KInsn& i) {
+    switch (i.op) {
+      case KOp::bfx_u:
+      case KOp::bfx_s:
+        if (!opts_.use_bitfield) {
+          legalize_bfx(i);
+          return;
+        }
+        break;
+      case KOp::bfi:
+        if (!opts_.use_bitfield) {
+          legalize_bfi(i);
+          return;
+        }
+        break;
+      case KOp::bit_rev:
+        if (!opts_.use_bitfield) {
+          legalize_bit_rev(i);
+          return;
+        }
+        break;
+      case KOp::byte_rev:
+        if (!opts_.use_bitfield) {
+          legalize_byte_rev(i);
+          return;
+        }
+        break;
+      case KOp::clz:
+        if (!opts_.use_bitfield) {
+          legalize_clz(i);
+          return;
+        }
+        break;
+      case KOp::ext_s8:
+      case KOp::ext_s16:
+      case KOp::ext_u8:
+      case KOp::ext_u16:
+        if (!opts_.use_bitfield) {
+          legalize_ext(i);
+          return;
+        }
+        break;
+      default:
+        break;
+    }
+    out_.append(i);
+  }
+
+  void legalize_bfx(const KInsn& i) {
+    const unsigned up = 32u - i.lsb - i.bf_width;
+    const unsigned down = 32u - i.bf_width;
+    const KOp shr = i.op == KOp::bfx_s ? KOp::shr_s : KOp::shr_u;
+    VReg t = i.a;
+    if (up > 0) {
+      const VReg fresh = out_.v();
+      out_.arith_imm(KOp::shl, fresh, i.a, up);
+      t = fresh;
+    }
+    if (down > 0) {
+      out_.arith_imm(shr, i.dst, t, down);
+    } else {
+      out_.mov(i.dst, t);
+    }
+  }
+
+  void legalize_bfi(const KInsn& i) {
+    // dst = (dst & ~(mask << lsb)) | ((a & mask) << lsb)
+    const std::uint32_t mask =
+        i.bf_width >= 32 ? 0xFFFF'FFFFu : ((1u << i.bf_width) - 1u);
+    const VReg vm = out_.v();
+    out_.movi(vm, mask);
+    const VReg vt = out_.v();
+    out_.arith(KOp::and_, vt, i.a, vm);
+    if (i.lsb > 0) {
+      out_.arith_imm(KOp::shl, vt, vt, i.lsb);
+      out_.arith_imm(KOp::shl, vm, vm, i.lsb);
+    }
+    out_.arith(KOp::bic, i.dst, i.dst, vm);
+    out_.arith(KOp::orr, i.dst, i.dst, vt);
+  }
+
+  void legalize_byte_rev(const KInsn& i) {
+    // r = (x<<24) | (x>>24) | ((x & 0xFF0000) >> 8) | ((x & 0xFF00) << 8)
+    const VReg hi = out_.v(), lo = out_.v(), m1 = out_.v(), m2 = out_.v();
+    out_.arith_imm(KOp::shl, hi, i.a, 24);
+    out_.arith_imm(KOp::shr_u, lo, i.a, 24);
+    out_.arith(KOp::orr, hi, hi, lo);
+    const VReg mask = out_.v();
+    out_.movi(mask, 0x00FF0000);
+    out_.arith(KOp::and_, m1, i.a, mask);
+    out_.arith_imm(KOp::shr_u, m1, m1, 8);
+    out_.movi(mask, 0x0000FF00);
+    out_.arith(KOp::and_, m2, i.a, mask);
+    out_.arith_imm(KOp::shl, m2, m2, 8);
+    out_.arith(KOp::orr, m1, m1, m2);
+    out_.arith(KOp::orr, i.dst, hi, m1);
+  }
+
+  void legalize_bit_rev(const KInsn& i) {
+    // Swap odd/even bits, pairs, nibbles, then reverse bytes.
+    const VReg x = out_.v();
+    out_.mov(x, i.a);
+    const VReg mask = out_.v(), t1 = out_.v(), t2 = out_.v();
+    struct Step {
+      std::uint32_t m;
+      unsigned s;
+    };
+    for (const Step step : {Step{0x5555'5555u, 1}, Step{0x3333'3333u, 2},
+                            Step{0x0F0F'0F0Fu, 4}}) {
+      out_.movi(mask, step.m);
+      out_.arith_imm(KOp::shr_u, t1, x, step.s);
+      out_.arith(KOp::and_, t1, t1, mask);
+      out_.arith(KOp::and_, t2, x, mask);
+      out_.arith_imm(KOp::shl, t2, t2, step.s);
+      out_.arith(KOp::orr, x, t1, t2);
+    }
+    KInsn rev;
+    rev.op = KOp::byte_rev;
+    rev.dst = i.dst;
+    rev.a = x;
+    rewrite(rev);  // byte_rev legalizes further if needed
+  }
+
+  void legalize_clz(const KInsn& i) {
+    // Branchless binary count using select (predication-friendly).
+    const VReg y = out_.v(), n = out_.v();
+    out_.mov(y, i.a);
+    out_.movi(n, 0);
+    for (const unsigned k : {16u, 8u, 4u, 2u, 1u}) {
+      const VReg top = out_.v();
+      out_.arith_imm(KOp::shr_u, top, y, 32 - k);
+      const VReg shifted = out_.v();
+      out_.arith_imm(KOp::shl, shifted, y, k);
+      const VReg bumped = out_.v();
+      out_.arith_imm(KOp::add, bumped, n, k);
+      // if (top == 0) { y <<= k; n += k; }
+      out_.select_imm(y, Cond::eq, top, 0, shifted, y);
+      out_.select_imm(n, Cond::eq, top, 0, bumped, n);
+    }
+    // All-zero input: the loop accumulates 31 and y stays 0 -> add 1 more.
+    const VReg msb = out_.v();
+    out_.arith_imm(KOp::shr_u, msb, y, 31);
+    const VReg plus1 = out_.v();
+    out_.arith_imm(KOp::add, plus1, n, 1);
+    out_.select_imm(i.dst, Cond::eq, msb, 0, plus1, n);
+  }
+
+  void legalize_ext(const KInsn& i) {
+    const unsigned shift = (i.op == KOp::ext_s8 || i.op == KOp::ext_u8)
+                               ? 24
+                               : 16;
+    const bool sign = i.op == KOp::ext_s8 || i.op == KOp::ext_s16;
+    const VReg t = out_.v();
+    out_.arith_imm(KOp::shl, t, i.a, shift);
+    out_.arith_imm(sign ? KOp::shr_s : KOp::shr_u, i.dst, t, shift);
+  }
+
+  const KFunction& in_;
+  const LoweringOptions& opts_;
+  KFunction out_;
+};
+
+// ----- per-function lowering -----------------------------------------------------
+
+struct HelperLabels {
+  Label udiv = -1;
+  Label sdiv = -1;
+  bool udiv_used = false;
+  bool sdiv_used = false;
+};
+
+class FunctionLowerer {
+ public:
+  FunctionLowerer(const KFunction& f, Encoding enc,
+                  const LoweringOptions& opts, Assembler& as,
+                  HelperLabels& helpers)
+      : f_(f),
+        enc_(enc),
+        opts_(opts),
+        as_(as),
+        helpers_(helpers),
+        codec_(isa::codec_for(enc)) {
+    if (enc == Encoding::n16) {
+      allocatable_ = {isa::r0, isa::r1, isa::r2, isa::r3, isa::r4, isa::r5};
+      callee_mask_ = {false, false, false, false, true, true};
+      scratch_ = {isa::r6, isa::r7};
+    } else {
+      allocatable_ = {isa::r0, isa::r1, isa::r2, isa::r3, isa::r4, isa::r5,
+                      isa::r6, isa::r7, isa::r8, isa::r9, isa::r10};
+      callee_mask_ = {false, false, false, false, true, true,
+                      true,  true,  true,  true,  true};
+      scratch_ = {isa::r11, isa::r12};
+    }
+    // Call sites clobber r0-r3.
+    for (int p = 0; p < static_cast<int>(f.body().size()); ++p) {
+      const KOp op = f.body()[static_cast<std::size_t>(p)].op;
+      if ((op == KOp::sdiv || op == KOp::udiv) && !opts_.use_hw_divide) {
+        call_positions_.push_back(p);
+      }
+    }
+    alloc_ = allocate_registers(f, allocatable_, callee_mask_,
+                                call_positions_);
+    needs_lr_ = !call_positions_.empty();
+    for (int k = 0; k < f.num_labels(); ++k) {
+      labels_.push_back(as_.new_label());
+    }
+  }
+
+  void emit() {
+    emit_prologue();
+    int since_island = 0;
+    for (const KInsn& i : f_.body()) {
+      emit_insn(i);
+      // Long functions would push literals beyond the narrow pc-relative
+      // load range; drop a pool island (branch-over-pool) periodically.
+      if (++since_island >= 48) {
+        as_.pool_island();
+        since_island = 0;
+      }
+    }
+  }
+
+ private:
+  // ----- register plumbing -----
+
+  [[nodiscard]] bool encodable(const Instruction& i) const {
+    return codec_.size_for(i, 0) != 0;
+  }
+
+  [[nodiscard]] std::uint32_t slot_offset(VReg v) const {
+    return 4u * static_cast<std::uint32_t>(
+                    alloc_.slot[static_cast<std::size_t>(v)]);
+  }
+
+  // Returns a register holding vreg's value (reloading into scratch[idx]
+  // when spilled).
+  Reg use(VReg v, int scratch_idx) {
+    ACES_CHECK(v >= 0);
+    if (!alloc_.spilled(v)) {
+      return alloc_.reg_of(v);
+    }
+    const Reg s = scratch_[static_cast<std::size_t>(scratch_idx)];
+    emit_load_raw(s, isa::sp, slot_offset(v));
+    return s;
+  }
+
+  // Register a def should be computed into.
+  Reg def_reg(VReg v, int scratch_idx) {
+    ACES_CHECK(v >= 0);
+    if (!alloc_.spilled(v)) {
+      return alloc_.reg_of(v);
+    }
+    return scratch_[static_cast<std::size_t>(scratch_idx)];
+  }
+
+  void finish_def(VReg v, Reg computed_in) {
+    if (alloc_.spilled(v)) {
+      emit_store_raw(computed_in, isa::sp, slot_offset(v));
+    }
+  }
+
+  // ----- raw emission helpers (always encodable) -----
+
+  void emit_mov(Reg rd, Reg rs) {
+    if (rd != rs) {
+      as_.ins(isa::ins_mov_reg(rd, rs, SetFlags::any));
+    }
+  }
+
+  void emit_load_raw(Reg rd, Reg base, std::uint32_t offset) {
+    const Instruction i = isa::ins_ldst_imm(Op::ldr, rd, base,
+                                            static_cast<std::int64_t>(offset));
+    ACES_CHECK_MSG(encodable(i), "spill frame exceeds addressing range");
+    as_.ins(i);
+  }
+
+  void emit_store_raw(Reg rs, Reg base, std::uint32_t offset) {
+    const Instruction i = isa::ins_ldst_imm(Op::str, rs, base,
+                                            static_cast<std::int64_t>(offset));
+    ACES_CHECK_MSG(encodable(i), "spill frame exceeds addressing range");
+    as_.ins(i);
+  }
+
+  // Builds an arbitrary 32-bit constant into rd using the densest idiom the
+  // target offers — the heart of the §2.2 comparison.
+  void materialize(Reg rd, std::int64_t imm) {
+    const auto v = static_cast<std::uint32_t>(imm);
+    Instruction movi = isa::ins_mov_imm(rd, v, SetFlags::any);
+    if (encodable(movi)) {
+      as_.ins(movi);
+      return;
+    }
+    Instruction mvni;
+    mvni.op = Op::mvn;
+    mvni.rd = rd;
+    mvni.uses_imm = true;
+    mvni.imm = static_cast<std::int64_t>(~v);
+    mvni.set_flags = SetFlags::any;
+    if (encodable(mvni)) {
+      as_.ins(mvni);
+      return;
+    }
+    if (enc_ == Encoding::n16) {
+      // imm8 shifted left: two narrow instructions, no pool.
+      const unsigned tz = v == 0 ? 0 : static_cast<unsigned>(
+                                           std::countr_zero(v));
+      if (tz > 0 && (v >> tz) <= 0xFF) {
+        as_.ins(isa::ins_mov_imm(rd, v >> tz, SetFlags::any));
+        as_.ins(isa::ins_rri(Op::lsl, rd, rd, tz, SetFlags::any));
+        return;
+      }
+    }
+    if (opts_.use_movw_movt) {
+      Instruction movw;
+      movw.op = Op::movw;
+      movw.rd = rd;
+      movw.uses_imm = true;
+      movw.imm = v & 0xFFFFu;
+      as_.ins(movw);
+      if ((v >> 16) != 0) {
+        Instruction movt = movw;
+        movt.op = Op::movt;
+        movt.imm = v >> 16;
+        as_.ins(movt);
+      }
+      return;
+    }
+    as_.load_literal(rd, v);  // literal pool — the flash-stream breaker
+  }
+
+  // ----- generic binary op with encodability fixups -----
+
+  [[nodiscard]] static bool commutative(Op op) {
+    switch (op) {
+      case Op::add:
+      case Op::adc:
+      case Op::and_:
+      case Op::orr:
+      case Op::eor:
+      case Op::mul:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  // rd = rn OP (rm | imm). imm_scratch selects the scratch used if the
+  // immediate needs materializing (must not collide with live scratches).
+  void emit_binop_imm(Op op, Reg rd, Reg rn, std::int64_t imm,
+                      int imm_scratch) {
+    // Shift-by-zero degenerates to mov.
+    if ((op == Op::lsl || op == Op::lsr || op == Op::asr || op == Op::ror) &&
+        imm == 0) {
+      emit_mov(rd, rn);
+      return;
+    }
+    Instruction direct = isa::ins_rri(op, rd, rn, imm, SetFlags::any);
+    if (imm >= 0 && encodable(direct)) {
+      as_.ins(direct);
+      return;
+    }
+    // add/sub of a negative immediate: flip the operation.
+    if ((op == Op::add || op == Op::sub) && imm < 0) {
+      const Op flipped = op == Op::add ? Op::sub : Op::add;
+      Instruction alt = isa::ins_rri(flipped, rd, rn, -imm, SetFlags::any);
+      if (encodable(alt)) {
+        as_.ins(alt);
+        return;
+      }
+    }
+    // N16 two-address immediate form (rd == rn, imm8).
+    if (rd != rn) {
+      Instruction two = isa::ins_rri(op, rd, rd, imm, SetFlags::any);
+      if (imm >= 0 && encodable(two) && rd != rn) {
+        emit_mov(rd, rn);
+        as_.ins(two);
+        return;
+      }
+    }
+    // Materialize and fall back to the register form.
+    const Reg s = scratch_[static_cast<std::size_t>(imm_scratch)];
+    ACES_CHECK_MSG(s != rn && s != rd,
+                   "scratch collision while materializing immediate");
+    materialize(s, imm);
+    emit_binop_reg(op, rd, rn, s);
+  }
+
+  void emit_binop_reg(Op op, Reg rd, Reg rn, Reg rm) {
+    // Reverse-subtract with two registers is plain subtraction with the
+    // operands swapped (N16 has no rsb register form at all).
+    if (op == Op::rsb) {
+      emit_binop_reg(Op::sub, rd, rm, rn);
+      return;
+    }
+    Instruction direct = isa::ins_rrr(op, rd, rn, rm, SetFlags::any);
+    if (encodable(direct)) {
+      as_.ins(direct);
+      return;
+    }
+    // Two-address fixups (the N16 tax).
+    Reg a = rn, b = rm;
+    if (rd == b && commutative(op)) {
+      std::swap(a, b);
+    }
+    if (rd == b) {
+      // Non-commutative with rd aliasing the second operand: stash it.
+      const Reg s = scratch_[0] != rd && scratch_[0] != a ? scratch_[0]
+                                                          : scratch_[1];
+      emit_mov(s, b);
+      emit_mov(rd, a);
+      Instruction fixed = isa::ins_rrr(op, rd, rd, s, SetFlags::any);
+      ACES_CHECK_MSG(encodable(fixed), "two-address fixup failed");
+      as_.ins(fixed);
+      return;
+    }
+    emit_mov(rd, a);
+    Instruction fixed = isa::ins_rrr(op, rd, rd, b, SetFlags::any);
+    ACES_CHECK_MSG(encodable(fixed), "two-address fixup failed");
+    as_.ins(fixed);
+  }
+
+  // ----- compare (shared by brcc/select) -----
+
+  void emit_compare(Reg a, bool b_is_imm, Reg b, std::int64_t imm) {
+    if (b_is_imm) {
+      Instruction ci = isa::ins_cmp_imm(a, imm);
+      if (imm >= 0 && encodable(ci)) {
+        as_.ins(ci);
+        return;
+      }
+      const Reg s = scratch_[1] != a ? scratch_[1] : scratch_[0];
+      materialize(s, imm);
+      as_.ins(isa::ins_cmp_reg(a, s));
+      return;
+    }
+    as_.ins(isa::ins_cmp_reg(a, b));
+  }
+
+  // ----- memory -----
+
+  [[nodiscard]] static Op load_op(Width w, bool sign) {
+    switch (w) {
+      case Width::w8: return sign ? Op::ldrsb : Op::ldrb;
+      case Width::w16: return sign ? Op::ldrsh : Op::ldrh;
+      case Width::w32: return Op::ldr;
+    }
+    return Op::ldr;
+  }
+  [[nodiscard]] static Op store_op(Width w) {
+    switch (w) {
+      case Width::w8: return Op::strb;
+      case Width::w16: return Op::strh;
+      case Width::w32: return Op::str;
+    }
+    return Op::str;
+  }
+
+  void emit_load(Reg rd, Reg base, std::int64_t offset, Width w, bool sign) {
+    const Op op = load_op(w, sign);
+    Instruction direct = isa::ins_ldst_imm(op, rd, base, offset);
+    if (offset >= 0 && encodable(direct)) {
+      as_.ins(direct);
+      return;
+    }
+    // Register-offset fallback (also covers N16's missing signed-load
+    // immediate forms).
+    const Reg s = scratch_[1] != base && scratch_[1] != rd ? scratch_[1]
+                                                           : scratch_[0];
+    materialize(s, offset);
+    Instruction reg_form = isa::ins_ldst_reg(op, rd, base, s);
+    ACES_CHECK_MSG(encodable(reg_form), "load lowering failed");
+    as_.ins(reg_form);
+  }
+
+  void emit_store(Reg rs, Reg base, std::int64_t offset, Width w) {
+    const Op op = store_op(w);
+    Instruction direct = isa::ins_ldst_imm(op, rs, base, offset);
+    if (offset >= 0 && encodable(direct)) {
+      as_.ins(direct);
+      return;
+    }
+    const Reg s = scratch_[1] != base && scratch_[1] != rs ? scratch_[1]
+                                                           : scratch_[0];
+    ACES_CHECK_MSG(s != base && s != rs, "store scratch collision");
+    materialize(s, offset);
+    Instruction reg_form = isa::ins_ldst_reg(op, rs, base, s);
+    ACES_CHECK_MSG(encodable(reg_form), "store lowering failed");
+    as_.ins(reg_form);
+  }
+
+  // ----- prologue / epilogue -----
+
+  [[nodiscard]] std::uint16_t saved_mask() const {
+    std::uint16_t mask = 0;
+    for (const Reg r : alloc_.used_callee_saved) {
+      mask |= static_cast<std::uint16_t>(1u << r);
+    }
+    if (needs_lr_) {
+      mask |= static_cast<std::uint16_t>(1u << isa::lr);
+    }
+    return mask;
+  }
+
+  void emit_prologue() {
+    const std::uint16_t mask = saved_mask();
+    if (mask != 0) {
+      as_.ins(isa::ins_push(mask));
+    }
+    if (alloc_.num_slots > 0) {
+      emit_binop_imm(Op::sub, isa::sp, isa::sp, 4 * alloc_.num_slots, 0);
+    }
+    // Place parameters: spilled ones to their slots, renamed ones via a
+    // conflict-free move sequence.
+    struct Move {
+      Reg dst;
+      Reg src;
+    };
+    std::vector<Move> moves;
+    for (VReg p = 0; p < f_.params(); ++p) {
+      const Reg arrives = static_cast<Reg>(p);
+      if (alloc_.spilled(p)) {
+        emit_store_raw(arrives, isa::sp, slot_offset(p));
+      } else if (alloc_.reg_of(p) != arrives) {
+        moves.push_back(Move{alloc_.reg_of(p), arrives});
+      }
+    }
+    while (!moves.empty()) {
+      bool progressed = false;
+      for (std::size_t k = 0; k < moves.size(); ++k) {
+        const bool dst_is_source = std::any_of(
+            moves.begin(), moves.end(),
+            [&](const Move& m) { return m.src == moves[k].dst; });
+        if (!dst_is_source) {
+          emit_mov(moves[k].dst, moves[k].src);
+          moves.erase(moves.begin() + static_cast<std::ptrdiff_t>(k));
+          progressed = true;
+          break;
+        }
+      }
+      if (!progressed) {
+        // Cycle: rotate through a scratch.
+        emit_mov(scratch_[0], moves[0].src);
+        moves[0].src = scratch_[0];
+      }
+    }
+  }
+
+  void emit_epilogue() {
+    if (alloc_.num_slots > 0) {
+      emit_binop_imm(Op::add, isa::sp, isa::sp, 4 * alloc_.num_slots, 0);
+    }
+    std::uint16_t mask = saved_mask();
+    if (mask & (1u << isa::lr)) {
+      mask = static_cast<std::uint16_t>(mask & ~(1u << isa::lr));
+      mask |= static_cast<std::uint16_t>(1u << isa::pc);
+      as_.ins(isa::ins_pop(mask));
+      return;
+    }
+    if (mask != 0) {
+      as_.ins(isa::ins_pop(mask));
+    }
+    as_.ins(isa::ins_ret());
+  }
+
+  // ----- call marshaling (software divide) -----
+
+  void emit_div_call(const KInsn& i, bool is_signed) {
+    const Reg ra = use(i.a, 0);
+    const Reg rb = i.b_is_imm ? scratch_[1] : use(i.b, 1);
+    if (i.b_is_imm) {
+      materialize(scratch_[1], i.imm);
+    }
+    // Parallel move {r0 <- ra, r1 <- rb}.
+    if (rb == isa::r0 && ra == isa::r1) {
+      emit_mov(scratch_[0], isa::r0);
+      emit_mov(isa::r0, isa::r1);
+      emit_mov(isa::r1, scratch_[0]);
+    } else if (rb == isa::r0) {
+      emit_mov(isa::r1, rb);
+      emit_mov(isa::r0, ra);
+    } else {
+      emit_mov(isa::r0, ra);
+      emit_mov(isa::r1, rb);
+    }
+    if (is_signed) {
+      helpers_.sdiv_used = true;
+      as_.bl(helpers_.sdiv);
+    } else {
+      helpers_.udiv_used = true;
+      as_.bl(helpers_.udiv);
+    }
+    const Reg rd = def_reg(i.dst, 0);
+    emit_mov(rd, isa::r0);
+    finish_def(i.dst, rd);
+  }
+
+  // ----- select -----
+
+  void emit_select(const KInsn& i) {
+    const Reg a = use(i.a, 0);
+    emit_compare(a, i.b_is_imm, i.b_is_imm ? 0 : use(i.b, 1), i.imm);
+    const Reg rt = use(i.t, 0);
+    const Reg rf = use(i.c, 1);
+    const Reg rd = def_reg(i.dst, 0);
+    // Note: rd may alias rt (both scratch_[0]) — the move orders below keep
+    // that correct because only one of the two movs executes.
+    if (enc_ == Encoding::w32) {
+      Instruction mt = isa::ins_mov_reg(rd, rt, SetFlags::no);
+      mt.cond = i.cond;
+      as_.ins(mt);
+      Instruction mf = isa::ins_mov_reg(rd, rf, SetFlags::no);
+      mf.cond = isa::invert(i.cond);
+      as_.ins(mf);
+    } else if (opts_.use_it_blocks) {
+      as_.ins(isa::ins_it(i.cond, "e"));
+      as_.ins(isa::ins_mov_reg(rd, rt, SetFlags::no));
+      as_.ins(isa::ins_mov_reg(rd, rf, SetFlags::no));
+    } else if (rd != rt) {
+      // Dense branch form: write the false value, conditionally skip the
+      // true write (3 instructions).
+      const Label done = as_.new_label();
+      emit_mov(rd, rf);
+      as_.b(done, isa::invert(i.cond));
+      emit_mov(rd, rt);
+      as_.bind(done);
+    } else {
+      // rd aliases rt (spill scratches): classic diamond.
+      const Label take_t = as_.new_label();
+      const Label done = as_.new_label();
+      as_.b(take_t, i.cond);
+      emit_mov(rd, rf);
+      as_.b(done);
+      as_.bind(take_t);
+      emit_mov(rd, rt);
+      as_.bind(done);
+    }
+    finish_def(i.dst, rd);
+  }
+
+  // ----- instruction dispatch -----
+
+  void emit_insn(const KInsn& i) {
+    switch (i.op) {
+      case KOp::label:
+        as_.bind(labels_[static_cast<std::size_t>(i.target)]);
+        return;
+      case KOp::br:
+        as_.b(labels_[static_cast<std::size_t>(i.target)]);
+        return;
+      case KOp::brcc: {
+        const Reg a = use(i.a, 0);
+        // cbz/cbnz: compare-with-zero fused branch (B32 16-bit form).
+        if (opts_.use_cbz && i.b_is_imm && i.imm == 0 &&
+            (i.cond == Cond::eq || i.cond == Cond::ne) && a < 8) {
+          Instruction cb;
+          cb.op = i.cond == Cond::eq ? Op::cbz : Op::cbnz;
+          cb.rn = a;
+          as_.branch(cb, labels_[static_cast<std::size_t>(i.target)]);
+          return;
+        }
+        emit_compare(a, i.b_is_imm, i.b_is_imm ? 0 : use(i.b, 1), i.imm);
+        as_.b(labels_[static_cast<std::size_t>(i.target)], i.cond);
+        return;
+      }
+      case KOp::ret: {
+        const Reg a = use(i.a, 0);
+        emit_mov(isa::r0, a);
+        emit_epilogue();
+        return;
+      }
+      case KOp::mov: {
+        const Reg src = use(i.a, 0);
+        const Reg rd = def_reg(i.dst, 0);
+        emit_mov(rd, src);
+        finish_def(i.dst, rd);
+        return;
+      }
+      case KOp::movi: {
+        const Reg rd = def_reg(i.dst, 0);
+        materialize(rd, i.imm);
+        finish_def(i.dst, rd);
+        return;
+      }
+      case KOp::select:
+        emit_select(i);
+        return;
+      case KOp::sdiv:
+      case KOp::udiv:
+        if (!opts_.use_hw_divide) {
+          emit_div_call(i, i.op == KOp::sdiv);
+          return;
+        }
+        [[fallthrough]];
+      case KOp::add:
+      case KOp::sub:
+      case KOp::rsb:
+      case KOp::mul:
+      case KOp::and_:
+      case KOp::orr:
+      case KOp::eor:
+      case KOp::bic:
+      case KOp::shl:
+      case KOp::shr_u:
+      case KOp::shr_s:
+      case KOp::ror: {
+        static_assert(true);
+        const Op op = [&] {
+          switch (i.op) {
+            case KOp::add: return Op::add;
+            case KOp::sub: return Op::sub;
+            case KOp::rsb: return Op::rsb;
+            case KOp::mul: return Op::mul;
+            case KOp::sdiv: return Op::sdiv;
+            case KOp::udiv: return Op::udiv;
+            case KOp::and_: return Op::and_;
+            case KOp::orr: return Op::orr;
+            case KOp::eor: return Op::eor;
+            case KOp::bic: return Op::bic;
+            case KOp::shl: return Op::lsl;
+            case KOp::shr_u: return Op::lsr;
+            case KOp::shr_s: return Op::asr;
+            default: return Op::ror;
+          }
+        }();
+        const Reg a = use(i.a, 0);
+        const Reg rd = def_reg(i.dst, 0);
+        if (i.b_is_imm) {
+          emit_binop_imm(op, rd, a, i.imm, 1);
+        } else {
+          emit_binop_reg(op, rd, a, use(i.b, 1));
+        }
+        finish_def(i.dst, rd);
+        return;
+      }
+      case KOp::mla: {
+        const Reg a = use(i.a, 0);
+        const Reg b = use(i.b, 1);
+        const Reg rd = def_reg(i.dst, 0);
+        Instruction native = isa::ins_rrr(Op::mla, rd, a, b);
+        native.ra = alloc_.spilled(i.c) ? scratch_[1] : alloc_.reg_of(i.c);
+        // Reload of acc may not collide with b's scratch.
+        if (alloc_.spilled(i.c) && alloc_.spilled(i.b)) {
+          native.ra = isa::kNoReg;  // force the fallback below
+        }
+        if (native.ra != isa::kNoReg) {
+          if (alloc_.spilled(i.c)) {
+            emit_load_raw(scratch_[1], isa::sp, slot_offset(i.c));
+          }
+          if (encodable(native)) {
+            as_.ins(native);
+            finish_def(i.dst, rd);
+            return;
+          }
+        }
+        // Fallback: mul into scratch, then add.
+        emit_binop_reg(Op::mul, scratch_[0], a, b);
+        const Reg acc = use(i.c, 1);
+        emit_binop_reg(Op::add, rd, scratch_[0], acc);
+        finish_def(i.dst, rd);
+        return;
+      }
+      case KOp::loadi: {
+        const Reg base = use(i.a, 0);
+        const Reg rd = def_reg(i.dst, 0);
+        emit_load(rd, base, i.imm, i.width, i.load_signed);
+        finish_def(i.dst, rd);
+        return;
+      }
+      case KOp::loadx: {
+        const Reg base = use(i.a, 0);
+        const Reg idx = use(i.b, 1);
+        const Reg rd = def_reg(i.dst, 0);
+        Instruction reg_form =
+            isa::ins_ldst_reg(load_op(i.width, i.load_signed), rd, base, idx);
+        ACES_CHECK_MSG(encodable(reg_form), "loadx lowering failed");
+        as_.ins(reg_form);
+        finish_def(i.dst, rd);
+        return;
+      }
+      case KOp::storei: {
+        const Reg base = use(i.a, 0);
+        const Reg src = use(i.c, 1);
+        emit_store(src, base, i.imm, i.width);
+        return;
+      }
+      case KOp::storex: {
+        const Reg base = use(i.a, 0);
+        const Reg idx = use(i.b, 1);
+        // Both scratches may be taken; the source must reload into a
+        // register distinct from base/idx.
+        Reg src;
+        if (!alloc_.spilled(i.c)) {
+          src = alloc_.reg_of(i.c);
+        } else {
+          ACES_CHECK_MSG(!(alloc_.spilled(i.a) && alloc_.spilled(i.b)),
+                         "storex with three spilled operands unsupported");
+          src = alloc_.spilled(i.a) ? scratch_[1] : scratch_[0];
+          emit_load_raw(src, isa::sp, slot_offset(i.c));
+        }
+        Instruction reg_form =
+            isa::ins_ldst_reg(store_op(i.width), src, base, idx);
+        ACES_CHECK_MSG(encodable(reg_form), "storex lowering failed");
+        as_.ins(reg_form);
+        return;
+      }
+      case KOp::bfx_u:
+      case KOp::bfx_s: {
+        const Reg a = use(i.a, 0);
+        const Reg rd = def_reg(i.dst, 0);
+        Instruction x = isa::ins_rrr(
+            i.op == KOp::bfx_u ? Op::ubfx : Op::sbfx, rd, a, 0);
+        x.imm = i.lsb;
+        x.width = i.bf_width;
+        ACES_CHECK_MSG(encodable(x), "bfx must be legalized first");
+        as_.ins(x);
+        finish_def(i.dst, rd);
+        return;
+      }
+      case KOp::bfi: {
+        // dst is read-modify-write.
+        const Reg rd = use(i.dst, 0);
+        const Reg a = use(i.a, 1);
+        Instruction x = isa::ins_rrr(Op::bfi, rd, a, 0);
+        x.imm = i.lsb;
+        x.width = i.bf_width;
+        ACES_CHECK_MSG(encodable(x), "bfi must be legalized first");
+        as_.ins(x);
+        finish_def(i.dst, rd);
+        return;
+      }
+      case KOp::bit_rev:
+      case KOp::byte_rev:
+      case KOp::clz:
+      case KOp::ext_s8:
+      case KOp::ext_s16:
+      case KOp::ext_u8:
+      case KOp::ext_u16: {
+        const Op op = [&] {
+          switch (i.op) {
+            case KOp::bit_rev: return Op::rbit;
+            case KOp::byte_rev: return Op::rev;
+            case KOp::clz: return Op::clz;
+            case KOp::ext_s8: return Op::sxtb;
+            case KOp::ext_s16: return Op::sxth;
+            case KOp::ext_u8: return Op::uxtb;
+            default: return Op::uxth;
+          }
+        }();
+        const Reg a = use(i.a, 0);
+        const Reg rd = def_reg(i.dst, 0);
+        Instruction x;
+        x.op = op;
+        x.rd = rd;
+        x.rm = a;
+        ACES_CHECK_MSG(encodable(x), "unary bit op must be legalized first");
+        as_.ins(x);
+        finish_def(i.dst, rd);
+        return;
+      }
+    }
+    ACES_CHECK_MSG(false, "unhandled KIR opcode");
+  }
+
+  const KFunction& f_;
+  Encoding enc_;
+  const LoweringOptions& opts_;
+  Assembler& as_;
+  HelperLabels& helpers_;
+  const isa::Codec& codec_;
+  std::vector<Reg> allocatable_;
+  std::vector<bool> callee_mask_;
+  std::array<Reg, 2> scratch_{};
+  std::vector<int> call_positions_;
+  Allocation alloc_;
+  bool needs_lr_ = false;
+  std::vector<Label> labels_;
+};
+
+// ----- runtime helpers --------------------------------------------------------
+
+// Unsigned 32/32 divide: classic align-and-subtract (the shape of a real
+// __aeabi_uidiv): shift the divisor up to the dividend, then walk back down
+// accumulating quotient bits. r0 = r0 / r1, clobbers r2 and r3 only, leaf.
+// Matches ARM semantics (x/0 == 0). Iteration count tracks the quotient's
+// bit length rather than a fixed 32.
+void emit_udiv_helper(Assembler& as, Label entry) {
+  using namespace isa;
+  as.bind(entry);
+  const Label ret0 = as.new_label();
+  const Label align = as.new_label();
+  const Label div_loop = as.new_label();
+  const Label no_sub = as.new_label();
+  const Label done = as.new_label();
+  as.ins(ins_cmp_imm(isa::r1, 0));
+  as.b(ret0, Cond::eq);
+  as.ins(ins_mov_imm(isa::r2, 0, SetFlags::any));  // quotient
+  as.ins(ins_mov_imm(isa::r3, 1, SetFlags::any));  // current bit
+  as.bind(align);
+  // Stop when divisor >= dividend or divisor's top bit is set.
+  as.ins(ins_cmp_reg(isa::r1, isa::r0));
+  as.b(div_loop, Cond::cs);
+  as.ins(ins_cmp_imm(isa::r1, 0));
+  as.b(div_loop, Cond::mi);
+  as.ins(ins_rrr(Op::add, isa::r1, isa::r1, isa::r1, SetFlags::any));
+  as.ins(ins_rrr(Op::add, isa::r3, isa::r3, isa::r3, SetFlags::any));
+  as.b(align);
+  as.bind(div_loop);
+  as.ins(ins_cmp_reg(isa::r0, isa::r1));
+  as.b(no_sub, Cond::cc);
+  as.ins(ins_rrr(Op::sub, isa::r0, isa::r0, isa::r1, SetFlags::any));
+  as.ins(ins_rrr(Op::add, isa::r2, isa::r2, isa::r3, SetFlags::any));
+  as.bind(no_sub);
+  as.ins(ins_rri(Op::lsr, isa::r1, isa::r1, 1, SetFlags::any));
+  as.ins(ins_rri(Op::lsr, isa::r3, isa::r3, 1, SetFlags::yes));
+  as.b(div_loop, Cond::ne);
+  as.b(done);
+  as.bind(ret0);
+  as.ins(ins_mov_imm(isa::r2, 0, SetFlags::any));
+  as.bind(done);
+  as.ins(ins_mov_reg(isa::r0, isa::r2, SetFlags::any));
+  as.ins(ins_ret());
+}
+
+// Signed divide on top of the unsigned core. Preserves everything but
+// r0-r3 per the helper ABI.
+void emit_sdiv_helper(Assembler& as, Label entry, Label udiv) {
+  using namespace isa;
+  as.bind(entry);
+  const Label a_pos = as.new_label();
+  const Label b_pos = as.new_label();
+  const Label no_neg = as.new_label();
+  as.ins(ins_push((1u << isa::r4) | (1u << isa::lr)));
+  // r4 = sign word (a ^ b).
+  as.ins(ins_mov_reg(isa::r4, isa::r0, SetFlags::any));
+  as.ins(ins_rrr(Op::eor, isa::r4, isa::r4, isa::r1, SetFlags::any));
+  as.ins(ins_cmp_imm(isa::r0, 0));
+  as.b(a_pos, Cond::ge);
+  as.ins(ins_rri(Op::rsb, isa::r0, isa::r0, 0, SetFlags::any));  // abs
+  as.bind(a_pos);
+  as.ins(ins_cmp_imm(isa::r1, 0));
+  as.b(b_pos, Cond::ge);
+  as.ins(ins_rri(Op::rsb, isa::r1, isa::r1, 0, SetFlags::any));
+  as.bind(b_pos);
+  as.bl(udiv);
+  as.ins(ins_cmp_imm(isa::r4, 0));
+  as.b(no_neg, Cond::ge);
+  as.ins(ins_rri(Op::rsb, isa::r0, isa::r0, 0, SetFlags::any));
+  as.bind(no_neg);
+  as.ins(ins_pop((1u << isa::r4) | (1u << isa::pc)));
+}
+
+}  // namespace
+
+std::uint32_t LoweredProgram::entry_of(const std::string& name) const {
+  const auto it = entry.find(name);
+  ACES_CHECK_MSG(it != entry.end(), "no lowered function named " + name);
+  return it->second;
+}
+
+LoweredProgram lower_program(const std::vector<const KFunction*>& functions,
+                             Encoding encoding, const LoweringOptions& options,
+                             std::uint32_t text_base) {
+  LoweringOptions opts = options;
+  if (encoding != Encoding::b32) {
+    const LoweringOptions off = LoweringOptions::for_encoding(encoding);
+    opts = off;
+  }
+
+  Assembler as(encoding, text_base);
+  HelperLabels helpers;
+  helpers.udiv = as.new_label();
+  helpers.sdiv = as.new_label();
+
+  std::vector<Label> entries;
+  std::vector<KFunction> legalized;
+  legalized.reserve(functions.size());
+  for (const KFunction* f : functions) {
+    ACES_CHECK(f != nullptr);
+    f->validate();
+    legalized.push_back(Legalizer(*f, opts).run());
+  }
+
+  for (const KFunction& f : legalized) {
+    const Label l = as.bound_label();
+    entries.push_back(l);
+    FunctionLowerer lower(f, encoding, opts, as, helpers);
+    lower.emit();
+    as.pool();
+  }
+
+  // Runtime helpers (emitted whether or not used is known only after
+  // function emission; emit on demand).
+  const bool need_udiv = helpers.udiv_used || helpers.sdiv_used;
+  if (need_udiv) {
+    emit_udiv_helper(as, helpers.udiv);
+  }
+  if (helpers.sdiv_used) {
+    emit_sdiv_helper(as, helpers.sdiv, helpers.udiv);
+  }
+  if (!need_udiv) {
+    // The labels were created eagerly; bind them harmlessly at the end so
+    // the assembler's bound-label check passes.
+    as.bind(helpers.udiv);
+  }
+  if (!helpers.sdiv_used) {
+    as.bind(helpers.sdiv);
+  }
+  as.pool();
+
+  LoweredProgram out;
+  out.image = as.assemble();
+  for (std::size_t k = 0; k < functions.size(); ++k) {
+    out.entry[functions[k]->name()] = as.label_address(entries[k]);
+  }
+  out.code_bytes = out.image.size();
+  return out;
+}
+
+LoweredProgram lower_program(const std::vector<const KFunction*>& functions,
+                             Encoding encoding, std::uint32_t text_base) {
+  return lower_program(functions, encoding,
+                       LoweringOptions::for_encoding(encoding), text_base);
+}
+
+}  // namespace aces::kir

@@ -1,0 +1,74 @@
+// KIR -> UC32 lowering.
+//
+// lower_program() turns a set of KIR functions into one assembled image for
+// a chosen encoding, reproducing the compiler behaviors the paper's
+// comparisons rest on:
+//
+//   W32  — 3-address everywhere, full predication for select, modified
+//          immediates, NO movw/movt (constants come from literal pools: the
+//          §2.2 cost), no hardware divide (BL to a runtime routine), no
+//          bitfield/clz instructions (legalized into shift/mask sequences).
+//   N16  — 2-address fixup moves, r0..r7 only (spills appear first here),
+//          8-bit immediates (literal pools), branch-based select, software
+//          divide, legalized bitfields.
+//   B32  — narrow forms whenever possible plus movw/movt, ubfx/bfi/rbit/
+//          clz, sdiv/udiv, IT-block selects and cbz/cbnz loops.
+//
+// LoweringOptions lets each B32 feature be toggled individually — that is
+// the ablation axis of bench_ablation_features.
+#ifndef ACES_KIR_LOWER_H
+#define ACES_KIR_LOWER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "kir/kir.h"
+
+namespace aces::kir {
+
+struct LoweringOptions {
+  bool use_movw_movt = true;   // B32: build constants inline (§2.2)
+  bool use_bitfield = true;    // B32: ubfx/sbfx/bfi/rbit/rev/clz/sxt*
+  bool use_hw_divide = true;   // B32: sdiv/udiv
+  bool use_it_blocks = true;   // B32: IT-predicated select
+  bool use_cbz = true;         // B32: compare-and-branch-zero
+
+  // Capabilities implied by the encoding (B32 keeps the flags as given;
+  // W32 and N16 force all of them off).
+  [[nodiscard]] static LoweringOptions for_encoding(isa::Encoding e) {
+    LoweringOptions o;
+    if (e != isa::Encoding::b32) {
+      o.use_movw_movt = false;
+      o.use_bitfield = false;
+      o.use_hw_divide = false;
+      o.use_it_blocks = false;
+      o.use_cbz = false;
+    }
+    return o;
+  }
+};
+
+struct LoweredProgram {
+  isa::Image image;
+  std::map<std::string, std::uint32_t> entry;  // function name -> address
+  std::uint32_t code_bytes = 0;                // total image size
+
+  [[nodiscard]] std::uint32_t entry_of(const std::string& name) const;
+};
+
+// Lowers every function (plus any runtime helpers they need) into a single
+// image based at `text_base`. Throws std::logic_error on malformed input.
+[[nodiscard]] LoweredProgram lower_program(
+    const std::vector<const KFunction*>& functions, isa::Encoding encoding,
+    const LoweringOptions& options, std::uint32_t text_base);
+
+// Convenience overload using the encoding's default feature set.
+[[nodiscard]] LoweredProgram lower_program(
+    const std::vector<const KFunction*>& functions, isa::Encoding encoding,
+    std::uint32_t text_base);
+
+}  // namespace aces::kir
+
+#endif  // ACES_KIR_LOWER_H

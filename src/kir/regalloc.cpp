@@ -1,0 +1,303 @@
+#include "kir/regalloc.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.h"
+
+namespace aces::kir {
+
+namespace {
+
+// Collects the vregs read / written by one KIR instruction.
+void uses_of(const KInsn& i, std::vector<VReg>& out) {
+  const auto add = [&out](VReg v) {
+    if (v >= 0) {
+      out.push_back(v);
+    }
+  };
+  add(i.a);
+  if (!i.b_is_imm) {
+    add(i.b);
+  }
+  add(i.c);
+  add(i.t);
+  if (i.op == KOp::bfi) {
+    add(i.dst);  // bfi reads its destination
+  }
+}
+
+[[nodiscard]] VReg def_of(const KInsn& i) {
+  switch (i.op) {
+    case KOp::storei:
+    case KOp::storex:
+    case KOp::br:
+    case KOp::brcc:
+    case KOp::ret:
+    case KOp::label:
+      return -1;
+    default:
+      return i.dst;
+  }
+}
+
+}  // namespace
+
+std::vector<LiveInterval> compute_intervals(
+    const KFunction& f, std::span<const int> call_positions) {
+  const auto& body = f.body();
+  const int n = static_cast<int>(body.size());
+  const int vregs = f.num_vregs();
+
+  // Label -> position.
+  std::map<KLabel, int> label_pos;
+  for (int p = 0; p < n; ++p) {
+    if (body[static_cast<std::size_t>(p)].op == KOp::label) {
+      label_pos[body[static_cast<std::size_t>(p)].target] = p;
+    }
+  }
+
+  // Per-position liveness via backward dataflow iterated to fixpoint
+  // (cheap at kernel sizes).
+  std::vector<std::vector<bool>> live_in(
+      static_cast<std::size_t>(n + 1), std::vector<bool>(vregs, false));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int p = n - 1; p >= 0; --p) {
+      const KInsn& i = body[static_cast<std::size_t>(p)];
+      // live_out(p) = union of live_in(successors)
+      std::vector<bool> out(static_cast<std::size_t>(vregs), false);
+      const auto merge = [&out, &live_in, vregs](int succ) {
+        for (int v = 0; v < vregs; ++v) {
+          if (live_in[static_cast<std::size_t>(succ)]
+                     [static_cast<std::size_t>(v)]) {
+            out[static_cast<std::size_t>(v)] = true;
+          }
+        }
+      };
+      if (i.op == KOp::ret) {
+        // no successors
+      } else if (i.op == KOp::br) {
+        merge(label_pos.at(i.target));
+      } else if (i.op == KOp::brcc) {
+        merge(label_pos.at(i.target));
+        merge(p + 1);
+      } else {
+        merge(p + 1);
+      }
+      // live_in = (out - def) + uses
+      const VReg d = def_of(i);
+      if (d >= 0) {
+        out[static_cast<std::size_t>(d)] = false;
+      }
+      std::vector<VReg> uses;
+      uses_of(i, uses);
+      for (const VReg u : uses) {
+        out[static_cast<std::size_t>(u)] = true;
+      }
+      if (out != live_in[static_cast<std::size_t>(p)]) {
+        live_in[static_cast<std::size_t>(p)] = std::move(out);
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<LiveInterval> intervals;
+  intervals.reserve(static_cast<std::size_t>(vregs));
+  for (VReg v = 0; v < vregs; ++v) {
+    LiveInterval iv;
+    iv.vreg = v;
+    iv.start = v < f.params() ? 0 : n;  // params are live-in at entry
+    iv.end = v < f.params() ? 0 : -1;
+    for (int p = 0; p < n; ++p) {
+      const KInsn& i = body[static_cast<std::size_t>(p)];
+      const bool live_here =
+          live_in[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
+      std::vector<VReg> uses;
+      uses_of(i, uses);
+      const bool used =
+          std::find(uses.begin(), uses.end(), v) != uses.end();
+      const bool defined = def_of(i) == v;
+      if (used || defined) {
+        ++iv.use_count;
+      }
+      if (live_here || used || defined) {
+        iv.start = std::min(iv.start, p);
+        iv.end = std::max(iv.end, p);
+      }
+    }
+    if (iv.end < iv.start) {
+      iv.end = iv.start;  // dead vreg: degenerate interval
+    }
+    intervals.push_back(iv);
+  }
+
+  // Loop extension: a value live at a back-edge target stays live through
+  // the branch position.
+  for (int p = 0; p < n; ++p) {
+    const KInsn& i = body[static_cast<std::size_t>(p)];
+    if (i.op != KOp::br && i.op != KOp::brcc) {
+      continue;
+    }
+    const int target = label_pos.at(i.target);
+    if (target > p) {
+      continue;  // forward edge
+    }
+    for (VReg v = 0; v < f.num_vregs(); ++v) {
+      if (live_in[static_cast<std::size_t>(target)]
+                 [static_cast<std::size_t>(v)]) {
+        auto& iv = intervals[static_cast<std::size_t>(v)];
+        iv.start = std::min(iv.start, target);
+        iv.end = std::max(iv.end, p);
+      }
+    }
+  }
+
+  // Call-crossing detection: a value is clobber-endangered when it is live
+  // AFTER a call and was produced before it. The call's own result (defined
+  // at the call position) is written after the clobber and is safe; so are
+  // arguments consumed by the call. Using live_in directly also covers
+  // parameters that are live through a call at position 0 (start == cp).
+  for (const int cp : call_positions) {
+    const VReg call_def = def_of(body[static_cast<std::size_t>(cp)]);
+    for (VReg v = 0; v < vregs; ++v) {
+      if (v == call_def) {
+        continue;
+      }
+      if (cp + 1 <= n &&
+          live_in[static_cast<std::size_t>(cp + 1)]
+                 [static_cast<std::size_t>(v)]) {
+        intervals[static_cast<std::size_t>(v)].crosses_call = true;
+      }
+    }
+  }
+  return intervals;
+}
+
+Allocation allocate_registers(const KFunction& f,
+                              std::span<const isa::Reg> allocatable,
+                              const std::vector<bool>& callee_saved_mask,
+                              std::span<const int> call_positions) {
+  ACES_CHECK(allocatable.size() == callee_saved_mask.size());
+  const auto intervals_by_vreg = compute_intervals(f, call_positions);
+
+  std::vector<const LiveInterval*> order;
+  for (const auto& iv : intervals_by_vreg) {
+    order.push_back(&iv);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const LiveInterval* a, const LiveInterval* b) {
+              if (a->start != b->start) {
+                return a->start < b->start;
+              }
+              return a->vreg < b->vreg;
+            });
+
+  Allocation alloc;
+  alloc.phys.assign(static_cast<std::size_t>(f.num_vregs()), -1);
+  alloc.slot.assign(static_cast<std::size_t>(f.num_vregs()), -1);
+
+  struct Active {
+    const LiveInterval* iv;
+    int reg_index;  // into allocatable
+  };
+  std::vector<Active> active;
+  std::vector<bool> in_use(allocatable.size(), false);
+
+  const auto expire = [&](int now) {
+    for (std::size_t k = 0; k < active.size();) {
+      if (active[k].iv->end < now) {
+        in_use[static_cast<std::size_t>(active[k].reg_index)] = false;
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(k));
+      } else {
+        ++k;
+      }
+    }
+  };
+
+  for (const LiveInterval* iv : order) {
+    expire(iv->start);
+    // Choose a register: honor the parameter hint (vreg k -> r_k) when
+    // possible, otherwise first preference-ordered legal register.
+    int chosen = -1;
+    if (iv->vreg < f.params() && !iv->crosses_call) {
+      for (std::size_t k = 0; k < allocatable.size(); ++k) {
+        if (allocatable[k] == static_cast<isa::Reg>(iv->vreg) &&
+            !in_use[k]) {
+          chosen = static_cast<int>(k);
+          break;
+        }
+      }
+    }
+    if (chosen < 0) {
+      for (std::size_t k = 0; k < allocatable.size(); ++k) {
+        if (in_use[k]) {
+          continue;
+        }
+        if (iv->crosses_call && !callee_saved_mask[k]) {
+          continue;
+        }
+        chosen = static_cast<int>(k);
+        break;
+      }
+    }
+    if (chosen >= 0) {
+      in_use[static_cast<std::size_t>(chosen)] = true;
+      active.push_back(Active{iv, chosen});
+      alloc.phys[static_cast<std::size_t>(iv->vreg)] =
+          allocatable[static_cast<std::size_t>(chosen)];
+      continue;
+    }
+    // Spill: evict the legal active interval with the lowest spill cost
+    // (fewest static uses, ties broken by farthest end), provided it is
+    // costlier to spill the current interval.
+    Active* victim = nullptr;
+    for (auto& act : active) {
+      const bool legal_for_current =
+          !iv->crosses_call ||
+          callee_saved_mask[static_cast<std::size_t>(act.reg_index)];
+      if (!legal_for_current) {
+        continue;
+      }
+      if (victim == nullptr ||
+          act.iv->use_count < victim->iv->use_count ||
+          (act.iv->use_count == victim->iv->use_count &&
+           act.iv->end > victim->iv->end)) {
+        victim = &act;
+      }
+    }
+    if (victim != nullptr && (victim->iv->use_count < iv->use_count ||
+                              (victim->iv->use_count == iv->use_count &&
+                               victim->iv->end > iv->end))) {
+      alloc.phys[static_cast<std::size_t>(iv->vreg)] =
+          alloc.phys[static_cast<std::size_t>(victim->iv->vreg)];
+      alloc.phys[static_cast<std::size_t>(victim->iv->vreg)] = -1;
+      alloc.slot[static_cast<std::size_t>(victim->iv->vreg)] =
+          alloc.num_slots++;
+      const LiveInterval* evicted = victim->iv;
+      victim->iv = iv;
+      (void)evicted;
+    } else {
+      alloc.slot[static_cast<std::size_t>(iv->vreg)] = alloc.num_slots++;
+    }
+  }
+
+  // Record which callee-saved registers ended up in use.
+  for (std::size_t k = 0; k < allocatable.size(); ++k) {
+    if (!callee_saved_mask[k]) {
+      continue;
+    }
+    const isa::Reg r = allocatable[k];
+    for (VReg v = 0; v < f.num_vregs(); ++v) {
+      if (alloc.phys[static_cast<std::size_t>(v)] == r) {
+        alloc.used_callee_saved.push_back(r);
+        break;
+      }
+    }
+  }
+  std::sort(alloc.used_callee_saved.begin(), alloc.used_callee_saved.end());
+  return alloc;
+}
+
+}  // namespace aces::kir

@@ -1,0 +1,67 @@
+// Liveness analysis and linear-scan register allocation for KIR.
+//
+// The allocator is deliberately faithful to what a mid-2000s embedded C
+// compiler would do, because register pressure is part of the paper's
+// story: the narrow encoding can only address r0..r7, so the same kernel
+// spills on N16 where W32/B32 still have registers to burn.
+//
+// Calling convention: parameters arrive in r0..r3 (vreg k is hinted to
+// r_k), the return value leaves in r0, r4..r11 are callee-saved, and
+// runtime-helper calls (software divide) clobber r0..r3 — intervals that
+// are live across a call site are therefore restricted to callee-saved
+// registers (or spilled).
+#ifndef ACES_KIR_REGALLOC_H
+#define ACES_KIR_REGALLOC_H
+
+#include <span>
+#include <vector>
+
+#include "isa/isa.h"
+#include "kir/kir.h"
+
+namespace aces::kir {
+
+struct LiveInterval {
+  VReg vreg = -1;
+  int start = 0;  // instruction index of first definition (params: 0)
+  int end = 0;    // last position live (inclusive)
+  bool crosses_call = false;
+  int use_count = 0;  // static uses+defs (spill-cost estimate)
+};
+
+struct Allocation {
+  // Per-vreg physical register (index into the isa::Reg space), or -1 when
+  // spilled.
+  std::vector<int> phys;
+  // Per-vreg spill slot (word index), or -1.
+  std::vector<int> slot;
+  int num_slots = 0;
+  // Callee-saved registers the function actually uses (ordered).
+  std::vector<isa::Reg> used_callee_saved;
+
+  [[nodiscard]] bool spilled(VReg v) const {
+    return phys[static_cast<std::size_t>(v)] < 0;
+  }
+  [[nodiscard]] isa::Reg reg_of(VReg v) const {
+    return static_cast<isa::Reg>(phys[static_cast<std::size_t>(v)]);
+  }
+};
+
+// Computes live intervals (loop-aware: intervals of values live around a
+// back edge are extended across the whole loop). `call_positions` are the
+// instruction indices of r0-r3-clobbering helper calls.
+[[nodiscard]] std::vector<LiveInterval> compute_intervals(
+    const KFunction& f, std::span<const int> call_positions);
+
+// Linear scan over `allocatable` (ordered by preference; callee-saved
+// registers must be marked via `first_callee_saved`, the index in
+// `allocatable` where callee-saved registers begin... registers before it
+// are caller-saved/clobbered-by-calls).
+[[nodiscard]] Allocation allocate_registers(
+    const KFunction& f, std::span<const isa::Reg> allocatable,
+    const std::vector<bool>& callee_saved_mask,
+    std::span<const int> call_positions);
+
+}  // namespace aces::kir
+
+#endif  // ACES_KIR_REGALLOC_H

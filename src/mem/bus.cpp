@@ -1,0 +1,94 @@
+#include "mem/bus.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace aces::mem {
+
+void Bus::attach(std::uint32_t base, Device& dev) {
+  const std::uint32_t limit = base + dev.size_bytes();
+  ACES_CHECK_MSG(limit > base, "device wraps the address space");
+  for (const Mapping& m : map_) {
+    ACES_CHECK_MSG(limit <= m.base || base >= m.limit,
+                   "overlapping bus mapping for " + std::string(dev.name()));
+  }
+  map_.push_back(Mapping{base, limit, &dev});
+  std::sort(map_.begin(), map_.end(),
+            [](const Mapping& a, const Mapping& b) { return a.base < b.base; });
+}
+
+Device* Bus::device_at(std::uint32_t addr, std::uint32_t* offset) {
+  for (const Mapping& m : map_) {
+    if (addr >= m.base && addr < m.limit) {
+      if (offset != nullptr) {
+        *offset = addr - m.base;
+      }
+      return m.dev;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+[[nodiscard]] bool aligned(std::uint32_t addr, unsigned size) {
+  return (size == 1 || size == 2 || size == 4) && addr % size == 0;
+}
+
+[[nodiscard]] MemResult fault_result(Fault f) {
+  MemResult r;
+  r.fault = f;
+  return r;
+}
+
+}  // namespace
+
+MemResult Bus::read(std::uint32_t addr, unsigned size, Access kind,
+                    std::uint64_t now) {
+  if (!aligned(addr, size)) {
+    return fault_result(Fault::misaligned);
+  }
+  std::uint32_t offset = 0;
+  Device* dev = device_at(addr, &offset);
+  if (dev == nullptr) {
+    return fault_result(Fault::unmapped);
+  }
+  if (offset + size > dev->size_bytes()) {
+    return fault_result(Fault::misaligned);
+  }
+  return dev->read(offset, size, kind, now);
+}
+
+MemResult Bus::write(std::uint32_t addr, unsigned size, std::uint32_t value,
+                     std::uint64_t now) {
+  if (!aligned(addr, size)) {
+    return fault_result(Fault::misaligned);
+  }
+  std::uint32_t offset = 0;
+  Device* dev = device_at(addr, &offset);
+  if (dev == nullptr) {
+    return fault_result(Fault::unmapped);
+  }
+  if (offset + size > dev->size_bytes()) {
+    return fault_result(Fault::misaligned);
+  }
+  return dev->write(offset, size, value, now);
+}
+
+bool Bus::load_image(std::uint32_t addr, const std::uint8_t* data,
+                     std::uint32_t len) {
+  for (std::uint32_t k = 0; k < len; ++k) {
+    std::uint32_t offset = 0;
+    Device* dev = device_at(addr + k, &offset);
+    if (dev == nullptr) {
+      return false;
+    }
+    if (!dev->program(offset, data[k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace aces::mem

@@ -1,0 +1,50 @@
+// System bus: routes CPU accesses to memory-mapped devices.
+//
+// The bus owns nothing; devices are registered with their base address and
+// must outlive the bus. Accesses that hit no device, straddle a device
+// boundary, or are unaligned return a Fault instead of data. The bus itself
+// adds no cycles — all timing lives in the devices.
+#ifndef ACES_MEM_BUS_H
+#define ACES_MEM_BUS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/device.h"
+
+namespace aces::mem {
+
+class Bus {
+ public:
+  Bus() = default;
+
+  // Maps `dev` at [base, base + dev.size_bytes()). Regions must not overlap.
+  void attach(std::uint32_t base, Device& dev);
+
+  [[nodiscard]] MemResult read(std::uint32_t addr, unsigned size, Access kind,
+                               std::uint64_t now);
+  [[nodiscard]] MemResult write(std::uint32_t addr, unsigned size,
+                                std::uint32_t value, std::uint64_t now);
+
+  // Debug/loader access: reads or writes bytes with no timing or side
+  // effects beyond the raw store (used to load program images and by the
+  // debug port). Returns false if the range is unmapped.
+  bool load_image(std::uint32_t addr, const std::uint8_t* data,
+                  std::uint32_t len);
+
+  // Finds the device covering addr, or nullptr. `offset` receives the
+  // device-relative address.
+  [[nodiscard]] Device* device_at(std::uint32_t addr, std::uint32_t* offset);
+
+ private:
+  struct Mapping {
+    std::uint32_t base = 0;
+    std::uint32_t limit = 0;  // exclusive
+    Device* dev = nullptr;
+  };
+  std::vector<Mapping> map_;
+};
+
+}  // namespace aces::mem
+
+#endif  // ACES_MEM_BUS_H

@@ -1,0 +1,235 @@
+#include "mem/cache.h"
+
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace aces::mem {
+
+Cache::Cache(CacheConfig config, Bus& backing)
+    : config_(config), backing_(backing) {
+  ACES_CHECK(support::is_power_of_two(config_.line_bytes));
+  ACES_CHECK(config_.line_bytes >= 4);
+  ACES_CHECK(config_.num_sets >= 1 && config_.ways >= 1);
+  lines_.resize(config_.num_sets * config_.ways);
+  for (Line& line : lines_) {
+    line.data.assign(config_.line_bytes, 0);
+    line.corrupt.assign(config_.line_bytes, 0);
+  }
+}
+
+void Cache::invalidate_all() {
+  for (Line& line : lines_) {
+    line.valid = false;
+    line.tag_corrupt = false;
+    std::fill(line.corrupt.begin(), line.corrupt.end(), 0);
+  }
+}
+
+int Cache::lookup(std::uint32_t addr) {
+  const std::uint32_t set = set_of(addr);
+  const std::uint32_t tag = tag_of(addr);
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = lines_[set * config_.ways + w];
+    if (!line.valid) {
+      continue;
+    }
+    if (line.tag_corrupt) {
+      if (config_.fault_tolerant) {
+        // Tag parity error detected while probing: drop the line; the
+        // access then proceeds as an ordinary miss.
+        line.valid = false;
+        line.tag_corrupt = false;
+        ++stats_.tag_errors_detected;
+      }
+      // Without FT a flipped tag simply never matches: the line is lost.
+      continue;
+    }
+    if (line.tag == tag) {
+      return static_cast<int>(w);
+    }
+  }
+  return -1;
+}
+
+std::uint32_t Cache::fill(std::uint32_t addr, std::uint64_t now, Access kind,
+                          int* way_out) {
+  const std::uint32_t set = set_of(addr);
+  const std::uint32_t line_addr = addr - addr % config_.line_bytes;
+
+  // Choose victim: invalid way first, else LRU.
+  int victim = -1;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (!lines_[set * config_.ways + w].valid) {
+      victim = static_cast<int>(w);
+      break;
+    }
+  }
+  if (victim < 0) {
+    std::uint64_t best = ~std::uint64_t{0};
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      const Line& line = lines_[set * config_.ways + w];
+      if (line.lru < best) {
+        best = line.lru;
+        victim = static_cast<int>(w);
+      }
+    }
+  }
+  Line& line = lines_[set * config_.ways + static_cast<std::uint32_t>(victim)];
+
+  // Stream the line in word beats; the backing device's own timing model
+  // (e.g. the flash streamer) prices the sequential burst.
+  std::uint32_t cycles = 0;
+  for (std::uint32_t off = 0; off < config_.line_bytes; off += 4) {
+    const MemResult beat = backing_.read(line_addr + off, 4, kind,
+                                         now + cycles);
+    if (!beat.ok()) {
+      // Propagate the fault by leaving the line invalid; caller re-reads
+      // through the bus and surfaces the fault.
+      line.valid = false;
+      *way_out = -1;
+      return cycles + beat.cycles;
+    }
+    line.data[off] = static_cast<std::uint8_t>(beat.value);
+    line.data[off + 1] = static_cast<std::uint8_t>(beat.value >> 8);
+    line.data[off + 2] = static_cast<std::uint8_t>(beat.value >> 16);
+    line.data[off + 3] = static_cast<std::uint8_t>(beat.value >> 24);
+    cycles += beat.cycles;
+  }
+  line.valid = true;
+  line.tag_corrupt = false;
+  line.tag = tag_of(addr);
+  line.lru = ++lru_clock_;
+  std::fill(line.corrupt.begin(), line.corrupt.end(), 0);
+  ++stats_.fills;
+  *way_out = victim;
+  return cycles;
+}
+
+MemResult Cache::read(std::uint32_t addr, unsigned size, Access kind,
+                      std::uint64_t now) {
+  if (!cacheable(addr)) {
+    return backing_.read(addr, size, kind, now);
+  }
+  // Misaligned (line-crossing) accesses — only reachable from wild code,
+  // e.g. after an undetected fetch corruption — go to the bus, which
+  // faults them properly.
+  const std::uint32_t offset = addr % config_.line_bytes;
+  if (offset + size > config_.line_bytes) {
+    return backing_.read(addr, size, kind, now);
+  }
+
+  const std::uint32_t set = set_of(addr);
+  int way = lookup(addr);
+  std::uint32_t cycles = config_.hit_cycles;
+  MemResult r;
+
+  if (way < 0) {
+    ++stats_.misses;
+    cycles += fill(addr, now + cycles, kind, &way);
+    if (way < 0) {
+      // Fill faulted; surface the underlying bus fault.
+      MemResult direct = backing_.read(addr, size, kind, now + cycles);
+      direct.cycles += cycles;
+      return direct;
+    }
+  } else {
+    ++stats_.hits;
+  }
+
+  Line& line = lines_[set * config_.ways + static_cast<std::uint32_t>(way)];
+  line.lru = ++lru_clock_;
+
+  if (line.data_corrupt(offset, size)) {
+    if (config_.fault_tolerant) {
+      // Detected parity error. Invalidate and refill; charge the D-side
+      // abort handler on data reads.
+      line.valid = false;
+      int refilled = -1;
+      cycles += fill(addr, now + cycles, kind, &refilled);
+      ACES_CHECK(refilled >= 0);
+      if (kind == Access::fetch) {
+        ++stats_.ifetch_refills;
+      } else {
+        cycles += config_.abort_recovery_cycles;
+        ++stats_.data_aborts_recovered;
+      }
+      Line& fresh =
+          lines_[set * config_.ways + static_cast<std::uint32_t>(refilled)];
+      r.value = 0;
+      for (unsigned k = 0; k < size; ++k) {
+        r.value |= static_cast<std::uint32_t>(fresh.data[offset + k])
+                   << (8 * k);
+      }
+      r.cycles = cycles;
+      r.soft_error_recovered = true;
+      return r;
+    }
+    // Unprotected: deliver flipped bits.
+    r.value = 0;
+    for (unsigned k = 0; k < size; ++k) {
+      r.value |= static_cast<std::uint32_t>(
+                     static_cast<std::uint8_t>(line.data[offset + k] ^
+                                               line.corrupt[offset + k]))
+                 << (8 * k);
+    }
+    r.cycles = cycles;
+    r.silently_corrupt = true;
+    ++stats_.silent_corruptions;
+    return r;
+  }
+
+  r.value = 0;
+  for (unsigned k = 0; k < size; ++k) {
+    r.value |= static_cast<std::uint32_t>(line.data[offset + k]) << (8 * k);
+  }
+  r.cycles = cycles;
+  return r;
+}
+
+MemResult Cache::write(std::uint32_t addr, unsigned size, std::uint32_t value,
+                       std::uint64_t now) {
+  if (!cacheable(addr)) {
+    return backing_.write(addr, size, value, now);
+  }
+  // Write-through, no-write-allocate.
+  MemResult r = backing_.write(addr, size, value, now);
+  if (!r.ok()) {
+    return r;
+  }
+  const int way = lookup(addr);
+  if (way >= 0) {
+    const std::uint32_t set = set_of(addr);
+    Line& line = lines_[set * config_.ways + static_cast<std::uint32_t>(way)];
+    const std::uint32_t offset = addr % config_.line_bytes;
+    for (unsigned k = 0; k < size; ++k) {
+      line.data[offset + k] = static_cast<std::uint8_t>(value >> (8 * k));
+      line.corrupt[offset + k] = 0;
+    }
+    line.lru = ++lru_clock_;
+  }
+  return r;
+}
+
+bool Cache::flip_random_bit(support::Rng256& rng, double tag_fraction) {
+  std::vector<std::uint32_t> valid;
+  for (std::uint32_t k = 0; k < lines_.size(); ++k) {
+    if (lines_[k].valid) {
+      valid.push_back(k);
+    }
+  }
+  if (valid.empty()) {
+    return false;
+  }
+  Line& line = lines_[valid[rng.next_below(valid.size())]];
+  if (rng.chance(tag_fraction)) {
+    line.tag_corrupt = true;
+    return true;
+  }
+  const std::uint32_t byte = static_cast<std::uint32_t>(
+      rng.next_below(config_.line_bytes));
+  const unsigned bit = static_cast<unsigned>(rng.next_below(8));
+  line.corrupt[byte] ^= static_cast<std::uint8_t>(1u << bit);
+  return true;
+}
+
+}  // namespace aces::mem

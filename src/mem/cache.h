@@ -1,0 +1,123 @@
+// Set-associative cache with optional fault-tolerant RAM (§3.1.2, §3.1.3).
+//
+// Organization: physically-indexed, LRU replacement, write-through /
+// no-write-allocate (the common choice for small embedded caches; it also
+// guarantees memory always holds the truth, which is what makes soft-error
+// recovery by invalidate-and-refill exact).
+//
+// Soft errors: FaultInjector plants XOR masks over a line's golden data or
+// marks its tag corrupted. With fault tolerance enabled:
+//   - a corrupted TAG is detected when its set is probed -> the line is
+//     invalidated and the access proceeds as a miss (the paper: "any error
+//     detected in the TAG RAM generates a cache miss");
+//   - corrupted DATA under an instruction fetch -> invalidate + refill
+//     ("the cache instruction line is invalidated ... forcing the code to
+//     be re-loaded");
+//   - corrupted DATA under a data read -> precise abort, modeled as a
+//     refill plus a fixed software-recovery penalty, after which corrected
+//     data is delivered.
+// With fault tolerance disabled the corrupted value flows to the core and
+// the access is flagged silently_corrupt.
+#ifndef ACES_MEM_CACHE_H
+#define ACES_MEM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/bus.h"
+#include "mem/port.h"
+#include "support/rng.h"
+
+namespace aces::mem {
+
+struct CacheConfig {
+  std::uint32_t line_bytes = 16;
+  std::uint32_t num_sets = 64;
+  std::uint32_t ways = 2;
+  std::uint32_t hit_cycles = 1;
+  bool fault_tolerant = false;
+  std::uint32_t abort_recovery_cycles = 20;  // D-side precise-abort handler
+  // Only addresses in [cacheable_base, cacheable_limit) are cached;
+  // everything else passes through (peripherals, bit-band aliases).
+  std::uint32_t cacheable_base = 0;
+  std::uint32_t cacheable_limit = 0xFFFFFFFFu;
+};
+
+class Cache final : public MemPort {
+ public:
+  Cache(CacheConfig config, Bus& backing);
+
+  [[nodiscard]] MemResult read(std::uint32_t addr, unsigned size, Access kind,
+                               std::uint64_t now) override;
+  [[nodiscard]] MemResult write(std::uint32_t addr, unsigned size,
+                                std::uint32_t value,
+                                std::uint64_t now) override;
+
+  void invalidate_all();
+
+  // ----- fault injection hooks -----
+  // Flips a random bit in a random valid line's data (or marks its tag
+  // corrupted with probability tag_fraction). Returns false if the cache
+  // holds no valid line.
+  bool flip_random_bit(support::Rng256& rng, double tag_fraction);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t tag_errors_detected = 0;
+    std::uint64_t ifetch_refills = 0;      // I-side soft-error recoveries
+    std::uint64_t data_aborts_recovered = 0;
+    std::uint64_t silent_corruptions = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool tag_corrupt = false;
+    std::uint32_t tag = 0;
+    std::uint64_t lru = 0;
+    std::vector<std::uint8_t> data;     // golden contents
+    std::vector<std::uint8_t> corrupt;  // XOR masks (soft errors)
+
+    [[nodiscard]] bool data_corrupt(std::uint32_t offset,
+                                    unsigned size) const {
+      for (unsigned k = 0; k < size; ++k) {
+        if (corrupt[offset + k] != 0) {
+          return true;
+        }
+      }
+      return false;
+    }
+  };
+
+  [[nodiscard]] bool cacheable(std::uint32_t addr) const {
+    return addr >= config_.cacheable_base && addr < config_.cacheable_limit;
+  }
+  [[nodiscard]] std::uint32_t set_of(std::uint32_t addr) const {
+    return (addr / config_.line_bytes) % config_.num_sets;
+  }
+  [[nodiscard]] std::uint32_t tag_of(std::uint32_t addr) const {
+    return addr / config_.line_bytes / config_.num_sets;
+  }
+
+  // Probes the set; detects tag parity errors (FT). Returns way index or -1.
+  int lookup(std::uint32_t addr);
+  // Fills a line from backing memory; returns cycles spent.
+  std::uint32_t fill(std::uint32_t addr, std::uint64_t now, Access kind,
+                     int* way_out);
+
+  CacheConfig config_;
+  Bus& backing_;
+  std::vector<Line> lines_;  // num_sets * ways, set-major
+  std::uint64_t lru_clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace aces::mem
+
+#endif  // ACES_MEM_CACHE_H

@@ -1,0 +1,43 @@
+#include "mem/fault_injector.h"
+
+namespace aces::mem {
+
+unsigned FaultInjector::advance_to(std::uint64_t now) {
+  if (now <= last_now_ || (caches_.empty() && tcms_.empty())) {
+    last_now_ = now;
+    return 0;
+  }
+  const std::uint64_t elapsed = now - last_now_;
+  last_now_ = now;
+  // Expected upsets in the window; draw a count by repeated Bernoulli on a
+  // fine grid (adequate for the small rates used here).
+  const double mean = config_.upsets_per_mcycle *
+                      static_cast<double>(elapsed) / 1.0e6;
+  unsigned count = static_cast<unsigned>(mean);
+  if (rng_.chance(mean - static_cast<double>(count))) {
+    ++count;
+  }
+  for (unsigned k = 0; k < count; ++k) {
+    inject_one();
+  }
+  injected_ += count;
+  return count;
+}
+
+void FaultInjector::inject_one() {
+  const std::size_t targets = caches_.size() + tcms_.size();
+  const std::size_t pick = static_cast<std::size_t>(rng_.next_below(targets));
+  if (pick < caches_.size()) {
+    // If the cache has no valid line yet, the upset lands in an unused cell
+    // — a harmless miss in the model, matching reality.
+    (void)caches_[pick]->flip_random_bit(rng_, config_.tag_fraction);
+    return;
+  }
+  Tcm& tcm = *tcms_[pick - caches_.size()];
+  const std::uint32_t addr =
+      static_cast<std::uint32_t>(rng_.next_below(tcm.size_bytes()));
+  const auto bit = static_cast<std::uint8_t>(1u << rng_.next_below(8));
+  tcm.inject_bit_flips(addr, bit);
+}
+
+}  // namespace aces::mem

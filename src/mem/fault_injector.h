@@ -1,0 +1,53 @@
+// Soft-error (single-event upset) injector for §3.1.3 experiments.
+//
+// Stands in for the cosmic-ray flux the paper discusses: bit flips arrive
+// as a Poisson process over cycle time, targeting cache tag/data RAM and
+// TCM cells. All draws come from a seeded Rng256, so every experiment is
+// reproducible.
+#ifndef ACES_MEM_FAULT_INJECTOR_H
+#define ACES_MEM_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.h"
+#include "mem/tcm.h"
+#include "support/rng.h"
+
+namespace aces::mem {
+
+struct FaultInjectorConfig {
+  // Mean upsets per million cycles across all attached targets. Grossly
+  // accelerated relative to reality, as is standard for SEU studies.
+  double upsets_per_mcycle = 100.0;
+  double tag_fraction = 0.2;  // share of cache upsets landing in tag RAM
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultInjectorConfig config, support::Rng256 rng)
+      : config_(config), rng_(rng) {}
+
+  void attach(Cache& cache) { caches_.push_back(&cache); }
+  void attach(Tcm& tcm) { tcms_.push_back(&tcm); }
+
+  // Advances the injector clock to `now` (cycles), planting upsets for the
+  // elapsed window. Returns the number of upsets injected.
+  unsigned advance_to(std::uint64_t now);
+
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+
+ private:
+  void inject_one();
+
+  FaultInjectorConfig config_;
+  support::Rng256 rng_;
+  std::vector<Cache*> caches_;
+  std::vector<Tcm*> tcms_;
+  std::uint64_t last_now_ = 0;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace aces::mem
+
+#endif  // ACES_MEM_FAULT_INJECTOR_H

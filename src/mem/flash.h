@@ -1,0 +1,88 @@
+// Embedded flash model with a sequential prefetch streamer (§2.2 of the
+// paper).
+//
+// Real embedded flash runs at 30-40 MHz while the core runs several times
+// faster, so flash controllers fetch a whole line ahead of the program
+// counter and stream it. A sequential access hits the stream buffer in one
+// cycle; a non-sequential access (branch target, or a *data* read such as a
+// literal-pool fetch) pays the full line access time AND repositions the
+// streamer, so the following instruction fetch misses too. This double
+// penalty is the mechanism behind the paper's "15 % performance degradation"
+// claim for literal pools, which bench_flash_literals reproduces.
+//
+// `dual_buffer` models a controller with an independent data buffer: data
+// reads still pay the line latency but no longer destroy the instruction
+// stream (used by the ablation bench).
+#ifndef ACES_MEM_FLASH_H
+#define ACES_MEM_FLASH_H
+
+#include "mem/device.h"
+#include "mem/storage.h"
+
+namespace aces::mem {
+
+struct FlashConfig {
+  std::uint32_t size_bytes = 256 * 1024;
+  // Full random (line) access time in core cycles. A 32 MHz flash behind a
+  // 160 MHz core is ~5 cycles.
+  std::uint32_t line_access_cycles = 5;
+  std::uint32_t line_bytes = 8;  // prefetch line width (power of two)
+  bool prefetch_enabled = true;  // streamer on/off (ablation)
+  bool dual_buffer = false;      // independent data-side buffer (ablation)
+};
+
+class Flash final : public Device {
+ public:
+  explicit Flash(FlashConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return "flash"; }
+  [[nodiscard]] std::uint32_t size_bytes() const override {
+    return store_.size();
+  }
+
+  [[nodiscard]] MemResult read(std::uint32_t addr, unsigned size, Access kind,
+                               std::uint64_t now) override;
+  [[nodiscard]] MemResult write(std::uint32_t addr, unsigned size,
+                                std::uint32_t value, std::uint64_t now) override;
+
+  bool program(std::uint32_t addr, std::uint8_t byte) override;
+
+  // Statistics for the experiments.
+  struct Stats {
+    std::uint64_t stream_hits = 0;       // 1-cycle buffer hits
+    std::uint64_t stream_next_line = 0;  // waited on the prefetcher
+    std::uint64_t stream_breaks = 0;     // non-sequential: full access
+    std::uint64_t data_disruptions = 0;  // data reads that reset the stream
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  // Resets streamer state (e.g. between benchmark repetitions).
+  void reset_stream();
+
+ private:
+  // Per-port streamer state.
+  struct Stream {
+    bool valid = false;
+    std::uint32_t line = 0;               // line currently in the buffer
+    std::uint64_t next_line_ready = 0;    // when line+1 finishes prefetching
+  };
+
+  [[nodiscard]] std::uint32_t line_of(std::uint32_t addr) const {
+    return addr / config_.line_bytes;
+  }
+
+  // Runs the streamer protocol on `s`; returns cycles for this access.
+  std::uint32_t stream_access(Stream& s, std::uint32_t addr, unsigned size,
+                              std::uint64_t now);
+
+  FlashConfig config_;
+  ByteStore store_;
+  Stream istream_;  // instruction-side streamer
+  Stream dstream_;  // data-side buffer when dual_buffer is set
+  Stats stats_;
+};
+
+}  // namespace aces::mem
+
+#endif  // ACES_MEM_FLASH_H

@@ -1,0 +1,89 @@
+#include "mem/mpu.h"
+
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace aces::mem {
+
+Mpu::Mpu(MpuConfig config) : config_(config) {
+  ACES_CHECK(support::is_power_of_two(config_.granularity));
+  ACES_CHECK(config_.max_regions >= 1 && config_.max_regions <= 16);
+}
+
+void Mpu::set_region(unsigned index, const MpuRegion& region) {
+  ACES_CHECK_MSG(index < config_.max_regions, "MPU region index out of range");
+  ACES_CHECK_MSG(region.size > 0, "use clear_region() to disable a region");
+  ACES_CHECK_MSG(region.size % config_.granularity == 0,
+                 "region size violates MPU granularity");
+  if (config_.power_of_two_sizes) {
+    ACES_CHECK_MSG(support::is_power_of_two(region.size),
+                   "classic MPU requires power-of-two region sizes");
+    ACES_CHECK_MSG(region.base % region.size == 0,
+                   "classic MPU requires base aligned to region size");
+  } else {
+    ACES_CHECK_MSG(region.base % config_.granularity == 0,
+                   "region base violates MPU granularity");
+  }
+  regions_[index] = region;
+}
+
+void Mpu::clear_region(unsigned index) {
+  ACES_CHECK(index < config_.max_regions);
+  regions_[index] = MpuRegion{};
+}
+
+void Mpu::clear_all() {
+  for (auto& r : regions_) {
+    r = MpuRegion{};
+  }
+}
+
+std::uint32_t Mpu::smallest_region_span(std::uint32_t bytes) const {
+  if (bytes == 0) {
+    return 0;
+  }
+  std::uint32_t span = static_cast<std::uint32_t>(
+      support::align_up(bytes, config_.granularity));
+  if (config_.power_of_two_sizes) {
+    std::uint32_t p = config_.granularity;
+    while (p < span) {
+      p <<= 1;
+    }
+    span = p;
+  }
+  return span;
+}
+
+Fault Mpu::check(std::uint32_t addr, unsigned size, Access kind,
+                 bool privileged) const {
+  ++stats_.checks;
+  // Highest-numbered matching region decides (ARM priority semantics).
+  for (int k = static_cast<int>(config_.max_regions) - 1; k >= 0; --k) {
+    const MpuRegion& r = regions_[static_cast<unsigned>(k)];
+    if (r.size == 0) {
+      continue;
+    }
+    const std::uint64_t end = static_cast<std::uint64_t>(addr) + size;
+    if (addr < r.base || end > static_cast<std::uint64_t>(r.base) + r.size) {
+      continue;
+    }
+    // A matching region decides outright; the background rule only applies
+    // when no region matches (ARM semantics).
+    const bool allowed = !(r.privileged_only && !privileged) &&
+                         ((kind == Access::read && r.read) ||
+                          (kind == Access::write && r.write) ||
+                          (kind == Access::fetch && r.execute));
+    if (allowed) {
+      return Fault::none;
+    }
+    ++stats_.violations;
+    return Fault::mpu_violation;
+  }
+  if (privileged && config_.privileged_background) {
+    return Fault::none;
+  }
+  ++stats_.violations;
+  return Fault::mpu_violation;
+}
+
+}  // namespace aces::mem

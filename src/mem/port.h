@@ -1,0 +1,44 @@
+// MemPort: the CPU-facing memory interface.
+//
+// A port takes absolute addresses. DirectPort forwards straight to the bus;
+// Cache (cache.h) implements the same interface with a set-associative
+// cache in front of the bus for a configurable address window.
+#ifndef ACES_MEM_PORT_H
+#define ACES_MEM_PORT_H
+
+#include "mem/bus.h"
+#include "mem/device.h"
+
+namespace aces::mem {
+
+class MemPort {
+ public:
+  virtual ~MemPort() = default;
+  [[nodiscard]] virtual MemResult read(std::uint32_t addr, unsigned size,
+                                       Access kind, std::uint64_t now) = 0;
+  [[nodiscard]] virtual MemResult write(std::uint32_t addr, unsigned size,
+                                        std::uint32_t value,
+                                        std::uint64_t now) = 0;
+};
+
+class DirectPort final : public MemPort {
+ public:
+  explicit DirectPort(Bus& bus) : bus_(bus) {}
+
+  [[nodiscard]] MemResult read(std::uint32_t addr, unsigned size, Access kind,
+                               std::uint64_t now) override {
+    return bus_.read(addr, size, kind, now);
+  }
+  [[nodiscard]] MemResult write(std::uint32_t addr, unsigned size,
+                                std::uint32_t value,
+                                std::uint64_t now) override {
+    return bus_.write(addr, size, value, now);
+  }
+
+ private:
+  Bus& bus_;
+};
+
+}  // namespace aces::mem
+
+#endif  // ACES_MEM_PORT_H

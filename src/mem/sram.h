@@ -1,0 +1,52 @@
+// On-chip SRAM: fixed single-cycle (configurable) access, read/write.
+#ifndef ACES_MEM_SRAM_H
+#define ACES_MEM_SRAM_H
+
+#include "mem/device.h"
+#include "mem/storage.h"
+
+namespace aces::mem {
+
+class Sram final : public Device {
+ public:
+  Sram(std::string name, std::uint32_t size, std::uint32_t access_cycles = 1)
+      : name_(std::move(name)), store_(size), access_cycles_(access_cycles) {}
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::uint32_t size_bytes() const override {
+    return store_.size();
+  }
+
+  [[nodiscard]] MemResult read(std::uint32_t addr, unsigned size, Access,
+                               std::uint64_t) override {
+    MemResult r;
+    r.value = store_.read_le(addr, size);
+    r.cycles = access_cycles_;
+    return r;
+  }
+
+  [[nodiscard]] MemResult write(std::uint32_t addr, unsigned size,
+                                std::uint32_t value, std::uint64_t) override {
+    store_.write_le(addr, size, value);
+    MemResult r;
+    r.cycles = access_cycles_;
+    return r;
+  }
+
+  bool program(std::uint32_t addr, std::uint8_t byte) override {
+    if (addr >= store_.size()) {
+      return false;
+    }
+    store_.set_byte(addr, byte);
+    return true;
+  }
+
+ private:
+  std::string name_;
+  ByteStore store_;
+  std::uint32_t access_cycles_;
+};
+
+}  // namespace aces::mem
+
+#endif  // ACES_MEM_SRAM_H

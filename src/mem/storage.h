@@ -1,0 +1,44 @@
+// Little-endian backing store shared by the RAM-like devices.
+#ifndef ACES_MEM_STORAGE_H
+#define ACES_MEM_STORAGE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace aces::mem {
+
+class ByteStore {
+ public:
+  explicit ByteStore(std::uint32_t size) : bytes_(size, 0) {}
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(bytes_.size());
+  }
+
+  [[nodiscard]] std::uint32_t read_le(std::uint32_t addr,
+                                      unsigned size) const {
+    std::uint32_t v = 0;
+    for (unsigned k = 0; k < size; ++k) {
+      v |= static_cast<std::uint32_t>(bytes_[addr + k]) << (8 * k);
+    }
+    return v;
+  }
+
+  void write_le(std::uint32_t addr, unsigned size, std::uint32_t value) {
+    for (unsigned k = 0; k < size; ++k) {
+      bytes_[addr + k] = static_cast<std::uint8_t>(value >> (8 * k));
+    }
+  }
+
+  [[nodiscard]] std::uint8_t byte(std::uint32_t addr) const {
+    return bytes_[addr];
+  }
+  void set_byte(std::uint32_t addr, std::uint8_t b) { bytes_[addr] = b; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace aces::mem
+
+#endif  // ACES_MEM_STORAGE_H

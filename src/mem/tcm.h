@@ -1,0 +1,116 @@
+// Tightly-coupled memory with fault-tolerant "hold and repair" (§3.1.3).
+//
+// A TCM normally answers in a single cycle to feed the core. With fault
+// tolerance enabled, a read that touches a soft-error-corrupted location
+// stalls the core while the error-correction logic repairs the word —
+// directly from the core, with no interrupt — and then delivers corrected
+// data. With fault tolerance disabled the corrupted value is returned and
+// flagged silently_corrupt (observable only to the experiment harness).
+//
+// Soft errors are planted by FaultInjector as XOR masks over a golden copy,
+// so "repair" (ECC correction) can restore the true value exactly.
+#ifndef ACES_MEM_TCM_H
+#define ACES_MEM_TCM_H
+
+#include <vector>
+
+#include "mem/device.h"
+#include "mem/storage.h"
+
+namespace aces::mem {
+
+struct TcmConfig {
+  std::uint32_t size_bytes = 32 * 1024;
+  std::uint32_t access_cycles = 1;
+  bool fault_tolerant = true;
+  std::uint32_t repair_cycles = 6;  // hold-and-repair stall
+};
+
+class Tcm final : public Device {
+ public:
+  explicit Tcm(TcmConfig config)
+      : config_(config),
+        store_(config.size_bytes),
+        corrupt_(config.size_bytes, 0) {}
+
+  [[nodiscard]] std::string_view name() const override { return "tcm"; }
+  [[nodiscard]] std::uint32_t size_bytes() const override {
+    return store_.size();
+  }
+
+  [[nodiscard]] MemResult read(std::uint32_t addr, unsigned size, Access,
+                               std::uint64_t) override {
+    MemResult r;
+    r.cycles = config_.access_cycles;
+    bool corrupted = false;
+    for (unsigned k = 0; k < size; ++k) {
+      corrupted |= corrupt_[addr + k] != 0;
+    }
+    if (!corrupted) {
+      r.value = store_.read_le(addr, size);
+      return r;
+    }
+    if (config_.fault_tolerant) {
+      // Hold and repair: stall, scrub, deliver corrected data.
+      for (unsigned k = 0; k < size; ++k) {
+        corrupt_[addr + k] = 0;
+      }
+      r.value = store_.read_le(addr, size);
+      r.cycles += config_.repair_cycles;
+      r.soft_error_recovered = true;
+      ++stats_.repairs;
+      return r;
+    }
+    // No protection: deliver the flipped bits.
+    std::uint32_t v = store_.read_le(addr, size);
+    for (unsigned k = 0; k < size; ++k) {
+      v ^= static_cast<std::uint32_t>(corrupt_[addr + k]) << (8 * k);
+    }
+    r.value = v;
+    r.silently_corrupt = true;
+    ++stats_.silent_corruptions;
+    return r;
+  }
+
+  [[nodiscard]] MemResult write(std::uint32_t addr, unsigned size,
+                                std::uint32_t value, std::uint64_t) override {
+    store_.write_le(addr, size, value);
+    for (unsigned k = 0; k < size; ++k) {
+      corrupt_[addr + k] = 0;  // overwrite clears the upset
+    }
+    MemResult r;
+    r.cycles = config_.access_cycles;
+    return r;
+  }
+
+  bool program(std::uint32_t addr, std::uint8_t byte) override {
+    if (addr >= store_.size()) {
+      return false;
+    }
+    store_.set_byte(addr, byte);
+    corrupt_[addr] = 0;
+    return true;
+  }
+
+  // Fault-injection hook: XORs `mask` into the byte at addr.
+  void inject_bit_flips(std::uint32_t addr, std::uint8_t mask) {
+    corrupt_[addr] ^= mask;
+  }
+
+  struct Stats {
+    std::uint64_t repairs = 0;
+    std::uint64_t silent_corruptions = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  TcmConfig config_;
+  ByteStore store_;
+  std::vector<std::uint8_t> corrupt_;  // XOR mask of pending soft errors
+  Stats stats_;
+};
+
+}  // namespace aces::mem
+
+#endif  // ACES_MEM_TCM_H

@@ -1,0 +1,235 @@
+#include "rtos/kernel.h"
+
+#include <algorithm>
+
+namespace aces::rtos {
+
+using sim::SimTime;
+
+TaskId Kernel::create_task(TaskConfig config) {
+  ACES_CHECK_MSG(!started_, "create_task after start()");
+  Task t;
+  t.config = std::move(config);
+  t.dynamic_priority = t.config.priority;
+  tasks_.push_back(std::move(t));
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+ResourceId Kernel::create_resource(std::string name) {
+  ACES_CHECK_MSG(!started_, "create_resource after start()");
+  Resource r;
+  r.name = std::move(name);
+  resources_.push_back(std::move(r));
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+void Kernel::task_uses(TaskId task, ResourceId resource) {
+  ACES_CHECK_MSG(!started_, "task_uses after start()");
+  resources_[static_cast<std::size_t>(resource)].users.push_back(task);
+}
+
+void Kernel::set_alarm(TaskId task, SimTime offset, SimTime period) {
+  ACES_CHECK_MSG(!started_, "set_alarm after start()");
+  ACES_CHECK(period > 0);
+  alarms_.push_back(Alarm{task, offset, period});
+}
+
+void Kernel::start() {
+  ACES_CHECK_MSG(!started_, "start() called twice");
+  started_ = true;
+  // Immediate ceiling protocol: ceiling = max priority of declared users.
+  for (Resource& r : resources_) {
+    r.ceiling = 0;
+    for (const TaskId t : r.users) {
+      r.ceiling = std::max(r.ceiling,
+                           tasks_[static_cast<std::size_t>(t)].config.priority);
+    }
+  }
+  for (const Alarm& alarm : alarms_) {
+    arm_alarm(alarm);
+  }
+}
+
+void Kernel::arm_alarm(const Alarm& alarm) {
+  queue_.schedule_at(alarm.offset, [this, alarm] {
+    activate(alarm.task);
+    Alarm next = alarm;
+    next.offset = queue_.now() + alarm.period;
+    arm_alarm(next);
+  });
+}
+
+void Kernel::activate(TaskId id) {
+  Task& t = tasks_[static_cast<std::size_t>(id)];
+  ++t.stats.activations;
+  if (t.state != State::suspended) {
+    // OSEK basic tasks queue at most one pending activation.
+    if (t.pending) {
+      ++t.stats.lost_activations;
+    } else {
+      t.pending = true;
+    }
+    return;
+  }
+  t.state = State::ready;
+  t.segment = 0;
+  t.segment_left = -1;  // sentinel: segment not started
+  t.activated_at = queue_.now();
+  t.blocked_since = -1;
+  schedule();
+}
+
+void Kernel::schedule() {
+  // Highest dynamic priority among ready+running. The incumbent wins ties:
+  // equal priority never preempts, which is precisely what makes the
+  // immediate ceiling protocol block would-be lockers of a held resource.
+  TaskId best = -1;
+  if (running_ >= 0 &&
+      tasks_[static_cast<std::size_t>(running_)].state == State::running) {
+    best = running_;
+  }
+  for (std::size_t k = 0; k < tasks_.size(); ++k) {
+    const Task& t = tasks_[k];
+    if (t.state == State::suspended) {
+      continue;
+    }
+    if (best < 0 ||
+        t.dynamic_priority >
+            tasks_[static_cast<std::size_t>(best)].dynamic_priority) {
+      best = static_cast<TaskId>(k);
+    }
+  }
+  if (best < 0 || best == running_) {
+    // Ceiling blocking: ready tasks whose base priority exceeds the
+    // incumbent's base priority are being held off by a raised ceiling.
+    if (best >= 0) {
+      for (Task& t : tasks_) {
+        if (t.state == State::ready && t.blocked_since < 0 &&
+            t.config.priority >
+                tasks_[static_cast<std::size_t>(best)].config.priority) {
+          t.blocked_since = queue_.now();
+        }
+      }
+    }
+    return;
+  }
+
+  // Preempt the incumbent.
+  if (running_ >= 0) {
+    Task& old = tasks_[static_cast<std::size_t>(running_)];
+    if (old.state == State::running) {
+      const SimTime elapsed = queue_.now() - old.segment_started;
+      old.segment_left = std::max<SimTime>(0, old.segment_left - elapsed);
+      old.state = State::ready;
+      ++old.token;  // invalidate its in-flight completion event
+    }
+  }
+
+  // Blocking witness: a ready task with higher base priority than the
+  // incumbent's base priority was prevented from running by a raised
+  // ceiling. Track the interval until it is dispatched.
+  Task& chosen = tasks_[static_cast<std::size_t>(best)];
+  if (chosen.blocked_since >= 0) {
+    worst_blocking_ =
+        std::max(worst_blocking_, queue_.now() - chosen.blocked_since);
+    chosen.blocked_since = -1;
+  }
+  for (std::size_t k = 0; k < tasks_.size(); ++k) {
+    Task& t = tasks_[k];
+    if (static_cast<TaskId>(k) != best && t.state == State::ready &&
+        t.config.priority > chosen.config.priority &&
+        t.blocked_since < 0) {
+      t.blocked_since = queue_.now();
+    }
+  }
+
+  // Every dispatch after the very first is a context switch (preemption or
+  // resumption) and pays the switch cost.
+  const bool real_switch = ever_dispatched_;
+  ever_dispatched_ = true;
+  running_ = best;
+  chosen.state = State::running;
+  if (real_switch) {
+    ++context_switches_;
+  }
+  dispatch(best, real_switch ? switch_cost_ : 0);
+}
+
+void Kernel::dispatch(TaskId id, SimTime extra_cost) {
+  Task& t = tasks_[static_cast<std::size_t>(id)];
+  // Process instantaneous segments (locks/unlocks) until an execute
+  // segment or completion.
+  while (t.segment < t.config.body.size()) {
+    const Segment& seg = t.config.body[t.segment];
+    if (seg.kind == Segment::Kind::execute) {
+      if (t.segment_left < 0) {
+        t.segment_left = seg.duration;
+      }
+      break;
+    }
+    Resource& r = resources_[static_cast<std::size_t>(seg.resource)];
+    if (seg.kind == Segment::Kind::lock) {
+      ACES_CHECK_MSG(r.holder < 0, "OSEK-PCP resource already held");
+      r.holder = id;
+      t.prio_stack.push_back(t.dynamic_priority);
+      t.dynamic_priority = std::max(t.dynamic_priority, r.ceiling);
+    } else {
+      ACES_CHECK_MSG(r.holder == id, "unlock of resource not held");
+      r.holder = -1;
+      ACES_CHECK(!t.prio_stack.empty());
+      t.dynamic_priority = t.prio_stack.back();
+      t.prio_stack.pop_back();
+    }
+    ++t.segment;
+  }
+  if (t.segment >= t.config.body.size()) {
+    complete(id);
+    return;
+  }
+  t.segment_started = queue_.now();
+  // An unlock above may have dropped our ceiling below a waiting task.
+  for (std::size_t k = 0; k < tasks_.size(); ++k) {
+    if (static_cast<TaskId>(k) != id &&
+        tasks_[k].state == State::ready &&
+        tasks_[k].dynamic_priority > t.dynamic_priority) {
+      schedule();
+      return;
+    }
+  }
+  const std::uint64_t token = ++t.token;
+  queue_.schedule_in(extra_cost + t.segment_left, [this, id, token] {
+    Task& task = tasks_[static_cast<std::size_t>(id)];
+    if (task.token != token || task.state != State::running) {
+      return;  // preempted; a fresh event exists
+    }
+    task.segment_left = -1;
+    ++task.segment;
+    dispatch(id, 0);
+  });
+  // A ceiling change (lock processed above) can demand a reschedule; the
+  // immediate-ceiling protocol raises only the running task, so no other
+  // task can newly preempt here.
+}
+
+void Kernel::complete(TaskId id) {
+  Task& t = tasks_[static_cast<std::size_t>(id)];
+  ACES_CHECK_MSG(t.prio_stack.empty(),
+                 t.config.name + " terminated holding a resource");
+  const SimTime response = queue_.now() - t.activated_at;
+  ++t.stats.completions;
+  t.stats.total_response += response;
+  t.stats.worst_response = std::max(t.stats.worst_response, response);
+  if (t.config.deadline > 0 && response > t.config.deadline) {
+    ++t.stats.deadline_misses;
+  }
+  t.state = State::suspended;
+  t.dynamic_priority = t.config.priority;
+  running_ = -1;
+  if (t.pending) {
+    t.pending = false;
+    activate(id);
+  }
+  schedule();
+}
+
+}  // namespace aces::rtos

@@ -1,0 +1,151 @@
+// OSEK-like fixed-priority kernel model (§3.1: "particular attention has
+// been paid to the requirements of OSEK (Version 2.1.1) compliant real-time
+// operating systems").
+//
+// This is a discrete-event *model* of an OSEK kernel, not code running on
+// the UC32 ISA: tasks are workload descriptions (sequences of execute /
+// lock / unlock segments), scheduled with OSEK semantics — static
+// priorities, immediate-ceiling resource protocol (OSEK's OSEK-PCP),
+// basic/extended task states, counters+alarms for periodic activation, and
+// a configurable context-switch overhead. Response-time measurements from
+// this model validate (and are bounded by) the closed-form analysis in
+// sched/rta.h, which is the CAN/OSEK schedulability story the paper's
+// distributed-vision section rests on.
+#ifndef ACES_RTOS_KERNEL_H
+#define ACES_RTOS_KERNEL_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "support/check.h"
+
+namespace aces::rtos {
+
+using TaskId = int;
+using ResourceId = int;
+
+// One step of a task body.
+struct Segment {
+  enum class Kind : std::uint8_t { execute, lock, unlock };
+  Kind kind = Kind::execute;
+  sim::SimTime duration = 0;  // execute
+  ResourceId resource = -1;   // lock/unlock
+};
+
+struct TaskConfig {
+  std::string name;
+  int priority = 0;  // larger = more urgent (OSEK convention)
+  std::vector<Segment> body;
+  // Implicit deadline = period for periodic tasks (0 = none declared).
+  sim::SimTime deadline = 0;
+};
+
+struct TaskStats {
+  std::uint64_t activations = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t lost_activations = 0;  // activated while already pending
+  std::uint64_t deadline_misses = 0;
+  sim::SimTime worst_response = 0;
+  sim::SimTime total_response = 0;
+
+  [[nodiscard]] double avg_response() const {
+    return completions == 0
+               ? 0.0
+               : static_cast<double>(total_response) /
+                     static_cast<double>(completions);
+  }
+};
+
+class Kernel {
+ public:
+  explicit Kernel(sim::EventQueue& queue,
+                  sim::SimTime context_switch_cost = 0)
+      : queue_(queue), switch_cost_(context_switch_cost) {}
+
+  // ----- configuration (before start) -----
+  TaskId create_task(TaskConfig config);
+  ResourceId create_resource(std::string name);
+  // Declares that `task` locks `resource` somewhere in its body (used for
+  // the ceiling computation; lock segments are checked against this).
+  void task_uses(TaskId task, ResourceId resource);
+  // Periodic activation: first at `offset`, then every `period`.
+  void set_alarm(TaskId task, sim::SimTime offset, sim::SimTime period);
+  // Finalizes ceilings and arms alarms. Call once.
+  void start();
+
+  // ----- runtime API -----
+  void activate(TaskId task);  // OSEK ActivateTask (also from "ISRs")
+
+  [[nodiscard]] const TaskStats& stats(TaskId task) const {
+    return tasks_[static_cast<std::size_t>(task)].stats;
+  }
+  [[nodiscard]] const std::string& task_name(TaskId task) const {
+    return tasks_[static_cast<std::size_t>(task)].config.name;
+  }
+  [[nodiscard]] std::uint64_t context_switches() const {
+    return context_switches_;
+  }
+  [[nodiscard]] int task_count() const {
+    return static_cast<int>(tasks_.size());
+  }
+  // Longest observed blocking of a higher-priority task by a lower one
+  // holding a resource (priority-inversion bound witness).
+  [[nodiscard]] sim::SimTime worst_blocking() const { return worst_blocking_; }
+
+ private:
+  enum class State : std::uint8_t { suspended, ready, running };
+
+  struct Task {
+    TaskConfig config;
+    TaskStats stats;
+    State state = State::suspended;
+    std::size_t segment = 0;           // index into body
+    sim::SimTime segment_left = -1;    // remaining execute time (-1: fresh)
+    sim::SimTime segment_started = 0;  // when the running segment began
+    sim::SimTime activated_at = 0;
+    bool pending = false;              // queued activation (OSEK: max 1)
+    int dynamic_priority = 0;          // base or raised ceiling
+    std::vector<int> prio_stack;       // restore values for nested locks
+    sim::SimTime blocked_since = -1;   // for blocking stats
+    std::uint64_t token = 0;           // invalidates stale completion events
+  };
+
+  struct Resource {
+    std::string name;
+    int ceiling = 0;
+    TaskId holder = -1;
+    std::vector<TaskId> users;
+  };
+
+  struct Alarm {
+    TaskId task = -1;
+    sim::SimTime offset = 0;
+    sim::SimTime period = 0;
+  };
+
+  void arm_alarm(const Alarm& alarm);
+  void schedule();  // dispatch decision
+  // Advances through instantaneous segments, then runs/continues the
+  // current execute segment (extra_cost models the context switch).
+  void dispatch(TaskId task, sim::SimTime extra_cost);
+  void complete(TaskId task);
+
+  sim::EventQueue& queue_;
+  sim::SimTime switch_cost_;
+  std::vector<Task> tasks_;
+  std::vector<Resource> resources_;
+  std::vector<Alarm> alarms_;
+  TaskId running_ = -1;
+  std::uint64_t context_switches_ = 0;
+  sim::SimTime worst_blocking_ = 0;
+  bool started_ = false;
+  bool ever_dispatched_ = false;
+};
+
+}  // namespace aces::rtos
+
+#endif  // ACES_RTOS_KERNEL_H

@@ -1,0 +1,42 @@
+// Worst-case response-time analysis for CAN messages.
+//
+// Implements the revised analysis of Davis, Burns, Bril & Lukkien
+// ("Controller Area Network (CAN) schedulability analysis: Refuted,
+// revisited and revised", RTS 2007): non-preemptive fixed-priority
+// scheduling with the priority given by the identifier, including the
+// busy-period extension that examines multiple instances when a message's
+// response time can exceed its period. Frame times use the worst-case
+// stuffed length from can/frame.h, so the simulated bus (can/bus.h) can
+// never exceed these bounds — the property bench_can_rta sweeps.
+#ifndef ACES_SCHED_CAN_RTA_H
+#define ACES_SCHED_CAN_RTA_H
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace aces::sched {
+
+struct CanMessage {
+  std::string name;
+  std::uint32_t id = 0;       // priority: lower wins
+  unsigned dlc = 8;
+  sim::SimTime period = 0;    // T
+  sim::SimTime deadline = 0;  // D (0: implicit = T)
+  sim::SimTime jitter = 0;    // queuing jitter J
+};
+
+struct CanRtaResult {
+  bool schedulable = false;
+  std::vector<sim::SimTime> response;  // worst-case queue-to-delivery
+  std::vector<bool> message_ok;
+  double bus_utilization = 0.0;
+};
+
+[[nodiscard]] CanRtaResult can_rta(const std::vector<CanMessage>& messages,
+                                   std::uint32_t bitrate_bps);
+
+}  // namespace aces::sched
+
+#endif  // ACES_SCHED_CAN_RTA_H

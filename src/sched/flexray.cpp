@@ -1,0 +1,99 @@
+#include "sched/flexray.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace aces::sched {
+
+const FlexrayAssignment& FlexraySchedule::of(int frame) const {
+  for (const FlexrayAssignment& a : assignments) {
+    if (a.frame == frame) {
+      return a;
+    }
+  }
+  ACES_CHECK_MSG(false, "frame has no assignment");
+  return assignments.front();  // unreachable
+}
+
+FlexraySchedule build_static_schedule(
+    const FlexrayConfig& config, const std::vector<FlexrayFrame>& frames) {
+  ACES_CHECK(config.static_slots >= 1);
+  ACES_CHECK(config.slot_length * config.static_slots <= config.cycle_length);
+
+  FlexraySchedule schedule;
+  // Existing occupancy: per slot, list of (base, repetition).
+  struct Occupied {
+    unsigned base;
+    unsigned rep;
+  };
+  std::vector<std::vector<Occupied>> slots(config.static_slots);
+
+  // Assign the most frequent frames first (smallest repetition).
+  std::vector<int> order;
+  for (std::size_t k = 0; k < frames.size(); ++k) {
+    order.push_back(static_cast<int>(k));
+  }
+  const auto repetition_of = [&config](const FlexrayFrame& f) {
+    unsigned rep = 1;
+    while (rep < 64 &&
+           static_cast<sim::SimTime>(rep) * config.cycle_length < f.period) {
+      rep *= 2;
+    }
+    return rep;
+  };
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return repetition_of(frames[static_cast<std::size_t>(a)]) <
+           repetition_of(frames[static_cast<std::size_t>(b)]);
+  });
+
+  const auto collides = [](const Occupied& o, unsigned base, unsigned rep) {
+    const unsigned m = std::min(o.rep, rep);
+    return (o.base % m) == (base % m);
+  };
+
+  double used_instances = 0.0;
+  for (const int fi : order) {
+    const FlexrayFrame& f = frames[static_cast<std::size_t>(fi)];
+    const unsigned rep = repetition_of(f);
+    bool placed = false;
+    for (unsigned s = 0; s < config.static_slots && !placed; ++s) {
+      for (unsigned base = 0; base < rep && !placed; ++base) {
+        bool free = true;
+        for (const Occupied& o : slots[s]) {
+          if (collides(o, base, rep)) {
+            free = false;
+            break;
+          }
+        }
+        if (!free) {
+          continue;
+        }
+        slots[s].push_back(Occupied{base, rep});
+        FlexrayAssignment a;
+        a.frame = fi;
+        a.slot = s;
+        a.base_cycle = base;
+        a.repetition = rep;
+        // Worst case: data ready just after its slot passed -> wait a full
+        // repetition period, then until the slot's end.
+        a.worst_latency =
+            static_cast<sim::SimTime>(rep) * config.cycle_length +
+            static_cast<sim::SimTime>(s + 1) * config.slot_length;
+        schedule.assignments.push_back(a);
+        used_instances += 1.0 / rep;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      schedule.feasible = false;
+      return schedule;
+    }
+  }
+  schedule.feasible = true;
+  schedule.static_utilization =
+      used_instances / static_cast<double>(config.static_slots);
+  return schedule;
+}
+
+}  // namespace aces::sched

@@ -1,0 +1,55 @@
+// FlexRay static-segment schedule construction (extension experiment E12).
+//
+// The static segment is TDMA: each communication cycle contains a fixed
+// number of equal static slots; a frame is assigned a (slot, base cycle,
+// repetition) triple where repetition is a power of two up to 64 — the
+// frame is sent in its slot whenever cycle % repetition == base. Two frames
+// may share a slot iff their (base, repetition) patterns never collide.
+// This is the deterministic counterpart the industry moved to for
+// safety-critical traffic; the bench compares its latency/utilization
+// against CAN for the same message set.
+#ifndef ACES_SCHED_FLEXRAY_H
+#define ACES_SCHED_FLEXRAY_H
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace aces::sched {
+
+struct FlexrayConfig {
+  sim::SimTime cycle_length = 5 * sim::kMillisecond;
+  unsigned static_slots = 30;
+  sim::SimTime slot_length = 100 * sim::kMicrosecond;  // <= cycle/slots
+};
+
+struct FlexrayFrame {
+  std::string name;
+  int node = 0;
+  // Desired period; rounded up to cycle * 2^k (k in 0..6).
+  sim::SimTime period = 0;
+};
+
+struct FlexrayAssignment {
+  int frame = -1;
+  unsigned slot = 0;
+  unsigned base_cycle = 0;
+  unsigned repetition = 1;
+  sim::SimTime worst_latency = 0;  // queue-at-worst-moment to slot end
+};
+
+struct FlexraySchedule {
+  bool feasible = false;
+  std::vector<FlexrayAssignment> assignments;
+  double static_utilization = 0.0;  // fraction of slot-instances used
+
+  [[nodiscard]] const FlexrayAssignment& of(int frame) const;
+};
+
+[[nodiscard]] FlexraySchedule build_static_schedule(
+    const FlexrayConfig& config, const std::vector<FlexrayFrame>& frames);
+
+}  // namespace aces::sched
+
+#endif  // ACES_SCHED_FLEXRAY_H

@@ -1,0 +1,57 @@
+// Fixed-priority response-time analysis for OSEK-like task sets.
+//
+// The classic recurrence (Joseph & Pandya; Audsley et al.):
+//   R_i = C_i + B_i + sum_{j in hp(i)} ceil((R_i + J_j) / T_j) * C_j
+// iterated to a fixed point, with B_i the immediate-ceiling blocking bound:
+//   B_i = max { cs(j, r) : prio(j) < prio(i) <= ceiling(r) }.
+// The simulated kernel (rtos/) must never observe a response time above
+// these bounds — the property bench_osek_sched and the tests check.
+#ifndef ACES_SCHED_RTA_H
+#define ACES_SCHED_RTA_H
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace aces::sched {
+
+struct RtaTask {
+  std::string name;
+  sim::SimTime wcet = 0;      // C
+  sim::SimTime period = 0;    // T (also the activation jitter-free period)
+  sim::SimTime deadline = 0;  // D (0 means implicit: D = T)
+  int priority = 0;           // larger = more urgent
+  sim::SimTime jitter = 0;    // release jitter J
+  sim::SimTime blocking = 0;  // B (from pcp_blocking or user-provided)
+};
+
+// One critical section: `task` holds `resource` for up to `length`.
+struct CriticalSection {
+  int task = 0;  // index into the task vector
+  int resource = 0;
+  sim::SimTime length = 0;
+};
+
+struct RtaResult {
+  bool schedulable = false;
+  std::vector<sim::SimTime> response;  // worst-case response per task
+  std::vector<bool> task_ok;
+};
+
+// Fills RtaTask::blocking for every task from the critical-section table
+// under the immediate ceiling protocol.
+void apply_pcp_blocking(std::vector<RtaTask>& tasks,
+                        const std::vector<CriticalSection>& sections);
+
+[[nodiscard]] RtaResult response_time_analysis(
+    const std::vector<RtaTask>& tasks);
+
+[[nodiscard]] double utilization(const std::vector<RtaTask>& tasks);
+
+// Liu & Layland rate-monotonic utilization bound for n tasks.
+[[nodiscard]] double liu_layland_bound(int n);
+
+}  // namespace aces::sched
+
+#endif  // ACES_SCHED_RTA_H

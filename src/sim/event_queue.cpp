@@ -1,0 +1,58 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace aces::sim {
+
+EventId EventQueue::schedule_at(SimTime at, std::function<void()> fn) {
+  ACES_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
+  const EventId id = next_id_++;
+  pending_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) ==
+      cancelled_.end()) {
+    cancelled_.push_back(id);
+    ++cancelled_count_;
+  }
+}
+
+bool EventQueue::step(SimTime horizon) {
+  while (!pending_.empty()) {
+    const Entry& top = pending_.top();
+    if (top.at > horizon) {
+      return false;
+    }
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), top.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_count_;
+      pending_.pop();
+      continue;
+    }
+    // Copy out before popping: the callback may schedule new events.
+    Entry entry = top;
+    pending_.pop();
+    now_ = entry.at;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run_until(SimTime horizon) {
+  std::size_t executed = 0;
+  while (step(horizon)) {
+    ++executed;
+  }
+  if (now_ < horizon) {
+    now_ = horizon;
+  }
+  return executed;
+}
+
+}  // namespace aces::sim

@@ -1,0 +1,84 @@
+// Discrete-event simulation core shared by the CAN bus model, the OSEK-like
+// kernel model and the system-level experiments.
+//
+// Time is an integer count of nanoseconds (SimTime). Events scheduled for
+// the same instant fire in FIFO order of scheduling (a monotonically
+// increasing sequence number breaks ties), which keeps every simulation
+// deterministic.
+#ifndef ACES_SIM_EVENT_QUEUE_H
+#define ACES_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace aces::sim {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+constexpr SimTime kMicrosecond = 1'000;
+constexpr SimTime kMillisecond = 1'000'000;
+constexpr SimTime kSecond = 1'000'000'000;
+
+// Handle used to cancel a scheduled event. Cancellation is lazy: the event
+// stays in the queue but is skipped when popped.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  // Schedules fn at absolute time `at` (must be >= now()).
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  // Schedules fn `delay` after now().
+  EventId schedule_in(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Marks an event as cancelled; a no-op if it already fired.
+  void cancel(EventId id);
+
+  // Runs events until the queue is empty or the horizon is passed.
+  // Returns the number of events executed. Events scheduled exactly at
+  // `horizon` still run; later ones remain queued.
+  std::size_t run_until(SimTime horizon);
+
+  // Runs a single event if one is pending within the horizon.
+  // Returns false when nothing (non-cancelled) is pending in range.
+  bool step(SimTime horizon);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return pending_.size() == cancelled_count_;
+  }
+
+ private:
+  struct Entry {
+    SimTime at = 0;
+    std::uint64_t seq = 0;
+    EventId id = 0;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> pending_;
+  std::vector<EventId> cancelled_;  // sorted insertion not needed; small
+  std::size_t cancelled_count_ = 0;
+};
+
+}  // namespace aces::sim
+
+#endif  // ACES_SIM_EVENT_QUEUE_H

@@ -1,0 +1,110 @@
+// Bit-manipulation helpers shared across the ISA, memory system and CAN
+// serializer. All operate on unsigned types (bit patterns), per the
+// signed-arithmetic / unsigned-bit-manipulation split.
+#ifndef ACES_SUPPORT_BITS_H
+#define ACES_SUPPORT_BITS_H
+
+#include <bit>
+#include <cstdint>
+
+namespace aces::support {
+
+// Extracts bits [lsb, lsb+width) of x, right-aligned. width in [1,32].
+[[nodiscard]] constexpr std::uint32_t bits(std::uint32_t x, unsigned lsb,
+                                           unsigned width) {
+  const std::uint32_t mask =
+      width >= 32 ? 0xFFFF'FFFFu : ((1u << width) - 1u);
+  return (x >> lsb) & mask;
+}
+
+// Returns bit `n` of x as 0 or 1.
+[[nodiscard]] constexpr std::uint32_t bit(std::uint32_t x, unsigned n) {
+  return (x >> n) & 1u;
+}
+
+// Inserts the low `width` bits of v into x at [lsb, lsb+width).
+[[nodiscard]] constexpr std::uint32_t insert_bits(std::uint32_t x,
+                                                  std::uint32_t v,
+                                                  unsigned lsb,
+                                                  unsigned width) {
+  const std::uint32_t mask =
+      (width >= 32 ? 0xFFFF'FFFFu : ((1u << width) - 1u)) << lsb;
+  return (x & ~mask) | ((v << lsb) & mask);
+}
+
+// Sign-extends the low `width` bits of x to a signed 32-bit value.
+[[nodiscard]] constexpr std::int32_t sign_extend(std::uint32_t x,
+                                                 unsigned width) {
+  const unsigned shift = 32u - width;
+  return static_cast<std::int32_t>(x << shift) >> shift;
+}
+
+// True if the signed value fits in `width` bits (two's complement).
+[[nodiscard]] constexpr bool fits_signed(std::int64_t v, unsigned width) {
+  const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+// True if the unsigned value fits in `width` bits.
+[[nodiscard]] constexpr bool fits_unsigned(std::uint64_t v, unsigned width) {
+  return width >= 64 || v < (std::uint64_t{1} << width);
+}
+
+[[nodiscard]] constexpr std::uint32_t rotate_right(std::uint32_t x,
+                                                   unsigned n) {
+  return std::rotr(x, static_cast<int>(n));
+}
+
+[[nodiscard]] constexpr std::uint32_t rotate_left(std::uint32_t x,
+                                                  unsigned n) {
+  return std::rotl(x, static_cast<int>(n));
+}
+
+// Reverses the bit order of a 32-bit word (RBIT).
+[[nodiscard]] constexpr std::uint32_t reverse_bits(std::uint32_t x) {
+  x = ((x & 0x5555'5555u) << 1) | ((x >> 1) & 0x5555'5555u);
+  x = ((x & 0x3333'3333u) << 2) | ((x >> 2) & 0x3333'3333u);
+  x = ((x & 0x0F0F'0F0Fu) << 4) | ((x >> 4) & 0x0F0F'0F0Fu);
+  x = ((x & 0x00FF'00FFu) << 8) | ((x >> 8) & 0x00FF'00FFu);
+  return (x << 16) | (x >> 16);
+}
+
+// Reverses byte order of a 32-bit word (REV).
+[[nodiscard]] constexpr std::uint32_t reverse_bytes(std::uint32_t x) {
+  return ((x & 0x0000'00FFu) << 24) | ((x & 0x0000'FF00u) << 8) |
+         ((x & 0x00FF'0000u) >> 8) | ((x & 0xFF00'0000u) >> 24);
+}
+
+// Reverses bytes within each halfword (REV16).
+[[nodiscard]] constexpr std::uint32_t reverse_bytes16(std::uint32_t x) {
+  return ((x & 0x00FF'00FFu) << 8) | ((x & 0xFF00'FF00u) >> 8);
+}
+
+// Count of leading zeros, 32 for x == 0 (CLZ).
+[[nodiscard]] constexpr unsigned count_leading_zeros(std::uint32_t x) {
+  return x == 0 ? 32u : static_cast<unsigned>(std::countl_zero(x));
+}
+
+[[nodiscard]] constexpr unsigned popcount(std::uint32_t x) {
+  return static_cast<unsigned>(std::popcount(x));
+}
+
+[[nodiscard]] constexpr bool is_power_of_two(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+// Rounds x up to the next multiple of `align` (align must be a power of 2).
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t x,
+                                               std::uint64_t align) {
+  return (x + align - 1) & ~(align - 1);
+}
+
+[[nodiscard]] constexpr std::uint64_t align_down(std::uint64_t x,
+                                                 std::uint64_t align) {
+  return x & ~(align - 1);
+}
+
+}  // namespace aces::support
+
+#endif  // ACES_SUPPORT_BITS_H

@@ -1,0 +1,37 @@
+// Precondition / configuration checking for the ACES library.
+//
+// ACES_CHECK is used on public API boundaries: violations are programming or
+// configuration errors and throw std::logic_error (per the library error
+// policy, modeled hardware faults are domain events, never C++ exceptions).
+#ifndef ACES_SUPPORT_CHECK_H
+#define ACES_SUPPORT_CHECK_H
+
+#include <stdexcept>
+#include <string>
+
+namespace aces::support {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw std::logic_error(std::string("ACES_CHECK failed: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace aces::support
+
+#define ACES_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::aces::support::check_failed(#expr, __FILE__, __LINE__, "");      \
+    }                                                                    \
+  } while (false)
+
+#define ACES_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::aces::support::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                    \
+  } while (false)
+
+#endif  // ACES_SUPPORT_CHECK_H

@@ -1,0 +1,47 @@
+// Minimal Qm.n fixed-point helpers used by the host-side reference
+// implementations of the automotive kernels (engine maps, PID, FIR). These
+// mirror the integer sequences the KIR lowering emits, so the simulator
+// outputs can be compared bit-for-bit against the references.
+#ifndef ACES_SUPPORT_FIXED_H
+#define ACES_SUPPORT_FIXED_H
+
+#include <cstdint>
+
+namespace aces::support {
+
+// Multiplies two Q16.16 values. Intermediate is 64-bit, truncating shift —
+// the same sequence the lowered kernels use (smull-style then shift).
+[[nodiscard]] constexpr std::int32_t q16_mul(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(
+      (static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b)) >> 16);
+}
+
+// Divides two Q16.16 values (truncating), b must be nonzero.
+[[nodiscard]] constexpr std::int32_t q16_div(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(
+      (static_cast<std::int64_t>(a) << 16) / static_cast<std::int64_t>(b));
+}
+
+[[nodiscard]] constexpr std::int32_t q16_from_int(std::int32_t v) {
+  return v << 16;
+}
+
+[[nodiscard]] constexpr std::int32_t q16_to_int(std::int32_t v) {
+  return v >> 16;
+}
+
+// Saturates v into [lo, hi].
+[[nodiscard]] constexpr std::int32_t clamp_i32(std::int64_t v, std::int32_t lo,
+                                               std::int32_t hi) {
+  if (v < lo) {
+    return lo;
+  }
+  if (v > hi) {
+    return hi;
+  }
+  return static_cast<std::int32_t>(v);
+}
+
+}  // namespace aces::support
+
+#endif  // ACES_SUPPORT_FIXED_H

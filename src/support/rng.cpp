@@ -1,0 +1,75 @@
+#include "support/rng.h"
+
+#include <bit>
+
+namespace aces::support {
+
+namespace {
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E37'79B9'7F4A'7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58'476D'1CE4'E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D0'49BB'1331'11EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng256::Rng256(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& s : s_) {
+    s = splitmix64(x);
+  }
+  // All-zero state is the one invalid state; seed==0 cannot produce it via
+  // splitmix64, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 1;
+  }
+}
+
+std::uint64_t Rng256::next_u64() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng256::next_below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method; bias is < 2^-64 * bound which is
+  // negligible for simulation purposes.
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(next_u64()) * bound;
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng256::next_in(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next_u64()
+                                                  : next_below(span));
+}
+
+double Rng256::next_unit() noexcept {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng256::chance(double p) noexcept {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return next_unit() < p;
+}
+
+Rng256 Rng256::fork() noexcept { return Rng256(next_u64()); }
+
+}  // namespace aces::support

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Every stochastic element of ACES (fault injection, workload inputs,
+// interrupt arrival jitter, CAN payloads) draws from a seeded Rng256 so that
+// simulations are exactly reproducible across runs and platforms. The
+// generator is xoshiro256** (Blackman & Vigna), chosen for speed and
+// well-studied statistical quality; <random> engines are avoided because
+// their distributions are not bit-identical across standard libraries.
+#ifndef ACES_SUPPORT_RNG_H
+#define ACES_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace aces::support {
+
+class Rng256 {
+ public:
+  explicit Rng256(std::uint64_t seed) noexcept;
+
+  // Next 64 uniformly distributed bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  [[nodiscard]] std::uint32_t next_u32() noexcept {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+  // Uniform integer in [0, bound) via Lemire's multiply-shift reduction;
+  // bound must be nonzero.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double next_unit() noexcept;
+
+  // Bernoulli trial with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  // Forks an independent stream (splitmix of current state), for giving each
+  // subsystem its own generator without correlated draws.
+  [[nodiscard]] Rng256 fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace aces::support
+
+#endif  // ACES_SUPPORT_RNG_H

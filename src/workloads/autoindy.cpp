@@ -1,0 +1,503 @@
+#include "workloads/autoindy.h"
+
+#include "support/bits.h"
+#include "support/check.h"
+
+namespace aces::workloads {
+
+using kir::KFunction;
+using kir::KLabel;
+using kir::KOp;
+using kir::VReg;
+using kir::Width;
+using isa::Cond;
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& m, std::size_t at, std::uint16_t v) {
+  m[at] = static_cast<std::uint8_t>(v);
+  m[at + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+void put_u32(std::vector<std::uint8_t>& m, std::size_t at, std::uint32_t v) {
+  put_u16(m, at, static_cast<std::uint16_t>(v));
+  put_u16(m, at + 2, static_cast<std::uint16_t>(v >> 16));
+}
+[[nodiscard]] std::uint16_t get_u16(const std::vector<std::uint8_t>& m,
+                                    std::size_t at) {
+  return static_cast<std::uint16_t>(m[at] | (m[at + 1] << 8));
+}
+
+}  // namespace
+
+// ----- tooth_to_spark ---------------------------------------------------------
+
+KFunction build_tooth_to_spark() {
+  // f(rpm, advance_deg_x2, dwell_us):
+  //   rev_us       = 60'000'000 / rpm
+  //   spark_delay  = rev_us * advance_x2 / 720
+  //   dwell_start  = max(spark_delay - dwell_us, 0)
+  //   return dwell_start + spark_delay
+  KFunction f("tooth_to_spark", 3);
+  const VReg rpm = 0, adv = 1, dwell = 2;
+  const VReg c = f.v(), rev = f.v(), delay = f.v(), start = f.v(),
+             zero = f.v();
+  f.movi(c, 60'000'000);
+  f.arith(KOp::udiv, rev, c, rpm);
+  f.arith(KOp::mul, delay, rev, adv);
+  f.arith_imm(KOp::udiv, delay, delay, 720);
+  f.arith(KOp::sub, start, delay, dwell);
+  f.movi(zero, 0);
+  f.select(start, Cond::lt, start, zero, zero, start);
+  f.arith(KOp::add, start, start, delay);
+  f.ret(start);
+  return f;
+}
+
+namespace {
+
+std::uint32_t ref_tooth_to_spark(std::uint32_t rpm, std::uint32_t adv,
+                                 std::uint32_t dwell) {
+  const std::uint32_t rev = 60'000'000u / rpm;
+  const std::uint32_t delay = (rev * adv) / 720u;
+  const std::uint32_t diff = delay - dwell;
+  const std::uint32_t start =
+      static_cast<std::int32_t>(diff) < 0 ? 0u : diff;
+  return start + delay;
+}
+
+Instance make_tooth_to_spark(support::Rng256& rng, std::uint32_t) {
+  Instance in;
+  in.nargs = 3;
+  in.args[0] = static_cast<std::uint32_t>(rng.next_in(600, 8000));   // rpm
+  in.args[1] = static_cast<std::uint32_t>(rng.next_in(0, 90));       // adv
+  in.args[2] = static_cast<std::uint32_t>(rng.next_in(500, 4000));   // dwell
+  in.expected = ref_tooth_to_spark(in.args[0], in.args[1], in.args[2]);
+  return in;
+}
+
+}  // namespace
+
+// ----- map_interp ---------------------------------------------------------------
+
+KFunction build_map_interp() {
+  // f(map_base, rpm, load): bilinear lookup in a 16x16 table of u16,
+  // rpm/load in 0..4095, row stride 32 bytes.
+  KFunction f("map_interp", 3);
+  const VReg base = 0, rpm = 1, load = 2;
+  const VReg ri = f.v(), rf = f.v(), li = f.v(), lf = f.v();
+  f.arith_imm(KOp::shr_u, ri, rpm, 8);
+  f.arith_imm(KOp::and_, rf, rpm, 255);
+  f.arith_imm(KOp::shr_u, li, load, 8);
+  f.arith_imm(KOp::and_, lf, load, 255);
+  // Clamp the integer indices to 14 so the +1 neighbors stay in range.
+  const VReg c14 = f.v();
+  f.movi(c14, 14);
+  f.select(ri, Cond::hi, ri, c14, c14, ri);
+  f.select(li, Cond::hi, li, c14, c14, li);
+  // addr of (ri, li): base + ri*32 + li*2
+  const VReg off = f.v(), t = f.v();
+  f.arith_imm(KOp::shl, off, ri, 5);
+  f.arith_imm(KOp::shl, t, li, 1);
+  f.arith(KOp::add, off, off, t);
+  const VReg a = f.v(), b = f.v(), cc = f.v(), d = f.v();
+  f.loadx(a, base, off, Width::w16);
+  f.arith_imm(KOp::add, off, off, 2);
+  f.loadx(b, base, off, Width::w16);
+  f.arith_imm(KOp::add, off, off, 30);
+  f.loadx(cc, base, off, Width::w16);
+  f.arith_imm(KOp::add, off, off, 2);
+  f.loadx(d, base, off, Width::w16);
+  // top = (a*(256-lf) + b*lf) >> 8 ; bot likewise; out blends by rf.
+  const VReg inv = f.v(), top = f.v(), bot = f.v();
+  f.arith_imm(KOp::rsb, inv, lf, 256);  // inv = 256 - lf
+  f.arith(KOp::mul, top, a, inv);
+  f.mla(top, b, lf, top);
+  f.arith_imm(KOp::shr_u, top, top, 8);
+  f.arith(KOp::mul, bot, cc, inv);
+  f.mla(bot, d, lf, bot);
+  f.arith_imm(KOp::shr_u, bot, bot, 8);
+  const VReg invr = f.v(), out = f.v();
+  f.arith_imm(KOp::rsb, invr, rf, 256);
+  f.arith(KOp::mul, out, top, invr);
+  f.mla(out, bot, rf, out);
+  f.arith_imm(KOp::shr_u, out, out, 8);
+  f.ret(out);
+  return f;
+}
+
+namespace {
+
+std::uint32_t ref_map_interp(const std::vector<std::uint8_t>& mem,
+                             std::uint32_t rpm, std::uint32_t load) {
+  std::uint32_t ri = rpm >> 8, rf = rpm & 255, li = load >> 8,
+                lf = load & 255;
+  ri = ri > 14 ? 14 : ri;
+  li = li > 14 ? 14 : li;
+  const auto at = [&mem](std::uint32_t r, std::uint32_t c) {
+    return static_cast<std::uint32_t>(get_u16(mem, r * 32 + c * 2));
+  };
+  const std::uint32_t inv = 256 - lf;
+  const std::uint32_t top = (at(ri, li) * inv + at(ri, li + 1) * lf) >> 8;
+  const std::uint32_t bot =
+      (at(ri + 1, li) * inv + at(ri + 1, li + 1) * lf) >> 8;
+  return (top * (256 - rf) + bot * rf) >> 8;
+}
+
+Instance make_map_interp(support::Rng256& rng, std::uint32_t data_base) {
+  Instance in;
+  in.memory.resize(16 * 32);
+  for (std::size_t k = 0; k < in.memory.size(); k += 2) {
+    put_u16(in.memory, k, static_cast<std::uint16_t>(rng.next_below(4096)));
+  }
+  in.nargs = 3;
+  in.args[0] = data_base;
+  in.args[1] = static_cast<std::uint32_t>(rng.next_below(4096));
+  in.args[2] = static_cast<std::uint32_t>(rng.next_below(4096));
+  in.expected = ref_map_interp(in.memory, in.args[1], in.args[2]);
+  return in;
+}
+
+}  // namespace
+
+// ----- can_pack ------------------------------------------------------------------
+
+KFunction build_can_pack() {
+  // f(frame_base): unpack six signal fields from an 8-byte frame image,
+  // transform them, repack into the next 8 bytes, return a mixed checksum.
+  KFunction f("can_pack", 1);
+  const VReg base = 0;
+  const VReg w0 = f.v(), w1 = f.v();
+  f.load(w0, base, 0, Width::w32);
+  f.load(w1, base, 4, Width::w32);
+  const VReg rpm = f.v(), temp = f.v(), flags = f.v(), pedal = f.v(),
+             gear = f.v(), crc = f.v();
+  f.bfx(rpm, w0, 0, 13);
+  f.bfx(temp, w0, 13, 9, /*sign=*/true);
+  f.bfx(flags, w0, 22, 6);
+  f.bfx(pedal, w1, 0, 10);
+  f.bfx(gear, w1, 10, 3);
+  f.bfx(crc, w1, 16, 16);
+  // Transform: rpm += 100 (saturate 13 bits), temp += 5, pedal >>= 1,
+  // flags rotated mirror.
+  f.arith_imm(KOp::add, rpm, rpm, 100);
+  const VReg cmax = f.v();
+  f.movi(cmax, 8191);
+  f.select(rpm, Cond::hi, rpm, cmax, cmax, rpm);
+  f.arith_imm(KOp::add, temp, temp, 5);
+  f.arith_imm(KOp::shr_u, pedal, pedal, 1);
+  const VReg fl2 = f.v();
+  f.unary(KOp::bit_rev, fl2, flags);
+  f.arith_imm(KOp::shr_u, fl2, fl2, 26);  // 6-bit mirror
+  // Repack.
+  const VReg o0 = f.v(), o1 = f.v();
+  f.movi(o0, 0);
+  f.bfi(o0, rpm, 0, 13);
+  f.bfi(o0, temp, 13, 9);
+  f.bfi(o0, fl2, 22, 6);
+  f.movi(o1, 0);
+  f.bfi(o1, pedal, 0, 10);
+  f.bfi(o1, gear, 10, 3);
+  f.bfi(o1, crc, 16, 16);
+  f.store(o0, base, 8, Width::w32);
+  f.store(o1, base, 12, Width::w32);
+  // Checksum mixes byte order (network-endian view).
+  const VReg rev = f.v();
+  f.unary(KOp::byte_rev, rev, o0);
+  f.arith(KOp::eor, rev, rev, o1);
+  f.ret(rev);
+  return f;
+}
+
+namespace {
+
+std::uint32_t ref_can_pack(std::vector<std::uint8_t>& mem) {
+  const std::uint32_t w0 = mem[0] | (mem[1] << 8) | (mem[2] << 16) |
+                           (static_cast<std::uint32_t>(mem[3]) << 24);
+  const std::uint32_t w1 = mem[4] | (mem[5] << 8) | (mem[6] << 16) |
+                           (static_cast<std::uint32_t>(mem[7]) << 24);
+  std::uint32_t rpm = support::bits(w0, 0, 13);
+  std::uint32_t temp = static_cast<std::uint32_t>(
+      support::sign_extend(support::bits(w0, 13, 9), 9));
+  const std::uint32_t flags = support::bits(w0, 22, 6);
+  std::uint32_t pedal = support::bits(w1, 0, 10);
+  const std::uint32_t gear = support::bits(w1, 10, 3);
+  const std::uint32_t crc = support::bits(w1, 16, 16);
+  rpm += 100;
+  rpm = rpm > 8191 ? 8191 : rpm;
+  temp += 5;
+  pedal >>= 1;
+  const std::uint32_t fl2 = support::reverse_bits(flags) >> 26;
+  std::uint32_t o0 = 0, o1 = 0;
+  o0 = support::insert_bits(o0, rpm, 0, 13);
+  o0 = support::insert_bits(o0, temp, 13, 9);
+  o0 = support::insert_bits(o0, fl2, 22, 6);
+  o1 = support::insert_bits(o1, pedal, 0, 10);
+  o1 = support::insert_bits(o1, gear, 10, 3);
+  o1 = support::insert_bits(o1, crc, 16, 16);
+  put_u32(mem, 8, o0);
+  put_u32(mem, 12, o1);
+  return support::reverse_bytes(o0) ^ o1;
+}
+
+Instance make_can_pack(support::Rng256& rng, std::uint32_t data_base) {
+  Instance in;
+  in.memory.resize(16);
+  for (std::size_t k = 0; k < 8; ++k) {
+    in.memory[k] = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  in.nargs = 1;
+  in.args[0] = data_base;
+  std::vector<std::uint8_t> scratch = in.memory;
+  in.expected = ref_can_pack(scratch);
+  return in;
+}
+
+}  // namespace
+
+// ----- fir16 ---------------------------------------------------------------------
+
+KFunction build_fir16() {
+  // f(samples, coeffs, n): for each of n output positions, a 16-tap dot
+  // product of signed 16-bit samples and coefficients; accumulates the
+  // scaled outputs.
+  KFunction f("fir16", 3);
+  const VReg samples = 0, coeffs = 1, n = 2;
+  const VReg acc = f.v(), j = f.v();
+  f.movi(acc, 0);
+  f.movi(j, 0);
+  const KLabel outer = f.make_label();
+  f.bind(outer);
+  const VReg sum = f.v(), k = f.v(), soff = f.v();
+  f.movi(sum, 0);
+  f.movi(k, 0);
+  const KLabel inner = f.make_label();
+  f.bind(inner);
+  const VReg s = f.v(), c = f.v();
+  f.arith(KOp::add, soff, j, k);
+  f.loadx(s, samples, soff, Width::w16, /*sign=*/true);
+  f.loadx(c, coeffs, k, Width::w16, /*sign=*/true);
+  f.mla(sum, s, c, sum);
+  f.arith_imm(KOp::add, k, k, 2);
+  f.brcc_imm(Cond::ne, k, 32, inner);  // 16 taps x 2 bytes
+  f.arith_imm(KOp::shr_s, sum, sum, 6);
+  f.arith(KOp::add, acc, acc, sum);
+  f.arith_imm(KOp::add, j, j, 2);
+  f.brcc(Cond::ne, j, n, outer);
+  f.ret(acc);
+  return f;
+}
+
+namespace {
+
+std::uint32_t ref_fir16(const std::vector<std::uint8_t>& mem,
+                        std::uint32_t coeff_off, std::uint32_t n) {
+  const auto s16 = [&mem](std::size_t at) {
+    return static_cast<std::int32_t>(
+        static_cast<std::int16_t>(get_u16(mem, at)));
+  };
+  std::uint32_t acc = 0;
+  for (std::uint32_t j = 0; j < n; j += 2) {
+    std::int32_t sum = 0;
+    for (std::uint32_t k = 0; k < 32; k += 2) {
+      sum += s16(j + k) * s16(coeff_off + k);
+    }
+    acc += static_cast<std::uint32_t>(sum >> 6);
+  }
+  return acc;
+}
+
+Instance make_fir16(support::Rng256& rng, std::uint32_t data_base) {
+  Instance in;
+  constexpr std::uint32_t kOutputs = 24;  // bytes of output positions
+  const std::uint32_t sample_bytes = kOutputs + 32;
+  in.memory.resize(sample_bytes + 32);
+  for (std::size_t k = 0; k < in.memory.size(); k += 2) {
+    put_u16(in.memory, k,
+            static_cast<std::uint16_t>(rng.next_in(-2000, 2000)));
+  }
+  in.nargs = 3;
+  in.args[0] = data_base;
+  in.args[1] = data_base + sample_bytes;
+  in.args[2] = kOutputs;
+  in.expected = ref_fir16(in.memory, sample_bytes, kOutputs);
+  return in;
+}
+
+}  // namespace
+
+// ----- crc16 ---------------------------------------------------------------------
+
+KFunction build_crc16() {
+  // f(data, len): CRC-CCITT (0x1021), init 0xFFFF.
+  KFunction f("crc16", 2);
+  const VReg data = 0, len = 1;
+  const VReg crc = f.v(), i = f.v(), byte = f.v(), bits = f.v();
+  const VReg poly = f.v(), mask16 = f.v();
+  f.movi(crc, 0xFFFF);
+  f.movi(poly, 0x1021);
+  f.movi(mask16, 0xFFFF);
+  f.movi(i, 0);
+  const KLabel outer = f.make_label();
+  f.bind(outer);
+  f.loadx(byte, data, i, Width::w8);
+  f.arith_imm(KOp::shl, byte, byte, 8);
+  f.arith(KOp::eor, crc, crc, byte);
+  f.movi(bits, 8);
+  const KLabel inner = f.make_label();
+  f.bind(inner);
+  const VReg msb = f.v(), shifted = f.v(), xored = f.v();
+  f.arith_imm(KOp::shr_u, msb, crc, 15);
+  f.arith_imm(KOp::and_, msb, msb, 1);
+  f.arith_imm(KOp::shl, shifted, crc, 1);
+  f.arith(KOp::and_, shifted, shifted, mask16);
+  f.arith(KOp::eor, xored, shifted, poly);
+  f.select_imm(crc, Cond::ne, msb, 0, xored, shifted);
+  f.arith_imm(KOp::sub, bits, bits, 1);
+  f.brcc_imm(Cond::ne, bits, 0, inner);
+  f.arith_imm(KOp::add, i, i, 1);
+  f.brcc(Cond::ne, i, len, outer);
+  f.ret(crc);
+  return f;
+}
+
+namespace {
+
+std::uint32_t ref_crc16(const std::vector<std::uint8_t>& mem,
+                        std::uint32_t len) {
+  std::uint32_t crc = 0xFFFF;
+  for (std::uint32_t i = 0; i < len; ++i) {
+    crc ^= static_cast<std::uint32_t>(mem[i]) << 8;
+    for (int b = 0; b < 8; ++b) {
+      const std::uint32_t msb = (crc >> 15) & 1u;
+      crc = (crc << 1) & 0xFFFFu;
+      if (msb != 0) {
+        crc ^= 0x1021u;
+      }
+    }
+  }
+  return crc;
+}
+
+Instance make_crc16(support::Rng256& rng, std::uint32_t data_base) {
+  Instance in;
+  in.memory.resize(32);
+  for (auto& b : in.memory) {
+    b = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  in.nargs = 2;
+  in.args[0] = data_base;
+  in.args[1] = static_cast<std::uint32_t>(in.memory.size());
+  in.expected = ref_crc16(in.memory, in.args[1]);
+  return in;
+}
+
+}  // namespace
+
+// ----- pid_control ---------------------------------------------------------------
+
+KFunction build_pid_control() {
+  // f(state, setpoint, measured):
+  //   state: { s16 kp, s16 ki, s16 kd, s16 pad, s32 integ, s32 prev_err }
+  //   err   = setpoint - measured
+  //   integ = clamp(integ + err, ±(1<<20))
+  //   deriv = err - prev_err
+  //   out   = clamp((kp*err + ki*integ + kd*deriv) >> 8, 0..10000)
+  //   state.integ = integ; state.prev_err = err; return out
+  KFunction f("pid_control", 3);
+  const VReg state = 0, sp = 1, meas = 2;
+  const VReg err = f.v(), integ = f.v(), prev = f.v(), deriv = f.v();
+  f.arith(KOp::sub, err, sp, meas);
+  f.load(integ, state, 8, Width::w32);
+  f.arith(KOp::add, integ, integ, err);
+  const VReg lim = f.v(), nlim = f.v();
+  f.movi(lim, 1 << 20);
+  f.arith_imm(KOp::rsb, nlim, lim, 0);
+  f.select(integ, Cond::gt, integ, lim, lim, integ);
+  f.select(integ, Cond::lt, integ, nlim, nlim, integ);
+  f.load(prev, state, 12, Width::w32);
+  f.arith(KOp::sub, deriv, err, prev);
+  const VReg kp = f.v(), ki = f.v(), kd = f.v(), out = f.v();
+  f.load(kp, state, 0, Width::w16, /*sign=*/true);
+  f.load(ki, state, 2, Width::w16, /*sign=*/true);
+  f.load(kd, state, 4, Width::w16, /*sign=*/true);
+  f.arith(KOp::mul, out, kp, err);
+  f.mla(out, ki, integ, out);
+  f.mla(out, kd, deriv, out);
+  f.arith_imm(KOp::shr_s, out, out, 8);
+  const VReg zero = f.v(), omax = f.v();
+  f.movi(zero, 0);
+  f.movi(omax, 10000);
+  f.select(out, Cond::lt, out, zero, zero, out);
+  f.select(out, Cond::gt, out, omax, omax, out);
+  f.store(integ, state, 8, Width::w32);
+  f.store(err, state, 12, Width::w32);
+  f.ret(out);
+  return f;
+}
+
+namespace {
+
+std::uint32_t ref_pid_control(std::vector<std::uint8_t>& mem,
+                              std::int32_t sp, std::int32_t meas) {
+  const auto s16 = [&mem](std::size_t at) {
+    return static_cast<std::int32_t>(
+        static_cast<std::int16_t>(get_u16(mem, at)));
+  };
+  const auto s32 = [&mem](std::size_t at) {
+    return static_cast<std::int32_t>(
+        mem[at] | (mem[at + 1] << 8) | (mem[at + 2] << 16) |
+        (static_cast<std::uint32_t>(mem[at + 3]) << 24));
+  };
+  const std::int32_t err = sp - meas;
+  std::int32_t integ = s32(8) + err;
+  const std::int32_t lim = 1 << 20;
+  integ = integ > lim ? lim : (integ < -lim ? -lim : integ);
+  const std::int32_t deriv = err - s32(12);
+  std::int32_t out =
+      (s16(0) * err + s16(2) * integ + s16(4) * deriv) >> 8;
+  out = out < 0 ? 0 : (out > 10000 ? 10000 : out);
+  put_u32(mem, 8, static_cast<std::uint32_t>(integ));
+  put_u32(mem, 12, static_cast<std::uint32_t>(err));
+  return static_cast<std::uint32_t>(out);
+}
+
+Instance make_pid_control(support::Rng256& rng, std::uint32_t data_base) {
+  Instance in;
+  in.memory.resize(16);
+  put_u16(in.memory, 0, static_cast<std::uint16_t>(rng.next_in(50, 900)));
+  put_u16(in.memory, 2, static_cast<std::uint16_t>(rng.next_in(1, 80)));
+  put_u16(in.memory, 4, static_cast<std::uint16_t>(rng.next_in(0, 300)));
+  put_u16(in.memory, 6, 0);
+  put_u32(in.memory, 8,
+          static_cast<std::uint32_t>(rng.next_in(-100000, 100000)));
+  put_u32(in.memory, 12, static_cast<std::uint32_t>(rng.next_in(-500, 500)));
+  in.nargs = 3;
+  in.args[0] = data_base;
+  in.args[1] = static_cast<std::uint32_t>(rng.next_in(0, 4000));
+  in.args[2] = static_cast<std::uint32_t>(rng.next_in(0, 4000));
+  // The reference mutates the state block; keep the instance's memory
+  // pristine so the simulator sees the same inputs.
+  std::vector<std::uint8_t> scratch = in.memory;
+  in.expected = ref_pid_control(scratch,
+                                static_cast<std::int32_t>(in.args[1]),
+                                static_cast<std::int32_t>(in.args[2]));
+  return in;
+}
+
+}  // namespace
+
+// ----- suite -----------------------------------------------------------------------
+
+const std::vector<Kernel>& autoindy_suite() {
+  static const std::vector<Kernel> suite = {
+      {"tooth_to_spark", &build_tooth_to_spark, &make_tooth_to_spark},
+      {"map_interp", &build_map_interp, &make_map_interp},
+      {"can_pack", &build_can_pack, &make_can_pack},
+      {"fir16", &build_fir16, &make_fir16},
+      {"crc16", &build_crc16, &make_crc16},
+      {"pid_control", &build_pid_control, &make_pid_control},
+  };
+  return suite;
+}
+
+}  // namespace aces::workloads

@@ -1,0 +1,68 @@
+// The AutoIndy-like automotive kernel suite.
+//
+// EEMBC's AutoIndy/AutoBench suite (which Table 1's "6 available AutoIndy
+// benchmarks" refers to) is proprietary, so per the substitution rule we
+// provide six kernels with the same domain mix — engine-timing arithmetic,
+// map interpolation, bit-level I/O packing, signal filtering, data
+// integrity and closed-loop control:
+//
+//   tooth_to_spark — §3.1.2's motivating function: crank-synchronous spark
+//                    delay from RPM and advance angle (multiply + divide).
+//   map_interp     — bilinear interpolation in a 16x16 engine map
+//                    (sub-word loads, shifts, multiplies).
+//   can_pack       — unpack/transform/repack CAN signal fields (§2.1's
+//                    bit-manipulation story: bfx/bfi/byte_rev).
+//   fir16          — 16-tap FIR over signed 16-bit sensor samples
+//                    (mla, signed loads, nested loops).
+//   crc16          — CRC-CCITT over a message buffer (shift/xor, tight
+//                    inner loop, select).
+//   pid_control    — fixed-point PID with output clamping (select-heavy,
+//                    read-modify-write state).
+//
+// Each kernel is one KIR function plus a bit-exact host reference. The
+// cross-encoding equivalence tests and every Table 1 / Figure 1 bench run
+// on exactly these definitions.
+#ifndef ACES_WORKLOADS_AUTOINDY_H
+#define ACES_WORKLOADS_AUTOINDY_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kir/kir.h"
+#include "support/rng.h"
+
+namespace aces::workloads {
+
+// One concrete invocation of a kernel: memory image (placed at data_base),
+// up to four register arguments, and the host-computed expected result.
+struct Instance {
+  std::vector<std::uint8_t> memory;
+  std::array<std::uint32_t, 4> args{};
+  int nargs = 0;
+  std::uint32_t expected = 0;
+};
+
+struct Kernel {
+  std::string name;
+  // Builds the KIR function (cached by the caller as needed).
+  kir::KFunction (*build)();
+  // Generates a random instance; `data_base` is where `memory` will live.
+  Instance (*make_instance)(support::Rng256& rng, std::uint32_t data_base);
+};
+
+// The six-kernel suite, in a stable order.
+[[nodiscard]] const std::vector<Kernel>& autoindy_suite();
+
+// Individual kernels (exposed for focused tests/benches).
+[[nodiscard]] kir::KFunction build_tooth_to_spark();
+[[nodiscard]] kir::KFunction build_map_interp();
+[[nodiscard]] kir::KFunction build_can_pack();
+[[nodiscard]] kir::KFunction build_fir16();
+[[nodiscard]] kir::KFunction build_crc16();
+[[nodiscard]] kir::KFunction build_pid_control();
+
+}  // namespace aces::workloads
+
+#endif  // ACES_WORKLOADS_AUTOINDY_H

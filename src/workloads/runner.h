@@ -1,0 +1,51 @@
+// Helpers to execute kernel instances on a System (shared by tests,
+// benches and examples).
+#ifndef ACES_WORKLOADS_RUNNER_H
+#define ACES_WORKLOADS_RUNNER_H
+
+#include "cpu/system.h"
+#include "workloads/autoindy.h"
+
+namespace aces::workloads {
+
+// Where instance memory lives by convention.
+inline constexpr std::uint32_t kDataBase = cpu::kSramBase + 0x1000;
+
+struct RunResult {
+  std::uint32_t value = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+};
+
+// Loads the instance's memory at kDataBase, resets the core at `entry` and
+// runs to completion. Throws if the program faults or exceeds the budget.
+inline RunResult run_instance(cpu::System& sys, std::uint32_t entry,
+                              const Instance& instance,
+                              std::uint64_t max_insns = 50'000'000,
+                              std::uint32_t data_base = kDataBase) {
+  if (!instance.memory.empty()) {
+    ACES_CHECK_MSG(sys.bus().load_image(data_base, instance.memory.data(),
+                                        static_cast<std::uint32_t>(
+                                            instance.memory.size())),
+                   "instance memory outside the map");
+  }
+  sys.core().reset(entry, sys.initial_sp());
+  for (int k = 0; k < instance.nargs; ++k) {
+    sys.core().set_reg(static_cast<isa::Reg>(k),
+                       instance.args[static_cast<std::size_t>(k)]);
+  }
+  const std::uint64_t c0 = sys.core().cycles();
+  const std::uint64_t i0 = sys.core().instructions();
+  const cpu::HaltReason r = sys.core().run(max_insns);
+  ACES_CHECK_MSG(r == cpu::HaltReason::exited,
+                 "kernel did not exit cleanly");
+  RunResult out;
+  out.value = sys.core().reg(isa::r0);
+  out.cycles = sys.core().cycles() - c0;
+  out.instructions = sys.core().instructions() - i0;
+  return out;
+}
+
+}  // namespace aces::workloads
+
+#endif  // ACES_WORKLOADS_RUNNER_H

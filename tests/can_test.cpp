@@ -1,0 +1,166 @@
+// CAN frame serialization and bus arbitration tests.
+#include <gtest/gtest.h>
+
+#include "can/bus.h"
+#include "can/frame.h"
+#include "support/rng.h"
+
+namespace aces::can {
+namespace {
+
+using sim::SimTime;
+
+CanFrame frame(std::uint32_t id, unsigned dlc, std::uint8_t fill = 0) {
+  CanFrame f;
+  f.id = id;
+  f.dlc = dlc;
+  f.data.fill(fill);
+  return f;
+}
+
+TEST(Frame, StuffableBitCount) {
+  // SOF + 11 id + RTR/IDE/r0 + 4 DLC + data + 15 CRC = 34 + 8*dlc.
+  for (unsigned dlc = 0; dlc <= 8; ++dlc) {
+    EXPECT_EQ(stuffable_bits(frame(0x123, dlc)).size(), 34u + 8 * dlc);
+  }
+}
+
+TEST(Frame, Crc15KnownProperty) {
+  // CRC of an all-zero sequence is zero; flipping any bit changes it.
+  const std::vector<bool> zeros(34, false);
+  EXPECT_EQ(crc15(zeros), 0);
+  std::vector<bool> one = zeros;
+  one[5] = true;
+  EXPECT_NE(crc15(one), 0);
+}
+
+TEST(Frame, WorstCaseBoundsExactLength) {
+  support::Rng256 rng(31);
+  for (int k = 0; k < 500; ++k) {
+    CanFrame f;
+    f.id = static_cast<std::uint32_t>(rng.next_below(1u << 11));
+    f.dlc = static_cast<unsigned>(rng.next_below(9));
+    for (auto& b : f.data) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    const unsigned exact = exact_wire_bits(f);
+    const unsigned worst = worst_case_wire_bits(f.dlc);
+    EXPECT_LE(exact, worst) << "id=" << f.id << " dlc=" << f.dlc;
+    // And the frame always needs at least the unstuffed length.
+    EXPECT_GE(exact, 34u + 8 * f.dlc + 13u);
+  }
+}
+
+TEST(Frame, AllZeroPayloadMaximizesStuffing) {
+  // Long runs of identical bits force a stuff bit every 4 data bits.
+  const unsigned zero_bits = exact_wire_bits(frame(0, 8, 0x00));
+  const unsigned alt_bits = exact_wire_bits(frame(0x555, 8, 0xAA));
+  EXPECT_GT(zero_bits, alt_bits);
+}
+
+struct BusFixture {
+  sim::EventQueue q;
+  CanBus bus{q, 500'000};  // 500 kbit/s -> 2 us/bit
+  NodeId a = bus.attach_node("a");
+  NodeId b = bus.attach_node("b");
+};
+
+TEST(Bus, DeliversToOtherNodes) {
+  BusFixture f;
+  int received = 0;
+  f.bus.subscribe(f.b, [&](const CanFrame& fr, SimTime) {
+    EXPECT_EQ(fr.id, 0x100u);
+    ++received;
+  });
+  int self_received = 0;
+  f.bus.subscribe(f.a, [&](const CanFrame&, SimTime) { ++self_received; });
+  f.bus.send(f.a, frame(0x100, 4));
+  f.q.run_until(sim::kSecond);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(self_received, 0);  // transmitter does not hear itself
+}
+
+TEST(Bus, LowestIdWinsArbitration) {
+  BusFixture f;
+  std::vector<std::uint32_t> order;
+  f.bus.subscribe(f.b, [&](const CanFrame& fr, SimTime) {
+    order.push_back(fr.id);
+  });
+  // Fill the bus, then enqueue contenders while busy.
+  f.bus.send(f.a, frame(0x200, 8));
+  f.q.schedule_at(10'000, [&] {
+    f.bus.send(f.a, frame(0x300, 2));
+    f.bus.send(f.a, frame(0x050, 2));  // should win despite arriving last
+  });
+  f.q.run_until(sim::kSecond);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0x200u);
+  EXPECT_EQ(order[1], 0x050u);
+  EXPECT_EQ(order[2], 0x300u);
+}
+
+TEST(Bus, CrossNodeArbitration) {
+  BusFixture f;
+  const NodeId c = f.bus.attach_node("c");
+  std::vector<std::uint32_t> order;
+  f.bus.subscribe(c, [&](const CanFrame& fr, SimTime) {
+    order.push_back(fr.id);
+  });
+  f.bus.send(f.a, frame(0x400, 1));
+  // While busy: both nodes queue; b's lower id goes first.
+  f.q.schedule_at(5'000, [&] {
+    f.bus.send(f.a, frame(0x120, 1));
+    f.bus.send(f.b, frame(0x110, 1));
+  });
+  f.q.run_until(sim::kSecond);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[1], 0x110u);
+  EXPECT_EQ(order[2], 0x120u);
+}
+
+TEST(Bus, TransmissionIsNonPreemptive) {
+  BusFixture f;
+  std::vector<std::pair<std::uint32_t, SimTime>> deliveries;
+  f.bus.subscribe(f.b, [&](const CanFrame& fr, SimTime at) {
+    deliveries.push_back({fr.id, at});
+  });
+  f.bus.send(f.a, frame(0x700, 8));  // low priority, long
+  f.q.schedule_at(1'000, [&] { f.bus.send(f.a, frame(0x001, 0)); });
+  f.q.run_until(sim::kSecond);
+  ASSERT_EQ(deliveries.size(), 2u);
+  // The low-priority frame completes first (started already).
+  EXPECT_EQ(deliveries[0].first, 0x700u);
+  const SimTime long_frame_time = f.bus.frame_time(frame(0x700, 8));
+  EXPECT_EQ(deliveries[0].second, long_frame_time);
+}
+
+TEST(Bus, LatencyStatsTracked) {
+  BusFixture f;
+  f.bus.send(f.a, frame(0x100, 8));
+  f.bus.send(f.a, frame(0x100, 8));  // second one waits for the first
+  f.q.run_until(sim::kSecond);
+  const auto& s = f.bus.stats().at(0x100);
+  EXPECT_EQ(s.sent, 2u);
+  EXPECT_GT(s.worst_latency, s.avg_latency() * 1.2);
+}
+
+TEST(Bus, FrameTimeMatchesBitCount) {
+  BusFixture f;
+  const CanFrame fr = frame(0x25, 3, 0x5A);
+  EXPECT_EQ(f.bus.frame_time(fr),
+            static_cast<SimTime>(exact_wire_bits(fr)) * 2'000);
+}
+
+TEST(Bus, UtilizationAccounting) {
+  BusFixture f;
+  for (int k = 0; k < 10; ++k) {
+    f.bus.send(f.a, frame(0x100, 8));
+  }
+  f.q.run_until(10 * sim::kMillisecond);
+  const double u = f.bus.utilization(10 * sim::kMillisecond);
+  EXPECT_GT(u, 0.1);
+  EXPECT_LE(u, 1.0);
+}
+
+}  // namespace
+}  // namespace aces::can

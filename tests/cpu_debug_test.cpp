@@ -1,0 +1,174 @@
+// Flash-patch/breakpoint unit and single-wire debug port tests (§3.2.2).
+#include <gtest/gtest.h>
+
+#include "cpu/fpb.h"
+#include "cpu/swd.h"
+#include "cpu/system.h"
+#include "isa/assembler.h"
+
+namespace aces::cpu {
+namespace {
+
+using isa::Assembler;
+using isa::Encoding;
+using isa::Image;
+using isa::Instruction;
+using isa::Label;
+using isa::Op;
+using isa::SetFlags;
+using namespace isa;
+
+SystemConfig mcu_config() {
+  SystemConfig c;
+  c.core.encoding = Encoding::b32;
+  c.core.timings = CoreTimings::modern_mcu();
+  c.flash.size_bytes = 64 * 1024;
+  return c;
+}
+
+TEST(Fpb, BreakpointHaltsAtAddress) {
+  Assembler a(Encoding::b32, kFlashBase);
+  a.ins(ins_mov_imm(r0, 1, SetFlags::any));
+  const Label bp_here = a.bound_label();
+  a.ins(ins_mov_imm(r0, 2, SetFlags::any));
+  a.ins(ins_ret());
+  const Image image = a.assemble();
+
+  System sys(mcu_config());
+  sys.load(image);
+  FlashPatchUnit fpb;
+  fpb.set_breakpoint(0, a.label_address(bp_here));
+  sys.core().set_flash_patch(&fpb);
+  sys.core().reset(image.base, sys.initial_sp());
+  EXPECT_EQ(sys.core().run(100), HaltReason::breakpoint);
+  EXPECT_EQ(sys.core().reg(r0), 1u);  // halted before the second mov
+  EXPECT_EQ(sys.core().pc(), a.label_address(bp_here));
+}
+
+TEST(Fpb, PatchSubstitutesInstruction) {
+  // Patch `mov r0, #2` to `mov r0, #99` without touching flash — the
+  // on-the-fly calibration mechanism.
+  Assembler a(Encoding::b32, kFlashBase);
+  a.ins(ins_mov_imm(r0, 1, SetFlags::any));
+  const Label site = a.bound_label();
+  a.ins(ins_mov_imm(r0, 2, SetFlags::any));
+  a.ins(ins_ret());
+  const Image image = a.assemble();
+
+  System sys(mcu_config());
+  sys.load(image);
+  FlashPatchUnit fpb;
+  FlashPatchUnit::Patch patch;
+  patch.breakpoint = false;
+  patch.replacement = ins_mov_imm(r0, 99, SetFlags::any);
+  patch.replacement_size = 2;
+  fpb.set_patch(0, a.label_address(site), patch);
+  sys.core().set_flash_patch(&fpb);
+  EXPECT_EQ(sys.call(image.base), 99u);
+  // Remove the patch: original behavior returns.
+  fpb.clear(0);
+  EXPECT_EQ(sys.call(image.base), 2u);
+}
+
+TEST(Fpb, EightSlots) {
+  FlashPatchUnit fpb;
+  for (unsigned k = 0; k < FlashPatchUnit::kSlots; ++k) {
+    fpb.set_breakpoint(k, 0x100 + 2 * k);
+  }
+  EXPECT_EQ(fpb.used_slots(), 8u);
+  EXPECT_THROW(fpb.set_breakpoint(8, 0x200), std::logic_error);
+  fpb.clear_all();
+  EXPECT_EQ(fpb.used_slots(), 0u);
+}
+
+struct SwdFixture {
+  System sys{mcu_config()};
+  SingleWireDebug port{sys.core(), sys.bus()};
+  SwdHost host{port};
+};
+
+TEST(Swd, MemoryReadWriteOverOneWire) {
+  SwdFixture f;
+  ASSERT_TRUE(f.host.write_mem(kSramBase + 0x20, 0xCAFED00D));
+  const auto v = f.host.read_mem(kSramBase + 0x20);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 0xCAFED00Du);
+  // The transfer really was bit-serial: a write frame alone is ~70 bits.
+  EXPECT_GT(f.port.bits_transferred(), 140u);
+}
+
+TEST(Swd, FlashProgrammingViaDebugPort) {
+  // "Dynamic download ... for writing system and scaling parameters":
+  // the debug port can program flash even though the bus rejects writes.
+  SwdFixture f;
+  EXPECT_EQ(f.sys.bus().write(kFlashBase + 0x800, 4, 1, 0).fault,
+            mem::Fault::readonly);
+  ASSERT_TRUE(f.host.write_mem(kFlashBase + 0x800, 0x12345678));
+  EXPECT_EQ(f.sys.bus().read(kFlashBase + 0x800, 4, mem::Access::read, 0)
+                .value,
+            0x12345678u);
+}
+
+TEST(Swd, RegisterAccess) {
+  SwdFixture f;
+  f.sys.core().set_reg(isa::r5, 0xAABBCCDD);
+  const auto v = f.host.read_reg(5);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 0xAABBCCDDu);
+  ASSERT_TRUE(f.host.write_reg(3, 0x11223344));
+  EXPECT_EQ(f.sys.core().reg(isa::r3), 0x11223344u);
+}
+
+TEST(Swd, PsrReadback) {
+  SwdFixture f;
+  isa::Flags flags;
+  flags.z = true;
+  flags.c = true;
+  f.sys.core().set_flags(flags);
+  const auto v = f.host.read_reg(16);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE((*v >> 30) & 1u);  // Z
+  EXPECT_TRUE((*v >> 29) & 1u);  // C
+  EXPECT_FALSE((*v >> 31) & 1u); // N
+}
+
+TEST(Swd, HaltResume) {
+  SwdFixture f;
+  ASSERT_TRUE(f.host.halt());
+  EXPECT_TRUE(f.port.halted_by_debugger());
+  ASSERT_TRUE(f.host.resume());
+  EXPECT_FALSE(f.port.halted_by_debugger());
+}
+
+TEST(Swd, ParityErrorRejected) {
+  SwdFixture f;
+  // Hand-craft a read_reg frame with a deliberately wrong parity bit.
+  std::vector<bool> frame;
+  const unsigned op = static_cast<unsigned>(SwdOp::read_reg);
+  for (unsigned k = 0; k < 4; ++k) {
+    frame.push_back(((op >> k) & 1u) != 0);
+  }
+  for (unsigned k = 0; k < 32; ++k) {
+    frame.push_back(false);  // addr = 0
+  }
+  bool parity = false;
+  for (const bool b : frame) {
+    parity ^= b;
+  }
+  frame.push_back(!parity);  // corrupted parity
+
+  f.port.shift_in(true);  // START
+  for (const bool b : frame) {
+    f.port.shift_in(b);
+  }
+  EXPECT_FALSE(f.port.shift_out());  // NAK
+}
+
+TEST(Swd, BadAddressNaks) {
+  SwdFixture f;
+  EXPECT_FALSE(f.host.read_mem(0x7000'0000).has_value());
+  EXPECT_FALSE(f.host.read_reg(31).has_value());
+}
+
+}  // namespace
+}  // namespace aces::cpu

@@ -1,0 +1,142 @@
+// Disassembler formatting and the assembler's pool-island mechanism.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+
+namespace aces::isa {
+namespace {
+
+TEST(Disasm, DataProcessingForms) {
+  EXPECT_EQ(disassemble(ins_rrr(Op::add, r1, r2, r3)), "add r1, r2, r3");
+  EXPECT_EQ(disassemble(ins_rrr(Op::add, r1, r2, r3, SetFlags::yes)),
+            "adds r1, r2, r3");
+  EXPECT_EQ(disassemble(ins_rri(Op::sub, r0, r0, 42)), "sub r0, r0, #42");
+  EXPECT_EQ(disassemble(ins_mov_imm(r7, 255)), "mov r7, #255");
+  EXPECT_EQ(disassemble(ins_cmp_reg(r3, r4)), "cmp r3, r4");
+  EXPECT_EQ(disassemble(ins_cmp_imm(r3, 9)), "cmp r3, #9");
+}
+
+TEST(Disasm, PredicatesAndIt) {
+  Instruction i = ins_rri(Op::add, r1, r1, 1);
+  i.cond = Cond::eq;
+  EXPECT_EQ(disassemble(i), "addeq r1, r1, #1");
+  EXPECT_EQ(disassemble(ins_it(Cond::ge, "")), "it ge");
+  EXPECT_EQ(disassemble(ins_it(Cond::ge, "e")), "ite ge");
+  EXPECT_EQ(disassemble(ins_it(Cond::lt, "tt")), "ittt lt");
+}
+
+TEST(Disasm, MemoryForms) {
+  EXPECT_EQ(disassemble(ins_ldst_imm(Op::ldr, r0, r1, 8)),
+            "ldr r0, [r1, #8]");
+  EXPECT_EQ(disassemble(ins_ldst_imm(Op::strb, r0, r1, 0)),
+            "strb r0, [r1]");
+  EXPECT_EQ(disassemble(ins_ldst_reg(Op::ldrsh, r2, r3, r4)),
+            "ldrsh r2, [r3, r4]");
+}
+
+TEST(Disasm, StackAndMultiple) {
+  EXPECT_EQ(disassemble(ins_push(0x000F | (1u << lr))),
+            "push {r0, r1, r2, r3, lr}");
+  EXPECT_EQ(disassemble(ins_pop((1u << r4) | (1u << pc))),
+            "pop {r4, pc}");
+  Instruction ldm;
+  ldm.op = Op::ldm;
+  ldm.rn = r2;
+  ldm.reglist = 0x30;
+  ldm.writeback = true;
+  EXPECT_EQ(disassemble(ldm), "ldm r2!, {r4, r5}");
+}
+
+TEST(Disasm, BranchTargetsResolved) {
+  Instruction b;
+  b.op = Op::b;
+  b.imm = 0x20;
+  EXPECT_EQ(disassemble(b, 0x1000), "b 0x1020");
+  b.cond = Cond::ne;
+  EXPECT_EQ(disassemble(b, 0x1000), "bne 0x1020");
+  EXPECT_EQ(disassemble(ins_ret()), "bx lr");
+}
+
+TEST(Disasm, SystemForms) {
+  Instruction i;
+  i.op = Op::svc;
+  i.uses_imm = true;
+  i.imm = 3;
+  EXPECT_EQ(disassemble(i), "svc #3");
+  i.op = Op::cps;
+  i.imm = 1;
+  EXPECT_EQ(disassemble(i), "cpsid");
+  i.imm = 0;
+  EXPECT_EQ(disassemble(i), "cpsie");
+}
+
+TEST(Disasm, ImageWalkerStopsAtPool) {
+  Assembler a(Encoding::b32, 0);
+  a.ins(ins_mov_imm(r0, 1, SetFlags::any));
+  a.load_literal(r1, 0xDEADBEEF);
+  a.ins(ins_ret());
+  const Image image = a.assemble();
+  const std::string text = disassemble_image(image);
+  EXPECT_NE(text.find("mov"), std::string::npos);
+  EXPECT_NE(text.find("ldr"), std::string::npos);
+  EXPECT_NE(text.find("bx lr"), std::string::npos);
+  EXPECT_NE(text.find("data/pool"), std::string::npos);
+}
+
+// ----- pool islands ------------------------------------------------------------
+
+TEST(PoolIsland, KeepsLiteralsInRangeForLongFunctions) {
+  // A straight-line N16 function far longer than the 1020-byte pc-relative
+  // load range; islands every ~100 instructions must keep it assemblable.
+  Assembler a(Encoding::n16, 0);
+  for (int k = 0; k < 40; ++k) {
+    a.load_literal(r0, 0xABCD0000u + static_cast<std::uint32_t>(k));
+    for (int j = 0; j < 60; ++j) {
+      a.ins(ins_rri(Op::add, r1, r1, 1, SetFlags::any));
+    }
+    a.pool_island();
+  }
+  a.ins(ins_ret());
+  const Image image = a.assemble();
+  EXPECT_GT(image.size(), 4000u);
+}
+
+TEST(PoolIsland, NoopWhenNothingPending) {
+  Assembler a(Encoding::b32, 0);
+  a.ins(ins_mov_imm(r0, 1, SetFlags::any));
+  const int before = a.pending_literals();
+  a.pool_island();
+  a.ins(ins_ret());
+  const Image image = a.assemble();
+  EXPECT_EQ(before, 0);
+  // mov(2) + ret(2): the island added nothing.
+  EXPECT_EQ(image.size(), 4u);
+}
+
+TEST(PoolIsland, ExecutionSkipsOverPool) {
+  // The island's branch must jump over the literal data.
+  Assembler a(Encoding::b32, 0);
+  a.load_literal(r0, 123456);
+  a.pool_island();
+  a.ins(ins_rri(Op::add, r0, r0, 1, SetFlags::any));
+  a.ins(ins_ret());
+  const Image image = a.assemble();
+  // Verified by execution in kir fuzz tests; here check the pool really is
+  // before the final instructions (island placement).
+  bool found = false;
+  for (std::uint32_t off = 0; off + 4 <= image.size(); off += 2) {
+    const std::uint32_t w = static_cast<std::uint32_t>(image.bytes[off]) |
+                            (image.bytes[off + 1] << 8) |
+                            (image.bytes[off + 2] << 16) |
+                            (static_cast<std::uint32_t>(image.bytes[off + 3])
+                             << 24);
+    if (w == 123456u && off + 4 < image.size()) {
+      found = true;  // literal sits before the end
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace aces::isa

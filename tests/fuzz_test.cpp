@@ -1,0 +1,350 @@
+// Randomized property tests.
+//
+// 1. KIR program fuzzing: random straight-line programs (arithmetic,
+//    selects, bitfields, divides) are executed by a host-side reference
+//    interpreter and by the simulator under all three encodings — results
+//    must agree bit-for-bit. This sweeps lowering corner cases (two-address
+//    fixups, immediate materialization, IT-block selects, spills) far
+//    beyond the hand-written kernels.
+// 2. Decode fuzzing: random bit patterns either fail to decode or decode to
+//    an instruction that re-encodes to the identical bytes (decode/encode
+//    fixed point), for every codec.
+#include <gtest/gtest.h>
+
+#include "cpu/system.h"
+#include "isa/codec.h"
+#include "isa/disasm.h"
+#include "kir/kir.h"
+#include "kir/lower.h"
+#include "support/bits.h"
+#include "support/rng.h"
+
+namespace aces {
+namespace {
+
+using isa::Cond;
+using isa::Encoding;
+using kir::KFunction;
+using kir::KOp;
+using kir::VReg;
+
+// ----- 1. KIR fuzz -----------------------------------------------------------
+
+// Host-side interpreter for the generated subset (no memory, no loops).
+class KirInterpreter {
+ public:
+  explicit KirInterpreter(int vregs) : regs_(static_cast<std::size_t>(vregs), 0) {}
+
+  void set(VReg v, std::uint32_t value) {
+    regs_[static_cast<std::size_t>(v)] = value;
+  }
+
+  std::uint32_t run(const KFunction& f) {
+    for (const kir::KInsn& i : f.body()) {
+      step(i);
+      if (returned_) {
+        return result_;
+      }
+    }
+    ADD_FAILURE() << "interpreter fell off the end";
+    return 0;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t get(VReg v) const {
+    return regs_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::uint32_t operand(const kir::KInsn& i) const {
+    return i.b_is_imm ? static_cast<std::uint32_t>(i.imm) : get(i.b);
+  }
+  [[nodiscard]] static bool compare(Cond c, std::uint32_t a,
+                                    std::uint32_t b) {
+    isa::Flags f;
+    const std::uint64_t u = static_cast<std::uint64_t>(a) + (~b) + 1;
+    const std::int64_t s =
+        static_cast<std::int64_t>(static_cast<std::int32_t>(a)) -
+        static_cast<std::int32_t>(b);
+    const auto r = static_cast<std::uint32_t>(u);
+    f.n = (r >> 31) != 0;
+    f.z = r == 0;
+    f.c = (u >> 32) != 0;
+    f.v = s != static_cast<std::int32_t>(r);
+    return isa::cond_holds(c, f);
+  }
+
+  void step(const kir::KInsn& i) {
+    const std::uint32_t b = i.a >= 0 ? operand(i) : 0;
+    switch (i.op) {
+      case KOp::movi: set(i.dst, static_cast<std::uint32_t>(i.imm)); break;
+      case KOp::mov: set(i.dst, get(i.a)); break;
+      case KOp::add: set(i.dst, get(i.a) + b); break;
+      case KOp::sub: set(i.dst, get(i.a) - b); break;
+      case KOp::rsb: set(i.dst, b - get(i.a)); break;
+      case KOp::mul: set(i.dst, get(i.a) * b); break;
+      case KOp::udiv: set(i.dst, b == 0 ? 0 : get(i.a) / b); break;
+      case KOp::sdiv: {
+        const auto n = static_cast<std::int32_t>(get(i.a));
+        const auto m = static_cast<std::int32_t>(b);
+        set(i.dst, m == 0 ? 0
+                   : (n == INT32_MIN && m == -1)
+                       ? static_cast<std::uint32_t>(INT32_MIN)
+                       : static_cast<std::uint32_t>(n / m));
+        break;
+      }
+      case KOp::and_: set(i.dst, get(i.a) & b); break;
+      case KOp::orr: set(i.dst, get(i.a) | b); break;
+      case KOp::eor: set(i.dst, get(i.a) ^ b); break;
+      case KOp::bic: set(i.dst, get(i.a) & ~b); break;
+      case KOp::shl: set(i.dst, get(i.a) << (b & 31)); break;
+      case KOp::shr_u: set(i.dst, get(i.a) >> (b & 31)); break;
+      case KOp::shr_s:
+        set(i.dst, static_cast<std::uint32_t>(
+                       static_cast<std::int32_t>(get(i.a)) >>
+                       static_cast<int>(b & 31)));
+        break;
+      case KOp::ror:
+        set(i.dst, support::rotate_right(get(i.a), b & 31));
+        break;
+      case KOp::mla: set(i.dst, get(i.a) * get(i.b) + get(i.c)); break;
+      case KOp::bfx_u:
+        set(i.dst, support::bits(get(i.a), i.lsb, i.bf_width));
+        break;
+      case KOp::bfx_s:
+        set(i.dst, static_cast<std::uint32_t>(support::sign_extend(
+                       support::bits(get(i.a), i.lsb, i.bf_width),
+                       i.bf_width)));
+        break;
+      case KOp::bfi:
+        set(i.dst, support::insert_bits(get(i.dst), get(i.a), i.lsb,
+                                        i.bf_width));
+        break;
+      case KOp::bit_rev: set(i.dst, support::reverse_bits(get(i.a))); break;
+      case KOp::byte_rev: set(i.dst, support::reverse_bytes(get(i.a))); break;
+      case KOp::clz: set(i.dst, support::count_leading_zeros(get(i.a))); break;
+      case KOp::ext_s8:
+        set(i.dst, static_cast<std::uint32_t>(
+                       support::sign_extend(get(i.a) & 0xFF, 8)));
+        break;
+      case KOp::ext_s16:
+        set(i.dst, static_cast<std::uint32_t>(
+                       support::sign_extend(get(i.a) & 0xFFFF, 16)));
+        break;
+      case KOp::ext_u8: set(i.dst, get(i.a) & 0xFF); break;
+      case KOp::ext_u16: set(i.dst, get(i.a) & 0xFFFF); break;
+      case KOp::select:
+        set(i.dst, compare(i.cond, get(i.a), operand(i)) ? get(i.t)
+                                                         : get(i.c));
+        break;
+      case KOp::ret:
+        returned_ = true;
+        result_ = get(i.a);
+        break;
+      default:
+        ADD_FAILURE() << "unexpected opcode in fuzz program";
+        break;
+    }
+  }
+
+  std::vector<std::uint32_t> regs_;
+  bool returned_ = false;
+  std::uint32_t result_ = 0;
+};
+
+// Generates a random straight-line function over `live` virtual registers.
+KFunction generate(support::Rng256& rng, int id) {
+  KFunction f("fuzz" + std::to_string(id), 4);
+  std::vector<VReg> pool = {0, 1, 2, 3};
+  const auto any = [&pool, &rng] {
+    return pool[rng.next_below(pool.size())];
+  };
+  const int len = 10 + static_cast<int>(rng.next_below(40));
+  for (int k = 0; k < len; ++k) {
+    const std::uint64_t kind = rng.next_below(12);
+    // Mostly reuse registers; occasionally mint a new one (raises pressure
+    // and exercises N16 spilling). Sources are always drawn from vregs that
+    // are already defined, and bfi — which reads its destination — never
+    // targets a fresh one; every value the program reads is thus
+    // well-defined (the interpreter and the machine must agree on junk
+    // otherwise).
+    const bool mint = kind != 6 && rng.chance(0.25) && pool.size() < 14;
+    // Draw the sources first so a freshly minted dst can't be one of them.
+    const VReg s1 = any(), s2 = any(), s3 = any(), s4 = any();
+    const VReg dst = mint ? [&] {
+      const VReg v = f.v();
+      pool.push_back(v);
+      return v;
+    }()
+                          : any();
+    switch (kind) {
+      case 0:
+        f.movi(dst, static_cast<std::int64_t>(rng.next_u32()));
+        break;
+      case 1: {
+        static constexpr KOp ops[] = {KOp::add, KOp::sub, KOp::rsb,
+                                      KOp::mul, KOp::and_, KOp::orr,
+                                      KOp::eor, KOp::bic};
+        f.arith(ops[rng.next_below(8)], dst, s1, s2);
+        break;
+      }
+      case 2: {
+        static constexpr KOp ops[] = {KOp::add, KOp::sub, KOp::and_,
+                                      KOp::orr, KOp::eor};
+        f.arith_imm(ops[rng.next_below(5)], dst, s1,
+                    static_cast<std::int64_t>(rng.next_below(4096)));
+        break;
+      }
+      case 3: {
+        static constexpr KOp ops[] = {KOp::shl, KOp::shr_u, KOp::shr_s,
+                                      KOp::ror};
+        f.arith_imm(ops[rng.next_below(4)], dst, s1,
+                    static_cast<std::int64_t>(rng.next_below(32)));
+        break;
+      }
+      case 4:
+        f.arith(rng.chance(0.5) ? KOp::udiv : KOp::sdiv, dst, s1, s2);
+        break;
+      case 5: {
+        const unsigned width = 1 + static_cast<unsigned>(rng.next_below(31));
+        const unsigned lsb = static_cast<unsigned>(
+            rng.next_below(33 - width));
+        f.bfx(dst, s1, lsb, width, rng.chance(0.5));
+        break;
+      }
+      case 6: {
+        const unsigned width = 1 + static_cast<unsigned>(rng.next_below(31));
+        const unsigned lsb = static_cast<unsigned>(
+            rng.next_below(33 - width));
+        f.bfi(dst, s1, lsb, width);
+        break;
+      }
+      case 7: {
+        static constexpr KOp ops[] = {KOp::bit_rev, KOp::byte_rev, KOp::clz,
+                                      KOp::ext_s8, KOp::ext_s16, KOp::ext_u8,
+                                      KOp::ext_u16};
+        f.unary(ops[rng.next_below(7)], dst, s1);
+        break;
+      }
+      case 8: {
+        static constexpr Cond conds[] = {Cond::eq, Cond::ne, Cond::lt,
+                                         Cond::ge, Cond::hi, Cond::ls,
+                                         Cond::gt, Cond::le};
+        f.select(dst, conds[rng.next_below(8)], s1, s2, s3, s4);
+        break;
+      }
+      case 9:
+        f.mla(dst, s1, s2, s3);
+        break;
+      case 10:
+        f.arith_imm(KOp::mul, dst, s1,
+                    static_cast<std::int64_t>(rng.next_below(256)));
+        break;
+      default:
+        f.mov(dst, s1);
+        break;
+    }
+  }
+  f.ret(pool[rng.next_below(pool.size())]);
+  return f;
+}
+
+TEST(KirFuzz, RandomProgramsMatchInterpreterOnAllEncodings) {
+  support::Rng256 rng(0xF00D);
+  for (int trial = 0; trial < 60; ++trial) {
+    const KFunction f = generate(rng, trial);
+    std::uint32_t args[4];
+    for (auto& a : args) {
+      a = rng.next_u32();
+    }
+    KirInterpreter interp(f.num_vregs());
+    for (int k = 0; k < 4; ++k) {
+      interp.set(k, args[k]);
+    }
+    const std::uint32_t expected = interp.run(f);
+
+    for (const Encoding enc :
+         {Encoding::w32, Encoding::n16, Encoding::b32}) {
+      const kir::LoweredProgram prog =
+          kir::lower_program({&f}, enc, cpu::kFlashBase);
+      cpu::SystemConfig cfg;
+      cfg.core.encoding = enc;
+      cfg.flash.size_bytes = 256 * 1024;
+      cpu::System sys(cfg);
+      sys.load(prog.image);
+      const std::uint32_t got = sys.call(
+          prog.entry_of(f.name()), {args[0], args[1], args[2], args[3]});
+      ASSERT_EQ(got, expected)
+          << f.name() << " on " << isa::encoding_name(enc) << " args "
+          << args[0] << "," << args[1] << "," << args[2] << "," << args[3];
+    }
+  }
+}
+
+// ----- 2. decode fuzz ----------------------------------------------------------
+
+class DecodeFuzz : public ::testing::TestWithParam<Encoding> {};
+
+TEST_P(DecodeFuzz, DecodeEncodeFixedPoint) {
+  const isa::Codec& codec = isa::codec_for(GetParam());
+  support::Rng256 rng(0xBEEF);
+  int decoded_count = 0;
+  for (int trial = 0; trial < 40'000; ++trial) {
+    std::uint8_t bytes[4];
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    isa::Instruction insn;
+    const int n = codec.decode(bytes, insn);
+    if (n == 0) {
+      continue;
+    }
+    ++decoded_count;
+    // Whatever decoded must re-encode to the same bytes.
+    const bool pcrel = insn.addr == isa::AddrMode::pc_rel ||
+                       insn.op == isa::Op::adr || insn.op == isa::Op::b ||
+                       insn.op == isa::Op::bl || insn.op == isa::Op::cbz ||
+                       insn.op == isa::Op::cbnz;
+    const std::int64_t disp = pcrel ? insn.imm : 0;
+    const int size = codec.size_for(insn, disp);
+    char bytestr[16];
+    std::snprintf(bytestr, sizeof bytestr, "%02x%02x%02x%02x", bytes[0],
+                  bytes[1], bytes[2], bytes[3]);
+    ASSERT_GT(size, 0) << isa::disassemble(insn, 0) << " trial " << trial
+                       << " bytes " << bytestr;
+    std::vector<std::uint8_t> out;
+    codec.encode(insn, disp, size, out);
+    if (size == n) {
+      // Same length: bytes must be identical (catches ignored fields).
+      for (int k = 0; k < n; ++k) {
+        ASSERT_EQ(out[static_cast<std::size_t>(k)], bytes[k])
+            << isa::disassemble(insn, 0) << " byte " << k << " trial "
+            << trial << " bytes " << bytestr;
+      }
+    } else {
+      // The only tolerated divergence: a wide pattern whose instruction
+      // also has a narrow form re-encodes shorter (narrow-preferred
+      // assembler); it must still decode to the same instruction.
+      ASSERT_LT(size, n) << isa::disassemble(insn, 0) << " trial " << trial
+                         << " bytes " << bytestr;
+      isa::Instruction again;
+      ASSERT_EQ(codec.decode(out, again), size)
+          << isa::disassemble(insn, 0);
+      EXPECT_EQ(again.op, insn.op) << isa::disassemble(insn, 0);
+      EXPECT_EQ(again.rd, insn.rd);
+      EXPECT_EQ(again.rn, insn.rn);
+      EXPECT_EQ(again.imm, insn.imm);
+    }
+  }
+  // The opcode space must be reasonably dense.
+  EXPECT_GT(decoded_count, 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, DecodeFuzz,
+                         ::testing::Values(Encoding::w32, Encoding::n16,
+                                           Encoding::b32),
+                         [](const auto& info) {
+                           return std::string(
+                               isa::encoding_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace aces

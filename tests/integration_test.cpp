@@ -1,0 +1,206 @@
+// System-level integration properties.
+//
+// Interrupt transparency: a computation's results must be bit-identical
+// whether or not random interrupt storms preempt it — on both interrupt
+// models. This exercises hardware stacking / software save-restore,
+// restartable LDM, IT-state banking across exceptions and the whole
+// memory path at once; any context-save bug anywhere shows up as a wrong
+// kernel result.
+#include <gtest/gtest.h>
+
+#include "cpu/ivc.h"
+#include "cpu/system.h"
+#include "cpu/vic.h"
+#include "isa/assembler.h"
+#include "kir/lower.h"
+#include "workloads/autoindy.h"
+#include "workloads/runner.h"
+
+namespace aces {
+namespace {
+
+using isa::Encoding;
+
+constexpr std::uint32_t kVectors = cpu::kSramBase + 0x40;
+
+// Builds a trivial handler (dirty the caller-saved set, return).
+isa::Image make_handler_image(Encoding enc, std::uint32_t base,
+                              std::uint32_t* handler_addr,
+                              bool software_save) {
+  using namespace isa;
+  Assembler a(enc, base);
+  const Label h = a.bound_label();
+  if (software_save) {
+    a.ins(ins_push(0x100F | (1u << lr)));
+  }
+  a.ins(ins_mov_imm(r0, 0xAA, SetFlags::any));
+  a.ins(ins_mov_imm(r1, 0xBB, SetFlags::any));
+  a.ins(ins_mov_imm(r2, 0xCC, SetFlags::any));
+  a.ins(ins_mov_imm(r3, 0xDD, SetFlags::any));
+  if (software_save) {
+    a.ins(ins_pop(0x100F | (1u << pc)));
+  } else {
+    a.ins(ins_ret());
+  }
+  isa::Image img = a.assemble();
+  *handler_addr = a.label_address(h);
+  return img;
+}
+
+class InterruptTransparency
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InterruptTransparency, IvcStormDoesNotPerturbResults) {
+  const workloads::Kernel& kernel = workloads::autoindy_suite()[GetParam()];
+  const kir::KFunction f = kernel.build();
+  const kir::LoweredProgram prog =
+      kir::lower_program({&f}, Encoding::b32, cpu::kFlashBase);
+
+  cpu::SystemConfig cfg;
+  cfg.core.encoding = Encoding::b32;
+  cfg.core.timings = cpu::CoreTimings::modern_mcu();
+  cfg.flash.size_bytes = 128 * 1024;
+  cpu::System sys(cfg);
+  sys.load(prog.image);
+
+  // Handler placed after the kernel in flash.
+  std::uint32_t handler = 0;
+  const isa::Image himg = make_handler_image(
+      Encoding::b32, (prog.image.end() + 0x40u) & ~3u, &handler, false);
+  sys.load(himg);
+  const std::uint8_t vb[4] = {
+      static_cast<std::uint8_t>(handler), static_cast<std::uint8_t>(handler >> 8),
+      static_cast<std::uint8_t>(handler >> 16),
+      static_cast<std::uint8_t>(handler >> 24)};
+  for (unsigned k = 0; k < 4; ++k) {
+    ASSERT_TRUE(sys.bus().load_image(kVectors + 4 * k, vb, 4));
+  }
+  cpu::Ivc::Config ic;
+  ic.vector_table = kVectors;
+  ic.lines = 4;
+  cpu::Ivc ivc(ic);
+  ivc.enable_line(1, 32);
+  sys.core().set_interrupt_controller(&ivc);
+
+  support::Rng256 storm_rng(31337);
+  std::uint64_t next = 50;
+  sys.core().set_cycle_hook([&](std::uint64_t now) {
+    if (now >= next) {
+      ivc.raise(1, now);
+      next = now + 37 + storm_rng.next_below(90);
+    }
+  });
+
+  support::Rng256 rng(777);
+  for (int k = 0; k < 20; ++k) {
+    // System reset between runs: an interrupt in flight at program exit
+    // must not wedge the controller.
+    ivc.reset();
+    const workloads::Instance in = kernel.make_instance(rng, workloads::kDataBase);
+    const workloads::RunResult r =
+        workloads::run_instance(sys, prog.entry_of(kernel.name), in);
+    ASSERT_EQ(r.value, in.expected)
+        << kernel.name << " perturbed by interrupt storm, instance " << k;
+  }
+  EXPECT_GT(ivc.stats().entries, 10u);  // the storm really ran
+}
+
+TEST_P(InterruptTransparency, VicStormWithRestartableLdm) {
+  const workloads::Kernel& kernel = workloads::autoindy_suite()[GetParam()];
+  const kir::KFunction f = kernel.build();
+  const kir::LoweredProgram prog =
+      kir::lower_program({&f}, Encoding::w32, cpu::kFlashBase);
+
+  cpu::SystemConfig cfg;
+  cfg.core.encoding = Encoding::w32;
+  cfg.core.timings = cpu::CoreTimings::legacy_hp();
+  cfg.core.restartable_ldm = true;
+  cfg.flash.size_bytes = 128 * 1024;
+  cpu::System sys(cfg);
+  sys.load(prog.image);
+
+  std::uint32_t handler = 0;
+  const isa::Image himg = make_handler_image(
+      Encoding::w32, (prog.image.end() + 0x40u) & ~3u, &handler, true);
+  sys.load(himg);
+  cpu::ClassicVic::Config vc;
+  vc.irq_handler = handler;
+  cpu::ClassicVic vic(vc);
+  sys.core().set_interrupt_controller(&vic);
+
+  support::Rng256 storm_rng(999);
+  std::uint64_t next = 50;
+  sys.core().set_cycle_hook([&](std::uint64_t now) {
+    if (now >= next) {
+      vic.raise(cpu::ClassicVic::kIrq, now);
+      next = now + 53 + storm_rng.next_below(120);
+    }
+  });
+
+  support::Rng256 rng(4242);
+  for (int k = 0; k < 20; ++k) {
+    vic.reset();
+    const workloads::Instance in = kernel.make_instance(rng, workloads::kDataBase);
+    const workloads::RunResult r =
+        workloads::run_instance(sys, prog.entry_of(kernel.name), in);
+    ASSERT_EQ(r.value, in.expected)
+        << kernel.name << " perturbed by VIC storm, instance " << k;
+  }
+  EXPECT_GT(vic.latencies(cpu::ClassicVic::kIrq).size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, InterruptTransparency,
+    ::testing::Range<std::size_t>(0, 6), [](const auto& info) {
+      return workloads::autoindy_suite()[info.param].name;
+    });
+
+// Caches + interrupts + workloads together: cached HP system under a storm
+// still computes correctly (exercises line fills racing handler entries).
+TEST(Integration, CachedSystemUnderStorm) {
+  const workloads::Kernel& kernel = workloads::autoindy_suite()[1];
+  const kir::KFunction f = kernel.build();
+  const kir::LoweredProgram prog =
+      kir::lower_program({&f}, Encoding::w32, cpu::kFlashBase);
+
+  cpu::SystemConfig cfg;
+  cfg.core.encoding = Encoding::w32;
+  cfg.flash.size_bytes = 128 * 1024;
+  cfg.flash.line_access_cycles = 6;
+  mem::CacheConfig icache;
+  icache.line_bytes = 16;
+  icache.num_sets = 16;
+  icache.ways = 2;
+  cfg.icache = icache;
+  cpu::System sys(cfg);
+  sys.load(prog.image);
+
+  std::uint32_t handler = 0;
+  const isa::Image himg = make_handler_image(
+      Encoding::w32, (prog.image.end() + 0x40u) & ~3u, &handler, true);
+  sys.load(himg);
+  cpu::ClassicVic::Config vc;
+  vc.irq_handler = handler;
+  cpu::ClassicVic vic(vc);
+  sys.core().set_interrupt_controller(&vic);
+  std::uint64_t next = 100;
+  sys.core().set_cycle_hook([&](std::uint64_t now) {
+    if (now >= next) {
+      vic.raise(cpu::ClassicVic::kIrq, now);
+      next = now + 211;
+    }
+  });
+
+  support::Rng256 rng(5);
+  for (int k = 0; k < 30; ++k) {
+    vic.reset();
+    const workloads::Instance in = kernel.make_instance(rng, workloads::kDataBase);
+    const workloads::RunResult r =
+        workloads::run_instance(sys, prog.entry_of(kernel.name), in);
+    ASSERT_EQ(r.value, in.expected) << "instance " << k;
+  }
+  EXPECT_GT(sys.icache()->stats().hits, 1000u);
+}
+
+}  // namespace
+}  // namespace aces

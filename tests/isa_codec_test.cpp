@@ -1,0 +1,544 @@
+// Encode/decode tests for the three UC32 codecs.
+//
+// The core property: encoding is injective and decoding inverts it. Because
+// several Instruction values share one canonical byte form (SetFlags::any,
+// forced-flag narrow ALU forms), the property is phrased at the byte level:
+//   encode(i) -> bytes; decode(bytes) -> d; encode(d) == bytes; decode again
+//   yields d exactly (idempotent fixed point).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/codec.h"
+#include "isa/disasm.h"
+#include "isa/isa.h"
+
+namespace aces::isa {
+namespace {
+
+// ----- corpus ---------------------------------------------------------------
+
+std::vector<Instruction> corpus() {
+  std::vector<Instruction> out;
+  const auto push = [&out](Instruction i) { out.push_back(i); };
+
+  const Reg lo_regs[] = {r0, r3, r7};
+  const Reg all_regs[] = {r0, r5, r7, r8, r12, lr};
+  const std::int64_t imms[] = {0, 1, 7, 8, 100, 255, 256, 0xAB00, 0x00FF0000};
+
+  const Op dp3[] = {Op::add, Op::adc, Op::sub, Op::sbc, Op::rsb, Op::and_,
+                    Op::orr, Op::eor, Op::bic};
+  for (const Op op : dp3) {
+    for (const Reg rd : lo_regs) {
+      for (const SetFlags s : {SetFlags::no, SetFlags::yes}) {
+        push(ins_rrr(op, rd, r1, r2, s));
+        push(ins_rri(op, rd, rd, 5, s));
+        push(ins_rri(op, rd, r1, 200, s));
+      }
+    }
+    push(ins_rrr(op, r9, r10, r11));
+    push(ins_rri(op, r8, r8, 0xFF00));
+  }
+
+  for (const Reg rd : all_regs) {
+    for (const Reg rm : all_regs) {
+      push(ins_mov_reg(rd, rm));
+      push(ins_mov_reg(rd, rm, SetFlags::yes));
+    }
+  }
+  for (const std::int64_t imm : imms) {
+    push(ins_mov_imm(r0, imm));
+    push(ins_mov_imm(r0, imm, SetFlags::yes));
+    push(ins_mov_imm(r9, imm));
+  }
+  push(ins_rrr(Op::mvn, r1, 0, r2, SetFlags::yes));
+  push(ins_rrr(Op::mvn, r9, 0, r10));
+
+  // Shifts.
+  for (const Op op : {Op::lsl, Op::lsr, Op::asr}) {
+    push(ins_rri(op, r1, r2, 1, SetFlags::yes));
+    push(ins_rri(op, r1, r2, 17, SetFlags::yes));
+    push(ins_rri(op, r1, r2, 31, SetFlags::no));
+    push(ins_rri(op, r9, r10, 5, SetFlags::no));
+    push(ins_rrr(op, r1, r1, r2, SetFlags::yes));
+    push(ins_rrr(op, r9, r9, r2, SetFlags::no));
+  }
+  push(ins_rrr(Op::ror, r4, r4, r5, SetFlags::yes));
+  push(ins_rri(Op::ror, r4, r5, 3, SetFlags::no));
+
+  // Compares.
+  push(ins_cmp_imm(r3, 99));
+  push(ins_cmp_reg(r3, r4));
+  push(ins_cmp_reg(r9, r4));
+  push(ins_rrr(Op::cmn, 0, r3, r4, SetFlags::yes));
+  push(ins_rrr(Op::tst, 0, r3, r4, SetFlags::yes));
+  push(ins_rrr(Op::teq, 0, r3, r4, SetFlags::yes));
+  push(ins_rri(Op::cmn, 0, r3, 12, SetFlags::yes));
+  push(ins_rri(Op::tst, 0, r3, 0x80, SetFlags::yes));
+
+  // Multiply / divide.
+  push(ins_rrr(Op::mul, r2, r2, r3, SetFlags::yes));
+  push(ins_rrr(Op::mul, r2, r3, r2, SetFlags::yes));
+  push(ins_rrr(Op::mul, r8, r9, r10));
+  {
+    Instruction mla = ins_rrr(Op::mla, r1, r2, r3);
+    mla.ra = r4;
+    push(mla);
+  }
+  push(ins_rrr(Op::sdiv, r1, r2, r3));
+  push(ins_rrr(Op::udiv, r1, r2, r3));
+
+  // movw/movt.
+  for (const std::int64_t imm : {0, 1, 0xFFFF, 0x1234}) {
+    Instruction w;
+    w.op = Op::movw;
+    w.rd = r5;
+    w.uses_imm = true;
+    w.imm = imm;
+    push(w);
+    w.op = Op::movt;
+    push(w);
+  }
+
+  // Bitfield.
+  for (const Op op : {Op::bfi, Op::ubfx, Op::sbfx}) {
+    for (const auto& [lsb, width] : {std::pair{0, 1}, {4, 8}, {16, 16},
+                                     {31, 1}, {0, 32}}) {
+      Instruction i = ins_rrr(op, r1, r2, 0);
+      i.imm = lsb;
+      i.width = static_cast<std::uint8_t>(width);
+      push(i);
+    }
+  }
+  {
+    Instruction i;
+    i.op = Op::bfc;
+    i.rd = r6;
+    i.imm = 8;
+    i.width = 12;
+    push(i);
+  }
+  for (const Op op : {Op::rbit, Op::rev, Op::rev16, Op::clz, Op::sxtb,
+                      Op::sxth, Op::uxtb, Op::uxth}) {
+    Instruction i;
+    i.op = op;
+    i.rd = r1;
+    i.rm = r2;
+    push(i);
+  }
+
+  // Loads / stores.
+  const Op mems[] = {Op::ldr,   Op::ldrb, Op::ldrh, Op::ldrsb, Op::ldrsh,
+                     Op::str,   Op::strb, Op::strh};
+  for (const Op op : mems) {
+    push(ins_ldst_imm(op, r1, r2, 0));
+    push(ins_ldst_imm(op, r1, r2, 4));
+    push(ins_ldst_imm(op, r1, r2, 20));
+    push(ins_ldst_imm(op, r1, r2, 1000));
+    push(ins_ldst_imm(op, r9, r10, 64));
+    push(ins_ldst_reg(op, r1, r2, r3));
+    push(ins_ldst_reg(op, r9, r10, r11));
+  }
+  push(ins_ldst_imm(Op::ldr, r2, sp, 16));
+  push(ins_ldst_imm(Op::str, r2, sp, 1020));
+
+  // Multiple transfer.
+  {
+    Instruction i;
+    i.op = Op::ldm;
+    i.rn = r0;
+    i.reglist = 0x00F0;
+    i.writeback = true;
+    push(i);
+    i.writeback = false;
+    push(i);
+    i.op = Op::stm;
+    i.writeback = true;
+    push(i);
+    i.reglist = 0x1FF0;
+    push(i);
+  }
+  push(ins_push(0x000F));
+  push(ins_push(0x00F0 | (1u << lr)));
+  push(ins_push(0x0FF0 | (1u << lr)));
+  push(ins_pop(0x000F));
+  push(ins_pop(0x00F0 | (1u << pc)));
+
+  push(ins_ret());
+  {
+    Instruction i;
+    i.op = Op::bx;
+    i.rm = r3;
+    push(i);
+  }
+
+  // tbb.
+  {
+    Instruction i;
+    i.op = Op::tbb;
+    i.rn = r0;
+    i.rm = r1;
+    push(i);
+  }
+
+  // IT blocks.
+  push(ins_it(Cond::eq, ""));
+  push(ins_it(Cond::ne, "t"));
+  push(ins_it(Cond::ge, "e"));
+  push(ins_it(Cond::lt, "tt"));
+  push(ins_it(Cond::cs, "tee"));
+
+  // System.
+  {
+    Instruction i;
+    i.op = Op::svc;
+    i.uses_imm = true;
+    i.imm = 3;
+    push(i);
+    i.op = Op::bkpt;
+    i.imm = 0xAB;
+    push(i);
+    i.op = Op::cps;
+    i.imm = 1;
+    push(i);
+    i.imm = 0;
+    push(i);
+  }
+  push(Instruction{});  // nop
+  {
+    Instruction i;
+    i.op = Op::wfi;
+    push(i);
+  }
+
+  // adr (pc-relative, disp handled separately in branch tests; use disp 16).
+  {
+    Instruction i;
+    i.op = Op::adr;
+    i.rd = r2;
+    push(i);
+  }
+  // pc-relative load.
+  {
+    Instruction i;
+    i.op = Op::ldr;
+    i.rd = r3;
+    i.addr = AddrMode::pc_rel;
+    push(i);
+  }
+
+  // W32 predication: every dp op conditional.
+  for (const Cond c : {Cond::eq, Cond::lt, Cond::hi}) {
+    Instruction i = ins_rri(Op::add, r1, r1, 4);
+    i.cond = c;
+    push(i);
+  }
+
+  return out;
+}
+
+[[nodiscard]] bool is_pc_relative(const Instruction& i) {
+  return i.addr == AddrMode::pc_rel || i.op == Op::adr || i.op == Op::b ||
+         i.op == Op::bl || i.op == Op::cbz || i.op == Op::cbnz;
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<Encoding> {};
+
+TEST_P(CodecRoundTrip, ByteLevelFixedPoint) {
+  const Codec& codec = codec_for(GetParam());
+  int covered = 0;
+  for (const Instruction& insn : corpus()) {
+    const std::int64_t disp = is_pc_relative(insn) ? 16 : 0;
+    const int size = codec.size_for(insn, disp);
+    if (size == 0) {
+      continue;  // legitimately unencodable in this encoding
+    }
+    ++covered;
+    std::vector<std::uint8_t> bytes;
+    codec.encode(insn, disp, size, bytes);
+    ASSERT_EQ(static_cast<int>(bytes.size()), size)
+        << disassemble(insn, 0);
+
+    Instruction decoded;
+    const int consumed = codec.decode(bytes, decoded);
+    ASSERT_EQ(consumed, size) << disassemble(insn, 0);
+
+    // Re-encode the decoded instruction: must reproduce identical bytes.
+    const std::int64_t disp2 = is_pc_relative(decoded) ? decoded.imm : 0;
+    const int size2 = codec.size_for(decoded, disp2);
+    ASSERT_EQ(size2, size) << disassemble(insn, 0) << " vs "
+                           << disassemble(decoded, 0);
+    std::vector<std::uint8_t> bytes2;
+    codec.encode(decoded, disp2, size2, bytes2);
+    EXPECT_EQ(bytes2, bytes) << disassemble(insn, 0) << " decoded as "
+                             << disassemble(decoded, 0);
+
+    // Decoding must be a fixed point.
+    Instruction decoded2;
+    ASSERT_EQ(codec.decode(bytes2, decoded2), size);
+    EXPECT_EQ(decoded2, decoded) << disassemble(decoded, 0);
+  }
+  // Every encoding must cover a healthy share of the corpus.
+  EXPECT_GT(covered, GetParam() == Encoding::n16 ? 120 : 200);
+}
+
+TEST_P(CodecRoundTrip, BranchDisplacementsRoundTrip) {
+  const Codec& codec = codec_for(GetParam());
+  const std::int64_t disps[] = {-4096, -1024, -256, -64, -4, 0,
+                                4,     8,     60,   254, 1024, 4096, 100000};
+  for (const Op op : {Op::b, Op::bl}) {
+    for (const Cond c : {Cond::al, Cond::ne}) {
+      if (op == Op::bl && c != Cond::al) {
+        continue;
+      }
+      for (const std::int64_t disp : disps) {
+        Instruction i;
+        i.op = op;
+        i.cond = c;
+        const int size = codec.size_for(i, disp);
+        if (size == 0) {
+          continue;
+        }
+        std::vector<std::uint8_t> bytes;
+        codec.encode(i, disp, size, bytes);
+        Instruction d;
+        ASSERT_EQ(codec.decode(bytes, d), size);
+        EXPECT_EQ(d.op, op);
+        EXPECT_EQ(d.imm, disp) << op_name(op) << " disp " << disp;
+        if (c != Cond::al) {
+          EXPECT_EQ(d.cond, c);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CodecRoundTrip, PcRelLoadDisplacements) {
+  const Codec& codec = codec_for(GetParam());
+  for (const std::int64_t disp : {0, 4, 256, 1020, 2048, 4092}) {
+    Instruction i;
+    i.op = Op::ldr;
+    i.rd = r1;
+    i.addr = AddrMode::pc_rel;
+    const int size = codec.size_for(i, disp);
+    if (size == 0) {
+      continue;
+    }
+    std::vector<std::uint8_t> bytes;
+    codec.encode(i, disp, size, bytes);
+    Instruction d;
+    ASSERT_EQ(codec.decode(bytes, d), size);
+    EXPECT_EQ(d.addr, AddrMode::pc_rel);
+    EXPECT_EQ(d.imm, disp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, CodecRoundTrip,
+                         ::testing::Values(Encoding::w32, Encoding::n16,
+                                           Encoding::b32),
+                         [](const auto& info) {
+                           return std::string(encoding_name(info.param));
+                         });
+
+// ----- encoding-specific expectations ---------------------------------------
+
+TEST(ModifiedImm, RoundTrip) {
+  for (const std::uint32_t v : {0u, 1u, 255u, 256u, 0xFF00u, 0xAB000000u,
+                                0xF000000Fu, 0x0003FC00u}) {
+    const auto field = encode_modified_imm(v);
+    ASSERT_TRUE(field.has_value()) << v;
+    EXPECT_EQ(decode_modified_imm(*field), v);
+  }
+}
+
+TEST(ModifiedImm, RejectsUnencodable) {
+  EXPECT_FALSE(encode_modified_imm(0x101).has_value());
+  EXPECT_FALSE(encode_modified_imm(0x1FF).has_value());
+  EXPECT_FALSE(encode_modified_imm(0x12345678).has_value());
+  EXPECT_FALSE(encode_modified_imm(0xFFFFFFFF).has_value());
+}
+
+TEST(N16, MirrorsThumbSpotChecks) {
+  // Forms that deliberately mirror Thumb-1 should produce Thumb-1 bytes.
+  const Codec& codec = n16_codec();
+  const auto enc = [&codec](const Instruction& i) {
+    std::vector<std::uint8_t> b;
+    codec.encode(i, 0, codec.size_for(i, 0), b);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  };
+  EXPECT_EQ(enc(ins_mov_imm(r0, 5, SetFlags::yes)), 0x2005);   // movs r0,#5
+  EXPECT_EQ(enc(ins_rrr(Op::add, r1, r2, r3, SetFlags::yes)),
+            0x18D1);                                           // adds r1,r2,r3
+  EXPECT_EQ(enc(ins_ldst_imm(Op::ldr, r0, r1, 4)), 0x6848);    // ldr r0,[r1,#4]
+  EXPECT_EQ(enc(ins_ret()), 0x4770);                           // bx lr
+  EXPECT_EQ(enc(ins_push(0x00F0 | (1u << lr))), 0xB5F0);       // push {r4-r7,lr}
+}
+
+TEST(N16, WideOpsNotEncodable) {
+  const Codec& codec = n16_codec();
+  EXPECT_EQ(codec.size_for(ins_rrr(Op::sdiv, r0, r1, r2), 0), 0);
+  Instruction movw;
+  movw.op = Op::movw;
+  movw.rd = r0;
+  movw.uses_imm = true;
+  movw.imm = 0x1234;
+  EXPECT_EQ(codec.size_for(movw, 0), 0);
+  Instruction bfi = ins_rrr(Op::bfi, r0, r1, 0);
+  bfi.imm = 4;
+  bfi.width = 4;
+  EXPECT_EQ(codec.size_for(bfi, 0), 0);
+  Instruction cbz;
+  cbz.op = Op::cbz;
+  cbz.rn = r0;
+  EXPECT_EQ(codec.size_for(cbz, 16), 0);
+  EXPECT_EQ(codec.size_for(ins_it(Cond::eq, ""), 0), 0);
+  // Three-address with distinct hi registers has no narrow form.
+  EXPECT_EQ(codec.size_for(ins_rrr(Op::add, r8, r9, r10), 0), 0);
+}
+
+TEST(N16, NarrowAluRequiresFlagSetting) {
+  const Codec& codec = n16_codec();
+  // ands r0, r0, r1 exists; non-flag-setting and does not.
+  EXPECT_EQ(codec.size_for(ins_rrr(Op::and_, r0, r0, r1, SetFlags::yes), 0),
+            2);
+  EXPECT_EQ(codec.size_for(ins_rrr(Op::and_, r0, r0, r1, SetFlags::no), 0),
+            0);
+  EXPECT_EQ(codec.size_for(ins_rrr(Op::and_, r0, r0, r1, SetFlags::any), 0),
+            2);
+}
+
+TEST(N16, TwoAddressConstraint) {
+  const Codec& codec = n16_codec();
+  // and r2, r0, r1 (three distinct registers) is not narrow-encodable.
+  EXPECT_EQ(codec.size_for(ins_rrr(Op::and_, r2, r0, r1, SetFlags::yes), 0),
+            0);
+  EXPECT_EQ(codec.size_for(ins_rrr(Op::and_, r2, r2, r1, SetFlags::yes), 0),
+            2);
+}
+
+TEST(B32, PrefersNarrowForms) {
+  const Codec& codec = b32_codec();
+  EXPECT_EQ(codec.size_for(ins_rrr(Op::add, r1, r2, r3, SetFlags::any), 0), 2);
+  EXPECT_EQ(codec.size_for(ins_rrr(Op::add, r1, r9, r3, SetFlags::any), 0), 4);
+  EXPECT_EQ(codec.size_for(ins_mov_imm(r0, 200, SetFlags::any), 0), 2);
+  EXPECT_EQ(codec.size_for(ins_mov_imm(r0, 0xFF00, SetFlags::any), 0), 4);
+}
+
+TEST(B32, WideOnlyOps) {
+  const Codec& codec = b32_codec();
+  EXPECT_EQ(codec.size_for(ins_rrr(Op::sdiv, r0, r1, r2), 0), 4);
+  Instruction movw;
+  movw.op = Op::movw;
+  movw.rd = r11;
+  movw.uses_imm = true;
+  movw.imm = 0xBEEF;
+  EXPECT_EQ(codec.size_for(movw, 0), 4);
+  Instruction bfi = ins_rrr(Op::bfi, r0, r1, 0);
+  bfi.imm = 4;
+  bfi.width = 8;
+  EXPECT_EQ(codec.size_for(bfi, 0), 4);
+}
+
+TEST(B32, CbzEncodes) {
+  const Codec& codec = b32_codec();
+  Instruction cbz;
+  cbz.op = Op::cbz;
+  cbz.rn = r3;
+  EXPECT_EQ(codec.size_for(cbz, 4), 2);
+  EXPECT_EQ(codec.size_for(cbz, 130), 2);   // max: 4 + 126
+  EXPECT_EQ(codec.size_for(cbz, 132), 0);   // out of range
+  EXPECT_EQ(codec.size_for(cbz, -4), 0);    // backwards not allowed
+}
+
+TEST(B32, ArbitraryImm16ViaMovw) {
+  // The §2.2 point: B32 can synthesize any 32-bit constant in 8 bytes
+  // without touching a literal pool.
+  const Codec& codec = b32_codec();
+  Instruction w;
+  w.op = Op::movw;
+  w.rd = r4;
+  w.uses_imm = true;
+  w.imm = 0x5678;
+  Instruction t = w;
+  t.op = Op::movt;
+  t.imm = 0x1234;
+  EXPECT_EQ(codec.size_for(w, 0) + codec.size_for(t, 0), 8);
+}
+
+TEST(W32, EverythingIsFourBytes) {
+  const Codec& codec = w32_codec();
+  for (const Instruction& insn : corpus()) {
+    const std::int64_t disp = is_pc_relative(insn) ? 16 : 0;
+    const int size = codec.size_for(insn, disp);
+    EXPECT_TRUE(size == 0 || size == 4) << disassemble(insn, 0);
+  }
+}
+
+TEST(W32, PredicationEncodes) {
+  const Codec& codec = w32_codec();
+  Instruction i = ins_rri(Op::add, r1, r1, 4);
+  i.cond = Cond::lt;
+  std::vector<std::uint8_t> bytes;
+  codec.encode(i, 0, 4, bytes);
+  Instruction d;
+  ASSERT_EQ(codec.decode(bytes, d), 4);
+  EXPECT_EQ(d.cond, Cond::lt);
+  EXPECT_EQ(d.op, Op::add);
+}
+
+TEST(W32, NoDivideNoMovw) {
+  const Codec& codec = w32_codec();
+  EXPECT_EQ(codec.size_for(ins_rrr(Op::sdiv, r0, r1, r2), 0), 0);
+  EXPECT_EQ(codec.size_for(ins_rrr(Op::udiv, r0, r1, r2), 0), 0);
+  Instruction movw;
+  movw.op = Op::movw;
+  movw.rd = r0;
+  movw.uses_imm = true;
+  movw.imm = 0x1234;
+  EXPECT_EQ(codec.size_for(movw, 0), 0);
+  EXPECT_EQ(codec.size_for(ins_it(Cond::eq, ""), 0), 0);
+  Instruction clz;
+  clz.op = Op::clz;
+  clz.rd = r0;
+  clz.rm = r1;
+  EXPECT_EQ(codec.size_for(clz, 0), 0);
+}
+
+TEST(Cond, InvertPairs) {
+  EXPECT_EQ(invert(Cond::eq), Cond::ne);
+  EXPECT_EQ(invert(Cond::ne), Cond::eq);
+  EXPECT_EQ(invert(Cond::lt), Cond::ge);
+  EXPECT_EQ(invert(Cond::hi), Cond::ls);
+  EXPECT_THROW((void)invert(Cond::al), std::logic_error);
+}
+
+TEST(Cond, Evaluation) {
+  Flags f;
+  f.z = true;
+  EXPECT_TRUE(cond_holds(Cond::eq, f));
+  EXPECT_FALSE(cond_holds(Cond::ne, f));
+  EXPECT_TRUE(cond_holds(Cond::le, f));
+  f = Flags{};
+  f.n = true;
+  f.v = false;
+  EXPECT_TRUE(cond_holds(Cond::lt, f));
+  EXPECT_FALSE(cond_holds(Cond::ge, f));
+  f.v = true;
+  EXPECT_TRUE(cond_holds(Cond::ge, f));
+  EXPECT_TRUE(cond_holds(Cond::al, Flags{}));
+}
+
+TEST(It, MaskLayout) {
+  // IT eq (single slot): mask 0b1000.
+  EXPECT_EQ(ins_it(Cond::eq, "").it_mask, 0b1000);
+  // ITT eq: second slot 'then' carries fc low bit (eq = 0) -> 0b0100.
+  EXPECT_EQ(ins_it(Cond::eq, "t").it_mask, 0b0100);
+  // ITE eq: second slot 'else' -> 1 at bit3, terminator bit2.
+  EXPECT_EQ(ins_it(Cond::eq, "e").it_mask, 0b1100);
+  // ITT ne (fc low bit 1): 0b1100; ITE ne: 0b0100.
+  EXPECT_EQ(ins_it(Cond::ne, "t").it_mask, 0b1100);
+  EXPECT_EQ(ins_it(Cond::ne, "e").it_mask, 0b0100);
+}
+
+}  // namespace
+}  // namespace aces::isa

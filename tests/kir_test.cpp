@@ -1,0 +1,420 @@
+// KIR lowering tests.
+//
+// The central property: a KIR function lowered to W32, N16 and B32 produces
+// bit-identical results to a host-side reference on randomized inputs —
+// cross-encoding execution equivalence is exactly what makes the Table 1
+// comparison meaningful.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "cpu/system.h"
+#include "kir/kir.h"
+#include "kir/lower.h"
+#include "support/bits.h"
+#include "support/rng.h"
+
+namespace aces::kir {
+namespace {
+
+using cpu::System;
+using cpu::SystemConfig;
+using isa::Cond;
+using isa::Encoding;
+
+SystemConfig config_for(Encoding e) {
+  SystemConfig c;
+  c.core.encoding = e;
+  c.core.timings = e == Encoding::b32 ? cpu::CoreTimings::modern_mcu()
+                                      : cpu::CoreTimings::legacy_hp();
+  c.flash.size_bytes = 128 * 1024;
+  return c;
+}
+
+// Runs `f` on every encoding with the given args; checks each result
+// against `expected`.
+void expect_all_encodings(const KFunction& f,
+                          std::initializer_list<std::uint32_t> args,
+                          std::uint32_t expected, const char* what) {
+  for (const Encoding e :
+       {Encoding::w32, Encoding::n16, Encoding::b32}) {
+    const LoweredProgram prog = lower_program({&f}, e, cpu::kFlashBase);
+    System sys(config_for(e));
+    sys.load(prog.image);
+    const std::uint32_t got =
+        sys.call(prog.entry_of(f.name()), args);
+    EXPECT_EQ(got, expected)
+        << what << " on " << isa::encoding_name(e) << " args{"
+        << (args.size() > 0 ? *args.begin() : 0u) << ",...}";
+  }
+}
+
+// ----- basic arithmetic -------------------------------------------------------
+
+KFunction make_poly() {
+  // f(a, b) = (a*3 + b) ^ (a >> 2) - b
+  KFunction f("poly", 2);
+  const VReg a = 0, b = 1;
+  const VReg t1 = f.v(), t2 = f.v(), t3 = f.v();
+  f.arith_imm(KOp::mul, t1, a, 3);
+  f.arith(KOp::add, t1, t1, b);
+  f.arith_imm(KOp::shr_u, t2, a, 2);
+  f.arith(KOp::eor, t3, t1, t2);
+  f.arith(KOp::sub, t3, t3, b);
+  f.ret(t3);
+  return f;
+}
+
+TEST(KirLowering, PolynomialMatchesReference) {
+  const KFunction f = make_poly();
+  support::Rng256 rng(42);
+  for (int k = 0; k < 12; ++k) {
+    const std::uint32_t a = rng.next_u32();
+    const std::uint32_t b = rng.next_u32();
+    const std::uint32_t expected = ((a * 3 + b) ^ (a >> 2)) - b;
+    expect_all_encodings(f, {a, b}, expected, "poly");
+  }
+}
+
+TEST(KirLowering, LargeConstants) {
+  // Forces every materialization strategy: pools on W32/N16, movw/movt on
+  // B32, shifted imm8 on N16.
+  KFunction f("consts", 1);
+  const VReg a = 0;
+  const VReg c1 = f.v(), c2 = f.v(), c3 = f.v();
+  f.movi(c1, 0xDEADBEEF);
+  f.movi(c2, 0x0003FC00);  // imm8 << 10 — N16 shifted form
+  f.movi(c3, 255);
+  f.arith(KOp::eor, c1, c1, a);
+  f.arith(KOp::add, c1, c1, c2);
+  f.arith(KOp::sub, c1, c1, c3);
+  f.ret(c1);
+  return expect_all_encodings(f, {0x12345678},
+                              ((0xDEADBEEFu ^ 0x12345678u) + 0x0003FC00u) -
+                                  255u,
+                              "consts");
+}
+
+TEST(KirLowering, LoopSumOfSquares) {
+  // f(n) = sum_{k=1..n} k*k  — loop with back edge, tests interval
+  // extension around loops.
+  KFunction f("sumsq", 1);
+  const VReg n = 0;
+  const VReg acc = f.v(), k = f.v(), sq = f.v();
+  f.movi(acc, 0);
+  f.movi(k, 0);
+  const KLabel top = f.make_label();
+  f.bind(top);
+  f.arith_imm(KOp::add, k, k, 1);
+  f.arith(KOp::mul, sq, k, k);
+  f.arith(KOp::add, acc, acc, sq);
+  f.brcc(Cond::ne, k, n, top);
+  f.ret(acc);
+
+  const auto reference = [](std::uint32_t n) {
+    std::uint32_t acc = 0;
+    for (std::uint32_t k = 1; k <= n; ++k) {
+      acc += k * k;
+    }
+    return acc;
+  };
+  expect_all_encodings(f, {1}, reference(1), "sumsq");
+  expect_all_encodings(f, {10}, reference(10), "sumsq");
+  expect_all_encodings(f, {100}, reference(100), "sumsq");
+}
+
+// ----- memory -------------------------------------------------------------------
+
+TEST(KirLowering, MemoryFillamdSum) {
+  // f(base, n): writes k*3+1 bytes then sums halfwords.
+  KFunction f("memfill", 2);
+  const VReg base = 0, n = 1;
+  const VReg k = f.v(), val = f.v(), acc = f.v(), addr = f.v();
+  f.movi(k, 0);
+  f.mov(addr, base);
+  const KLabel wtop = f.make_label();
+  f.bind(wtop);
+  f.arith_imm(KOp::mul, val, k, 3);
+  f.arith_imm(KOp::add, val, val, 1);
+  f.storex(val, base, k, Width::w8);
+  f.arith_imm(KOp::add, k, k, 1);
+  f.brcc(Cond::ne, k, n, wtop);
+  // Sum as unsigned bytes via loads.
+  f.movi(acc, 0);
+  f.movi(k, 0);
+  const KLabel rtop = f.make_label();
+  f.bind(rtop);
+  const VReg b = f.v();
+  f.loadx(b, base, k, Width::w8);
+  f.arith(KOp::add, acc, acc, b);
+  f.arith_imm(KOp::add, k, k, 1);
+  f.brcc(Cond::ne, k, n, rtop);
+  f.ret(acc);
+
+  const std::uint32_t count = 40;
+  std::uint32_t expected = 0;
+  for (std::uint32_t k = 0; k < count; ++k) {
+    expected += static_cast<std::uint8_t>(k * 3 + 1);
+  }
+  expect_all_encodings(f, {cpu::kSramBase + 0x100, count}, expected,
+                       "memfill");
+}
+
+TEST(KirLowering, SignedSubwordLoads) {
+  KFunction f("sload", 1);
+  const VReg base = 0;
+  const VReg v1 = f.v(), v2 = f.v();
+  const VReg c = f.v();
+  f.movi(c, 0x80);  // will read back as -128 signed byte
+  f.store(c, base, 0, Width::w8);
+  f.movi(c, 0x8000);
+  f.store(c, base, 2, Width::w16);
+  f.load(v1, base, 0, Width::w8, /*sign=*/true);
+  f.load(v2, base, 2, Width::w16, /*sign=*/true);
+  f.arith(KOp::add, v1, v1, v2);
+  f.ret(v1);
+  const std::uint32_t expected =
+      static_cast<std::uint32_t>(-128 + -32768);
+  expect_all_encodings(f, {cpu::kSramBase + 0x40}, expected, "sload");
+}
+
+// ----- division -------------------------------------------------------------------
+
+TEST(KirLowering, UnsignedDivide) {
+  KFunction f("udivf", 2);
+  const VReg q = f.v();
+  f.arith(KOp::udiv, q, 0, 1);
+  f.ret(q);
+  expect_all_encodings(f, {100, 7}, 14, "udiv");
+  expect_all_encodings(f, {0xFFFFFFFF, 3}, 0xFFFFFFFFu / 3u, "udiv");
+  expect_all_encodings(f, {5, 100}, 0, "udiv");
+  expect_all_encodings(f, {42, 1}, 42, "udiv");
+  expect_all_encodings(f, {42, 0}, 0, "udiv by zero");
+}
+
+TEST(KirLowering, SignedDivide) {
+  KFunction f("sdivf", 2);
+  const VReg q = f.v();
+  f.arith(KOp::sdiv, q, 0, 1);
+  f.ret(q);
+  expect_all_encodings(f, {100, 7}, 14, "sdiv");
+  expect_all_encodings(f, {static_cast<std::uint32_t>(-100), 7},
+                       static_cast<std::uint32_t>(-14), "sdiv");
+  expect_all_encodings(f, {100, static_cast<std::uint32_t>(-7)},
+                       static_cast<std::uint32_t>(-14), "sdiv");
+  expect_all_encodings(f, {static_cast<std::uint32_t>(-100),
+                           static_cast<std::uint32_t>(-7)},
+                       14, "sdiv");
+  expect_all_encodings(f, {7, 0}, 0, "sdiv by zero");
+  expect_all_encodings(f, {0x80000000u, static_cast<std::uint32_t>(-1)},
+                       0x80000000u, "sdiv INT_MIN/-1");
+}
+
+TEST(KirLowering, DividePreservesOtherValues) {
+  // A value live across the helper call must survive r0-r3 clobbering.
+  KFunction f("divlive", 2);
+  const VReg a = 0, b = 1;
+  const VReg keep = f.v(), q = f.v();
+  f.arith_imm(KOp::mul, keep, a, 5);  // live across the call
+  f.arith(KOp::udiv, q, a, b);
+  f.arith(KOp::add, q, q, keep);
+  f.ret(q);
+  expect_all_encodings(f, {100, 10}, 100 / 10 + 500, "divlive");
+}
+
+// ----- bitfield / bit ops -----------------------------------------------------------
+
+TEST(KirLowering, BitfieldExtractInsert) {
+  KFunction f("bits", 2);
+  const VReg a = 0, b = 1;
+  const VReg x = f.v(), y = f.v();
+  f.bfx(x, a, 4, 8);           // x = a[11:4]
+  f.bfx(y, a, 16, 4, true);    // y = sext(a[19:16])
+  f.arith(KOp::add, x, x, y);
+  f.mov(y, b);
+  f.bfi(y, x, 8, 12);          // y[19:8] = x
+  f.ret(y);
+
+  const auto reference = [](std::uint32_t a, std::uint32_t b) {
+    const std::uint32_t x0 = (a >> 4) & 0xFF;
+    const std::int32_t y0 =
+        static_cast<std::int32_t>((a >> 16) & 0xF) << 28 >> 28;
+    const std::uint32_t x = x0 + static_cast<std::uint32_t>(y0);
+    return (b & ~0x000FFF00u) | ((x & 0xFFF) << 8);
+  };
+  support::Rng256 rng(7);
+  for (int k = 0; k < 8; ++k) {
+    const std::uint32_t a = rng.next_u32();
+    const std::uint32_t b = rng.next_u32();
+    expect_all_encodings(f, {a, b}, reference(a, b), "bits");
+  }
+}
+
+TEST(KirLowering, BitReverse) {
+  KFunction f("brev", 1);
+  const VReg r = f.v();
+  f.unary(KOp::bit_rev, r, 0);
+  f.ret(r);
+  support::Rng256 rng(9);
+  for (int k = 0; k < 6; ++k) {
+    const std::uint32_t a = rng.next_u32();
+    expect_all_encodings(f, {a}, support::reverse_bits(a), "brev");
+  }
+}
+
+TEST(KirLowering, ByteReverse) {
+  KFunction f("rev", 1);
+  const VReg r = f.v();
+  f.unary(KOp::byte_rev, r, 0);
+  f.ret(r);
+  expect_all_encodings(f, {0x12345678}, 0x78563412u, "rev");
+  expect_all_encodings(f, {0xFF0000AA}, 0xAA0000FFu, "rev");
+}
+
+TEST(KirLowering, CountLeadingZeros) {
+  KFunction f("clzf", 1);
+  const VReg r = f.v();
+  f.unary(KOp::clz, r, 0);
+  f.ret(r);
+  expect_all_encodings(f, {0}, 32, "clz(0)");
+  expect_all_encodings(f, {1}, 31, "clz(1)");
+  expect_all_encodings(f, {0x80000000u}, 0, "clz(msb)");
+  expect_all_encodings(f, {0x00010000u}, 15, "clz");
+  support::Rng256 rng(21);
+  for (int k = 0; k < 6; ++k) {
+    const std::uint32_t a = rng.next_u32();
+    expect_all_encodings(f, {a}, support::count_leading_zeros(a), "clz");
+  }
+}
+
+TEST(KirLowering, Extensions) {
+  KFunction f("ext", 1);
+  const VReg a = 0;
+  const VReg s8 = f.v(), u16 = f.v();
+  f.unary(KOp::ext_s8, s8, a);
+  f.unary(KOp::ext_u16, u16, a);
+  f.arith(KOp::eor, s8, s8, u16);
+  f.ret(s8);
+  const auto reference = [](std::uint32_t a) {
+    const auto se = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(static_cast<std::int8_t>(a & 0xFF)));
+    return se ^ (a & 0xFFFF);
+  };
+  expect_all_encodings(f, {0x1234F688}, reference(0x1234F688), "ext");
+  expect_all_encodings(f, {0x00000077}, reference(0x77), "ext");
+}
+
+// ----- select --------------------------------------------------------------------
+
+TEST(KirLowering, SelectMinMaxClamp) {
+  // f(a, b) = clamp(a, 10, 100) + max(a, b) with signed compares.
+  KFunction f("clampmax", 2);
+  const VReg a = 0, b = 1;
+  const VReg lo = f.v(), hi = f.v(), c = f.v(), m = f.v();
+  f.movi(lo, 10);
+  f.movi(hi, 100);
+  f.select(c, Cond::lt, a, lo, lo, a);    // c = a < 10 ? 10 : a
+  f.select(c, Cond::gt, c, hi, hi, c);    // c = c > 100 ? 100 : c
+  f.select(m, Cond::ge, a, b, a, b);      // m = max(a, b)
+  f.arith(KOp::add, c, c, m);
+  f.ret(c);
+
+  const auto reference = [](std::int32_t a, std::int32_t b) {
+    const std::int32_t c = a < 10 ? 10 : (a > 100 ? 100 : a);
+    return static_cast<std::uint32_t>(c + std::max(a, b));
+  };
+  for (const std::int32_t a : {-50, 0, 10, 55, 100, 1000}) {
+    for (const std::int32_t b : {-10, 60, 2000}) {
+      expect_all_encodings(f,
+                           {static_cast<std::uint32_t>(a),
+                            static_cast<std::uint32_t>(b)},
+                           reference(a, b), "clampmax");
+    }
+  }
+}
+
+// ----- register pressure / spilling ----------------------------------------------
+
+TEST(KirLowering, SpillsUnderPressure) {
+  // 12 simultaneously-live values force spills on N16 (6 allocatable) and
+  // exercise the spill machinery everywhere.
+  KFunction f("pressure", 2);
+  const VReg a = 0, b = 1;
+  std::vector<VReg> vals;
+  for (int k = 0; k < 12; ++k) {
+    const VReg v = f.v();
+    f.arith_imm(KOp::add, v, a, k * 7 + 1);
+    f.arith(KOp::eor, v, v, b);
+    vals.push_back(v);
+  }
+  VReg acc = f.v();
+  f.movi(acc, 0);
+  for (const VReg v : vals) {
+    f.arith(KOp::add, acc, acc, v);
+  }
+  f.ret(acc);
+
+  const auto reference = [](std::uint32_t a, std::uint32_t b) {
+    std::uint32_t acc = 0;
+    for (int k = 0; k < 12; ++k) {
+      acc += (a + static_cast<std::uint32_t>(k * 7 + 1)) ^ b;
+    }
+    return acc;
+  };
+  support::Rng256 rng(5);
+  for (int k = 0; k < 8; ++k) {
+    const std::uint32_t a = rng.next_u32();
+    const std::uint32_t b = rng.next_u32();
+    expect_all_encodings(f, {a, b}, reference(a, b), "pressure");
+  }
+}
+
+TEST(KirLowering, MlaForms) {
+  KFunction f("mlaf", 3);
+  const VReg r = f.v();
+  f.mla(r, 0, 1, 2);
+  f.ret(r);
+  expect_all_encodings(f, {7, 9, 100}, 7 * 9 + 100, "mla");
+}
+
+// ----- density property (the Table 1 precondition) --------------------------------
+
+TEST(KirLowering, DensityOrdering) {
+  // For every kernel here: N16 and B32 images must be substantially
+  // smaller than W32 (paper: ~55-60%, allow generous margins).
+  for (const KFunction& f :
+       {make_poly()}) {
+    const auto w = lower_program({&f}, Encoding::w32, 0).code_bytes;
+    const auto n = lower_program({&f}, Encoding::n16, 0).code_bytes;
+    const auto b = lower_program({&f}, Encoding::b32, 0).code_bytes;
+    EXPECT_LT(n, w) << f.name();
+    EXPECT_LT(b, w) << f.name();
+  }
+}
+
+TEST(KirLowering, AblationTogglesChangeCode) {
+  // Disabling movw/movt must reintroduce literal pools (bigger or equal
+  // code, more data accesses at run time).
+  KFunction f("consts2", 0);
+  const VReg c = f.v(), d = f.v();
+  f.movi(c, 0xCAFEBABE);
+  f.movi(d, 0x12345678);
+  f.arith(KOp::eor, c, c, d);
+  f.ret(c);
+
+  LoweringOptions with = LoweringOptions::for_encoding(Encoding::b32);
+  LoweringOptions without = with;
+  without.use_movw_movt = false;
+  const auto a = lower_program({&f}, Encoding::b32, with, 0);
+  const auto b = lower_program({&f}, Encoding::b32, without, 0);
+  // Both run correctly.
+  for (const auto* prog : {&a, &b}) {
+    System sys(config_for(Encoding::b32));
+    sys.load(prog->image);
+    EXPECT_EQ(sys.call(prog->entry_of("consts2")),
+              0xCAFEBABEu ^ 0x12345678u);
+  }
+}
+
+}  // namespace
+}  // namespace aces::kir

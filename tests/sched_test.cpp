@@ -1,0 +1,268 @@
+// Schedulability analysis tests, including the load-bearing properties:
+// task RTA upper-bounds the simulated kernel, and CAN RTA upper-bounds the
+// simulated bus, across randomized workloads.
+#include <gtest/gtest.h>
+
+#include "can/bus.h"
+#include "rtos/kernel.h"
+#include "sched/can_rta.h"
+#include "sched/flexray.h"
+#include "sched/rta.h"
+#include "support/rng.h"
+
+namespace aces::sched {
+namespace {
+
+using sim::kMicrosecond;
+using sim::kMillisecond;
+using sim::SimTime;
+
+// ----- task RTA -----------------------------------------------------------------
+
+TEST(Rta, TextbookExample) {
+  // Classic three-task example (C,T): (1,4) (1,5) (3,10), RM priorities.
+  std::vector<RtaTask> tasks = {
+      {"t1", 1 * kMillisecond, 4 * kMillisecond, 0, 3, 0, 0},
+      {"t2", 1 * kMillisecond, 5 * kMillisecond, 0, 2, 0, 0},
+      {"t3", 3 * kMillisecond, 10 * kMillisecond, 0, 1, 0, 0},
+  };
+  const RtaResult r = response_time_analysis(tasks);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_EQ(r.response[0], 1 * kMillisecond);
+  EXPECT_EQ(r.response[1], 2 * kMillisecond);
+  // t3: R = 3 + ceil(R/4) + ceil(R/5) -> fixed point at 7ms.
+  EXPECT_EQ(r.response[2], 7 * kMillisecond);
+}
+
+TEST(Rta, UnschedulableDetected) {
+  std::vector<RtaTask> tasks = {
+      {"t1", 3 * kMillisecond, 5 * kMillisecond, 0, 2, 0, 0},
+      {"t2", 3 * kMillisecond, 6 * kMillisecond, 0, 1, 0, 0},
+  };
+  const RtaResult r = response_time_analysis(tasks);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_TRUE(r.task_ok[0]);
+  EXPECT_FALSE(r.task_ok[1]);
+}
+
+TEST(Rta, BlockingExtendsResponse) {
+  std::vector<RtaTask> tasks = {
+      {"hi", 1 * kMillisecond, 10 * kMillisecond, 0, 2, 0, 0},
+      {"lo", 2 * kMillisecond, 20 * kMillisecond, 0, 1, 0, 0},
+  };
+  std::vector<CriticalSection> cs = {
+      {1, 0, 500 * kMicrosecond},  // lo holds R for 0.5ms
+  };
+  // hi also uses the resource -> ceiling reaches hi.
+  cs.push_back({0, 0, 100 * kMicrosecond});
+  apply_pcp_blocking(tasks, cs);
+  EXPECT_EQ(tasks[0].blocking, 500 * kMicrosecond);
+  EXPECT_EQ(tasks[1].blocking, 0);  // nothing below lo
+  const RtaResult r = response_time_analysis(tasks);
+  EXPECT_EQ(r.response[0], 1 * kMillisecond + 500 * kMicrosecond);
+}
+
+TEST(Rta, UtilizationAndBound) {
+  std::vector<RtaTask> tasks = {
+      {"a", 1 * kMillisecond, 4 * kMillisecond, 0, 2, 0, 0},
+      {"b", 2 * kMillisecond, 8 * kMillisecond, 0, 1, 0, 0},
+  };
+  EXPECT_NEAR(utilization(tasks), 0.5, 1e-9);
+  EXPECT_NEAR(liu_layland_bound(1), 1.0, 1e-9);
+  EXPECT_NEAR(liu_layland_bound(2), 0.8284, 1e-3);
+  EXPECT_GT(liu_layland_bound(2), liu_layland_bound(10));
+}
+
+// Property: the simulated kernel never exceeds the analytic bound.
+TEST(Rta, DominatesSimulatedKernel) {
+  support::Rng256 rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random task set at moderate utilization.
+    const int n = 2 + static_cast<int>(rng.next_below(4));
+    std::vector<RtaTask> tasks;
+    for (int k = 0; k < n; ++k) {
+      RtaTask t;
+      t.name = "t" + std::to_string(k);
+      t.period = (5 + static_cast<SimTime>(rng.next_below(45))) *
+                 kMillisecond;
+      t.wcet = t.period / (3 + static_cast<SimTime>(rng.next_below(6)) + n);
+      t.priority = 100 - k;  // unique priorities
+      tasks.push_back(t);
+    }
+    const RtaResult bound = response_time_analysis(tasks);
+    if (!bound.schedulable) {
+      continue;  // only compare feasible sets
+    }
+    sim::EventQueue q;
+    rtos::Kernel kernel(q);
+    std::vector<rtos::TaskId> ids;
+    for (const RtaTask& t : tasks) {
+      rtos::Segment seg;
+      seg.kind = rtos::Segment::Kind::execute;
+      seg.duration = t.wcet;
+      ids.push_back(kernel.create_task({t.name, t.priority, {seg}, 0}));
+      kernel.set_alarm(ids.back(), 0, t.period);
+    }
+    kernel.start();
+    q.run_until(2 * sim::kSecond);
+    for (std::size_t k = 0; k < tasks.size(); ++k) {
+      EXPECT_LE(kernel.stats(ids[k]).worst_response, bound.response[k])
+          << "trial " << trial << " task " << k;
+      EXPECT_GT(kernel.stats(ids[k]).completions, 10u);
+    }
+  }
+}
+
+// ----- CAN RTA --------------------------------------------------------------------
+
+std::vector<CanMessage> sae_like_set() {
+  // An SAE-benchmark-flavored body/powertrain message set at 250 kbit/s.
+  std::vector<CanMessage> m;
+  const auto add = [&m](const char* name, std::uint32_t id, unsigned dlc,
+                        SimTime period) {
+    m.push_back(CanMessage{name, id, dlc, period, 0, 0});
+  };
+  add("engine_torque", 0x050, 8, 5 * kMillisecond);
+  add("wheel_speed", 0x0A0, 6, 10 * kMillisecond);
+  add("brake_pressure", 0x0C0, 4, 10 * kMillisecond);
+  add("steering_angle", 0x120, 4, 20 * kMillisecond);
+  add("gear_state", 0x200, 2, 50 * kMillisecond);
+  add("door_status", 0x400, 1, 100 * kMillisecond);
+  add("hvac_state", 0x500, 4, 100 * kMillisecond);
+  add("diag_response", 0x7A0, 8, 200 * kMillisecond);
+  return m;
+}
+
+TEST(CanRta, PriorityOrderRespected) {
+  const auto msgs = sae_like_set();
+  const CanRtaResult r = can_rta(msgs, 250'000);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_LT(r.bus_utilization, 0.5);
+  // The top-priority message's worst case is its own time plus one
+  // blocking frame.
+  const SimTime tau = sim::kSecond / 250'000;
+  const SimTime c0 = tau * can::worst_case_wire_bits(8);
+  EXPECT_LE(r.response[0], 2 * c0 + tau);
+  // Lower priorities wait longer.
+  EXPECT_GT(r.response.back(), r.response.front());
+}
+
+TEST(CanRta, DominatesSimulatedBus) {
+  const auto msgs = sae_like_set();
+  const CanRtaResult bound = can_rta(msgs, 250'000);
+  ASSERT_TRUE(bound.schedulable);
+
+  sim::EventQueue q;
+  can::CanBus bus(q, 250'000);
+  const can::NodeId tx = bus.attach_node("tx");
+  (void)bus.attach_node("rx");
+  // Periodic senders with deterministic phase 0 (critical instant-ish).
+  for (const CanMessage& m : msgs) {
+    std::function<void()> kick = [&bus, &q, m, tx, &kick]() {
+      can::CanFrame f;
+      f.id = m.id;
+      f.dlc = m.dlc;
+      bus.send(tx, f);
+      q.schedule_in(m.period, kick);
+    };
+    q.schedule_at(0, kick);
+  }
+  q.run_until(2 * sim::kSecond);
+  for (std::size_t k = 0; k < msgs.size(); ++k) {
+    const auto it = bus.stats().find(msgs[k].id);
+    ASSERT_NE(it, bus.stats().end()) << msgs[k].name;
+    EXPECT_LE(it->second.worst_latency, bound.response[k]) << msgs[k].name;
+    EXPECT_GT(it->second.sent, 5u);
+  }
+}
+
+TEST(CanRta, HighLoadStillBounded) {
+  // Push utilization near saturation; the analysis must stay sound.
+  std::vector<CanMessage> msgs;
+  for (int k = 0; k < 12; ++k) {
+    CanMessage m;
+    m.name = "m" + std::to_string(k);
+    m.id = static_cast<std::uint32_t>(0x100 + k * 16);
+    m.dlc = 8;
+    m.period = 10 * kMillisecond;
+    msgs.push_back(m);
+  }
+  const CanRtaResult r = can_rta(msgs, 250'000);
+  EXPECT_GT(r.bus_utilization, 0.6);
+  // Lowest priority message has a dramatically larger bound.
+  EXPECT_GT(r.response.back(), 4 * r.response.front());
+}
+
+// ----- FlexRay ---------------------------------------------------------------------
+
+TEST(Flexray, AssignsWithoutCollision) {
+  FlexrayConfig cfg;
+  cfg.cycle_length = 5 * kMillisecond;
+  cfg.static_slots = 10;
+  cfg.slot_length = 100 * kMicrosecond;
+  std::vector<FlexrayFrame> frames;
+  for (int k = 0; k < 8; ++k) {
+    frames.push_back(
+        FlexrayFrame{"f" + std::to_string(k), k % 3,
+                     (k % 2 == 0 ? 5 : 10) * kMillisecond});
+  }
+  const FlexraySchedule s = build_static_schedule(cfg, frames);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.assignments.size(), frames.size());
+  // No two assignments may ever collide in the same slot instance.
+  for (std::size_t a = 0; a < s.assignments.size(); ++a) {
+    for (std::size_t b = a + 1; b < s.assignments.size(); ++b) {
+      const auto& x = s.assignments[a];
+      const auto& y = s.assignments[b];
+      if (x.slot != y.slot) {
+        continue;
+      }
+      for (unsigned cycle = 0; cycle < 64; ++cycle) {
+        const bool xs = cycle % x.repetition == x.base_cycle;
+        const bool ys = cycle % y.repetition == y.base_cycle;
+        EXPECT_FALSE(xs && ys) << "slot collision in cycle " << cycle;
+      }
+    }
+  }
+}
+
+TEST(Flexray, InfeasibleWhenOverloaded) {
+  FlexrayConfig cfg;
+  cfg.cycle_length = 1 * kMillisecond;
+  cfg.static_slots = 2;
+  cfg.slot_length = 100 * kMicrosecond;
+  std::vector<FlexrayFrame> frames;
+  for (int k = 0; k < 5; ++k) {
+    frames.push_back(FlexrayFrame{"f" + std::to_string(k), 0,
+                                  1 * kMillisecond});  // all every cycle
+  }
+  EXPECT_FALSE(build_static_schedule(cfg, frames).feasible);
+}
+
+TEST(Flexray, LatencyBoundedByRepetition) {
+  FlexrayConfig cfg;
+  std::vector<FlexrayFrame> frames = {
+      {"fast", 0, cfg.cycle_length},
+      {"slow", 1, cfg.cycle_length * 4},
+  };
+  const FlexraySchedule s = build_static_schedule(cfg, frames);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_LE(s.of(0).worst_latency,
+            cfg.cycle_length + cfg.slot_length * cfg.static_slots);
+  EXPECT_GT(s.of(1).worst_latency, s.of(0).worst_latency);
+}
+
+TEST(Flexray, UtilizationReported) {
+  FlexrayConfig cfg;
+  cfg.static_slots = 4;
+  std::vector<FlexrayFrame> frames = {
+      {"a", 0, cfg.cycle_length},      // rep 1: one full slot
+      {"b", 1, cfg.cycle_length * 2},  // rep 2: half a slot
+  };
+  const FlexraySchedule s = build_static_schedule(cfg, frames);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NEAR(s.static_utilization, (1.0 + 0.5) / 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace aces::sched

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace aces::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, FifoAtSameInstant) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int k = 0; k < 5; ++k) {
+    q.schedule_at(5, [&order, k] { order.push_back(k); });
+  }
+  q.run_until(5);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HorizonIsInclusive) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(11, [&] { ++fired; });
+  q.run_until(10);
+  EXPECT_EQ(fired, 1);
+  q.run_until(11);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<SimTime> fire_times;
+  std::function<void()> recur = [&] {
+    fire_times.push_back(q.now());
+    if (q.now() < 50) {
+      q.schedule_in(10, recur);
+    }
+  };
+  q.schedule_at(10, recur);
+  q.run_until(1000);
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{10, 20, 30, 40, 50}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(20, [&] { ++fired; });
+  q.cancel(id);
+  q.run_until(100);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule_at(10, [&] { ++fired; });
+  q.run_until(15);
+  q.cancel(id);  // already fired
+  q.run_until(100);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run_until(10);
+  EXPECT_THROW(q.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenNothingPending) {
+  EventQueue q;
+  EXPECT_FALSE(q.step(100));
+  q.schedule_at(10, [] {});
+  EXPECT_TRUE(q.step(100));
+  EXPECT_FALSE(q.step(100));
+}
+
+TEST(EventQueue, EmptyTracksCancellations) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  const EventId id = q.schedule_at(10, [] {});
+  EXPECT_FALSE(q.empty());
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NowAdvancesToEventTime) {
+  EventQueue q;
+  SimTime seen = -1;
+  q.schedule_at(42, [&] { seen = q.now(); });
+  q.run_until(100);
+  EXPECT_EQ(seen, 42);
+}
+
+}  // namespace
+}  // namespace aces::sim

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bits.h"
+#include "support/fixed.h"
+#include "support/rng.h"
+
+namespace aces::support {
+namespace {
+
+TEST(Bits, ExtractInsert) {
+  EXPECT_EQ(bits(0xDEADBEEFu, 0, 8), 0xEFu);
+  EXPECT_EQ(bits(0xDEADBEEFu, 8, 8), 0xBEu);
+  EXPECT_EQ(bits(0xDEADBEEFu, 28, 4), 0xDu);
+  EXPECT_EQ(bits(0xFFFFFFFFu, 0, 32), 0xFFFFFFFFu);
+  EXPECT_EQ(insert_bits(0u, 0xFFu, 8, 8), 0x0000FF00u);
+  EXPECT_EQ(insert_bits(0xFFFFFFFFu, 0u, 8, 8), 0xFFFF00FFu);
+  EXPECT_EQ(insert_bits(0x12345678u, 0xAB, 4, 8), 0x12345AB8u);
+}
+
+TEST(Bits, InsertExtractRoundTrip) {
+  Rng256 rng(7);
+  for (int k = 0; k < 1000; ++k) {
+    const std::uint32_t x = rng.next_u32();
+    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(32));
+    const unsigned lsb = static_cast<unsigned>(rng.next_below(33 - width));
+    const std::uint32_t v = rng.next_u32() & ((width >= 32) ? 0xFFFFFFFFu
+                                                            : ((1u << width) - 1));
+    EXPECT_EQ(bits(insert_bits(x, v, lsb, width), lsb, width), v);
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0x1, 1), -1);
+  EXPECT_EQ(sign_extend(0xFFFFFFFF, 32), -1);
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fits_signed(127, 8));
+  EXPECT_FALSE(fits_signed(128, 8));
+  EXPECT_TRUE(fits_signed(-128, 8));
+  EXPECT_FALSE(fits_signed(-129, 8));
+  EXPECT_TRUE(fits_signed(0, 1));
+  EXPECT_TRUE(fits_signed(-1, 1));
+  EXPECT_FALSE(fits_signed(1, 1));
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0x00000001u), 0x80000000u);
+  EXPECT_EQ(reverse_bits(0x80000000u), 0x00000001u);
+  EXPECT_EQ(reverse_bits(0xF0000000u), 0x0000000Fu);
+  Rng256 rng(3);
+  for (int k = 0; k < 100; ++k) {
+    const std::uint32_t x = rng.next_u32();
+    EXPECT_EQ(reverse_bits(reverse_bits(x)), x);
+  }
+}
+
+TEST(Bits, ReverseBytes) {
+  EXPECT_EQ(reverse_bytes(0x12345678u), 0x78563412u);
+  EXPECT_EQ(reverse_bytes16(0x12345678u), 0x34127856u);
+}
+
+TEST(Bits, CountLeadingZeros) {
+  EXPECT_EQ(count_leading_zeros(0), 32u);
+  EXPECT_EQ(count_leading_zeros(1), 31u);
+  EXPECT_EQ(count_leading_zeros(0x80000000u), 0u);
+  EXPECT_EQ(count_leading_zeros(0x0000FFFFu), 16u);
+}
+
+TEST(Bits, Align) {
+  EXPECT_EQ(align_up(0, 4), 0u);
+  EXPECT_EQ(align_up(1, 4), 4u);
+  EXPECT_EQ(align_up(4, 4), 4u);
+  EXPECT_EQ(align_up(5, 8), 8u);
+  EXPECT_EQ(align_down(7, 4), 4u);
+  EXPECT_EQ(align_down(8, 4), 8u);
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(4096));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng256 a(42), b(42);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng256 a(1), b(2);
+  int same = 0;
+  for (int k = 0; k < 64; ++k) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng256 rng(9);
+  for (int k = 0; k < 2000; ++k) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int k = 0; k < 400; ++k) {
+    seen.insert(rng.next_below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ChanceEdges) {
+  Rng256 rng(1);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  for (int k = 0; k < 10000; ++k) {
+    hits += rng.chance(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng256 a(5);
+  Rng256 b = a.fork();
+  int same = 0;
+  for (int k = 0; k < 64; ++k) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Fixed, Q16Multiply) {
+  EXPECT_EQ(q16_mul(q16_from_int(3), q16_from_int(4)), q16_from_int(12));
+  EXPECT_EQ(q16_mul(q16_from_int(-3), q16_from_int(4)), q16_from_int(-12));
+  // 0.5 * 0.5 = 0.25
+  EXPECT_EQ(q16_mul(0x8000, 0x8000), 0x4000);
+}
+
+TEST(Fixed, Q16Divide) {
+  EXPECT_EQ(q16_div(q16_from_int(12), q16_from_int(4)), q16_from_int(3));
+  EXPECT_EQ(q16_div(q16_from_int(1), q16_from_int(2)), 0x8000);
+}
+
+TEST(Fixed, Clamp) {
+  EXPECT_EQ(clamp_i32(5, 0, 10), 5);
+  EXPECT_EQ(clamp_i32(-5, 0, 10), 0);
+  EXPECT_EQ(clamp_i32(50, 0, 10), 10);
+  EXPECT_EQ(clamp_i32(std::int64_t{1} << 40, 0, 100), 100);
+}
+
+}  // namespace
+}  // namespace aces::support
