@@ -58,7 +58,7 @@ Measured run_classic() {
   a.pool();
   const Image image = a.assemble();
 
-  cpu::SystemConfig cfg = system_for(Encoding::w32, MemRegime::zero_wait);
+  cpu::SystemBuilder cfg = system_for(Encoding::w32, MemRegime::zero_wait);
   cpu::System sys(cfg);
   sys.load(image);
   cpu::ClassicVic::Config vc;
@@ -110,7 +110,7 @@ Measured run_ivc() {
   a.pool();
   const Image image = a.assemble();
 
-  cpu::SystemConfig cfg = system_for(Encoding::b32, MemRegime::zero_wait);
+  cpu::SystemBuilder cfg = system_for(Encoding::b32, MemRegime::zero_wait);
   cpu::System sys(cfg);
   sys.load(image);
   cpu::Ivc::Config ic;

@@ -55,8 +55,8 @@ Shape run(bool bitband, int ops) {
   a.ins(ins_ret());
   const Image image = a.assemble();
 
-  cpu::SystemConfig cfg = system_for(Encoding::b32, MemRegime::zero_wait);
-  cfg.bitband_bytes = 0x1000;
+  cpu::SystemBuilder cfg = system_for(Encoding::b32, MemRegime::zero_wait);
+  cfg.bitband(0x1000);
   cpu::System sys(cfg);
   sys.load(image);
   sys.core().reset(a.label_address(entry), sys.initial_sp());

@@ -42,7 +42,8 @@ kir::KFunction make_const_heavy() {
   return f;
 }
 
-std::uint64_t run(const kir::LoweredProgram& prog, cpu::SystemConfig cfg) {
+std::uint64_t run(const kir::LoweredProgram& prog,
+                  const cpu::SystemBuilder& cfg) {
   cpu::System sys(cfg);
   sys.load(prog.image);
   sys.core().reset(prog.entry_of("const_heavy"), sys.initial_sp());
@@ -75,13 +76,11 @@ int main() {
               "literal pool", "degradation", "dual-buffer");
   print_rule();
   for (const std::uint32_t wait : {1u, 2u, 3u, 4u, 5u, 6u, 8u}) {
-    cpu::SystemConfig cfg = system_for(isa::Encoding::b32,
-                                       MemRegime::slow_flash);
-    cfg.flash.line_access_cycles = wait;
+    cpu::SystemBuilder cfg =
+        system_for(isa::Encoding::b32, MemRegime::slow_flash).flash_wait(wait);
     const std::uint64_t c_movw = run(prog_movw, cfg);
     const std::uint64_t c_pool = run(prog_pool, cfg);
-    cfg.flash.dual_buffer = true;
-    const std::uint64_t c_dual = run(prog_pool, cfg);
+    const std::uint64_t c_dual = run(prog_pool, cfg.flash_dual_buffer(true));
     std::printf("%-14u %12llu %12llu %11.1f%% %11.1f%%\n", wait,
                 static_cast<unsigned long long>(c_movw),
                 static_cast<unsigned long long>(c_pool),
@@ -94,16 +93,14 @@ int main() {
               "vs movw", "note");
   print_rule();
   for (const std::uint32_t wait : {4u, 8u}) {
-    cpu::SystemConfig cfg = system_for(isa::Encoding::b32,
-                                       MemRegime::slow_flash);
-    cfg.flash.line_access_cycles = wait;
+    const cpu::SystemBuilder cfg =
+        system_for(isa::Encoding::b32, MemRegime::slow_flash).flash_wait(wait);
     mem::CacheConfig icache;
     icache.line_bytes = 16;
     icache.num_sets = 64;
     icache.ways = 2;
-    cfg.icache = icache;
-    const std::uint64_t c_cached = run(prog_pool, cfg);
-    cfg.icache.reset();
+    const std::uint64_t c_cached =
+        run(prog_pool, cpu::SystemBuilder(cfg).icache(icache));
     const std::uint64_t c_movw = run(prog_movw, cfg);
     std::printf("%-14u %12llu %11.1f%% %s\n", wait,
                 static_cast<unsigned long long>(c_cached),

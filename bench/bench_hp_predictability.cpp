@@ -47,9 +47,9 @@ LatencyStats ldm_latency(bool restartable, int samples) {
   LatencyStats stats;
   support::Rng256 rng(7);
   for (int s = 0; s < samples; ++s) {
-    cpu::SystemConfig cfg = system_for(Encoding::w32, MemRegime::slow_flash);
-    cfg.flash.line_access_cycles = 10;
-    cfg.core.restartable_ldm = restartable;
+    cpu::SystemBuilder cfg = system_for(Encoding::w32, MemRegime::slow_flash)
+                                 .flash_wait(10)
+                                 .restartable_ldm(restartable);
     cpu::System sys(cfg);
     sys.load(image);
     cpu::ClassicVic::Config vc;
@@ -126,7 +126,7 @@ int main() {
     a.pool();
     const Image image = a.assemble();
 
-    cpu::SystemConfig cfg = system_for(Encoding::w32, MemRegime::zero_wait);
+    cpu::SystemBuilder cfg = system_for(Encoding::w32, MemRegime::zero_wait);
     cpu::System sys(cfg);
     sys.load(image);
     cpu::ClassicVic::Config vc;

@@ -33,29 +33,25 @@ Outcome run_rate(double upsets_per_mcycle, bool ft) {
   const kir::LoweredProgram prog =
       kir::lower_program({&f}, isa::Encoding::w32, cpu::kFlashBase);
 
-  cpu::SystemConfig cfg = system_for(isa::Encoding::w32,
-                                     MemRegime::slow_flash);
   mem::CacheConfig icache;
   icache.line_bytes = 16;
   icache.num_sets = 32;
   icache.ways = 2;
   icache.fault_tolerant = ft;
-  cfg.icache = icache;
   mem::CacheConfig dcache = icache;
   dcache.cacheable_base = cpu::kFlashBase;
   dcache.cacheable_limit = cpu::kSramBase + 0x10000;
-  cfg.dcache = dcache;
-  cpu::System sys(cfg);
-  sys.load(prog.image);
+  const cpu::SystemBuilder cfg =
+      system_for(isa::Encoding::w32, MemRegime::slow_flash)
+          .icache(icache)
+          .dcache(dcache);
 
+  // The injected system layers the fault injector on top of the same
+  // description; the clean reference below builds from `cfg` untouched.
   mem::FaultInjectorConfig fic;
   fic.upsets_per_mcycle = upsets_per_mcycle;
-  mem::FaultInjector injector(fic, support::Rng256(123));
-  injector.attach(*sys.icache());
-  injector.attach(*sys.dcache());
-  sys.core().set_cycle_hook([&injector](std::uint64_t now) {
-    (void)injector.advance_to(now);
-  });
+  cpu::System sys(cpu::SystemBuilder(cfg).fault_injector(fic, 123));
+  sys.load(prog.image);
 
   // Baseline cycles with no injection for the overhead metric.
   support::Rng256 rng(55);

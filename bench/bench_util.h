@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cpu/profiles.h"
 #include "cpu/system.h"
 #include "kir/lower.h"
 #include "workloads/autoindy.h"
@@ -26,14 +27,10 @@ enum class MemRegime {
   slow_flash,  // embedded flash behind a fast core (§2.2's condition)
 };
 
-inline cpu::SystemConfig system_for(isa::Encoding e, MemRegime regime) {
-  cpu::SystemConfig c;
-  c.core.encoding = e;
-  c.core.timings = e == isa::Encoding::b32 ? cpu::CoreTimings::modern_mcu()
-                                           : cpu::CoreTimings::legacy_hp();
-  c.flash.size_bytes = 128 * 1024;
-  c.flash.line_access_cycles = regime == MemRegime::zero_wait ? 1 : 5;
-  return c;
+inline cpu::SystemBuilder system_for(isa::Encoding e, MemRegime regime) {
+  return cpu::profiles::for_encoding(e)
+      .flash_size(128 * 1024)
+      .flash_wait(regime == MemRegime::zero_wait ? 1 : 5);
 }
 
 struct KernelScore {

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "cpu/ivc.h"
+#include "cpu/profiles.h"
 #include "cpu/system.h"
 #include "isa/assembler.h"
 
@@ -52,30 +53,27 @@ int main() {
   a.pool();
   const Image image = a.assemble();
 
-  cpu::SystemConfig cfg;
-  cfg.core.encoding = Encoding::b32;
-  cfg.core.timings = cpu::CoreTimings::modern_mcu();
-  cfg.flash.size_bytes = 64 * 1024;
-  cfg.bitband_bytes = 0x100;
-  cpu::System sys(cfg);
-  sys.load(image);
-
   cpu::Ivc::Config ic;
   ic.vector_table = cpu::kSramBase + 0x40;
   ic.lines = 2;
-  cpu::Ivc ivc(ic);
+  cpu::System sys(cpu::profiles::modern_mcu()
+                      .flash_size(64 * 1024)
+                      .bitband(0x100)
+                      .ivc(ic));
+  sys.load(image);
+
+  cpu::Ivc& ivc = *sys.ivc();
   const std::uint32_t v = a.label_address(isr);
   const std::uint8_t vb[4] = {
       static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
       static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
   ACES_CHECK(sys.bus().load_image(ic.vector_table + 4, vb, 4));
   ivc.enable_line(1, 16);
-  sys.core().set_interrupt_controller(&ivc);
   sys.core().reset(a.label_address(entry), sys.initial_sp());
 
   // Interrupt storm: raise line 1 every ~150 cycles.
   std::uint64_t next = 100;
-  sys.core().set_cycle_hook([&](std::uint64_t now) {
+  sys.set_cycle_hook([&](std::uint64_t now) {
     if (now >= next) {
       ivc.raise(1, now);
       next = now + 150;

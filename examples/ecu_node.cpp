@@ -1,0 +1,223 @@
+// A complete ECU node: CAN-interrupt-driven guest program on a declarative
+// system.
+//
+// This is where the paper's single-ECU sections (§2-§3: the core, its
+// memories, the interrupt controller) and its network section (§4: CAN)
+// meet in one executable scenario. A wheel-speed sensor node broadcasts
+// frames over an arbitrated CAN bus; a modern-MCU ECU, described with
+// SystemBuilder, maps a CAN controller at the peripheral base and services
+// every frame in a compiled interrupt handler:
+//
+//   sensor node ──CAN──▶ controller RX FIFO ──IRQ line──▶ Ivc ──▶ guest ISR
+//                          ▲                                        │
+//                          └───────── TX mailbox ◀── response ──────┘
+//
+// The ISR reads the wheel-speed sample from the RX registers, folds it
+// into a running average in SRAM, and answers every 4th sample with a
+// status frame that the sensor-side node receives — guest-initiated TX
+// through the same register file. The main loop just counts; all the work
+// is interrupt-driven, as an OSEK basic task would be.
+//
+//   $ ./examples/ecu_node
+#include <cstdio>
+
+#include "can/controller.h"
+#include "cpu/ivc.h"
+#include "cpu/profiles.h"
+#include "cpu/system.h"
+#include "isa/assembler.h"
+#include "sim/event_queue.h"
+
+using namespace aces;
+using namespace aces::isa;
+using Ctl = can::CanController;
+
+namespace {
+
+constexpr std::uint32_t kVectors = cpu::kSramBase + 0x40;
+constexpr std::uint32_t kSampleCount = cpu::kSramBase + 0x100;
+constexpr std::uint32_t kSpeedAccum = cpu::kSramBase + 0x104;
+constexpr std::uint32_t kLastSpeed = cpu::kSramBase + 0x108;
+constexpr unsigned kRxLine = 1;
+
+constexpr std::uint32_t kSensorId = 0x120;  // wheel-speed broadcast
+constexpr std::uint32_t kStatusId = 0x310;  // ECU status response
+
+constexpr std::uint64_t kCoreHz = 8'000'000;  // 8 MHz MCU
+constexpr sim::SimTime ns_of_cycle(std::uint64_t cycles) {
+  return static_cast<sim::SimTime>(cycles * (1'000'000'000 / kCoreHz));
+}
+
+// The guest program, hand-assembled B32. Registers: r0 = controller base.
+Image build_guest(Assembler& a, Label* entry, Label* isr) {
+  *entry = a.bound_label();
+  const Label top = a.bound_label();
+  a.ins(ins_rri(Op::add, r6, r6, 1, SetFlags::any));  // idle counter
+  a.b(top);
+  a.pool();
+
+  *isr = a.bound_label();
+  a.load_literal(r0, cpu::kPeriphBase);
+  // Pull the sample out of the FIFO head.
+  a.ins(ins_ldst_imm(Op::ldr, r1, r0, Ctl::kRxData0));  // wheel speed
+  a.load_literal(r3, kSampleCount);
+  // ++samples; accum += speed; last = speed.
+  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
+  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
+  a.ins(ins_ldst_imm(Op::ldr, r12, r3, 4));
+  a.ins(ins_rrr(Op::add, r12, r12, r1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r3, 4));
+  a.ins(ins_ldst_imm(Op::str, r1, r3, 8));
+  // Retire the frame before any reply: pop, ack.
+  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
+  // Every 4th sample (count & 3 == 0): transmit a status frame carrying
+  // the current accumulated speed.
+  a.ins(ins_rri(Op::and_, r12, r2, 3, SetFlags::yes));
+  const Label done = a.new_label();
+  a.b(done, Cond::ne);
+  a.load_literal(r12, kStatusId);
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxId));
+  a.ins(ins_mov_imm(r12, 4, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxDlc));
+  a.ins(ins_ldst_imm(Op::ldr, r12, r3, 4));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxData0));
+  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxCmd));
+  a.bind(done);
+  a.ins(ins_ret());
+  a.pool();
+  return a.assemble();
+}
+
+}  // namespace
+
+int main() {
+  // --- the network ---
+  sim::EventQueue queue;
+  can::CanBus bus(queue, 500'000);  // 500 kbps powertrain bus
+
+  Ctl::Config cc;
+  cc.rx_line = kRxLine;
+  Ctl controller(bus, "ecu", cc);
+
+  // Sensor side: a plain bus node driven directly from the event queue.
+  const can::NodeId sensor = bus.attach_node("wheel-sensor");
+  int status_frames_seen = 0;
+  std::uint32_t last_status = 0;
+  bus.subscribe(sensor, [&](const can::CanFrame& f, sim::SimTime) {
+    if (f.id == kStatusId) {
+      ++status_frames_seen;
+      last_status = static_cast<std::uint32_t>(f.data[0]) |
+                    (static_cast<std::uint32_t>(f.data[1]) << 8) |
+                    (static_cast<std::uint32_t>(f.data[2]) << 16) |
+                    (static_cast<std::uint32_t>(f.data[3]) << 24);
+    }
+  });
+
+  // --- the ECU ---
+  Assembler a(Encoding::b32, cpu::kFlashBase);
+  Label entry, isr;
+  const Image image = build_guest(a, &entry, &isr);
+
+  cpu::Ivc::Config ic;
+  ic.vector_table = kVectors;
+  ic.lines = 4;
+  cpu::System sys(cpu::profiles::modern_mcu()
+                      .flash_size(64 * 1024)
+                      .device(cpu::kPeriphBase, controller)
+                      .ivc(ic));
+  sys.load(image);
+
+  const std::uint32_t v = a.label_address(isr);
+  const std::uint8_t vb[4] = {
+      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  ACES_CHECK(sys.bus().load_image(kVectors + 4 * kRxLine, vb, 4));
+  sys.ivc()->enable_line(kRxLine, 32);
+
+  // Wire the controller's RX line into the system's interrupt controller
+  // and bridge the two clock domains: every guest cycle advances bus time.
+  controller.connect_irq(
+      [&sys](unsigned line) { sys.ivc()->raise(line, sys.core().cycles()); },
+      [&sys](unsigned line) { sys.ivc()->clear(line); });
+  sys.set_cycle_hook(
+      [&queue](std::uint64_t now) { queue.run_until(ns_of_cycle(now)); });
+
+  // Boot code would set RXIE; the host pokes it through the bus instead.
+  ACES_CHECK(
+      sys.bus().write(cpu::kPeriphBase + Ctl::kCtrl, 4, Ctl::kCtrlRxie, 0)
+          .ok());
+
+  // The sensor broadcasts a decaying wheel-speed ramp every 2 ms.
+  constexpr int kSamples = 16;
+  for (int k = 0; k < kSamples; ++k) {
+    queue.schedule_at((k + 1) * 2 * sim::kMillisecond, [&bus, sensor, k] {
+      can::CanFrame f;
+      f.id = kSensorId;
+      f.dlc = 4;
+      const std::uint32_t speed = 1200 - 40 * static_cast<std::uint32_t>(k);
+      f.data[0] = static_cast<std::uint8_t>(speed);
+      f.data[1] = static_cast<std::uint8_t>(speed >> 8);
+      bus.send(sensor, f);
+    });
+  }
+
+  sys.core().reset(a.label_address(entry), sys.initial_sp());
+  std::uint64_t steps = 0;
+  while (sys.bus().read(kSampleCount, 4, mem::Access::read, 0).value <
+             kSamples &&
+         steps < 5'000'000) {
+    (void)sys.core().step();
+    ++steps;
+  }
+  for (int k = 0; k < 5'000; ++k) {
+    (void)sys.core().step();  // let the final ISR and its TX frame drain
+  }
+
+  const std::uint32_t samples =
+      sys.bus().read(kSampleCount, 4, mem::Access::read, 0).value;
+  const std::uint32_t accum =
+      sys.bus().read(kSpeedAccum, 4, mem::Access::read, 0).value;
+  const std::uint32_t last =
+      sys.bus().read(kLastSpeed, 4, mem::Access::read, 0).value;
+
+  std::printf("ECU node: CAN-interrupt-driven wheel-speed consumer\n\n");
+  std::printf("  bus                  : 500 kbps, MCU clock %llu Hz\n",
+              static_cast<unsigned long long>(kCoreHz));
+  std::printf("  sensor frames sent   : %d (id %#x, every 2 ms)\n", kSamples,
+              kSensorId);
+  std::printf("  ISR entries          : %llu\n",
+              static_cast<unsigned long long>(sys.ivc()->stats().entries));
+  std::printf("  samples consumed     : %u\n", samples);
+  std::printf("  last wheel speed     : %u\n", last);
+  std::printf("  accumulated speed    : %u\n", accum);
+  std::printf("  status frames heard  : %d (id %#x, every 4th sample)\n",
+              status_frames_seen, kStatusId);
+  std::printf("  last status payload  : %u\n", last_status);
+  std::printf("  main-loop iterations : %u (all real work in the ISR)\n",
+              sys.core().reg(r6));
+
+  // Worst-case ISR entry latency, the Figure 4 quantity, now measured on
+  // real traffic instead of a synthetic raise.
+  std::uint64_t worst = 0;
+  for (const std::uint64_t l : sys.ivc()->latencies(kRxLine)) {
+    worst = worst > l ? worst : l;
+  }
+  std::printf("  worst entry latency  : %llu cycles\n",
+              static_cast<unsigned long long>(worst));
+
+  // The run is self-checking: every sample serviced, every 4th answered.
+  std::uint32_t expected_accum = 0;
+  for (int k = 0; k < kSamples; ++k) {
+    expected_accum += 1200 - 40 * static_cast<std::uint32_t>(k);
+  }
+  ACES_CHECK(samples == kSamples);
+  ACES_CHECK(accum == expected_accum);
+  ACES_CHECK(status_frames_seen == kSamples / 4);
+  std::printf("\nall checks passed: RX interrupt path and guest-initiated "
+              "TX are live.\n");
+  return 0;
+}

@@ -10,6 +10,7 @@
 //   $ ./examples/engine_control
 #include <cstdio>
 
+#include "cpu/profiles.h"
 #include "cpu/system.h"
 #include "cpu/vic.h"
 #include "isa/assembler.h"
@@ -53,25 +54,22 @@ JitterReport run(bool restartable, unsigned rpm, int teeth) {
   a.pool();
   const Image image = a.assemble();
 
-  cpu::SystemConfig cfg;
-  cfg.core.encoding = Encoding::w32;
-  cfg.core.timings = cpu::CoreTimings::legacy_hp();
-  cfg.core.restartable_ldm = restartable;
-  cfg.flash.size_bytes = 128 * 1024;
-  cfg.flash.line_access_cycles = 8;
-  cpu::System sys(cfg);
-  sys.load(image);
   cpu::ClassicVic::Config vc;
   vc.irq_handler = a.label_address(isr);
-  cpu::ClassicVic vic(vc);
-  sys.core().set_interrupt_controller(&vic);
+  cpu::System sys(cpu::profiles::legacy_hp()
+                      .restartable_ldm(restartable)
+                      .flash_size(128 * 1024)
+                      .flash_wait(8)
+                      .vic(vc));
+  sys.load(image);
+  cpu::ClassicVic& vic = *sys.vic();
   sys.core().reset(a.label_address(entry), sys.initial_sp());
 
   // Tooth period in core cycles at 100 MHz, 60-tooth wheel.
   const std::uint64_t tooth_cycles = 100'000'000ull * 60 / (rpm * 60 * 60);
   std::uint64_t next_tooth = 500;
   int fired = 0;
-  sys.core().set_cycle_hook([&](std::uint64_t now) {
+  sys.set_cycle_hook([&](std::uint64_t now) {
     if (fired < teeth && now >= next_tooth) {
       vic.raise(cpu::ClassicVic::kIrq, now);
       next_tooth += tooth_cycles;

@@ -7,6 +7,7 @@
 //   $ ./examples/quickstart
 #include <cstdio>
 
+#include "cpu/profiles.h"
 #include "cpu/system.h"
 #include "isa/disasm.h"
 #include "kir/kir.h"
@@ -34,12 +35,7 @@ int main() {
     const kir::LoweredProgram prog =
         kir::lower_program({&f}, enc, cpu::kFlashBase);
 
-    cpu::SystemConfig cfg;
-    cfg.core.encoding = enc;
-    cfg.core.timings = enc == isa::Encoding::b32
-                           ? cpu::CoreTimings::modern_mcu()
-                           : cpu::CoreTimings::legacy_hp();
-    cpu::System sys(cfg);
+    cpu::System sys(cpu::profiles::for_encoding(enc));
     sys.load(prog.image);
 
     sys.core().reset(prog.entry_of("scale"), sys.initial_sp());

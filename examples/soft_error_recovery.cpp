@@ -9,6 +9,7 @@
 //   $ ./examples/soft_error_recovery
 #include <cstdio>
 
+#include "cpu/profiles.h"
 #include "cpu/swd.h"
 #include "cpu/system.h"
 #include "kir/lower.h"
@@ -24,25 +25,21 @@ int main() {
   const kir::LoweredProgram prog =
       kir::lower_program({&f}, isa::Encoding::w32, cpu::kFlashBase);
 
-  cpu::SystemConfig cfg;
-  cfg.core.encoding = isa::Encoding::w32;
-  cfg.core.timings = cpu::CoreTimings::legacy_hp();
-  cfg.flash.size_bytes = 128 * 1024;
   mem::CacheConfig cache;
   cache.line_bytes = 16;
   cache.num_sets = 32;
   cache.ways = 2;
   cache.fault_tolerant = true;
-  cfg.icache = cache;
-  cpu::System sys(cfg);
-  sys.load(prog.image);
-
   mem::FaultInjectorConfig fic;
   fic.upsets_per_mcycle = 2000.0;  // grossly accelerated flux
-  mem::FaultInjector injector(fic, support::Rng256(2));
-  injector.attach(*sys.icache());
-  sys.core().set_cycle_hook(
-      [&injector](std::uint64_t now) { (void)injector.advance_to(now); });
+  // The injector is part of the machine description: the built system
+  // attaches it to the cache and advances it from the cycle hook itself.
+  cpu::System sys(cpu::profiles::legacy_hp()
+                      .flash_size(128 * 1024)
+                      .icache(cache)
+                      .fault_injector(fic, 2));
+  sys.load(prog.image);
+  const mem::FaultInjector& injector = *sys.fault_injector();
 
   std::printf("running crc16 under accelerated soft-error flux (FT cache "
               "on)...\n");

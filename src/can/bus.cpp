@@ -25,6 +25,11 @@ void CanBus::subscribe(NodeId node, RxHandler handler) {
       std::move(handler));
 }
 
+void CanBus::subscribe_tx(NodeId node, TxHandler handler) {
+  nodes_[static_cast<std::size_t>(node)].tx_handlers.push_back(
+      std::move(handler));
+}
+
 void CanBus::send(NodeId node, const CanFrame& frame) {
   Pending p;
   p.frame = frame;
@@ -74,7 +79,11 @@ void CanBus::try_start() {
     const SimTime latency = queue_.now() - pending.queued_at;
     s.worst_latency = std::max(s.worst_latency, latency);
     s.total_latency += latency;
-    // Deliver to every node except the transmitter.
+    // Transmit-complete on the sender, then deliver to every other node.
+    for (const TxHandler& h :
+         nodes_[static_cast<std::size_t>(winner)].tx_handlers) {
+      h(pending.frame, queue_.now());
+    }
     for (std::size_t k = 0; k < nodes_.size(); ++k) {
       if (static_cast<NodeId>(k) == winner) {
         continue;
@@ -83,7 +92,11 @@ void CanBus::try_start() {
         h(pending.frame, queue_.now());
       }
     }
-    try_start();
+    // A handler may have sent synchronously (mailbox chaining on
+    // transmit-complete) and already restarted arbitration.
+    if (!busy_) {
+      try_start();
+    }
   });
 }
 

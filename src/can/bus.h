@@ -39,11 +39,15 @@ class CanBus {
  public:
   // Delivery callback: (receiving node, frame, end-of-frame time).
   using RxHandler = std::function<void(const CanFrame&, sim::SimTime)>;
+  // Transmit-complete callback, fired on the sending node at end of frame
+  // (after arbitration and any blocking, i.e. at true bus-delivery time).
+  using TxHandler = std::function<void(const CanFrame&, sim::SimTime)>;
 
   CanBus(sim::EventQueue& queue, std::uint32_t bitrate_bps);
 
   NodeId attach_node(std::string name);
   void subscribe(NodeId node, RxHandler handler);
+  void subscribe_tx(NodeId node, TxHandler handler);
 
   // Queues a frame for transmission from `node`. Queues are priority-
   // ordered by identifier (priority-queued mailboxes), matching the
@@ -73,6 +77,7 @@ class CanBus {
     std::string name;
     std::deque<Pending> queue;
     std::vector<RxHandler> handlers;
+    std::vector<TxHandler> tx_handlers;
   };
 
   void try_start();  // arbitration when idle

@@ -1,0 +1,202 @@
+#include "can/controller.h"
+
+#include "support/check.h"
+
+namespace aces::can {
+
+namespace {
+
+[[nodiscard]] mem::MemResult reg_fault(mem::Fault kind) {
+  mem::MemResult r;
+  r.fault = kind;
+  return r;
+}
+
+}  // namespace
+
+CanController::CanController(CanBus& bus, std::string node_name, Config config)
+    : name_("can:" + node_name), config_(config), bus_(bus) {
+  ACES_CHECK_MSG(config_.rx_fifo_depth > 0, "RX FIFO needs at least one slot");
+  node_ = bus_.attach_node(std::move(node_name));
+  bus_.subscribe(node_,
+                 [this](const CanFrame& f, sim::SimTime) { on_rx(f); });
+  bus_.subscribe_tx(node_,
+                    [this](const CanFrame& f, sim::SimTime) { on_tx_done(f); });
+}
+
+void CanController::connect_irq(IrqLineFn raise, IrqLineFn clear) {
+  irq_raise_ = std::move(raise);
+  irq_clear_ = std::move(clear);
+}
+
+void CanController::raise_line(unsigned line) {
+  ++stats_.irq_raises;
+  if (irq_raise_) {
+    irq_raise_(line);
+  }
+}
+
+void CanController::on_rx(const CanFrame& frame) {
+  if (rx_fifo_.size() >= config_.rx_fifo_depth) {
+    ++stats_.frames_dropped;
+    rx_overflowed_ = true;
+    irq_status_ |= kIrqRxOvr;
+    if ((ctrl_ & kCtrlRxie) != 0) {
+      raise_line(config_.rx_line);
+    }
+    return;
+  }
+  rx_fifo_.push_back(frame);
+  ++stats_.frames_received;
+  irq_status_ |= kIrqRx;
+  if ((ctrl_ & kCtrlRxie) != 0) {
+    raise_line(config_.rx_line);
+  }
+}
+
+void CanController::on_tx_done(const CanFrame&) {
+  if (tx_in_flight_ > 0) {
+    --tx_in_flight_;
+  }
+  ++stats_.frames_transmitted;
+  irq_status_ |= kIrqTxDone;
+  if ((ctrl_ & kCtrlTxie) != 0) {
+    raise_line(config_.tx_line);
+  }
+}
+
+std::uint32_t CanController::status_bits() const {
+  std::uint32_t s = 0;
+  if (!rx_fifo_.empty()) {
+    s |= kStatusRxne;
+  }
+  if (tx_in_flight_ > 0) {
+    s |= kStatusTxBusy;
+  }
+  if (rx_overflowed_) {
+    s |= kStatusRxOvr;
+  }
+  return s;
+}
+
+std::uint32_t CanController::pack_data(const std::array<std::uint8_t, 8>& data,
+                                       unsigned word) {
+  std::uint32_t v = 0;
+  for (unsigned k = 0; k < 4; ++k) {
+    v |= static_cast<std::uint32_t>(data[4 * word + k]) << (8 * k);
+  }
+  return v;
+}
+
+void CanController::unpack_data(std::array<std::uint8_t, 8>& data,
+                                unsigned word, std::uint32_t value) {
+  for (unsigned k = 0; k < 4; ++k) {
+    data[4 * word + k] = static_cast<std::uint8_t>(value >> (8 * k));
+  }
+}
+
+mem::MemResult CanController::read(std::uint32_t addr, unsigned size,
+                                   mem::Access kind, std::uint64_t) {
+  if (size != 4 || kind == mem::Access::fetch) {
+    // Word-register file; no code execution from a peripheral.
+    return reg_fault(mem::Fault::misaligned);
+  }
+  mem::MemResult r;
+  r.cycles = config_.access_cycles;
+  switch (addr) {
+    case kCtrl: r.value = ctrl_; break;
+    case kStatus: r.value = status_bits(); break;
+    case kTxId: r.value = tx_frame_.id; break;
+    case kTxDlc: r.value = tx_frame_.dlc; break;
+    case kTxData0: r.value = pack_data(tx_frame_.data, 0); break;
+    case kTxData1: r.value = pack_data(tx_frame_.data, 1); break;
+    case kRxId:
+      r.value = rx_fifo_.empty() ? 0 : rx_fifo_.front().id;
+      break;
+    case kRxDlc:
+      r.value = rx_fifo_.empty() ? 0 : rx_fifo_.front().dlc;
+      break;
+    case kRxData0:
+      r.value = rx_fifo_.empty() ? 0 : pack_data(rx_fifo_.front().data, 0);
+      break;
+    case kRxData1:
+      r.value = rx_fifo_.empty() ? 0 : pack_data(rx_fifo_.front().data, 1);
+      break;
+    case kIrq: r.value = irq_status_; break;
+    case kTxCmd:
+    case kRxPop:
+    case kIrqAck:
+      r.value = 0;  // write-only registers read as zero
+      break;
+    default:
+      return reg_fault(mem::Fault::unmapped);  // reserved offset
+  }
+  return r;
+}
+
+mem::MemResult CanController::write(std::uint32_t addr, unsigned size,
+                                    std::uint32_t value, std::uint64_t) {
+  if (size != 4) {
+    return reg_fault(mem::Fault::misaligned);
+  }
+  mem::MemResult r;
+  r.cycles = config_.access_cycles;
+  switch (addr) {
+    case kCtrl:
+      ctrl_ = value & (kCtrlRxie | kCtrlTxie);
+      break;
+    case kTxId:
+      tx_frame_.id = value & 0x7FFu;  // 11-bit standard identifier
+      break;
+    case kTxDlc:
+      tx_frame_.dlc = value > 8 ? 8 : value;
+      break;
+    case kTxData0:
+      unpack_data(tx_frame_.data, 0, value);
+      break;
+    case kTxData1:
+      unpack_data(tx_frame_.data, 1, value);
+      break;
+    case kTxCmd:
+      if ((value & 1u) != 0) {
+        ++tx_in_flight_;
+        ++stats_.frames_queued;
+        bus_.send(node_, tx_frame_);
+      }
+      break;
+    case kRxPop:
+      if ((value & 1u) != 0 && !rx_fifo_.empty()) {
+        rx_fifo_.pop_front();
+        if (rx_fifo_.empty()) {
+          irq_status_ &= ~kIrqRx;
+          if (irq_clear_) {
+            irq_clear_(config_.rx_line);
+          }
+        } else if ((ctrl_ & kCtrlRxie) != 0) {
+          // More traffic behind the popped frame: re-arm the line so a
+          // one-frame-per-entry handler is re-entered.
+          irq_status_ |= kIrqRx;
+          raise_line(config_.rx_line);
+        }
+      }
+      break;
+    case kIrqAck:
+      irq_status_ &= ~value;
+      if ((value & kIrqRxOvr) != 0) {
+        rx_overflowed_ = false;
+      }
+      break;
+    case kStatus:
+    case kRxId:
+    case kRxDlc:
+    case kRxData0:
+    case kRxData1:
+    case kIrq:
+      break;  // read-only registers ignore writes
+    default:
+      return reg_fault(mem::Fault::unmapped);  // reserved offset
+  }
+  return r;
+}
+
+}  // namespace aces::can

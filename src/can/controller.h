@@ -1,0 +1,154 @@
+// Memory-mapped CAN controller: the bridge between the CPU world and the
+// network world.
+//
+// The controller is a mem::Device a System can map anywhere (by convention
+// at cpu::kPeriphBase) and, on the network side, one node of a can::CanBus.
+// Guest programs talk to it through a small mailbox register file and get
+// RX / TX-complete interrupt lines raised into whatever interrupt
+// controller the host wires up — the paper's single-ECU and distributed
+// sections meet here: a compiled ISR servicing real arbitrated bus traffic.
+//
+// Register map (word registers, 32-bit naturally-aligned access only):
+//   0x00 CTRL     rw  bit0 RXIE (RX interrupt enable)
+//                     bit1 TXIE (TX-complete interrupt enable)
+//   0x04 STATUS   ro  bit0 RXNE (RX FIFO non-empty)
+//                     bit1 TXBUSY (frames queued, not yet on the wire)
+//                     bit2 RXOVR (RX FIFO overflowed; cleared via IRQACK)
+//   0x08 TXID     rw  11-bit identifier of the frame being composed
+//   0x0C TXDLC    rw  data length 0..8
+//   0x10 TXDATA0  rw  data bytes 0-3, little-endian
+//   0x14 TXDATA1  rw  data bytes 4-7
+//   0x18 TXCMD    wo  write 1: queue the composed frame for transmission
+//   0x1C RXID     ro  identifier of the RX FIFO head
+//   0x20 RXDLC    ro  data length of the head
+//   0x24 RXDATA0  ro  head data bytes 0-3
+//   0x28 RXDATA1  ro  head data bytes 4-7
+//   0x2C RXPOP    wo  write 1: pop the FIFO head
+//   0x30 IRQ      ro  bit0 RX pending, bit1 TX done, bit2 RX overflow
+//   0x34 IRQACK   wo  write-1-to-clear IRQ bits
+//
+// Interrupt protocol: the RX line is raised when a frame arrives and
+// re-raised by RXPOP while frames remain, so a handler that pops one frame
+// per entry never strands traffic; draining the FIFO in one entry also
+// works. The TX line is raised once per frame that completes arbitration
+// and transmission.
+//
+// Clock domains: bus traffic happens in sim time (ns), register access in
+// core cycles. The controller never converts between them — it reacts to
+// whichever side calls it, and the host's cycle hook advancing the event
+// queue is what interleaves the two (see examples/ecu_node.cpp).
+#ifndef ACES_CAN_CONTROLLER_H
+#define ACES_CAN_CONTROLLER_H
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "can/bus.h"
+#include "mem/device.h"
+
+namespace aces::can {
+
+class CanController final : public mem::Device {
+ public:
+  // Register offsets (public: guest-side code and tests share them).
+  static constexpr std::uint32_t kCtrl = 0x00;
+  static constexpr std::uint32_t kStatus = 0x04;
+  static constexpr std::uint32_t kTxId = 0x08;
+  static constexpr std::uint32_t kTxDlc = 0x0C;
+  static constexpr std::uint32_t kTxData0 = 0x10;
+  static constexpr std::uint32_t kTxData1 = 0x14;
+  static constexpr std::uint32_t kTxCmd = 0x18;
+  static constexpr std::uint32_t kRxId = 0x1C;
+  static constexpr std::uint32_t kRxDlc = 0x20;
+  static constexpr std::uint32_t kRxData0 = 0x24;
+  static constexpr std::uint32_t kRxData1 = 0x28;
+  static constexpr std::uint32_t kRxPop = 0x2C;
+  static constexpr std::uint32_t kIrq = 0x30;
+  static constexpr std::uint32_t kIrqAck = 0x34;
+  static constexpr std::uint32_t kRegFileBytes = 0x40;
+
+  // CTRL bits.
+  static constexpr std::uint32_t kCtrlRxie = 1u << 0;
+  static constexpr std::uint32_t kCtrlTxie = 1u << 1;
+  // STATUS bits.
+  static constexpr std::uint32_t kStatusRxne = 1u << 0;
+  static constexpr std::uint32_t kStatusTxBusy = 1u << 1;
+  static constexpr std::uint32_t kStatusRxOvr = 1u << 2;
+  // IRQ bits.
+  static constexpr std::uint32_t kIrqRx = 1u << 0;
+  static constexpr std::uint32_t kIrqTxDone = 1u << 1;
+  static constexpr std::uint32_t kIrqRxOvr = 1u << 2;
+
+  struct Config {
+    unsigned rx_fifo_depth = 8;
+    unsigned rx_line = 0;          // interrupt line for RX traffic
+    unsigned tx_line = 1;          // interrupt line for TX completion
+    std::uint32_t access_cycles = 1;  // register-file access time
+  };
+
+  // Attaches a new node named `node_name` to `bus` and subscribes it.
+  CanController(CanBus& bus, std::string node_name, Config config);
+
+  // Interrupt wiring: `raise(line)` / `clear(line)` are invoked as frames
+  // arrive and drain. Kept as callbacks so the controller works with any
+  // interrupt scheme (ClassicVic, Ivc, or a test probe) without the can
+  // layer depending on the cpu layer.
+  using IrqLineFn = std::function<void(unsigned line)>;
+  void connect_irq(IrqLineFn raise, IrqLineFn clear);
+
+  // ----- mem::Device -----
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] std::uint32_t size_bytes() const override {
+    return kRegFileBytes;
+  }
+  [[nodiscard]] mem::MemResult read(std::uint32_t addr, unsigned size,
+                                    mem::Access kind,
+                                    std::uint64_t now) override;
+  [[nodiscard]] mem::MemResult write(std::uint32_t addr, unsigned size,
+                                     std::uint32_t value,
+                                     std::uint64_t now) override;
+
+  // ----- host-side probes -----
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] unsigned rx_fifo_depth() const {
+    return static_cast<unsigned>(rx_fifo_.size());
+  }
+  struct Stats {
+    std::uint64_t frames_received = 0;
+    std::uint64_t frames_dropped = 0;   // RX FIFO overflow
+    std::uint64_t frames_queued = 0;    // TXCMD writes
+    std::uint64_t frames_transmitted = 0;
+    std::uint64_t irq_raises = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void on_rx(const CanFrame& frame);
+  void on_tx_done(const CanFrame& frame);
+  void raise_line(unsigned line);
+  [[nodiscard]] std::uint32_t status_bits() const;
+  [[nodiscard]] static std::uint32_t pack_data(
+      const std::array<std::uint8_t, 8>& data, unsigned word);
+  static void unpack_data(std::array<std::uint8_t, 8>& data, unsigned word,
+                          std::uint32_t value);
+
+  std::string name_;
+  Config config_;
+  CanBus& bus_;
+  NodeId node_;
+  IrqLineFn irq_raise_;
+  IrqLineFn irq_clear_;
+
+  std::uint32_t ctrl_ = 0;
+  std::uint32_t irq_status_ = 0;
+  bool rx_overflowed_ = false;
+  CanFrame tx_frame_;        // frame under composition
+  unsigned tx_in_flight_ = 0;
+  std::deque<CanFrame> rx_fifo_;
+  Stats stats_;
+};
+
+}  // namespace aces::can
+
+#endif  // ACES_CAN_CONTROLLER_H

@@ -1,0 +1,42 @@
+#include "cpu/profiles.h"
+
+#include "support/check.h"
+
+namespace aces::cpu::profiles {
+
+SystemBuilder legacy_hp(isa::Encoding enc) {
+  ACES_CHECK_MSG(enc != isa::Encoding::b32,
+                 "the legacy HP core predates the B32 encoding");
+  return SystemBuilder().encoding(enc).timings(CoreTimings::legacy_hp());
+}
+
+SystemBuilder cached_hp(isa::Encoding enc) {
+  return legacy_hp(enc).icache(mem::CacheConfig{});
+}
+
+SystemBuilder modern_mcu() {
+  return SystemBuilder()
+      .encoding(isa::Encoding::b32)
+      .timings(CoreTimings::modern_mcu());
+}
+
+SystemBuilder for_encoding(isa::Encoding enc) {
+  return enc == isa::Encoding::b32 ? modern_mcu() : legacy_hp(enc);
+}
+
+SystemBuilder by_name(std::string_view name) {
+  if (name == "legacy-hp") {
+    return legacy_hp();
+  }
+  if (name == "cached-hp") {
+    return cached_hp();
+  }
+  if (name == "modern-mcu") {
+    return modern_mcu();
+  }
+  ACES_CHECK_MSG(false, "unknown system profile '" + std::string(name) +
+                            "' (expected legacy-hp, cached-hp or modern-mcu)");
+  return SystemBuilder();  // unreachable
+}
+
+}  // namespace aces::cpu::profiles

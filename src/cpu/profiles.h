@@ -1,0 +1,52 @@
+// Named system presets for the paper's three MCU generations.
+//
+// The paper's single-ECU experiments all run on one of three machine
+// configurations; giving them names makes every test/bench/example state
+// which generation it models instead of re-deriving timing tables:
+//
+//   legacy_hp   §2    fetch-bound high-performance core running W32 (or
+//                     N16) straight from embedded flash — the baseline
+//                     whose code-size/performance tension motivates the
+//                     blended encoding.
+//   cached_hp   §3.1  the same core behind an I-cache, restoring
+//                     sequential-fetch performance at the cost of the
+//                     predictability questions §3.1.2 studies.
+//   modern_mcu  §3.2  the microcontroller-era B32 part: hardware-stacking
+//                     interrupt timings and single-cycle memories.
+//
+// Each preset returns a SystemBuilder, so call sites layer their deltas on
+// top: profiles::modern_mcu().flash_size(128 * 1024).bitband(0x1000).
+#ifndef ACES_CPU_PROFILES_H
+#define ACES_CPU_PROFILES_H
+
+#include <array>
+#include <string_view>
+
+#include "cpu/system.h"
+
+namespace aces::cpu::profiles {
+
+// §2: legacy fetch-bound HP core (flash at its default 5-cycle line time).
+[[nodiscard]] SystemBuilder legacy_hp(isa::Encoding enc = isa::Encoding::w32);
+
+// §3.1: legacy HP core with an I-cache over the flash window.
+[[nodiscard]] SystemBuilder cached_hp(isa::Encoding enc = isa::Encoding::w32);
+
+// §3.2: modern B32 microcontroller.
+[[nodiscard]] SystemBuilder modern_mcu();
+
+// The natural profile for an encoding: b32 -> modern_mcu, else legacy_hp.
+[[nodiscard]] SystemBuilder for_encoding(isa::Encoding enc);
+
+// Lookup by name: "legacy-hp", "cached-hp", "modern-mcu". Throws
+// std::logic_error on an unknown name.
+[[nodiscard]] SystemBuilder by_name(std::string_view name);
+
+// The preset names, for CLI/help listings.
+[[nodiscard]] constexpr std::array<std::string_view, 3> names() {
+  return {"legacy-hp", "cached-hp", "modern-mcu"};
+}
+
+}  // namespace aces::cpu::profiles
+
+#endif  // ACES_CPU_PROFILES_H

@@ -1,0 +1,99 @@
+#include "cpu/system.h"
+
+namespace aces::cpu {
+
+System::System(const SystemBuilder& b)
+    : flash_(b.flash_),
+      sram_("sram", b.sram_bytes_),
+      sram_base_(b.sram_base_),
+      iport_direct_(bus_),
+      dport_direct_(bus_) {
+  // Memories.
+  bus_.attach(b.flash_base_, flash_);
+  bus_.attach(b.sram_base_, sram_);
+  if (b.tcm_) {
+    tcm_.emplace(*b.tcm_);
+    bus_.attach(b.tcm_base_, *tcm_);
+  }
+  if (b.bitband_bytes_ != 0) {
+    bitband_.emplace(sram_, b.bitband_bytes_);
+    bus_.attach(b.bitband_base_, *bitband_);
+  }
+
+  // Peripherals: externally-owned devices, then builder-manufactured ones.
+  for (const SystemBuilder::ExternalDevice& d : b.external_) {
+    bus_.attach(d.base, *d.dev);
+  }
+  for (const SystemBuilder::OwnedDevice& d : b.owned_) {
+    std::unique_ptr<mem::Device> dev = d.make();
+    ACES_CHECK_MSG(dev != nullptr, "device factory returned nothing");
+    bus_.attach(d.base, *dev);
+    owned_devices_.push_back(std::move(dev));
+  }
+
+  // Cache layers in front of the bus.
+  if (b.icache_) {
+    mem::CacheConfig c = *b.icache_;
+    c.cacheable_base = b.flash_base_;
+    c.cacheable_limit = b.flash_base_ + b.flash_.size_bytes;
+    icache_.emplace(c, bus_);
+  }
+  if (b.dcache_) {
+    dcache_.emplace(*b.dcache_, bus_);
+  }
+
+  // Protection and fault-injection layers.
+  if (b.mpu_) {
+    mpu_.emplace(*b.mpu_);
+  }
+  if (b.injector_) {
+    injector_.emplace(*b.injector_, support::Rng256(b.injector_seed_));
+    if (icache_) {
+      injector_->attach(*icache_);
+    }
+    if (dcache_) {
+      injector_->attach(*dcache_);
+    }
+    if (tcm_) {
+      injector_->attach(*tcm_);
+    }
+  }
+
+  // Interrupt controller.
+  if (b.vic_) {
+    intc_ = std::make_unique<ClassicVic>(*b.vic_);
+  } else if (b.ivc_) {
+    intc_ = std::make_unique<Ivc>(*b.ivc_);
+  }
+
+  // The core, wired to whichever port stack the description called for.
+  core_.emplace(b.core_,
+                icache_ ? static_cast<mem::MemPort&>(*icache_)
+                        : static_cast<mem::MemPort&>(iport_direct_),
+                dcache_ ? static_cast<mem::MemPort&>(*dcache_)
+                        : static_cast<mem::MemPort&>(dport_direct_));
+  if (mpu_) {
+    core_->set_mpu(&*mpu_);
+  }
+  if (intc_) {
+    core_->set_interrupt_controller(intc_.get());
+  }
+  if (injector_) {
+    core_->set_cycle_hook([this](std::uint64_t now) {
+      (void)injector_->advance_to(now);
+      if (user_hook_) {
+        user_hook_(now);
+      }
+    });
+  }
+}
+
+void System::set_cycle_hook(Core::CycleHook hook) {
+  if (injector_) {
+    user_hook_ = std::move(hook);  // the composing hook is already installed
+  } else {
+    core_->set_cycle_hook(std::move(hook));
+  }
+}
+
+}  // namespace aces::cpu

@@ -1,26 +1,47 @@
-// Canonical single-ECU system wiring.
+// Declarative single-ECU system construction.
 //
-// Address map (loosely mirroring common automotive MCU layouts):
+// Automotive MCUs are *configurations*: the same UC32 core composed with
+// different memories, protection hardware and network peripherals per ECU
+// role. SystemBuilder is the machine-description layer that captures one
+// such configuration as a value — memories at arbitrary bases, optional
+// caches, an MPU, a soft-error injector, an interrupt controller and any
+// number of memory-mapped peripherals — and System is the thin facade that
+// instantiates and wires it.
+//
+// Default address map (every base is overridable per build):
 //   0x0000'0000  flash          (code + literal pools + vector tables)
 //   0x1000'0000  TCM            (optional)
 //   0x2000'0000  SRAM           (data + stacks)
 //   0x2200'0000  bit-band alias (optional, over the first SRAM bytes)
+//   0x4000'0000  peripherals    (by convention; attach anything anywhere)
 //
-// Tests, benches and examples assemble a program, wire a System with the
-// profile under study (legacy W32/N16 core, cached HP core, modern B32
-// MCU), load the image and run. The instruction port can be direct flash
-// (fetch-bound, §2.2 regime) or an I-cache in front of it (§3.1 regime).
+// A builder is a pure description: copyable, reusable, comparable across
+// experiments. Building twice yields two independent systems. The three
+// paper profiles (legacy W32/N16, cached HP, modern B32) live as named
+// presets in cpu/profiles.h.
+//
+//   cpu::System sys(cpu::profiles::modern_mcu()
+//                       .flash_size(128 * 1024)
+//                       .bitband(0x1000)
+//                       .device(0x4000'0000, can_controller));
 #ifndef ACES_CPU_SYSTEM_H
 #define ACES_CPU_SYSTEM_H
 
+#include <functional>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "cpu/core.h"
+#include "cpu/ivc.h"
+#include "cpu/vic.h"
 #include "isa/assembler.h"
 #include "mem/bitband.h"
 #include "mem/bus.h"
 #include "mem/cache.h"
+#include "mem/fault_injector.h"
 #include "mem/flash.h"
+#include "mem/mpu.h"
 #include "mem/sram.h"
 #include "mem/tcm.h"
 
@@ -30,50 +51,148 @@ inline constexpr std::uint32_t kFlashBase = 0x0000'0000u;
 inline constexpr std::uint32_t kTcmBase = 0x1000'0000u;
 inline constexpr std::uint32_t kSramBase = 0x2000'0000u;
 inline constexpr std::uint32_t kBitBandBase = 0x2200'0000u;
+inline constexpr std::uint32_t kPeriphBase = 0x4000'0000u;
 
-struct SystemConfig {
-  CoreConfig core;
-  mem::FlashConfig flash;
-  std::uint32_t sram_bytes = 64 * 1024;
-  std::optional<mem::TcmConfig> tcm;
-  std::optional<mem::CacheConfig> icache;  // over the flash window
-  std::optional<mem::CacheConfig> dcache;  // over flash+sram
-  std::uint32_t bitband_bytes = 0;         // alias over SRAM start (0 = off)
+class System;
+
+class SystemBuilder {
+ public:
+  // Factory for a device the built System will own (keeps the builder
+  // copyable: each build() manufactures a fresh instance).
+  using DeviceFactory = std::function<std::unique_ptr<mem::Device>()>;
+
+  SystemBuilder() = default;
+
+  // ----- core -----
+  SystemBuilder& core(const CoreConfig& c) { core_ = c; return *this; }
+  SystemBuilder& encoding(isa::Encoding e) { core_.encoding = e; return *this; }
+  SystemBuilder& timings(const CoreTimings& t) { core_.timings = t; return *this; }
+  SystemBuilder& restartable_ldm(bool on = true) {
+    core_.restartable_ldm = on;
+    return *this;
+  }
+  SystemBuilder& privileged(bool on) { core_.privileged = on; return *this; }
+
+  // ----- memories -----
+  SystemBuilder& flash(const mem::FlashConfig& c,
+                       std::uint32_t base = kFlashBase) {
+    flash_ = c;
+    flash_base_ = base;
+    return *this;
+  }
+  SystemBuilder& flash_size(std::uint32_t bytes) {
+    flash_.size_bytes = bytes;
+    return *this;
+  }
+  SystemBuilder& flash_wait(std::uint32_t line_access_cycles) {
+    flash_.line_access_cycles = line_access_cycles;
+    return *this;
+  }
+  SystemBuilder& flash_dual_buffer(bool on = true) {
+    flash_.dual_buffer = on;
+    return *this;
+  }
+  SystemBuilder& sram(std::uint32_t bytes, std::uint32_t base = kSramBase) {
+    sram_bytes_ = bytes;
+    sram_base_ = base;
+    return *this;
+  }
+  SystemBuilder& tcm(const mem::TcmConfig& c, std::uint32_t base = kTcmBase) {
+    tcm_ = c;
+    tcm_base_ = base;
+    return *this;
+  }
+  // The I-cache window is clamped to the flash region (instructions only);
+  // the D-cache window is taken from the config verbatim.
+  SystemBuilder& icache(const mem::CacheConfig& c) { icache_ = c; return *this; }
+  SystemBuilder& dcache(const mem::CacheConfig& c) { dcache_ = c; return *this; }
+  SystemBuilder& bitband(std::uint32_t bytes,
+                         std::uint32_t base = kBitBandBase) {
+    bitband_bytes_ = bytes;
+    bitband_base_ = base;
+    return *this;
+  }
+
+  // ----- protection / fault layers -----
+  SystemBuilder& mpu(const mem::MpuConfig& c) { mpu_ = c; return *this; }
+  // The built System owns the injector, attaches every cache/TCM it builds
+  // and advances it from the core's cycle hook — no manual plumbing.
+  SystemBuilder& fault_injector(const mem::FaultInjectorConfig& c,
+                                std::uint64_t seed) {
+    injector_ = c;
+    injector_seed_ = seed;
+    return *this;
+  }
+
+  // ----- peripherals -----
+  // Attaches an externally-owned device (must outlive the built System).
+  SystemBuilder& device(std::uint32_t base, mem::Device& dev) {
+    external_.push_back(ExternalDevice{base, &dev});
+    return *this;
+  }
+  // Attaches a device the System will own; `make` runs once per build().
+  SystemBuilder& device(std::uint32_t base, DeviceFactory make) {
+    owned_.push_back(OwnedDevice{base, std::move(make)});
+    return *this;
+  }
+
+  // ----- interrupt controller (owned by the built System) -----
+  SystemBuilder& vic(const ClassicVic::Config& c) {
+    vic_ = c;
+    ivc_.reset();
+    return *this;
+  }
+  SystemBuilder& ivc(const Ivc::Config& c) {
+    ivc_ = c;
+    vic_.reset();
+    return *this;
+  }
+
+  // Materializes the description (guaranteed copy elision: the System is
+  // constructed in place at the call site, never moved).
+  [[nodiscard]] System build() const;
+
+ private:
+  friend class System;
+
+  struct ExternalDevice {
+    std::uint32_t base = 0;
+    mem::Device* dev = nullptr;
+  };
+  struct OwnedDevice {
+    std::uint32_t base = 0;
+    DeviceFactory make;
+  };
+
+  CoreConfig core_;
+  mem::FlashConfig flash_;
+  std::uint32_t flash_base_ = kFlashBase;
+  std::uint32_t sram_bytes_ = 64 * 1024;
+  std::uint32_t sram_base_ = kSramBase;
+  std::optional<mem::TcmConfig> tcm_;
+  std::uint32_t tcm_base_ = kTcmBase;
+  std::optional<mem::CacheConfig> icache_;
+  std::optional<mem::CacheConfig> dcache_;
+  std::uint32_t bitband_bytes_ = 0;
+  std::uint32_t bitband_base_ = kBitBandBase;
+  std::optional<mem::MpuConfig> mpu_;
+  std::optional<mem::FaultInjectorConfig> injector_;
+  std::uint64_t injector_seed_ = 1;
+  std::vector<ExternalDevice> external_;
+  std::vector<OwnedDevice> owned_;
+  std::optional<ClassicVic::Config> vic_;
+  std::optional<Ivc::Config> ivc_;
 };
 
+// The instantiated machine. Thin facade: owns the devices the builder
+// described, wires them to one core, and exposes load/run conveniences.
+// Pinned in memory (internal wiring holds references into the object).
 class System {
  public:
-  explicit System(const SystemConfig& config)
-      : flash_(config.flash),
-        sram_("sram", config.sram_bytes),
-        iport_direct_(bus_),
-        dport_direct_(bus_) {
-    bus_.attach(kFlashBase, flash_);
-    bus_.attach(kSramBase, sram_);
-    if (config.tcm) {
-      tcm_.emplace(*config.tcm);
-      bus_.attach(kTcmBase, *tcm_);
-    }
-    if (config.bitband_bytes != 0) {
-      bitband_.emplace(sram_, config.bitband_bytes);
-      bus_.attach(kBitBandBase, *bitband_);
-    }
-    if (config.icache) {
-      mem::CacheConfig c = *config.icache;
-      c.cacheable_base = kFlashBase;
-      c.cacheable_limit = kFlashBase + config.flash.size_bytes;
-      icache_.emplace(c, bus_);
-    }
-    if (config.dcache) {
-      mem::CacheConfig c = *config.dcache;
-      dcache_.emplace(c, bus_);
-    }
-    core_.emplace(config.core,
-                  icache_ ? static_cast<mem::MemPort&>(*icache_)
-                          : static_cast<mem::MemPort&>(iport_direct_),
-                  dcache_ ? static_cast<mem::MemPort&>(*dcache_)
-                          : static_cast<mem::MemPort&>(dport_direct_));
-  }
+  explicit System(const SystemBuilder& builder);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
 
   // Loads an assembled image (usually into flash).
   void load(const isa::Image& image) {
@@ -83,10 +202,15 @@ class System {
   }
 
   // Convenience: reset to `entry` with the stack at the top of SRAM, pass
-  // up to four arguments, run, and return r0.
+  // up to four arguments (the UC32 register-argument limit), run, and
+  // return r0.
   std::uint32_t call(std::uint32_t entry,
                      std::initializer_list<std::uint32_t> args = {},
                      std::uint64_t max_insns = 10'000'000) {
+    ACES_CHECK_MSG(args.size() <= 4,
+                   "call() passes arguments in r0-r3; got " +
+                       std::to_string(args.size()) +
+                       " (spill further arguments to memory)");
     core_->reset(entry, initial_sp());
     unsigned k = 0;
     for (const std::uint32_t a : args) {
@@ -100,8 +224,14 @@ class System {
   }
 
   [[nodiscard]] std::uint32_t initial_sp() const {
-    return kSramBase + sram_.size_bytes();
+    return sram_base_ + sram_.size_bytes();
   }
+
+  // Cycle hook that composes with the built-in fault injector: the
+  // injector (if configured) advances first, then `hook` runs. Prefer this
+  // over core().set_cycle_hook(), which would silently disconnect the
+  // injector.
+  void set_cycle_hook(Core::CycleHook hook);
 
   [[nodiscard]] Core& core() { return *core_; }
   [[nodiscard]] mem::Bus& bus() { return bus_; }
@@ -110,19 +240,36 @@ class System {
   [[nodiscard]] mem::Tcm* tcm() { return tcm_ ? &*tcm_ : nullptr; }
   [[nodiscard]] mem::Cache* icache() { return icache_ ? &*icache_ : nullptr; }
   [[nodiscard]] mem::Cache* dcache() { return dcache_ ? &*dcache_ : nullptr; }
+  [[nodiscard]] mem::Mpu* mpu() { return mpu_ ? &*mpu_ : nullptr; }
+  [[nodiscard]] mem::FaultInjector* fault_injector() {
+    return injector_ ? &*injector_ : nullptr;
+  }
+  [[nodiscard]] InterruptController* intc() { return intc_.get(); }
+  [[nodiscard]] ClassicVic* vic() {
+    return dynamic_cast<ClassicVic*>(intc_.get());
+  }
+  [[nodiscard]] Ivc* ivc() { return dynamic_cast<Ivc*>(intc_.get()); }
 
  private:
   mem::Bus bus_;
   mem::Flash flash_;
   mem::Sram sram_;
+  std::uint32_t sram_base_ = kSramBase;
   std::optional<mem::Tcm> tcm_;
   std::optional<mem::BitBandAlias> bitband_;
+  std::vector<std::unique_ptr<mem::Device>> owned_devices_;
   mem::DirectPort iport_direct_;
   mem::DirectPort dport_direct_;
   std::optional<mem::Cache> icache_;
   std::optional<mem::Cache> dcache_;
+  std::optional<mem::Mpu> mpu_;
+  std::optional<mem::FaultInjector> injector_;
+  std::unique_ptr<InterruptController> intc_;
   std::optional<Core> core_;
+  Core::CycleHook user_hook_;
 };
+
+inline System SystemBuilder::build() const { return System(*this); }
 
 }  // namespace aces::cpu
 

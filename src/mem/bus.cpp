@@ -1,33 +1,68 @@
 #include "mem/bus.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "support/check.h"
 
 namespace aces::mem {
 
+namespace {
+
+[[nodiscard]] std::string hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+}  // namespace
+
 void Bus::attach(std::uint32_t base, Device& dev) {
   const std::uint32_t limit = base + dev.size_bytes();
-  ACES_CHECK_MSG(limit > base, "device wraps the address space");
-  for (const Mapping& m : map_) {
-    ACES_CHECK_MSG(limit <= m.base || base >= m.limit,
-                   "overlapping bus mapping for " + std::string(dev.name()));
+  ACES_CHECK_MSG(limit > base, "device '" + std::string(dev.name()) +
+                                   "' wraps the address space at " +
+                                   hex(base));
+  // Insert keeping map_ sorted by base; the neighbors are the only possible
+  // overlaps.
+  const auto pos = std::upper_bound(
+      map_.begin(), map_.end(), base,
+      [](std::uint32_t b, const Mapping& m) { return b < m.base; });
+  if (pos != map_.begin()) {
+    const Mapping& prev = *std::prev(pos);
+    ACES_CHECK_MSG(base >= prev.limit,
+                   "bus mapping '" + std::string(dev.name()) + "' [" +
+                       hex(base) + ", " + hex(limit) + ") overlaps '" +
+                       std::string(prev.dev->name()) + "' [" + hex(prev.base) +
+                       ", " + hex(prev.limit) + ")");
   }
-  map_.push_back(Mapping{base, limit, &dev});
-  std::sort(map_.begin(), map_.end(),
-            [](const Mapping& a, const Mapping& b) { return a.base < b.base; });
+  if (pos != map_.end()) {
+    ACES_CHECK_MSG(limit <= pos->base,
+                   "bus mapping '" + std::string(dev.name()) + "' [" +
+                       hex(base) + ", " + hex(limit) + ") overlaps '" +
+                       std::string(pos->dev->name()) + "' [" + hex(pos->base) +
+                       ", " + hex(pos->limit) + ")");
+  }
+  map_.insert(pos, Mapping{base, limit, &dev});
 }
 
 Device* Bus::device_at(std::uint32_t addr, std::uint32_t* offset) {
-  for (const Mapping& m : map_) {
-    if (addr >= m.base && addr < m.limit) {
-      if (offset != nullptr) {
-        *offset = addr - m.base;
-      }
-      return m.dev;
-    }
+  // map_ is sorted by base and regions are disjoint: the candidate is the
+  // last mapping whose base is <= addr.
+  const auto pos = std::upper_bound(
+      map_.begin(), map_.end(), addr,
+      [](std::uint32_t a, const Mapping& m) { return a < m.base; });
+  if (pos == map_.begin()) {
+    return nullptr;
   }
-  return nullptr;
+  const Mapping& m = *std::prev(pos);
+  if (addr >= m.limit) {
+    return nullptr;
+  }
+  if (offset != nullptr) {
+    *offset = addr - m.base;
+  }
+  return m.dev;
 }
 
 namespace {

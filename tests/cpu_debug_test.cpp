@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "cpu/fpb.h"
+#include "cpu/profiles.h"
 #include "cpu/swd.h"
 #include "cpu/system.h"
 #include "isa/assembler.h"
@@ -18,12 +19,8 @@ using isa::Op;
 using isa::SetFlags;
 using namespace isa;
 
-SystemConfig mcu_config() {
-  SystemConfig c;
-  c.core.encoding = Encoding::b32;
-  c.core.timings = CoreTimings::modern_mcu();
-  c.flash.size_bytes = 64 * 1024;
-  return c;
+SystemBuilder mcu_config() {
+  return profiles::modern_mcu().flash_size(64 * 1024);
 }
 
 TEST(Fpb, BreakpointHaltsAtAddress) {

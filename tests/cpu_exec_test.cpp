@@ -2,6 +2,7 @@
 // System harness, across all three encodings where the program permits.
 #include <gtest/gtest.h>
 
+#include "cpu/profiles.h"
 #include "cpu/system.h"
 #include "isa/assembler.h"
 #include "isa/disasm.h"
@@ -19,13 +20,8 @@ using isa::Op;
 using isa::SetFlags;
 using namespace isa;  // registers r0..
 
-SystemConfig basic_config(Encoding e) {
-  SystemConfig c;
-  c.core.encoding = e;
-  c.core.timings = e == Encoding::b32 ? CoreTimings::modern_mcu()
-                                      : CoreTimings::legacy_hp();
-  c.flash.size_bytes = 64 * 1024;
-  return c;
+SystemBuilder basic_config(Encoding e) {
+  return profiles::for_encoding(e).flash_size(64 * 1024);
 }
 
 // Assembles, loads and runs `build(a)`; returns r0.
@@ -476,8 +472,7 @@ TEST(ExecMpu, UnprivilegedStoreBlocked) {
   a.ins(ins_ret());
   const Image image = a.assemble();
 
-  SystemConfig cfg = basic_config(Encoding::b32);
-  cfg.core.privileged = false;
+  SystemBuilder cfg = basic_config(Encoding::b32).privileged(false);
   System sys(cfg);
   sys.load(image);
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "cpu/ivc.h"
+#include "cpu/profiles.h"
 #include "cpu/system.h"
 #include "cpu/vic.h"
 #include "isa/assembler.h"
@@ -23,20 +24,12 @@ using namespace isa;
 
 constexpr std::uint32_t kMailbox = kSramBase + 0x100;
 
-SystemConfig mcu_config() {
-  SystemConfig c;
-  c.core.encoding = Encoding::b32;
-  c.core.timings = CoreTimings::modern_mcu();
-  c.flash.size_bytes = 64 * 1024;
-  return c;
+SystemBuilder mcu_config() {
+  return profiles::modern_mcu().flash_size(64 * 1024);
 }
 
-SystemConfig hp_config() {
-  SystemConfig c;
-  c.core.encoding = Encoding::w32;
-  c.core.timings = CoreTimings::legacy_hp();
-  c.flash.size_bytes = 64 * 1024;
-  return c;
+SystemBuilder hp_config() {
+  return profiles::legacy_hp().flash_size(64 * 1024);
 }
 
 // Busy loop that increments r0 forever (interrupt victim).
@@ -506,9 +499,9 @@ TEST(RestartableLdm, BoundsInterruptLatency) {
     const Label handler = emit_count_handler(a, true);
     const Image image = a.assemble();
 
-    SystemConfig cfg = hp_config();
-    cfg.core.restartable_ldm = restartable;
-    cfg.flash.line_access_cycles = 12;  // painful random access
+    const SystemBuilder cfg = hp_config()
+                                  .restartable_ldm(restartable)
+                                  .flash_wait(12);  // painful random access
     auto sys = std::make_unique<System>(cfg);
     sys->load(image);
     return std::tuple{std::move(sys), a.label_address(handler),

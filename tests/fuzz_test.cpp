@@ -265,10 +265,8 @@ TEST(KirFuzz, RandomProgramsMatchInterpreterOnAllEncodings) {
          {Encoding::w32, Encoding::n16, Encoding::b32}) {
       const kir::LoweredProgram prog =
           kir::lower_program({&f}, enc, cpu::kFlashBase);
-      cpu::SystemConfig cfg;
-      cfg.core.encoding = enc;
-      cfg.flash.size_bytes = 256 * 1024;
-      cpu::System sys(cfg);
+      cpu::System sys(
+          cpu::SystemBuilder().encoding(enc).flash_size(256 * 1024));
       sys.load(prog.image);
       const std::uint32_t got = sys.call(
           prog.entry_of(f.name()), {args[0], args[1], args[2], args[3]});

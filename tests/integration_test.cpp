@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "cpu/ivc.h"
+#include "cpu/profiles.h"
 #include "cpu/system.h"
 #include "cpu/vic.h"
 #include "isa/assembler.h"
@@ -56,11 +57,7 @@ TEST_P(InterruptTransparency, IvcStormDoesNotPerturbResults) {
   const kir::LoweredProgram prog =
       kir::lower_program({&f}, Encoding::b32, cpu::kFlashBase);
 
-  cpu::SystemConfig cfg;
-  cfg.core.encoding = Encoding::b32;
-  cfg.core.timings = cpu::CoreTimings::modern_mcu();
-  cfg.flash.size_bytes = 128 * 1024;
-  cpu::System sys(cfg);
+  cpu::System sys(cpu::profiles::modern_mcu().flash_size(128 * 1024));
   sys.load(prog.image);
 
   // Handler placed after the kernel in flash.
@@ -111,12 +108,9 @@ TEST_P(InterruptTransparency, VicStormWithRestartableLdm) {
   const kir::LoweredProgram prog =
       kir::lower_program({&f}, Encoding::w32, cpu::kFlashBase);
 
-  cpu::SystemConfig cfg;
-  cfg.core.encoding = Encoding::w32;
-  cfg.core.timings = cpu::CoreTimings::legacy_hp();
-  cfg.core.restartable_ldm = true;
-  cfg.flash.size_bytes = 128 * 1024;
-  cpu::System sys(cfg);
+  cpu::System sys(cpu::profiles::legacy_hp()
+                      .restartable_ldm(true)
+                      .flash_size(128 * 1024));
   sys.load(prog.image);
 
   std::uint32_t handler = 0;
@@ -163,16 +157,15 @@ TEST(Integration, CachedSystemUnderStorm) {
   const kir::LoweredProgram prog =
       kir::lower_program({&f}, Encoding::w32, cpu::kFlashBase);
 
-  cpu::SystemConfig cfg;
-  cfg.core.encoding = Encoding::w32;
-  cfg.flash.size_bytes = 128 * 1024;
-  cfg.flash.line_access_cycles = 6;
   mem::CacheConfig icache;
   icache.line_bytes = 16;
   icache.num_sets = 16;
   icache.ways = 2;
-  cfg.icache = icache;
-  cpu::System sys(cfg);
+  cpu::System sys(cpu::SystemBuilder()
+                      .encoding(Encoding::w32)
+                      .flash_size(128 * 1024)
+                      .flash_wait(6)
+                      .icache(icache));
   sys.load(prog.image);
 
   std::uint32_t handler = 0;

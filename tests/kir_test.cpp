@@ -8,6 +8,7 @@
 
 #include <functional>
 
+#include "cpu/profiles.h"
 #include "cpu/system.h"
 #include "kir/kir.h"
 #include "kir/lower.h"
@@ -18,17 +19,12 @@ namespace aces::kir {
 namespace {
 
 using cpu::System;
-using cpu::SystemConfig;
+using cpu::SystemBuilder;
 using isa::Cond;
 using isa::Encoding;
 
-SystemConfig config_for(Encoding e) {
-  SystemConfig c;
-  c.core.encoding = e;
-  c.core.timings = e == Encoding::b32 ? cpu::CoreTimings::modern_mcu()
-                                      : cpu::CoreTimings::legacy_hp();
-  c.flash.size_bytes = 128 * 1024;
-  return c;
+SystemBuilder config_for(Encoding e) {
+  return cpu::profiles::for_encoding(e).flash_size(128 * 1024);
 }
 
 // Runs `f` on every encoding with the given args; checks each result

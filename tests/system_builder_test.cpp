@@ -1,0 +1,332 @@
+// SystemBuilder / profiles / bus-composition tests: the declarative
+// machine-description layer added by the builder redesign.
+#include <gtest/gtest.h>
+
+#include "cpu/ivc.h"
+#include "cpu/profiles.h"
+#include "cpu/system.h"
+#include "cpu/vic.h"
+#include "isa/assembler.h"
+#include "mem/sram.h"
+
+namespace aces::cpu {
+namespace {
+
+using isa::Assembler;
+using isa::Encoding;
+using isa::Image;
+using isa::Label;
+using isa::Op;
+using isa::SetFlags;
+using namespace isa;
+
+// Assembles `mov r0, #42; bx lr` for the system's configured encoding.
+Image forty_two(Encoding e) {
+  Assembler a(e, kFlashBase);
+  a.ins(ins_mov_imm(r0, 42, SetFlags::any));
+  a.ins(ins_ret());
+  return a.assemble();
+}
+
+// ----- profiles -------------------------------------------------------------
+
+TEST(Profiles, PresetsRoundTripThroughBuildAndRun) {
+  struct Case {
+    SystemBuilder builder;
+    Encoding encoding;
+  };
+  const Case cases[] = {
+      {profiles::legacy_hp(), Encoding::w32},
+      {profiles::legacy_hp(Encoding::n16), Encoding::n16},
+      {profiles::cached_hp(), Encoding::w32},
+      {profiles::modern_mcu(), Encoding::b32},
+  };
+  for (const Case& c : cases) {
+    System sys(c.builder);
+    EXPECT_EQ(sys.core().config().encoding, c.encoding);
+    sys.load(forty_two(c.encoding));
+    EXPECT_EQ(sys.call(kFlashBase), 42u);
+  }
+}
+
+TEST(Profiles, CachedHpHasAnICacheOverFlash) {
+  System cached(profiles::cached_hp());
+  System plain(profiles::legacy_hp());
+  EXPECT_NE(cached.icache(), nullptr);
+  EXPECT_EQ(plain.icache(), nullptr);
+
+  // The cache is load-bearing: the same program costs fewer cycles on the
+  // cached profile once the loop is hot.
+  Assembler a(Encoding::w32, kFlashBase);
+  a.ins(ins_mov_imm(r0, 2000, SetFlags::any));
+  const Label top = a.bound_label();
+  a.ins(ins_rri(Op::sub, r0, r0, 1, SetFlags::yes));
+  a.b(top, isa::Cond::ne);
+  a.ins(ins_ret());
+  const Image image = a.assemble();
+  cached.load(image);
+  plain.load(image);
+  (void)cached.call(kFlashBase);
+  (void)plain.call(kFlashBase);
+  EXPECT_LT(cached.core().cycles(), plain.core().cycles());
+  EXPECT_GT(cached.icache()->stats().hits, 0u);
+}
+
+TEST(Profiles, ByNameMatchesDirectConstruction) {
+  for (const std::string_view name : profiles::names()) {
+    System sys(profiles::by_name(name));
+    const Encoding e = sys.core().config().encoding;
+    sys.load(forty_two(e));
+    EXPECT_EQ(sys.call(kFlashBase), 42u) << name;
+  }
+  EXPECT_EQ(System(profiles::by_name("modern-mcu")).core().config().encoding,
+            Encoding::b32);
+  EXPECT_THROW((void)profiles::by_name("pentium"), std::logic_error);
+}
+
+TEST(Profiles, LegacyHpRejectsB32) {
+  EXPECT_THROW((void)profiles::legacy_hp(Encoding::b32), std::logic_error);
+}
+
+// ----- builder semantics ----------------------------------------------------
+
+TEST(SystemBuilder, IsAReusableValue) {
+  const SystemBuilder desc = profiles::modern_mcu().sram(32 * 1024);
+  System first(desc);
+  System second(desc);  // same description, independent machine
+  ASSERT_TRUE(
+      first.bus().write(kSramBase, 4, 0xDEADBEEFu, 0).ok());
+  EXPECT_EQ(second.bus().read(kSramBase, 4, mem::Access::read, 0).value, 0u);
+  EXPECT_EQ(first.initial_sp(), kSramBase + 32 * 1024);
+}
+
+TEST(SystemBuilder, MemoriesAttachAtArbitraryBases) {
+  constexpr std::uint32_t kAltSram = 0x6000'0000u;
+  System sys(profiles::modern_mcu().sram(16 * 1024, kAltSram));
+  EXPECT_EQ(sys.initial_sp(), kAltSram + 16 * 1024);
+  EXPECT_TRUE(sys.bus().write(kAltSram, 4, 7, 0).ok());
+  // Nothing lives at the default SRAM base anymore.
+  EXPECT_EQ(sys.bus().read(kSramBase, 4, mem::Access::read, 0).fault,
+            mem::Fault::unmapped);
+}
+
+TEST(SystemBuilder, ExternalDeviceAttaches) {
+  mem::Sram periph("regfile", 256);
+  System sys(profiles::modern_mcu().device(kPeriphBase, periph));
+  ASSERT_TRUE(sys.bus().write(kPeriphBase + 8, 4, 0x1234u, 0).ok());
+  EXPECT_EQ(sys.bus().read(kPeriphBase + 8, 4, mem::Access::read, 0).value,
+            0x1234u);
+  // The device is shared, not copied: the external handle sees the write.
+  EXPECT_EQ(periph.read(8, 4, mem::Access::read, 0).value, 0x1234u);
+}
+
+TEST(SystemBuilder, OwnedDeviceFactoryRunsPerBuild) {
+  int built = 0;
+  const SystemBuilder desc = profiles::modern_mcu().device(
+      kPeriphBase, [&built]() -> std::unique_ptr<mem::Device> {
+        ++built;
+        return std::make_unique<mem::Sram>("scratch", 128);
+      });
+  System one(desc);
+  System two(desc);
+  EXPECT_EQ(built, 2);
+  ASSERT_TRUE(one.bus().write(kPeriphBase, 4, 5, 0).ok());
+  EXPECT_EQ(two.bus().read(kPeriphBase, 4, mem::Access::read, 0).value, 0u);
+}
+
+TEST(SystemBuilder, OwnsTheMpuLayer) {
+  // An unprivileged core behind an MPU with no regions granted: the very
+  // first fetch is denied, so the program cannot run.
+  System sys(profiles::modern_mcu()
+                 .privileged(false)
+                 .mpu(mem::MpuConfig::fine()));
+  ASSERT_NE(sys.mpu(), nullptr);
+  sys.load(forty_two(Encoding::b32));
+  EXPECT_THROW((void)sys.call(kFlashBase), std::logic_error);
+  EXPECT_EQ(sys.core().halt_reason(), HaltReason::fault);
+  EXPECT_GT(sys.mpu()->stats().violations, 0u);
+}
+
+TEST(SystemBuilder, OwnsTheFaultInjector) {
+  mem::TcmConfig tc;
+  tc.size_bytes = 4 * 1024;
+  mem::FaultInjectorConfig fic;
+  fic.upsets_per_mcycle = 1e6;  // practically every cycle
+  System sys(profiles::modern_mcu().tcm(tc).fault_injector(fic, 7));
+  ASSERT_NE(sys.fault_injector(), nullptr);
+
+  Assembler a(Encoding::b32, kFlashBase);
+  a.ins(ins_mov_imm(r0, 200, SetFlags::any));
+  const Label top = a.bound_label();
+  a.ins(ins_rri(Op::sub, r0, r0, 1, SetFlags::yes));
+  a.b(top, isa::Cond::ne);
+  a.ins(ins_ret());
+  sys.load(a.assemble());
+  (void)sys.call(kFlashBase);
+  // The injector advanced with the core's clock without any manual wiring.
+  EXPECT_GT(sys.fault_injector()->injected(), 0u);
+}
+
+TEST(SystemBuilder, ComposedCycleHookRunsAfterInjector) {
+  mem::TcmConfig tc;
+  tc.size_bytes = 1024;
+  System sys(profiles::modern_mcu().tcm(tc).fault_injector(
+      mem::FaultInjectorConfig{}, 3));
+  std::uint64_t ticks = 0;
+  sys.set_cycle_hook([&ticks](std::uint64_t) { ++ticks; });
+  sys.load(forty_two(Encoding::b32));
+  (void)sys.call(kFlashBase);
+  EXPECT_GT(ticks, 0u);
+}
+
+TEST(SystemBuilder, OwnsTheInterruptController) {
+  constexpr std::uint32_t kVectors = kSramBase + 0x40;
+  constexpr std::uint32_t kMailbox = kSramBase + 0x100;
+
+  Assembler a(Encoding::b32, kFlashBase);
+  const Label entry = a.bound_label();
+  const Label top = a.bound_label();
+  a.ins(ins_rri(Op::add, r6, r6, 1, SetFlags::any));
+  a.b(top);
+  a.pool();
+  const Label handler = a.bound_label();
+  a.load_literal(r4, kMailbox);
+  a.ins(ins_ldst_imm(Op::ldr, r5, r4, 0));
+  a.ins(ins_rri(Op::add, r5, r5, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r5, r4, 0));
+  a.ins(ins_ret());
+  a.pool();
+  const Image image = a.assemble();
+
+  Ivc::Config ic;
+  ic.vector_table = kVectors;
+  ic.lines = 4;
+  System sys(profiles::modern_mcu().ivc(ic));
+  ASSERT_NE(sys.ivc(), nullptr);
+  EXPECT_EQ(sys.intc(), sys.ivc());
+  EXPECT_EQ(sys.vic(), nullptr);
+
+  sys.load(image);
+  const std::uint32_t v = a.label_address(handler);
+  const std::uint8_t vb[4] = {
+      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  for (unsigned k = 0; k < 4; ++k) {
+    ASSERT_TRUE(sys.bus().load_image(kVectors + 4 * k, vb, 4));
+  }
+  sys.ivc()->enable_line(1, 32);
+  sys.core().reset(a.label_address(entry), sys.initial_sp());
+  for (int k = 0; k < 10; ++k) {
+    (void)sys.core().step();
+  }
+  sys.ivc()->raise(1, sys.core().cycles());
+  for (int k = 0; k < 200; ++k) {
+    (void)sys.core().step();
+  }
+  EXPECT_EQ(sys.bus().read(kMailbox, 4, mem::Access::read, 0).value, 1u);
+  EXPECT_EQ(sys.ivc()->stats().entries, 1u);
+}
+
+TEST(SystemBuilder, VicAndIvcAreMutuallyExclusive) {
+  ClassicVic::Config vc;
+  System sys(profiles::legacy_hp().ivc(Ivc::Config{}).vic(vc));
+  EXPECT_NE(sys.vic(), nullptr);  // last call wins
+  EXPECT_EQ(sys.ivc(), nullptr);
+}
+
+// ----- System::call argument limit (regression) ----------------------------
+
+TEST(SystemCall, RejectsMoreThanFourArguments) {
+  System sys(profiles::modern_mcu());
+  sys.load(forty_two(Encoding::b32));
+  EXPECT_EQ(sys.call(kFlashBase, {1, 2, 3, 4}), 42u);
+  EXPECT_THROW((void)sys.call(kFlashBase, {1, 2, 3, 4, 5}), std::logic_error);
+}
+
+// ----- bus fault paths ------------------------------------------------------
+
+TEST(BusFaults, UnmappedAndMisalignedAndStraddle) {
+  System sys(profiles::modern_mcu().sram(64 * 1024));
+  mem::Bus& bus = sys.bus();
+
+  EXPECT_EQ(bus.read(0x9000'0000u, 4, mem::Access::read, 0).fault,
+            mem::Fault::unmapped);
+  EXPECT_EQ(bus.write(0x9000'0000u, 4, 0, 0).fault, mem::Fault::unmapped);
+  EXPECT_EQ(bus.read(kSramBase + 2, 4, mem::Access::read, 0).fault,
+            mem::Fault::misaligned);
+  EXPECT_EQ(bus.read(kSramBase + 1, 2, mem::Access::read, 0).fault,
+            mem::Fault::misaligned);
+  // The last word of the device is fine; just below the device misses.
+  EXPECT_TRUE(bus.read(kSramBase + 64 * 1024 - 4, 4, mem::Access::read, 0)
+                  .ok());
+  EXPECT_EQ(bus.read(kSramBase - 4, 4, mem::Access::read, 0).fault,
+            mem::Fault::unmapped);
+
+  // An aligned access that runs off the end of a device (odd-sized device)
+  // straddles the boundary and faults.
+  mem::Sram tiny("tiny", 6);
+  mem::Bus small;
+  small.attach(0x1000, tiny);
+  EXPECT_TRUE(small.read(0x1000, 4, mem::Access::read, 0).ok());
+  EXPECT_EQ(small.read(0x1004, 4, mem::Access::read, 0).fault,
+            mem::Fault::misaligned);
+  EXPECT_TRUE(small.read(0x1004, 2, mem::Access::read, 0).ok());
+}
+
+TEST(BusFaults, OverlappingAttachNamesBothDevices) {
+  mem::Sram a("alpha", 0x1000);
+  mem::Sram b("beta", 0x1000);
+  mem::Bus bus;
+  bus.attach(0x1000, a);
+  try {
+    bus.attach(0x1800, b);  // overlaps the tail of alpha
+    FAIL() << "overlap accepted";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("alpha"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("beta"), std::string::npos) << msg;
+  }
+  // Same check against a device mapped above.
+  mem::Sram c("gamma", 0x1000);
+  try {
+    bus.attach(0x800, c);  // tail lands inside alpha
+    FAIL() << "overlap accepted";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("alpha"), std::string::npos);
+  }
+  // Adjacent (touching, not overlapping) regions are legal.
+  bus.attach(0x2000, b);
+  bus.attach(0x0, c);
+}
+
+TEST(BusFaults, BuilderRefusesOverlappingMemoryMap) {
+  // SRAM mapped on top of flash: the bus rejects it at build time.
+  EXPECT_THROW(
+      System sys(profiles::modern_mcu().sram(64 * 1024, kFlashBase + 0x1000)),
+      std::logic_error);
+}
+
+TEST(BusFaults, BinarySearchAgreesWithLinearScanAcrossManyDevices) {
+  // A dense many-device map (16 peripherals) probed at every boundary.
+  std::vector<std::unique_ptr<mem::Sram>> devs;
+  mem::Bus bus;
+  for (unsigned k = 0; k < 16; ++k) {
+    devs.push_back(std::make_unique<mem::Sram>("p" + std::to_string(k), 64));
+    bus.attach(0x4000'0000u + k * 0x100u, *devs.back());
+  }
+  for (unsigned k = 0; k < 16; ++k) {
+    const std::uint32_t base = 0x4000'0000u + k * 0x100u;
+    std::uint32_t off = 99;
+    EXPECT_EQ(bus.device_at(base, &off), devs[k].get());
+    EXPECT_EQ(off, 0u);
+    EXPECT_EQ(bus.device_at(base + 63, &off), devs[k].get());
+    EXPECT_EQ(off, 63u);
+    EXPECT_EQ(bus.device_at(base + 64, nullptr), nullptr);  // gap above
+    EXPECT_EQ(bus.device_at(base - 1, nullptr), nullptr);   // gap below
+  }
+  EXPECT_EQ(bus.device_at(0x3FFF'FFFFu, nullptr), nullptr);
+  EXPECT_EQ(bus.device_at(0x4000'0F40u, nullptr), nullptr);
+}
+
+}  // namespace
+}  // namespace aces::cpu

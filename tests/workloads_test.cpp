@@ -3,6 +3,7 @@
 // randomized instances. This is the correctness backbone under Table 1.
 #include <gtest/gtest.h>
 
+#include "cpu/profiles.h"
 #include "kir/lower.h"
 #include "workloads/autoindy.h"
 #include "workloads/runner.h"
@@ -11,16 +12,11 @@ namespace aces::workloads {
 namespace {
 
 using cpu::System;
-using cpu::SystemConfig;
+using cpu::SystemBuilder;
 using isa::Encoding;
 
-SystemConfig config_for(Encoding e) {
-  SystemConfig c;
-  c.core.encoding = e;
-  c.core.timings = e == Encoding::b32 ? cpu::CoreTimings::modern_mcu()
-                                      : cpu::CoreTimings::legacy_hp();
-  c.flash.size_bytes = 128 * 1024;
-  return c;
+SystemBuilder config_for(Encoding e) {
+  return cpu::profiles::for_encoding(e).flash_size(128 * 1024);
 }
 
 struct Case {
