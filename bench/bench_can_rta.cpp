@@ -63,14 +63,12 @@ int main() {
     const can::NodeId tx = bus.attach_node("tx");
     (void)bus.attach_node("rx");
     for (const sched::CanMessage& m : msgs) {
-      std::function<void()> kick = [&bus, &q, m, tx, &kick]() {
+      q.schedule_every(m.period, [&bus, m, tx]() {
         can::CanFrame f;
         f.id = m.id;
         f.dlc = m.dlc;
         bus.send(tx, f);
-        q.schedule_in(m.period, kick);
-      };
-      q.schedule_at(0, kick);
+      });
     }
     q.run_until(4 * sim::kSecond);
 

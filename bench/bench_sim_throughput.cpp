@@ -1,11 +1,16 @@
 // Host-side microbenchmarks (google-benchmark): throughput of the
-// simulation substrate itself — instruction-set simulator MIPS and
-// event-queue operations/second. Not a paper experiment; it documents that
-// the models are fast enough for the sweeps the other benches run.
+// simulation substrate itself — instruction-set simulator MIPS,
+// event-queue operations/second and multi-ECU co-simulation events/second.
+// Not a paper experiment; it documents that the models are fast enough for
+// the sweeps the other benches run, and records the perf trajectory of the
+// co-sim scheduler.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "can/controller.h"
+#include "cpu/ivc.h"
 #include "sim/event_queue.h"
+#include "sim/simulation.h"
 
 using namespace aces;
 using namespace aces::bench;
@@ -49,6 +54,97 @@ void BM_EventQueueThroughput(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EventQueueThroughput);
+
+// Multi-ECU co-simulation: four guest ECUs (WFI main loop, RX-interrupt
+// ISR on the ISS) on one CAN bus, woken by a 1 kHz broadcast. The counter
+// is scheduler work per wall second — queue events plus core steps — the
+// number that has to stay high for many-ECU scenarios to be sweepable.
+void BM_CoSimMultiEcu(benchmark::State& state) {
+  using namespace aces::isa;
+  using Ctl = can::CanController;
+  constexpr unsigned kLine = 1;
+  constexpr std::uint32_t kVectors = cpu::kSramBase + 0x40;
+  constexpr std::uint32_t kCount = cpu::kSramBase + 0x100;
+
+  // Shared guest image: sleep, count serviced frames in the ISR.
+  Assembler a(Encoding::b32, cpu::kFlashBase);
+  const Label entry = a.bound_label();
+  const Label top = a.bound_label();
+  Instruction wfi;
+  wfi.op = Op::wfi;
+  a.ins(wfi);
+  a.b(top);
+  a.pool();
+  const Label isr = a.bound_label();
+  a.load_literal(r0, cpu::kPeriphBase);
+  a.load_literal(r3, kCount);
+  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
+  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
+  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
+  a.ins(ins_ret());
+  a.pool();
+  const Image image = a.assemble();
+
+  std::uint64_t cosim_events = 0;
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    sim::Simulation sim(50 * sim::kMicrosecond);
+    can::CanBus bus(sim.queue(), 500'000);
+    constexpr int kEcus = 4;
+    std::vector<std::unique_ptr<Ctl>> controllers;
+    std::vector<std::unique_ptr<cpu::System>> systems;
+    for (int k = 0; k < kEcus; ++k) {
+      Ctl::Config cc;
+      cc.rx_line = kLine;
+      controllers.push_back(std::make_unique<Ctl>(
+          bus, "ecu" + std::to_string(k), cc));
+      cpu::Ivc::Config ic;
+      ic.vector_table = kVectors;
+      ic.lines = 4;
+      systems.push_back(std::make_unique<cpu::System>(
+          cpu::profiles::modern_mcu()
+              .name("ecu" + std::to_string(k))
+              .clock_hz(8'000'000 * (1u << (k % 2)))  // mixed clock domains
+              .flash_size(16 * 1024)
+              .device(cpu::kPeriphBase, *controllers.back())
+              .ivc(ic)));
+      cpu::System& sys = *systems.back();
+      sys.load(image);
+      sys.set_irq_handler(kLine, a.label_address(isr));
+      sys.ivc()->enable_line(kLine, 32);
+      controllers.back()->connect_irq(sys.bind(sim));
+      ACES_CHECK(sys.bus()
+                     .write(cpu::kPeriphBase + Ctl::kCtrl, 4, Ctl::kCtrlRxie,
+                            0)
+                     .ok());
+      sys.core().reset(a.label_address(entry), sys.initial_sp());
+    }
+    const can::NodeId sensor = bus.attach_node("sensor");
+    sim.schedule_every(sim::kMillisecond, [&bus, sensor] {
+      can::CanFrame f;
+      f.id = 0x100;
+      f.dlc = 4;
+      bus.send(sensor, f);
+    });
+    sim.run_until(100 * sim::kMillisecond);
+
+    std::uint64_t events = sim.stats().events_executed;
+    for (const std::unique_ptr<cpu::System>& sys : systems) {
+      events += sys->binding()->stats().steps;
+      frames += sys->bus().read(kCount, 4, mem::Access::read, 0).value;
+    }
+    benchmark::DoNotOptimize(events);
+    cosim_events += events;
+  }
+  state.counters["cosim_events/s"] = benchmark::Counter(
+      static_cast<double>(cosim_events), benchmark::Counter::kIsRate);
+  state.counters["frames_serviced"] = benchmark::Counter(
+      static_cast<double>(frames), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CoSimMultiEcu);
 
 void BM_LoweringThroughput(benchmark::State& state) {
   const kir::KFunction f = workloads::build_crc16();

@@ -1,27 +1,57 @@
 // Body-control network: the paper's §1/§3.2 distributed vision in one
-// executable.
+// executable — now mixed-fidelity.
 //
-// Four ECUs — door, seat, climate and a gateway — each run an OSEK-like
-// kernel; sensor tasks publish CAN frames, actuator tasks react to them.
-// The example prints per-task and per-message worst-case behavior from the
-// simulation next to the closed-form schedulability analysis: the
-// engineering basis for treating "the distributed network of processors
-// ... as a single compute resource".
+// Four ECUs share one 125 kbps CAN bus under one co-simulation time base:
+//
+//   gateway   (kernel model)  consolidates body state, issues lock
+//                             commands every 20 ms
+//   climate   (kernel model)  temperature regulation, broadcasts state
+//   door      (guest code)    modern-MCU ISS @ 8 MHz; a compiled ISR
+//                             executes each lock command and answers with
+//                             a door-status frame
+//   seat      (guest code)    modern-MCU ISS @ 16 MHz; a compiled ISR
+//                             tracks door status and publishes seat
+//                             position on every 2nd update
+//
+// The two guest ECUs run real interrupt handlers on the instruction-set
+// simulator; between frames they sleep in WFI, so the scheduler
+// fast-forwards them at zero host cost — simulated idle cycles are free.
+// The kernel-model ECUs stay abstract workload models. Both fidelities
+// progress under the same deterministic event-driven scheduler, which is
+// the engineering basis for treating "the distributed network of
+// processors ... as a single compute resource".
 //
 //   $ ./examples/body_network
 #include <cstdio>
 
 #include "can/bus.h"
+#include "can/controller.h"
+#include "cpu/ivc.h"
+#include "cpu/profiles.h"
+#include "cpu/system.h"
+#include "isa/assembler.h"
 #include "rtos/kernel.h"
 #include "sched/can_rta.h"
-#include "sched/rta.h"
+#include "sim/simulation.h"
 
 using namespace aces;
+using namespace aces::isa;
 using sim::kMicrosecond;
 using sim::kMillisecond;
 using sim::SimTime;
+using Ctl = can::CanController;
 
 namespace {
+
+constexpr std::uint32_t kLockCmdId = 0x0F0;   // gateway -> door
+constexpr std::uint32_t kDoorStatusId = 0x110;  // door -> bus
+constexpr std::uint32_t kSeatPosId = 0x180;     // seat -> bus
+constexpr std::uint32_t kClimateId = 0x300;     // climate -> bus
+
+constexpr std::uint32_t kVectors = cpu::kSramBase + 0x40;
+constexpr std::uint32_t kCount = cpu::kSramBase + 0x100;  // serviced frames
+constexpr std::uint32_t kLastData = cpu::kSramBase + 0x104;
+constexpr unsigned kRxLine = 1;
 
 rtos::Segment exec_for(SimTime d) {
   rtos::Segment s;
@@ -30,99 +60,211 @@ rtos::Segment exec_for(SimTime d) {
   return s;
 }
 
-struct Ecu {
+// A guest ECU program: WFI main loop (r6 counts wakeups); the ISR services
+// the RX FIFO head if its identifier matches `match_id`, bumping kCount
+// and latching the payload, and replies with `reply_id` (carrying the
+// running count) when `reply_mask` of the count is zero. Non-matching
+// traffic is popped and acknowledged unhandled.
+Image build_guest(Assembler& a, Label* entry, Label* isr,
+                  std::uint32_t match_id, std::uint32_t reply_id,
+                  std::uint32_t reply_mask) {
+  *entry = a.bound_label();
+  const Label top = a.bound_label();
+  a.ins(ins_rri(Op::add, r6, r6, 1, SetFlags::any));  // wakeup counter
+  Instruction wfi;
+  wfi.op = Op::wfi;
+  a.ins(wfi);
+  a.b(top);
+  a.pool();
+
+  *isr = a.bound_label();
+  a.load_literal(r0, cpu::kPeriphBase);
+  a.ins(ins_ldst_imm(Op::ldr, r1, r0, Ctl::kRxId));
+  a.load_literal(r2, match_id);
+  a.ins(ins_cmp_reg(r1, r2));
+  const Label discard = a.new_label();
+  a.b(discard, Cond::ne);
+  // ++count; last = payload word 0.
+  a.load_literal(r3, kCount);
+  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
+  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
+  a.ins(ins_ldst_imm(Op::ldr, r12, r0, Ctl::kRxData0));
+  a.ins(ins_ldst_imm(Op::str, r12, r3, 4));
+  // Retire the frame before the reply: pop, ack.
+  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
+  const Label done = a.new_label();
+  if (reply_mask != 0) {
+    // Reply only when (count & reply_mask) == 0.
+    a.ins(ins_rri(Op::and_, r12, r2, reply_mask, SetFlags::yes));
+    a.b(done, Cond::ne);
+  }
+  a.load_literal(r12, reply_id);
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxId));
+  a.ins(ins_mov_imm(r12, 4, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxDlc));
+  a.ins(ins_ldst_imm(Op::str, r2, r0, Ctl::kTxData0));
+  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxCmd));
+  a.bind(done);
+  a.ins(ins_ret());
+  // Unmatched traffic: pop + ack, no reply.
+  a.bind(discard);
+  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
+  a.ins(ins_ret());
+  a.pool();
+  return a.assemble();
+}
+
+// One guest ECU: a System described by the builder, its CAN controller,
+// and the binding that joins both to the co-simulation.
+struct GuestEcu {
+  Assembler assembler;
+  Label entry, isr;
+  Ctl controller;
+  cpu::System sys;
+  cpu::SystemBinding& binding;
+
+  GuestEcu(const char* name, sim::Simulation& sim, can::CanBus& bus,
+           std::uint64_t hz, std::uint32_t match_id, std::uint32_t reply_id,
+           std::uint32_t reply_mask)
+      : assembler(Encoding::b32, cpu::kFlashBase),
+        controller(bus, name, [] {
+          Ctl::Config c;
+          c.rx_line = kRxLine;
+          return c;
+        }()),
+        sys(cpu::profiles::modern_mcu()
+                .name(name)
+                .clock_hz(hz)
+                .flash_size(32 * 1024)
+                .device(cpu::kPeriphBase, controller)
+                .ivc([] {
+                  cpu::Ivc::Config c;
+                  c.vector_table = kVectors;
+                  c.lines = 4;
+                  return c;
+                }())),
+        binding(sys.bind(sim)) {
+    const Image image =
+        build_guest(assembler, &entry, &isr, match_id, reply_id, reply_mask);
+    sys.load(image);
+    sys.set_irq_handler(kRxLine, assembler.label_address(isr));
+    sys.ivc()->enable_line(kRxLine, 32);
+    controller.connect_irq(binding);
+    ACES_CHECK(
+        sys.bus().write(cpu::kPeriphBase + Ctl::kCtrl, 4, Ctl::kCtrlRxie, 0)
+            .ok());
+    sys.core().reset(assembler.label_address(entry), sys.initial_sp());
+  }
+
+  [[nodiscard]] std::uint32_t count() {
+    return sys.bus().read(kCount, 4, mem::Access::read, 0).value;
+  }
+  [[nodiscard]] std::uint32_t last_data() {
+    return sys.bus().read(kLastData, 4, mem::Access::read, 0).value;
+  }
+  [[nodiscard]] std::uint64_t worst_latency() {
+    std::uint64_t worst = 0;
+    for (const std::uint64_t l : sys.ivc()->latencies(kRxLine)) {
+      worst = worst > l ? worst : l;
+    }
+    return worst;
+  }
+};
+
+struct ModelEcu {
   const char* name;
   rtos::Kernel kernel;
   can::NodeId node;
-  Ecu(const char* n, sim::EventQueue& q, can::CanBus& bus)
-      : name(n), kernel(q, 20 * kMicrosecond), node(bus.attach_node(n)) {}
+  ModelEcu(const char* n, sim::Simulation& sim, can::CanBus& bus)
+      : name(n), kernel(sim, 20 * kMicrosecond), node(bus.attach_node(n)) {}
 };
 
 }  // namespace
 
 int main() {
-  sim::EventQueue q;
-  can::CanBus bus(q, 125'000);  // classic body bus rate
+  sim::Simulation sim(50 * kMicrosecond);
+  can::CanBus bus(sim.queue(), 125'000);  // classic body bus rate
 
-  Ecu door("door", q, bus);
-  Ecu seat("seat", q, bus);
-  Ecu climate("climate", q, bus);
-  Ecu gateway("gateway", q, bus);
+  // --- kernel-model ECUs ---
+  ModelEcu climate("climate", sim, bus);
+  ModelEcu gateway("gateway", sim, bus);
 
-  // --- door ECU: window switch scan (2 ms) publishes switch state;
-  //     lock actuator task reacts to gateway commands.
-  const auto scan = door.kernel.create_task(
-      {"win_scan", 10, {exec_for(150 * kMicrosecond)}, 2 * kMillisecond});
-  door.kernel.set_alarm(scan, 0, 2 * kMillisecond);
-  const auto lock_act = door.kernel.create_task(
-      {"lock_act", 8, {exec_for(300 * kMicrosecond)}, 20 * kMillisecond});
-  int lock_count = 0;
-
-  // --- seat ECU: position control loop (10 ms).
-  const auto seat_ctl = seat.kernel.create_task(
-      {"seat_ctl", 9, {exec_for(900 * kMicrosecond)}, 10 * kMillisecond});
-  seat.kernel.set_alarm(seat_ctl, 1 * kMillisecond, 10 * kMillisecond);
-
-  // --- climate ECU: temperature regulation (50 ms).
   const auto hvac = climate.kernel.create_task(
       {"hvac_ctl", 5, {exec_for(4 * kMillisecond)}, 50 * kMillisecond});
   climate.kernel.set_alarm(hvac, 3 * kMillisecond, 50 * kMillisecond);
 
-  // --- gateway: consolidates body state (5 ms) and issues lock commands.
   const auto consolidate = gateway.kernel.create_task(
       {"consolidate", 7, {exec_for(500 * kMicrosecond)}, 5 * kMillisecond});
   gateway.kernel.set_alarm(consolidate, 0, 5 * kMillisecond);
 
-  for (Ecu* e : {&door, &seat, &climate, &gateway}) {
+  for (ModelEcu* e : {&climate, &gateway}) {
     e->kernel.start();
   }
 
-  // CAN traffic: switch state (door, 10 ms), seat position (20 ms),
-  // climate state (100 ms), lock command (gateway, 20 ms).
+  // --- guest-code ECUs on the instruction-set simulator ---
+  // door: executes lock commands, answers with door status.
+  GuestEcu door("door", sim, bus, 8'000'000, kLockCmdId, kDoorStatusId, 0);
+  // seat: tracks door status, publishes position on every 2nd update.
+  GuestEcu seat("seat", sim, bus, 16'000'000, kDoorStatusId, kSeatPosId, 1);
+
+  // --- network traffic ---
+  // Gateway lock command (alternating lock/unlock) and climate state are
+  // event-queue senders, exactly like the kernel models they belong to.
   struct Tx {
-    Ecu* ecu;
+    can::NodeId node;
     std::uint32_t id;
     unsigned dlc;
     SimTime period;
   };
   const Tx txs[] = {
-      {&door, 0x110, 2, 10 * kMillisecond},
-      {&seat, 0x180, 4, 20 * kMillisecond},
-      {&climate, 0x300, 6, 100 * kMillisecond},
-      {&gateway, 0x0F0, 2, 20 * kMillisecond},
+      {gateway.node, kLockCmdId, 2, 20 * kMillisecond},
+      {climate.node, kClimateId, 6, 100 * kMillisecond},
   };
+  int lock_commands_sent = 0;
   for (const Tx& tx : txs) {
-    std::function<void()> kick = [&bus, &q, tx, &kick]() {
+    sim.schedule_every(tx.period, [&bus, tx, &lock_commands_sent]() {
       can::CanFrame f;
       f.id = tx.id;
       f.dlc = tx.dlc;
-      bus.send(tx.ecu->node, f);
-      q.schedule_in(tx.period, kick);
-    };
-    q.schedule_at(0, kick);
+      if (tx.id == kLockCmdId) {
+        f.data[0] = static_cast<std::uint8_t>(lock_commands_sent & 1);
+        ++lock_commands_sent;
+      }
+      bus.send(tx.node, f);
+    });
   }
-  // Gateway lock command activates the door actuator task on arrival.
-  bus.subscribe(door.node, [&](const can::CanFrame& f, SimTime) {
-    if (f.id == 0x0F0) {
-      door.kernel.activate(lock_act);
-      ++lock_count;
+
+  // The gateway consolidates what the guest ECUs report.
+  int door_status_heard = 0;
+  int seat_pos_heard = 0;
+  bus.subscribe(gateway.node, [&](const can::CanFrame& f, SimTime) {
+    if (f.id == kDoorStatusId) {
+      ++door_status_heard;
+    } else if (f.id == kSeatPosId) {
+      ++seat_pos_heard;
     }
   });
 
-  q.run_until(5 * sim::kSecond);
+  constexpr SimTime kHorizon = 5 * sim::kSecond;
+  sim.run_until(kHorizon);
 
   std::printf("=== body-control network, 5 simulated seconds ===\n\n");
-  std::printf("%-10s %-12s %12s %12s %10s\n", "ECU", "task",
-              "worst resp", "avg resp", "misses");
+  std::printf("kernel-model ECUs\n");
+  std::printf("%-10s %-12s %12s %12s %10s\n", "ECU", "task", "worst resp",
+              "avg resp", "misses");
   std::printf("---------------------------------------------------------"
               "---\n");
   struct Row {
-    Ecu* e;
+    ModelEcu* e;
     rtos::TaskId t;
   };
-  for (const Row r : {Row{&door, scan}, Row{&door, lock_act},
-                      Row{&seat, seat_ctl}, Row{&climate, hvac},
-                      Row{&gateway, consolidate}}) {
+  for (const Row r : {Row{&climate, hvac}, Row{&gateway, consolidate}}) {
     const auto& st = r.e->kernel.stats(r.t);
     std::printf("%-10s %-12s %10lldus %10.0fus %10llu\n", r.e->name,
                 r.e->kernel.task_name(r.t).c_str(),
@@ -131,16 +273,32 @@ int main() {
                 static_cast<unsigned long long>(st.deadline_misses));
   }
 
+  std::printf("\nguest-code ECUs (ISS, interrupt-driven)\n");
+  std::printf("%-10s %10s %12s %12s %14s %14s\n", "ECU", "clock",
+              "ISR frames", "worst entry", "core steps", "idle cycles");
+  std::printf("---------------------------------------------------------"
+              "--------------------\n");
+  for (GuestEcu* g : {&door, &seat}) {
+    std::printf("%-10s %7lluMHz %12u %10llucyc %14llu %14llu\n",
+                g->sys.name().c_str(),
+                static_cast<unsigned long long>(g->binding.hz() / 1'000'000),
+                g->count(),
+                static_cast<unsigned long long>(g->worst_latency()),
+                static_cast<unsigned long long>(g->binding.stats().steps),
+                static_cast<unsigned long long>(
+                    g->binding.stats().idle_cycles));
+  }
+
   std::printf("\n%-8s %12s %12s %14s\n", "CAN id", "frames", "worst lat",
               "RTA bound");
   std::printf("---------------------------------------------------------"
               "---\n");
-  std::vector<sched::CanMessage> msgs;
-  for (const Tx& tx : txs) {
-    msgs.push_back(sched::CanMessage{"", tx.id, tx.dlc, tx.period, 0, 0});
-  }
-  std::sort(msgs.begin(), msgs.end(),
-            [](const auto& a, const auto& b) { return a.id < b.id; });
+  std::vector<sched::CanMessage> msgs = {
+      {"lock_cmd", kLockCmdId, 2, 20 * kMillisecond, 0, 0},
+      {"door_stat", kDoorStatusId, 4, 20 * kMillisecond, 0, 0},
+      {"seat_pos", kSeatPosId, 4, 40 * kMillisecond, 0, 0},
+      {"climate", kClimateId, 6, 100 * kMillisecond, 0, 0},
+  };
   const sched::CanRtaResult rta = sched::can_rta(msgs, 125'000);
   for (std::size_t k = 0; k < msgs.size(); ++k) {
     const auto& st = bus.stats().at(msgs[k].id);
@@ -149,10 +307,25 @@ int main() {
                 static_cast<long long>(st.worst_latency / 1000),
                 static_cast<long long>(rta.response[k] / 1000));
   }
-  std::printf("\nbus utilization %.1f%%, lock commands delivered: %d\n",
-              100.0 * bus.utilization(5 * sim::kSecond), lock_count);
+  std::printf("\nbus utilization %.1f%%, co-sim: %llu events, "
+              "%llu idle jumps\n",
+              100.0 * bus.utilization(kHorizon),
+              static_cast<unsigned long long>(sim.stats().events_executed),
+              static_cast<unsigned long long>(sim.stats().idle_jumps));
   std::printf("analysis verdict: %s\n",
               rta.schedulable ? "message set schedulable"
                               : "message set NOT schedulable");
+
+  // Self-checks: the frame relay chain gateway -> door -> seat is exact
+  // and deterministic. 251 commands are queued (the t=0 and t=5s ticks are
+  // both inside the inclusive horizon); 250 reach the wire in time.
+  ACES_CHECK(lock_commands_sent == 251);
+  ACES_CHECK(door.count() == 250);     // every delivered command executed
+  ACES_CHECK(door.last_data() == 1);   // payload of command #249 (odd)
+  ACES_CHECK(seat.count() == 250);     // every door status tracked
+  ACES_CHECK(door_status_heard == 250);
+  ACES_CHECK(seat_pos_heard == 125);   // every 2nd update
+  std::printf("\nall checks passed: two ISS ECUs and two kernel models on "
+              "one deterministic time base.\n");
   return 0;
 }

@@ -1,5 +1,5 @@
 // A complete ECU node: CAN-interrupt-driven guest program on a declarative
-// system.
+// system, scheduled by the unified co-simulation API.
 //
 // This is where the paper's single-ECU sections (§2-§3: the core, its
 // memories, the interrupt controller) and its network section (§4: CAN)
@@ -18,6 +18,11 @@
 // through the same register file. The main loop just counts; all the work
 // is interrupt-driven, as an OSEK basic task would be.
 //
+// Time: sim::Simulation owns the one nanosecond time base. The System
+// declares its clock rate in the builder and joins with bind(); frame
+// delivery raises the IRQ at the exact bus instant through the binding.
+// No hand-rolled cycle-to-ns bridging, no manual drain loops.
+//
 //   $ ./examples/ecu_node
 #include <cstdio>
 
@@ -26,7 +31,7 @@
 #include "cpu/profiles.h"
 #include "cpu/system.h"
 #include "isa/assembler.h"
-#include "sim/event_queue.h"
+#include "sim/simulation.h"
 
 using namespace aces;
 using namespace aces::isa;
@@ -44,9 +49,6 @@ constexpr std::uint32_t kSensorId = 0x120;  // wheel-speed broadcast
 constexpr std::uint32_t kStatusId = 0x310;  // ECU status response
 
 constexpr std::uint64_t kCoreHz = 8'000'000;  // 8 MHz MCU
-constexpr sim::SimTime ns_of_cycle(std::uint64_t cycles) {
-  return static_cast<sim::SimTime>(cycles * (1'000'000'000 / kCoreHz));
-}
 
 // The guest program, hand-assembled B32. Registers: r0 = controller base.
 Image build_guest(Assembler& a, Label* entry, Label* isr) {
@@ -95,9 +97,9 @@ Image build_guest(Assembler& a, Label* entry, Label* isr) {
 }  // namespace
 
 int main() {
-  // --- the network ---
-  sim::EventQueue queue;
-  can::CanBus bus(queue, 500'000);  // 500 kbps powertrain bus
+  // --- the shared time base and the network ---
+  sim::Simulation sim(100 * sim::kMicrosecond);
+  can::CanBus bus(sim.queue(), 500'000);  // 500 kbps powertrain bus
 
   Ctl::Config cc;
   cc.rx_line = kRxLine;
@@ -126,25 +128,20 @@ int main() {
   ic.vector_table = kVectors;
   ic.lines = 4;
   cpu::System sys(cpu::profiles::modern_mcu()
+                      .name("wheel-ecu")
+                      .clock_hz(kCoreHz)
                       .flash_size(64 * 1024)
                       .device(cpu::kPeriphBase, controller)
                       .ivc(ic));
   sys.load(image);
 
-  const std::uint32_t v = a.label_address(isr);
-  const std::uint8_t vb[4] = {
-      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
-      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
-  ACES_CHECK(sys.bus().load_image(kVectors + 4 * kRxLine, vb, 4));
+  sys.set_irq_handler(kRxLine, a.label_address(isr));
   sys.ivc()->enable_line(kRxLine, 32);
 
-  // Wire the controller's RX line into the system's interrupt controller
-  // and bridge the two clock domains: every guest cycle advances bus time.
-  controller.connect_irq(
-      [&sys](unsigned line) { sys.ivc()->raise(line, sys.core().cycles()); },
-      [&sys](unsigned line) { sys.ivc()->clear(line); });
-  sys.set_cycle_hook(
-      [&queue](std::uint64_t now) { queue.run_until(ns_of_cycle(now)); });
+  // Join the co-simulation: the binding is both the clock-domain bridge
+  // and the IRQ sink the controller delivers its lines through.
+  cpu::SystemBinding& ecu = sys.bind(sim);
+  controller.connect_irq(ecu);
 
   // Boot code would set RXIE; the host pokes it through the bus instead.
   ACES_CHECK(
@@ -154,7 +151,7 @@ int main() {
   // The sensor broadcasts a decaying wheel-speed ramp every 2 ms.
   constexpr int kSamples = 16;
   for (int k = 0; k < kSamples; ++k) {
-    queue.schedule_at((k + 1) * 2 * sim::kMillisecond, [&bus, sensor, k] {
+    sim.schedule_at((k + 1) * 2 * sim::kMillisecond, [&bus, sensor, k] {
       can::CanFrame f;
       f.id = kSensorId;
       f.dlc = 4;
@@ -166,16 +163,9 @@ int main() {
   }
 
   sys.core().reset(a.label_address(entry), sys.initial_sp());
-  std::uint64_t steps = 0;
-  while (sys.bus().read(kSampleCount, 4, mem::Access::read, 0).value <
-             kSamples &&
-         steps < 5'000'000) {
-    (void)sys.core().step();
-    ++steps;
-  }
-  for (int k = 0; k < 5'000; ++k) {
-    (void)sys.core().step();  // let the final ISR and its TX frame drain
-  }
+  // One call runs everything: 16 samples land by 32 ms; the horizon leaves
+  // room for the last ISR and its status frame to drain.
+  sim.run_until(35 * sim::kMillisecond);
 
   const std::uint32_t samples =
       sys.bus().read(kSampleCount, 4, mem::Access::read, 0).value;
@@ -199,6 +189,11 @@ int main() {
   std::printf("  last status payload  : %u\n", last_status);
   std::printf("  main-loop iterations : %u (all real work in the ISR)\n",
               sys.core().reg(r6));
+  std::printf("  co-sim               : %llu events, %llu core steps, "
+              "%llu IRQ raises\n",
+              static_cast<unsigned long long>(sim.stats().events_executed),
+              static_cast<unsigned long long>(ecu.stats().steps),
+              static_cast<unsigned long long>(ecu.stats().irq_raises));
 
   // Worst-case ISR entry latency, the Figure 4 quantity, now measured on
   // real traffic instead of a synthetic raise.

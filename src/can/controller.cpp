@@ -29,6 +29,11 @@ void CanController::connect_irq(IrqLineFn raise, IrqLineFn clear) {
   irq_clear_ = std::move(clear);
 }
 
+void CanController::connect_irq(sim::IrqSink& sink) {
+  connect_irq([&sink](unsigned line) { sink.raise_irq(line); },
+              [&sink](unsigned line) { sink.clear_irq(line); });
+}
+
 void CanController::raise_line(unsigned line) {
   ++stats_.irq_raises;
   if (irq_raise_) {

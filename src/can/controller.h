@@ -35,8 +35,11 @@
 //
 // Clock domains: bus traffic happens in sim time (ns), register access in
 // core cycles. The controller never converts between them — it reacts to
-// whichever side calls it, and the host's cycle hook advancing the event
-// queue is what interleaves the two (see examples/ecu_node.cpp).
+// whichever side calls it. Under the co-simulation scheduler the two
+// domains meet through connect_irq(sim::IrqSink&): bind the owning System
+// to the Simulation and hand the controller its binding, and frame arrival
+// raises the RX line at the exact shared-time instant (waking a WFI'd
+// guest at zero host cost). See examples/ecu_node.cpp.
 #ifndef ACES_CAN_CONTROLLER_H
 #define ACES_CAN_CONTROLLER_H
 
@@ -46,6 +49,7 @@
 
 #include "can/bus.h"
 #include "mem/device.h"
+#include "sim/simulation.h"
 
 namespace aces::can {
 
@@ -96,6 +100,10 @@ class CanController final : public mem::Device {
   // layer depending on the cpu layer.
   using IrqLineFn = std::function<void(unsigned line)>;
   void connect_irq(IrqLineFn raise, IrqLineFn clear);
+  // Co-simulation wiring: deliver both lines through an IrqSink (usually
+  // the cpu::SystemBinding returned by System::bind). `sink` must outlive
+  // the controller's traffic.
+  void connect_irq(sim::IrqSink& sink);
 
   // ----- mem::Device -----
   [[nodiscard]] std::string_view name() const override { return name_; }

@@ -35,6 +35,10 @@ class Ivc final : public InterruptController {
   // ----- line configuration -----
   void enable_line(unsigned line, std::uint8_t priority);
   void disable_line(unsigned line);
+  // Memory address of the line's vector-table entry.
+  [[nodiscard]] std::uint32_t vector_address(unsigned line) const {
+    return config_.vector_table + 4 * line;
+  }
 
   // ----- InterruptController -----
   void raise(unsigned line, std::uint64_t now) override;

@@ -7,17 +7,25 @@ namespace aces::cpu::profiles {
 SystemBuilder legacy_hp(isa::Encoding enc) {
   ACES_CHECK_MSG(enc != isa::Encoding::b32,
                  "the legacy HP core predates the B32 encoding");
-  return SystemBuilder().encoding(enc).timings(CoreTimings::legacy_hp());
+  return SystemBuilder()
+      .encoding(enc)
+      .timings(CoreTimings::legacy_hp())
+      .name("legacy-hp")
+      .clock_hz(40'000'000);  // fetch-bound flash part of the §2 era
 }
 
 SystemBuilder cached_hp(isa::Encoding enc) {
-  return legacy_hp(enc).icache(mem::CacheConfig{});
+  // The I-cache is what lets the same core clock up past the flash.
+  return legacy_hp(enc).icache(mem::CacheConfig{}).name("cached-hp").clock_hz(
+      80'000'000);
 }
 
 SystemBuilder modern_mcu() {
   return SystemBuilder()
       .encoding(isa::Encoding::b32)
-      .timings(CoreTimings::modern_mcu());
+      .timings(CoreTimings::modern_mcu())
+      .name("modern-mcu")
+      .clock_hz(50'000'000);  // §3.2-generation microcontroller
 }
 
 SystemBuilder for_encoding(isa::Encoding enc) {

@@ -16,6 +16,11 @@
 //
 // Each preset returns a SystemBuilder, so call sites layer their deltas on
 // top: profiles::modern_mcu().flash_size(128 * 1024).bitband(0x1000).
+//
+// Every preset declares a generation-typical clock rate (legacy_hp 40 MHz,
+// cached_hp 80 MHz, modern_mcu 50 MHz) so a built System can join a
+// co-simulation with a bare sys.bind(sim); override per ECU with
+// .clock_hz(...).
 #ifndef ACES_CPU_PROFILES_H
 #define ACES_CPU_PROFILES_H
 

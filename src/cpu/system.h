@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cpu/core.h"
@@ -44,6 +45,7 @@
 #include "mem/mpu.h"
 #include "mem/sram.h"
 #include "mem/tcm.h"
+#include "sim/simulation.h"
 
 namespace aces::cpu {
 
@@ -54,6 +56,7 @@ inline constexpr std::uint32_t kBitBandBase = 0x2200'0000u;
 inline constexpr std::uint32_t kPeriphBase = 0x4000'0000u;
 
 class System;
+class SystemBinding;
 
 class SystemBuilder {
  public:
@@ -62,6 +65,15 @@ class SystemBuilder {
   using DeviceFactory = std::function<std::unique_ptr<mem::Device>()>;
 
   SystemBuilder() = default;
+
+  // ----- identity / clocking -----
+  // Display name for co-simulation diagnostics ("door", "gateway", ...).
+  SystemBuilder& name(std::string n) { name_ = std::move(n); return *this; }
+  // Core clock frequency. This is what places the core's cycle counter on
+  // the shared co-simulation time base when the built System is bound to a
+  // sim::Simulation; the named profiles declare generation-typical
+  // defaults.
+  SystemBuilder& clock_hz(std::uint64_t hz) { clock_hz_ = hz; return *this; }
 
   // ----- core -----
   SystemBuilder& core(const CoreConfig& c) { core_ = c; return *this; }
@@ -164,6 +176,8 @@ class SystemBuilder {
     DeviceFactory make;
   };
 
+  std::string name_ = "ecu";
+  std::uint64_t clock_hz_ = 0;  // 0: bind() requires an explicit rate
   CoreConfig core_;
   mem::FlashConfig flash_;
   std::uint32_t flash_base_ = kFlashBase;
@@ -233,6 +247,24 @@ class System {
   // injector.
   void set_cycle_hook(Core::CycleHook hook);
 
+  // Joins a co-simulation as a cycle-accurate clocked participant. The
+  // returned binding (owned by the System, registered with `sim`) places
+  // the core's cycle counter on the shared nanosecond time base and is the
+  // sim::IrqSink peripherals deliver interrupt lines through — no manual
+  // cycle-hook/queue bridging. The one-argument form uses the clock rate
+  // declared in the builder (SystemBuilder::clock_hz / the profiles).
+  SystemBinding& bind(sim::Simulation& sim);
+  SystemBinding& bind(sim::Simulation& sim, std::uint64_t hz);
+  [[nodiscard]] SystemBinding* binding() { return binding_.get(); }
+
+  // Installs `handler` as the vector-table entry for `line` of the owned
+  // Ivc (little-endian word written through the bus — what boot code would
+  // do before enabling the line).
+  void set_irq_handler(unsigned line, std::uint32_t handler);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t clock_hz() const { return clock_hz_; }
+
   [[nodiscard]] Core& core() { return *core_; }
   [[nodiscard]] mem::Bus& bus() { return bus_; }
   [[nodiscard]] mem::Flash& flash() { return flash_; }
@@ -251,6 +283,8 @@ class System {
   [[nodiscard]] Ivc* ivc() { return dynamic_cast<Ivc*>(intc_.get()); }
 
  private:
+  std::string name_;
+  std::uint64_t clock_hz_ = 0;
   mem::Bus bus_;
   mem::Flash flash_;
   mem::Sram sram_;
@@ -267,6 +301,69 @@ class System {
   std::unique_ptr<InterruptController> intc_;
   std::optional<Core> core_;
   Core::CycleHook user_hook_;
+  std::unique_ptr<SystemBinding> binding_;
+};
+
+// Clock-domain bridge created by System::bind: presents a cycle-accurate
+// System as a sim::Clocked participant (cycles <-> nanoseconds at the
+// declared frequency) and as the sim::IrqSink peripherals raise interrupt
+// lines through.
+//
+// Scheduling behavior:
+//   - while the guest runs, advance_to steps the core until its local time
+//     reaches the slice target (the core may overshoot by the tail of a
+//     multi-cycle instruction; the next slice absorbs it);
+//   - while the guest sleeps in WFI with no deliverable interrupt (and
+//     after a clean exit), next_activity reports sim::kNever and advance_to
+//     bulk-advances the cycle counter — an idle ECU costs zero host work;
+//   - raise_irq first syncs a sleeping core's cycle counter to the present,
+//     so interrupt latency accounting starts at the true raise instant.
+class SystemBinding final : public sim::Clocked, public sim::IrqSink {
+ public:
+  SystemBinding(System& sys, sim::Simulation& sim, std::uint64_t hz);
+
+  SystemBinding(const SystemBinding&) = delete;
+  SystemBinding& operator=(const SystemBinding&) = delete;
+
+  // ----- sim::Clocked -----
+  [[nodiscard]] std::string_view name() const override {
+    return sys_.name();
+  }
+  void advance_to(sim::SimTime t) override;
+  [[nodiscard]] sim::SimTime next_activity() override;
+
+  // ----- sim::IrqSink -----
+  void raise_irq(unsigned line) override;
+  void clear_irq(unsigned line) override;
+
+  // ----- clock-domain conversions (pure integer, overflow-safe) -----
+  [[nodiscard]] std::uint64_t hz() const noexcept { return hz_; }
+  // Start time of cycle `cycles` (floor to the ns grid).
+  [[nodiscard]] sim::SimTime time_of_cycles(std::uint64_t cycles) const;
+  // First cycle boundary at or after `t`; exact inverse of time_of_cycles.
+  [[nodiscard]] std::uint64_t cycles_at(sim::SimTime t) const;
+  // The core's position on the shared time base.
+  [[nodiscard]] sim::SimTime local_time() const {
+    return time_of_cycles(sys_.core().cycles());
+  }
+
+  [[nodiscard]] System& system() noexcept { return sys_; }
+  [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
+
+  struct Stats {
+    std::uint64_t steps = 0;        // core instructions/interrupts stepped
+    std::uint64_t idle_cycles = 0;  // cycles slept through without stepping
+    std::uint64_t irq_raises = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] bool interrupt_deliverable();
+
+  System& sys_;
+  sim::Simulation& sim_;
+  std::uint64_t hz_;
+  Stats stats_;
 };
 
 inline System SystemBuilder::build() const { return System(*this); }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/simulation.h"
 #include "support/check.h"
 
 namespace aces::rtos {
@@ -65,6 +66,11 @@ class Kernel {
   explicit Kernel(sim::EventQueue& queue,
                   sim::SimTime context_switch_cost = 0)
       : queue_(queue), switch_cost_(context_switch_cost) {}
+  // Co-simulation form: a kernel model is a pure event-queue participant,
+  // so joining a Simulation just means living on its queue — it then
+  // interleaves deterministically with bound cycle-accurate Systems.
+  explicit Kernel(sim::Simulation& sim, sim::SimTime context_switch_cost = 0)
+      : Kernel(sim.queue(), context_switch_cost) {}
 
   // ----- configuration (before start) -----
   TaskId create_task(TaskConfig config);

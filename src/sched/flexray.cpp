@@ -96,4 +96,56 @@ FlexraySchedule build_static_schedule(
   return schedule;
 }
 
+// ----- FlexrayStaticDriver ---------------------------------------------------
+
+FlexrayStaticDriver::FlexrayStaticDriver(sim::EventQueue& queue,
+                                         FlexrayConfig config,
+                                         std::vector<FlexrayFrame> frames,
+                                         FlexraySchedule schedule)
+    : queue_(queue),
+      config_(config),
+      frames_(std::move(frames)),
+      schedule_(std::move(schedule)) {
+  ACES_CHECK_MSG(schedule_.feasible,
+                 "cannot play an infeasible FlexRay schedule");
+  for (const FlexrayAssignment& a : schedule_.assignments) {
+    ACES_CHECK_MSG(a.frame >= 0 &&
+                       static_cast<std::size_t>(a.frame) < frames_.size(),
+                   "schedule references a frame outside the given set");
+    ACES_CHECK_MSG(a.repetition >= 1 && a.base_cycle < a.repetition,
+                   "assignment '" +
+                       frames_[static_cast<std::size_t>(a.frame)].name +
+                       "' has an invalid (base, repetition) pattern");
+    ACES_CHECK_MSG(a.slot < config_.static_slots,
+                   "assignment '" +
+                       frames_[static_cast<std::size_t>(a.frame)].name +
+                       "' is placed outside the static segment");
+  }
+}
+
+void FlexrayStaticDriver::start(SlotFn on_slot) {
+  ACES_CHECK_MSG(!on_slot_, "FlexrayStaticDriver already started");
+  ACES_CHECK_MSG(static_cast<bool>(on_slot), "start() needs a slot callback");
+  on_slot_ = std::move(on_slot);
+  arm_cycle(queue_.now());
+}
+
+void FlexrayStaticDriver::arm_cycle(sim::SimTime cycle_start) {
+  for (const FlexrayAssignment& a : schedule_.assignments) {
+    if (cycle_ % a.repetition != a.base_cycle) {
+      continue;
+    }
+    const sim::SimTime slot_start =
+        cycle_start + static_cast<sim::SimTime>(a.slot) * config_.slot_length;
+    queue_.schedule_at(slot_start, [this, &a, slot_start] {
+      ++slots_played_;
+      on_slot_(frames_[static_cast<std::size_t>(a.frame)], a, slot_start);
+    });
+  }
+  queue_.schedule_at(cycle_start + config_.cycle_length, [this, cycle_start] {
+    cycle_ = (cycle_ + 1) % 64;
+    arm_cycle(cycle_start + config_.cycle_length);
+  });
+}
+
 }  // namespace aces::sched

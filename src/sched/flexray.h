@@ -11,10 +11,12 @@
 #ifndef ACES_SCHED_FLEXRAY_H
 #define ACES_SCHED_FLEXRAY_H
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/simulation.h"
 
 namespace aces::sched {
 
@@ -49,6 +51,52 @@ struct FlexraySchedule {
 
 [[nodiscard]] FlexraySchedule build_static_schedule(
     const FlexrayConfig& config, const std::vector<FlexrayFrame>& frames);
+
+// Runtime static-segment player: replays a feasible schedule on the shared
+// co-simulation time base. A pure event-queue participant — TDMA slot
+// boundaries, CAN traffic, kernel models and bound cycle-accurate Systems
+// all interleave under the one deterministic scheduler.
+class FlexrayStaticDriver {
+ public:
+  // Invoked at the start of each slot instance owned by `frame`.
+  using SlotFn = std::function<void(const FlexrayFrame& frame,
+                                    const FlexrayAssignment& assignment,
+                                    sim::SimTime slot_start)>;
+
+  // `schedule` must be feasible and must have been built from `frames`.
+  FlexrayStaticDriver(sim::EventQueue& queue, FlexrayConfig config,
+                      std::vector<FlexrayFrame> frames,
+                      FlexraySchedule schedule);
+  FlexrayStaticDriver(sim::Simulation& sim, FlexrayConfig config,
+                      std::vector<FlexrayFrame> frames,
+                      FlexraySchedule schedule)
+      : FlexrayStaticDriver(sim.queue(), std::move(config), std::move(frames),
+                            std::move(schedule)) {}
+
+  // Pinned: armed queue events capture `this`.
+  FlexrayStaticDriver(const FlexrayStaticDriver&) = delete;
+  FlexrayStaticDriver& operator=(const FlexrayStaticDriver&) = delete;
+
+  // Arms communication cycle 0 at the current instant; slots fire forever
+  // (every cycle_length) until the owning queue stops being run.
+  void start(SlotFn on_slot);
+
+  [[nodiscard]] unsigned cycle() const noexcept { return cycle_; }
+  [[nodiscard]] std::uint64_t slots_played() const noexcept {
+    return slots_played_;
+  }
+
+ private:
+  void arm_cycle(sim::SimTime cycle_start);
+
+  sim::EventQueue& queue_;
+  FlexrayConfig config_;
+  std::vector<FlexrayFrame> frames_;
+  FlexraySchedule schedule_;
+  SlotFn on_slot_;
+  unsigned cycle_ = 0;  // communication cycle counter, wraps at 64
+  std::uint64_t slots_played_ = 0;
+};
 
 }  // namespace aces::sched
 

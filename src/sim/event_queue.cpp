@@ -1,7 +1,5 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
-
 #include "support/check.h"
 
 namespace aces::sim {
@@ -10,38 +8,56 @@ EventId EventQueue::schedule_at(SimTime at, std::function<void()> fn) {
   ACES_CHECK_MSG(at >= now_, "cannot schedule an event in the past");
   const EventId id = next_id_++;
   pending_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
   return id;
 }
 
+void EventQueue::schedule_every(SimTime period, std::function<void()> fn) {
+  ACES_CHECK_MSG(period > 0, "periodic events need a positive period");
+  periodics_.push_back(Periodic{period, std::move(fn)});
+  arm_periodic(periodics_.back(), now_);
+}
+
+void EventQueue::arm_periodic(Periodic& p, SimTime at) {
+  // `p` lives in periodics_ (deque: stable address for the queue's
+  // lifetime), so the rearming lambda can capture it by reference.
+  (void)schedule_at(at, [this, &p] {
+    p.fn();
+    arm_periodic(p, now_ + p.period);
+  });
+}
+
 void EventQueue::cancel(EventId id) {
-  if (std::find(cancelled_.begin(), cancelled_.end(), id) ==
-      cancelled_.end()) {
-    cancelled_.push_back(id);
-    ++cancelled_count_;
+  // Only ids still in the heap move to the cancelled set: a fired (or
+  // repeatedly cancelled) id is dropped here, so the sets never leak.
+  if (live_.erase(id) != 0) {
+    cancelled_.insert(id);
   }
 }
 
-bool EventQueue::step(SimTime horizon) {
-  while (!pending_.empty()) {
-    const Entry& top = pending_.top();
-    if (top.at > horizon) {
-      return false;
-    }
-    const auto it = std::find(cancelled_.begin(), cancelled_.end(), top.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_count_;
-      pending_.pop();
-      continue;
-    }
-    // Copy out before popping: the callback may schedule new events.
-    Entry entry = top;
+void EventQueue::prune_cancelled() {
+  while (!pending_.empty() && cancelled_.erase(pending_.top().id) != 0) {
     pending_.pop();
-    now_ = entry.at;
-    entry.fn();
-    return true;
   }
-  return false;
+}
+
+SimTime EventQueue::next_time() {
+  prune_cancelled();
+  return pending_.empty() ? kNever : pending_.top().at;
+}
+
+bool EventQueue::step(SimTime horizon) {
+  prune_cancelled();
+  if (pending_.empty() || pending_.top().at > horizon) {
+    return false;
+  }
+  // Copy out before popping: the callback may schedule new events.
+  Entry entry = pending_.top();
+  pending_.pop();
+  live_.erase(entry.id);
+  now_ = entry.at;
+  entry.fn();
+  return true;
 }
 
 std::size_t EventQueue::run_until(SimTime horizon) {

@@ -9,8 +9,11 @@
 #define ACES_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <limits>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace aces::sim {
@@ -20,6 +23,10 @@ using SimTime = std::int64_t;  // nanoseconds
 constexpr SimTime kMicrosecond = 1'000;
 constexpr SimTime kMillisecond = 1'000'000;
 constexpr SimTime kSecond = 1'000'000'000;
+
+// "No pending event / no self-scheduled activity" sentinel, shared with the
+// co-simulation scheduler (simulation.h).
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
 
 // Handle used to cancel a scheduled event. Cancellation is lazy: the event
 // stays in the queue but is skipped when popped.
@@ -31,7 +38,7 @@ class EventQueue {
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
-  // Schedules fn at absolute time `at` (must be >= now()).
+  // Schedules fn at absolute time `at` (must be >= now(), enforced).
   EventId schedule_at(SimTime at, std::function<void()> fn);
 
   // Schedules fn `delay` after now().
@@ -39,7 +46,15 @@ class EventQueue {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  // Marks an event as cancelled; a no-op if it already fired.
+  // Fires fn at now(), now()+period, now()+2*period, ... The queue owns
+  // the callback for its own lifetime (this is the safe home for the
+  // self-rescheduling periodic-sender pattern — a loop-local
+  // std::function that reschedules itself dangles once its scope ends).
+  // Periodic events cannot be cancelled individually.
+  void schedule_every(SimTime period, std::function<void()> fn);
+
+  // Marks an event as cancelled; a no-op if it already fired (or was
+  // already cancelled). O(1): ids live in hash sets, never searched.
   void cancel(EventId id);
 
   // Runs events until the queue is empty or the horizon is passed.
@@ -51,9 +66,11 @@ class EventQueue {
   // Returns false when nothing (non-cancelled) is pending in range.
   bool step(SimTime horizon);
 
-  [[nodiscard]] bool empty() const noexcept {
-    return pending_.size() == cancelled_count_;
-  }
+  // Time of the earliest non-cancelled pending event, or kNever. Prunes
+  // cancelled heads as a side effect (hence non-const).
+  [[nodiscard]] SimTime next_time();
+
+  [[nodiscard]] bool empty() const noexcept { return live_.empty(); }
 
  private:
   struct Entry {
@@ -71,12 +88,22 @@ class EventQueue {
     }
   };
 
+  struct Periodic {
+    SimTime period = 0;
+    std::function<void()> fn;
+  };
+
+  // Pops cancelled entries off the head of the heap.
+  void prune_cancelled();
+  void arm_periodic(Periodic& p, SimTime at);
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::priority_queue<Entry, std::vector<Entry>, Later> pending_;
-  std::vector<EventId> cancelled_;  // sorted insertion not needed; small
-  std::size_t cancelled_count_ = 0;
+  std::unordered_set<EventId> live_;       // scheduled, not fired/cancelled
+  std::unordered_set<EventId> cancelled_;  // cancelled, still in the heap
+  std::deque<Periodic> periodics_;         // stable homes for recurring fns
 };
 
 }  // namespace aces::sim

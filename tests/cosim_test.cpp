@@ -1,0 +1,577 @@
+// Co-simulation scheduler tests: cycle-accurate Systems as first-class
+// participants of the one event-driven time base.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "can/controller.h"
+#include "cpu/ivc.h"
+#include "cpu/profiles.h"
+#include "cpu/system.h"
+#include "isa/assembler.h"
+#include "sched/flexray.h"
+#include "sim/simulation.h"
+
+namespace aces {
+namespace {
+
+using namespace aces::isa;
+using Ctl = can::CanController;
+
+constexpr std::uint32_t kVectors = cpu::kSramBase + 0x40;
+constexpr std::uint32_t kCount = cpu::kSramBase + 0x100;
+constexpr unsigned kLine = 1;
+
+// ----- plain Clocked probes ---------------------------------------------------
+
+struct ProbeClocked final : sim::Clocked {
+  std::string label;
+  std::vector<sim::SimTime>* trace;  // shared across probes: global order
+  std::vector<std::string>* order;
+  sim::SimTime busy_until = 0;  // reports busy (now) below this local limit
+  sim::SimTime local = 0;
+
+  ProbeClocked(std::string l, std::vector<sim::SimTime>* t,
+               std::vector<std::string>* o)
+      : label(std::move(l)), trace(t), order(o) {}
+
+  [[nodiscard]] std::string_view name() const override { return label; }
+  void advance_to(sim::SimTime t) override {
+    local = t;
+    trace->push_back(t);
+    order->push_back(label);
+  }
+  [[nodiscard]] sim::SimTime next_activity() override {
+    return local < busy_until ? local : sim::kNever;
+  }
+};
+
+TEST(Simulation, RoundRobinIsRegistrationOrder) {
+  sim::Simulation sim(10 * sim::kMicrosecond);
+  std::vector<sim::SimTime> trace;
+  std::vector<std::string> order;
+  ProbeClocked a("a", &trace, &order);
+  ProbeClocked b("b", &trace, &order);
+  a.busy_until = 50 * sim::kMicrosecond;
+  b.busy_until = 50 * sim::kMicrosecond;
+  sim.add(a);
+  sim.add(b);
+  sim.run_until(30 * sim::kMicrosecond);
+  // Three quantum windows, each advancing a then b to the same target.
+  ASSERT_EQ(order.size(), 6u);
+  for (std::size_t k = 0; k < order.size(); k += 2) {
+    EXPECT_EQ(order[k], "a");
+    EXPECT_EQ(order[k + 1], "b");
+    EXPECT_EQ(trace[k], trace[k + 1]);
+  }
+  EXPECT_EQ(trace.back(), 30 * sim::kMicrosecond);
+}
+
+TEST(Simulation, SlicesAreCutAtEventTimes) {
+  sim::Simulation sim(1 * sim::kMillisecond);
+  std::vector<sim::SimTime> trace;
+  std::vector<std::string> order;
+  ProbeClocked a("a", &trace, &order);
+  a.busy_until = sim::kNever;
+  sim.add(a);
+  bool fired = false;
+  sim.schedule_at(300 * sim::kMicrosecond, [&] {
+    fired = true;
+    // The participant must have been advanced exactly to the event time,
+    // not quantum-rounded past it.
+    EXPECT_EQ(a.local, 300 * sim::kMicrosecond);
+  });
+  sim.run_until(2 * sim::kMillisecond);
+  EXPECT_TRUE(fired);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.front(), 300 * sim::kMicrosecond);
+}
+
+TEST(Simulation, IdleNetworkFastForwards) {
+  sim::Simulation sim(10 * sim::kMicrosecond);
+  std::vector<sim::SimTime> trace;
+  std::vector<std::string> order;
+  ProbeClocked a("a", &trace, &order);  // idle: busy_until = 0
+  sim.add(a);
+  sim.run_until(10 * sim::kSecond);  // a million quanta if walked naively
+  EXPECT_EQ(sim.now(), 10 * sim::kSecond);
+  EXPECT_LE(sim.stats().slices, 2u);
+  EXPECT_GE(sim.stats().idle_jumps, 1u);
+}
+
+TEST(Simulation, RejectsDuplicateParticipantsAndBackwardRuns) {
+  sim::Simulation sim;
+  std::vector<sim::SimTime> trace;
+  std::vector<std::string> order;
+  ProbeClocked a("a", &trace, &order);
+  sim.add(a);
+  EXPECT_THROW(sim.add(a), std::logic_error);
+  sim.run_until(100);
+  EXPECT_THROW(sim.run_until(50), std::logic_error);
+  EXPECT_THROW(sim::Simulation(0), std::logic_error);
+}
+
+TEST(Simulation, RejectsReentrantRun) {
+  sim::Simulation sim;
+  bool threw = false;
+  sim.schedule_at(10, [&] {
+    try {
+      sim.run_until(20);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  sim.run_until(100);
+  EXPECT_TRUE(threw);
+  // The guard resets: a fresh top-level run still works.
+  sim.schedule_at(200, [] {});
+  sim.run_until(300);
+  EXPECT_EQ(sim.now(), 300);
+}
+
+// ----- bound Systems ----------------------------------------------------------
+
+// Minimal interrupt-driven guest: WFI main loop; the ISR bumps a counter
+// in SRAM and returns.
+Image build_wfi_guest(Assembler& a, Label* entry, Label* isr) {
+  *entry = a.bound_label();
+  const Label top = a.bound_label();
+  Instruction wfi;
+  wfi.op = Op::wfi;
+  a.ins(wfi);
+  a.b(top);
+  a.pool();
+  *isr = a.bound_label();
+  a.load_literal(r3, kCount);
+  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
+  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
+  a.ins(ins_ret());
+  a.pool();
+  return a.assemble();
+}
+
+struct BoundEcu {
+  Assembler assembler{Encoding::b32, cpu::kFlashBase};
+  Label entry, isr;
+  cpu::System sys;
+  cpu::SystemBinding& binding;
+
+  BoundEcu(const char* name, sim::Simulation& sim, std::uint64_t hz)
+      : sys(cpu::profiles::modern_mcu().name(name).clock_hz(hz).flash_size(
+            16 * 1024).ivc([] {
+          cpu::Ivc::Config c;
+          c.vector_table = kVectors;
+          c.lines = 4;
+          return c;
+        }())),
+        binding(sys.bind(sim)) {
+    const Image image = build_wfi_guest(assembler, &entry, &isr);
+    sys.load(image);
+    sys.set_irq_handler(kLine, assembler.label_address(isr));
+    sys.ivc()->enable_line(kLine, 32);
+    sys.core().reset(assembler.label_address(entry), sys.initial_sp());
+  }
+
+  [[nodiscard]] std::uint32_t count() {
+    return sys.bus().read(kCount, 4, mem::Access::read, 0).value;
+  }
+};
+
+TEST(CoSim, SameInstantIrqsFireFifoAcrossTwoSystems) {
+  sim::Simulation sim(100 * sim::kMicrosecond);
+  BoundEcu a("a", sim, 8'000'000);
+  BoundEcu b("b", sim, 16'000'000);
+
+  // Two IRQ-raising events at the same instant, scheduled b-first: FIFO
+  // dispatch raises b's line before a's, regardless of registration order.
+  std::vector<std::string> raise_order;
+  const sim::SimTime t = 1 * sim::kMillisecond;
+  sim.schedule_at(t, [&] {
+    raise_order.push_back("b");
+    b.binding.raise_irq(kLine);
+  });
+  sim.schedule_at(t, [&] {
+    raise_order.push_back("a");
+    a.binding.raise_irq(kLine);
+  });
+  sim.run_until(2 * sim::kMillisecond);
+
+  EXPECT_EQ(raise_order, (std::vector<std::string>{"b", "a"}));
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(b.count(), 1u);
+  // Both sleeping cores were woken at the same shared instant, each in its
+  // own clock domain: the raise lands at exactly t cycles.
+  ASSERT_EQ(a.sys.ivc()->latencies(kLine).size(), 1u);
+  ASSERT_EQ(b.sys.ivc()->latencies(kLine).size(), 1u);
+  // 1 ms at 8 MHz = 8000 cycles; at 16 MHz = 16000 cycles. Entry happens
+  // a few cycles later (stacking); the *raise* bookkeeping is exact.
+  EXPECT_GE(a.sys.core().cycles(), 8'000u);
+  EXPECT_GE(b.sys.core().cycles(), 16'000u);
+  EXPECT_EQ(a.sys.ivc()->latencies(kLine)[0],
+            b.sys.ivc()->latencies(kLine)[0]);
+}
+
+// A queue event created *mid-window* (here: by a clocked participant's
+// advance_to, the guest-TX pattern) can land after a sleeping System was
+// already fast-forwarded past it. The wakeup is then up to one quantum
+// late — and that lateness must show up in the latency measurement, not be
+// silently absorbed by stamping the raise at the slice end.
+struct MidWindowScheduler final : sim::Clocked {
+  sim::Simulation& sim;
+  cpu::SystemBinding& target;
+  bool armed = false;
+
+  MidWindowScheduler(sim::Simulation& s, cpu::SystemBinding& t)
+      : sim(s), target(t) {}
+  [[nodiscard]] std::string_view name() const override { return "midwin"; }
+  void advance_to(sim::SimTime) override {
+    if (!armed) {
+      armed = true;
+      // 400 us into the 1 ms window the planner has already laid out.
+      sim.schedule_at(400 * sim::kMicrosecond,
+                      [this] { target.raise_irq(kLine); });
+    }
+  }
+  [[nodiscard]] sim::SimTime next_activity() override {
+    return armed ? sim::kNever : sim.now();
+  }
+};
+
+TEST(CoSim, QuantumLateWakeupIsChargedToLatency) {
+  sim::Simulation sim(1 * sim::kMillisecond);  // quantum >> event offset
+  cpu::System sys(cpu::profiles::modern_mcu().name("late").clock_hz(
+      8'000'000).flash_size(16 * 1024).ivc([] {
+    cpu::Ivc::Config c;
+    c.vector_table = kVectors;
+    c.lines = 4;
+    return c;
+  }()));
+  Assembler a(Encoding::b32, cpu::kFlashBase);
+  Label entry, isr;
+  const Image image = build_wfi_guest(a, &entry, &isr);
+  sys.load(image);
+  sys.set_irq_handler(kLine, a.label_address(isr));
+  sys.ivc()->enable_line(kLine, 32);
+  cpu::SystemBinding& binding = sys.bind(sim);
+  sys.core().reset(a.label_address(entry), sys.initial_sp());
+
+  MidWindowScheduler scheduler(sim, binding);
+  sim.add(scheduler);
+  sim.run_until(3 * sim::kMillisecond);
+
+  // The guest serviced the interrupt...
+  ASSERT_EQ(sys.ivc()->latencies(kLine).size(), 1u);
+  // ...and the measured entry latency includes the late wake: the raise is
+  // stamped at 400 us (3200 cycles @ 8 MHz) while the sleeping core had
+  // been fast-forwarded to the 1 ms window end (8000 cycles), so entry
+  // cannot be sooner than 4800 cycles after the stamp.
+  EXPECT_GE(sys.ivc()->latencies(kLine)[0], 4'800u);
+}
+
+TEST(CoSim, WfiIdlingCostsZeroHostWork) {
+  sim::Simulation sim(50 * sim::kMicrosecond);
+  BoundEcu a("sleeper", sim, 100'000'000);  // 100 MHz, always asleep
+  sim.schedule_at(1 * sim::kMillisecond, [&] { a.binding.raise_irq(kLine); });
+  sim.run_until(10 * sim::kSecond);
+
+  EXPECT_EQ(a.count(), 1u);
+  // 10 simulated seconds at 100 MHz is 1e9 cycles; virtually all of them
+  // must have been slept through, not stepped.
+  EXPECT_EQ(a.sys.core().cycles(), 1'000'000'000u);
+  EXPECT_LT(a.binding.stats().steps, 100u);
+  EXPECT_GT(a.binding.stats().idle_cycles, 999'000'000u);
+}
+
+TEST(CoSim, ClockConversionsRoundTripAtAwkwardFrequencies) {
+  // 48 MHz: 20.833... ns per cycle, nothing divides evenly. cycles_at is
+  // the first boundary at or after t, making it the exact inverse of
+  // time_of_cycles.
+  sim::Simulation sim;
+  cpu::System sys(cpu::profiles::modern_mcu().name("odd"));
+  cpu::SystemBinding& b = sys.bind(sim, 48'000'000);
+  for (const std::uint64_t c :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{7},
+        std::uint64_t{123'456}, std::uint64_t{999'999'937}}) {
+    EXPECT_EQ(b.cycles_at(b.time_of_cycles(c)), c);
+  }
+  // cycles_at(t) is the smallest cycle count whose start time has reached
+  // t: a core advanced there is never early, and one cycle less is late.
+  for (sim::SimTime t = 0; t < 2'000; t += 13) {
+    const std::uint64_t c = b.cycles_at(t);
+    EXPECT_GE(b.time_of_cycles(c), t);
+    if (c > 0) {
+      EXPECT_LT(b.time_of_cycles(c - 1), t);
+    }
+  }
+}
+
+TEST(CoSim, BindValidatesClockAndSingleUse) {
+  sim::Simulation sim;
+  cpu::System no_clock(cpu::SystemBuilder{});  // no profile: no clock_hz
+  EXPECT_THROW(no_clock.bind(sim), std::logic_error);
+
+  cpu::System sys(cpu::profiles::modern_mcu());
+  EXPECT_EQ(sys.clock_hz(), 50'000'000u);  // profile-declared default
+  sys.bind(sim);
+  EXPECT_THROW(sys.bind(sim), std::logic_error);
+
+  cpu::System too_fast(cpu::profiles::modern_mcu().clock_hz(2'000'000'000));
+  sim::Simulation sim2;
+  EXPECT_THROW(too_fast.bind(sim2), std::logic_error);
+}
+
+// ----- ecu_node regression ----------------------------------------------------
+
+// Replica of examples/ecu_node.cpp's scenario. The asserted numbers are
+// the goldens from the pre-co-simulation implementation (manual cycle-hook
+// bridging): the migration to Simulation/bind must not move them.
+constexpr std::uint32_t kSampleCount = cpu::kSramBase + 0x100;
+constexpr std::uint32_t kSpeedAccum = cpu::kSramBase + 0x104;
+constexpr std::uint32_t kSensorId = 0x120;
+constexpr std::uint32_t kStatusId = 0x310;
+
+Image build_wheel_guest(Assembler& a, Label* entry, Label* isr) {
+  *entry = a.bound_label();
+  const Label top = a.bound_label();
+  a.ins(ins_rri(Op::add, r6, r6, 1, SetFlags::any));
+  a.b(top);
+  a.pool();
+  *isr = a.bound_label();
+  a.load_literal(r0, cpu::kPeriphBase);
+  a.ins(ins_ldst_imm(Op::ldr, r1, r0, Ctl::kRxData0));
+  a.load_literal(r3, kSampleCount);
+  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
+  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
+  a.ins(ins_ldst_imm(Op::ldr, r12, r3, 4));
+  a.ins(ins_rrr(Op::add, r12, r12, r1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r3, 4));
+  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
+  a.ins(ins_rri(Op::and_, r12, r2, 3, SetFlags::yes));
+  const Label done = a.new_label();
+  a.b(done, Cond::ne);
+  a.load_literal(r12, kStatusId);
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxId));
+  a.ins(ins_mov_imm(r12, 4, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxDlc));
+  a.ins(ins_ldst_imm(Op::ldr, r12, r3, 4));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxData0));
+  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxCmd));
+  a.bind(done);
+  a.ins(ins_ret());
+  a.pool();
+  return a.assemble();
+}
+
+struct WheelRun {
+  std::uint32_t samples = 0;
+  std::uint32_t accum = 0;
+  int status_frames = 0;
+  std::uint64_t isr_entries = 0;
+  std::vector<std::uint64_t> latencies;
+};
+
+WheelRun run_wheel_scenario() {
+  sim::Simulation sim(100 * sim::kMicrosecond);
+  can::CanBus bus(sim.queue(), 500'000);
+  Ctl::Config cc;
+  cc.rx_line = kLine;
+  Ctl controller(bus, "ecu", cc);
+
+  const can::NodeId sensor = bus.attach_node("wheel-sensor");
+  WheelRun out;
+  bus.subscribe(sensor, [&](const can::CanFrame& f, sim::SimTime) {
+    if (f.id == kStatusId) {
+      ++out.status_frames;
+    }
+  });
+
+  Assembler a(Encoding::b32, cpu::kFlashBase);
+  Label entry, isr;
+  const Image image = build_wheel_guest(a, &entry, &isr);
+
+  cpu::Ivc::Config ic;
+  ic.vector_table = kVectors;
+  ic.lines = 4;
+  cpu::System sys(cpu::profiles::modern_mcu()
+                      .name("wheel-ecu")
+                      .clock_hz(8'000'000)
+                      .flash_size(64 * 1024)
+                      .device(cpu::kPeriphBase, controller)
+                      .ivc(ic));
+  sys.load(image);
+  sys.set_irq_handler(kLine, a.label_address(isr));
+  sys.ivc()->enable_line(kLine, 32);
+  cpu::SystemBinding& ecu = sys.bind(sim);
+  controller.connect_irq(ecu);
+  ACES_CHECK(
+      sys.bus().write(cpu::kPeriphBase + Ctl::kCtrl, 4, Ctl::kCtrlRxie, 0)
+          .ok());
+
+  for (int k = 0; k < 16; ++k) {
+    sim.schedule_at((k + 1) * 2 * sim::kMillisecond, [&bus, sensor, k] {
+      can::CanFrame f;
+      f.id = kSensorId;
+      f.dlc = 4;
+      const std::uint32_t speed = 1200 - 40 * static_cast<std::uint32_t>(k);
+      f.data[0] = static_cast<std::uint8_t>(speed);
+      f.data[1] = static_cast<std::uint8_t>(speed >> 8);
+      bus.send(sensor, f);
+    });
+  }
+  sys.core().reset(a.label_address(entry), sys.initial_sp());
+  sim.run_until(35 * sim::kMillisecond);
+
+  out.samples = sys.bus().read(kSampleCount, 4, mem::Access::read, 0).value;
+  out.accum = sys.bus().read(kSpeedAccum, 4, mem::Access::read, 0).value;
+  out.isr_entries = sys.ivc()->stats().entries;
+  out.latencies = sys.ivc()->latencies(kLine);
+  return out;
+}
+
+TEST(CoSim, EcuNodeLatencyNumbersUnchangedByMigration) {
+  const WheelRun r = run_wheel_scenario();
+  EXPECT_EQ(r.samples, 16u);
+  EXPECT_EQ(r.accum, 14'400u);
+  EXPECT_EQ(r.status_frames, 4);
+  EXPECT_EQ(r.isr_entries, 16u);
+  std::uint64_t worst = 0;
+  for (const std::uint64_t l : r.latencies) {
+    worst = std::max(worst, l);
+  }
+  // Golden from the pre-migration manual-bridging implementation.
+  EXPECT_EQ(worst, 11u);
+}
+
+TEST(CoSim, ScenariosAreDeterministic) {
+  const WheelRun r1 = run_wheel_scenario();
+  const WheelRun r2 = run_wheel_scenario();
+  EXPECT_EQ(r1.samples, r2.samples);
+  EXPECT_EQ(r1.accum, r2.accum);
+  EXPECT_EQ(r1.isr_entries, r2.isr_entries);
+  EXPECT_EQ(r1.latencies, r2.latencies);
+}
+
+// ----- FlexRay static segment on the shared time base -------------------------
+
+TEST(CoSim, FlexrayDriverPlaysSlotsDeterministically) {
+  sim::Simulation sim;
+  sched::FlexrayConfig config;
+  config.cycle_length = 5 * sim::kMillisecond;
+  config.static_slots = 4;
+  config.slot_length = 100 * sim::kMicrosecond;
+  std::vector<sched::FlexrayFrame> frames = {
+      {"fast", 0, 5 * sim::kMillisecond},    // every cycle
+      {"slow", 1, 10 * sim::kMillisecond},   // every 2nd cycle
+  };
+  const sched::FlexraySchedule schedule =
+      sched::build_static_schedule(config, frames);
+  ASSERT_TRUE(schedule.feasible);
+
+  sched::FlexrayStaticDriver driver(sim, config, frames, schedule);
+  std::vector<std::pair<std::string, sim::SimTime>> played;
+  driver.start([&](const sched::FlexrayFrame& f,
+                   const sched::FlexrayAssignment& assignment,
+                   sim::SimTime slot_start) {
+    EXPECT_EQ(slot_start % config.slot_length, 0);
+    EXPECT_LT(assignment.slot, config.static_slots);
+    played.emplace_back(f.name, slot_start);
+  });
+  sim.run_until(14 * sim::kMillisecond);  // cycles 0, 1 and 2 complete
+
+  std::vector<std::pair<std::string, sim::SimTime>> fast, slow;
+  for (const auto& p : played) {
+    (p.first == "fast" ? fast : slow).push_back(p);
+  }
+  // "fast" fires once per cycle in its slot; "slow" every other cycle.
+  ASSERT_EQ(fast.size(), 3u);
+  EXPECT_EQ(fast[0].second - 0, fast[1].second - 5 * sim::kMillisecond);
+  EXPECT_EQ(fast[1].second + 5 * sim::kMillisecond, fast[2].second);
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[1].second - slow[0].second, 10 * sim::kMillisecond);
+  EXPECT_EQ(driver.slots_played(), played.size());
+}
+
+// ----- mixed fidelity ---------------------------------------------------------
+
+TEST(CoSim, GuestEcuAndEventModelShareOneBus) {
+  // A guest-code ECU (ISS) and a plain event-driven sender on one CAN bus:
+  // the compact version of examples/body_network.cpp's mixed-fidelity
+  // scenario, asserted deterministically.
+  sim::Simulation sim(50 * sim::kMicrosecond);
+  can::CanBus bus(sim.queue(), 125'000);
+
+  Ctl::Config cc;
+  cc.rx_line = kLine;
+  Ctl controller(bus, "guest", cc);
+
+  Assembler a(Encoding::b32, cpu::kFlashBase);
+  Label entry, isr;
+  // Like the WFI guest, but the ISR must drain the controller: count,
+  // then pop and ack.
+  entry = a.bound_label();
+  const Label top = a.bound_label();
+  Instruction wfi;
+  wfi.op = Op::wfi;
+  a.ins(wfi);
+  a.b(top);
+  a.pool();
+  isr = a.bound_label();
+  a.load_literal(r0, cpu::kPeriphBase);
+  a.load_literal(r3, kCount);
+  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
+  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
+  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
+  a.ins(ins_ret());
+  a.pool();
+  const Image image = a.assemble();
+
+  cpu::Ivc::Config ic;
+  ic.vector_table = kVectors;
+  ic.lines = 4;
+  cpu::System sys(cpu::profiles::modern_mcu()
+                      .name("guest")
+                      .clock_hz(8'000'000)
+                      .flash_size(16 * 1024)
+                      .device(cpu::kPeriphBase, controller)
+                      .ivc(ic));
+  sys.load(image);
+  sys.set_irq_handler(kLine, a.label_address(isr));
+  sys.ivc()->enable_line(kLine, 32);
+  cpu::SystemBinding& binding = sys.bind(sim);
+  controller.connect_irq(binding);
+  ACES_CHECK(
+      sys.bus().write(cpu::kPeriphBase + Ctl::kCtrl, 4, Ctl::kCtrlRxie, 0)
+          .ok());
+  sys.core().reset(a.label_address(entry), sys.initial_sp());
+
+  const can::NodeId sender = bus.attach_node("model");
+  for (int k = 0; k < 10; ++k) {
+    sim.schedule_at((k + 1) * 10 * sim::kMillisecond, [&bus, sender] {
+      can::CanFrame f;
+      f.id = 0x123;
+      f.dlc = 2;
+      bus.send(sender, f);
+    });
+  }
+  sim.run_until(200 * sim::kMillisecond);
+
+  EXPECT_EQ(sys.bus().read(kCount, 4, mem::Access::read, 0).value, 10u);
+  EXPECT_EQ(controller.stats().frames_received, 10u);
+  EXPECT_EQ(controller.stats().frames_dropped, 0u);
+  // The guest slept between frames: steps are a tiny fraction of the
+  // 1.6 M cycles that 200 ms at 8 MHz represents.
+  EXPECT_EQ(sys.core().cycles(), 1'600'000u);
+  EXPECT_LT(binding.stats().steps, 2'000u);
+}
+
+}  // namespace
+}  // namespace aces

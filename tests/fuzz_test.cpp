@@ -55,7 +55,12 @@ class KirInterpreter {
     return regs_[static_cast<std::size_t>(v)];
   }
   [[nodiscard]] std::uint32_t operand(const kir::KInsn& i) const {
-    return i.b_is_imm ? static_cast<std::uint32_t>(i.imm) : get(i.b);
+    if (i.b_is_imm) {
+      return static_cast<std::uint32_t>(i.imm);
+    }
+    // One-operand instructions leave b at its -1 sentinel; their (unused)
+    // operand must not be read out of regs_.
+    return i.b >= 0 ? get(i.b) : 0;
   }
   [[nodiscard]] static bool compare(Cond c, std::uint32_t a,
                                     std::uint32_t b) {

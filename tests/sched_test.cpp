@@ -158,14 +158,12 @@ TEST(CanRta, DominatesSimulatedBus) {
   (void)bus.attach_node("rx");
   // Periodic senders with deterministic phase 0 (critical instant-ish).
   for (const CanMessage& m : msgs) {
-    std::function<void()> kick = [&bus, &q, m, tx, &kick]() {
+    q.schedule_every(m.period, [&bus, m, tx]() {
       can::CanFrame f;
       f.id = m.id;
       f.dlc = m.dlc;
       bus.send(tx, f);
-      q.schedule_in(m.period, kick);
-    };
-    q.schedule_at(0, kick);
+    });
   }
   q.run_until(2 * sim::kSecond);
   for (std::size_t k = 0; k < msgs.size(); ++k) {

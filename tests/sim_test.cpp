@@ -71,6 +71,77 @@ TEST(EventQueue, CancelAfterFireIsNoop) {
   q.cancel(id);  // already fired
   q.run_until(100);
   EXPECT_EQ(fired, 1);
+  // A stale cancel must not make an empty queue look occupied.
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelDuringDispatchOfSameInstant) {
+  EventQueue q;
+  int fired = 0;
+  EventId second = 0;
+  q.schedule_at(10, [&] { q.cancel(second); });
+  second = q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(10, [&] { ++fired; });
+  q.run_until(100);
+  EXPECT_EQ(fired, 1);  // only the third event survives
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DenseCancellationStaysCorrect) {
+  // The O(1) cancellation path: thousands of timers armed and cancelled
+  // (the re-arm pattern of watchdog/timeout models), interleaved with
+  // live events.
+  EventQueue q;
+  int fired = 0;
+  std::vector<EventId> armed;
+  for (int k = 0; k < 5000; ++k) {
+    armed.push_back(q.schedule_at(10 + k, [&] { ++fired; }));
+  }
+  for (int k = 0; k < 5000; ++k) {
+    if (k % 2 == 0) {
+      q.cancel(armed[static_cast<std::size_t>(k)]);
+    }
+  }
+  for (const EventId id : armed) {
+    q.cancel(id);  // double-cancel half, first-cancel the rest
+  }
+  EXPECT_TRUE(q.empty());
+  q.schedule_at(20'000, [&] { ++fired; });
+  q.run_until(30'000);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ScheduleEveryFiresPeriodicallyFromNow) {
+  EventQueue q;
+  std::vector<SimTime> fire_times;
+  q.run_until(5);
+  q.schedule_every(10, [&] { fire_times.push_back(q.now()); });
+  q.run_until(40);
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{5, 15, 25, 35}));
+  EXPECT_THROW(q.schedule_every(0, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, ScheduleEveryInterleavesFifoWithPlainEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_every(10, [&] { order.push_back(1); });  // fires at 0, 10, ...
+  q.schedule_at(10, [&] { order.push_back(2); });
+  q.run_until(10);
+  // At t=10 the periodic rearm (scheduled during the t=0 firing) has a
+  // later sequence number than the plain event scheduled up front.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1}));
+}
+
+TEST(EventQueue, NextTimePeeksEarliestLiveEvent) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kNever);
+  const EventId early = q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  EXPECT_EQ(q.next_time(), 10);
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 20);
+  q.run_until(100);
+  EXPECT_EQ(q.next_time(), kNever);
 }
 
 TEST(EventQueue, SchedulingInPastThrows) {
