@@ -17,12 +17,48 @@ using isa::SetFlags;
 using support::bits;
 using support::sign_extend;
 
+namespace {
+
+// Raw host-storage accessors for the DirectSpan fast paths (little-endian,
+// like ByteStore; the per-byte loops compile down to plain loads/stores).
+[[nodiscard]] inline std::uint32_t load_le(const std::uint8_t* p,
+                                           unsigned size) {
+  std::uint32_t v = 0;
+  for (unsigned k = 0; k < size; ++k) {
+    v |= static_cast<std::uint32_t>(p[k]) << (8 * k);
+  }
+  return v;
+}
+
+inline void store_le(std::uint8_t* p, unsigned size, std::uint32_t v) {
+  for (unsigned k = 0; k < size; ++k) {
+    p[k] = static_cast<std::uint8_t>(v >> (8 * k));
+  }
+}
+
+// Naturally aligned 1/2/4-byte access fully inside the span?
+[[nodiscard]] inline bool span_covers(const mem::DirectSpan& s,
+                                      std::uint32_t addr, unsigned size) {
+  // s.size >= 4 is guaranteed at acquisition, so size <= s.size never
+  // underflows the subtraction.
+  return s.size != 0 && addr >= s.base && addr - s.base <= s.size - size &&
+         (addr & (size - 1)) == 0;
+}
+
+}  // namespace
+
 Core::Core(CoreConfig config, mem::MemPort& ifetch, mem::MemPort& data)
     : config_(config),
       codec_(isa::codec_for(config.encoding)),
       ifetch_(ifetch),
       data_(data) {
   privileged_ = config_.privileged;
+  if (config_.decode_cache_lines != 0) {
+    dcache_.emplace(config_.decode_cache_lines,
+                    config_.encoding == isa::Encoding::w32 ? 2u : 1u);
+  }
+  data_spans_ok_ = data_.offers_direct_spans();
+  ifetch_spans_ok_ = ifetch_.offers_direct_spans();
 }
 
 void Core::reset(std::uint32_t entry_pc, std::uint32_t initial_sp) {
@@ -37,9 +73,30 @@ void Core::reset(std::uint32_t entry_pc, std::uint32_t initial_sp) {
   clear_it_state();
   halt_ = HaltReason::none;
   fault_info_ = CoreFault{};
+  // A reset is a reboot: callers commonly reload images through backdoors
+  // the snoops don't see from a standalone core, so start decoding fresh.
+  invalidate_decoded();
 }
 
 // ----- memory helpers --------------------------------------------------------
+
+bool Core::acquire_data_span(std::uint32_t addr) {
+  if (!data_spans_ok_ || addr - nospan_base_ < nospan_size_) {
+    return false;
+  }
+  mem::DirectSpan s;
+  if (data_.direct_span(addr, &s) && s.data != nullptr && s.size >= 4) {
+    dspan_ = s;
+    return true;
+  }
+  if (s.size != 0) {
+    // Mapped, but the device declined: negative-cache the window so
+    // peripheral traffic stops probing.
+    nospan_base_ = s.base;
+    nospan_size_ = s.size;
+  }
+  return false;
+}
 
 bool Core::mem_read(std::uint32_t addr, unsigned size, std::uint32_t* value,
                     std::uint32_t* cycles, bool do_sign_extend,
@@ -49,6 +106,16 @@ bool Core::mem_read(std::uint32_t addr, unsigned size, std::uint32_t* value,
           mem::Fault::none) {
     do_fault(mem::Fault::mpu_violation, addr, mem::Access::read);
     return false;
+  }
+  if (span_covers(dspan_, addr, size) ||
+      (acquire_data_span(addr) && span_covers(dspan_, addr, size))) {
+    const std::uint32_t raw = load_le(dspan_.data + (addr - dspan_.base), size);
+    *cycles += dspan_.read_cycles;
+    *value = do_sign_extend
+                 ? static_cast<std::uint32_t>(sign_extend(raw, ext_bits))
+                 : raw;
+    ++stats_.loads;
+    return true;
   }
   const mem::MemResult r = data_.read(addr, size, mem::Access::read, cycles_);
   *cycles += r.cycles;
@@ -71,11 +138,23 @@ bool Core::mem_write(std::uint32_t addr, unsigned size, std::uint32_t value,
     do_fault(mem::Fault::mpu_violation, addr, mem::Access::write);
     return false;
   }
-  const mem::MemResult r = data_.write(addr, size, value, cycles_);
-  *cycles += r.cycles;
-  if (!r.ok()) {
-    do_fault(r.fault, addr, mem::Access::write);
-    return false;
+  if ((span_covers(dspan_, addr, size) ||
+       (acquire_data_span(addr) && span_covers(dspan_, addr, size))) &&
+      dspan_.writable) {
+    store_le(dspan_.data + (addr - dspan_.base), size, value);
+    *cycles += dspan_.write_cycles;
+  } else {
+    const mem::MemResult r = data_.write(addr, size, value, cycles_);
+    *cycles += r.cycles;
+    if (!r.ok()) {
+      do_fault(r.fault, addr, mem::Access::write);
+      return false;
+    }
+  }
+  // Self-modifying code: the store may overwrite instructions this core has
+  // already decoded (two compares when it doesn't, which is almost always).
+  if (dcache_) {
+    dcache_->snoop_write(addr, size);
   }
   ++stats_.stores;
   return true;
@@ -221,7 +300,7 @@ std::uint32_t Core::div_cycles(std::uint32_t dividend) const {
 // ----- fetch ---------------------------------------------------------------------
 
 bool Core::fetch_decode(std::uint32_t addr, Decoded* out,
-                        std::uint32_t* fetch_cycles) {
+                        std::uint32_t* fetch_cycles, FetchReplay* replay) {
   // Flash-patch lookup bypasses memory (served from patch RAM in 1 cycle).
   if (fpb_ != nullptr) {
     if (const auto patch = fpb_->lookup(addr)) {
@@ -232,6 +311,7 @@ bool Core::fetch_decode(std::uint32_t addr, Decoded* out,
       out->insn = patch->replacement;
       out->size = patch->replacement_size;
       *fetch_cycles = 1;
+      *replay = FetchReplay::fixed;
       return true;
     }
   }
@@ -255,6 +335,7 @@ bool Core::fetch_decode(std::uint32_t addr, Decoded* out,
     buf[k] = static_cast<std::uint8_t>(first.value >> (8 * k));
   }
 
+  *replay = FetchReplay::one_read;
   int n = codec_.decode(std::span<const std::uint8_t>(buf, unit), *&out->insn);
   if (n == 0 && unit == 2) {
     // Possibly the first half of a 32-bit instruction: fetch the second
@@ -269,12 +350,42 @@ bool Core::fetch_decode(std::uint32_t addr, Decoded* out,
     buf[2] = static_cast<std::uint8_t>(second.value);
     buf[3] = static_cast<std::uint8_t>(second.value >> 8);
     n = codec_.decode(std::span<const std::uint8_t>(buf, 4), out->insn);
+    *replay = FetchReplay::two_read;
   }
   if (n == 0) {
     halt(HaltReason::invalid_insn);
     return false;
   }
   out->size = n;
+  return true;
+}
+
+bool Core::replay_fetch(const DecodeCache::Line& line,
+                        std::uint32_t* fetch_cycles) {
+  if (line.replay == FetchReplay::fixed) {
+    *fetch_cycles = line.fixed_cycles;
+    return true;
+  }
+  // Re-issue the fetch reads so stateful timing models (flash streamer,
+  // I-cache LRU/fills, TCM hold-and-repair) and their statistics advance
+  // exactly as an uncached fetch would; only the decode work is skipped.
+  const unsigned unit = config_.encoding == isa::Encoding::w32 ? 4 : 2;
+  const mem::MemResult first =
+      ifetch_.read(line.pc, unit, mem::Access::fetch, cycles_);
+  *fetch_cycles = first.cycles;
+  if (!first.ok()) {
+    do_fault(first.fault, line.pc, mem::Access::fetch);
+    return false;
+  }
+  if (line.replay == FetchReplay::two_read) {
+    const mem::MemResult second = ifetch_.read(
+        line.pc + 2, 2, mem::Access::fetch, cycles_ + *fetch_cycles);
+    *fetch_cycles += second.cycles;
+    if (!second.ok()) {
+      do_fault(second.fault, line.pc + 2, mem::Access::fetch);
+      return false;
+    }
+  }
   return true;
 }
 
@@ -306,18 +417,24 @@ bool Core::step() {
   if (halt_ != HaltReason::none) {
     return false;
   }
+  // Slow-path attention, hoisted so the common case (no hook, not sleeping,
+  // no pending request) is a couple of predictable branches. The interrupt
+  // poll is gated on the controller's pending-line dirty flag, set by
+  // raise(); a masked-pending line keeps the flag (and the poll) alive so
+  // re-enabling interrupts still delivers it.
   if (cycle_hook_) {
     cycle_hook_(cycles_);
   }
   if (wfi_) {
-    if (intc_ != nullptr && intc_->would_preempt(*this)) {
+    if (intc_ != nullptr && intc_->dispatch_needed() &&
+        intc_->would_preempt(*this)) {
       wfi_ = false;
     } else {
       cycles_ += 1;
       return true;
     }
   }
-  if (intc_ != nullptr) {
+  if (intc_ != nullptr && intc_->dispatch_needed()) {
     intc_->poll(*this);
     if (halt_ != HaltReason::none) {
       return false;
@@ -325,18 +442,73 @@ bool Core::step() {
   }
 
   cur_pc_ = regs_[isa::pc];
-  Decoded d;
   std::uint32_t fetch_cycles = 0;
-  if (!fetch_decode(cur_pc_, &d, &fetch_cycles)) {
-    cycles_ += fetch_cycles;
-    return halt_ == HaltReason::none;
+  const Decoded* d = nullptr;
+  Decoded fresh;
+
+  if (dcache_) {
+    // Units that change fetch results without touching memory carry version
+    // counters; compare them before trusting a hit (only when they exist).
+    if (fpb_ != nullptr && fpb_->version() != fpb_version_seen_) {
+      fpb_version_seen_ = fpb_->version();
+      dcache_->invalidate_all();
+    }
+    if (mpu_ != nullptr && mpu_->version() != mpu_version_seen_) {
+      mpu_version_seen_ = mpu_->version();
+      dcache_->invalidate_all();
+    }
+    DecodeCache::Line* line = dcache_->lookup(cur_pc_);
+    if (line != nullptr && line->privileged == privileged_) {
+      ++dcache_->stats().hits;
+      if (!replay_fetch(*line, &fetch_cycles)) {
+        cycles_ += fetch_cycles;
+        return halt_ == HaltReason::none;
+      }
+      // Execute straight from the cache line: invalidation only bumps the
+      // generation (it never rewrites line contents mid-instruction), so
+      // the reference stays stable even if execute() snoops a store.
+      d = &line->d;
+    } else {
+      ++dcache_->stats().misses;
+    }
+  }
+
+  if (d == nullptr) {
+    FetchReplay replay = FetchReplay::one_read;
+    if (!fetch_decode(cur_pc_, &fresh, &fetch_cycles, &replay)) {
+      cycles_ += fetch_cycles;
+      return halt_ == HaltReason::none;
+    }
+    if (dcache_) {
+      std::uint32_t fixed_cycles = replay == FetchReplay::fixed ? 1 : 0;
+      if (replay != FetchReplay::fixed && ifetch_spans_ok_) {
+        // When every read of this fetch has provably state-free cost (SRAM;
+        // flash in its 1-cycle or prefetch-off regimes), cache the total
+        // and skip the memory traffic on every hit. The observed-cost
+        // cross-check keeps a misbehaving device honest.
+        const unsigned unit = config_.encoding == isa::Encoding::w32 ? 4 : 2;
+        std::optional<std::uint32_t> total =
+            ifetch_.fixed_fetch_cost(cur_pc_, unit);
+        if (total && replay == FetchReplay::two_read) {
+          const auto second = ifetch_.fixed_fetch_cost(cur_pc_ + 2, 2);
+          total = second ? std::optional<std::uint32_t>(*total + *second)
+                         : std::nullopt;
+        }
+        if (total && *total == fetch_cycles) {
+          replay = FetchReplay::fixed;
+          fixed_cycles = fetch_cycles;
+        }
+      }
+      dcache_->install(cur_pc_, fresh, replay, fixed_cycles, privileged_);
+    }
+    d = &fresh;
   }
 
   // Default sequential advance; execute() may overwrite (branch/restart).
-  regs_[isa::pc] = cur_pc_ + static_cast<std::uint32_t>(d.size);
+  regs_[isa::pc] = cur_pc_ + static_cast<std::uint32_t>(d->size);
 
   std::uint32_t exec_cycles = 0;
-  execute(d, &exec_cycles);
+  execute(*d, &exec_cycles);
 
   // Pipeline overlap: fetch of the next instruction hides behind execute.
   cycles_ += std::max(fetch_cycles, exec_cycles);
@@ -655,7 +827,7 @@ void Core::execute(const Decoded& d, std::uint32_t* exec_cycles) {
           cycle_hook_(cycles_ + cycles);
         }
         if (config_.restartable_ldm && transferred > 0 && intc_ != nullptr &&
-            intc_->would_preempt(*this)) {
+            intc_->dispatch_needed() && intc_->would_preempt(*this)) {
           regs_[isa::pc] = cur_pc_;  // restart this instruction
           ++stats_.ldm_restarts;
           *exec_cycles = cycles;
@@ -701,7 +873,7 @@ void Core::execute(const Decoded& d, std::uint32_t* exec_cycles) {
           cycle_hook_(cycles_ + cycles);
         }
         if (config_.restartable_ldm && transferred > 0 && intc_ != nullptr &&
-            intc_->would_preempt(*this)) {
+            intc_->dispatch_needed() && intc_->would_preempt(*this)) {
           regs_[isa::pc] = cur_pc_;
           ++stats_.ldm_restarts;
           *exec_cycles = cycles;

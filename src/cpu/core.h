@@ -19,6 +19,7 @@
 #include <functional>
 #include <optional>
 
+#include "cpu/decode_cache.h"
 #include "cpu/timings.h"
 #include "isa/codec.h"
 #include "isa/isa.h"
@@ -59,6 +60,11 @@ struct CoreConfig {
   bool restartable_ldm = false;
   // Initial privilege (OSEK kernels run tasks unprivileged).
   bool privileged = true;
+  // Decoded-instruction cache size (direct-mapped, power of two). 0
+  // disables it — every step then decodes from scratch, which is the
+  // reference the differential tests compare the cached runs against.
+  // Host-side speed only; retired (pc, cycles) traces are identical.
+  std::uint32_t decode_cache_lines = 2048;
 };
 
 class Core {
@@ -66,9 +72,15 @@ class Core {
   Core(CoreConfig config, mem::MemPort& ifetch, mem::MemPort& data);
 
   // ----- wiring -----
-  void set_mpu(mem::Mpu* mpu) { mpu_ = mpu; }
+  void set_mpu(mem::Mpu* mpu) {
+    mpu_ = mpu;
+    invalidate_decoded();  // cached fetch checks were validated without it
+  }
   void set_interrupt_controller(InterruptController* intc) { intc_ = intc; }
-  void set_flash_patch(FlashPatchUnit* fpb) { fpb_ = fpb; }
+  void set_flash_patch(FlashPatchUnit* fpb) {
+    fpb_ = fpb;
+    invalidate_decoded();
+  }
   // Handler for MPU/bus faults; without one, a fault halts the core.
   void set_fault_handler(std::uint32_t pc) {
     fault_handler_pc_ = pc;
@@ -138,17 +150,30 @@ class Core {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
- private:
-  struct Decoded {
-    isa::Instruction insn;
-    int size = 0;
-  };
+  // ----- decoded-instruction cache -----
+  [[nodiscard]] DecodeCache* decode_cache() {
+    return dcache_ ? &*dcache_ : nullptr;
+  }
+  // Drops every cached decode (used by the fault-injector upset hook and
+  // anything else that mutates code behind the memory system's back).
+  void invalidate_decoded() {
+    if (dcache_) {
+      dcache_->invalidate_all();
+    }
+  }
 
+ private:
   // Fetches and decodes at `addr`, charging fetch cycles (halfword-stream
   // fetches for the 16/32-bit encodings). Returns false on fetch fault /
-  // undecodable bits / breakpoint.
+  // undecodable bits / breakpoint. `replay` reports how a cached copy must
+  // reproduce the fetch cost (fixed for FPB patch RAM, else re-issued
+  // reads).
   bool fetch_decode(std::uint32_t addr, Decoded* out,
-                    std::uint32_t* fetch_cycles);
+                    std::uint32_t* fetch_cycles, FetchReplay* replay);
+  // Reproduces the fetch timing of a cached instruction: charges the fixed
+  // cost or re-issues the ifetch reads so device state advances exactly as
+  // an uncached fetch would. Returns false on a fetch fault.
+  bool replay_fetch(const DecodeCache::Line& line, std::uint32_t* fetch_cycles);
   void execute(const Decoded& d, std::uint32_t* exec_cycles);
 
   // Memory helpers: MPU check + data port access; sets pending fault.
@@ -156,6 +181,10 @@ class Core {
                 std::uint32_t* cycles, bool sign_extend, unsigned ext_bits);
   bool mem_write(std::uint32_t addr, unsigned size, std::uint32_t value,
                  std::uint32_t* cycles);
+  // Tries to (re)point dspan_ at the DirectSpan covering `addr`; updates
+  // the negative window on a mapped-but-declined device. False: take the
+  // virtual path.
+  bool acquire_data_span(std::uint32_t addr);
 
   void do_fault(mem::Fault kind, std::uint32_t addr, mem::Access access);
   void halt(HaltReason reason) { halt_ = reason; }
@@ -207,6 +236,19 @@ class Core {
   std::uint32_t fault_handler_pc_ = 0;
   bool has_fault_handler_ = false;
   CycleHook cycle_hook_;
+
+  // ----- fast paths -----
+  std::optional<DecodeCache> dcache_;
+  std::uint32_t fpb_version_seen_ = 0;
+  std::uint32_t mpu_version_seen_ = 0;
+  // Cached data-side DirectSpan (size 0: none) plus a negative window for
+  // the last mapped region that declined (peripherals), so the hot
+  // load/store path settles to raw host accesses with zero virtual calls.
+  bool data_spans_ok_ = false;
+  bool ifetch_spans_ok_ = false;
+  mem::DirectSpan dspan_;
+  std::uint32_t nospan_base_ = 0;
+  std::uint32_t nospan_size_ = 0;
 
   Stats stats_;
 };

@@ -31,23 +31,31 @@ class FlashPatchUnit {
   void set_breakpoint(unsigned slot, std::uint32_t addr) {
     ACES_CHECK(slot < kSlots);
     entries_[slot] = Entry{addr, Patch{}};
+    ++version_;
   }
 
   // Remaps the instruction at addr to `replacement` (served from patch RAM).
   void set_patch(unsigned slot, std::uint32_t addr, const Patch& patch) {
     ACES_CHECK(slot < kSlots);
     entries_[slot] = Entry{addr, patch};
+    ++version_;
   }
 
   void clear(unsigned slot) {
     ACES_CHECK(slot < kSlots);
     entries_[slot].reset();
+    ++version_;
   }
   void clear_all() {
     for (auto& e : entries_) {
       e.reset();
     }
+    ++version_;
   }
+
+  // Bumped on every remap/breakpoint change; the core's decoded-instruction
+  // cache compares it to drop stale entries after a mid-run reconfiguration.
+  [[nodiscard]] std::uint32_t version() const { return version_; }
 
   [[nodiscard]] std::optional<Patch> lookup(std::uint32_t addr) const {
     for (const auto& e : entries_) {
@@ -72,6 +80,7 @@ class FlashPatchUnit {
     Patch patch;
   };
   std::array<std::optional<Entry>, kSlots> entries_{};
+  std::uint32_t version_ = 0;
 };
 
 }  // namespace aces::cpu

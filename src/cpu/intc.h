@@ -36,6 +36,17 @@ class InterruptController {
   // Handles a branch to an exception-return magic address. Returns false
   // if the value does not belong to this controller.
   virtual bool exception_return(Core& core, std::uint32_t target) = 0;
+
+  // Fast-path gate: true while any request line is pending (deliverable or
+  // masked). The core skips poll()/would_preempt() entirely while false,
+  // keeping the no-pending-IRQ common case branch-cheap. Implementations
+  // keep pending_count_ current in raise/clear/dispatch; it must never be
+  // zero while a line is asserted (a conservative overcount merely costs a
+  // redundant poll).
+  [[nodiscard]] bool dispatch_needed() const { return pending_count_ != 0; }
+
+ protected:
+  unsigned pending_count_ = 0;
 };
 
 }  // namespace aces::cpu

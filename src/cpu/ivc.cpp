@@ -30,12 +30,16 @@ void Ivc::raise(unsigned line, std::uint64_t now) {
   if (!lines_[line].pending) {
     lines_[line].pending = true;
     lines_[line].raised_at = now;
+    ++pending_count_;
   }
 }
 
 void Ivc::clear(unsigned line) {
   ACES_CHECK(line < config_.lines);
-  lines_[line].pending = false;
+  if (lines_[line].pending) {
+    lines_[line].pending = false;
+    --pending_count_;
+  }
 }
 
 int Ivc::active_priority() const {
@@ -80,6 +84,7 @@ void Ivc::jump_to_vector(Core& core, unsigned line) {
   core.set_reg(isa::lr, kExcReturnBase +
                             static_cast<std::uint32_t>(active_.size() - 1));
   lines_[line].pending = false;
+  --pending_count_;
   lines_[line].latencies.push_back(core.cycles() - lines_[line].raised_at);
 }
 
@@ -171,6 +176,7 @@ void Ivc::reset() {
   for (Line& l : lines_) {
     l.pending = false;
   }
+  pending_count_ = 0;
 }
 
 }  // namespace aces::cpu

@@ -121,18 +121,15 @@ void SingleWireDebug::execute_command() {
     case SwdOp::write_mem: {
       // Debug writes use the program() backdoor so calibration data can be
       // dropped even into flash ("dynamic download ... during the
-      // calibration phase").
-      std::uint32_t off = 0;
-      mem::Device* dev = bus_.device_at(addr, &off);
-      if (dev == nullptr) {
+      // calibration phase"). Routed through load_image so the core's
+      // decode-cache write snoop sees debugger patches to code.
+      const std::uint8_t bytes[4] = {
+          static_cast<std::uint8_t>(data), static_cast<std::uint8_t>(data >> 8),
+          static_cast<std::uint8_t>(data >> 16),
+          static_cast<std::uint8_t>(data >> 24)};
+      if (!bus_.load_image(addr, bytes, 4)) {
         respond_error();
         return;
-      }
-      for (unsigned k = 0; k < 4; ++k) {
-        if (!dev->program(off + k, static_cast<std::uint8_t>(data >> (8 * k)))) {
-          respond_error();
-          return;
-        }
       }
       respond_ok(std::nullopt);
       return;

@@ -87,6 +87,15 @@ System::System(const SystemBuilder& b)
         user_hook_(now);
       }
     });
+    // Upsets flip bits behind the bus's back; cached decodes of the
+    // affected code must be re-derived from the corrupted (or repaired)
+    // contents exactly like an uncached fetch would see them.
+    injector_->set_upset_hook([this] { core_->invalidate_decoded(); });
+  }
+  // Host-side pokes and image (re)loads through the bus invalidate cached
+  // decodes; the window check makes data-only writes cost two compares.
+  if (core_->decode_cache() != nullptr) {
+    bus_.set_write_snoop(core_->decode_cache());
   }
 }
 

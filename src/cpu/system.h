@@ -84,6 +84,12 @@ class SystemBuilder {
     return *this;
   }
   SystemBuilder& privileged(bool on) { core_.privileged = on; return *this; }
+  // Decoded-instruction cache size (0 disables — the differential-test
+  // reference). Host speed only; modeled cycles are identical either way.
+  SystemBuilder& decode_cache_lines(std::uint32_t lines) {
+    core_.decode_cache_lines = lines;
+    return *this;
+  }
 
   // ----- memories -----
   SystemBuilder& flash(const mem::FlashConfig& c,

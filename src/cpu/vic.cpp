@@ -9,12 +9,16 @@ void ClassicVic::raise(unsigned line, std::uint64_t now) {
   if (!pending_[line]) {
     pending_[line] = true;
     raised_at_[line] = now;
+    ++pending_count_;
   }
 }
 
 void ClassicVic::clear(unsigned line) {
   ACES_CHECK(line <= kFiq);
-  pending_[line] = false;
+  if (pending_[line]) {
+    pending_[line] = false;
+    --pending_count_;
+  }
 }
 
 bool ClassicVic::would_preempt(const Core& core) const {
@@ -38,6 +42,7 @@ void ClassicVic::enter(Core& core, unsigned line) {
   active_.push_back(s);
 
   pending_[line] = false;
+  --pending_count_;
   core.clear_it_state();
   core.set_privileged(true);
   core.set_interrupts_enabled(false);  // I (and effectively F) set on entry

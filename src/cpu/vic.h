@@ -53,6 +53,7 @@ class ClassicVic final : public InterruptController {
     active_.clear();
     pending_[0] = false;
     pending_[1] = false;
+    pending_count_ = 0;
   }
   [[nodiscard]] unsigned active_depth() const {
     return static_cast<unsigned>(active_.size());

@@ -44,6 +44,7 @@ void Bus::attach(std::uint32_t base, Device& dev) {
                        ", " + hex(pos->limit) + ")");
   }
   map_.insert(pos, Mapping{base, limit, &dev});
+  mru_.fill(Mru{});  // defensive: route the next access of each kind fresh
 }
 
 Device* Bus::device_at(std::uint32_t addr, std::uint32_t* offset) {
@@ -79,18 +80,36 @@ namespace {
 
 }  // namespace
 
+Device* Bus::route(std::uint32_t addr, unsigned size, Mru& memo,
+                   std::uint32_t* offset, Fault* fault) {
+  if (addr >= memo.base && addr < memo.limit && size <= memo.limit - addr) {
+    *offset = addr - memo.base;
+    return memo.dev;
+  }
+  Device* dev = device_at(addr, offset);
+  if (dev == nullptr) {
+    *fault = Fault::unmapped;
+    return nullptr;
+  }
+  if (*offset + size > dev->size_bytes()) {
+    *fault = Fault::misaligned;  // straddles the end of the device
+    return nullptr;
+  }
+  memo = Mru{addr - *offset, addr - *offset + dev->size_bytes(), dev};
+  return dev;
+}
+
 MemResult Bus::read(std::uint32_t addr, unsigned size, Access kind,
                     std::uint64_t now) {
   if (!aligned(addr, size)) {
     return fault_result(Fault::misaligned);
   }
   std::uint32_t offset = 0;
-  Device* dev = device_at(addr, &offset);
+  Fault fault = Fault::none;
+  Device* dev =
+      route(addr, size, mru_[static_cast<unsigned>(kind)], &offset, &fault);
   if (dev == nullptr) {
-    return fault_result(Fault::unmapped);
-  }
-  if (offset + size > dev->size_bytes()) {
-    return fault_result(Fault::misaligned);
+    return fault_result(fault);
   }
   return dev->read(offset, size, kind, now);
 }
@@ -101,14 +120,17 @@ MemResult Bus::write(std::uint32_t addr, unsigned size, std::uint32_t value,
     return fault_result(Fault::misaligned);
   }
   std::uint32_t offset = 0;
-  Device* dev = device_at(addr, &offset);
+  Fault fault = Fault::none;
+  Device* dev = route(addr, size, mru_[static_cast<unsigned>(Access::write)],
+                      &offset, &fault);
   if (dev == nullptr) {
-    return fault_result(Fault::unmapped);
+    return fault_result(fault);
   }
-  if (offset + size > dev->size_bytes()) {
-    return fault_result(Fault::misaligned);
+  const MemResult r = dev->write(offset, size, value, now);
+  if (r.ok()) {
+    notify_snoop(addr, size);
   }
-  return dev->write(offset, size, value, now);
+  return r;
 }
 
 bool Bus::load_image(std::uint32_t addr, const std::uint8_t* data,
@@ -117,12 +139,43 @@ bool Bus::load_image(std::uint32_t addr, const std::uint8_t* data,
     std::uint32_t offset = 0;
     Device* dev = device_at(addr + k, &offset);
     if (dev == nullptr) {
+      notify_snoop(addr, k);  // partially programmed before the failure
       return false;
     }
     if (!dev->program(offset, data[k])) {
+      notify_snoop(addr, k);
       return false;
     }
   }
+  notify_snoop(addr, len);
+  return true;
+}
+
+std::optional<std::uint32_t> Bus::fixed_fetch_cost(std::uint32_t addr,
+                                                   unsigned size) {
+  std::uint32_t offset = 0;
+  Device* dev = device_at(addr, &offset);
+  if (dev == nullptr || offset + size > dev->size_bytes()) {
+    return std::nullopt;
+  }
+  return dev->fixed_fetch_cost(offset, size);
+}
+
+bool Bus::direct_span(std::uint32_t addr, DirectSpan* out) {
+  *out = DirectSpan{};
+  std::uint32_t offset = 0;
+  Device* dev = device_at(addr, &offset);
+  if (dev == nullptr) {
+    return false;  // size stays 0: not even negative-cacheable
+  }
+  const std::uint32_t base = addr - offset;
+  if (!dev->direct_span(out)) {
+    out->data = nullptr;
+    out->base = base;
+    out->size = dev->size_bytes();
+    return false;
+  }
+  out->base = base;
   return true;
 }
 

@@ -8,6 +8,7 @@
 #define ACES_MEM_DEVICE_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -66,6 +67,21 @@ struct MemResult {
   [[nodiscard]] bool ok() const { return fault == Fault::none; }
 };
 
+// A window of raw host storage backing a RAM-like device: a fixed cycle
+// cost per access, no access side effects, and contents that change only
+// through writes. Devices that can honor that contract (plain SRAM) expose
+// a span so hot CPU paths can bypass virtual dispatch entirely; devices
+// with dynamic timing or access side effects (the flash prefetch streamer,
+// caches, fault-tolerant TCM) must decline.
+struct DirectSpan {
+  std::uint8_t* data = nullptr;   // host storage for guest address `base`
+  std::uint32_t base = 0;         // guest base address of the span
+  std::uint32_t size = 0;         // bytes covered (0: no span)
+  std::uint32_t read_cycles = 1;  // fixed cost of one read, any size
+  std::uint32_t write_cycles = 1;
+  bool writable = false;
+};
+
 // Abstract memory-mapped device. Addresses are device-relative; `size` is
 // 1, 2 or 4 and accesses are naturally aligned (the Bus enforces this).
 // `now` is the core's current cycle count, used by devices with background
@@ -91,6 +107,27 @@ class Device {
     (void)addr;
     (void)byte;
     return false;
+  }
+
+  // Fast-path opt-in: fills `out` (with `base` left device-relative 0; the
+  // bus rebases it) when the device honors the DirectSpan contract above.
+  // Default: decline.
+  virtual bool direct_span(DirectSpan* out) {
+    (void)out;
+    return false;
+  }
+
+  // If the cycle cost of an instruction fetch of `size` bytes at the
+  // device-relative address is provably independent of device state (and
+  // the fetch has no state the rest of the model can observe through
+  // cycles), returns that cost; the core may then charge it for cached
+  // instructions without performing the access. Devices with history-
+  // dependent fetch timing must decline. Default: decline.
+  [[nodiscard]] virtual std::optional<std::uint32_t> fixed_fetch_cost(
+      std::uint32_t addr, unsigned size) const {
+    (void)addr;
+    (void)size;
+    return std::nullopt;
   }
 };
 

@@ -21,6 +21,9 @@ unsigned FaultInjector::advance_to(std::uint64_t now) {
     inject_one();
   }
   injected_ += count;
+  if (count > 0 && upset_hook_) {
+    upset_hook_();
+  }
   return count;
 }
 

@@ -8,6 +8,7 @@
 #define ACES_MEM_FAULT_INJECTOR_H
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mem/cache.h"
@@ -35,6 +36,13 @@ class FaultInjector {
   // elapsed window. Returns the number of upsets injected.
   unsigned advance_to(std::uint64_t now);
 
+  // Invoked once per advance_to() that planted at least one upset. Upsets
+  // mutate cache/TCM contents behind the bus's back, so anything caching
+  // decoded views of memory (the core's decoded-instruction cache) hooks
+  // in here to drop them.
+  using UpsetHook = std::function<void()>;
+  void set_upset_hook(UpsetHook hook) { upset_hook_ = std::move(hook); }
+
   [[nodiscard]] std::uint64_t injected() const { return injected_; }
 
  private:
@@ -44,6 +52,7 @@ class FaultInjector {
   support::Rng256 rng_;
   std::vector<Cache*> caches_;
   std::vector<Tcm*> tcms_;
+  UpsetHook upset_hook_;
   std::uint64_t last_now_ = 0;
   std::uint64_t injected_ = 0;
 };

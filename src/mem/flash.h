@@ -47,6 +47,22 @@ class Flash final : public Device {
 
   bool program(std::uint32_t addr, std::uint8_t byte) override;
 
+  // The streamer's fetch cost is state-free in two regimes, both exactly
+  // line_access_cycles per line touched:
+  //   - prefetch disabled: every access pays the full line time;
+  //   - line_access_cycles == 1 (the "ideal memory" benchmarking regime):
+  //     hit, next-line wait (min(wait+1, 1)) and break all cost 1 cycle.
+  // Everywhere else the cost depends on streamer history, so cached
+  // instructions must re-run the protocol.
+  [[nodiscard]] std::optional<std::uint32_t> fixed_fetch_cost(
+      std::uint32_t addr, unsigned size) const override {
+    if (config_.prefetch_enabled && config_.line_access_cycles != 1) {
+      return std::nullopt;
+    }
+    return config_.line_access_cycles *
+           (line_of(addr + size - 1) - line_of(addr) + 1);
+  }
+
   // Statistics for the experiments.
   struct Stats {
     std::uint64_t stream_hits = 0;       // 1-cycle buffer hits

@@ -25,17 +25,20 @@ void Mpu::set_region(unsigned index, const MpuRegion& region) {
                    "region base violates MPU granularity");
   }
   regions_[index] = region;
+  ++version_;
 }
 
 void Mpu::clear_region(unsigned index) {
   ACES_CHECK(index < config_.max_regions);
   regions_[index] = MpuRegion{};
+  ++version_;
 }
 
 void Mpu::clear_all() {
   for (auto& r : regions_) {
     r = MpuRegion{};
   }
+  ++version_;
 }
 
 std::uint32_t Mpu::smallest_region_span(std::uint32_t bytes) const {

@@ -70,6 +70,10 @@ class Mpu {
   void clear_region(unsigned index);
   void clear_all();
 
+  // Bumped on every reconfiguration; consumers that cache check() outcomes
+  // (the core's decoded-instruction cache) compare it to revalidate.
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+
   // Smallest legal region size covering `bytes` under this configuration —
   // the quantity behind the Figure 2 memory-waste experiment.
   [[nodiscard]] std::uint32_t smallest_region_span(std::uint32_t bytes) const;
@@ -88,6 +92,7 @@ class Mpu {
  private:
   MpuConfig config_;
   std::array<MpuRegion, 16> regions_{};
+  std::uint32_t version_ = 0;
   mutable Stats stats_;
 };
 

@@ -19,6 +19,27 @@ class MemPort {
   [[nodiscard]] virtual MemResult write(std::uint32_t addr, unsigned size,
                                         std::uint32_t value,
                                         std::uint64_t now) = 0;
+
+  // Capability probe, so hot paths ask once instead of issuing doomed span
+  // lookups per access. Ports that interpose dynamic timing (caches) leave
+  // this false even though their backing bus could answer.
+  [[nodiscard]] virtual bool offers_direct_spans() const { return false; }
+  // Bus::direct_span semantics (negative-cacheable mapping range on a
+  // decline). Default: no span, no range.
+  virtual bool direct_span(std::uint32_t addr, DirectSpan* out) {
+    (void)addr;
+    *out = DirectSpan{};
+    return false;
+  }
+  // Bus::fixed_fetch_cost semantics. Ports that add state-dependent timing
+  // of their own (caches) must keep declining even when the backing device
+  // would answer.
+  [[nodiscard]] virtual std::optional<std::uint32_t> fixed_fetch_cost(
+      std::uint32_t addr, unsigned size) {
+    (void)addr;
+    (void)size;
+    return std::nullopt;
+  }
 };
 
 class DirectPort final : public MemPort {
@@ -33,6 +54,15 @@ class DirectPort final : public MemPort {
                                 std::uint32_t value,
                                 std::uint64_t now) override {
     return bus_.write(addr, size, value, now);
+  }
+
+  [[nodiscard]] bool offers_direct_spans() const override { return true; }
+  bool direct_span(std::uint32_t addr, DirectSpan* out) override {
+    return bus_.direct_span(addr, out);
+  }
+  [[nodiscard]] std::optional<std::uint32_t> fixed_fetch_cost(
+      std::uint32_t addr, unsigned size) override {
+    return bus_.fixed_fetch_cost(addr, size);
   }
 
  private:

@@ -41,6 +41,21 @@ class Sram final : public Device {
     return true;
   }
 
+  // SRAM is the canonical DirectSpan device: fixed cost, no side effects.
+  bool direct_span(DirectSpan* out) override {
+    out->data = store_.data();
+    out->size = store_.size();
+    out->read_cycles = access_cycles_;
+    out->write_cycles = access_cycles_;
+    out->writable = true;
+    return true;
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> fixed_fetch_cost(
+      std::uint32_t, unsigned) const override {
+    return access_cycles_;
+  }
+
  private:
   std::string name_;
   ByteStore store_;

@@ -35,6 +35,10 @@ class ByteStore {
   }
   void set_byte(std::uint32_t addr, std::uint8_t b) { bytes_[addr] = b; }
 
+  // Raw host storage, for devices that export a DirectSpan.
+  [[nodiscard]] std::uint8_t* data() { return bytes_.data(); }
+  [[nodiscard]] const std::uint8_t* data() const { return bytes_.data(); }
+
  private:
   std::vector<std::uint8_t> bytes_;
 };

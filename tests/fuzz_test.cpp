@@ -282,7 +282,67 @@ TEST(KirFuzz, RandomProgramsMatchInterpreterOnAllEncodings) {
   }
 }
 
-// ----- 2. decode fuzz ----------------------------------------------------------
+// ----- 2. decode-cache differential fuzz --------------------------------------
+
+// The decoded-instruction cache must be invisible to the model: running the
+// same random program with the cache enabled and disabled has to retire an
+// identical (pc, cycles) trace instruction by instruction, in both the
+// ideal-memory and slow-flash (stateful prefetch streamer) regimes.
+TEST(KirFuzz, CachedAndUncachedRunsRetireIdenticalTraces) {
+  support::Rng256 rng(0xCAFE);
+  for (int trial = 0; trial < 12; ++trial) {
+    const KFunction f = generate(rng, trial);
+    std::uint32_t args[4];
+    for (auto& a : args) {
+      a = rng.next_u32();
+    }
+    for (const Encoding enc :
+         {Encoding::w32, Encoding::n16, Encoding::b32}) {
+      for (const std::uint32_t flash_wait : {1u, 5u}) {
+        const kir::LoweredProgram prog =
+            kir::lower_program({&f}, enc, cpu::kFlashBase);
+        const auto builder = [&](std::uint32_t cache_lines) {
+          return cpu::SystemBuilder()
+              .encoding(enc)
+              .flash_size(256 * 1024)
+              .flash_wait(flash_wait)
+              .decode_cache_lines(cache_lines);
+        };
+        cpu::System cached(builder(1024));
+        cpu::System reference(builder(0));
+        cached.load(prog.image);
+        reference.load(prog.image);
+        const std::uint32_t entry = prog.entry_of(f.name());
+        cached.core().reset(entry, cached.initial_sp());
+        reference.core().reset(entry, reference.initial_sp());
+        for (int k = 0; k < 4; ++k) {
+          cached.core().set_reg(static_cast<isa::Reg>(k), args[k]);
+          reference.core().set_reg(static_cast<isa::Reg>(k), args[k]);
+        }
+        for (std::uint64_t step = 0; step < 1'000'000; ++step) {
+          const bool a = cached.core().step();
+          const bool b = reference.core().step();
+          ASSERT_EQ(a, b) << f.name() << " step " << step;
+          ASSERT_EQ(cached.core().pc(), reference.core().pc())
+              << f.name() << " on " << isa::encoding_name(enc) << " wait "
+              << flash_wait << " step " << step;
+          ASSERT_EQ(cached.core().cycles(), reference.core().cycles())
+              << f.name() << " on " << isa::encoding_name(enc) << " wait "
+              << flash_wait << " step " << step;
+          if (!a) {
+            break;
+          }
+        }
+        ASSERT_EQ(cached.core().halt_reason(), cpu::HaltReason::exited)
+            << f.name();
+        ASSERT_EQ(cached.core().reg(isa::r0), reference.core().reg(isa::r0));
+        ASSERT_EQ(cached.core().cycles(), reference.core().cycles());
+      }
+    }
+  }
+}
+
+// ----- 3. decode fuzz ----------------------------------------------------------
 
 class DecodeFuzz : public ::testing::TestWithParam<Encoding> {};
 

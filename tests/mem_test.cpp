@@ -55,6 +55,154 @@ TEST(Bus, OverlapRejected) {
   EXPECT_NO_THROW(bus.attach(0x2000, b));
 }
 
+// The MRU last-device memo must be routing-transparent: interleaving hits,
+// region switches, unmapped holes, boundary straddles and fault routing
+// behaves identically with a cold and a warm memo.
+TEST(Bus, MruMemoIsRoutingTransparent) {
+  Bus bus;
+  Sram a("a", 0x100);
+  Sram b("b", 0x100);
+  Flash flash(FlashConfig{.size_bytes = 0x100});
+  bus.attach(0x1000, a);
+  bus.attach(0x2000, b);
+  bus.attach(0x3000, flash);
+  ASSERT_TRUE(bus.write(0x1000, 4, 0x11111111, 0).ok());
+  ASSERT_TRUE(bus.write(0x2000, 4, 0x22222222, 0).ok());
+
+  for (int pass = 0; pass < 3; ++pass) {  // pass 0 cold, then memo-warm
+    EXPECT_EQ(bus.read(0x1000, 4, Access::read, 0).value, 0x11111111u);
+    EXPECT_EQ(bus.read(0x1000, 4, Access::read, 0).value, 0x11111111u);
+    EXPECT_EQ(bus.read(0x2000, 4, Access::read, 0).value, 0x22222222u);
+    // Unmapped hole between regions; the memo must not swallow it.
+    EXPECT_EQ(bus.read(0x1100, 4, Access::read, 0).fault, Fault::unmapped);
+    // Back to the memoized region.
+    EXPECT_EQ(bus.read(0x1000, 4, Access::read, 0).value, 0x11111111u);
+    // Straddling the end of a memoized device is still misaligned.
+    EXPECT_EQ(bus.read(0x10FE, 4, Access::read, 0).fault, Fault::misaligned);
+    EXPECT_EQ(bus.read(0x10FC, 4, Access::read, 0).fault, Fault::none);
+    // Unaligned accesses fault before any routing.
+    EXPECT_EQ(bus.read(0x1002, 4, Access::read, 0).fault, Fault::misaligned);
+    // Fault routing through the write memo: flash rejects runtime writes
+    // every time, even right after a successful SRAM write warmed the memo.
+    ASSERT_TRUE(bus.write(0x2004, 4, pass, 0).ok());
+    EXPECT_EQ(bus.write(0x3000, 4, 0, 0).fault, Fault::readonly);
+    EXPECT_EQ(bus.write(0x1080, 2, 0xBEEF, 0).fault, Fault::none);
+    EXPECT_EQ(bus.read(0x1080, 2, Access::read, 0).value, 0xBEEFu);
+    // Fetch uses its own memo slot and routes independently.
+    EXPECT_EQ(bus.read(0x3000, 4, Access::fetch, 0).fault, Fault::none);
+    EXPECT_EQ(bus.read(0x2000, 4, Access::fetch, 0).value, 0x22222222u);
+  }
+
+  // Overlap diagnostics are unaffected by a warm memo.
+  Sram c("c", 0x100);
+  EXPECT_THROW(bus.attach(0x1080, c), std::logic_error);
+  // Attaching into a hole after the failure still works and is routable.
+  EXPECT_NO_THROW(bus.attach(0x1200, c));
+  EXPECT_TRUE(bus.write(0x1200, 4, 7, 0).ok());
+  EXPECT_EQ(bus.read(0x1200, 4, Access::read, 0).value, 7u);
+}
+
+TEST(Bus, WriteSnoopFiresOnlyInsideWatchWindow) {
+  class Recorder final : public WriteSnoop {
+   public:
+    void watch(std::uint32_t lo, std::uint32_t hi) {
+      watch_lo_ = lo;
+      watch_hi_ = hi;
+    }
+    void on_write(std::uint32_t addr, std::uint32_t len) override {
+      ++count;
+      last_addr = addr;
+      last_len = len;
+    }
+    int count = 0;
+    std::uint32_t last_addr = 0;
+    std::uint32_t last_len = 0;
+  };
+
+  Bus bus;
+  Sram a("a", 0x1000);
+  bus.attach(0x1000, a);
+  Recorder rec;
+  bus.set_write_snoop(&rec);
+
+  // Empty window (the default): nothing fires.
+  ASSERT_TRUE(bus.write(0x1000, 4, 1, 0).ok());
+  EXPECT_EQ(rec.count, 0);
+
+  rec.watch(0x1100, 0x1140);
+  ASSERT_TRUE(bus.write(0x10FC, 4, 1, 0).ok());  // ends exactly at lo
+  EXPECT_EQ(rec.count, 0);
+  ASSERT_TRUE(bus.write(0x1140, 4, 1, 0).ok());  // starts exactly at hi
+  EXPECT_EQ(rec.count, 0);
+  ASSERT_TRUE(bus.write(0x113E, 2, 1, 0).ok());  // last bytes of the window
+  EXPECT_EQ(rec.count, 1);
+  EXPECT_EQ(rec.last_addr, 0x113Eu);
+  // Faulted writes never snoop.
+  EXPECT_EQ(bus.write(0x5000, 4, 1, 0).fault, Fault::unmapped);
+  EXPECT_EQ(rec.count, 1);
+  // load_image into the window snoops once with the whole range.
+  const std::uint8_t img[] = {1, 2, 3, 4};
+  ASSERT_TRUE(bus.load_image(0x1120, img, 4));
+  EXPECT_EQ(rec.count, 2);
+  EXPECT_EQ(rec.last_len, 4u);
+}
+
+TEST(Bus, DirectSpanResolvesRamAndDeclinesFlash) {
+  Bus bus;
+  Sram a("a", 0x100, 2);
+  Flash flash(FlashConfig{.size_bytes = 0x100});
+  bus.attach(0x1000, a);
+  bus.attach(0x3000, flash);
+
+  DirectSpan span;
+  ASSERT_TRUE(bus.direct_span(0x1040, &span));
+  EXPECT_EQ(span.base, 0x1000u);
+  EXPECT_EQ(span.size, 0x100u);
+  EXPECT_EQ(span.read_cycles, 2u);
+  EXPECT_TRUE(span.writable);
+  ASSERT_NE(span.data, nullptr);
+  // The span is the device's real storage.
+  ASSERT_TRUE(bus.write(0x1040, 4, 0xA5A55A5Au, 0).ok());
+  EXPECT_EQ(span.data[0x40], 0x5Au);
+
+  // Flash declines but reports its mapping range for negative caching.
+  EXPECT_FALSE(bus.direct_span(0x3010, &span));
+  EXPECT_EQ(span.data, nullptr);
+  EXPECT_EQ(span.base, 0x3000u);
+  EXPECT_EQ(span.size, 0x100u);
+
+  // Unmapped: no span, no range.
+  EXPECT_FALSE(bus.direct_span(0x9000, &span));
+  EXPECT_EQ(span.size, 0u);
+}
+
+TEST(Bus, FixedFetchCostRegimes) {
+  Bus bus;
+  Sram a("a", 0x100, 3);
+  Flash ideal(FlashConfig{.size_bytes = 0x100, .line_access_cycles = 1});
+  Flash slow(FlashConfig{.size_bytes = 0x100, .line_access_cycles = 5});
+  FlashConfig no_prefetch{.size_bytes = 0x100, .line_access_cycles = 5};
+  no_prefetch.prefetch_enabled = false;
+  Flash raw(no_prefetch);
+  bus.attach(0x1000, a);
+  bus.attach(0x3000, ideal);
+  bus.attach(0x4000, slow);
+  bus.attach(0x5000, raw);
+
+  EXPECT_EQ(bus.fixed_fetch_cost(0x1000, 4), 3u);
+  // Ideal flash: one cycle per 8-byte line touched.
+  EXPECT_EQ(bus.fixed_fetch_cost(0x3000, 4), 1u);
+  EXPECT_EQ(bus.fixed_fetch_cost(0x3006, 4), 2u);  // straddles a line
+  // A stateful streamer must decline...
+  EXPECT_EQ(bus.fixed_fetch_cost(0x4000, 4), std::nullopt);
+  // ...but with the prefetcher off every fetch pays the full line time.
+  EXPECT_EQ(bus.fixed_fetch_cost(0x5000, 4), 5u);
+  EXPECT_EQ(bus.fixed_fetch_cost(0x5006, 4), 10u);
+  // Unmapped / out of range: no answer.
+  EXPECT_EQ(bus.fixed_fetch_cost(0x9000, 4), std::nullopt);
+  EXPECT_EQ(bus.fixed_fetch_cost(0x10FE, 4), std::nullopt);
+}
+
 TEST(Bus, LoadImageProgramsDevices) {
   Bus bus;
   Flash flash(FlashConfig{.size_bytes = 0x1000});
