@@ -5,7 +5,15 @@
 // Davis-et-al. response-time bound. The property that makes the "virtual
 // multi-core" vision engineerable: analysis >= simulation, tight at the
 // top priorities.
+//
+// `--json PATH` additionally writes a machine-readable artifact (the CI
+// `BENCH_can.json`) carrying, per sweep and message, the simulated worst
+// latency plus BOTH analytic bounds: fault-free and faulted (Tindell's
+// error term at one bit error per 10 ms). The human-readable stdout is
+// unchanged by the flag.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.h"
 #include "can/bus.h"
@@ -49,14 +57,32 @@ std::vector<sched::CanMessage> padded_set(int extra) {
   return msgs;
 }
 
+// Fault hypothesis used for the artifact's faulted bounds.
+constexpr SimTime kTError = 10 * kMillisecond;
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--json") == 0 && k + 1 < argc) {
+      json_path = argv[k + 1];
+    }
+  }
+
+  std::string json = "{\n  \"bench\": \"bench_can_rta\",\n"
+                     "  \"bitrate_bps\": 250000,\n"
+                     "  \"t_error_ns\": " +
+                     std::to_string(kTError) + ",\n  \"sweeps\": [";
+  bool first_sweep = true;
+
   std::printf("=== E9: CAN worst-case latency — simulation vs response-time "
               "analysis (250 kbit/s) ===\n");
   for (const int extra : {0, 4, 8}) {
     const auto msgs = padded_set(extra);
     const sched::CanRtaResult bound = sched::can_rta(msgs, 250'000);
+    const sched::CanRtaResult faulted =
+        sched::can_rta(msgs, 250'000, sched::CanErrorModel{kTError});
 
     sim::EventQueue q;
     can::CanBus bus(q, 250'000);
@@ -78,13 +104,28 @@ int main() {
     std::printf("%-16s %6s %10s %12s %12s %8s\n", "message", "id", "period",
                 "sim worst", "RTA bound", "margin");
     print_rule();
+    json += std::string(first_sweep ? "" : ",") + "\n    {\"extra_load\": " +
+            std::to_string(extra) +
+            ", \"utilization\": " + std::to_string(bound.bus_utilization) +
+            ", \"schedulable\": " + (bound.schedulable ? "true" : "false") +
+            ", \"schedulable_faulted\": " +
+            (faulted.schedulable ? "true" : "false") + ",\n     \"messages\": [";
+    first_sweep = false;
     for (std::size_t k = 0; k < msgs.size(); ++k) {
-      if (msgs[k].name.rfind("pad", 0) == 0 && k % 3 != 0) {
-        continue;  // keep the table readable
-      }
       const auto it = bus.stats().find(msgs[k].id);
       const SimTime sim_worst =
           it == bus.stats().end() ? 0 : it->second.worst_latency;
+      json += std::string(k == 0 ? "" : ",") + "\n      {\"name\": \"" +
+              msgs[k].name + "\", \"id\": " + std::to_string(msgs[k].id) +
+              ", \"period_ns\": " + std::to_string(msgs[k].period) +
+              ", \"sim_worst_ns\": " + std::to_string(sim_worst) +
+              ", \"bound_fault_free_ns\": " +
+              std::to_string(faulted.response_fault_free[k]) +
+              ", \"bound_faulted_ns\": " +
+              std::to_string(faulted.response_faulted[k]) + "}";
+      if (msgs[k].name.rfind("pad", 0) == 0 && k % 3 != 0) {
+        continue;  // keep the table readable
+      }
       std::printf("%-16s %#6x %8lldms %10lldus %10lldus %7.0f%%\n",
                   msgs[k].name.c_str(), msgs[k].id,
                   static_cast<long long>(msgs[k].period / kMillisecond),
@@ -96,9 +137,20 @@ int main() {
                             static_cast<double>(bound.response[k]));
       ACES_CHECK_MSG(sim_worst <= bound.response[k],
                      "analysis violated by simulation!");
+      ACES_CHECK_MSG(bound.response[k] <= faulted.response[k],
+                     "error term shrank a bound!");
     }
+    json += "\n     ]}";
   }
+  json += "\n  ]\n}\n";
   std::printf("\nProperty held: every simulated latency <= its analytic "
               "bound.\n");
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    ACES_CHECK_MSG(f != nullptr, "cannot open --json output path");
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "can/bus.h"
 
+#include <algorithm>
+
 #include "support/check.h"
 
 namespace aces::can {
@@ -11,6 +13,11 @@ CanBus::CanBus(sim::EventQueue& queue, std::uint32_t bitrate_bps)
   ACES_CHECK(bitrate_bps > 0);
   bit_time_ = sim::kSecond / bitrate_bps;
   ACES_CHECK_MSG(bit_time_ > 0, "bit rate too high for ns resolution");
+  static_assert(kErrorFlagBits + kErrorDelimiterBits + kIntermissionBits +
+                        kSuspendTransmissionBits <=
+                    31,
+                "error signaling must stay under the 31-bit RTA recovery "
+                "term");
 }
 
 NodeId CanBus::attach_node(std::string name) {
@@ -30,16 +37,79 @@ void CanBus::subscribe_tx(NodeId node, TxHandler handler) {
       std::move(handler));
 }
 
+void CanBus::subscribe_err(NodeId node, ErrHandler handler) {
+  nodes_[static_cast<std::size_t>(node)].err_handlers.push_back(
+      std::move(handler));
+}
+
+void CanBus::set_bit_error_model(BitErrorModel model) {
+  error_model_ = std::move(model);
+}
+
+ErrorState CanBus::state_of(const Node& n) const {
+  if (n.bus_off) {
+    return ErrorState::bus_off;
+  }
+  if (n.tec >= 128 || n.rec >= 128) {
+    return ErrorState::error_passive;
+  }
+  return ErrorState::error_active;
+}
+
+ErrorState CanBus::error_state(NodeId node) const {
+  return state_of(nodes_[static_cast<std::size_t>(node)]);
+}
+
+unsigned CanBus::tec(NodeId node) const {
+  return nodes_[static_cast<std::size_t>(node)].tec;
+}
+
+unsigned CanBus::rec(NodeId node) const {
+  return nodes_[static_cast<std::size_t>(node)].rec;
+}
+
+void CanBus::set_manual_bus_off_recovery(NodeId node, bool manual) {
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  n.manual_recovery = manual;
+  if (!manual && n.bus_off) {
+    arm_recovery(node);
+  } else if (manual && n.recovery_armed) {
+    // Switching to manual revokes an auto-armed sequence: the node stays
+    // off the wire until request_recovery().
+    queue_.cancel(n.recovery_event);
+    n.recovery_armed = false;
+  }
+}
+
+void CanBus::request_recovery(NodeId node) {
+  if (nodes_[static_cast<std::size_t>(node)].bus_off) {
+    arm_recovery(node);
+  }
+}
+
+void CanBus::emit(NodeId node, ErrorEvent::Kind kind) {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  ErrorEvent e;
+  e.kind = kind;
+  e.state = state_of(n);
+  e.tec = n.tec;
+  e.rec = n.rec;
+  for (const ErrHandler& h : n.err_handlers) {
+    h(e, queue_.now());
+  }
+}
+
 void CanBus::send(NodeId node, const CanFrame& frame) {
   Pending p;
   p.frame = frame;
   p.queued_at = queue_.now();
   // Controllers with priority-ordered mailboxes: the node always offers
-  // its lowest identifier to arbitration (required for the classic RTA to
-  // be sound; FIFO-queued controllers need a different analysis).
+  // its highest-priority frame to arbitration (required for the classic
+  // RTA to be sound; FIFO-queued controllers need a different analysis).
+  const std::uint32_t key = arbitration_key(frame);
   auto& q = nodes_[static_cast<std::size_t>(node)].queue;
   auto it = q.begin();
-  while (it != q.end() && it->frame.id <= frame.id) {
+  while (it != q.end() && arbitration_key(it->frame) <= key) {
     ++it;
   }
   q.insert(it, std::move(p));
@@ -50,50 +120,189 @@ void CanBus::send(NodeId node, const CanFrame& frame) {
 
 void CanBus::try_start() {
   ACES_CHECK(!busy_);
-  // Arbitration: every node presents its head-of-queue frame; the lowest
-  // identifier (dominant bits win) takes the bus.
+  // Arbitration: every fault-confined node presents its head-of-queue
+  // frame; the dominant-winning bit pattern (lowest key) takes the bus.
   NodeId winner = -1;
+  std::uint32_t best_key = 0;
+  bool duplicate = false;
   for (std::size_t k = 0; k < nodes_.size(); ++k) {
-    if (nodes_[k].queue.empty()) {
+    const Node& n = nodes_[k];
+    if (n.bus_off || n.queue.empty()) {
       continue;
     }
-    if (winner < 0 ||
-        nodes_[k].queue.front().frame.id <
-            nodes_[static_cast<std::size_t>(winner)].queue.front().frame.id) {
+    const std::uint32_t key = arbitration_key(n.queue.front().frame);
+    if (winner < 0 || key < best_key) {
       winner = static_cast<NodeId>(k);
+      best_key = key;
+      duplicate = false;
+    } else if (key == best_key) {
+      duplicate = true;
     }
   }
   if (winner < 0) {
     return;
   }
   Node& node = nodes_[static_cast<std::size_t>(winner)];
-  const Pending pending = node.queue.front();
+  if (duplicate) {
+    // Two nodes won arbitration with the same bit pattern: a protocol
+    // violation (their data/CRC bits would now collide as undetected-by-
+    // arbitration bit errors). Resolved deterministically by node index,
+    // but diagnosed, because it also voids the analysis' unique-priority
+    // assumption and merges the per-identifier statistics.
+    ++fault_stats_.duplicate_id_conflicts;
+    fault_stats_.last_duplicate_id = node.queue.front().frame.id;
+  }
+
+  // Take the winning frame off its queue and claim the wire *before*
+  // consulting the (user-supplied) error model: a model that reacts by
+  // calling send() must neither start a nested transmission nor shift
+  // this frame out from under us via deque insertion.
+  Pending pending = std::move(node.queue.front());
   node.queue.pop_front();
-  const SimTime duration = frame_time(pending.frame);
+  if (pending.attempts > 0) {
+    ++fault_stats_.retransmissions;  // a previously-corrupted frame retries
+  }
+  ++pending.attempts;
+  const unsigned wire_bits = exact_wire_bits(pending.frame);
   busy_ = true;
+  tx_started_at_ = queue_.now();
+  int corrupt = -1;
+  if (error_model_) {
+    corrupt = error_model_(pending.frame, winner, queue_.now());
+    corrupt = std::min(corrupt, static_cast<int>(wire_bits) - 1);
+  }
+  if (corrupt < 0) {
+    const SimTime duration = bit_time_ * wire_bits;
+    queue_.schedule_in(duration, [this, pending, winner, duration] {
+      finish_clean(winner, pending, duration);
+    });
+  } else {
+    // The error is detected at the corrupted bit; the wire carries the
+    // error frame instead of the rest of this attempt, and the frame goes
+    // back into the queue (original timestamp, ahead of any equal-key
+    // sibling it was queued before) for automatic retransmission.
+    const bool passive = state_of(node) == ErrorState::error_passive;
+    const unsigned bits = static_cast<unsigned>(corrupt) + 1 + kErrorFlagBits +
+                          kErrorDelimiterBits + kIntermissionBits +
+                          (passive ? kSuspendTransmissionBits : 0);
+    const SimTime duration = bit_time_ * bits;
+    const std::uint32_t id = pending.frame.id;
+    const std::uint32_t key = arbitration_key(pending.frame);
+    auto it = node.queue.begin();
+    while (it != node.queue.end() && arbitration_key(it->frame) < key) {
+      ++it;
+    }
+    node.queue.insert(it, std::move(pending));
+    queue_.schedule_in(duration, [this, winner, id, duration] {
+      finish_error(winner, id, duration);
+    });
+  }
+}
+
+void CanBus::finish_clean(NodeId winner, const Pending& pending,
+                          SimTime duration) {
+  busy_ = false;
   busy_time_ += duration;
-  queue_.schedule_in(duration, [this, pending, winner] {
-    busy_ = false;
-    MessageStats& s = stats_[pending.frame.id];
-    ++s.sent;
-    const SimTime latency = queue_.now() - pending.queued_at;
-    s.worst_latency = std::max(s.worst_latency, latency);
-    s.total_latency += latency;
-    // Transmit-complete on the sender, then deliver to every other node.
-    for (const TxHandler& h :
-         nodes_[static_cast<std::size_t>(winner)].tx_handlers) {
+  MessageStats& s = stats_[pending.frame.id];
+  ++s.sent;
+  const SimTime latency = queue_.now() - pending.queued_at;
+  s.worst_latency = std::max(s.worst_latency, latency);
+  s.total_latency += latency;
+  // Successful exchange: the transmitter's TEC and every receiver's REC
+  // count down, possibly re-promoting error-passive nodes.
+  Node& w = nodes_[static_cast<std::size_t>(winner)];
+  if (w.tec > 0) {
+    move_counter(winner, w.tec, w.tec - 1);
+  }
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    Node& n = nodes_[k];
+    if (static_cast<NodeId>(k) == winner || n.bus_off || n.rec == 0) {
+      continue;
+    }
+    move_counter(static_cast<NodeId>(k), n.rec, n.rec - 1);
+  }
+  // Transmit-complete on the sender, then deliver to every other
+  // fault-confined node (a bus-off node is disconnected from traffic).
+  for (const TxHandler& h : w.tx_handlers) {
+    h(pending.frame, queue_.now());
+  }
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    if (static_cast<NodeId>(k) == winner || nodes_[k].bus_off) {
+      continue;
+    }
+    for (const RxHandler& h : nodes_[k].handlers) {
       h(pending.frame, queue_.now());
     }
-    for (std::size_t k = 0; k < nodes_.size(); ++k) {
-      if (static_cast<NodeId>(k) == winner) {
-        continue;
-      }
-      for (const RxHandler& h : nodes_[k].handlers) {
-        h(pending.frame, queue_.now());
-      }
+  }
+  // A handler may have sent synchronously (mailbox chaining on
+  // transmit-complete) and already restarted arbitration.
+  if (!busy_) {
+    try_start();
+  }
+}
+
+void CanBus::move_counter(NodeId node, unsigned& counter, unsigned next) {
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  const ErrorState prev = state_of(n);
+  counter = next;
+  if (state_of(n) != prev) {
+    emit(node, ErrorEvent::Kind::state_change);
+  }
+}
+
+void CanBus::bump_tec(Node& n, NodeId node) {
+  const ErrorState prev = state_of(n);
+  n.tec = std::min(n.tec + 8, 256u);  // 256 marks the bus-off crossing
+  if (!n.bus_off && n.tec > 255) {
+    n.bus_off = true;
+    ++fault_stats_.bus_off_events;
+    if (!n.manual_recovery) {
+      arm_recovery(node);
     }
-    // A handler may have sent synchronously (mailbox chaining on
-    // transmit-complete) and already restarted arbitration.
+  }
+  if (state_of(n) != prev) {
+    emit(node, ErrorEvent::Kind::state_change);
+  }
+}
+
+void CanBus::finish_error(NodeId winner, std::uint32_t id, SimTime duration) {
+  busy_ = false;
+  busy_time_ += duration;
+  ++fault_stats_.bit_errors;
+  ++stats_[id].errors;
+  Node& w = nodes_[static_cast<std::size_t>(winner)];
+  bump_tec(w, winner);
+  emit(winner, ErrorEvent::Kind::tx_error);
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    Node& n = nodes_[k];
+    if (static_cast<NodeId>(k) == winner || n.bus_off) {
+      continue;
+    }
+    // Saturates at 255: an 8-bit counter, like real silicon.
+    move_counter(static_cast<NodeId>(k), n.rec, std::min(n.rec + 1, 255u));
+  }
+  // Next arbitration: the corrupted frame (still queued) competes again,
+  // unless its node just went bus-off — then it waits for recovery.
+  if (!busy_) {
+    try_start();
+  }
+}
+
+void CanBus::arm_recovery(NodeId node) {
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.recovery_armed) {
+    return;
+  }
+  n.recovery_armed = true;
+  n.recovery_event =
+      queue_.schedule_in(bit_time_ * kBusOffRecoveryBits, [this, node] {
+    Node& rn = nodes_[static_cast<std::size_t>(node)];
+    rn.bus_off = false;
+    rn.recovery_armed = false;
+    rn.tec = 0;
+    rn.rec = 0;
+    ++fault_stats_.recoveries;
+    emit(node, ErrorEvent::Kind::state_change);
     if (!busy_) {
       try_start();
     }

@@ -1,11 +1,33 @@
-// CAN bus discrete-event simulator.
+// CAN bus discrete-event simulator with a fault-accurate protocol layer.
 //
 // Models the arbitration behavior that makes CAN analyzable: transmission
 // is non-preemptive; whenever the bus goes idle, every node with a pending
-// frame enters arbitration and the lowest identifier wins. Frame times use
-// the exact stuffed bit counts from frame.h. Per-identifier latency
-// statistics (queue-to-delivery) are what bench_can_rta checks against the
-// closed-form worst-case analysis.
+// frame enters arbitration and the lowest identifier wins (exact wire-bit
+// ordering across standard/extended/remote formats — see
+// frame.h:arbitration_key). Frame times use the exact stuffed bit counts
+// from frame.h. Per-identifier latency statistics (queue-to-delivery) are
+// what bench_can_rta checks against the closed-form worst-case analysis.
+//
+// Fault model (CAN 2.0 error handling): an optional BitErrorModel decides,
+// per transmission attempt, whether a bit on the wire is corrupted. A
+// corrupted attempt is aborted at the corrupted bit, the bus carries an
+// error frame (6-bit error flag + 8-bit delimiter + 3-bit intermission;
+// an error-passive transmitter adds the 8-bit suspend-transmission
+// penalty), and the frame is automatically retransmitted at the next
+// arbitration with its original queue timestamp — so its measured latency
+// includes every retry, which is what the faulted response-time bound in
+// sched/can_rta.h must dominate. Every node runs the standard error state
+// machine: transmit errors add 8 to TEC, observed errors add 1 to REC,
+// successes decrement; TEC/REC >= 128 is error-passive, TEC > 255 is
+// bus-off. A bus-off node drops out of arbitration and delivery until it
+// has seen 128 x 11 recessive bits (a recovery timer on the shared event
+// queue, armed immediately or — for nodes in manual-recovery mode, like
+// real controllers waiting for software — when request_recovery is
+// called), after which it rejoins error-active with cleared counters.
+//
+// Every stochastic choice lives in the caller-supplied BitErrorModel, so a
+// model driven by a seeded support::Rng256 keeps the whole fault campaign
+// deterministic and replayable.
 #ifndef ACES_CAN_BUS_H
 #define ACES_CAN_BUS_H
 
@@ -23,8 +45,12 @@ namespace aces::can {
 
 using NodeId = int;
 
+// CAN 2.0 fault-confinement states.
+enum class ErrorState { error_active, error_passive, bus_off };
+
 struct MessageStats {
   std::uint64_t sent = 0;
+  std::uint64_t errors = 0;  // corrupted transmission attempts
   sim::SimTime worst_latency = 0;
   sim::SimTime total_latency = 0;
 
@@ -37,57 +63,156 @@ struct MessageStats {
 
 class CanBus {
  public:
+  // Error-frame geometry (bit times). The per-error wire overhead
+  // (flag + delimiter + intermission, plus suspend for an error-passive
+  // transmitter) never exceeds the 31-bit recovery term the faulted
+  // response-time analysis charges per error.
+  static constexpr unsigned kErrorFlagBits = 6;
+  static constexpr unsigned kErrorDelimiterBits = 8;
+  static constexpr unsigned kIntermissionBits = 3;
+  static constexpr unsigned kSuspendTransmissionBits = 8;
+  // Bus-off recovery: 128 occurrences of 11 consecutive recessive bits.
+  // (Simplified to elapsed bus time; under recovery the node is silent, so
+  // a mostly-idle bus satisfies the condition in exactly this time.)
+  static constexpr unsigned kBusOffRecoveryBits = 128 * 11;
+
   // Delivery callback: (receiving node, frame, end-of-frame time).
   using RxHandler = std::function<void(const CanFrame&, sim::SimTime)>;
   // Transmit-complete callback, fired on the sending node at end of frame
-  // (after arbitration and any blocking, i.e. at true bus-delivery time).
+  // (after arbitration, blocking and any error retransmissions, i.e. at
+  // true bus-delivery time).
   using TxHandler = std::function<void(const CanFrame&, sim::SimTime)>;
+
+  // Error notification, per node: tx_error fires on the transmitter of a
+  // corrupted attempt; state_change fires on any node whose
+  // fault-confinement state moved (error-active <-> error-passive,
+  // bus-off entry, recovery). Counters are post-event values.
+  struct ErrorEvent {
+    enum class Kind { tx_error, state_change };
+    Kind kind = Kind::tx_error;
+    ErrorState state = ErrorState::error_active;
+    unsigned tec = 0;
+    unsigned rec = 0;
+  };
+  using ErrHandler = std::function<void(const ErrorEvent&, sim::SimTime)>;
+
+  // Consulted once per transmission attempt, at its start: returns the
+  // zero-based wire-bit index to corrupt (clamped to the frame's length),
+  // or a negative value for a clean transmission. Drive it from a seeded
+  // support::Rng256 (or a mem::FaultInjector-style campaign) to keep the
+  // simulation deterministic.
+  using BitErrorModel =
+      std::function<int(const CanFrame&, NodeId tx_node, sim::SimTime start)>;
 
   CanBus(sim::EventQueue& queue, std::uint32_t bitrate_bps);
 
   NodeId attach_node(std::string name);
   void subscribe(NodeId node, RxHandler handler);
   void subscribe_tx(NodeId node, TxHandler handler);
+  void subscribe_err(NodeId node, ErrHandler handler);
+
+  // Installs (or clears, with nullptr) the bit error model.
+  void set_bit_error_model(BitErrorModel model);
 
   // Queues a frame for transmission from `node`. Queues are priority-
   // ordered by identifier (priority-queued mailboxes), matching the
-  // assumption of the classic CAN response-time analysis.
+  // assumption of the classic CAN response-time analysis. A bus-off node
+  // keeps queueing; pending frames go out after recovery.
   void send(NodeId node, const CanFrame& frame);
+
+  // ----- fault confinement ------------------------------------------------
+  [[nodiscard]] ErrorState error_state(NodeId node) const;
+  [[nodiscard]] unsigned tec(NodeId node) const;
+  [[nodiscard]] unsigned rec(NodeId node) const;
+  // When manual (how real controllers behave), a bus-off node stays off
+  // the wire until request_recovery(); otherwise the 128x11-bit recovery
+  // timer is armed at bus-off entry.
+  void set_manual_bus_off_recovery(NodeId node, bool manual);
+  // Starts the recovery sequence for a bus-off node; no-op otherwise.
+  void request_recovery(NodeId node);
 
   [[nodiscard]] sim::SimTime bit_time() const { return bit_time_; }
   [[nodiscard]] sim::SimTime frame_time(const CanFrame& f) const {
     return bit_time_ * exact_wire_bits(f);
   }
 
+  // Keyed by raw identifier (standard and extended identifiers share the
+  // key space; a mixed-format set reusing the same numeric id merges).
   [[nodiscard]] const std::map<std::uint32_t, MessageStats>& stats() const {
     return stats_;
   }
+
+  struct FaultStats {
+    std::uint64_t bit_errors = 0;        // corrupted attempts signaled
+    std::uint64_t retransmissions = 0;   // retry attempts actually started
+    std::uint64_t bus_off_events = 0;
+    std::uint64_t recoveries = 0;
+    // Two nodes presenting the same arbitration pattern is a CAN protocol
+    // violation (matching identifiers would collide past the arbitration
+    // field and both "win"); the simulator resolves it deterministically
+    // by node index but diagnoses it here, because it also breaks the
+    // RTA's unique-priority assumption and merges per-id stats.
+    std::uint64_t duplicate_id_conflicts = 0;
+    std::uint32_t last_duplicate_id = 0;
+  };
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
+
+  // Fraction of `window` the wire carried bits (frames and error frames).
+  // Busy time accrues when a transmission or error signal *completes*; an
+  // attempt still on the wire contributes only its elapsed share, so a
+  // mid-frame query never counts bits that haven't been sent.
   [[nodiscard]] double utilization(sim::SimTime window) const {
-    return window == 0 ? 0.0
-                       : static_cast<double>(busy_time_) /
-                             static_cast<double>(window);
+    if (window == 0) {
+      return 0.0;
+    }
+    sim::SimTime busy = busy_time_;
+    if (busy_) {
+      busy += queue_.now() - tx_started_at_;
+    }
+    return static_cast<double>(busy) / static_cast<double>(window);
   }
 
  private:
   struct Pending {
     CanFrame frame;
     sim::SimTime queued_at = 0;
+    unsigned attempts = 0;  // >0 at transmission start = a retransmission
   };
   struct Node {
     std::string name;
     std::deque<Pending> queue;
     std::vector<RxHandler> handlers;
     std::vector<TxHandler> tx_handlers;
+    std::vector<ErrHandler> err_handlers;
+    unsigned tec = 0;
+    unsigned rec = 0;
+    bool bus_off = false;
+    bool manual_recovery = false;
+    bool recovery_armed = false;
+    sim::EventId recovery_event = 0;
   };
 
   void try_start();  // arbitration when idle
+  void finish_clean(NodeId winner, const Pending& pending,
+                    sim::SimTime duration);
+  void finish_error(NodeId winner, std::uint32_t id, sim::SimTime duration);
+  void arm_recovery(NodeId node);
+  void bump_tec(Node& n, NodeId node);
+  // Sets one of a node's error counters and emits a state_change if the
+  // fault-confinement state crossed a boundary.
+  void move_counter(NodeId node, unsigned& counter, unsigned next);
+  [[nodiscard]] ErrorState state_of(const Node& n) const;
+  void emit(NodeId node, ErrorEvent::Kind kind);
 
   sim::EventQueue& queue_;
   sim::SimTime bit_time_;
   std::vector<Node> nodes_;
   bool busy_ = false;
-  sim::SimTime busy_time_ = 0;
+  sim::SimTime busy_time_ = 0;      // completed wire time only
+  sim::SimTime tx_started_at_ = 0;  // start of the in-flight attempt
+  BitErrorModel error_model_;
   std::map<std::uint32_t, MessageStats> stats_;
+  FaultStats fault_stats_;
 };
 
 }  // namespace aces::can

@@ -22,6 +22,9 @@ CanController::CanController(CanBus& bus, std::string node_name, Config config)
                  [this](const CanFrame& f, sim::SimTime) { on_rx(f); });
   bus_.subscribe_tx(node_,
                     [this](const CanFrame& f, sim::SimTime) { on_tx_done(f); });
+  bus_.subscribe_err(node_, [this](const CanBus::ErrorEvent& e,
+                                   sim::SimTime) { on_err(e); });
+  bus_.set_manual_bus_off_recovery(node_, config_.manual_bus_off_recovery);
 }
 
 void CanController::connect_irq(IrqLineFn raise, IrqLineFn clear) {
@@ -70,6 +73,24 @@ void CanController::on_tx_done(const CanFrame&) {
   }
 }
 
+void CanController::on_err(const CanBus::ErrorEvent& event) {
+  if (event.kind == CanBus::ErrorEvent::Kind::tx_error) {
+    ++stats_.bus_errors;
+  } else {
+    if (event.state == ErrorState::bus_off) {
+      ++stats_.bus_off_entries;
+    } else if (event.state == ErrorState::error_active &&
+               last_state_ == ErrorState::bus_off) {
+      ++stats_.recoveries;
+    }
+    last_state_ = event.state;
+  }
+  irq_status_ |= kIrqErr;
+  if ((ctrl_ & kCtrlErrie) != 0) {
+    raise_line(config_.err_line);
+  }
+}
+
 std::uint32_t CanController::status_bits() const {
   std::uint32_t s = 0;
   if (!rx_fifo_.empty()) {
@@ -81,7 +102,24 @@ std::uint32_t CanController::status_bits() const {
   if (rx_overflowed_) {
     s |= kStatusRxOvr;
   }
+  const ErrorState es = bus_.error_state(node_);
+  if (es == ErrorState::error_passive) {
+    s |= kStatusEpass;
+  } else if (es == ErrorState::bus_off) {
+    s |= kStatusBoff;
+  }
   return s;
+}
+
+std::uint32_t CanController::pack_id(const CanFrame& frame) {
+  std::uint32_t v = frame.id;
+  if (frame.extended) {
+    v |= kIdExtended;
+  }
+  if (frame.rtr) {
+    v |= kIdRtr;
+  }
+  return v;
 }
 
 std::uint32_t CanController::pack_data(const std::array<std::uint8_t, 8>& data,
@@ -111,12 +149,12 @@ mem::MemResult CanController::read(std::uint32_t addr, unsigned size,
   switch (addr) {
     case kCtrl: r.value = ctrl_; break;
     case kStatus: r.value = status_bits(); break;
-    case kTxId: r.value = tx_frame_.id; break;
+    case kTxId: r.value = pack_id(tx_frame_); break;
     case kTxDlc: r.value = tx_frame_.dlc; break;
     case kTxData0: r.value = pack_data(tx_frame_.data, 0); break;
     case kTxData1: r.value = pack_data(tx_frame_.data, 1); break;
     case kRxId:
-      r.value = rx_fifo_.empty() ? 0 : rx_fifo_.front().id;
+      r.value = rx_fifo_.empty() ? 0 : pack_id(rx_fifo_.front());
       break;
     case kRxDlc:
       r.value = rx_fifo_.empty() ? 0 : rx_fifo_.front().dlc;
@@ -128,6 +166,10 @@ mem::MemResult CanController::read(std::uint32_t addr, unsigned size,
       r.value = rx_fifo_.empty() ? 0 : pack_data(rx_fifo_.front().data, 1);
       break;
     case kIrq: r.value = irq_status_; break;
+    case kErrCnt:
+      r.value = bus_.tec(node_) | (static_cast<std::uint32_t>(
+                                      bus_.rec(node_)) << 16);
+      break;
     case kTxCmd:
     case kRxPop:
     case kIrqAck:
@@ -148,10 +190,17 @@ mem::MemResult CanController::write(std::uint32_t addr, unsigned size,
   r.cycles = config_.access_cycles;
   switch (addr) {
     case kCtrl:
-      ctrl_ = value & (kCtrlRxie | kCtrlTxie);
+      ctrl_ = value & (kCtrlRxie | kCtrlTxie | kCtrlErrie);
+      if ((value & kCtrlBor) != 0) {
+        // Self-clearing command: software restarts a bus-off node, which
+        // begins the 128x11-recessive-bit recovery sequence on the bus.
+        bus_.request_recovery(node_);
+      }
       break;
     case kTxId:
-      tx_frame_.id = value & 0x7FFu;  // 11-bit standard identifier
+      tx_frame_.extended = (value & kIdExtended) != 0;
+      tx_frame_.rtr = (value & kIdRtr) != 0;
+      tx_frame_.id = value & (tx_frame_.extended ? 0x1FFF'FFFFu : 0x7FFu);
       break;
     case kTxDlc:
       tx_frame_.dlc = value > 8 ? 8 : value;
@@ -197,6 +246,7 @@ mem::MemResult CanController::write(std::uint32_t addr, unsigned size,
     case kRxData0:
     case kRxData1:
     case kIrq:
+    case kErrCnt:
       break;  // read-only registers ignore writes
     default:
       return reg_fault(mem::Fault::unmapped);  // reserved offset

@@ -4,34 +4,56 @@
 // The controller is a mem::Device a System can map anywhere (by convention
 // at cpu::kPeriphBase) and, on the network side, one node of a can::CanBus.
 // Guest programs talk to it through a small mailbox register file and get
-// RX / TX-complete interrupt lines raised into whatever interrupt
-// controller the host wires up — the paper's single-ECU and distributed
-// sections meet here: a compiled ISR servicing real arbitrated bus traffic.
+// RX / TX-complete / bus-error interrupt lines raised into whatever
+// interrupt controller the host wires up — the paper's single-ECU and
+// distributed sections meet here: a compiled ISR servicing real arbitrated
+// bus traffic, including real fault confinement (error-passive demotion,
+// bus-off, software-driven recovery).
 //
 // Register map (word registers, 32-bit naturally-aligned access only):
-//   0x00 CTRL     rw  bit0 RXIE (RX interrupt enable)
-//                     bit1 TXIE (TX-complete interrupt enable)
-//   0x04 STATUS   ro  bit0 RXNE (RX FIFO non-empty)
+//   0x00 CTRL     rw  bit0 RXIE  (RX interrupt enable)
+//                     bit1 TXIE  (TX-complete interrupt enable)
+//                     bit2 ERRIE (bus-error / state-change int. enable)
+//                     bit3 BOR   (write 1: request bus-off recovery;
+//                                 self-clearing command, reads as 0)
+//   0x04 STATUS   ro  bit0 RXNE   (RX FIFO non-empty)
 //                     bit1 TXBUSY (frames queued, not yet on the wire)
-//                     bit2 RXOVR (RX FIFO overflowed; cleared via IRQACK)
-//   0x08 TXID     rw  11-bit identifier of the frame being composed
+//                     bit2 RXOVR  (RX FIFO overflowed; cleared via IRQACK)
+//                     bit3 EPASS  (node is error-passive)
+//                     bit4 BOFF   (node is bus-off; transmission halted
+//                                  until recovery completes)
+//   0x08 TXID     rw  identifier of the frame being composed; bit31 IDE
+//                     (29-bit extended identifier), bit30 RTR (remote
+//                     frame), SocketCAN-style
 //   0x0C TXDLC    rw  data length 0..8
 //   0x10 TXDATA0  rw  data bytes 0-3, little-endian
 //   0x14 TXDATA1  rw  data bytes 4-7
 //   0x18 TXCMD    wo  write 1: queue the composed frame for transmission
-//   0x1C RXID     ro  identifier of the RX FIFO head
+//   0x1C RXID     ro  identifier of the RX FIFO head (bit31 IDE, bit30
+//                     RTR, as TXID)
 //   0x20 RXDLC    ro  data length of the head
 //   0x24 RXDATA0  ro  head data bytes 0-3
 //   0x28 RXDATA1  ro  head data bytes 4-7
 //   0x2C RXPOP    wo  write 1: pop the FIFO head
-//   0x30 IRQ      ro  bit0 RX pending, bit1 TX done, bit2 RX overflow
+//   0x30 IRQ      ro  bit0 RX pending, bit1 TX done, bit2 RX overflow,
+//                     bit3 ERR (bus error or fault-confinement state
+//                     change; read STATUS/ERRCNT for the cause)
 //   0x34 IRQACK   wo  write-1-to-clear IRQ bits
+//   0x38 ERRCNT   ro  bits [8:0] TEC, bits [24:16] REC (live counters of
+//                     the node's CAN error state machine)
 //
 // Interrupt protocol: the RX line is raised when a frame arrives and
 // re-raised by RXPOP while frames remain, so a handler that pops one frame
 // per entry never strands traffic; draining the FIFO in one entry also
 // works. The TX line is raised once per frame that completes arbitration
-// and transmission.
+// and transmission (errors and retransmissions are invisible to TXIE —
+// only the final successful attempt completes). The ERR line fires on
+// every transmit error and fault-confinement state change of this node;
+// on bus-off the controller stays silent (hardware does not restart
+// itself: Config::manual_bus_off_recovery, default on, mirrors real
+// controllers) until software writes CTRL.BOR, after which the bus-side
+// 128x11-recessive-bit sequence runs and a final ERR interrupt signals
+// the return to error-active.
 //
 // Clock domains: bus traffic happens in sim time (ns), register access in
 // core cycles. The controller never converts between them — it reacts to
@@ -39,7 +61,8 @@
 // domains meet through connect_irq(sim::IrqSink&): bind the owning System
 // to the Simulation and hand the controller its binding, and frame arrival
 // raises the RX line at the exact shared-time instant (waking a WFI'd
-// guest at zero host cost). See examples/ecu_node.cpp.
+// guest at zero host cost). See examples/ecu_node.cpp and
+// examples/bus_fault_recovery.cpp.
 #ifndef ACES_CAN_CONTROLLER_H
 #define ACES_CAN_CONTROLLER_H
 
@@ -70,25 +93,39 @@ class CanController final : public mem::Device {
   static constexpr std::uint32_t kRxPop = 0x2C;
   static constexpr std::uint32_t kIrq = 0x30;
   static constexpr std::uint32_t kIrqAck = 0x34;
+  static constexpr std::uint32_t kErrCnt = 0x38;
   static constexpr std::uint32_t kRegFileBytes = 0x40;
 
   // CTRL bits.
   static constexpr std::uint32_t kCtrlRxie = 1u << 0;
   static constexpr std::uint32_t kCtrlTxie = 1u << 1;
+  static constexpr std::uint32_t kCtrlErrie = 1u << 2;
+  static constexpr std::uint32_t kCtrlBor = 1u << 3;  // command, not stored
   // STATUS bits.
   static constexpr std::uint32_t kStatusRxne = 1u << 0;
   static constexpr std::uint32_t kStatusTxBusy = 1u << 1;
   static constexpr std::uint32_t kStatusRxOvr = 1u << 2;
+  static constexpr std::uint32_t kStatusEpass = 1u << 3;
+  static constexpr std::uint32_t kStatusBoff = 1u << 4;
   // IRQ bits.
   static constexpr std::uint32_t kIrqRx = 1u << 0;
   static constexpr std::uint32_t kIrqTxDone = 1u << 1;
   static constexpr std::uint32_t kIrqRxOvr = 1u << 2;
+  static constexpr std::uint32_t kIrqErr = 1u << 3;
+  // TXID/RXID flag bits (SocketCAN layout).
+  static constexpr std::uint32_t kIdExtended = 1u << 31;
+  static constexpr std::uint32_t kIdRtr = 1u << 30;
 
   struct Config {
     unsigned rx_fifo_depth = 8;
     unsigned rx_line = 0;          // interrupt line for RX traffic
     unsigned tx_line = 1;          // interrupt line for TX completion
+    unsigned err_line = 2;         // interrupt line for bus errors
     std::uint32_t access_cycles = 1;  // register-file access time
+    // Real controllers stay bus-off until software restarts them; leave
+    // on so guest ISRs drive recovery via CTRL.BOR. Off: the bus-side
+    // recovery timer arms itself at bus-off entry.
+    bool manual_bus_off_recovery = true;
   };
 
   // Attaches a new node named `node_name` to `bus` and subscribes it.
@@ -100,7 +137,7 @@ class CanController final : public mem::Device {
   // layer depending on the cpu layer.
   using IrqLineFn = std::function<void(unsigned line)>;
   void connect_irq(IrqLineFn raise, IrqLineFn clear);
-  // Co-simulation wiring: deliver both lines through an IrqSink (usually
+  // Co-simulation wiring: deliver all lines through an IrqSink (usually
   // the cpu::SystemBinding returned by System::bind). `sink` must outlive
   // the controller's traffic.
   void connect_irq(sim::IrqSink& sink);
@@ -128,14 +165,19 @@ class CanController final : public mem::Device {
     std::uint64_t frames_queued = 0;    // TXCMD writes
     std::uint64_t frames_transmitted = 0;
     std::uint64_t irq_raises = 0;
+    std::uint64_t bus_errors = 0;       // corrupted own transmissions
+    std::uint64_t bus_off_entries = 0;
+    std::uint64_t recoveries = 0;       // bus-off -> error-active
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   void on_rx(const CanFrame& frame);
   void on_tx_done(const CanFrame& frame);
+  void on_err(const CanBus::ErrorEvent& event);
   void raise_line(unsigned line);
   [[nodiscard]] std::uint32_t status_bits() const;
+  [[nodiscard]] static std::uint32_t pack_id(const CanFrame& frame);
   [[nodiscard]] static std::uint32_t pack_data(
       const std::array<std::uint8_t, 8>& data, unsigned word);
   static void unpack_data(std::array<std::uint8_t, 8>& data, unsigned word,
@@ -151,6 +193,7 @@ class CanController final : public mem::Device {
   std::uint32_t ctrl_ = 0;
   std::uint32_t irq_status_ = 0;
   bool rx_overflowed_ = false;
+  ErrorState last_state_ = ErrorState::error_active;
   CanFrame tx_frame_;        // frame under composition
   unsigned tx_in_flight_ = 0;
   std::deque<CanFrame> rx_fifo_;

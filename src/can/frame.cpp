@@ -17,22 +17,39 @@ std::uint16_t crc15(const std::vector<bool>& bits) {
 }
 
 std::vector<bool> stuffable_bits(const CanFrame& frame) {
-  ACES_CHECK_MSG(frame.id < (1u << 11), "standard identifiers are 11-bit");
+  ACES_CHECK_MSG(frame.id < (1u << (frame.extended ? 29 : 11)),
+                 "identifier out of range for the frame format");
   ACES_CHECK_MSG(frame.dlc <= 8, "dlc is 0..8");
   std::vector<bool> bits;
   bits.push_back(false);  // SOF (dominant)
-  for (int k = 10; k >= 0; --k) {
-    bits.push_back(((frame.id >> k) & 1u) != 0);
+  if (!frame.extended) {
+    for (int k = 10; k >= 0; --k) {
+      bits.push_back(((frame.id >> k) & 1u) != 0);
+    }
+    bits.push_back(frame.rtr);  // RTR
+    bits.push_back(false);      // IDE (standard)
+    bits.push_back(false);      // r0
+  } else {
+    for (int k = 28; k >= 18; --k) {  // 11-bit base identifier
+      bits.push_back(((frame.id >> k) & 1u) != 0);
+    }
+    bits.push_back(true);  // SRR (recessive)
+    bits.push_back(true);  // IDE (extended)
+    for (int k = 17; k >= 0; --k) {  // 18-bit identifier extension
+      bits.push_back(((frame.id >> k) & 1u) != 0);
+    }
+    bits.push_back(frame.rtr);  // RTR
+    bits.push_back(false);      // r1
+    bits.push_back(false);      // r0
   }
-  bits.push_back(false);  // RTR (data frame)
-  bits.push_back(false);  // IDE (standard)
-  bits.push_back(false);  // r0
   for (int k = 3; k >= 0; --k) {
     bits.push_back(((frame.dlc >> k) & 1u) != 0);
   }
-  for (unsigned b = 0; b < frame.dlc; ++b) {
-    for (int k = 7; k >= 0; --k) {
-      bits.push_back(((frame.data[b] >> k) & 1u) != 0);
+  if (!frame.rtr) {  // remote frames carry no data field
+    for (unsigned b = 0; b < frame.dlc; ++b) {
+      for (int k = 7; k >= 0; --k) {
+        bits.push_back(((frame.data[b] >> k) & 1u) != 0);
+      }
     }
   }
   const std::uint16_t crc = crc15(bits);

@@ -1,7 +1,9 @@
-// CAN 2.0A frame model with exact bit-level serialization.
+// CAN 2.0 frame model with exact bit-level serialization.
 //
 // The simulator prices every transmission with the frame's true on-wire
-// length: SOF, 11-bit identifier, RTR/IDE/r0, DLC, data, the real CRC-15
+// length for both frame formats: SOF, the arbitration field (11-bit base
+// identifier, extended frames add SRR/IDE and the 18-bit extension), the
+// control field, data (absent for remote frames), the real CRC-15
 // (poly 0x4599), then bit stuffing over the stuffable span — plus the fixed
 // CRC delimiter / ACK / EOF / IFS tail. The worst-case length formula used
 // by the response-time analysis (sched/can_rta.h) upper-bounds this exact
@@ -16,8 +18,10 @@
 namespace aces::can {
 
 struct CanFrame {
-  std::uint32_t id = 0;  // 11-bit standard identifier (lower wins arbitration)
-  unsigned dlc = 8;      // 0..8 data bytes
+  std::uint32_t id = 0;   // 11-bit standard or 29-bit extended identifier
+  bool extended = false;  // IDE: 29-bit identifier (CAN 2.0B)
+  bool rtr = false;       // remote frame: dlc kept, no data field on wire
+  unsigned dlc = 8;       // 0..8 data bytes
   std::array<std::uint8_t, 8> data{};
 };
 
@@ -31,12 +35,32 @@ struct CanFrame {
 // (CRC delimiter, ACK slot+delimiter, 7-bit EOF, 3-bit interframe space).
 [[nodiscard]] unsigned exact_wire_bits(const CanFrame& frame);
 
-// Classic worst-case length bound for a standard frame with `dlc` data
-// bytes (Tindell/Davis): stuffable region g = 34 + 8*dlc may gain
-// floor((g-1)/4) stuff bits; the 13-bit tail is never stuffed.
-[[nodiscard]] constexpr unsigned worst_case_wire_bits(unsigned dlc) {
-  const unsigned g = 34 + 8 * dlc;
+// Classic worst-case length bound (Tindell/Davis): the stuffable region of
+// a data frame with `dlc` data bytes is g = 34 + 8*dlc bits for the
+// standard format (SOF + 11 id + RTR/IDE/r0 + 4 DLC + 15 CRC) and
+// g = 54 + 8*dlc for the extended format (SOF + 11 base id + SRR/IDE +
+// 18 id extension + RTR/r1/r0 + 4 DLC + 15 CRC); it may gain
+// floor((g-1)/4) stuff bits, and the 13-bit tail is never stuffed.
+// Equivalently, standard: 8n + 47 + floor((34 + 8n - 1) / 4).
+[[nodiscard]] constexpr unsigned worst_case_wire_bits(unsigned dlc,
+                                                      bool extended = false) {
+  const unsigned g = (extended ? 54u : 34u) + 8 * dlc;
   return g + (g - 1) / 4 + 13;
+}
+
+// Total arbitration ordering of frames on one bus: compares the wire bits
+// a receiver would see through the arbitration phase (dominant 0 wins).
+// Base identifier first; on a tie a standard frame beats an extended one
+// (its RTR/IDE bits are dominant where the extended frame sends the
+// recessive SRR/IDE), and a data frame beats the same-id remote frame.
+// Key layout (smaller wins): [31:21] base id, [20] RTR/SRR, [19] IDE,
+// [18:1] id extension, [0] extended RTR.
+[[nodiscard]] constexpr std::uint32_t arbitration_key(const CanFrame& f) {
+  if (!f.extended) {
+    return ((f.id & 0x7FFu) << 21) | ((f.rtr ? 1u : 0u) << 20);
+  }
+  return (((f.id >> 18) & 0x7FFu) << 21) | (1u << 20) | (1u << 19) |
+         ((f.id & 0x3FFFFu) << 1) | (f.rtr ? 1u : 0u);
 }
 
 }  // namespace aces::can

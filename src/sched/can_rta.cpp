@@ -9,24 +9,57 @@ namespace aces::sched {
 
 using sim::SimTime;
 
-CanRtaResult can_rta(const std::vector<CanMessage>& messages,
-                     std::uint32_t bitrate_bps) {
-  const SimTime tau = sim::kSecond / bitrate_bps;  // bit time
-  CanRtaResult result;
-  result.response.assign(messages.size(), 0);
-  result.message_ok.assign(messages.size(), false);
-  result.schedulable = true;
+namespace {
 
+// One full fixed-point analysis pass. `t_error` > 0 adds Tindell's
+// error-recovery term E(t) = (31*tau + max_j C_j) * ceil((t + tau) /
+// t_error) to every busy window; 0 is the exact fault-free analysis.
+// Priority on the wire: the exact arbitration dominance order, NOT the
+// raw identifier — an extended frame's 29-bit id is numerically huge but
+// its 11-bit base competes first, so a mixed-format set ordered by raw id
+// would be unsound against the simulated bus.
+[[nodiscard]] std::uint32_t wire_priority(const CanMessage& m) {
+  // arbitration_key masks out-of-range bits, which would silently alias
+  // distinct priorities — fatal in a safety analysis, so reject here.
+  ACES_CHECK_MSG(m.id < (1u << (m.extended ? 29 : 11)),
+                 "identifier out of range for the frame format");
+  can::CanFrame f;
+  f.id = m.id;
+  f.extended = m.extended;
+  return can::arbitration_key(f);
+}
+
+void analyze(const std::vector<CanMessage>& messages, SimTime tau,
+             SimTime t_error, std::vector<SimTime>& response,
+             std::vector<bool>& ok_out) {
   const auto frame_time = [tau](const CanMessage& m) {
-    return tau * can::worst_case_wire_bits(m.dlc);
+    return tau * can::worst_case_wire_bits(m.dlc, m.extended);
   };
-
-  double util = 0.0;
-  for (const CanMessage& m : messages) {
-    util += static_cast<double>(frame_time(m)) /
-            static_cast<double>(m.period);
+  // Hoisted out of the fixed-point recurrences: per-message wire
+  // priorities and frame times are loop invariants.
+  std::vector<std::uint32_t> key(messages.size());
+  std::vector<SimTime> c(messages.size());
+  SimTime max_c = 0;
+  for (std::size_t j = 0; j < messages.size(); ++j) {
+    key[j] = wire_priority(messages[j]);
+    c[j] = frame_time(messages[j]);
+    max_c = std::max(max_c, c[j]);
   }
-  result.bus_utilization = util;
+  // The analysis is only sound under unique priorities (the simulator
+  // diagnoses the same condition as duplicate_id_conflicts); equal keys
+  // would silently drop the twin's interference below.
+  std::vector<std::uint32_t> sorted = key;
+  std::sort(sorted.begin(), sorted.end());
+  ACES_CHECK_MSG(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                     sorted.end(),
+                 "duplicate arbitration priority in the message set");
+  const SimTime error_cost = 31 * tau + max_c;
+  const auto error_term = [&](SimTime t) -> SimTime {
+    if (t_error <= 0) {
+      return 0;
+    }
+    return error_cost * ((t + tau + t_error - 1) / t_error);
+  };
 
   for (std::size_t i = 0; i < messages.size(); ++i) {
     const CanMessage& m = messages[i];
@@ -37,49 +70,58 @@ CanRtaResult can_rta(const std::vector<CanMessage>& messages,
     // Non-preemptive blocking: the longest lower-priority frame that may
     // have just started.
     SimTime blocking = 0;
-    for (const CanMessage& o : messages) {
-      if (o.id > m.id) {
-        blocking = std::max(blocking, frame_time(o));
+    for (std::size_t j = 0; j < messages.size(); ++j) {
+      if (key[j] > key[i]) {
+        blocking = std::max(blocking, c[j]);
       }
     }
 
     // Busy-period length at priority level m (includes m's own instances).
     SimTime busy = cm;
+    bool truncated = false;
     for (int iter = 0; iter < 10'000; ++iter) {
-      SimTime next = blocking;
-      for (const CanMessage& o : messages) {
-        if (o.id > m.id) {
+      SimTime next = blocking + error_term(busy);
+      for (std::size_t j = 0; j < messages.size(); ++j) {
+        if (key[j] > key[i]) {
           continue;  // lower priority (only in the blocking term)
         }
         const SimTime activations =
-            (busy + o.jitter + o.period - 1) / o.period;
-        next += activations * frame_time(o);
+            (busy + messages[j].jitter + messages[j].period - 1) /
+            messages[j].period;
+        next += activations * c[j];
       }
       if (next == busy) {
         break;
       }
       busy = next;
       if (busy > 100 * deadline) {
-        break;  // overload; instance bound below still terminates
+        // Overload escape: the busy period was cut short, so the instance
+        // count derived from it may miss later (worse) instances — the
+        // verdict below must not claim this message meets its deadline.
+        truncated = true;
+        break;
       }
     }
-    const SimTime q_max = (busy + m.period - 1) / m.period;
+    // Instances released inside the level-i busy period: jitter widens
+    // the release window (Davis et al., Q_m = ceil((t_m + J_m) / T_m)).
+    const SimTime q_max = (busy + m.jitter + m.period - 1) / m.period;
 
     SimTime worst = 0;
-    bool ok = true;
+    bool ok = !truncated;
     for (SimTime q = 0; q < std::max<SimTime>(q_max, 1); ++q) {
       // Queuing delay of instance q.
       SimTime w = blocking + q * cm;
       bool converged = false;
       for (int iter = 0; iter < 10'000; ++iter) {
-        SimTime next = blocking + q * cm;
-        for (const CanMessage& o : messages) {
-          if (&o == &m || o.id >= m.id) {
+        SimTime next = blocking + q * cm + error_term(w + cm);
+        for (std::size_t j = 0; j < messages.size(); ++j) {
+          if (j == i || key[j] >= key[i]) {
             continue;  // strictly higher priority interferes
           }
           const SimTime activations =
-              (w + o.jitter + tau + o.period - 1) / o.period;
-          next += activations * frame_time(o);
+              (w + messages[j].jitter + tau + messages[j].period - 1) /
+              messages[j].period;
+          next += activations * c[j];
         }
         if (next == w) {
           converged = true;
@@ -90,13 +132,52 @@ CanRtaResult can_rta(const std::vector<CanMessage>& messages,
           break;
         }
       }
-      const SimTime response = m.jitter + w - q * m.period + cm;
-      worst = std::max(worst, response);
+      const SimTime r = m.jitter + w - q * m.period + cm;
+      worst = std::max(worst, r);
       ok = ok && converged;
     }
-    result.response[i] = worst;
-    result.message_ok[i] = ok && worst <= deadline;
-    result.schedulable = result.schedulable && result.message_ok[i];
+    response[i] = worst;
+    ok_out[i] = ok && worst <= deadline;
+  }
+}
+
+}  // namespace
+
+CanRtaResult can_rta(const std::vector<CanMessage>& messages,
+                     std::uint32_t bitrate_bps, const CanErrorModel& errors) {
+  const SimTime tau = sim::kSecond / bitrate_bps;  // bit time
+  CanRtaResult result;
+  result.response_fault_free.assign(messages.size(), 0);
+  result.response_faulted.assign(messages.size(), 0);
+  result.message_ok.assign(messages.size(), false);
+
+  const auto frame_time = [tau](const CanMessage& m) {
+    return tau * can::worst_case_wire_bits(m.dlc, m.extended);
+  };
+  double util = 0.0;
+  for (const CanMessage& m : messages) {
+    util += static_cast<double>(frame_time(m)) /
+            static_cast<double>(m.period);
+  }
+  result.bus_utilization = util;
+
+  std::vector<bool> ok_fault_free(messages.size(), false);
+  analyze(messages, tau, 0, result.response_fault_free, ok_fault_free);
+  if (errors.min_interarrival > 0) {
+    analyze(messages, tau, errors.min_interarrival, result.response_faulted,
+            result.message_ok);
+  } else {
+    result.response_faulted = result.response_fault_free;
+    result.message_ok = ok_fault_free;
+  }
+
+  // The operative bound (and verdict) includes the fault hypothesis when
+  // one is given.
+  result.response = errors.min_interarrival > 0 ? result.response_faulted
+                                                : result.response_fault_free;
+  result.schedulable = true;
+  for (const bool ok : result.message_ok) {
+    result.schedulable = result.schedulable && ok;
   }
   return result;
 }

@@ -1,4 +1,5 @@
-// Worst-case response-time analysis for CAN messages.
+// Worst-case response-time analysis for CAN messages, with and without
+// transmission errors.
 //
 // Implements the revised analysis of Davis, Burns, Bril & Lukkien
 // ("Controller Area Network (CAN) schedulability analysis: Refuted,
@@ -8,6 +9,20 @@
 // response time can exceed its period. Frame times use the worst-case
 // stuffed length from can/frame.h, so the simulated bus (can/bus.h) can
 // never exceed these bounds — the property bench_can_rta sweeps.
+//
+// Fault-aware bounds follow Tindell's classic error-recovery term: if bit
+// errors strike the bus at most once every T_error, a busy window of
+// length t suffers at most ceil((t + tau_bit) / T_error) errors, and each
+// costs at most the 31-bit error-frame recovery overhead plus one full
+// retransmission of the longest frame:
+//
+//   E(t) = (31 * tau_bit + max_j C_j) * ceil((t + tau_bit) / T_error)
+//
+// The simulated fault model (CanBus::BitErrorModel + error state machine)
+// is strictly cheaper per error — its error frames are at most 25 bit
+// times and the aborted attempt never exceeds one frame — so the faulted
+// bound dominates the simulation whenever injected errors respect
+// T_error; tests/can_fault_test.cpp asserts exactly that, differentially.
 #ifndef ACES_SCHED_CAN_RTA_H
 #define ACES_SCHED_CAN_RTA_H
 
@@ -20,22 +35,37 @@ namespace aces::sched {
 
 struct CanMessage {
   std::string name;
-  std::uint32_t id = 0;       // priority: lower wins
+  std::uint32_t id = 0;       // priority: exact wire arbitration order
+                              // (can::arbitration_key), so a standard id
+                              // outranks an extended one sharing its base
   unsigned dlc = 8;
   sim::SimTime period = 0;    // T
   sim::SimTime deadline = 0;  // D (0: implicit = T)
   sim::SimTime jitter = 0;    // queuing jitter J
+  bool extended = false;      // 29-bit identifier frame format
+};
+
+// Fault hypothesis for the error-recovery term. Disabled (the exact
+// fault-free analysis) when min_interarrival == 0.
+struct CanErrorModel {
+  sim::SimTime min_interarrival = 0;  // T_error: min gap between bit errors
 };
 
 struct CanRtaResult {
   bool schedulable = false;
-  std::vector<sim::SimTime> response;  // worst-case queue-to-delivery
+  // Operative worst-case queue-to-delivery bounds: faulted when an error
+  // model is given, identical to response_fault_free otherwise.
+  std::vector<sim::SimTime> response;
+  std::vector<sim::SimTime> response_fault_free;  // E(t) term off
+  std::vector<sim::SimTime> response_faulted;     // E(t) term on (== fault
+                                                  // free when no model)
   std::vector<bool> message_ok;
   double bus_utilization = 0.0;
 };
 
 [[nodiscard]] CanRtaResult can_rta(const std::vector<CanMessage>& messages,
-                                   std::uint32_t bitrate_bps);
+                                   std::uint32_t bitrate_bps,
+                                   const CanErrorModel& errors = {});
 
 }  // namespace aces::sched
 

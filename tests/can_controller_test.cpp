@@ -67,12 +67,31 @@ TEST(CanController, TransmitDeliversToTheOtherNodeOnly) {
   EXPECT_EQ(rd(t.b, Ctl::kIrq) & Ctl::kIrqRx, 0u);
 }
 
-TEST(CanController, TxIdIsMaskedTo11BitsAndDlcClamped) {
+TEST(CanController, TxIdIsMaskedPerFormatAndDlcClamped) {
   TwoNodes t;
-  wr(t.a, Ctl::kTxId, 0xFFFF'F95Au);
+  // Standard frame: identifier masked to 11 bits, stray id bits dropped.
+  wr(t.a, Ctl::kTxId, 0x3FFF'F95Au);
   wr(t.a, Ctl::kTxDlc, 99);
   EXPECT_EQ(rd(t.a, Ctl::kTxId), 0x15Au);
   EXPECT_EQ(rd(t.a, Ctl::kTxDlc), 8u);
+  // Extended frame (bit31 IDE): 29-bit mask, flags read back.
+  wr(t.a, Ctl::kTxId, Ctl::kIdExtended | 0x1765'4321u);
+  EXPECT_EQ(rd(t.a, Ctl::kTxId), Ctl::kIdExtended | 0x1765'4321u);
+  // Remote frame flag (bit30) is kept alongside the identifier.
+  wr(t.a, Ctl::kTxId, Ctl::kIdRtr | 0x0123u);
+  EXPECT_EQ(rd(t.a, Ctl::kTxId), Ctl::kIdRtr | 0x0123u);
+}
+
+TEST(CanController, ExtendedFrameRoundTripsOverTheBus) {
+  TwoNodes t;
+  wr(t.a, Ctl::kTxId, Ctl::kIdExtended | 0x1ABC'DE42u);
+  wr(t.a, Ctl::kTxDlc, 3);
+  wr(t.a, Ctl::kTxData0, 0x00332211u);
+  wr(t.a, Ctl::kTxCmd, 1);
+  t.run();
+  EXPECT_EQ(rd(t.b, Ctl::kRxId), Ctl::kIdExtended | 0x1ABC'DE42u);
+  EXPECT_EQ(rd(t.b, Ctl::kRxDlc), 3u);
+  EXPECT_EQ(rd(t.b, Ctl::kRxData0), 0x00332211u);
 }
 
 TEST(CanController, RxFifoOverflowDropsAndLatches) {
@@ -152,7 +171,7 @@ TEST(CanController, RegisterFileFaultsOnBadAccess) {
   EXPECT_FALSE(t.a.read(Ctl::kCtrl, 4, mem::Access::fetch, 0).ok());
   // Reserved offsets (inside the window, past the last register) report
   // unmapped, not misaligned — the access itself was well-formed.
-  EXPECT_EQ(t.a.read(0x38, 4, mem::Access::read, 0).fault,
+  EXPECT_EQ(t.a.read(0x3C, 4, mem::Access::read, 0).fault,
             mem::Fault::unmapped);
   EXPECT_EQ(t.a.write(0x3C, 4, 0, 0).fault, mem::Fault::unmapped);
 }

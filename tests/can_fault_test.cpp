@@ -1,0 +1,372 @@
+// CAN fault-model tests: error frames, automatic retransmission, the
+// TEC/REC fault-confinement state machine, bus-off recovery, and the
+// load-bearing differential property — under injected bit errors, every
+// simulated latency stays below the faulted response-time bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "can/bus.h"
+#include "can/frame.h"
+#include "sched/can_rta.h"
+#include "support/rng.h"
+
+namespace aces::can {
+namespace {
+
+using sim::kMillisecond;
+using sim::SimTime;
+
+CanFrame frame(std::uint32_t id, unsigned dlc, std::uint8_t fill = 0) {
+  CanFrame f;
+  f.id = id;
+  f.dlc = dlc;
+  f.data.fill(fill);
+  return f;
+}
+
+struct BusFixture {
+  sim::EventQueue q;
+  CanBus bus{q, 500'000};  // 500 kbit/s -> 2 us/bit
+  NodeId a = bus.attach_node("a");
+  NodeId b = bus.attach_node("b");
+};
+
+// Corrupts bit 0 of the next `n` transmission attempts.
+CanBus::BitErrorModel corrupt_next(int& n) {
+  return [&n](const CanFrame&, NodeId, SimTime) {
+    if (n > 0) {
+      --n;
+      return 0;
+    }
+    return -1;
+  };
+}
+
+TEST(CanFault, CorruptedFrameIsRetransmittedAndDeliveredOnce) {
+  BusFixture f;
+  int to_corrupt = 1;
+  f.bus.set_bit_error_model(corrupt_next(to_corrupt));
+  int received = 0;
+  SimTime delivered_at = 0;
+  f.bus.subscribe(f.b, [&](const CanFrame& fr, SimTime at) {
+    EXPECT_EQ(fr.id, 0x100u);
+    ++received;
+    delivered_at = at;
+  });
+  const CanFrame fr = frame(0x100, 4, 0x5A);
+  f.bus.send(f.a, fr);
+  f.q.run_until(sim::kSecond);
+
+  EXPECT_EQ(received, 1);  // exactly one delivery despite the retry
+  EXPECT_EQ(f.bus.fault_stats().bit_errors, 1u);
+  EXPECT_EQ(f.bus.fault_stats().retransmissions, 1u);
+  const auto& s = f.bus.stats().at(0x100);
+  EXPECT_EQ(s.sent, 1u);
+  EXPECT_EQ(s.errors, 1u);
+  // Latency is exact: 1 corrupted bit + active error frame (6 flag +
+  // 8 delimiter + 3 intermission), then the full retransmission.
+  const SimTime expect =
+      f.bus.bit_time() * (1 + CanBus::kErrorFlagBits +
+                          CanBus::kErrorDelimiterBits +
+                          CanBus::kIntermissionBits) +
+      f.bus.frame_time(fr);
+  EXPECT_EQ(s.worst_latency, expect);
+  EXPECT_EQ(delivered_at, expect);
+  // Counters: transmit error +8, then the successful retry -1; the
+  // receiver's observed error +1 counts down on the clean reception.
+  EXPECT_EQ(f.bus.tec(f.a), 7u);
+  EXPECT_EQ(f.bus.rec(f.b), 0u);
+  EXPECT_EQ(f.bus.error_state(f.a), ErrorState::error_active);
+}
+
+TEST(CanFault, StateMachineWalksActivePassiveBusOffAndRecovers) {
+  BusFixture f;
+  int to_corrupt = 32;  // 32 x (+8) drives TEC to 256 -> bus-off
+  f.bus.set_bit_error_model(corrupt_next(to_corrupt));
+  std::vector<CanBus::ErrorEvent> events;
+  f.bus.subscribe_err(f.a, [&](const CanBus::ErrorEvent& e, SimTime) {
+    events.push_back(e);
+  });
+  int received = 0;
+  f.bus.subscribe(f.b, [&](const CanFrame&, SimTime) { ++received; });
+  f.bus.send(f.a, frame(0x123, 2));
+  f.q.run_until(sim::kSecond);
+
+  EXPECT_EQ(f.bus.fault_stats().bit_errors, 32u);
+  EXPECT_EQ(f.bus.fault_stats().bus_off_events, 1u);
+  EXPECT_EQ(f.bus.fault_stats().recoveries, 1u);
+  // After auto-recovery the pending frame finally goes through.
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(f.bus.error_state(f.a), ErrorState::error_active);
+  EXPECT_EQ(f.bus.tec(f.a), 0u);  // recovery clears the counters
+
+  // The state-change walk: error-active -> error-passive (TEC 128) ->
+  // bus-off (TEC > 255) -> error-active (recovery).
+  std::vector<ErrorState> walk;
+  for (const auto& e : events) {
+    if (e.kind == CanBus::ErrorEvent::Kind::state_change) {
+      walk.push_back(e.state);
+    }
+  }
+  ASSERT_EQ(walk.size(), 3u);
+  EXPECT_EQ(walk[0], ErrorState::error_passive);
+  EXPECT_EQ(walk[1], ErrorState::bus_off);
+  EXPECT_EQ(walk[2], ErrorState::error_active);
+  // tx_error events carry the post-bump TEC; the 16th crossing reads 128.
+  std::vector<unsigned> tecs;
+  for (const auto& e : events) {
+    if (e.kind == CanBus::ErrorEvent::Kind::tx_error) {
+      tecs.push_back(e.tec);
+    }
+  }
+  ASSERT_EQ(tecs.size(), 32u);
+  EXPECT_EQ(tecs[0], 8u);
+  EXPECT_EQ(tecs[15], 128u);
+  EXPECT_EQ(tecs[31], 256u);
+}
+
+TEST(CanFault, BusOffRecoveryTakes128x11RecessiveBits) {
+  BusFixture f;
+  int to_corrupt = 32;
+  f.bus.set_bit_error_model(corrupt_next(to_corrupt));
+  SimTime bus_off_at = -1;
+  SimTime recovered_at = -1;
+  f.bus.subscribe_err(f.a, [&](const CanBus::ErrorEvent& e, SimTime at) {
+    if (e.kind != CanBus::ErrorEvent::Kind::state_change) {
+      return;
+    }
+    if (e.state == ErrorState::bus_off) {
+      bus_off_at = at;
+    } else if (e.state == ErrorState::error_active) {
+      recovered_at = at;
+    }
+  });
+  f.bus.send(f.a, frame(0x123, 2));
+  f.q.run_until(sim::kSecond);
+  ASSERT_GE(bus_off_at, 0);
+  ASSERT_GE(recovered_at, 0);
+  EXPECT_EQ(recovered_at - bus_off_at,
+            f.bus.bit_time() * CanBus::kBusOffRecoveryBits);
+}
+
+TEST(CanFault, ManualRecoveryWaitsForSoftwareRequest) {
+  BusFixture f;
+  f.bus.set_manual_bus_off_recovery(f.a, true);
+  int to_corrupt = 32;
+  f.bus.set_bit_error_model(corrupt_next(to_corrupt));
+  int received = 0;
+  f.bus.subscribe(f.b, [&](const CanFrame&, SimTime) { ++received; });
+  f.bus.send(f.a, frame(0x123, 2));
+  f.q.run_until(sim::kSecond);
+
+  // No request: the node stays off the bus indefinitely.
+  EXPECT_EQ(f.bus.error_state(f.a), ErrorState::bus_off);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.bus.fault_stats().recoveries, 0u);
+
+  f.bus.request_recovery(f.a);
+  f.q.run_until(f.q.now() + sim::kSecond);
+  EXPECT_EQ(f.bus.error_state(f.a), ErrorState::error_active);
+  EXPECT_EQ(received, 1);  // the pending frame survived bus-off
+  EXPECT_EQ(f.bus.fault_stats().recoveries, 1u);
+}
+
+TEST(CanFault, SwitchingToManualRevokesAnArmedAutoRecovery) {
+  BusFixture f;
+  int to_corrupt = 32;
+  f.bus.set_bit_error_model(corrupt_next(to_corrupt));
+  f.bus.send(f.a, frame(0x123, 2));
+  // Step until bus-off; the auto-recovery timer is now armed.
+  while (f.bus.error_state(f.a) != ErrorState::bus_off &&
+         f.q.step(sim::kSecond)) {
+  }
+  ASSERT_EQ(f.bus.error_state(f.a), ErrorState::bus_off);
+  // Claiming the node for software-controlled recovery must cancel the
+  // pending timer: the node stays off the wire until request_recovery().
+  f.bus.set_manual_bus_off_recovery(f.a, true);
+  f.q.run_until(f.q.now() + sim::kSecond);
+  EXPECT_EQ(f.bus.error_state(f.a), ErrorState::bus_off);
+  EXPECT_EQ(f.bus.fault_stats().recoveries, 0u);
+  f.bus.request_recovery(f.a);
+  f.q.run_until(f.q.now() + sim::kSecond);
+  EXPECT_EQ(f.bus.error_state(f.a), ErrorState::error_active);
+  EXPECT_EQ(f.bus.fault_stats().recoveries, 1u);
+}
+
+TEST(CanFault, ReceiveErrorCounterSaturatesLikeAn8BitCounter) {
+  // 10 bus-off cycles x 32 errors each would push the receiver's REC to
+  // 320 unbounded; it must saturate at 255 (the controller's ERRCNT
+  // register packs REC into 9 bits and guest code reads it live).
+  BusFixture f;
+  int to_corrupt = 320;
+  f.bus.set_bit_error_model(corrupt_next(to_corrupt));
+  f.bus.send(f.a, frame(0x123, 2));
+  f.q.run_until(sim::kSecond);
+  EXPECT_EQ(f.bus.fault_stats().bus_off_events, 10u);
+  EXPECT_EQ(f.bus.fault_stats().recoveries, 10u);
+  // Saturated at 255 through the storm, minus one for the clean final
+  // exchange after the 10th recovery.
+  EXPECT_EQ(f.bus.rec(f.b), 254u);
+  EXPECT_EQ(f.bus.tec(f.a), 0u);  // cleared by the last recovery
+  EXPECT_EQ(f.bus.stats().at(0x123).sent, 1u);
+}
+
+TEST(CanFault, BusOffNodeIsDisconnectedFromArbitrationAndDelivery) {
+  BusFixture f;
+  // Only node b's transmissions are corrupted.
+  f.bus.set_manual_bus_off_recovery(f.b, true);
+  f.bus.set_bit_error_model(
+      [&f](const CanFrame&, NodeId tx, SimTime) { return tx == f.b ? 0 : -1; });
+  int b_received = 0;
+  f.bus.subscribe(f.b, [&](const CanFrame&, SimTime) { ++b_received; });
+  f.bus.send(f.b, frame(0x050, 1));  // b hammers itself into bus-off
+  f.q.run_until(sim::kSecond);
+  ASSERT_EQ(f.bus.error_state(f.b), ErrorState::bus_off);
+
+  // Traffic from a flows cleanly (b's pending 0x050 cannot interfere) and
+  // is not delivered to the dead node.
+  int a_sent = 0;
+  f.bus.subscribe_tx(f.a, [&](const CanFrame&, SimTime) { ++a_sent; });
+  f.bus.send(f.a, frame(0x100, 1));
+  f.q.run_until(f.q.now() + sim::kSecond);
+  EXPECT_EQ(a_sent, 1);
+  EXPECT_EQ(b_received, 0);
+  EXPECT_EQ(f.bus.stats().at(0x100).errors, 0u);
+}
+
+TEST(CanFault, ErrorModelMaySendReentrantly) {
+  // The wire is claimed before the model runs: a model that reacts to a
+  // corruption by injecting traffic (e.g. a diagnostic frame) must not
+  // start a nested transmission or displace the in-flight frame.
+  BusFixture f;
+  bool once = true;
+  f.bus.set_bit_error_model(
+      [&](const CanFrame& fr, NodeId, SimTime) -> int {
+        if (fr.id == 0x200 && once) {
+          once = false;
+          f.bus.send(f.b, frame(0x050, 1));
+          return 3;
+        }
+        return -1;
+      });
+  const NodeId c = f.bus.attach_node("c");
+  std::vector<std::uint32_t> order;
+  f.bus.subscribe(c, [&](const CanFrame& fr, SimTime) {
+    order.push_back(fr.id);
+  });
+  f.bus.send(f.a, frame(0x200, 1));
+  f.q.run_until(sim::kSecond);
+  // The injected high-priority frame wins the post-error arbitration,
+  // then the corrupted frame retransmits.
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0x050u);
+  EXPECT_EQ(order[1], 0x200u);
+  EXPECT_EQ(f.bus.fault_stats().bit_errors, 1u);
+  EXPECT_EQ(f.bus.fault_stats().retransmissions, 1u);
+}
+
+TEST(CanFault, ErrorPassiveTransmitterPaysTheSuspendPenalty) {
+  BusFixture f;
+  int to_corrupt = 17;  // 16 errors reach TEC 128 (passive); one more while
+                        // passive takes the suspend-transmission penalty
+  f.bus.set_bit_error_model(corrupt_next(to_corrupt));
+  f.bus.send(f.a, frame(0x123, 0));
+  f.q.run_until(sim::kSecond);
+  const auto& s = f.bus.stats().at(0x123);
+  ASSERT_EQ(s.sent, 1u);
+  const SimTime active_err =
+      f.bus.bit_time() * (1 + CanBus::kErrorFlagBits +
+                          CanBus::kErrorDelimiterBits +
+                          CanBus::kIntermissionBits);
+  const SimTime passive_err =
+      active_err + f.bus.bit_time() * CanBus::kSuspendTransmissionBits;
+  EXPECT_EQ(s.worst_latency,
+            16 * active_err + passive_err + f.bus.frame_time(frame(0x123, 0)));
+}
+
+// ----- the differential property -------------------------------------------
+//
+// An SAE-flavored message set runs for seconds under a seeded bit-error
+// campaign whose error instants are spaced at least T_error apart; every
+// observed queue-to-delivery latency must stay below the faulted
+// analytical bound R_faulted = RTA + E(t). This is the fault-extended twin
+// of sched_test's CanRta.DominatesSimulatedBus.
+TEST(CanFault, FaultedRtaDominatesSimulatedBusUnderInjectedErrors) {
+  std::vector<sched::CanMessage> msgs;
+  const auto add = [&msgs](const char* name, std::uint32_t id, unsigned dlc,
+                           SimTime period) {
+    msgs.push_back(sched::CanMessage{name, id, dlc, period, 0, 0, false});
+  };
+  add("engine_torque", 0x050, 8, 5 * kMillisecond);
+  add("wheel_speed", 0x0A0, 6, 10 * kMillisecond);
+  add("brake_pressure", 0x0C0, 4, 10 * kMillisecond);
+  add("steering_angle", 0x120, 4, 20 * kMillisecond);
+  add("gear_state", 0x200, 2, 50 * kMillisecond);
+  add("hvac_state", 0x500, 4, 100 * kMillisecond);
+
+  // Spacing is chosen so TEC decay (-1 per success, ~480 frames/s) beats
+  // TEC growth (+8 per error): the transmitter stays error-active and the
+  // campaign never triggers bus-off (whose recovery the RTA term does not
+  // model).
+  const SimTime t_error = 20 * kMillisecond;
+  const sched::CanRtaResult bound =
+      sched::can_rta(msgs, 250'000, sched::CanErrorModel{t_error});
+  ASSERT_TRUE(bound.schedulable);
+  for (std::size_t k = 0; k < msgs.size(); ++k) {
+    // The error term strictly inflates every bound.
+    EXPECT_GT(bound.response_faulted[k], bound.response_fault_free[k]);
+    EXPECT_EQ(bound.response[k], bound.response_faulted[k]);
+  }
+
+  sim::EventQueue q;
+  CanBus bus(q, 250'000);
+  const NodeId tx = bus.attach_node("tx");
+  (void)bus.attach_node("rx");
+
+  // Seeded campaign: a coin flip per eligible attempt, corrupting a
+  // uniformly chosen wire bit. `next_allowed` spaces the *error instants*
+  // at least T_error apart: the previous error happened no later than
+  // its attempt start + the longest frame.
+  SimTime max_c = 0;
+  for (const auto& m : msgs) {
+    max_c = std::max<SimTime>(
+        max_c, bus.bit_time() * worst_case_wire_bits(m.dlc, m.extended));
+  }
+  support::Rng256 rng(97);
+  SimTime next_allowed = 0;
+  bus.set_bit_error_model(
+      [&](const CanFrame& f, NodeId, SimTime now) -> int {
+        if (now < next_allowed || !rng.chance(0.6)) {
+          return -1;
+        }
+        next_allowed = now + t_error + max_c;
+        return static_cast<int>(rng.next_below(exact_wire_bits(f)));
+      });
+
+  for (const sched::CanMessage& m : msgs) {
+    q.schedule_every(m.period, [&bus, m, tx]() {
+      CanFrame f;
+      f.id = m.id;
+      f.dlc = m.dlc;
+      bus.send(tx, f);
+    });
+  }
+  q.run_until(4 * sim::kSecond);
+
+  EXPECT_GT(bus.fault_stats().bit_errors, 50u);  // the campaign had teeth
+  EXPECT_EQ(bus.fault_stats().bus_off_events, 0u);
+  std::uint64_t total_errors = 0;
+  for (std::size_t k = 0; k < msgs.size(); ++k) {
+    const auto it = bus.stats().find(msgs[k].id);
+    ASSERT_NE(it, bus.stats().end()) << msgs[k].name;
+    EXPECT_LE(it->second.worst_latency, bound.response[k]) << msgs[k].name;
+    EXPECT_GT(it->second.sent, 30u) << msgs[k].name;
+    total_errors += it->second.errors;
+  }
+  EXPECT_EQ(total_errors, bus.fault_stats().bit_errors);
+}
+
+}  // namespace
+}  // namespace aces::can

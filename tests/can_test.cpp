@@ -51,6 +51,82 @@ TEST(Frame, WorstCaseBoundsExactLength) {
   }
 }
 
+TEST(Frame, WorstCaseMatchesPublishedClosedForms) {
+  // Tindell/Davis stuffed-length bounds, pinned for every dlc and both
+  // identifier formats: standard 8n + 47 + floor((34 + 8n - 1) / 4),
+  // extended 8n + 67 + floor((54 + 8n - 1) / 4).
+  for (unsigned n = 0; n <= 8; ++n) {
+    EXPECT_EQ(worst_case_wire_bits(n), 8 * n + 47 + (34 + 8 * n - 1) / 4);
+    EXPECT_EQ(worst_case_wire_bits(n, false), worst_case_wire_bits(n));
+    EXPECT_EQ(worst_case_wire_bits(n, true),
+              8 * n + 67 + (54 + 8 * n - 1) / 4);
+  }
+  // Spot values: 135 bits for a full standard frame, 160 for extended.
+  EXPECT_EQ(worst_case_wire_bits(8), 135u);
+  EXPECT_EQ(worst_case_wire_bits(0), 55u);
+  EXPECT_EQ(worst_case_wire_bits(8, true), 160u);
+}
+
+TEST(Frame, ExtendedAndRemoteStuffableRegionLengths) {
+  for (unsigned dlc = 0; dlc <= 8; ++dlc) {
+    CanFrame e;
+    e.extended = true;
+    e.id = 0x1ABC'DE01;
+    e.dlc = dlc;
+    EXPECT_EQ(stuffable_bits(e).size(), 54u + 8 * dlc);
+    // Remote frames keep the DLC field but carry no data bytes.
+    CanFrame r = frame(0x123, dlc);
+    r.rtr = true;
+    EXPECT_EQ(stuffable_bits(r).size(), 34u);
+    e.rtr = true;
+    EXPECT_EQ(stuffable_bits(e).size(), 54u);
+  }
+}
+
+TEST(Frame, WorstCaseBoundsExactLengthAllFormats) {
+  support::Rng256 rng(47);
+  for (int k = 0; k < 500; ++k) {
+    CanFrame f;
+    f.extended = rng.chance(0.5);
+    f.rtr = rng.chance(0.25);
+    f.id = static_cast<std::uint32_t>(
+        rng.next_below(1u << (f.extended ? 29 : 11)));
+    f.dlc = static_cast<unsigned>(rng.next_below(9));
+    for (auto& b : f.data) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    const unsigned exact = exact_wire_bits(f);
+    const unsigned worst = worst_case_wire_bits(f.dlc, f.extended);
+    EXPECT_LE(exact, worst) << "id=" << f.id << " dlc=" << f.dlc
+                            << " ext=" << f.extended << " rtr=" << f.rtr;
+    // And at least the unstuffed length.
+    const unsigned g =
+        (f.extended ? 54u : 34u) + (f.rtr ? 0 : 8 * f.dlc);
+    EXPECT_GE(exact, g + 13u);
+  }
+}
+
+TEST(Frame, ArbitrationKeyMatchesWireDominance) {
+  CanFrame s = frame(0x100, 4);
+  CanFrame s_hi = frame(0x101, 4);
+  EXPECT_LT(arbitration_key(s), arbitration_key(s_hi));
+  // A standard frame beats the extended frame sharing its base id (the
+  // standard RTR/IDE bits are dominant where extended sends SRR/IDE
+  // recessive) ...
+  CanFrame e;
+  e.extended = true;
+  e.id = (0x100u << 18) | 0x1234u;
+  EXPECT_LT(arbitration_key(s), arbitration_key(e));
+  // ... but an extended frame with a lower base id beats both.
+  CanFrame e_lo = e;
+  e_lo.id = (0x0FFu << 18) | 0x3FFFFu;
+  EXPECT_LT(arbitration_key(e_lo), arbitration_key(s));
+  // A data frame beats the same-identifier remote frame.
+  CanFrame r = s;
+  r.rtr = true;
+  EXPECT_LT(arbitration_key(s), arbitration_key(r));
+}
+
 TEST(Frame, AllZeroPayloadMaximizesStuffing) {
   // Long runs of identical bits force a stuff bit every 4 data bits.
   const unsigned zero_bits = exact_wire_bits(frame(0, 8, 0x00));
@@ -160,6 +236,90 @@ TEST(Bus, UtilizationAccounting) {
   const double u = f.bus.utilization(10 * sim::kMillisecond);
   EXPECT_GT(u, 0.1);
   EXPECT_LE(u, 1.0);
+}
+
+TEST(Bus, UtilizationIsProRatedMidFrame) {
+  // Regression: busy time used to accrue in full at transmission start,
+  // so a query while a frame was on the wire counted unsent bits and a
+  // saturated bus could report >100%.
+  BusFixture f;
+  const CanFrame fr = frame(0x100, 8);
+  const SimTime ft = f.bus.frame_time(fr);
+  for (int k = 0; k < 4; ++k) {  // keep the bus saturated throughout
+    f.bus.send(f.a, fr);
+  }
+  bool queried = false;
+  f.q.schedule_at(ft / 2, [&] {  // halfway through the first frame
+    queried = true;
+    EXPECT_NEAR(f.bus.utilization(ft / 2), 1.0, 1e-9);
+  });
+  f.q.schedule_at(2 * ft + ft / 4, [&] {  // a quarter into the third
+    EXPECT_NEAR(f.bus.utilization(2 * ft + ft / 4), 1.0, 1e-9);
+  });
+  f.q.run_until(sim::kSecond);
+  EXPECT_TRUE(queried);
+  // Fully drained: busy time equals exactly the four completed frames.
+  EXPECT_NEAR(f.bus.utilization(4 * ft), 1.0, 1e-9);
+  EXPECT_NEAR(f.bus.utilization(8 * ft), 0.5, 1e-9);
+}
+
+TEST(Bus, DuplicateIdentifierAcrossNodesIsDiagnosed) {
+  // Two nodes presenting the same identifier in one arbitration round is
+  // a CAN protocol violation (and voids the RTA's unique-priority
+  // assumption); the bus resolves it deterministically but diagnoses it.
+  BusFixture f;
+  const NodeId c = f.bus.attach_node("c");
+  std::vector<std::uint32_t> order;
+  f.bus.subscribe(c, [&](const CanFrame& fr, SimTime) {
+    order.push_back(fr.id);
+  });
+  f.bus.send(f.a, frame(0x080, 1));
+  f.q.schedule_at(1'000, [&] {  // while the bus is busy
+    f.bus.send(f.a, frame(0x200, 1));
+    f.bus.send(f.b, frame(0x200, 2));
+  });
+  f.q.run_until(sim::kSecond);
+  EXPECT_EQ(f.bus.fault_stats().duplicate_id_conflicts, 1u);
+  EXPECT_EQ(f.bus.fault_stats().last_duplicate_id, 0x200u);
+  // Deterministic resolution: the lower node index wins the first round.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[1], 0x200u);
+  EXPECT_EQ(order[2], 0x200u);
+  // Distinct formats sharing a number are NOT duplicates on the wire:
+  // queue a standard and an extended 0x300 while the bus is busy, so both
+  // meet in the same arbitration round.
+  f.bus.send(f.a, frame(0x080, 1));
+  f.q.schedule_at(f.q.now() + 1'000, [&] {
+    CanFrame e;
+    e.extended = true;
+    e.id = 0x300;
+    f.bus.send(f.a, frame(0x300, 1));
+    f.bus.send(f.b, e);
+  });
+  f.q.run_until(f.q.now() + sim::kSecond);
+  EXPECT_EQ(f.bus.fault_stats().duplicate_id_conflicts, 1u);
+}
+
+TEST(Bus, StandardFrameBeatsExtendedSharingItsBase) {
+  BusFixture f;
+  const NodeId c = f.bus.attach_node("c");
+  std::vector<bool> ext_order;
+  f.bus.subscribe(c, [&](const CanFrame& fr, SimTime) {
+    ext_order.push_back(fr.extended);
+  });
+  f.bus.send(f.a, frame(0x700, 1));  // occupy the wire
+  f.q.schedule_at(1'000, [&] {
+    CanFrame e;
+    e.extended = true;
+    e.id = 0x120u << 18;  // base 0x120, extension 0
+    e.dlc = 1;
+    f.bus.send(f.a, e);
+    f.bus.send(f.b, frame(0x120, 1));  // same base, standard: wins
+  });
+  f.q.run_until(sim::kSecond);
+  ASSERT_EQ(ext_order.size(), 3u);
+  EXPECT_FALSE(ext_order[1]);
+  EXPECT_TRUE(ext_order[2]);
 }
 
 }  // namespace

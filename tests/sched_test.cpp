@@ -191,6 +191,106 @@ TEST(CanRta, HighLoadStillBounded) {
   EXPECT_GT(r.response.back(), 4 * r.response.front());
 }
 
+TEST(CanRta, OverloadedSetReportsUnschedulable) {
+  // Regression: the busy-period overload escape used to truncate before
+  // q_max was derived, so instances beyond the cut were never examined
+  // while the message could still be reported as meeting its deadline.
+  // A truncated busy period must force message_ok = false.
+  std::vector<CanMessage> msgs;
+  for (int k = 0; k < 5; ++k) {
+    CanMessage m;
+    m.name = "m" + std::to_string(k);
+    m.id = static_cast<std::uint32_t>(0x100 + k * 16);
+    m.dlc = 8;
+    m.period = 2 * kMillisecond;
+    msgs.push_back(m);
+  }
+  const CanRtaResult r = can_rta(msgs, 125'000);  // ~270% load
+  EXPECT_GT(r.bus_utilization, 2.0);
+  EXPECT_FALSE(r.schedulable);
+  // Every message whose level-i busy period diverges is flagged; only the
+  // top-priority message (54% local load) can still converge.
+  EXPECT_FALSE(r.message_ok.back());
+  for (std::size_t k = 1; k < msgs.size(); ++k) {
+    EXPECT_FALSE(r.message_ok[k]) << msgs[k].name;
+  }
+}
+
+TEST(CanRta, ErrorTermInflatesBoundsMonotonically) {
+  const auto msgs = sae_like_set();
+  const CanRtaResult plain = can_rta(msgs, 250'000);
+  const CanRtaResult faulted =
+      can_rta(msgs, 250'000, CanErrorModel{10 * kMillisecond});
+  const CanRtaResult stormy =
+      can_rta(msgs, 250'000, CanErrorModel{1 * kMillisecond});
+  for (std::size_t k = 0; k < msgs.size(); ++k) {
+    // Without a model both reported vectors collapse to fault-free.
+    EXPECT_EQ(plain.response[k], plain.response_fault_free[k]);
+    EXPECT_EQ(plain.response_faulted[k], plain.response_fault_free[k]);
+    // With a model, the operative bound is the faulted one, the
+    // fault-free vector matches the plain analysis, and more frequent
+    // errors mean (weakly) larger bounds.
+    EXPECT_EQ(faulted.response_fault_free[k], plain.response[k]);
+    EXPECT_EQ(faulted.response[k], faulted.response_faulted[k]);
+    EXPECT_GT(faulted.response[k], plain.response[k]);
+    EXPECT_GE(stormy.response[k], faulted.response[k]);
+  }
+  EXPECT_TRUE(faulted.schedulable);
+}
+
+TEST(CanRta, MixedFormatPriorityFollowsWireArbitration) {
+  // Regression: priority used to be the raw identifier, so an extended
+  // message's numerically-huge 29-bit id was treated as lowest priority
+  // even though its 11-bit base wins arbitration on the wire — and the
+  // simulated bus violated the "analysis >= simulation" property.
+  std::vector<CanMessage> msgs = {
+      {"e0", 0x0F0u << 18, 8, 2 * kMillisecond, 0, 0, true},
+      {"e1", 0x0F1u << 18, 8, 2 * kMillisecond, 0, 0, true},
+      {"std", 0x100, 8, 20 * kMillisecond, 0, 0, false},
+  };
+  const CanRtaResult bound = can_rta(msgs, 250'000);
+  ASSERT_TRUE(bound.schedulable);
+  // The standard message is the lowest wire priority: its bound includes
+  // interference from both extended streams, not just one blocking frame.
+  const SimTime tau = sim::kSecond / 250'000;
+  const SimTime c_ext = tau * can::worst_case_wire_bits(8, true);
+  EXPECT_GE(bound.response[2], 2 * c_ext);
+
+  sim::EventQueue q;
+  can::CanBus bus(q, 250'000);
+  const can::NodeId tx = bus.attach_node("tx");
+  (void)bus.attach_node("rx");
+  for (const CanMessage& m : msgs) {
+    q.schedule_every(m.period, [&bus, m, tx]() {
+      can::CanFrame f;
+      f.id = m.id;
+      f.extended = m.extended;
+      f.dlc = m.dlc;
+      bus.send(tx, f);
+    });
+  }
+  q.run_until(2 * sim::kSecond);
+  for (std::size_t k = 0; k < msgs.size(); ++k) {
+    const auto it = bus.stats().find(msgs[k].id);
+    ASSERT_NE(it, bus.stats().end()) << msgs[k].name;
+    EXPECT_LE(it->second.worst_latency, bound.response[k]) << msgs[k].name;
+  }
+}
+
+TEST(CanRta, ExtendedFramesUseTheLongerWorstCase) {
+  std::vector<CanMessage> std_set = sae_like_set();
+  std::vector<CanMessage> ext_set = sae_like_set();
+  for (auto& m : ext_set) {
+    m.extended = true;
+  }
+  const CanRtaResult a = can_rta(std_set, 250'000);
+  const CanRtaResult b = can_rta(ext_set, 250'000);
+  EXPECT_GT(b.bus_utilization, a.bus_utilization);
+  for (std::size_t k = 0; k < std_set.size(); ++k) {
+    EXPECT_GT(b.response[k], a.response[k]);
+  }
+}
+
 // ----- FlexRay ---------------------------------------------------------------------
 
 TEST(Flexray, AssignsWithoutCollision) {
