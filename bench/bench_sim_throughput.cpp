@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "can/controller.h"
 #include "cpu/ivc.h"
+#include "net/network.h"
 #include "sim/event_queue.h"
 #include "sim/simulation.h"
 
@@ -106,6 +107,8 @@ void BM_CoSimMultiEcu(benchmark::State& state) {
 
   std::uint64_t cosim_events = 0;
   std::uint64_t frames = 0;
+  std::uint64_t slices = 0;
+  std::uint64_t idle_windows = 0;
   for (auto _ : state) {
     sim::Simulation sim(50 * sim::kMicrosecond);
     can::CanBus bus(sim.queue(), 500'000);
@@ -152,6 +155,14 @@ void BM_CoSimMultiEcu(benchmark::State& state) {
       events += sys->binding()->stats().steps;
       frames += sys->bus().read(kCount, 4, mem::Access::read, 0).value;
     }
+    // Per-participant scheduler accounting (Simulation::Stats): total
+    // round-robin slices and WFI fast-forwarded windows across the fleet —
+    // the idle share is what keeps many-ECU scenarios sweepable.
+    for (const sim::Simulation::ParticipantStats& ps :
+         sim.stats().participants) {
+      slices += ps.slices;
+      idle_windows += ps.idle_windows;
+    }
     benchmark::DoNotOptimize(events);
     cosim_events += events;
   }
@@ -159,8 +170,107 @@ void BM_CoSimMultiEcu(benchmark::State& state) {
       static_cast<double>(cosim_events), benchmark::Counter::kIsRate);
   state.counters["frames_serviced"] = benchmark::Counter(
       static_cast<double>(frames), benchmark::Counter::kAvgIterations);
+  state.counters["participant_slices"] = benchmark::Counter(
+      static_cast<double>(slices), benchmark::Counter::kAvgIterations);
+  state.counters["participant_idle_windows"] = benchmark::Counter(
+      static_cast<double>(idle_windows), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_CoSimMultiEcu);
+
+// Multi-bus scaling: a NetworkBuilder vehicle — three buses at different
+// bit rates, six ISS ECUs sleeping in WFI between compiled RX ISRs, and a
+// central gateway fanning a 1 kHz powertrain broadcast out to both other
+// segments. The counters (events/s and guest MIPS) are the BENCH_net.json
+// figures CI tracks: scheduler throughput and simulated-core throughput of
+// a whole routed vehicle, not a single hot loop.
+void BM_CoSimGatewayNetwork(benchmark::State& state) {
+  using namespace aces::isa;
+  using Ctl = can::CanController;
+  constexpr unsigned kLine = 1;
+  constexpr std::uint32_t kVectors = cpu::kSramBase + 0x40;
+  constexpr std::uint32_t kCount = cpu::kSramBase + 0x100;
+
+  // Count-and-ack guest ISR, shared by all six ECUs.
+  Assembler a(Encoding::b32, cpu::kFlashBase);
+  const Label entry = a.bound_label();
+  const Label top = a.bound_label();
+  Instruction wfi;
+  wfi.op = Op::wfi;
+  a.ins(wfi);
+  a.b(top);
+  a.pool();
+  const Label isr = a.bound_label();
+  a.load_literal(r0, cpu::kPeriphBase);
+  a.load_literal(r3, kCount);
+  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
+  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
+  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
+  a.ins(ins_ret());
+  a.pool();
+  net::GuestProgram prog;
+  prog.image = a.assemble();
+  prog.entry = a.label_address(entry);
+  prog.ivc.vector_table = kVectors;
+  prog.handlers.push_back({kLine, a.label_address(isr), 32});
+
+  std::uint64_t cosim_events = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t forwarded = 0;
+  for (auto _ : state) {
+    net::NetworkBuilder nb;
+    const net::BusId buses[3] = {nb.bus("pt", 500'000),
+                                 nb.bus("body", 125'000),
+                                 nb.bus("diag", 250'000)};
+    Ctl::Config cc;
+    cc.rx_line = kLine;
+    std::vector<net::EcuId> ecus;
+    for (int k = 0; k < 6; ++k) {
+      ecus.push_back(nb.ecu(
+          buses[k / 2],
+          cpu::profiles::modern_mcu()
+              .name("ecu" + std::to_string(k))
+              .clock_hz(8'000'000 * (1u << (k % 2)))
+              .flash_size(16 * 1024),
+          prog, cc));
+    }
+    net::GatewayConfig gc;
+    gc.forwarding_latency = 100 * sim::kMicrosecond;
+    const net::GatewayId gw = nb.gateway("central", gc);
+    nb.route(gw, {buses[0], buses[1], 0x100, 0x7FF, {}});
+    nb.route(gw, {buses[0], buses[2], 0x100, 0x7FF, {}});
+    net::Network net = nb.build();
+
+    const can::NodeId sensor = net.bus(buses[0]).attach_node("sensor");
+    net.simulation().schedule_every(sim::kMillisecond, [&net, &buses,
+                                                       sensor] {
+      can::CanFrame f;
+      f.id = 0x100;
+      f.dlc = 4;
+      net.bus(buses[0]).send(sensor, f);
+    });
+    net.run_until(100 * sim::kMillisecond);
+
+    std::uint64_t events = net.simulation().stats().events_executed;
+    for (const net::EcuId id : ecus) {
+      events += net.iss(id).binding().stats().steps;
+      instructions += net.iss(id).binding().stats().steps;
+    }
+    forwarded += net.gateway(gw).stats().frames_delivered;
+    benchmark::DoNotOptimize(events);
+    cosim_events += events;
+  }
+  state.counters["cosim_events/s"] = benchmark::Counter(
+      static_cast<double>(cosim_events), benchmark::Counter::kIsRate);
+  // Simulated guest instructions per wall second across the whole fleet.
+  state.counters["guest_mips"] = benchmark::Counter(
+      static_cast<double>(instructions) * 1e-6, benchmark::Counter::kIsRate);
+  state.counters["frames_forwarded"] = benchmark::Counter(
+      static_cast<double>(forwarded), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CoSimGatewayNetwork);
 
 void BM_LoweringThroughput(benchmark::State& state) {
   const kir::KFunction f = workloads::build_crc16();

@@ -1,5 +1,5 @@
 // Body-control network: the paper's §1/§3.2 distributed vision in one
-// executable — now mixed-fidelity.
+// executable — mixed-fidelity, now declared with net::NetworkBuilder.
 //
 // Four ECUs share one 125 kbps CAN bus under one co-simulation time base:
 //
@@ -15,24 +15,24 @@
 //
 // The two guest ECUs run real interrupt handlers on the instruction-set
 // simulator; between frames they sleep in WFI, so the scheduler
-// fast-forwards them at zero host cost — simulated idle cycles are free.
-// The kernel-model ECUs stay abstract workload models. Both fidelities
-// progress under the same deterministic event-driven scheduler, which is
-// the engineering basis for treating "the distributed network of
-// processors ... as a single compute resource".
+// fast-forwards them at zero host cost. The kernel-model ECUs stay
+// abstract workload models. Both fidelities attach through the same
+// NetworkBuilder::ecu() call — the whole vehicle is one declarative
+// description materialized by build(), which is the engineering basis for
+// treating "the distributed network of processors ... as a single compute
+// resource". (examples/vehicle_network.cpp scales the same description to
+// 24 ECUs on three gateway-bridged buses.)
 //
 //   $ ./examples/body_network
 #include <cstdio>
 
 #include "can/bus.h"
 #include "can/controller.h"
-#include "cpu/ivc.h"
 #include "cpu/profiles.h"
-#include "cpu/system.h"
+#include "guest_util.h"
 #include "isa/assembler.h"
-#include "rtos/kernel.h"
+#include "net/network.h"
 #include "sched/can_rta.h"
-#include "sim/simulation.h"
 
 using namespace aces;
 using namespace aces::isa;
@@ -43,216 +43,101 @@ using Ctl = can::CanController;
 
 namespace {
 
-constexpr std::uint32_t kLockCmdId = 0x0F0;   // gateway -> door
+constexpr std::uint32_t kLockCmdId = 0x0F0;     // gateway -> door
 constexpr std::uint32_t kDoorStatusId = 0x110;  // door -> bus
 constexpr std::uint32_t kSeatPosId = 0x180;     // seat -> bus
 constexpr std::uint32_t kClimateId = 0x300;     // climate -> bus
 
-constexpr std::uint32_t kVectors = cpu::kSramBase + 0x40;
 constexpr std::uint32_t kCount = cpu::kSramBase + 0x100;  // serviced frames
 constexpr std::uint32_t kLastData = cpu::kSramBase + 0x104;
 constexpr unsigned kRxLine = 1;
 
-rtos::Segment exec_for(SimTime d) {
-  rtos::Segment s;
-  s.kind = rtos::Segment::Kind::execute;
-  s.duration = d;
-  return s;
+// A guest ECU program: WFI main loop; the shared relay ISR services
+// matching frames and replies with the running count (see guest_util.h).
+net::GuestProgram relay_program(std::uint32_t match_id,
+                                std::uint32_t reply_id,
+                                std::uint32_t reply_mask) {
+  Assembler a(Encoding::b32, cpu::kFlashBase);
+  const Label entry = examples::emit_idle_loop(a, /*wfi=*/true);
+  const Label isr =
+      examples::emit_relay_isr(a, match_id, reply_id, reply_mask, kCount);
+  net::GuestProgram p;
+  p.image = a.assemble();
+  p.entry = a.label_address(entry);
+  p.handlers.push_back({kRxLine, a.label_address(isr), 32});
+  return p;
 }
-
-// A guest ECU program: WFI main loop (r6 counts wakeups); the ISR services
-// the RX FIFO head if its identifier matches `match_id`, bumping kCount
-// and latching the payload, and replies with `reply_id` (carrying the
-// running count) when `reply_mask` of the count is zero. Non-matching
-// traffic is popped and acknowledged unhandled.
-Image build_guest(Assembler& a, Label* entry, Label* isr,
-                  std::uint32_t match_id, std::uint32_t reply_id,
-                  std::uint32_t reply_mask) {
-  *entry = a.bound_label();
-  const Label top = a.bound_label();
-  a.ins(ins_rri(Op::add, r6, r6, 1, SetFlags::any));  // wakeup counter
-  Instruction wfi;
-  wfi.op = Op::wfi;
-  a.ins(wfi);
-  a.b(top);
-  a.pool();
-
-  *isr = a.bound_label();
-  a.load_literal(r0, cpu::kPeriphBase);
-  a.ins(ins_ldst_imm(Op::ldr, r1, r0, Ctl::kRxId));
-  a.load_literal(r2, match_id);
-  a.ins(ins_cmp_reg(r1, r2));
-  const Label discard = a.new_label();
-  a.b(discard, Cond::ne);
-  // ++count; last = payload word 0.
-  a.load_literal(r3, kCount);
-  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
-  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
-  a.ins(ins_ldst_imm(Op::ldr, r12, r0, Ctl::kRxData0));
-  a.ins(ins_ldst_imm(Op::str, r12, r3, 4));
-  // Retire the frame before the reply: pop, ack.
-  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
-  const Label done = a.new_label();
-  if (reply_mask != 0) {
-    // Reply only when (count & reply_mask) == 0.
-    a.ins(ins_rri(Op::and_, r12, r2, reply_mask, SetFlags::yes));
-    a.b(done, Cond::ne);
-  }
-  a.load_literal(r12, reply_id);
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxId));
-  a.ins(ins_mov_imm(r12, 4, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxDlc));
-  a.ins(ins_ldst_imm(Op::str, r2, r0, Ctl::kTxData0));
-  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxCmd));
-  a.bind(done);
-  a.ins(ins_ret());
-  // Unmatched traffic: pop + ack, no reply.
-  a.bind(discard);
-  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
-  a.ins(ins_ret());
-  a.pool();
-  return a.assemble();
-}
-
-// One guest ECU: a System described by the builder, its CAN controller,
-// and the binding that joins both to the co-simulation.
-struct GuestEcu {
-  Assembler assembler;
-  Label entry, isr;
-  Ctl controller;
-  cpu::System sys;
-  cpu::SystemBinding& binding;
-
-  GuestEcu(const char* name, sim::Simulation& sim, can::CanBus& bus,
-           std::uint64_t hz, std::uint32_t match_id, std::uint32_t reply_id,
-           std::uint32_t reply_mask)
-      : assembler(Encoding::b32, cpu::kFlashBase),
-        controller(bus, name, [] {
-          Ctl::Config c;
-          c.rx_line = kRxLine;
-          return c;
-        }()),
-        sys(cpu::profiles::modern_mcu()
-                .name(name)
-                .clock_hz(hz)
-                .flash_size(32 * 1024)
-                .device(cpu::kPeriphBase, controller)
-                .ivc([] {
-                  cpu::Ivc::Config c;
-                  c.vector_table = kVectors;
-                  c.lines = 4;
-                  return c;
-                }())),
-        binding(sys.bind(sim)) {
-    const Image image =
-        build_guest(assembler, &entry, &isr, match_id, reply_id, reply_mask);
-    sys.load(image);
-    sys.set_irq_handler(kRxLine, assembler.label_address(isr));
-    sys.ivc()->enable_line(kRxLine, 32);
-    controller.connect_irq(binding);
-    ACES_CHECK(
-        sys.bus().write(cpu::kPeriphBase + Ctl::kCtrl, 4, Ctl::kCtrlRxie, 0)
-            .ok());
-    sys.core().reset(assembler.label_address(entry), sys.initial_sp());
-  }
-
-  [[nodiscard]] std::uint32_t count() {
-    return sys.bus().read(kCount, 4, mem::Access::read, 0).value;
-  }
-  [[nodiscard]] std::uint32_t last_data() {
-    return sys.bus().read(kLastData, 4, mem::Access::read, 0).value;
-  }
-  [[nodiscard]] std::uint64_t worst_latency() {
-    std::uint64_t worst = 0;
-    for (const std::uint64_t l : sys.ivc()->latencies(kRxLine)) {
-      worst = worst > l ? worst : l;
-    }
-    return worst;
-  }
-};
-
-struct ModelEcu {
-  const char* name;
-  rtos::Kernel kernel;
-  can::NodeId node;
-  ModelEcu(const char* n, sim::Simulation& sim, can::CanBus& bus)
-      : name(n), kernel(sim, 20 * kMicrosecond), node(bus.attach_node(n)) {}
-};
 
 }  // namespace
 
 int main() {
-  sim::Simulation sim(50 * kMicrosecond);
-  can::CanBus bus(sim.queue(), 125'000);  // classic body bus rate
+  // --- the whole vehicle, declaratively -------------------------------
+  net::NetworkBuilder nb;
+  const net::BusId body = nb.bus("body", 125'000);  // classic body rate
 
-  // --- kernel-model ECUs ---
-  ModelEcu climate("climate", sim, bus);
-  ModelEcu gateway("gateway", sim, bus);
+  // Kernel-model ECUs: abstract periodic workloads.
+  const net::EcuId climate = nb.ecu(
+      body, "climate",
+      {{"hvac_ctl", 5, 4 * kMillisecond, 50 * kMillisecond,
+        3 * kMillisecond, 50 * kMillisecond, {}, {}}},
+      20 * kMicrosecond);
+  const net::EcuId gateway = nb.ecu(
+      body, "gateway",
+      {{"consolidate", 7, 500 * kMicrosecond, 5 * kMillisecond, 0,
+        5 * kMillisecond, {}, {}}},
+      20 * kMicrosecond);
 
-  const auto hvac = climate.kernel.create_task(
-      {"hvac_ctl", 5, {exec_for(4 * kMillisecond)}, 50 * kMillisecond});
-  climate.kernel.set_alarm(hvac, 3 * kMillisecond, 50 * kMillisecond);
-
-  const auto consolidate = gateway.kernel.create_task(
-      {"consolidate", 7, {exec_for(500 * kMicrosecond)}, 5 * kMillisecond});
-  gateway.kernel.set_alarm(consolidate, 0, 5 * kMillisecond);
-
-  for (ModelEcu* e : {&climate, &gateway}) {
-    e->kernel.start();
-  }
-
-  // --- guest-code ECUs on the instruction-set simulator ---
+  // Guest-code ECUs on the instruction-set simulator.
+  Ctl::Config cc;
+  cc.rx_line = kRxLine;
   // door: executes lock commands, answers with door status.
-  GuestEcu door("door", sim, bus, 8'000'000, kLockCmdId, kDoorStatusId, 0);
+  const net::EcuId door = nb.ecu(
+      body,
+      cpu::profiles::modern_mcu().name("door").clock_hz(8'000'000).flash_size(
+          32 * 1024),
+      relay_program(kLockCmdId, kDoorStatusId, 0), cc);
   // seat: tracks door status, publishes position on every 2nd update.
-  GuestEcu seat("seat", sim, bus, 16'000'000, kDoorStatusId, kSeatPosId, 1);
+  const net::EcuId seat = nb.ecu(
+      body,
+      cpu::profiles::modern_mcu().name("seat").clock_hz(16'000'000).flash_size(
+          32 * 1024),
+      relay_program(kDoorStatusId, kSeatPosId, 1), cc);
 
-  // --- network traffic ---
+  net::Network net = nb.build();
+  can::CanBus& bus = net.bus(body);
+
+  // --- network traffic -------------------------------------------------
   // Gateway lock command (alternating lock/unlock) and climate state are
-  // event-queue senders, exactly like the kernel models they belong to.
-  struct Tx {
-    can::NodeId node;
-    std::uint32_t id;
-    unsigned dlc;
-    SimTime period;
-  };
-  const Tx txs[] = {
-      {gateway.node, kLockCmdId, 2, 20 * kMillisecond},
-      {climate.node, kClimateId, 6, 100 * kMillisecond},
-  };
+  // periodic application traffic from the model ECUs' bus nodes.
   int lock_commands_sent = 0;
-  for (const Tx& tx : txs) {
-    sim.schedule_every(tx.period, [&bus, tx, &lock_commands_sent]() {
-      can::CanFrame f;
-      f.id = tx.id;
-      f.dlc = tx.dlc;
-      if (tx.id == kLockCmdId) {
-        f.data[0] = static_cast<std::uint8_t>(lock_commands_sent & 1);
-        ++lock_commands_sent;
-      }
-      bus.send(tx.node, f);
-    });
-  }
+  can::CanFrame lock;
+  lock.id = kLockCmdId;
+  lock.dlc = 2;
+  net.send_every(gateway, 20 * kMillisecond, lock,
+                 [&lock_commands_sent](can::CanFrame& f) {
+                   f.data[0] =
+                       static_cast<std::uint8_t>(lock_commands_sent & 1);
+                   ++lock_commands_sent;
+                 });
+  can::CanFrame clim;
+  clim.id = kClimateId;
+  clim.dlc = 6;
+  net.send_every(climate, 100 * kMillisecond, clim);
 
   // The gateway consolidates what the guest ECUs report.
   int door_status_heard = 0;
   int seat_pos_heard = 0;
-  bus.subscribe(gateway.node, [&](const can::CanFrame& f, SimTime) {
-    if (f.id == kDoorStatusId) {
-      ++door_status_heard;
-    } else if (f.id == kSeatPosId) {
-      ++seat_pos_heard;
-    }
-  });
+  bus.subscribe(net.ecu(gateway).can_node(),
+                [&](const can::CanFrame& f, SimTime) {
+                  if (f.id == kDoorStatusId) {
+                    ++door_status_heard;
+                  } else if (f.id == kSeatPosId) {
+                    ++seat_pos_heard;
+                  }
+                });
 
   constexpr SimTime kHorizon = 5 * sim::kSecond;
-  sim.run_until(kHorizon);
+  net.run_until(kHorizon);
 
   std::printf("=== body-control network, 5 simulated seconds ===\n\n");
   std::printf("kernel-model ECUs\n");
@@ -260,14 +145,12 @@ int main() {
               "avg resp", "misses");
   std::printf("---------------------------------------------------------"
               "---\n");
-  struct Row {
-    ModelEcu* e;
-    rtos::TaskId t;
-  };
-  for (const Row r : {Row{&climate, hvac}, Row{&gateway, consolidate}}) {
-    const auto& st = r.e->kernel.stats(r.t);
-    std::printf("%-10s %-12s %10lldus %10.0fus %10llu\n", r.e->name,
-                r.e->kernel.task_name(r.t).c_str(),
+  for (const net::EcuId id : {climate, gateway}) {
+    net::ModelEcuNode& e = net.model(id);
+    const auto& st = e.task_stats(0);
+    std::printf("%-10s %-12s %10lldus %10.0fus %10llu\n",
+                std::string(e.name()).c_str(),
+                e.kernel()->task_name(e.task(0)).c_str(),
                 static_cast<long long>(st.worst_response / 1000),
                 st.avg_response() / 1000.0,
                 static_cast<unsigned long long>(st.deadline_misses));
@@ -278,15 +161,18 @@ int main() {
               "ISR frames", "worst entry", "core steps", "idle cycles");
   std::printf("---------------------------------------------------------"
               "--------------------\n");
-  for (GuestEcu* g : {&door, &seat}) {
+  for (const net::EcuId id : {door, seat}) {
+    net::IssEcuNode& g = net.iss(id);
     std::printf("%-10s %7lluMHz %12u %10llucyc %14llu %14llu\n",
-                g->sys.name().c_str(),
-                static_cast<unsigned long long>(g->binding.hz() / 1'000'000),
-                g->count(),
-                static_cast<unsigned long long>(g->worst_latency()),
-                static_cast<unsigned long long>(g->binding.stats().steps),
+                std::string(g.name()).c_str(),
+                static_cast<unsigned long long>(g.binding().hz() /
+                                                1'000'000),
+                g.read_word(kCount),
                 static_cast<unsigned long long>(
-                    g->binding.stats().idle_cycles));
+                    g.worst_irq_latency(kRxLine)),
+                static_cast<unsigned long long>(g.binding().stats().steps),
+                static_cast<unsigned long long>(
+                    g.binding().stats().idle_cycles));
   }
 
   std::printf("\n%-8s %12s %12s %14s\n", "CAN id", "frames", "worst lat",
@@ -310,8 +196,10 @@ int main() {
   std::printf("\nbus utilization %.1f%%, co-sim: %llu events, "
               "%llu idle jumps\n",
               100.0 * bus.utilization(kHorizon),
-              static_cast<unsigned long long>(sim.stats().events_executed),
-              static_cast<unsigned long long>(sim.stats().idle_jumps));
+              static_cast<unsigned long long>(
+                  net.simulation().stats().events_executed),
+              static_cast<unsigned long long>(
+                  net.simulation().stats().idle_jumps));
   std::printf("analysis verdict: %s\n",
               rta.schedulable ? "message set schedulable"
                               : "message set NOT schedulable");
@@ -320,11 +208,11 @@ int main() {
   // and deterministic. 251 commands are queued (the t=0 and t=5s ticks are
   // both inside the inclusive horizon); 250 reach the wire in time.
   ACES_CHECK(lock_commands_sent == 251);
-  ACES_CHECK(door.count() == 250);     // every delivered command executed
-  ACES_CHECK(door.last_data() == 1);   // payload of command #249 (odd)
-  ACES_CHECK(seat.count() == 250);     // every door status tracked
+  ACES_CHECK(net.iss(door).read_word(kCount) == 250);
+  ACES_CHECK(net.iss(door).read_word(kLastData) == 1);  // command #249 (odd)
+  ACES_CHECK(net.iss(seat).read_word(kCount) == 250);
   ACES_CHECK(door_status_heard == 250);
-  ACES_CHECK(seat_pos_heard == 125);   // every 2nd update
+  ACES_CHECK(seat_pos_heard == 125);  // every 2nd update
   std::printf("\nall checks passed: two ISS ECUs and two kernel models on "
               "one deterministic time base.\n");
   return 0;

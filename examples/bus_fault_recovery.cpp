@@ -24,6 +24,7 @@
 #include "cpu/ivc.h"
 #include "cpu/profiles.h"
 #include "cpu/system.h"
+#include "guest_util.h"
 #include "isa/assembler.h"
 #include "sim/simulation.h"
 
@@ -50,14 +51,7 @@ constexpr unsigned kErrLine = 2;
 // every bus-error interrupt and, when STATUS.BOFF is set, performs the
 // bus-off recovery sequence by writing CTRL.BOR.
 Image build_guest(Assembler& a, Label* entry, Label* rx_isr, Label* err_isr) {
-  *entry = a.bound_label();
-  const Label top = a.bound_label();
-  a.ins(ins_rri(Op::add, r6, r6, 1, SetFlags::any));
-  Instruction wfi;
-  wfi.op = Op::wfi;
-  a.ins(wfi);
-  a.b(top);
-  a.pool();
+  *entry = examples::emit_idle_loop(a, /*wfi=*/true);
 
   // ----- RX ISR: pop the request, acknowledge, queue the reply --------
   *rx_isr = a.bound_label();
@@ -67,43 +61,26 @@ Image build_guest(Assembler& a, Label* entry, Label* rx_isr, Label* err_isr) {
   a.ins(ins_cmp_reg(r1, r2));
   const Label discard = a.new_label();
   a.b(discard, Cond::ne);
-  a.load_literal(r3, kReplyCount);  // ++replies
-  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
-  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
-  a.ins(ins_mov_imm(r12, 1, SetFlags::any));  // retire request, ack RX
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
-  a.load_literal(r12, kRepId);  // compose + queue the reply
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxId));
-  a.ins(ins_mov_imm(r12, 4, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxDlc));
+  examples::emit_inc_word(a, kReplyCount);  // ++replies
+  examples::emit_pop_ack(a, r0);            // retire request, ack RX
+  examples::emit_tx_header(a, r0, kRepId, 4);  // compose + queue the reply
   a.ins(ins_ldst_imm(Op::str, r2, r0, Ctl::kTxData0));
-  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxCmd));
+  examples::emit_tx_commit(a, r0);
   a.ins(ins_ret());
   a.bind(discard);  // unmatched traffic: pop + ack, no reply
-  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
+  examples::emit_pop_ack(a, r0);
   a.ins(ins_ret());
   a.pool();
 
   // ----- error ISR: real bus-off recovery ------------------------------
   *err_isr = a.bound_label();
   a.load_literal(r0, cpu::kPeriphBase);
-  a.load_literal(r3, kErrIrqCount);  // ++error interrupts
-  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
-  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
+  examples::emit_inc_word(a, kErrIrqCount);  // ++error interrupts
   a.ins(ins_ldst_imm(Op::ldr, r1, r0, Ctl::kStatus));
   a.ins(ins_rri(Op::and_, r2, r1, Ctl::kStatusBoff, SetFlags::yes));
   const Label ack = a.new_label();
   a.b(ack, Cond::eq);
-  a.load_literal(r3, kBoffSeen);  // ++recovery requests
-  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
-  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
+  examples::emit_inc_word(a, kBoffSeen);  // ++recovery requests
   // The production driver move: restart the node. Keep RXIE/ERRIE, set
   // BOR (self-clearing) to begin the 128x11-recessive-bit sequence.
   a.ins(ins_mov_imm(r12, Ctl::kCtrlRxie | Ctl::kCtrlErrie | Ctl::kCtrlBor,
@@ -211,7 +188,7 @@ int main() {
   sim.run_until(kHorizon);
 
   const auto rd = [&sys](std::uint32_t addr) {
-    return sys.bus().read(addr, 4, mem::Access::read, 0).value;
+    return examples::read_word(sys, addr);
   };
   std::printf("=== bus-off and back: guest-ISR CAN fault recovery ===\n\n");
   std::printf("requests sent            %8d\n", requests_sent);

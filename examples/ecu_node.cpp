@@ -30,6 +30,7 @@
 #include "cpu/ivc.h"
 #include "cpu/profiles.h"
 #include "cpu/system.h"
+#include "guest_util.h"
 #include "isa/assembler.h"
 #include "sim/simulation.h"
 
@@ -50,44 +51,32 @@ constexpr std::uint32_t kStatusId = 0x310;  // ECU status response
 
 constexpr std::uint64_t kCoreHz = 8'000'000;  // 8 MHz MCU
 
-// The guest program, hand-assembled B32. Registers: r0 = controller base.
+// The guest program, hand-assembled B32 from the shared guest_util idioms.
+// Registers: r0 = controller base.
 Image build_guest(Assembler& a, Label* entry, Label* isr) {
-  *entry = a.bound_label();
-  const Label top = a.bound_label();
-  a.ins(ins_rri(Op::add, r6, r6, 1, SetFlags::any));  // idle counter
-  a.b(top);
-  a.pool();
+  *entry = examples::emit_idle_loop(a, /*wfi=*/false);  // r6 counts spins
 
   *isr = a.bound_label();
   a.load_literal(r0, cpu::kPeriphBase);
   // Pull the sample out of the FIFO head.
   a.ins(ins_ldst_imm(Op::ldr, r1, r0, Ctl::kRxData0));  // wheel speed
-  a.load_literal(r3, kSampleCount);
   // ++samples; accum += speed; last = speed.
-  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
-  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
+  examples::emit_inc_word(a, kSampleCount);
   a.ins(ins_ldst_imm(Op::ldr, r12, r3, 4));
   a.ins(ins_rrr(Op::add, r12, r12, r1, SetFlags::any));
   a.ins(ins_ldst_imm(Op::str, r12, r3, 4));
   a.ins(ins_ldst_imm(Op::str, r1, r3, 8));
   // Retire the frame before any reply: pop, ack.
-  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
+  examples::emit_pop_ack(a, r0);
   // Every 4th sample (count & 3 == 0): transmit a status frame carrying
   // the current accumulated speed.
   a.ins(ins_rri(Op::and_, r12, r2, 3, SetFlags::yes));
   const Label done = a.new_label();
   a.b(done, Cond::ne);
-  a.load_literal(r12, kStatusId);
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxId));
-  a.ins(ins_mov_imm(r12, 4, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxDlc));
+  examples::emit_tx_header(a, r0, kStatusId, 4);
   a.ins(ins_ldst_imm(Op::ldr, r12, r3, 4));
   a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxData0));
-  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
-  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kTxCmd));
+  examples::emit_tx_commit(a, r0);
   a.bind(done);
   a.ins(ins_ret());
   a.pool();
@@ -167,12 +156,9 @@ int main() {
   // room for the last ISR and its status frame to drain.
   sim.run_until(35 * sim::kMillisecond);
 
-  const std::uint32_t samples =
-      sys.bus().read(kSampleCount, 4, mem::Access::read, 0).value;
-  const std::uint32_t accum =
-      sys.bus().read(kSpeedAccum, 4, mem::Access::read, 0).value;
-  const std::uint32_t last =
-      sys.bus().read(kLastSpeed, 4, mem::Access::read, 0).value;
+  const std::uint32_t samples = examples::read_word(sys, kSampleCount);
+  const std::uint32_t accum = examples::read_word(sys, kSpeedAccum);
+  const std::uint32_t last = examples::read_word(sys, kLastSpeed);
 
   std::printf("ECU node: CAN-interrupt-driven wheel-speed consumer\n\n");
   std::printf("  bus                  : 500 kbps, MCU clock %llu Hz\n",
@@ -197,10 +183,8 @@ int main() {
 
   // Worst-case ISR entry latency, the Figure 4 quantity, now measured on
   // real traffic instead of a synthetic raise.
-  std::uint64_t worst = 0;
-  for (const std::uint64_t l : sys.ivc()->latencies(kRxLine)) {
-    worst = worst > l ? worst : l;
-  }
+  const std::uint64_t worst =
+      examples::worst_irq_latency(*sys.ivc(), kRxLine);
   std::printf("  worst entry latency  : %llu cycles\n",
               static_cast<unsigned long long>(worst));
 

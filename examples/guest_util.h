@@ -1,0 +1,143 @@
+// Shared guest-image assembly helpers for the example ECUs.
+//
+// Every interrupt-driven example guest is built from the same few idioms:
+// an idle main loop counting wakeups in r6, a saturating "pop the RX FIFO
+// head and acknowledge the interrupt" epilogue, a running counter in SRAM,
+// and a TX mailbox compose/commit sequence. These helpers emit exactly
+// those instruction sequences (the examples' golden outputs — ISR entry
+// latencies, cycle counts — depend on the emitted code staying
+// byte-identical), so a new scenario assembles a working CAN ISR in a few
+// lines instead of forty.
+//
+// Register conventions (matching the hand-written originals):
+//   r0  controller base (caller loads it at ISR entry)
+//   r2  running counter value after emit_inc_word
+//   r3  counter address after emit_inc_word
+//   r12 scratch (clobbered by every helper)
+#ifndef ACES_EXAMPLES_GUEST_UTIL_H
+#define ACES_EXAMPLES_GUEST_UTIL_H
+
+#include "can/controller.h"
+#include "cpu/ivc.h"
+#include "cpu/system.h"
+#include "isa/assembler.h"
+
+namespace aces::examples {
+
+// Idle main loop: r6 counts iterations; with `wfi` the guest sleeps
+// between interrupts (and the co-simulation fast-forwards it for free).
+// Returns the entry label.
+inline isa::Label emit_idle_loop(isa::Assembler& a, bool wfi) {
+  const isa::Label entry = a.bound_label();
+  const isa::Label top = a.bound_label();
+  a.ins(isa::ins_rri(isa::Op::add, isa::r6, isa::r6, 1,
+                     isa::SetFlags::any));
+  if (wfi) {
+    isa::Instruction w;
+    w.op = isa::Op::wfi;
+    a.ins(w);
+  }
+  a.b(top);
+  a.pool();
+  return entry;
+}
+
+// ++word at `addr`: leaves the address in r3 and the incremented value in
+// r2 (callers use both — e.g. to latch a payload next to the counter or
+// transmit the running count).
+inline void emit_inc_word(isa::Assembler& a, std::uint32_t addr) {
+  a.load_literal(isa::r3, addr);
+  a.ins(isa::ins_ldst_imm(isa::Op::ldr, isa::r2, isa::r3, 0));
+  a.ins(isa::ins_rri(isa::Op::add, isa::r2, isa::r2, 1,
+                     isa::SetFlags::any));
+  a.ins(isa::ins_ldst_imm(isa::Op::str, isa::r2, isa::r3, 0));
+}
+
+// Retire the RX FIFO head and acknowledge the interrupt: the epilogue
+// every RX handler runs before (or instead of) replying.
+inline void emit_pop_ack(isa::Assembler& a, isa::Reg base) {
+  a.ins(isa::ins_mov_imm(isa::r12, 1, isa::SetFlags::any));
+  a.ins(isa::ins_ldst_imm(isa::Op::str, isa::r12, base,
+                          can::CanController::kRxPop));
+  a.ins(isa::ins_ldst_imm(isa::Op::str, isa::r12, base,
+                          can::CanController::kIrqAck));
+}
+
+// TX compose: identifier and DLC into the mailbox. The caller stores the
+// payload word(s) to kTxData0/1 between header and commit.
+inline void emit_tx_header(isa::Assembler& a, isa::Reg base,
+                           std::uint32_t id, unsigned dlc) {
+  a.load_literal(isa::r12, id);
+  a.ins(isa::ins_ldst_imm(isa::Op::str, isa::r12, base,
+                          can::CanController::kTxId));
+  a.ins(isa::ins_mov_imm(isa::r12, dlc, isa::SetFlags::any));
+  a.ins(isa::ins_ldst_imm(isa::Op::str, isa::r12, base,
+                          can::CanController::kTxDlc));
+}
+
+// TX commit: queue the composed frame.
+inline void emit_tx_commit(isa::Assembler& a, isa::Reg base) {
+  a.ins(isa::ins_mov_imm(isa::r12, 1, isa::SetFlags::any));
+  a.ins(isa::ins_ldst_imm(isa::Op::str, isa::r12, base,
+                          can::CanController::kTxCmd));
+}
+
+// The relay ISR shared by the networked examples: service the FIFO head if
+// its identifier equals `match_id` — bump the counter at `count_addr`,
+// latch payload word 0 at `count_addr + 4`, retire the frame — and reply
+// with `reply_id` carrying the running count when (count & reply_mask) is
+// zero (mask 0: reply every time). Non-matching traffic is popped and
+// acknowledged unhandled. Returns the ISR entry label.
+inline isa::Label emit_relay_isr(isa::Assembler& a, std::uint32_t match_id,
+                                 std::uint32_t reply_id,
+                                 std::uint32_t reply_mask,
+                                 std::uint32_t count_addr) {
+  using namespace isa;
+  using Ctl = can::CanController;
+  const Label isr = a.bound_label();
+  a.load_literal(r0, cpu::kPeriphBase);
+  a.ins(ins_ldst_imm(Op::ldr, r1, r0, Ctl::kRxId));
+  a.load_literal(r2, match_id);
+  a.ins(ins_cmp_reg(r1, r2));
+  const Label discard = a.new_label();
+  a.b(discard, Cond::ne);
+  emit_inc_word(a, count_addr);
+  a.ins(ins_ldst_imm(Op::ldr, r12, r0, Ctl::kRxData0));
+  a.ins(ins_ldst_imm(Op::str, r12, r3, 4));
+  // Retire the frame before the reply: pop, ack.
+  emit_pop_ack(a, r0);
+  const Label done = a.new_label();
+  if (reply_mask != 0) {
+    // Reply only when (count & reply_mask) == 0.
+    a.ins(ins_rri(Op::and_, r12, r2, reply_mask, SetFlags::yes));
+    a.b(done, Cond::ne);
+  }
+  emit_tx_header(a, r0, reply_id, 4);
+  a.ins(ins_ldst_imm(Op::str, r2, r0, Ctl::kTxData0));
+  emit_tx_commit(a, r0);
+  a.bind(done);
+  a.ins(ins_ret());
+  // Unmatched traffic: pop + ack, no reply.
+  a.bind(discard);
+  emit_pop_ack(a, r0);
+  a.ins(ins_ret());
+  a.pool();
+  return isr;
+}
+
+// Host-side probes shared by the self-checked examples.
+inline std::uint32_t read_word(cpu::System& sys, std::uint32_t addr) {
+  return sys.bus().read(addr, 4, mem::Access::read, 0).value;
+}
+
+inline std::uint64_t worst_irq_latency(const cpu::Ivc& ivc, unsigned line) {
+  std::uint64_t worst = 0;
+  for (const std::uint64_t l : ivc.latencies(line)) {
+    worst = worst > l ? worst : l;
+  }
+  return worst;
+}
+
+}  // namespace aces::examples
+
+#endif  // ACES_EXAMPLES_GUEST_UTIL_H

@@ -103,6 +103,12 @@ void CanBus::send(NodeId node, const CanFrame& frame) {
   Pending p;
   p.frame = frame;
   p.queued_at = queue_.now();
+  if (p.frame.timestamp < 0) {
+    // First queuing stamps the origin; a forwarder re-sending the frame on
+    // another bus keeps the stamp (t=0 included), so end-to-end latency
+    // stays measurable.
+    p.frame.timestamp = queue_.now();
+  }
   // Controllers with priority-ordered mailboxes: the node always offers
   // its highest-priority frame to arbitration (required for the classic
   // RTA to be sound; FIFO-queued controllers need a different analysis).

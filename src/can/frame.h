@@ -23,6 +23,13 @@ struct CanFrame {
   bool rtr = false;       // remote frame: dlc kept, no data field on wire
   unsigned dlc = 8;       // 0..8 data bytes
   std::array<std::uint8_t, 8> data{};
+  // Origin timestamp (sim::SimTime ns), metadata only — never serialized on
+  // the wire. CanBus::send stamps it with the queue instant while it is
+  // still unset (negative; 0 is a valid stamp for frames queued at t=0),
+  // and store-and-forward nodes (net::GatewayNode) preserve it across
+  // hops, so a receiver can measure true multi-bus end-to-end latency as
+  // `delivery_time - frame.timestamp`.
+  std::int64_t timestamp = -1;
 };
 
 // CRC-15 over the given bit sequence (poly 0x4599, initial 0).

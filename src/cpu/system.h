@@ -69,11 +69,13 @@ class SystemBuilder {
   // ----- identity / clocking -----
   // Display name for co-simulation diagnostics ("door", "gateway", ...).
   SystemBuilder& name(std::string n) { name_ = std::move(n); return *this; }
+  [[nodiscard]] const std::string& name() const { return name_; }
   // Core clock frequency. This is what places the core's cycle counter on
   // the shared co-simulation time base when the built System is bound to a
   // sim::Simulation; the named profiles declare generation-typical
   // defaults.
   SystemBuilder& clock_hz(std::uint64_t hz) { clock_hz_ = hz; return *this; }
+  [[nodiscard]] std::uint64_t clock_hz() const { return clock_hz_; }
 
   // ----- core -----
   SystemBuilder& core(const CoreConfig& c) { core_ = c; return *this; }

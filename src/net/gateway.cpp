@@ -1,0 +1,115 @@
+#include "net/gateway.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace aces::net {
+
+using sim::SimTime;
+
+GatewayNode::GatewayNode(std::string name, sim::Simulation& sim,
+                         GatewayConfig config)
+    : name_(std::move(name)), sim_(sim), config_(config) {
+  ACES_CHECK_MSG(config_.queue_depth > 0,
+                 "gateway queue_depth must be >= 1");
+  ACES_CHECK_MSG(config_.forwarding_latency >= 0,
+                 "gateway forwarding latency cannot be negative");
+}
+
+void GatewayNode::join(BusId id, can::CanBus& bus) {
+  ACES_CHECK_MSG(ports_.find(id) == ports_.end(),
+                 "gateway '" + name_ + "' already joined this bus");
+  Port port;
+  port.bus = &bus;
+  port.node = bus.attach_node(name_);
+  ports_[id] = port;
+  bus.subscribe(port.node,
+                [this, id](const can::CanFrame& f, SimTime at) {
+                  on_rx(id, f, at);
+                });
+  bus.subscribe_tx(port.node,
+                   [this, id](const can::CanFrame& f, SimTime at) {
+                     on_tx_done(id, f, at);
+                   });
+}
+
+void GatewayNode::add_route(const Route& route) {
+  ACES_CHECK_MSG(route.from != route.to,
+                 "gateway route cannot loop a bus onto itself");
+  ACES_CHECK_MSG(ports_.find(route.from) != ports_.end() &&
+                     ports_.find(route.to) != ports_.end(),
+                 "gateway route references a bus it has not joined");
+  routes_.push_back(route);
+}
+
+can::NodeId GatewayNode::node_on(BusId bus) const {
+  const auto it = ports_.find(bus);
+  ACES_CHECK_MSG(it != ports_.end(),
+                 "gateway '" + name_ + "' is not on this bus");
+  return it->second.node;
+}
+
+const GatewayNode::DirectionStats& GatewayNode::direction(BusId from,
+                                                          BusId to) const {
+  static const DirectionStats kEmpty;
+  const auto it = directions_.find({from, to});
+  return it == directions_.end() ? kEmpty : it->second;
+}
+
+void GatewayNode::on_rx(BusId from, const can::CanFrame& frame, SimTime at) {
+  for (const Route& route : routes_) {
+    if (route.from != from || !route.matches(frame.id)) {
+      continue;
+    }
+    DirectionStats& d = dir(from, route.to);
+    if (d.queued >= config_.queue_depth) {
+      // Bounded store-and-forward buffer: overload drops, it never queues
+      // unboundedly — and the drop is visible to the analysis story.
+      ++d.dropped_overflow;
+      ++stats_.frames_dropped;
+      continue;
+    }
+    ++d.queued;
+    d.peak_queued = std::max(d.peak_queued, d.queued);
+    ++d.forwarded;
+    ++stats_.frames_forwarded;
+    can::CanFrame out = frame;
+    if (route.remap) {
+      out.id = *route.remap;
+    }
+    // After the processing latency the frame enters the egress mailbox and
+    // competes in arbitration like locally-originated traffic. The origin
+    // timestamp rides along untouched (bus.send only stamps zeros).
+    sim_.schedule_in(config_.forwarding_latency,
+                     [this, from, to = route.to, out, at] {
+                       Transit t;
+                       t.from = from;
+                       t.ingress_at = at;
+                       in_transit_[to][out.id].push_back(t);
+                       Port& port = ports_[to];
+                       port.bus->send(port.node, out);
+                     });
+  }
+}
+
+void GatewayNode::on_tx_done(BusId to, const can::CanFrame& frame,
+                             SimTime at) {
+  auto& by_id = in_transit_[to];
+  const auto it = by_id.find(frame.id);
+  ACES_CHECK_MSG(it != by_id.end() && !it->second.empty(),
+                 "gateway '" + name_ + "' completed a frame it never sent");
+  const Transit t = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) {
+    by_id.erase(it);
+  }
+  DirectionStats& d = dir(t.from, to);
+  ACES_CHECK(d.queued > 0);
+  --d.queued;
+  ++d.delivered;
+  ++stats_.frames_delivered;
+  d.worst_transit = std::max(d.worst_transit, at - t.ingress_at);
+}
+
+}  // namespace aces::net

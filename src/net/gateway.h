@@ -1,0 +1,135 @@
+// Store-and-forward CAN gateway: the node that turns separate buses into a
+// vehicle network.
+//
+// Real vehicles segment traffic onto domain buses (powertrain / body /
+// diagnostics) at different bit rates and bridge them with a gateway ECU.
+// GatewayNode models the datapath of such an ECU: it sits on every bus its
+// routing table references as an ordinary CAN node, receives completed
+// frames, matches them against identifier match/mask routes, optionally
+// rewrites the identifier, charges a fixed store-and-forward processing
+// latency, and queues the frame into the egress bus's priority-ordered
+// mailbox — where it arbitrates like any other traffic.
+//
+// Buffering is bounded per *direction* (ingress bus -> egress bus): at most
+// `queue_depth` frames may be inside the gateway (accepted but not yet
+// delivered on the egress wire) per direction; a frame arriving to a full
+// direction is dropped and counted, never queued — the overload behavior a
+// schedulability argument has to see. CanFrame::timestamp is preserved
+// across the hop, so receivers measure true end-to-end latency, the
+// quantity sched::path_rta bounds.
+//
+// A frame the gateway itself transmits is never received back by the
+// gateway on that bus (CAN delivery skips the transmitter), so a pair of
+// complementary routes cannot ping-pong one frame. Multi-hop forwarding
+// therefore needs a distinct gateway per hop, as in a real E/E
+// architecture.
+#ifndef ACES_NET_GATEWAY_H
+#define ACES_NET_GATEWAY_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/bus.h"
+#include "sim/simulation.h"
+
+namespace aces::net {
+
+using BusId = int;
+
+// One routing-table entry: forward frames whose identifier matches `match`
+// under `mask` from bus `from` to bus `to`, optionally rewriting the
+// identifier to `remap`. Every matching route forwards (fan-out to several
+// egress buses is one entry per destination).
+struct Route {
+  BusId from = -1;
+  BusId to = -1;
+  std::uint32_t match = 0;
+  std::uint32_t mask = 0x7FF;  // compared identifier bits (11-bit default)
+  std::optional<std::uint32_t> remap;  // egress identifier override
+
+  [[nodiscard]] bool matches(std::uint32_t id) const {
+    return (id & mask) == (match & mask);
+  }
+};
+
+struct GatewayConfig {
+  // Store-and-forward processing per frame: the time between delivery on
+  // the ingress bus and the frame entering the egress mailbox.
+  sim::SimTime forwarding_latency = 0;
+  // Per-direction bound on frames inside the gateway (accepted, not yet on
+  // the egress wire). 0 is rejected — a gateway that can hold nothing
+  // forwards nothing.
+  unsigned queue_depth = 16;
+};
+
+class GatewayNode {
+ public:
+  GatewayNode(std::string name, sim::Simulation& sim, GatewayConfig config);
+
+  GatewayNode(const GatewayNode&) = delete;
+  GatewayNode& operator=(const GatewayNode&) = delete;
+
+  // Wiring (done by Network::build): join every bus the routing table
+  // references, then install the routes.
+  void join(BusId id, can::CanBus& bus);
+  void add_route(const Route& route);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] can::NodeId node_on(BusId bus) const;
+  [[nodiscard]] const std::vector<Route>& routes() const { return routes_; }
+
+  struct DirectionStats {
+    std::uint64_t forwarded = 0;         // accepted into the gateway
+    std::uint64_t delivered = 0;         // completed on the egress wire
+    std::uint64_t dropped_overflow = 0;  // arrived with the direction full
+    unsigned queued = 0;                 // currently inside the gateway
+    unsigned peak_queued = 0;
+    // Worst ingress-delivery -> egress-delivery transit (forwarding
+    // latency + egress queuing + egress frame time).
+    sim::SimTime worst_transit = 0;
+  };
+  [[nodiscard]] const DirectionStats& direction(BusId from, BusId to) const;
+
+  struct Stats {
+    std::uint64_t frames_forwarded = 0;
+    std::uint64_t frames_delivered = 0;
+    std::uint64_t frames_dropped = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Port {
+    can::CanBus* bus = nullptr;
+    can::NodeId node = -1;
+  };
+  struct Transit {  // a frame handed to an egress mailbox, awaiting the wire
+    BusId from = -1;
+    sim::SimTime ingress_at = 0;
+  };
+
+  void on_rx(BusId from, const can::CanFrame& frame, sim::SimTime at);
+  void on_tx_done(BusId to, const can::CanFrame& frame, sim::SimTime at);
+  [[nodiscard]] DirectionStats& dir(BusId from, BusId to) {
+    return directions_[{from, to}];
+  }
+
+  std::string name_;
+  sim::Simulation& sim_;
+  GatewayConfig config_;
+  std::map<BusId, Port> ports_;
+  std::vector<Route> routes_;
+  std::map<std::pair<BusId, BusId>, DirectionStats> directions_;
+  // Per egress bus, per egress identifier: FIFO of frames handed to the
+  // mailbox but not yet delivered (equal-priority mailbox order is FIFO,
+  // and retransmission preserves it, so attribution by id is exact).
+  std::map<BusId, std::map<std::uint32_t, std::deque<Transit>>> in_transit_;
+  Stats stats_;
+};
+
+}  // namespace aces::net
+
+#endif  // ACES_NET_GATEWAY_H

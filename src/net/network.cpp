@@ -1,0 +1,150 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.h"
+
+namespace aces::net {
+
+void NetworkBuilder::check_bus(BusId id) const {
+  ACES_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < buses_.size(),
+                 "unknown bus id (declare buses with NetworkBuilder::bus "
+                 "first)");
+}
+
+BusId NetworkBuilder::bus(std::string name, std::uint32_t bitrate_bps) {
+  ACES_CHECK(bitrate_bps > 0);
+  BusSpec spec;
+  spec.name = std::move(name);
+  spec.bitrate_bps = bitrate_bps;
+  buses_.push_back(std::move(spec));
+  return static_cast<BusId>(buses_.size() - 1);
+}
+
+EcuId NetworkBuilder::ecu(BusId bus, cpu::SystemBuilder system,
+                          GuestProgram program,
+                          can::CanController::Config controller) {
+  check_bus(bus);
+  ACES_CHECK_MSG(system.clock_hz() > 0,
+                 "ISS ECU '" + system.name() +
+                     "' needs a clock rate (SystemBuilder::clock_hz or a "
+                     "profile default)");
+  IssSpec spec;
+  spec.bus = bus;
+  spec.system = std::move(system);
+  spec.program = std::move(program);
+  spec.controller = controller;
+  iss_.push_back(std::move(spec));
+  order_.push_back(EcuOrder{true, iss_.size() - 1});
+  return static_cast<EcuId>(order_.size() - 1);
+}
+
+EcuId NetworkBuilder::ecu(BusId bus, std::string name,
+                          std::vector<ModelTask> tasks,
+                          sim::SimTime context_switch_cost) {
+  check_bus(bus);
+  ModelSpec spec;
+  spec.bus = bus;
+  spec.name = std::move(name);
+  spec.tasks = std::move(tasks);
+  spec.switch_cost = context_switch_cost;
+  models_.push_back(std::move(spec));
+  order_.push_back(EcuOrder{false, models_.size() - 1});
+  return static_cast<EcuId>(order_.size() - 1);
+}
+
+GatewayId NetworkBuilder::gateway(std::string name, GatewayConfig config) {
+  GatewaySpec spec;
+  spec.name = std::move(name);
+  spec.config = config;
+  gateways_.push_back(std::move(spec));
+  return static_cast<GatewayId>(gateways_.size() - 1);
+}
+
+NetworkBuilder& NetworkBuilder::route(GatewayId gateway, Route route) {
+  ACES_CHECK_MSG(gateway >= 0 &&
+                     static_cast<std::size_t>(gateway) < gateways_.size(),
+                 "unknown gateway id");
+  check_bus(route.from);
+  check_bus(route.to);
+  gateways_[static_cast<std::size_t>(gateway)].routes.push_back(route);
+  return *this;
+}
+
+Network::Network(const NetworkBuilder& b) : sim_(b.quantum_) {
+  // Buses first: ECUs and gateways attach nodes in declaration order, so
+  // node indices — and with them arbitration tie-breaking and delivery
+  // order — are fixed by the description alone.
+  for (const NetworkBuilder::BusSpec& spec : b.buses_) {
+    bus_names_.push_back(spec.name);
+    buses_.push_back(
+        std::make_unique<can::CanBus>(sim_.queue(), spec.bitrate_bps));
+  }
+  for (const NetworkBuilder::EcuOrder& e : b.order_) {
+    if (e.iss) {
+      const NetworkBuilder::IssSpec& spec = b.iss_[e.index];
+      ecus_.push_back(std::make_unique<IssEcuNode>(
+          sim_, *buses_[static_cast<std::size_t>(spec.bus)], spec.bus,
+          spec.system, spec.program, spec.controller));
+    } else {
+      const NetworkBuilder::ModelSpec& spec = b.models_[e.index];
+      ecus_.push_back(std::make_unique<ModelEcuNode>(
+          sim_, *buses_[static_cast<std::size_t>(spec.bus)], spec.bus,
+          spec.name, spec.tasks, spec.switch_cost));
+    }
+  }
+  for (const NetworkBuilder::GatewaySpec& spec : b.gateways_) {
+    auto gw = std::make_unique<GatewayNode>(spec.name, sim_, spec.config);
+    // Join every bus the routing table references, in bus-id order.
+    std::set<BusId> joined;
+    for (const Route& r : spec.routes) {
+      joined.insert(r.from);
+      joined.insert(r.to);
+    }
+    for (const BusId id : joined) {
+      gw->join(id, *buses_[static_cast<std::size_t>(id)]);
+    }
+    for (const Route& r : spec.routes) {
+      gw->add_route(r);
+    }
+    gateways_.push_back(std::move(gw));
+  }
+}
+
+IssEcuNode& Network::iss(EcuId id) {
+  auto* node = dynamic_cast<IssEcuNode*>(&ecu(id));
+  ACES_CHECK_MSG(node != nullptr, "ECU is not ISS fidelity");
+  return *node;
+}
+
+ModelEcuNode& Network::model(EcuId id) {
+  auto* node = dynamic_cast<ModelEcuNode*>(&ecu(id));
+  ACES_CHECK_MSG(node != nullptr, "ECU is not kernel-model fidelity");
+  return *node;
+}
+
+void Network::send_every(EcuId ecu_id, sim::SimTime period,
+                         can::CanFrame frame,
+                         std::function<void(can::CanFrame&)> mutate) {
+  EcuNode& node = ecu(ecu_id);
+  can::CanBus& b = bus(node.bus());
+  const can::NodeId n = node.can_node();
+  sim_.schedule_every(
+      period, [this, &b, n, frame, mutate = std::move(mutate)]() mutable {
+        if (mutate) {
+          mutate(frame);
+        }
+        can::CanFrame f = frame;
+        f.timestamp = sim_.now();
+        b.send(n, f);
+      });
+}
+
+void Network::send(EcuId ecu_id, can::CanFrame frame) {
+  EcuNode& node = ecu(ecu_id);
+  frame.timestamp = sim_.now();
+  bus(node.bus()).send(node.can_node(), frame);
+}
+
+}  // namespace aces::net

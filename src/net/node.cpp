@@ -1,0 +1,99 @@
+#include "net/node.h"
+
+#include "support/check.h"
+
+namespace aces::net {
+
+namespace {
+
+// The builder copy an IssEcuNode actually instantiates: the caller's
+// machine description plus the network-facing parts EcuNode owns — the CAN
+// controller at the peripheral base and the GuestProgram's interrupt
+// controller.
+[[nodiscard]] cpu::SystemBuilder wire_builder(const cpu::SystemBuilder& b,
+                                              can::CanController& controller,
+                                              const GuestProgram& program) {
+  cpu::SystemBuilder wired = b;
+  wired.device(cpu::kPeriphBase, controller).ivc(program.ivc);
+  return wired;
+}
+
+}  // namespace
+
+IssEcuNode::IssEcuNode(sim::Simulation& sim, can::CanBus& bus, BusId bus_id,
+                       const cpu::SystemBuilder& system,
+                       const GuestProgram& program,
+                       const can::CanController::Config& controller)
+    : bus_id_(bus_id),
+      controller_(bus, system.name(), controller),
+      sys_(wire_builder(system, controller_, program)) {
+  // The boot sequence every hand-written example repeated: image, vectors,
+  // line enables, co-simulation binding, IRQ delivery, CTRL, reset.
+  sys_.load(program.image);
+  for (const GuestProgram::Handler& h : program.handlers) {
+    sys_.set_irq_handler(h.line, h.address);
+    sys_.ivc()->enable_line(h.line, h.priority);
+  }
+  cpu::SystemBinding& binding = sys_.bind(sim);
+  controller_.connect_irq(binding);
+  if (program.ctrl != 0) {
+    ACES_CHECK(
+        sys_.bus()
+            .write(cpu::kPeriphBase + can::CanController::kCtrl, 4,
+                   program.ctrl, 0)
+            .ok());
+  }
+  sys_.core().reset(program.entry, sys_.initial_sp());
+}
+
+std::uint64_t IssEcuNode::worst_irq_latency(unsigned line) {
+  std::uint64_t worst = 0;
+  for (const std::uint64_t l : sys_.ivc()->latencies(line)) {
+    worst = worst > l ? worst : l;
+  }
+  return worst;
+}
+
+ModelEcuNode::ModelEcuNode(sim::Simulation& sim, can::CanBus& bus,
+                           BusId bus_id, std::string name,
+                           const std::vector<ModelTask>& tasks,
+                           sim::SimTime context_switch_cost)
+    : name_(std::move(name)),
+      bus_id_(bus_id),
+      node_(bus.attach_node(name_)),
+      kernel_(sim, context_switch_cost) {
+  for (const ModelTask& t : tasks) {
+    rtos::TaskConfig cfg;
+    cfg.name = t.name;
+    cfg.priority = t.priority;
+    rtos::Segment seg;
+    seg.kind = rtos::Segment::Kind::execute;
+    seg.duration = t.exec;
+    cfg.body.push_back(seg);
+    cfg.deadline = t.deadline;
+    const rtos::TaskId id = kernel_.create_task(std::move(cfg));
+    task_ids_.push_back(id);
+    if (t.period > 0) {
+      kernel_.set_alarm(id, t.offset, t.period);
+    }
+    if (t.tx) {
+      kernel_.on_complete(id, [&sim, &bus, node = node_, frame = *t.tx] {
+        can::CanFrame f = frame;
+        f.timestamp = sim.now();
+        bus.send(node, f);
+      });
+    }
+    if (t.activate_on_rx) {
+      bus.subscribe(node_,
+                    [this, id, match = *t.activate_on_rx](
+                        const can::CanFrame& f, sim::SimTime) {
+                      if (f.id == match) {
+                        kernel_.activate(id);
+                      }
+                    });
+    }
+  }
+  kernel_.start();
+}
+
+}  // namespace aces::net

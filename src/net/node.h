@@ -1,0 +1,171 @@
+// net::EcuNode — one ECU abstraction across simulation fidelities.
+//
+// The paper's distributed vision treats "the network of automotive
+// processors as a single compute resource"; composing such a network needs
+// ECUs to be attachable to a bus without caring how they are simulated.
+// Before this layer every scenario hand-wired one of two stacks:
+//
+//   ISS fidelity      cpu::System built from a SystemBuilder, a
+//                     can::CanController mapped at the peripheral base, the
+//                     guest image loaded, vector table patched, interrupt
+//                     lines enabled, System::bind() to the co-simulation,
+//                     controller IRQs connected through the binding, CTRL
+//                     poked, core reset — ~10 steps repeated per example;
+//   kernel fidelity   rtos::Kernel on the shared queue, tasks + alarms
+//                     created, a raw CanBus node attached, transmission
+//                     glued on with ad-hoc schedule_every lambdas.
+//
+// EcuNode extracts both wiring sequences behind one interface: an ECU has
+// a name, sits on one bus as one CAN node, and optionally exposes its
+// underlying cpu::System (ISS) or rtos::Kernel (model). NetworkBuilder
+// (net/network.h) instantiates either fidelity from a declarative spec.
+#ifndef ACES_NET_NODE_H
+#define ACES_NET_NODE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/bus.h"
+#include "can/controller.h"
+#include "cpu/ivc.h"
+#include "cpu/system.h"
+#include "isa/assembler.h"
+#include "rtos/kernel.h"
+#include "sim/simulation.h"
+
+namespace aces::net {
+
+using BusId = int;
+
+// ----- declarative specs ------------------------------------------------------
+
+[[nodiscard]] inline cpu::Ivc::Config default_guest_ivc() {
+  cpu::Ivc::Config c;
+  c.vector_table = cpu::kSramBase + 0x40;
+  c.lines = 4;
+  return c;
+}
+
+// Everything an ISS-fidelity ECU needs beyond its SystemBuilder: the guest
+// image, the interrupt wiring boot code would set up, and the controller
+// CTRL bits to start with. A pure value — reusable across ECUs.
+struct GuestProgram {
+  isa::Image image;
+  std::uint32_t entry = 0;  // reset PC (stack at the top of SRAM)
+  // Interrupt controller owned by the built System. GuestProgram owns the
+  // interrupt wiring end to end, so this overrides any .ivc()/.vic() set
+  // on the SystemBuilder passed alongside it.
+  cpu::Ivc::Config ivc = default_guest_ivc();
+  struct Handler {
+    unsigned line = 0;
+    std::uint32_t address = 0;    // vector-table entry
+    std::uint8_t priority = 32;   // Ivc line priority
+  };
+  std::vector<Handler> handlers;
+  // Written to the controller's CTRL register at boot (host-side, the way
+  // startup code would before the first frame).
+  std::uint32_t ctrl = can::CanController::kCtrlRxie;
+};
+
+// One task of a kernel-model ECU: a periodic (or externally activated)
+// workload that may publish a CAN frame at every completion.
+struct ModelTask {
+  std::string name;
+  int priority = 0;
+  sim::SimTime exec = 0;      // execute-segment length
+  sim::SimTime period = 0;    // alarm period (0: no alarm)
+  sim::SimTime offset = 0;    // first alarm activation
+  sim::SimTime deadline = 0;  // 0 = implicit period
+  // Queued on this ECU's bus node at every completion, stamped with the
+  // completion instant (end-to-end measurable via CanFrame::timestamp).
+  std::optional<can::CanFrame> tx;
+  // Activate this task whenever a frame with this identifier is delivered
+  // to the ECU's bus node — the kernel-model stand-in for an RX ISR
+  // calling ActivateTask.
+  std::optional<std::uint32_t> activate_on_rx;
+};
+
+// ----- the fidelity-independent handle ----------------------------------------
+
+class EcuNode {
+ public:
+  virtual ~EcuNode() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual BusId bus() const = 0;
+  [[nodiscard]] virtual can::NodeId can_node() const = 0;
+
+  // Fidelity probes: exactly one is non-null.
+  [[nodiscard]] virtual cpu::System* system() { return nullptr; }
+  [[nodiscard]] virtual rtos::Kernel* kernel() { return nullptr; }
+};
+
+// ISS fidelity: the full single-ECU stack (System + CAN controller +
+// co-simulation binding), wired exactly the way the hand-written examples
+// did it, in one constructor.
+class IssEcuNode final : public EcuNode {
+ public:
+  IssEcuNode(sim::Simulation& sim, can::CanBus& bus, BusId bus_id,
+             const cpu::SystemBuilder& system, const GuestProgram& program,
+             const can::CanController::Config& controller);
+
+  [[nodiscard]] std::string_view name() const override {
+    return sys_.name();
+  }
+  [[nodiscard]] BusId bus() const override { return bus_id_; }
+  [[nodiscard]] can::NodeId can_node() const override {
+    return controller_.node();
+  }
+  [[nodiscard]] cpu::System* system() override { return &sys_; }
+
+  [[nodiscard]] can::CanController& controller() { return controller_; }
+  [[nodiscard]] cpu::SystemBinding& binding() { return *sys_.binding(); }
+
+  // Guest-memory probe (little-endian word), for self-checked scenarios.
+  [[nodiscard]] std::uint32_t read_word(std::uint32_t addr) {
+    return sys_.bus().read(addr, 4, mem::Access::read, 0).value;
+  }
+  // Worst observed entry latency of `line`, in core cycles (the Figure 4
+  // quantity, measured on real traffic).
+  [[nodiscard]] std::uint64_t worst_irq_latency(unsigned line);
+
+ private:
+  BusId bus_id_;
+  can::CanController controller_;
+  cpu::System sys_;
+};
+
+// Kernel-model fidelity: an rtos::Kernel on the shared queue plus one raw
+// bus node, with task-completion transmission and RX-driven activation
+// wired declaratively.
+class ModelEcuNode final : public EcuNode {
+ public:
+  ModelEcuNode(sim::Simulation& sim, can::CanBus& bus, BusId bus_id,
+               std::string name, const std::vector<ModelTask>& tasks,
+               sim::SimTime context_switch_cost);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] BusId bus() const override { return bus_id_; }
+  [[nodiscard]] can::NodeId can_node() const override { return node_; }
+  [[nodiscard]] rtos::Kernel* kernel() override { return &kernel_; }
+
+  // TaskId of the k-th ModelTask in declaration order.
+  [[nodiscard]] rtos::TaskId task(std::size_t k) const {
+    return task_ids_[k];
+  }
+  [[nodiscard]] const rtos::TaskStats& task_stats(std::size_t k) const {
+    return kernel_.stats(task_ids_[k]);
+  }
+
+ private:
+  std::string name_;
+  BusId bus_id_;
+  can::NodeId node_;
+  rtos::Kernel kernel_;
+  std::vector<rtos::TaskId> task_ids_;
+};
+
+}  // namespace aces::net
+
+#endif  // ACES_NET_NODE_H

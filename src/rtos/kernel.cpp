@@ -28,6 +28,10 @@ void Kernel::task_uses(TaskId task, ResourceId resource) {
   resources_[static_cast<std::size_t>(resource)].users.push_back(task);
 }
 
+void Kernel::on_complete(TaskId task, std::function<void()> hook) {
+  tasks_[static_cast<std::size_t>(task)].on_complete = std::move(hook);
+}
+
 void Kernel::set_alarm(TaskId task, SimTime offset, SimTime period) {
   ACES_CHECK_MSG(!started_, "set_alarm after start()");
   ACES_CHECK(period > 0);
@@ -63,18 +67,27 @@ void Kernel::activate(TaskId id) {
   Task& t = tasks_[static_cast<std::size_t>(id)];
   ++t.stats.activations;
   if (t.state != State::suspended) {
-    // OSEK basic tasks queue at most one pending activation.
+    // OSEK basic tasks queue at most one pending activation. Remember the
+    // request instant: the queued instance's response (and deadline
+    // verdict) runs from the ActivateTask call, not from the moment the
+    // previous instance got out of the way.
     if (t.pending) {
       ++t.stats.lost_activations;
     } else {
       t.pending = true;
+      t.pending_since = queue_.now();
     }
     return;
   }
+  release(id, queue_.now());
+}
+
+void Kernel::release(TaskId id, SimTime activated_at) {
+  Task& t = tasks_[static_cast<std::size_t>(id)];
   t.state = State::ready;
   t.segment = 0;
   t.segment_left = -1;  // sentinel: segment not started
-  t.activated_at = queue_.now();
+  t.activated_at = activated_at;
   t.blocked_since = -1;
   schedule();
 }
@@ -225,9 +238,15 @@ void Kernel::complete(TaskId id) {
   t.state = State::suspended;
   t.dynamic_priority = t.config.priority;
   running_ = -1;
+  if (t.on_complete) {
+    t.on_complete();
+  }
   if (t.pending) {
+    // Release the queued activation directly: it was already counted when
+    // ActivateTask queued it, and its response clock started then.
     t.pending = false;
-    activate(id);
+    release(id, t.pending_since);
+    return;
   }
   schedule();
 }

@@ -83,6 +83,13 @@ class Kernel {
   // Finalizes ceilings and arms alarms. Call once.
   void start();
 
+  // Completion hook: runs at every completion of `task`, after the
+  // statistics update and before any queued activation re-dispatches. The
+  // kernel-model analogue of "the task's final action transmits its
+  // result" — net::EcuNode wires CAN transmission through this so a
+  // workload model publishes frames exactly when its task instance ends.
+  void on_complete(TaskId task, std::function<void()> hook);
+
   // ----- runtime API -----
   void activate(TaskId task);  // OSEK ActivateTask (also from "ISRs")
 
@@ -114,10 +121,12 @@ class Kernel {
     sim::SimTime segment_started = 0;  // when the running segment began
     sim::SimTime activated_at = 0;
     bool pending = false;              // queued activation (OSEK: max 1)
+    sim::SimTime pending_since = 0;    // when the queued request arrived
     int dynamic_priority = 0;          // base or raised ceiling
     std::vector<int> prio_stack;       // restore values for nested locks
     sim::SimTime blocked_since = -1;   // for blocking stats
     std::uint64_t token = 0;           // invalidates stale completion events
+    std::function<void()> on_complete;
   };
 
   struct Resource {
@@ -134,6 +143,9 @@ class Kernel {
   };
 
   void arm_alarm(const Alarm& alarm);
+  // Moves a suspended task to ready with its response clock anchored at
+  // `activated_at` (the ActivateTask instant, even for queued requests).
+  void release(TaskId task, sim::SimTime activated_at);
   void schedule();  // dispatch decision
   // Advances through instantaneous segments, then runs/continues the
   // current execute segment (extra_cost models the context switch).

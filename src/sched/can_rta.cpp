@@ -182,4 +182,55 @@ CanRtaResult can_rta(const std::vector<CanMessage>& messages,
   return result;
 }
 
+namespace {
+
+// One hop of the holistic composition: inherit `inherited` ns of upstream
+// jitter (accumulated bound + gateway latency), run the per-bus analysis,
+// and return the new cumulative bound — can_rta's response already includes
+// the jitter term, so it *is* end-to-end from the source release.
+[[nodiscard]] SimTime hop_bound(const PathHop& hop, SimTime inherited,
+                                const CanErrorModel& errors, bool& ok) {
+  std::vector<CanMessage> msgs = hop.messages;
+  CanMessage& m = msgs[hop.message];
+  const SimTime hop_deadline = m.deadline > 0 ? m.deadline : m.period;
+  m.jitter += inherited;
+  // Judge this hop on queue-to-delivery (w + C <= hop deadline): the
+  // inherited jitter is upstream latency, not a property of this bus, so
+  // the deadline check — and the overload escape scaled from it — must not
+  // be tightened by it.
+  m.deadline = m.jitter + hop_deadline;
+  const CanRtaResult r = can_rta(msgs, hop.bitrate_bps, errors);
+  ok = ok && r.message_ok[hop.message];
+  return r.response[hop.message];
+}
+
+}  // namespace
+
+PathRtaResult path_rta(const std::vector<PathHop>& hops, SimTime deadline) {
+  ACES_CHECK_MSG(!hops.empty(), "path_rta needs at least one hop");
+  PathRtaResult out;
+  SimTime cum_ff = 0;
+  SimTime cum_op = 0;  // operative: faulted wherever a hop has a model
+  bool ok_ff = true;
+  bool ok_op = true;
+  for (const PathHop& hop : hops) {
+    ACES_CHECK_MSG(hop.message < hop.messages.size(),
+                   "path_rta hop message index out of range");
+    cum_ff = hop_bound(hop, cum_ff + hop.gateway_latency, CanErrorModel{},
+                       ok_ff);
+    cum_op = hop_bound(hop, cum_op + hop.gateway_latency, hop.errors, ok_op);
+    out.hop_response.push_back(cum_op);
+  }
+  out.response_fault_free = cum_ff;
+  out.response_faulted = cum_op;
+  out.response = cum_op;
+  const CanMessage& last = hops.back().messages[hops.back().message];
+  const SimTime e2e_deadline =
+      deadline > 0 ? deadline
+                   : (last.deadline > 0 ? last.deadline : last.period);
+  out.schedulable = ok_op && out.response <= e2e_deadline;
+  out.schedulable_fault_free = ok_ff && cum_ff <= e2e_deadline;
+  return out;
+}
+
 }  // namespace aces::sched

@@ -67,6 +67,54 @@ struct CanRtaResult {
                                    std::uint32_t bitrate_bps,
                                    const CanErrorModel& errors = {});
 
+// ----- end-to-end analysis across gateway hops -------------------------------
+//
+// A message routed through store-and-forward gateways (net::GatewayNode)
+// crosses several buses; its worst-case end-to-end latency is the holistic
+// composition (Tindell & Clark): the response bound of hop k, plus the
+// gateway forwarding latency, becomes the *release jitter* of the message
+// on hop k+1, so the downstream per-bus analysis charges every queuing
+// effect of the upstream variability. Each hop's bound is the full can_rta
+// of that bus (blocking + interference + optional Tindell error term), so
+// the gateway queuing delay — waiting behind the egress bus's own traffic —
+// is exactly the w-term of the downstream analysis.
+
+struct PathHop {
+  // The complete message set competing on this hop's bus. The analyzed
+  // message's jitter field is *added to* by the accumulated upstream bound;
+  // other routed messages in the set must already carry their own inherited
+  // jitter (their upstream bound + gateway latency) for the interference
+  // terms to be sound.
+  std::vector<CanMessage> messages;
+  std::size_t message = 0;  // index of the analyzed message in `messages`
+  std::uint32_t bitrate_bps = 0;
+  CanErrorModel errors;               // this hop's fault hypothesis
+  sim::SimTime gateway_latency = 0;   // store-and-forward delay charged on
+                                      // entry to this hop (0 for the source)
+};
+
+struct PathRtaResult {
+  // Operative verdict (fault hypotheses applied where hops declare them)
+  // and the fault-free verdict alongside it — a path can be schedulable on
+  // a clean network yet not under the error model.
+  bool schedulable = false;
+  bool schedulable_fault_free = false;
+  // Operative end-to-end bound, from the source-bus queue instant to
+  // delivery on the final bus: faulted wherever a hop declares an error
+  // model, identical to response_fault_free otherwise.
+  sim::SimTime response = 0;
+  sim::SimTime response_fault_free = 0;
+  sim::SimTime response_faulted = 0;
+  // Cumulative operative bound after each hop (last == response).
+  std::vector<sim::SimTime> hop_response;
+};
+
+// `deadline` is the end-to-end deadline; 0 uses the analyzed message's
+// deadline (or period) on the final hop. Per-hop schedulability is judged
+// on queue-to-delivery against that hop's own deadline/period.
+[[nodiscard]] PathRtaResult path_rta(const std::vector<PathHop>& hops,
+                                     sim::SimTime deadline = 0);
+
 }  // namespace aces::sched
 
 #endif  // ACES_SCHED_CAN_RTA_H

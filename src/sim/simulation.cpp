@@ -16,6 +16,9 @@ void Simulation::add(Clocked& participant) {
                    "clocked participant registered twice");
   }
   participants_.push_back(&participant);
+  ParticipantStats ps;
+  ps.name = std::string(participant.name());
+  stats_.participants.push_back(std::move(ps));
 }
 
 void Simulation::run_until(SimTime horizon) {
@@ -40,8 +43,11 @@ void Simulation::run_until(SimTime horizon) {
     // boundary (only while someone is busy) and the horizon.
     SimTime wake = queue_.next_time();
     bool busy = false;
-    for (Clocked* p : participants_) {
-      const SimTime t = p->next_activity();
+    for (std::size_t k = 0; k < participants_.size(); ++k) {
+      const SimTime t = participants_[k]->next_activity();
+      if (t == kNever) {
+        ++stats_.participants[k].idle_windows;
+      }
       if (t <= now()) {
         busy = true;
       } else {
@@ -58,9 +64,10 @@ void Simulation::run_until(SimTime horizon) {
       // still sync every local clock (sleeping cores fast-forward in
       // O(1)) so callers observe all participants at the horizon.
       queue_.run_until(horizon);
-      for (Clocked* p : participants_) {
-        p->advance_to(horizon);
+      for (std::size_t k = 0; k < participants_.size(); ++k) {
+        participants_[k]->advance_to(horizon);
         ++stats_.slices;
+        ++stats_.participants[k].slices;
       }
       ++stats_.idle_jumps;
       return;
@@ -71,9 +78,10 @@ void Simulation::run_until(SimTime horizon) {
 
     // Round-robin: every clocked participant advances to the target (idle
     // ones fast-forward their local clocks in O(1)).
-    for (Clocked* p : participants_) {
-      p->advance_to(target);
+    for (std::size_t k = 0; k < participants_.size(); ++k) {
+      participants_[k]->advance_to(target);
       ++stats_.slices;
+      ++stats_.participants[k].slices;
     }
     stats_.events_executed += queue_.run_until(target);
   }

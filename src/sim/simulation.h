@@ -35,6 +35,7 @@
 #ifndef ACES_SIM_SIMULATION_H
 #define ACES_SIM_SIMULATION_H
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -107,10 +108,20 @@ class Simulation {
   void run_until(SimTime horizon);
   void run_for(SimTime delta) { run_until(now() + delta); }
 
+  // Per-participant share of the scheduler work, in registration order.
+  // `slices` counts advance_to calls; `idle_windows` counts planning
+  // windows the participant entered asleep (next_activity() == kNever), in
+  // which its whole slice is a WFI fast-forward costing O(1) host work.
+  struct ParticipantStats {
+    std::string name;  // copied at add(): outlives the participant
+    std::uint64_t slices = 0;
+    std::uint64_t idle_windows = 0;
+  };
   struct Stats {
     std::uint64_t events_executed = 0;
     std::uint64_t slices = 0;      // advance_to calls on participants
     std::uint64_t idle_jumps = 0;  // windows skipped with everyone idle
+    std::vector<ParticipantStats> participants;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

@@ -98,6 +98,34 @@ TEST(Simulation, IdleNetworkFastForwards) {
   EXPECT_EQ(sim.now(), 10 * sim::kSecond);
   EXPECT_LE(sim.stats().slices, 2u);
   EXPECT_GE(sim.stats().idle_jumps, 1u);
+  // Per-participant breakdown: the lone participant owns every slice, and
+  // its idle window count records the WFI-style fast-forward.
+  ASSERT_EQ(sim.stats().participants.size(), 1u);
+  EXPECT_EQ(sim.stats().participants[0].name, "a");
+  EXPECT_EQ(sim.stats().participants[0].slices, sim.stats().slices);
+  EXPECT_GE(sim.stats().participants[0].idle_windows, 1u);
+}
+
+TEST(Simulation, PerParticipantStatsPartitionTheSliceCount) {
+  sim::Simulation sim(100 * sim::kMicrosecond);
+  std::vector<sim::SimTime> trace;
+  std::vector<std::string> order;
+  ProbeClocked busy("busy", &trace, &order);
+  busy.busy_until = 5 * sim::kMillisecond;
+  ProbeClocked idle("idle", &trace, &order);  // busy_until = 0: asleep
+  sim.add(busy);
+  sim.add(idle);
+  sim.run_until(10 * sim::kMillisecond);
+  const auto& st = sim.stats();
+  ASSERT_EQ(st.participants.size(), 2u);
+  EXPECT_EQ(st.participants[0].slices + st.participants[1].slices,
+            st.slices);
+  // Both advance in lock-step round-robin...
+  EXPECT_EQ(st.participants[0].slices, st.participants[1].slices);
+  // ...but only the sleeping one accrues idle (fast-forwarded) windows
+  // while the busy one is driving the quantum march.
+  EXPECT_GT(st.participants[1].idle_windows,
+            st.participants[0].idle_windows);
 }
 
 TEST(Simulation, RejectsDuplicateParticipantsAndBackwardRuns) {

@@ -140,6 +140,70 @@ TEST(Kernel, PendingActivationQueuesOnce) {
   EXPECT_EQ(k.stats(t).lost_activations, 1u);
 }
 
+TEST(Kernel, LostActivationAccounting) {
+  // OSEK basic tasks queue at most one activation: while the task is
+  // running with one activation already pending, every further activation
+  // is lost — and only the lost ones count as lost.
+  sim::EventQueue q;
+  Kernel k(q);
+  const TaskId t = k.create_task({"t", 1, {exec(10 * kMillisecond)}, 0});
+  k.start();
+  k.activate(t);  // runs 0..10ms
+  q.schedule_at(1 * kMillisecond, [&] { k.activate(t); });  // queued
+  q.schedule_at(2 * kMillisecond, [&] { k.activate(t); });  // lost
+  q.schedule_at(3 * kMillisecond, [&] { k.activate(t); });  // lost
+  // After the first instance completes, the queued activation runs
+  // 10..20ms; an activation arriving then queues again (nothing lost).
+  q.schedule_at(15 * kMillisecond, [&] { k.activate(t); });  // queued
+  q.run_until(sim::kSecond);
+  EXPECT_EQ(k.stats(t).activations, 5u);
+  EXPECT_EQ(k.stats(t).lost_activations, 2u);
+  EXPECT_EQ(k.stats(t).completions, 3u);  // 1 direct + 2 queued
+  // The queued instance's response runs from its activation instant (1ms)
+  // to its completion (20ms).
+  EXPECT_EQ(k.stats(t).worst_response, 19 * kMillisecond);
+}
+
+TEST(Kernel, DeadlineMissStatsCountEveryLateInstance) {
+  // A 6ms job with a 5ms deadline activated every 10ms misses every time;
+  // an easy sibling never does. Misses accumulate per instance.
+  sim::EventQueue q;
+  Kernel k(q);
+  const TaskId tight =
+      k.create_task({"tight", 5, {exec(6 * kMillisecond)}, 5 * kMillisecond});
+  const TaskId easy =
+      k.create_task({"easy", 1, {exec(1 * kMillisecond)}, 10 * kMillisecond});
+  k.set_alarm(tight, 0, 10 * kMillisecond);
+  k.set_alarm(easy, 0, 10 * kMillisecond);
+  k.start();
+  // Activations at t = 0..90ms; the last instances complete at 96/97ms.
+  q.run_until(99 * kMillisecond);
+  EXPECT_EQ(k.stats(tight).completions, 10u);
+  EXPECT_EQ(k.stats(tight).deadline_misses, 10u);
+  EXPECT_EQ(k.stats(tight).worst_response, 6 * kMillisecond);
+  // easy runs after tight (lower priority): response 7ms <= 10ms deadline.
+  EXPECT_EQ(k.stats(easy).completions, 10u);
+  EXPECT_EQ(k.stats(easy).deadline_misses, 0u);
+  EXPECT_EQ(k.stats(easy).worst_response, 7 * kMillisecond);
+}
+
+TEST(Kernel, CompletionHookFiresPerCompletion) {
+  sim::EventQueue q;
+  Kernel k(q);
+  const TaskId t = k.create_task({"t", 1, {exec(1 * kMillisecond)}, 0});
+  int fired = 0;
+  sim::SimTime last_at = -1;
+  k.on_complete(t, [&] {
+    ++fired;
+    last_at = q.now();
+  });
+  k.set_alarm(t, 0, 10 * kMillisecond);
+  k.start();
+  q.run_until(25 * kMillisecond);
+  EXPECT_EQ(fired, 3);  // t = 1, 11, 21 ms
+  EXPECT_EQ(last_at, 21 * kMillisecond);
+}
+
 TEST(Kernel, ContextSwitchCostDelaysCompletion) {
   sim::EventQueue q;
   Kernel k(q, /*context_switch_cost=*/100 * kMicrosecond);

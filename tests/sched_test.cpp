@@ -147,6 +147,79 @@ TEST(CanRta, PriorityOrderRespected) {
   EXPECT_GT(r.response.back(), r.response.front());
 }
 
+// ----- end-to-end path RTA across gateway hops -------------------------------
+
+TEST(PathRta, SingleHopMatchesCanRta) {
+  const auto msgs = sae_like_set();
+  const CanRtaResult direct = can_rta(msgs, 250'000);
+  for (std::size_t k = 0; k < msgs.size(); ++k) {
+    PathHop hop;
+    hop.messages = msgs;
+    hop.message = k;
+    hop.bitrate_bps = 250'000;
+    const PathRtaResult r = path_rta({hop});
+    EXPECT_EQ(r.response, direct.response[k]);
+    EXPECT_EQ(r.response_fault_free, direct.response_fault_free[k]);
+    EXPECT_EQ(r.hop_response.size(), 1u);
+    EXPECT_EQ(r.schedulable, direct.message_ok[k]);
+    EXPECT_EQ(r.schedulable_fault_free, r.schedulable);  // no fault model
+  }
+}
+
+TEST(PathRta, SecondHopComposesJitterAndLatency) {
+  const auto src = sae_like_set();
+  std::vector<CanMessage> dst = {
+      {"local_hp", 0x040, 8, 5 * kMillisecond, 0, 0},
+      {"routed", 0x0A0, 6, 10 * kMillisecond, 0, 0},  // wheel_speed bridged
+      {"local_lp", 0x600, 4, 50 * kMillisecond, 0, 0},
+  };
+  PathHop h0;
+  h0.messages = src;
+  h0.message = 1;  // wheel_speed on the source bus
+  h0.bitrate_bps = 250'000;
+  PathHop h1;
+  h1.messages = dst;
+  h1.message = 1;
+  h1.bitrate_bps = 125'000;
+  h1.gateway_latency = 500 * kMicrosecond;
+  const PathRtaResult two = path_rta({h0, h1});
+  const PathRtaResult one = path_rta({h0});
+
+  EXPECT_TRUE(two.schedulable);
+  // The composed bound strictly exceeds the source hop plus the gateway
+  // latency (the routed frame still has to win egress arbitration)...
+  EXPECT_GT(two.response, one.response + h1.gateway_latency);
+  EXPECT_EQ(two.hop_response[0], one.response);
+  EXPECT_EQ(two.hop_response[1], two.response);
+  // ...and grows monotonically with the forwarding latency.
+  h1.gateway_latency = 2 * kMillisecond;
+  EXPECT_GT(path_rta({h0, h1}).response, two.response);
+}
+
+TEST(PathRta, FaultHypothesisOnOneHopInflatesTheBound) {
+  const auto src = sae_like_set();
+  std::vector<CanMessage> dst = {
+      {"routed", 0x0A0, 6, 10 * kMillisecond, 0, 0},
+      {"local", 0x200, 8, 10 * kMillisecond, 0, 0},
+  };
+  PathHop h0;
+  h0.messages = src;
+  h0.message = 1;
+  h0.bitrate_bps = 250'000;
+  PathHop h1;
+  h1.messages = dst;
+  h1.message = 0;
+  h1.bitrate_bps = 125'000;
+  const PathRtaResult clean = path_rta({h0, h1});
+  h1.errors = CanErrorModel{10 * kMillisecond};
+  const PathRtaResult faulted = path_rta({h0, h1});
+  EXPECT_GT(faulted.response_faulted, faulted.response_fault_free);
+  EXPECT_EQ(faulted.response_fault_free, clean.response);
+  EXPECT_EQ(faulted.response, faulted.response_faulted);
+  // The fault-free verdict survives alongside the operative one.
+  EXPECT_EQ(faulted.schedulable_fault_free, clean.schedulable);
+}
+
 TEST(CanRta, DominatesSimulatedBus) {
   const auto msgs = sae_like_set();
   const CanRtaResult bound = can_rta(msgs, 250'000);
