@@ -1,0 +1,269 @@
+#include "campaign/presets.h"
+
+#include <utility>
+
+#include "support/check.h"
+
+namespace aces::campaign::presets {
+
+using sim::kMicrosecond;
+using sim::kMillisecond;
+using sim::SimTime;
+
+namespace {
+
+// Buses are declared in this order by the template, so the ids are fixed.
+constexpr net::BusId kPt = 0;
+constexpr net::BusId kBody = 1;
+constexpr net::BusId kDiag = 2;
+
+constexpr std::uint32_t kWheelId = 0x050;          // abs -> pt, routed to body
+constexpr std::uint32_t kDiagReqPtId = 0x0F0;      // 0x700 remapped onto pt
+constexpr std::uint32_t kEngStatusId = 0x110;      // engine -> pt
+constexpr std::uint32_t kLockCmdId = 0x0E0;        // bcm -> body
+constexpr std::uint32_t kDoorStatusId = 0x1A0;     // doors -> body
+constexpr std::uint32_t kEngStatusDiagId = 0x610;  // 0x110 remapped
+constexpr std::uint32_t kDoorStatusDiagId = 0x660; // 0x1A0 remapped
+constexpr std::uint32_t kDiagReqId = 0x700;        // tester -> diag
+
+constexpr SimTime kGwLatency = 200 * kMicrosecond;
+
+// Background publisher periods scale with the load axis: load_pct 100 is
+// the baseline, 160 fires everything 1.6x as often.
+[[nodiscard]] SimTime scaled(SimTime base, const Variant& v) {
+  const auto pct = static_cast<SimTime>(v.param("load_pct"));
+  return base * 100 / pct;
+}
+
+net::ModelTask publisher(const char* task, int prio, SimTime exec,
+                         SimTime period, std::uint32_t id, unsigned dlc) {
+  net::ModelTask t;
+  t.name = task;
+  t.priority = prio;
+  t.exec = exec;
+  t.period = period;
+  can::CanFrame f;
+  f.id = id;
+  f.dlc = dlc;
+  t.tx = f;
+  return t;
+}
+
+net::ModelTask consumer(const char* task, int prio, SimTime exec,
+                        std::uint32_t rx_id) {
+  net::ModelTask t;
+  t.name = task;
+  t.priority = prio;
+  t.exec = exec;
+  t.activate_on_rx = rx_id;
+  return t;
+}
+
+// A consumer that publishes its answer at completion: the kernel-model
+// stand-in for the engine's RX-ISR-then-reply firmware.
+net::ModelTask responder(const char* task, int prio, SimTime exec,
+                         std::uint32_t rx_id, std::uint32_t tx_id,
+                         unsigned dlc) {
+  net::ModelTask t = consumer(task, prio, exec, rx_id);
+  can::CanFrame f;
+  f.id = tx_id;
+  f.dlc = dlc;
+  t.tx = f;
+  return t;
+}
+
+net::NetworkBuilder build_vehicle(const Variant& v) {
+  const auto depth = static_cast<unsigned>(v.param("gw_depth"));
+  net::NetworkBuilder nb;
+  const net::BusId pt = nb.bus("powertrain", 500'000);
+  const net::BusId body = nb.bus("body", 125'000);
+  const net::BusId diag = nb.bus("diag", 250'000);
+
+  // --- powertrain: 8 model ECUs ----------------------------------------
+  nb.ecu(pt, "abs", {publisher("wheel_acq", 8, 200 * kMicrosecond,
+                               5 * kMillisecond, kWheelId, 8)});
+  nb.ecu(pt, "engine", {responder("diag_svc", 7, 300 * kMicrosecond,
+                                  kDiagReqPtId, kEngStatusId, 4)});
+  nb.ecu(pt, "trans", {publisher("shift_ctl", 7, 200 * kMicrosecond,
+                                 scaled(10 * kMillisecond, v), 0x060, 8)});
+  nb.ecu(pt, "esc", {publisher("stability", 7, 200 * kMicrosecond,
+                               scaled(10 * kMillisecond, v), 0x070, 6)});
+  nb.ecu(pt, "inj", {publisher("injection", 6, 200 * kMicrosecond,
+                               scaled(10 * kMillisecond, v), 0x130, 4)});
+  nb.ecu(pt, "turbo", {publisher("boost", 5, 200 * kMicrosecond,
+                                 scaled(20 * kMillisecond, v), 0x150, 4)});
+  nb.ecu(pt, "egr", {publisher("egr_ctl", 5, 200 * kMicrosecond,
+                               scaled(20 * kMillisecond, v), 0x170, 2)});
+  nb.ecu(pt, "oil", {publisher("oil_mon", 4, 500 * kMicrosecond,
+                               scaled(50 * kMillisecond, v), 0x190, 2)});
+
+  // --- body: 9 model ECUs ----------------------------------------------
+  nb.ecu(body, "bcm", {publisher("lock_ctl", 8, 200 * kMicrosecond,
+                                 scaled(20 * kMillisecond, v), kLockCmdId,
+                                 2)});
+  nb.ecu(body, "doors", {publisher("door_stat", 7, 200 * kMicrosecond,
+                                   20 * kMillisecond, kDoorStatusId, 4)});
+  nb.ecu(body, "lights", {publisher("light_ctl", 6, 200 * kMicrosecond,
+                                    scaled(20 * kMillisecond, v), 0x210, 4)});
+  nb.ecu(body, "wipers", {publisher("wipe_ctl", 5, 200 * kMicrosecond,
+                                    scaled(50 * kMillisecond, v), 0x220, 2)});
+  nb.ecu(body, "hvac", {publisher("hvac_ctl", 5, 200 * kMicrosecond,
+                                  scaled(100 * kMillisecond, v), 0x230, 6)});
+  nb.ecu(body, "windows", {publisher("win_ctl", 4, 200 * kMicrosecond,
+                                     scaled(50 * kMillisecond, v), 0x240,
+                                     2)});
+  nb.ecu(body, "mirrors", {publisher("mirror", 3, 200 * kMicrosecond,
+                                     scaled(100 * kMillisecond, v), 0x250,
+                                     2)});
+  nb.ecu(body, "park", {publisher("park_aid", 3, 200 * kMicrosecond,
+                                  scaled(100 * kMillisecond, v), 0x260, 2)});
+  nb.ecu(body, "cluster",
+         {consumer("speed_disp", 6, 300 * kMicrosecond, kWheelId)});
+
+  // --- diag: 6 model ECUs ----------------------------------------------
+  nb.ecu(diag, "tester", {publisher("poll_ecu", 7, 200 * kMicrosecond,
+                                    50 * kMillisecond, kDiagReqId, 2)});
+  nb.ecu(diag, "logger",
+         {consumer("log_status", 6, 300 * kMicrosecond, kEngStatusDiagId)});
+  nb.ecu(diag, "obd", {publisher("obd_bcast", 5, 200 * kMicrosecond,
+                                 scaled(100 * kMillisecond, v), 0x620, 8)});
+  nb.ecu(diag, "dtc", {publisher("dtc_scan", 4, 500 * kMicrosecond,
+                                 scaled(200 * kMillisecond, v), 0x630, 4)});
+  nb.ecu(diag, "gwmon", {publisher("gw_mon", 3, 200 * kMicrosecond,
+                                   scaled(100 * kMillisecond, v), 0x640, 2)});
+  nb.ecu(diag, "fwsvc", {publisher("fw_svc", 2, 500 * kMicrosecond,
+                                   scaled(500 * kMillisecond, v), 0x650, 8)});
+
+  // --- the central gateway ---------------------------------------------
+  net::GatewayConfig gc;
+  gc.forwarding_latency = kGwLatency;
+  gc.queue_depth = depth;
+  const net::GatewayId gw = nb.gateway("central", gc);
+  nb.route(gw, {diag, pt, kDiagReqId, 0x7FF, kDiagReqPtId});
+  nb.route(gw, {pt, diag, kEngStatusId, 0x7FF, kEngStatusDiagId});
+  nb.route(gw, {pt, body, kWheelId, 0x7FF, {}});
+  nb.route(gw, {body, diag, kDoorStatusId, 0x7FF, kDoorStatusDiagId});
+  return nb;
+}
+
+// ----- analysis message sets -------------------------------------------------
+//
+// The same periods the topology used, with routed interferers carrying the
+// conservative inherited jitter (source period + gateway latency); the
+// analyzed message itself carries zero — path_rta adds the true
+// accumulated upstream bound to it per hop.
+
+using sched::CanMessage;
+
+[[nodiscard]] SimTime inherited(std::uint32_t analyzed, std::uint32_t id,
+                                SimTime source_period) {
+  return analyzed == id ? 0 : source_period + kGwLatency;
+}
+
+std::vector<CanMessage> pt_set(const Variant& v, std::uint32_t analyzed) {
+  return {
+      {"wheel", kWheelId, 8, 5 * kMillisecond, 0, 0},
+      {"trans", 0x060, 8, scaled(10 * kMillisecond, v), 0, 0},
+      {"esc", 0x070, 6, scaled(10 * kMillisecond, v), 0, 0},
+      {"diag_req", kDiagReqPtId, 2, 50 * kMillisecond, 0,
+       inherited(analyzed, kDiagReqPtId, 50 * kMillisecond)},
+      {"eng_status", kEngStatusId, 4, 50 * kMillisecond, 0, 0},
+      {"inj", 0x130, 4, scaled(10 * kMillisecond, v), 0, 0},
+      {"turbo", 0x150, 4, scaled(20 * kMillisecond, v), 0, 0},
+      {"egr", 0x170, 2, scaled(20 * kMillisecond, v), 0, 0},
+      {"oil", 0x190, 2, scaled(50 * kMillisecond, v), 0, 0},
+  };
+}
+
+std::vector<CanMessage> body_set(const Variant& v, std::uint32_t analyzed) {
+  return {
+      {"wheel", kWheelId, 8, 5 * kMillisecond, 0,
+       inherited(analyzed, kWheelId, 5 * kMillisecond)},
+      {"lock_cmd", kLockCmdId, 2, scaled(20 * kMillisecond, v), 0, 0},
+      {"door_stat", kDoorStatusId, 4, 20 * kMillisecond, 0, 0},
+      {"lights", 0x210, 4, scaled(20 * kMillisecond, v), 0, 0},
+      {"wipers", 0x220, 2, scaled(50 * kMillisecond, v), 0, 0},
+      {"hvac", 0x230, 6, scaled(100 * kMillisecond, v), 0, 0},
+      {"windows", 0x240, 2, scaled(50 * kMillisecond, v), 0, 0},
+      {"mirrors", 0x250, 2, scaled(100 * kMillisecond, v), 0, 0},
+      {"park", 0x260, 2, scaled(100 * kMillisecond, v), 0, 0},
+  };
+}
+
+std::vector<CanMessage> diag_set(const Variant& v, std::uint32_t analyzed) {
+  return {
+      {"eng_status", kEngStatusDiagId, 4, 50 * kMillisecond, 0,
+       inherited(analyzed, kEngStatusDiagId, 50 * kMillisecond)},
+      {"obd", 0x620, 8, scaled(100 * kMillisecond, v), 0, 0},
+      {"dtc", 0x630, 4, scaled(200 * kMillisecond, v), 0, 0},
+      {"gw_mon", 0x640, 2, scaled(100 * kMillisecond, v), 0, 0},
+      {"door_stat", kDoorStatusDiagId, 4, 20 * kMillisecond, 0,
+       inherited(analyzed, kDoorStatusDiagId, 20 * kMillisecond)},
+      {"fw_svc", 0x650, 8, scaled(500 * kMillisecond, v), 0, 0},
+      {"diag_req", kDiagReqId, 2, 50 * kMillisecond, 0, 0},
+  };
+}
+
+}  // namespace
+
+ScenarioSpec vehicle_spec(SimTime horizon) {
+  ScenarioSpec spec;
+  spec.name = "vehicle_sweep";
+  spec.master_seed = 2025;
+  spec.horizon = horizon;
+  spec.axes = {
+      {"error_period_ns",
+       {0.0, 50.0e6, 10.0e6, 2.0e6}},  // T_error: off, 50ms, 10ms, 2ms
+      {"gw_depth", {8.0, 1.0}},
+      {"load_pct", {100.0, 130.0, 160.0}},
+  };
+  spec.topology = build_vehicle;
+  // One seeded campaign per bus, all driven by the same T_error axis but
+  // each on its own per-variant Pcg32 stream.
+  for (const net::BusId bus : {kPt, kBody, kDiag}) {
+    FaultPlan plan;
+    plan.bus = bus;
+    plan.period_axis = "error_period_ns";
+    plan.probability = 0.35;
+    spec.faults.push_back(plan);
+  }
+  // The four routed paths, with their holistic bounds. Hops are tagged
+  // with their bus id so the runner attaches the variant's fault
+  // hypothesis to exactly the buses it corrupts.
+  spec.paths.push_back(
+      {"diag_req", kPt, kDiagReqPtId, [](const Variant& v) {
+         return std::vector<sched::PathHop>{
+             sched::make_hop(diag_set(v, kDiagReqId), kDiagReqId, 250'000, 0,
+                             {}, kDiag),
+             sched::make_hop(pt_set(v, kDiagReqPtId), kDiagReqPtId, 500'000,
+                             kGwLatency, {}, kPt)};
+       }});
+  spec.paths.push_back(
+      {"wheel", kBody, kWheelId, [](const Variant& v) {
+         return std::vector<sched::PathHop>{
+             sched::make_hop(pt_set(v, kWheelId), kWheelId, 500'000, 0, {},
+                             kPt),
+             sched::make_hop(body_set(v, kWheelId), kWheelId, 125'000,
+                             kGwLatency, {}, kBody)};
+       }});
+  spec.paths.push_back(
+      {"eng_status", kDiag, kEngStatusDiagId, [](const Variant& v) {
+         return std::vector<sched::PathHop>{
+             sched::make_hop(pt_set(v, kEngStatusId), kEngStatusId, 500'000,
+                             0, {}, kPt),
+             sched::make_hop(diag_set(v, kEngStatusDiagId), kEngStatusDiagId,
+                             250'000, kGwLatency, {}, kDiag)};
+       }});
+  spec.paths.push_back(
+      {"door_stat", kDiag, kDoorStatusDiagId, [](const Variant& v) {
+         return std::vector<sched::PathHop>{
+             sched::make_hop(body_set(v, kDoorStatusId), kDoorStatusId,
+                             125'000, 0, {}, kBody),
+             sched::make_hop(diag_set(v, kDoorStatusDiagId),
+                             kDoorStatusDiagId, 250'000, kGwLatency, {},
+                             kDiag)};
+       }});
+  return spec;
+}
+
+}  // namespace aces::campaign::presets

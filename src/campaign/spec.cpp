@@ -1,0 +1,59 @@
+#include "campaign/spec.h"
+
+#include "support/check.h"
+#include "support/splitmix.h"
+
+namespace aces::campaign {
+
+double Variant::param(std::string_view axis) const {
+  for (const auto& [name, value] : params) {
+    if (name == axis) {
+      return value;
+    }
+  }
+  ACES_CHECK_MSG(false, "variant has no axis named '" + std::string(axis) +
+                            "' (check ScenarioSpec::axes)");
+  return 0.0;  // unreachable
+}
+
+std::size_t ScenarioSpec::variant_count() const {
+  std::size_t n = replicates;
+  for (const SweepAxis& axis : axes) {
+    ACES_CHECK_MSG(!axis.values.empty(),
+                   "sweep axis '" + axis.name + "' has no values");
+    n *= axis.values.size();
+  }
+  return n;
+}
+
+Variant ScenarioSpec::variant(std::uint32_t index) const {
+  ACES_CHECK_MSG(index < variant_count(), "variant index out of range");
+  ACES_CHECK(replicates > 0);
+  Variant v;
+  v.index = index;
+  v.seed = support::derive_stream(master_seed, index);
+  // Mixed-radix decode, last digit fastest: replicate first, then axes in
+  // reverse declaration order — so the first axis varies slowest.
+  std::size_t rest = index;
+  v.replicate = static_cast<std::uint32_t>(rest % replicates);
+  rest /= replicates;
+  v.params.resize(axes.size());
+  for (std::size_t k = axes.size(); k-- > 0;) {
+    const SweepAxis& axis = axes[k];
+    v.params[k] = {axis.name, axis.values[rest % axis.values.size()]};
+    rest /= axis.values.size();
+  }
+  return v;
+}
+
+std::vector<Variant> ScenarioSpec::expand() const {
+  const std::size_t n = variant_count();
+  std::vector<Variant> out;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.push_back(variant(static_cast<std::uint32_t>(k)));
+  }
+  return out;
+}
+
+}  // namespace aces::campaign

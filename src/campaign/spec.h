@@ -1,0 +1,135 @@
+// campaign::ScenarioSpec — a declarative Monte-Carlo campaign over vehicle
+// networks.
+//
+// One net::Network run is a single virtual vehicle; a campaign is the
+// production shape of the same experiment: a topology template swept over
+// declared axes (bit-error rates, bus load levels, gateway queue depths,
+// task-set mutations), expanded into seeded scenario variants that each
+// build an isolated Network, run to a horizon, and get judged against
+// declarative assertions — per-routed-path latencies versus their
+// sched::path_rta bounds, gateway overflow drops, bus-off events, deadline
+// misses.
+//
+// The contract that makes the batch a product is exact replay: a variant is
+// fully determined by the (spec, seed) pair. Seeds are derived from the
+// master seed with support::derive_stream (collision-free by construction),
+// the topology callback must be a pure function of the Variant, and every
+// stochastic element (the per-bus fault campaigns) draws from per-variant
+// Pcg32 streams — so CampaignRunner::replay reproduces any flagged variant
+// bit-identically, alone, on one thread.
+#ifndef ACES_CAMPAIGN_SPEC_H
+#define ACES_CAMPAIGN_SPEC_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/network.h"
+#include "sched/can_rta.h"
+
+namespace aces::campaign {
+
+// One swept parameter: a name and the discrete values it takes. A spec's
+// axes expand as a cartesian product in declaration order (the first axis
+// varies slowest), times `replicates` seeds per grid point.
+struct SweepAxis {
+  std::string name;
+  std::vector<double> values;
+};
+
+// One fully resolved scenario: the grid point plus its derived seed. What
+// the topology template, fault plans and bound callbacks see.
+struct Variant {
+  std::uint32_t index = 0;      // position in expansion order
+  std::uint64_t seed = 0;       // support::derive_stream(master_seed, index)
+  std::uint32_t replicate = 0;  // replicate number at this grid point
+  // Axis values in axis declaration order.
+  std::vector<std::pair<std::string, double>> params;
+
+  // The resolved value of `axis` (checked: unknown axes are spec bugs).
+  [[nodiscard]] double param(std::string_view axis) const;
+  [[nodiscard]] sim::SimTime param_ns(std::string_view axis) const {
+    return static_cast<sim::SimTime>(param(axis));
+  }
+};
+
+// Declarative per-bus bit-error campaign. The runner installs a
+// can::make_seeded_error_model on the bus with a stream derived from the
+// variant seed, and feeds the same T_error into every analyzed path hop
+// tagged with this bus (sched::PathHop::bus), keeping simulation and
+// analysis on one hypothesis.
+struct FaultPlan {
+  net::BusId bus = -1;
+  // T_error in ns: fixed, or resolved from an axis per variant (the axis
+  // wins when named). 0 disables the plan for that variant — the idiom for
+  // sweeping from fault-free to aggressive campaigns on one axis.
+  std::string period_axis;
+  sim::SimTime period = 0;
+  double probability = 1.0;
+};
+
+// One routed path to measure and bound. The runner attaches a probe node
+// on `dst_bus` and records the queue-to-delivery latency (delivery instant
+// minus CanFrame::timestamp, the stamp gateways preserve) of every `dst_id`
+// frame into a per-variant distribution.
+struct PathSpec {
+  std::string name;
+  net::BusId dst_bus = -1;
+  std::uint32_t dst_id = 0;
+  // Analytic bound: the sched::path_rta hops for this path, built from the
+  // same variant parameters the topology used (sched::make_hop is the
+  // intended constructor; tag hops with their bus id so fault plans attach).
+  // Leave empty to measure without a bound.
+  std::function<std::vector<sched::PathHop>(const Variant&)> hops;
+};
+
+// Declarative pass/fail judgment per variant. A variant violating any
+// enabled assertion is flagged in the report with machine-readable reasons
+// and can be replayed from its (spec, seed) pair.
+struct Assertions {
+  // Measured path latency must stay within the path_rta bound whenever the
+  // analysis says schedulable (skipped for variants that drove a node to
+  // bus-off, whose recovery gap the analysis does not model); a variant
+  // whose bound itself is unschedulable is flagged as such.
+  bool path_bounds = true;
+  bool no_deadline_misses = true;
+  std::uint64_t max_overflow_drops = 0;  // gateway drops tolerated
+  std::uint64_t max_bus_off = 0;         // bus-off events tolerated
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::uint64_t master_seed = 1;
+  sim::SimTime horizon = sim::kSecond;
+
+  std::vector<SweepAxis> axes;
+  std::uint32_t replicates = 1;
+
+  // The topology template: a pure function of the variant (same variant ->
+  // same NetworkBuilder), so replay is exact. NetworkBuilder is a value —
+  // returning it materializes nothing.
+  std::function<net::NetworkBuilder(const Variant&)> topology;
+
+  std::vector<FaultPlan> faults;
+  std::vector<PathSpec> paths;
+  Assertions assertions;
+
+  // Optional extra per-variant setup on the built network (extra probes,
+  // ad-hoc traffic), run after fault models and path probes are installed
+  // and before the clock starts. Must be deterministic in the variant.
+  std::function<void(net::Network&, const Variant&)> configure;
+
+  // ----- expansion --------------------------------------------------------
+  [[nodiscard]] std::size_t variant_count() const;
+  // The index-th variant (checked), with its derived seed and resolved
+  // parameters.
+  [[nodiscard]] Variant variant(std::uint32_t index) const;
+  [[nodiscard]] std::vector<Variant> expand() const;
+};
+
+}  // namespace aces::campaign
+
+#endif  // ACES_CAMPAIGN_SPEC_H

@@ -315,4 +315,15 @@ void CanBus::arm_recovery(NodeId node) {
   });
 }
 
+void CanBus::reset_stats() {
+  stats_.clear();
+  fault_stats_ = FaultStats{};
+  busy_time_ = 0;
+  if (busy_) {
+    // An attempt is on the wire: charge only its post-reset share to the
+    // new window (tx_started_at_ is otherwise only read by utilization).
+    tx_started_at_ = queue_.now();
+  }
+}
+
 }  // namespace aces::can

@@ -157,6 +157,15 @@ class CanBus {
   };
   [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
 
+  // Clears every observer-facing counter — per-message stats, fault stats,
+  // accumulated busy time — without touching protocol state (pending
+  // queues, TEC/REC, recovery timers). A measurement window opened by
+  // reset_stats() counts exactly what happens after it: an attempt still
+  // on the wire contributes only its post-reset share to utilization().
+  // This is the reuse story for campaign workers sharing one topology
+  // across variants (tests/campaign_test.cpp pins the regression).
+  void reset_stats();
+
   // Fraction of `window` the wire carried bits (frames and error frames).
   // Busy time accrues when a transmission or error signal *completes*; an
   // attempt still on the wire contributes only its elapsed share, so a

@@ -112,4 +112,14 @@ void GatewayNode::on_tx_done(BusId to, const can::CanFrame& frame,
   d.worst_transit = std::max(d.worst_transit, at - t.ingress_at);
 }
 
+void GatewayNode::reset_stats() {
+  for (auto& [key, d] : directions_) {
+    const unsigned queued = d.queued;
+    d = DirectionStats{};
+    d.queued = queued;       // live state: frames still inside the gateway
+    d.peak_queued = queued;  // the new window's peak starts here
+  }
+  stats_ = Stats{};
+}
+
 }  // namespace aces::net

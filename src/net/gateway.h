@@ -101,6 +101,13 @@ class GatewayNode {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  // Clears the forwarding counters (per-direction and aggregate) without
+  // touching live state: frames currently inside the gateway stay queued
+  // and still deliver; `queued` is preserved and `peak_queued` restarts
+  // from it. Pairs with CanBus::reset_stats for fresh measurement windows
+  // on a reused topology.
+  void reset_stats();
+
  private:
   struct Port {
     can::CanBus* bus = nullptr;

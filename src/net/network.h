@@ -143,6 +143,7 @@ class Network {
   // Typed accessors (checked): the fidelity-specific surfaces.
   [[nodiscard]] IssEcuNode& iss(EcuId id);
   [[nodiscard]] ModelEcuNode& model(EcuId id);
+  [[nodiscard]] std::size_t gateway_count() const { return gateways_.size(); }
   [[nodiscard]] GatewayNode& gateway(GatewayId id) {
     return *gateways_[static_cast<std::size_t>(id)];
   }

@@ -233,4 +233,26 @@ PathRtaResult path_rta(const std::vector<PathHop>& hops, SimTime deadline) {
   return out;
 }
 
+PathHop make_hop(std::vector<CanMessage> messages, std::uint32_t id,
+                 std::uint32_t bitrate_bps, SimTime gateway_latency,
+                 const CanErrorModel& errors, int bus) {
+  PathHop hop;
+  hop.messages = std::move(messages);
+  hop.bitrate_bps = bitrate_bps;
+  hop.gateway_latency = gateway_latency;
+  hop.errors = errors;
+  hop.bus = bus;
+  std::size_t found = 0;
+  for (std::size_t k = 0; k < hop.messages.size(); ++k) {
+    if (hop.messages[k].id == id) {
+      hop.message = k;
+      ++found;
+    }
+  }
+  ACES_CHECK_MSG(found == 1,
+                 "make_hop: the analyzed identifier must appear exactly "
+                 "once in the hop's message set");
+  return hop;
+}
+
 }  // namespace aces::sched

@@ -91,7 +91,20 @@ struct PathHop {
   CanErrorModel errors;               // this hop's fault hypothesis
   sim::SimTime gateway_latency = 0;   // store-and-forward delay charged on
                                       // entry to this hop (0 for the source)
+  // Opaque caller tag identifying which physical bus this hop crosses
+  // (e.g. a net::BusId). The analysis ignores it; cross-layer tooling —
+  // the campaign engine matching per-bus fault plans onto hops — keys on
+  // it. -1 = untagged.
+  int bus = -1;
 };
+
+// Builds one PathHop, locating the analyzed message by identifier (checked:
+// the id must be present in `messages` exactly once).
+[[nodiscard]] PathHop make_hop(std::vector<CanMessage> messages,
+                               std::uint32_t id, std::uint32_t bitrate_bps,
+                               sim::SimTime gateway_latency = 0,
+                               const CanErrorModel& errors = {},
+                               int bus = -1);
 
 struct PathRtaResult {
   // Operative verdict (fault hypotheses applied where hops declare them)

@@ -87,4 +87,14 @@ void Simulation::run_until(SimTime horizon) {
   }
 }
 
+void Simulation::reset_stats() {
+  stats_.events_executed = 0;
+  stats_.slices = 0;
+  stats_.idle_jumps = 0;
+  for (ParticipantStats& ps : stats_.participants) {
+    ps.slices = 0;
+    ps.idle_windows = 0;
+  }
+}
+
 }  // namespace aces::sim

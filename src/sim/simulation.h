@@ -125,6 +125,11 @@ class Simulation {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  // Zeroes every scheduler counter (global and per-participant) while
+  // keeping the participant roster; the next run_until counts a fresh
+  // measurement window.
+  void reset_stats();
+
  private:
   EventQueue queue_;
   SimTime quantum_;

@@ -2,25 +2,16 @@
 
 #include <bit>
 
+#include "support/splitmix.h"
+
 namespace aces::support {
 
-namespace {
-
-// splitmix64: seeds the xoshiro state from a single 64-bit value.
-std::uint64_t splitmix64(std::uint64_t& x) noexcept {
-  x += 0x9E37'79B9'7F4A'7C15ull;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xBF58'476D'1CE4'E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D0'49BB'1331'11EBull;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
-
 Rng256::Rng256(std::uint64_t seed) noexcept {
-  std::uint64_t x = seed;
+  // splitmix64 seeds the xoshiro state from a single 64-bit value — the
+  // same derivation campaign seed streams use (support/splitmix.h).
+  SplitMix64 sm(seed);
   for (auto& s : s_) {
-    s = splitmix64(x);
+    s = sm.next();
   }
   // All-zero state is the one invalid state; seed==0 cannot produce it via
   // splitmix64, but guard anyway.

@@ -1,0 +1,119 @@
+// Seed derivation and small per-stream generators for batch campaigns.
+//
+// A Monte-Carlo campaign needs one master seed to expand into thousands of
+// per-variant random streams that are (a) collision-free — two variants
+// must never share a stream — and (b) independent — adjacent seeds must
+// not produce correlated draws. Both utilities here are tiny, allocation-
+// free and bit-identical across platforms:
+//
+//   SplitMix64     Steele/Lea/Flood's splitmix64. Its state update is a
+//                  fixed odd increment (a Weyl sequence) and its output is
+//                  a bijective finalizer of the state, so mix(s) is a
+//                  64-bit permutation: distinct states give distinct
+//                  outputs. derive_stream(master, k) exploits exactly
+//                  that — for one master seed, every stream index k maps
+//                  to a unique 64-bit stream seed, by construction (no
+//                  birthday collisions, nothing to test at runtime).
+//
+//   Pcg32          O'Neill's PCG-XSH-RR 32-bit generator. Chosen for the
+//                  per-variant streams because its increment parameter
+//                  selects one of 2^63 provably distinct sequences, so a
+//                  variant can cheaply split sub-streams (one per bus,
+//                  per fault plan, ...) that never overlap.
+//
+// support::Rng256 (rng.h) remains the general-purpose generator for
+// long-lived single-run simulations; it seeds itself through SplitMix64.
+#ifndef ACES_SUPPORT_SPLITMIX_H
+#define ACES_SUPPORT_SPLITMIX_H
+
+#include <bit>
+#include <cstdint>
+
+namespace aces::support {
+
+class SplitMix64 {
+ public:
+  // The Weyl increment (golden-ratio constant) and the finalizer from the
+  // reference implementation.
+  static constexpr std::uint64_t kGamma = 0x9E37'79B9'7F4A'7C15ull;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  // The output finalizer alone: a bijection on 64-bit values.
+  [[nodiscard]] static constexpr std::uint64_t mix(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xBF58'476D'1CE4'E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D0'49BB'1331'11EBull;
+    return z ^ (z >> 31);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t next() noexcept {
+    state_ += kGamma;
+    return mix(state_);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// The k-th stream seed of `master`: the k+1-th splitmix64 output of a
+// generator seeded with `master`. For a fixed master this is injective in
+// `index` (Weyl step then bijective mix), so per-variant streams are
+// collision-free by construction; changing the master permutes everything.
+[[nodiscard]] constexpr std::uint64_t derive_stream(
+    std::uint64_t master, std::uint64_t index) noexcept {
+  return SplitMix64::mix(master + (index + 1) * SplitMix64::kGamma);
+}
+
+// PCG-XSH-RR (pcg32): 64-bit LCG state, 32-bit output via xorshift-high +
+// random rotate. `stream` selects the increment; distinct streams are
+// distinct sequences. Matches the reference pcg32 exactly (known-answer
+// tested in tests/support_test.cpp).
+class Pcg32 {
+ public:
+  explicit constexpr Pcg32(std::uint64_t seed,
+                           std::uint64_t stream = 0) noexcept
+      : state_(0), inc_((stream << 1) | 1u) {
+    (void)next_u32();
+    state_ += seed;
+    (void)next_u32();
+  }
+
+  [[nodiscard]] constexpr std::uint32_t next_u32() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    const auto rot = static_cast<unsigned>(old >> 59);
+    return std::rotr(xorshifted, static_cast<int>(rot));
+  }
+
+  // Uniform in [0, bound) via Lemire's multiply-shift; bound must be > 0.
+  [[nodiscard]] constexpr std::uint32_t below(std::uint32_t bound) noexcept {
+    const std::uint64_t m =
+        static_cast<std::uint64_t>(next_u32()) * bound;
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  // Uniform double in [0, 1), from the top 32 bits.
+  [[nodiscard]] constexpr double next_unit() noexcept {
+    return static_cast<double>(next_u32()) * 0x1.0p-32;
+  }
+
+  [[nodiscard]] constexpr bool chance(double p) noexcept {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    return next_unit() < p;
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace aces::support
+
+#endif  // ACES_SUPPORT_SPLITMIX_H

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "can/bit_error.h"
 #include "can/bus.h"
 #include "can/frame.h"
 #include "sched/can_rta.h"
@@ -326,24 +327,13 @@ TEST(CanFault, FaultedRtaDominatesSimulatedBusUnderInjectedErrors) {
   (void)bus.attach_node("rx");
 
   // Seeded campaign: a coin flip per eligible attempt, corrupting a
-  // uniformly chosen wire bit. `next_allowed` spaces the *error instants*
-  // at least T_error apart: the previous error happened no later than
-  // its attempt start + the longest frame.
-  SimTime max_c = 0;
-  for (const auto& m : msgs) {
-    max_c = std::max<SimTime>(
-        max_c, bus.bit_time() * worst_case_wire_bits(m.dlc, m.extended));
-  }
-  support::Rng256 rng(97);
-  SimTime next_allowed = 0;
-  bus.set_bit_error_model(
-      [&](const CanFrame& f, NodeId, SimTime now) -> int {
-        if (now < next_allowed || !rng.chance(0.6)) {
-          return -1;
-        }
-        next_allowed = now + t_error + max_c;
-        return static_cast<int>(rng.next_below(exact_wire_bits(f)));
-      });
+  // uniformly chosen wire bit, with the *error instants* spaced at least
+  // T_error apart — the shared seeded model campaign runs use.
+  SeededErrorCampaign campaign;
+  campaign.min_interarrival = t_error;
+  campaign.probability = 0.6;
+  campaign.seed = 97;
+  bus.set_bit_error_model(make_seeded_error_model(bus, campaign));
 
   for (const sched::CanMessage& m : msgs) {
     q.schedule_every(m.period, [&bus, m, tx]() {

@@ -5,6 +5,7 @@
 #include "support/bits.h"
 #include "support/fixed.h"
 #include "support/rng.h"
+#include "support/splitmix.h"
 
 namespace aces::support {
 namespace {
@@ -161,6 +162,81 @@ TEST(Fixed, Clamp) {
   EXPECT_EQ(clamp_i32(-5, 0, 10), 0);
   EXPECT_EQ(clamp_i32(50, 0, 10), 10);
   EXPECT_EQ(clamp_i32(std::int64_t{1} << 40, 0, 100), 100);
+}
+
+
+// ----- splitmix / pcg32 (campaign seed derivation) ---------------------------
+
+TEST(SplitMix, KnownFinalizerBijectionDerivesUniqueStreams) {
+  // 10k variant indices from one master seed: all distinct (injective by
+  // construction — Weyl step then bijective mix), and different masters
+  // give disjoint-looking sets.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t k = 0; k < 10'000; ++k) {
+    seen.insert(derive_stream(0xDEADBEEFull, k));
+  }
+  EXPECT_EQ(seen.size(), 10'000u);
+  EXPECT_NE(derive_stream(1, 0), derive_stream(2, 0));
+  // Matches the k+1-th output of a SplitMix64 seeded with the master.
+  SplitMix64 sm(0xDEADBEEFull);
+  EXPECT_EQ(sm.next(), derive_stream(0xDEADBEEFull, 0));
+  EXPECT_EQ(sm.next(), derive_stream(0xDEADBEEFull, 1));
+}
+
+TEST(Pcg32, MatchesReferenceKnownAnswers) {
+  // pcg32_srandom(42, 54) from the PCG reference implementation.
+  Pcg32 g(42, 54);
+  EXPECT_EQ(g.next_u32(), 0xa15c02b7u);
+  EXPECT_EQ(g.next_u32(), 0x7b47f409u);
+  EXPECT_EQ(g.next_u32(), 0xba1d3330u);
+  EXPECT_EQ(g.next_u32(), 0x83d2f293u);
+  EXPECT_EQ(g.next_u32(), 0xbfa4784bu);
+  EXPECT_EQ(g.next_u32(), 0xcbed606eu);
+}
+
+TEST(Pcg32, StreamsAreIndependentSequences) {
+  // Same seed, different stream selectors: no shared prefix, and the
+  // draws stay decorrelated over a long window (distinct multisets).
+  Pcg32 a(7, 1);
+  Pcg32 b(7, 2);
+  int equal = 0;
+  for (int k = 0; k < 1000; ++k) {
+    equal += a.next_u32() == b.next_u32() ? 1 : 0;
+  }
+  EXPECT_LE(equal, 2);  // coincidences only, never lockstep
+  // Determinism: the same (seed, stream) replays exactly.
+  Pcg32 c(7, 1), d(7, 1);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(c.next_u32(), d.next_u32());
+  }
+}
+
+TEST(Pcg32, BoundedDrawsRespectBounds) {
+  Pcg32 g(99, 3);
+  std::set<std::uint32_t> values;
+  for (int k = 0; k < 2000; ++k) {
+    const std::uint32_t v = g.below(10);
+    EXPECT_LT(v, 10u);
+    values.insert(v);
+  }
+  EXPECT_EQ(values.size(), 10u);  // covers the range
+  for (int k = 0; k < 100; ++k) {
+    const double u = g.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_FALSE(g.chance(0.0));
+  EXPECT_TRUE(g.chance(1.0));
+}
+
+TEST(Rng, SeedSequenceUnchangedBySplitMixMigration) {
+  // Rng256 now seeds its xoshiro256** state through support::SplitMix64
+  // (previously an inline copy of the same algorithm). The migration must
+  // be invisible: pin the first draws of a known seed so any drift in the
+  // shared derivation path fails loudly.
+  Rng256 g(42);
+  EXPECT_EQ(g.next_u64(), 0x15780b2e0c2ec716ull);
+  EXPECT_EQ(g.next_u64(), 0x6104d9866d113a7eull);
 }
 
 }  // namespace
