@@ -7,8 +7,10 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "net/flexray_fabric.h"
 #include "sched/can_rta.h"
 #include "sched/flexray.h"
+#include "sim/simulation.h"
 
 using namespace aces;
 using namespace aces::bench;
@@ -31,18 +33,22 @@ int main() {
   };
   const sched::CanRtaResult can_bound = sched::can_rta(msgs, 250'000);
 
-  sched::FlexrayConfig cfg;
-  cfg.cycle_length = 5 * kMillisecond;
-  cfg.static_slots = 12;
-  cfg.slot_length = 100 * kMicrosecond;
+  // The schedule is built and owned by the fabric (net::FlexrayFabric) —
+  // the same construction the simulated static segment replays, so the
+  // figures below are exactly what the wire would carry.
+  sim::Simulation sim;
+  net::FlexrayFabricConfig cfg;
+  cfg.static_cfg.cycle_length = 5 * kMillisecond;
+  cfg.static_cfg.static_slots = 12;
+  cfg.static_cfg.slot_length = 100 * kMicrosecond;
+  net::FlexrayFabric fabric(sim, cfg);
   std::vector<sched::FlexrayFrame> frames;
   for (std::size_t k = 0; k < msgs.size(); ++k) {
     frames.push_back(sched::FlexrayFrame{
         msgs[k].name, static_cast<int>(k % 4), msgs[k].period});
   }
-  const sched::FlexraySchedule schedule =
-      sched::build_static_schedule(cfg, frames);
-  ACES_CHECK(schedule.feasible);
+  fabric.assign_static(frames);  // checked feasible
+  const sched::FlexraySchedule& schedule = fabric.static_schedule();
 
   std::printf("%-16s %10s %14s %14s %8s\n", "message", "period",
               "CAN bound", "FlexRay bound", "slot/rep");

@@ -1,0 +1,618 @@
+// Zonal E/E architecture: heterogeneous fabrics bridged by translating
+// gateways.
+//
+// Two legacy zone buses (classic CAN, 125 kbps) feed a CAN FD backbone
+// (500 kbps arbitration / 2 Mbps data phase) through signal-packing
+// gateways; a FlexRay chassis fabric (10 Mbps, static TDMA + minislot
+// dynamic segment) hangs off the backbone through a third gateway:
+//
+//      front 125k (classic)                 rear 125k (classic)
+//   fl fr brake lights park fbody       rl rr brake trailer rpark rbody
+//   fzc(ISS 8MHz)                       rzc(ISS 8MHz)
+//        |                                   |
+//    gw_front == pack/unpack ==    ===== gw_rear == pack + fd translate
+//        |                                   |
+//        +------ backbone 500k/2M (CAN FD) --+
+//        |   adas_cmd adas_stat telem infotain cockpit datalog
+//    gw_chassis == pack to FlexRay / unpack from FlexRay ==
+//        |
+//      chassis FlexRay 10M: 8 static slots + 60 minislots
+//        static: damper/level/height     dynamic: axle_agg, susp
+//
+// Translating routes exercised end to end (every emitted frame keeps the
+// origin timestamp of the frame that triggered it):
+//   P1 front_agg   4 classic front frames pack into one 12-byte FD frame
+//   P2 adas_cmd    one 12-byte FD frame unpacks into 2 classic commands
+//   P3 axle        rear brake -> FD rear_agg -> packed into a FlexRay
+//                  dynamic frame (3 fabrics, 2 translations)
+//   P4 adas_stat   FD frame demoted to classic framing for the rear bus
+//   P5 susp        FlexRay dynamic frame unpacked onto the backbone
+//   P6 trailer     classic rear frame promoted to FD framing
+//
+// Each path's measured worst end-to-end latency is checked against
+// sched::path_rta with per-fabric hop plugins (CAN/CAN FD hops analyzed
+// by can_rta, the FlexRay hops by the minislot bound) — fault-free AND
+// under a seeded bit-error campaign on both legacy buses, where the
+// legacy hops carry the matching fault hypothesis. Both scenarios run
+// twice and must be bit-identical.
+//
+//   $ ./examples/zonal_network
+#include <cstdarg>
+#include <cstdio>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "can/bit_error.h"
+#include "can/bus.h"
+#include "can/controller.h"
+#include "cpu/profiles.h"
+#include "guest_util.h"
+#include "isa/assembler.h"
+#include "net/network.h"
+#include "sched/can_rta.h"
+
+using namespace aces;
+using namespace aces::isa;
+using sim::kMicrosecond;
+using sim::kMillisecond;
+using sim::SimTime;
+using Ctl = can::CanController;
+
+namespace {
+
+// ----- identifiers ----------------------------------------------------------
+// front zone (classic)
+constexpr std::uint32_t kFlWheelId = 0x100;
+constexpr std::uint32_t kFrWheelId = 0x101;
+constexpr std::uint32_t kFBrakeId = 0x108;   // packing trigger
+constexpr std::uint32_t kFLightsId = 0x120;
+constexpr std::uint32_t kFParkId = 0x130;
+constexpr std::uint32_t kCmdAId = 0x140;     // unpacked from adas_cmd
+constexpr std::uint32_t kCmdBId = 0x141;     // unpacked from adas_cmd
+constexpr std::uint32_t kFzcReplyId = 0x148; // fzc ISS answer to kCmdBId
+// rear zone (classic)
+constexpr std::uint32_t kRlWheelId = 0x110;
+constexpr std::uint32_t kRrWheelId = 0x111;
+constexpr std::uint32_t kRBrakeId = 0x118;   // packing trigger
+constexpr std::uint32_t kRzcAckId = 0x119;   // rzc ISS answer to kRBrakeId
+constexpr std::uint32_t kTrailerId = 0x128;  // promoted to FD on backbone
+constexpr std::uint32_t kRParkId = 0x131;
+// backbone (CAN FD)
+constexpr std::uint32_t kAdasStatId = 0x085; // FD, demoted onto rear
+constexpr std::uint32_t kAdasCmdId = 0x090;  // FD, unpacked onto front
+constexpr std::uint32_t kFrontAggId = 0x0A0; // packed front zone state
+constexpr std::uint32_t kRearAggId = 0x0B0;  // packed rear zone state
+constexpr std::uint32_t kTelemId = 0x320;
+constexpr std::uint32_t kSuspId = 0x330;     // unpacked from FlexRay
+constexpr std::uint32_t kInfotainId = 0x340;
+// FlexRay dynamic slot ids
+constexpr unsigned kAxleSlot = 1;  // gw_chassis aggregate, 24 bytes
+constexpr unsigned kSuspSlot = 2;  // suspension sensor, 8 bytes
+
+constexpr std::uint32_t kCount = cpu::kSramBase + 0x100;
+constexpr unsigned kRxLine = 1;
+constexpr SimTime kGwLatency = 200 * kMicrosecond;
+constexpr SimTime kHorizon = 2 * sim::kSecond;
+// Seeded campaign hypothesis: at most one injected bit error per kTError
+// per legacy bus. Aggressive enough to force visible retransmission tails,
+// gentle enough that no node reaches bus-off inside the horizon — the
+// Tindell error term models retransmission, not the 128x11-bit recovery
+// gap (11.3 ms at 125 kbps), so a bus-off voids the bound (the campaign
+// runner has the same skip rule).
+constexpr SimTime kTError = 10 * kMillisecond;
+// End-to-end budget for paths ending on (or starting from) the chassis
+// fabric: a FlexRay dynamic frame alone costs up to a full cycle plus the
+// static segment, so cross-fabric chassis paths get a 20 ms budget.
+constexpr SimTime kDynDeadline = 20 * kMillisecond;
+
+net::GuestProgram relay_program(std::uint32_t match_id,
+                                std::uint32_t reply_id) {
+  Assembler a(Encoding::b32, cpu::kFlashBase);
+  const Label entry = examples::emit_idle_loop(a, /*wfi=*/true);
+  const Label isr =
+      examples::emit_relay_isr(a, match_id, reply_id, /*mask=*/0, kCount);
+  net::GuestProgram p;
+  p.image = a.assemble();
+  p.entry = a.label_address(entry);
+  p.handlers.push_back({kRxLine, a.label_address(isr), 32});
+  return p;
+}
+
+net::ModelTask publisher(const char* task, int prio, SimTime exec,
+                         SimTime period, std::uint32_t id, unsigned dlc,
+                         bool fd = false) {
+  net::ModelTask t;
+  t.name = task;
+  t.priority = prio;
+  t.exec = exec;
+  t.period = period;
+  can::CanFrame f;
+  f.id = id;
+  f.dlc = dlc;
+  f.fd = fd;
+  t.tx = f;
+  return t;
+}
+
+net::ModelTask consumer(const char* task, int prio, SimTime exec,
+                        std::uint32_t rx_id) {
+  net::ModelTask t;
+  t.name = task;
+  t.priority = prio;
+  t.exec = exec;
+  t.activate_on_rx = rx_id;
+  return t;
+}
+
+struct E2e {
+  SimTime worst = 0;
+  std::uint64_t heard = 0;
+};
+
+struct Report {
+  std::string text;       // printed + compared for bit-identity
+  std::uint64_t checks = 0;
+};
+
+void line(Report& r, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  r.text += buf;
+  r.text += '\n';
+}
+
+Report run_scenario(bool faulted) {
+  Report rep;
+
+  // ===== topology =======================================================
+  net::NetworkBuilder nb;
+  const net::BusId front = nb.bus("front", 125'000);
+  const net::BusId rear = nb.bus("rear", 125'000);
+  const net::BusId bb = nb.bus("backbone", 500'000, 2'000'000);
+  net::FlexrayFabricConfig fc;
+  fc.static_cfg.cycle_length = 5 * kMillisecond;
+  fc.static_cfg.static_slots = 8;
+  fc.static_cfg.slot_length = 50 * kMicrosecond;
+  fc.minislots = 60;
+  fc.minislot = 10 * kMicrosecond;
+  const net::BusId chassis = nb.flexray("chassis", fc);
+  nb.flexray_static(chassis, {{"damper", 0, 5 * kMillisecond},
+                              {"level", 1, 10 * kMillisecond},
+                              {"height", 2, 20 * kMillisecond}});
+
+  Ctl::Config cc;
+  cc.rx_line = kRxLine;
+
+  // --- front zone: 6 kernel-model ECUs + 1 ISS zone controller ---------
+  const net::EcuId f_brake = nb.ecu(
+      front, "f_brake", {publisher("brake_acq", 8, 500 * kMicrosecond,
+                                   10 * kMillisecond, kFBrakeId, 4)});
+  nb.ecu(front, "fl_wheel", {publisher("fl_acq", 7, 500 * kMicrosecond,
+                                       10 * kMillisecond, kFlWheelId, 2)});
+  nb.ecu(front, "fr_wheel", {publisher("fr_acq", 7, 500 * kMicrosecond,
+                                       10 * kMillisecond, kFrWheelId, 2)});
+  nb.ecu(front, "f_lights", {publisher("light_ctl", 5, kMillisecond,
+                                       50 * kMillisecond, kFLightsId, 4)});
+  nb.ecu(front, "f_park", {publisher("park_aid", 4, 2 * kMillisecond,
+                                     100 * kMillisecond, kFParkId, 2)});
+  const net::EcuId f_body = nb.ecu(
+      front, "f_body", {consumer("cmd_apply", 6, kMillisecond, kCmdAId)});
+  const net::EcuId fzc = nb.ecu(
+      front,
+      cpu::profiles::modern_mcu().name("fzc").clock_hz(8'000'000)
+          .flash_size(32 * 1024),
+      relay_program(kCmdBId, kFzcReplyId), cc);
+
+  // --- rear zone: 6 kernel-model ECUs + 1 ISS zone controller ----------
+  const net::EcuId r_brake = nb.ecu(
+      rear, "r_brake", {publisher("brake_acq", 8, 500 * kMicrosecond,
+                                  10 * kMillisecond, kRBrakeId, 4)});
+  nb.ecu(rear, "rl_wheel", {publisher("rl_acq", 7, 500 * kMicrosecond,
+                                      10 * kMillisecond, kRlWheelId, 2)});
+  nb.ecu(rear, "rr_wheel", {publisher("rr_acq", 7, 500 * kMicrosecond,
+                                      10 * kMillisecond, kRrWheelId, 2)});
+  nb.ecu(rear, "trailer", {publisher("hitch_mon", 5, kMillisecond,
+                                  20 * kMillisecond, kTrailerId, 2)});
+  nb.ecu(rear, "r_park", {publisher("park_aid", 4, 2 * kMillisecond,
+                                    100 * kMillisecond, kRParkId, 2)});
+  const net::EcuId r_body = nb.ecu(
+      rear, "r_body", {consumer("stat_apply", 6, kMillisecond, kAdasStatId)});
+  const net::EcuId rzc = nb.ecu(
+      rear,
+      cpu::profiles::modern_mcu().name("rzc").clock_hz(8'000'000)
+          .flash_size(32 * 1024),
+      relay_program(kRBrakeId, kRzcAckId), cc);
+
+  // --- CAN FD backbone: 6 kernel-model ECUs ----------------------------
+  nb.ecu(bb, "adas", {publisher("cmd_plan", 8, 2 * kMillisecond,
+                             20 * kMillisecond, kAdasCmdId, 9, true)});
+  nb.ecu(bb, "adas_mon", {publisher("stat_pub", 7, 2 * kMillisecond,
+                                    20 * kMillisecond, kAdasStatId, 8,
+                                    true)});
+  nb.ecu(bb, "telem", {publisher("telem_pub", 5, 2 * kMillisecond,
+                                 50 * kMillisecond, kTelemId, 10, true)});
+  nb.ecu(bb, "infotain", {publisher("media", 3, 2 * kMillisecond,
+                                    20 * kMillisecond, kInfotainId, 12,
+                                    true)});
+  const net::EcuId cockpit = nb.ecu(
+      bb, "cockpit", {consumer("zone_disp", 6, kMillisecond, kFrontAggId)});
+  const net::EcuId datalog = nb.ecu(
+      bb, "datalog", {consumer("susp_log", 4, kMillisecond, kSuspId)});
+
+  // --- translating gateways --------------------------------------------
+  net::GatewayConfig gc;
+  gc.forwarding_latency = kGwLatency;
+  gc.queue_depth = 8;
+  const net::GatewayId gwf = nb.gateway("gw_front", gc);
+  const net::GatewayId gwr = nb.gateway("gw_rear", gc);
+  const net::GatewayId gwc = nb.gateway("gw_chassis", gc);
+
+  // P1: four classic front frames -> one 12-byte FD frame (trigger: brake).
+  net::PackedRoute pf;
+  pf.from = front;
+  pf.to = bb;
+  pf.table = {{kFlWheelId, 0, 2}, {kFrWheelId, 2, 2}, {kFBrakeId, 4, 4}};
+  pf.trigger_id = kFBrakeId;
+  pf.egress_id = kFrontAggId;
+  pf.egress_fd = true;
+  pf.egress_dlc = 9;  // DLC code 9 = 12 bytes
+  nb.packed_route(gwf, pf);
+  // P2: adas_cmd FD frame -> two classic zone commands.
+  net::UnpackRoute uf;
+  uf.from = bb;
+  uf.to = front;
+  uf.match_id = kAdasCmdId;
+  uf.table = {{kCmdAId, false, 4, 0}, {kCmdBId, false, 4, 4}};
+  nb.unpack_route(gwf, uf);
+  // P3 (first translation): rear mirror of P1.
+  net::PackedRoute pr;
+  pr.from = rear;
+  pr.to = bb;
+  pr.table = {{kRlWheelId, 0, 2}, {kRrWheelId, 2, 2}, {kRBrakeId, 4, 4}};
+  pr.trigger_id = kRBrakeId;
+  pr.egress_id = kRearAggId;
+  pr.egress_fd = true;
+  pr.egress_dlc = 9;
+  nb.packed_route(gwr, pr);
+  // P4: FD status demoted to classic framing for the legacy rear bus.
+  net::Route demote;
+  demote.from = bb;
+  demote.to = rear;
+  demote.match = kAdasStatId;
+  demote.fd = false;
+  nb.route(gwr, demote);
+  // P6: classic trailer frame promoted to FD framing on the backbone.
+  net::Route promote;
+  promote.from = rear;
+  promote.to = bb;
+  promote.match = kTrailerId;
+  promote.fd = true;
+  nb.route(gwr, promote);
+  // P3 (second translation): both zone aggregates pack into one 24-byte
+  // FlexRay dynamic frame (trigger: the rear aggregate).
+  net::PackedRoute pc;
+  pc.from = bb;
+  pc.to = chassis;
+  pc.table = {{kFrontAggId, 0, 12}, {kRearAggId, 12, 12}};
+  pc.trigger_id = kRearAggId;
+  nb.packed_route_flexray(gwc, pc, "axle_agg", kAxleSlot);
+
+  net::Network net = nb.build();
+
+  // --- chassis suspension sensor: a raw FlexRay node wired through the
+  // gateway API (P5), showing the non-builder surface -------------------
+  net::FlexrayFabric& fr = net.flexray(chassis);
+  const auto sensor = fr.attach_node("susp_sensor");
+  const auto susp_dyn = fr.add_dynamic_frame(sensor, "susp", kSuspSlot, 8);
+  net.simulation().schedule_every(
+      10 * kMillisecond, [&fr, susp_dyn] {
+        net::FlexrayFabric::DynPayload p;
+        p.bytes = 8;
+        fr.send_dynamic(susp_dyn, p);  // stamped at the queue instant
+      });
+  net::UnpackRoute uc;
+  uc.from = chassis;
+  uc.to = bb;
+  uc.match_dyn = susp_dyn;
+  uc.table = {{kSuspId, false, 8, 0}};
+  net.gateway(gwc).add_unpack_route(uc);
+
+  // ===== probes =========================================================
+  std::map<std::uint32_t, E2e> e2e;
+  const auto probe = [&net, &e2e](net::BusId bus_id, std::uint32_t id) {
+    const can::NodeId node =
+        net.bus(bus_id).attach_node("probe:" + net.bus_name(bus_id));
+    net.bus(bus_id).subscribe(
+        node, [&e2e, id](const can::CanFrame& f, SimTime at) {
+          if (f.id != id) {
+            return;
+          }
+          E2e& p = e2e[id];
+          ++p.heard;
+          p.worst = std::max(p.worst, at - f.timestamp);
+        });
+  };
+  probe(bb, kFrontAggId);   // P1
+  probe(front, kCmdAId);    // P2
+  probe(rear, kAdasStatId); // P4
+  probe(bb, kSuspId);       // P5
+  probe(bb, kTrailerId);    // P6
+  E2e axle;  // P3, delivered on the FlexRay fabric
+  const auto fr_probe = fr.attach_node("probe:chassis");
+  fr.subscribe(fr_probe, [&axle](const net::FlexrayFabric::DynFrameInfo& i,
+                                 const net::FlexrayFabric::DynPayload& p,
+                                 SimTime at) {
+    if (i.slot_id == kAxleSlot) {
+      ++axle.heard;
+      axle.worst = std::max(axle.worst, at - p.timestamp);
+    }
+  });
+
+  // ===== seeded bit-error campaign on the legacy buses ==================
+  if (faulted) {
+    can::SeededErrorCampaign cfg;
+    cfg.min_interarrival = kTError;
+    cfg.probability = 0.15;
+    cfg.seed = 777;
+    cfg.stream = 1;
+    net.bus(front).set_bit_error_model(
+        can::make_seeded_error_model(net.bus(front), cfg));
+    cfg.stream = 2;
+    net.bus(rear).set_bit_error_model(
+        can::make_seeded_error_model(net.bus(rear), cfg));
+  }
+
+  net.run_until(kHorizon);
+
+  // ===== analysis: cross-fabric path_rta ================================
+  // Every publisher is a single-task kernel (J = 0 at the source); routed
+  // interferers carry their inherited jitter (upstream bound + gateway
+  // latency), derived in dependency order. Legacy hops carry the seeded
+  // campaign's fault hypothesis in the faulted scenario.
+  using sched::CanMessage;
+  const sched::CanErrorModel legacy_err =
+      faulted ? sched::CanErrorModel{kTError} : sched::CanErrorModel{};
+
+  const auto front_set = [](SimTime j_cmd) -> std::vector<CanMessage> {
+    return {
+        {"fl", kFlWheelId, 2, 10 * kMillisecond, 0, 0},
+        {"fr", kFrWheelId, 2, 10 * kMillisecond, 0, 0},
+        {"brake", kFBrakeId, 4, 10 * kMillisecond, 0, 0},
+        {"lights", kFLightsId, 4, 50 * kMillisecond, 0, 0},
+        {"park", kFParkId, 2, 100 * kMillisecond, 0, 0},
+        {"cmd_a", kCmdAId, 4, 20 * kMillisecond, 0, j_cmd},
+        {"cmd_b", kCmdBId, 4, 20 * kMillisecond, 0, j_cmd},
+        {"fzc", kFzcReplyId, 4, 20 * kMillisecond, 0, j_cmd},
+    };
+  };
+  const auto rear_set = [](SimTime j_stat,
+                           SimTime j_ack) -> std::vector<CanMessage> {
+    return {
+        {"stat", kAdasStatId, 8, 20 * kMillisecond, 0, j_stat},
+        {"rl", kRlWheelId, 2, 10 * kMillisecond, 0, 0},
+        {"rr", kRrWheelId, 2, 10 * kMillisecond, 0, 0},
+        {"brake", kRBrakeId, 4, 10 * kMillisecond, 0, 0},
+        {"ack", kRzcAckId, 4, 10 * kMillisecond, 0, j_ack},
+        {"trailer", kTrailerId, 2, 20 * kMillisecond, 0, 0},
+        {"rpark", kRParkId, 2, 100 * kMillisecond, 0, 0},
+    };
+  };
+  // On the backbone the trailer frame is FD (the gateway promotes it) and
+  // the unpacked susp frame is classic — formats exactly as simulated.
+  const auto bb_set = [](SimTime j_a0, SimTime j_b0, SimTime j_128,
+                         SimTime j_330) -> std::vector<CanMessage> {
+    return {
+        {"adas_stat", kAdasStatId, 8, 20 * kMillisecond, 0, 0, false, true},
+        {"adas_cmd", kAdasCmdId, 9, 20 * kMillisecond, 0, 0, false, true},
+        {"front_agg", kFrontAggId, 9, 10 * kMillisecond, 0, j_a0, false,
+         true},
+        {"rear_agg", kRearAggId, 9, 10 * kMillisecond, 0, j_b0, false,
+         true},
+        {"trailer", kTrailerId, 2, 20 * kMillisecond, 0, j_128, false,
+         true},
+        {"telem", kTelemId, 10, 50 * kMillisecond, 0, 0, false, true},
+        {"susp", kSuspId, 8, 10 * kMillisecond, 0, j_330, false, false},
+        {"infotain", kInfotainId, 12, 20 * kMillisecond, 0, 0, false, true},
+    };
+  };
+
+  // P4 first: the demoted status outranks everything on rear, and its
+  // rear-leg bound feeds every later rear-hop set as inherited jitter.
+  const sched::PathRtaResult r_stat = sched::path_rta(
+      {sched::make_hop(bb_set(0, 0, 0, 0), kAdasStatId, 500'000, 0, {}, bb,
+                       2'000'000),
+       sched::make_hop(rear_set(0, 0), kAdasStatId, 125'000, kGwLatency,
+                       legacy_err, rear)});
+  const SimTime j_stat = r_stat.hop_response[0] + kGwLatency;
+  // P2: adas_cmd across the backbone, unpacked slice on front.
+  const sched::PathRtaResult r_cmd = sched::path_rta(
+      {sched::make_hop(bb_set(0, 0, 0, 0), kAdasCmdId, 500'000, 0, {}, bb,
+                       2'000'000),
+       sched::make_hop(front_set(0), kCmdAId, 125'000, kGwLatency,
+                       legacy_err, front)});
+  // P1: front brake -> packed FD aggregate on the backbone.
+  const sched::PathRtaResult r_fagg = sched::path_rta(
+      {sched::make_hop(front_set(0), kFBrakeId, 125'000, 0, legacy_err,
+                       front),
+       sched::make_hop(bb_set(0, 0, 0, 0), kFrontAggId, 500'000, kGwLatency,
+                       {}, bb, 2'000'000)});
+  const SimTime j_a0 = r_fagg.hop_response[0] + kGwLatency;
+  // P3: rear brake -> FD aggregate -> FlexRay dynamic frame (3 hops).
+  const sched::PathRtaResult r_axle = sched::path_rta(
+      {sched::make_hop(rear_set(j_stat, 0), kRBrakeId, 125'000, 0,
+                       legacy_err, rear),
+       sched::make_hop(bb_set(j_a0, 0, 0, 0), kRearAggId, 500'000,
+                       kGwLatency, {}, bb, 2'000'000),
+       fr.dynamic_hop(fr.dyn_by_slot(kAxleSlot), kDynDeadline, kGwLatency,
+                      chassis)});
+  const SimTime j_b0 = r_axle.hop_response[1] + kGwLatency;
+  // The rzc's brake ack releases when the brake frame delivers: its
+  // release jitter is the brake's rear-leg bound plus the ISR turnaround.
+  const SimTime j_ack = r_axle.hop_response[0] + kMillisecond;
+  // P6: trailer, promoted to FD on the backbone.
+  const sched::PathRtaResult r_trailer = sched::path_rta(
+      {sched::make_hop(rear_set(j_stat, j_ack), kTrailerId, 125'000, 0,
+                       legacy_err, rear),
+       sched::make_hop(bb_set(j_a0, j_b0, 0, 0), kTrailerId, 500'000,
+                       kGwLatency, {}, bb, 2'000'000)});
+  const SimTime j_128 = r_trailer.hop_response[0] + kGwLatency;
+  // P5: FlexRay suspension frame, unpacked onto the backbone.
+  const sched::PathRtaResult r_susp = sched::path_rta(
+      {fr.dynamic_hop(susp_dyn, kDynDeadline, 0, chassis),
+       sched::make_hop(bb_set(j_a0, j_b0, j_128, 0), kSuspId, 500'000,
+                       kGwLatency, {}, bb, 2'000'000)});
+
+  // ===== report + checks ================================================
+  line(rep, "scenario: %s", faulted ? "seeded bit errors on front+rear"
+                                    : "fault-free");
+  struct PathRow {
+    const char* name;
+    const E2e* p;
+    const sched::PathRtaResult* bound;
+  };
+  const PathRow rows[] = {
+      {"P1 front_agg  front->bb (pack->FD)", &e2e[kFrontAggId], &r_fagg},
+      {"P2 adas_cmd   bb->front (unpack)", &e2e[kCmdAId], &r_cmd},
+      {"P3 axle       rear->bb->chassis", &axle, &r_axle},
+      {"P4 adas_stat  bb->rear (demote)", &e2e[kAdasStatId], &r_stat},
+      {"P5 susp       chassis->bb (unpack)", &e2e[kSuspId], &r_susp},
+      {"P6 trailer    rear->bb (promote)", &e2e[kTrailerId], &r_trailer},
+  };
+  for (const PathRow& row : rows) {
+    line(rep, "%-36s %6llu frames  measured %8lldus <= bound %8lldus",
+         row.name, static_cast<unsigned long long>(row.p->heard),
+         static_cast<long long>(row.p->worst / 1000),
+         static_cast<long long>(row.bound->response / 1000));
+    ACES_CHECK_MSG(row.p->heard > 0, "routed path carried no frames");
+    ACES_CHECK_MSG(row.p->worst <= row.bound->response,
+                   std::string(row.name) + ": measured " +
+                       std::to_string(row.p->worst) + "ns > bound " +
+                       std::to_string(row.bound->response) + "ns");
+    ACES_CHECK_MSG(row.bound->schedulable, row.name);
+    ++rep.checks;
+  }
+  line(rep, "chassis: %llu cycles, %llu static slots played",
+       static_cast<unsigned long long>(fr.cycles_run()),
+       static_cast<unsigned long long>(fr.slots_played()));
+  for (const net::GatewayId g : {gwf, gwr, gwc}) {
+    const auto& st = net.gateway(g).stats();
+    line(rep, "%-10s forwarded %6llu delivered %6llu dropped %llu",
+         net.gateway(g).name().c_str(),
+         static_cast<unsigned long long>(st.frames_forwarded),
+         static_cast<unsigned long long>(st.frames_delivered),
+         static_cast<unsigned long long>(st.frames_dropped));
+  }
+  // Translation statistics: pack/unpack consumed and emitted exactly as
+  // the topology implies.
+  const auto& pfs = net.gateway(gwf).packed_stats(0);
+  const auto& ufs = net.gateway(gwf).unpack_stats(0);
+  const auto& pcs = net.gateway(gwc).packed_stats(0);
+  const auto& ucs = net.gateway(gwc).unpack_stats(0);
+  line(rep,
+       "gw_front pack: %llu updates -> %llu agg; unpack: %llu big -> %llu "
+       "slices",
+       static_cast<unsigned long long>(pfs.updates),
+       static_cast<unsigned long long>(pfs.emitted),
+       static_cast<unsigned long long>(ufs.updates),
+       static_cast<unsigned long long>(ufs.emitted));
+  line(rep, "gw_chassis pack: %llu -> %llu; unpack: %llu -> %llu",
+       static_cast<unsigned long long>(pcs.updates),
+       static_cast<unsigned long long>(pcs.emitted),
+       static_cast<unsigned long long>(ucs.updates),
+       static_cast<unsigned long long>(ucs.emitted));
+
+  if (faulted) {
+    for (const net::BusId b : {front, rear}) {
+      const auto& fs = net.bus(b).fault_stats();
+      line(rep, "%-8s bit errors %3llu  retransmissions %3llu  bus-off %llu",
+           net.bus_name(b).c_str(),
+           static_cast<unsigned long long>(fs.bit_errors),
+           static_cast<unsigned long long>(fs.retransmissions),
+           static_cast<unsigned long long>(fs.bus_off_events));
+      // The campaign is calibrated to stay below the bus-off threshold:
+      // past it the 128x11-bit recovery gap voids the retransmission-only
+      // error term (same skip rule as the campaign runner).
+      ACES_CHECK_MSG(fs.bus_off_events == 0,
+                     "seeded campaign drove a node to bus-off");
+      ACES_CHECK(fs.bit_errors > 0);  // the campaign actually fired
+      ++rep.checks;
+    }
+  }
+
+  // ===== exact deterministic self-checks (fault-free topology) =========
+  if (!faulted) {
+    // 10 ms publishers: activations at 0,10,...,2000 ms; the horizon
+    // instance completes past the horizon -> 200 frames each.
+    ACES_CHECK(net.model(f_brake).task_stats(0).completions == 200);
+    ACES_CHECK(net.model(r_brake).task_stats(0).completions == 200);
+    // every brake completion triggers one packed aggregate; every
+    // aggregate triggers the chassis pack (rear trigger), minus frames
+    // still inside a fabric at the horizon.
+    ACES_CHECK(e2e[kFrontAggId].heard == pfs.emitted ||
+               e2e[kFrontAggId].heard + 1 == pfs.emitted);
+    ACES_CHECK(net.model(cockpit).task_stats(0).activations ==
+               e2e[kFrontAggId].heard);
+    // adas_cmd 20 ms -> 100 big frames -> 100 cmd_a + 100 cmd_b slices;
+    // the fzc ISS answers every cmd_b.
+    ACES_CHECK(ufs.updates == 100);
+    ACES_CHECK(ufs.emitted == 200);
+    ACES_CHECK(e2e[kCmdAId].heard == 100);
+    ACES_CHECK(net.model(f_body).task_stats(0).activations == 100);
+    ACES_CHECK(net.iss(fzc).read_word(kCount) == 100);
+    // the rzc ISS acks every rear brake frame.
+    ACES_CHECK(net.iss(rzc).read_word(kCount) == 200);
+    // demotion + promotion routes carried every frame.
+    ACES_CHECK(e2e[kAdasStatId].heard == 100);
+    ACES_CHECK(net.model(r_body).task_stats(0).activations == 100);
+    ACES_CHECK(e2e[kTrailerId].heard == 100);
+    // FlexRay: one suspension frame per 10 ms from t = 0 -> 201 queued,
+    // every one delivered and unpacked onto the backbone.
+    ACES_CHECK(fr.dyn_stats(susp_dyn).sent == ucs.updates);
+    ACES_CHECK(e2e[kSuspId].heard == ucs.emitted ||
+               e2e[kSuspId].heard + 1 == ucs.emitted);
+    ACES_CHECK(net.model(datalog).task_stats(0).activations ==
+               e2e[kSuspId].heard);
+    // nothing dropped anywhere, no deadline misses in the model fleet.
+    for (const net::GatewayId g : {gwf, gwr, gwc}) {
+      ACES_CHECK(net.gateway(g).stats().frames_dropped == 0);
+    }
+    for (std::size_t k = 0; k < net.ecu_count(); ++k) {
+      if (auto* kernel = net.ecu(static_cast<net::EcuId>(k)).kernel()) {
+        for (int t = 0; t < kernel->task_count(); ++t) {
+          ACES_CHECK(kernel->stats(t).deadline_misses == 0);
+        }
+      }
+    }
+    rep.checks += 20;
+  }
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== zonal network: 20 ECUs, 2 legacy zones + CAN FD "
+              "backbone + FlexRay chassis ===\n\n");
+  // Both scenarios run twice: a deterministic co-simulation must be
+  // bit-identical run to run, including the seeded fault campaign.
+  const Report ff_a = run_scenario(false);
+  const Report ff_b = run_scenario(false);
+  ACES_CHECK_MSG(ff_a.text == ff_b.text,
+                 "fault-free double run was not bit-identical");
+  const Report f_a = run_scenario(true);
+  const Report f_b = run_scenario(true);
+  ACES_CHECK_MSG(f_a.text == f_b.text,
+                 "faulted double run was not bit-identical");
+  std::fputs(ff_a.text.c_str(), stdout);
+  std::printf("\n");
+  std::fputs(f_a.text.c_str(), stdout);
+  std::printf("\nall checks passed: 6 translated paths within their "
+              "cross-fabric bounds, fault-free and faulted, double runs "
+              "bit-identical.\n");
+  return 0;
+}

@@ -72,30 +72,64 @@ net::ModelTask responder(const char* task, int prio, SimTime exec,
   return t;
 }
 
+// FD backbone axis: 0 = the legacy classic powertrain bus, 1 = the same
+// bus CAN FD capable (2 Mbit/s data phase), every powertrain publisher
+// promoted to FD framing and the gateway translating formats at the
+// domain boundaries. Optional (param_or): specs that never sweep it get
+// the classic topology.
+constexpr std::uint32_t kFdDataRate = 2'000'000;
+
+[[nodiscard]] bool fd_backbone(const Variant& v) {
+  return v.param_or("fd_backbone", 0.0) != 0.0;
+}
+
+// Marks every transmitting task's frame as CAN FD (kernel-model tasks
+// carry their frame template in ModelTask::tx).
+std::vector<net::ModelTask> as_fd(std::vector<net::ModelTask> tasks) {
+  for (net::ModelTask& t : tasks) {
+    if (t.tx) {
+      t.tx->fd = true;
+    }
+  }
+  return tasks;
+}
+
 net::NetworkBuilder build_vehicle(const Variant& v) {
   const auto depth = static_cast<unsigned>(v.param("gw_depth"));
+  const bool fd = fd_backbone(v);
   net::NetworkBuilder nb;
-  const net::BusId pt = nb.bus("powertrain", 500'000);
+  const net::BusId pt = nb.bus("powertrain", 500'000, fd ? kFdDataRate : 0);
   const net::BusId body = nb.bus("body", 125'000);
   const net::BusId diag = nb.bus("diag", 250'000);
+  // Powertrain ECUs publish FD frames on the FD variant; classic otherwise.
+  const auto pt_tasks = [fd](std::vector<net::ModelTask> tasks) {
+    return fd ? as_fd(std::move(tasks)) : tasks;
+  };
 
   // --- powertrain: 8 model ECUs ----------------------------------------
-  nb.ecu(pt, "abs", {publisher("wheel_acq", 8, 200 * kMicrosecond,
-                               5 * kMillisecond, kWheelId, 8)});
-  nb.ecu(pt, "engine", {responder("diag_svc", 7, 300 * kMicrosecond,
-                                  kDiagReqPtId, kEngStatusId, 4)});
-  nb.ecu(pt, "trans", {publisher("shift_ctl", 7, 200 * kMicrosecond,
-                                 scaled(10 * kMillisecond, v), 0x060, 8)});
-  nb.ecu(pt, "esc", {publisher("stability", 7, 200 * kMicrosecond,
-                               scaled(10 * kMillisecond, v), 0x070, 6)});
-  nb.ecu(pt, "inj", {publisher("injection", 6, 200 * kMicrosecond,
-                               scaled(10 * kMillisecond, v), 0x130, 4)});
-  nb.ecu(pt, "turbo", {publisher("boost", 5, 200 * kMicrosecond,
-                                 scaled(20 * kMillisecond, v), 0x150, 4)});
-  nb.ecu(pt, "egr", {publisher("egr_ctl", 5, 200 * kMicrosecond,
-                               scaled(20 * kMillisecond, v), 0x170, 2)});
-  nb.ecu(pt, "oil", {publisher("oil_mon", 4, 500 * kMicrosecond,
-                               scaled(50 * kMillisecond, v), 0x190, 2)});
+  nb.ecu(pt, "abs", pt_tasks({publisher("wheel_acq", 8, 200 * kMicrosecond,
+                                        5 * kMillisecond, kWheelId, 8)}));
+  nb.ecu(pt, "engine",
+         pt_tasks({responder("diag_svc", 7, 300 * kMicrosecond, kDiagReqPtId,
+                             kEngStatusId, 4)}));
+  nb.ecu(pt, "trans",
+         pt_tasks({publisher("shift_ctl", 7, 200 * kMicrosecond,
+                             scaled(10 * kMillisecond, v), 0x060, 8)}));
+  nb.ecu(pt, "esc",
+         pt_tasks({publisher("stability", 7, 200 * kMicrosecond,
+                             scaled(10 * kMillisecond, v), 0x070, 6)}));
+  nb.ecu(pt, "inj",
+         pt_tasks({publisher("injection", 6, 200 * kMicrosecond,
+                             scaled(10 * kMillisecond, v), 0x130, 4)}));
+  nb.ecu(pt, "turbo",
+         pt_tasks({publisher("boost", 5, 200 * kMicrosecond,
+                             scaled(20 * kMillisecond, v), 0x150, 4)}));
+  nb.ecu(pt, "egr",
+         pt_tasks({publisher("egr_ctl", 5, 200 * kMicrosecond,
+                             scaled(20 * kMillisecond, v), 0x170, 2)}));
+  nb.ecu(pt, "oil",
+         pt_tasks({publisher("oil_mon", 4, 500 * kMicrosecond,
+                             scaled(50 * kMillisecond, v), 0x190, 2)}));
 
   // --- body: 9 model ECUs ----------------------------------------------
   nb.ecu(body, "bcm", {publisher("lock_ctl", 8, 200 * kMicrosecond,
@@ -139,9 +173,20 @@ net::NetworkBuilder build_vehicle(const Variant& v) {
   gc.forwarding_latency = kGwLatency;
   gc.queue_depth = depth;
   const net::GatewayId gw = nb.gateway("central", gc);
-  nb.route(gw, {diag, pt, kDiagReqId, 0x7FF, kDiagReqPtId});
-  nb.route(gw, {pt, diag, kEngStatusId, 0x7FF, kEngStatusDiagId});
-  nb.route(gw, {pt, body, kWheelId, 0x7FF, {}});
+  // On the FD variant the gateway translates formats at the boundary:
+  // diag traffic promotes onto the FD backbone, backbone traffic demotes
+  // back to classic framing for the legacy buses.
+  net::Route to_pt{diag, pt, kDiagReqId, 0x7FF, kDiagReqPtId};
+  net::Route eng_to_diag{pt, diag, kEngStatusId, 0x7FF, kEngStatusDiagId};
+  net::Route wheel_to_body{pt, body, kWheelId, 0x7FF, {}};
+  if (fd) {
+    to_pt.fd = true;
+    eng_to_diag.fd = false;
+    wheel_to_body.fd = false;
+  }
+  nb.route(gw, to_pt);
+  nb.route(gw, eng_to_diag);
+  nb.route(gw, wheel_to_body);
   nb.route(gw, {body, diag, kDoorStatusId, 0x7FF, kDoorStatusDiagId});
   return nb;
 }
@@ -161,7 +206,7 @@ using sched::CanMessage;
 }
 
 std::vector<CanMessage> pt_set(const Variant& v, std::uint32_t analyzed) {
-  return {
+  std::vector<CanMessage> set = {
       {"wheel", kWheelId, 8, 5 * kMillisecond, 0, 0},
       {"trans", 0x060, 8, scaled(10 * kMillisecond, v), 0, 0},
       {"esc", 0x070, 6, scaled(10 * kMillisecond, v), 0, 0},
@@ -173,6 +218,17 @@ std::vector<CanMessage> pt_set(const Variant& v, std::uint32_t analyzed) {
       {"egr", 0x170, 2, scaled(20 * kMillisecond, v), 0, 0},
       {"oil", 0x190, 2, scaled(50 * kMillisecond, v), 0, 0},
   };
+  if (fd_backbone(v)) {  // the simulated backbone publishes FD frames
+    for (CanMessage& m : set) {
+      m.fd = true;
+    }
+  }
+  return set;
+}
+
+// Powertrain hop data rate matching the topology's FD axis.
+[[nodiscard]] std::uint32_t pt_data_rate(const Variant& v) {
+  return fd_backbone(v) ? kFdDataRate : 0;
 }
 
 std::vector<CanMessage> body_set(const Variant& v, std::uint32_t analyzed) {
@@ -216,6 +272,12 @@ ScenarioSpec vehicle_spec(SimTime horizon) {
        {0.0, 50.0e6, 10.0e6, 2.0e6}},  // T_error: off, 50ms, 10ms, 2ms
       {"gw_depth", {8.0, 1.0}},
       {"load_pct", {100.0, 130.0, 160.0}},
+      // 1 = CAN FD backbone: the powertrain bus gains a 2 Mbit/s data
+      // phase, its publishers send FD frames and the gateway translates
+      // formats at the domain boundaries. The analysis side follows (FD
+      // worst-case lengths + dual-rate hop), so every variant still judges
+      // measured <= bound on the same hypothesis.
+      {"fd_backbone", {0.0, 1.0}},
   };
   spec.topology = build_vehicle;
   // One seeded campaign per bus, all driven by the same T_error axis but
@@ -236,13 +298,13 @@ ScenarioSpec vehicle_spec(SimTime horizon) {
              sched::make_hop(diag_set(v, kDiagReqId), kDiagReqId, 250'000, 0,
                              {}, kDiag),
              sched::make_hop(pt_set(v, kDiagReqPtId), kDiagReqPtId, 500'000,
-                             kGwLatency, {}, kPt)};
+                             kGwLatency, {}, kPt, pt_data_rate(v))};
        }});
   spec.paths.push_back(
       {"wheel", kBody, kWheelId, [](const Variant& v) {
          return std::vector<sched::PathHop>{
              sched::make_hop(pt_set(v, kWheelId), kWheelId, 500'000, 0, {},
-                             kPt),
+                             kPt, pt_data_rate(v)),
              sched::make_hop(body_set(v, kWheelId), kWheelId, 125'000,
                              kGwLatency, {}, kBody)};
        }});
@@ -250,7 +312,7 @@ ScenarioSpec vehicle_spec(SimTime horizon) {
       {"eng_status", kDiag, kEngStatusDiagId, [](const Variant& v) {
          return std::vector<sched::PathHop>{
              sched::make_hop(pt_set(v, kEngStatusId), kEngStatusId, 500'000,
-                             0, {}, kPt),
+                             0, {}, kPt, pt_data_rate(v)),
              sched::make_hop(diag_set(v, kEngStatusDiagId), kEngStatusDiagId,
                              250'000, kGwLatency, {}, kDiag)};
        }});

@@ -204,8 +204,11 @@ VariantResult CampaignRunner::run_variant(const ScenarioSpec& spec,
 
     net.run_until(spec.horizon);
 
-    // Counters.
+    // Counters. FlexRay segments carry no CAN fault model — skipped.
     for (std::size_t b = 0; b < net.bus_count(); ++b) {
+      if (!net.is_can(static_cast<net::BusId>(b))) {
+        continue;
+      }
       const auto& fs = net.bus(static_cast<net::BusId>(b)).fault_stats();
       out.bit_errors += fs.bit_errors;
       out.bus_off_events += fs.bus_off_events;

@@ -16,6 +16,15 @@ double Variant::param(std::string_view axis) const {
   return 0.0;  // unreachable
 }
 
+double Variant::param_or(std::string_view axis, double fallback) const {
+  for (const auto& [name, value] : params) {
+    if (name == axis) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
 std::size_t ScenarioSpec::variant_count() const {
   std::size_t n = replicates;
   for (const SweepAxis& axis : axes) {

@@ -54,6 +54,11 @@ struct Variant {
   [[nodiscard]] sim::SimTime param_ns(std::string_view axis) const {
     return static_cast<sim::SimTime>(param(axis));
   }
+  // Tolerant lookup for optional axes: `fallback` when the variant's spec
+  // does not sweep `axis` (so a topology template with an optional feature
+  // axis also serves specs that never declare it).
+  [[nodiscard]] double param_or(std::string_view axis,
+                                double fallback) const;
 };
 
 // Declarative per-bus bit-error campaign. The runner installs a

@@ -8,11 +8,19 @@ namespace aces::can {
 
 using sim::SimTime;
 
-CanBus::CanBus(sim::EventQueue& queue, std::uint32_t bitrate_bps)
+CanBus::CanBus(sim::EventQueue& queue, std::uint32_t bitrate_bps,
+               std::uint32_t data_bitrate_bps)
     : queue_(queue) {
   ACES_CHECK(bitrate_bps > 0);
   bit_time_ = sim::kSecond / bitrate_bps;
   ACES_CHECK_MSG(bit_time_ > 0, "bit rate too high for ns resolution");
+  if (data_bitrate_bps > 0) {
+    ACES_CHECK_MSG(data_bitrate_bps >= bitrate_bps,
+                   "FD data bit rate below the arbitration rate");
+    data_bit_time_ = sim::kSecond / data_bitrate_bps;
+    ACES_CHECK_MSG(data_bit_time_ > 0,
+                   "data bit rate too high for ns resolution");
+  }
   static_assert(kErrorFlagBits + kErrorDelimiterBits + kIntermissionBits +
                         kSuspendTransmissionBits <=
                     31,
@@ -100,6 +108,17 @@ void CanBus::emit(NodeId node, ErrorEvent::Kind kind) {
 }
 
 void CanBus::send(NodeId node, const CanFrame& frame) {
+  if (frame.fd) {
+    ACES_CHECK_MSG(fd_enabled(),
+                   "FD frame on a classic-only bus (construct the CanBus "
+                   "with a data bit rate to enable CAN FD)");
+    ACES_CHECK_MSG(!frame.rtr, "CAN FD has no remote frames");
+    ACES_CHECK_MSG(frame.dlc <= 15, "FD DLC code is 0..15");
+  } else {
+    // Reject DLC codes early: a 9..15 code fed through the classic wire
+    // formulas would silently under-price the frame.
+    ACES_CHECK_MSG(frame.dlc <= 8, "classic dlc is 0..8");
+  }
   Pending p;
   p.frame = frame;
   p.queued_at = queue_.now();
@@ -169,7 +188,36 @@ void CanBus::try_start() {
     ++fault_stats_.retransmissions;  // a previously-corrupted frame retries
   }
   ++pending.attempts;
-  const unsigned wire_bits = exact_wire_bits(pending.frame);
+  // Wire geometry of this attempt. For FD frames the phase split prices
+  // the ESI+DLC+data+CRC span at the data bit rate (when BRS is set);
+  // classic frames run entirely at the nominal rate.
+  const bool fd = pending.frame.fd;
+  FdWireBits fw;
+  unsigned wire_bits = 0;
+  if (fd) {
+    fw = fd_exact_wire_bits(pending.frame);
+    wire_bits = fw.nominal_bits + fw.data_bits;
+  } else {
+    wire_bits = exact_wire_bits(pending.frame);
+  }
+  const SimTime data_bit = data_phase_bit_time(pending.frame);
+  // Duration of the first `bits` wire bits of this attempt. The FD data
+  // phase sits between the stuffed head (nominal_bits - 13 bits) and the
+  // 13-bit tail, both at the nominal rate.
+  const auto prefix_time = [&](unsigned bits) -> SimTime {
+    if (!fd) {
+      return bit_time_ * bits;
+    }
+    const unsigned head = fw.nominal_bits - 13;
+    if (bits <= head) {
+      return bit_time_ * bits;
+    }
+    if (bits <= head + fw.data_bits) {
+      return bit_time_ * head + data_bit * (bits - head);
+    }
+    return bit_time_ * head + data_bit * fw.data_bits +
+           bit_time_ * (bits - head - fw.data_bits);
+  };
   busy_ = true;
   tx_started_at_ = queue_.now();
   int corrupt = -1;
@@ -178,7 +226,7 @@ void CanBus::try_start() {
     corrupt = std::min(corrupt, static_cast<int>(wire_bits) - 1);
   }
   if (corrupt < 0) {
-    const SimTime duration = bit_time_ * wire_bits;
+    const SimTime duration = prefix_time(wire_bits);
     queue_.schedule_in(duration, [this, pending, winner, duration] {
       finish_clean(winner, pending, duration);
     });
@@ -186,12 +234,15 @@ void CanBus::try_start() {
     // The error is detected at the corrupted bit; the wire carries the
     // error frame instead of the rest of this attempt, and the frame goes
     // back into the queue (original timestamp, ahead of any equal-key
-    // sibling it was queued before) for automatic retransmission.
+    // sibling it was queued before) for automatic retransmission. Error
+    // signaling is always at the nominal rate (an FD transmitter drops
+    // back to the arbitration bit rate when it detects an error).
     const bool passive = state_of(node) == ErrorState::error_passive;
-    const unsigned bits = static_cast<unsigned>(corrupt) + 1 + kErrorFlagBits +
-                          kErrorDelimiterBits + kIntermissionBits +
-                          (passive ? kSuspendTransmissionBits : 0);
-    const SimTime duration = bit_time_ * bits;
+    const unsigned signal_bits = kErrorFlagBits + kErrorDelimiterBits +
+                                 kIntermissionBits +
+                                 (passive ? kSuspendTransmissionBits : 0);
+    const SimTime duration = prefix_time(static_cast<unsigned>(corrupt) + 1) +
+                             bit_time_ * signal_bits;
     const std::uint32_t id = pending.frame.id;
     const std::uint32_t key = arbitration_key(pending.frame);
     auto it = node.queue.begin();

@@ -8,6 +8,17 @@
 // from frame.h. Per-identifier latency statistics (queue-to-delivery) are
 // what bench_can_rta checks against the closed-form worst-case analysis.
 //
+// CAN FD: a bus constructed with a data bit rate carries classic and FD
+// frames on one wire. Both enter the same arbitration (the FD RRS bit is
+// dominant exactly where a classic data frame's RTR is, so the classic
+// key ordering carries over); an FD frame with BRS then runs its
+// ESI+DLC+data+CRC span at the data bit rate and returns to the nominal
+// rate for the ACK/EOF tail, per fd_exact_wire_bits' phase split. Error
+// signaling always runs at the nominal rate — on a corrupted FD attempt
+// the carried prefix is priced per phase, the error frame at bit_time().
+// Sending an FD frame on a bus with no data bit rate is a configuration
+// error (a classic-only bus would destroy FD frames with error flags).
+//
 // Fault model (CAN 2.0 error handling): an optional BitErrorModel decides,
 // per transmission attempt, whether a bit on the wire is corrupted. A
 // corrupted attempt is aborted at the corrupted bit, the bus carries an
@@ -104,7 +115,10 @@ class CanBus {
   using BitErrorModel =
       std::function<int(const CanFrame&, NodeId tx_node, sim::SimTime start)>;
 
-  CanBus(sim::EventQueue& queue, std::uint32_t bitrate_bps);
+  // `data_bitrate_bps` > 0 enables CAN FD: BRS frames run their data phase
+  // at that rate. 0 keeps a classic-only bus that rejects FD frames.
+  CanBus(sim::EventQueue& queue, std::uint32_t bitrate_bps,
+         std::uint32_t data_bitrate_bps = 0);
 
   NodeId attach_node(std::string name);
   void subscribe(NodeId node, RxHandler handler);
@@ -132,8 +146,15 @@ class CanBus {
   void request_recovery(NodeId node);
 
   [[nodiscard]] sim::SimTime bit_time() const { return bit_time_; }
+  // Data-phase bit time for BRS frames; 0 on a classic-only bus.
+  [[nodiscard]] sim::SimTime data_bit_time() const { return data_bit_time_; }
+  [[nodiscard]] bool fd_enabled() const { return data_bit_time_ > 0; }
   [[nodiscard]] sim::SimTime frame_time(const CanFrame& f) const {
-    return bit_time_ * exact_wire_bits(f);
+    if (!f.fd) {
+      return bit_time_ * exact_wire_bits(f);
+    }
+    const FdWireBits w = fd_exact_wire_bits(f);
+    return bit_time_ * w.nominal_bits + data_phase_bit_time(f) * w.data_bits;
   }
 
   // Keyed by raw identifier (standard and extended identifiers share the
@@ -202,6 +223,10 @@ class CanBus {
   };
 
   void try_start();  // arbitration when idle
+  // Bit time governing a frame's data phase (nominal unless FD + BRS).
+  [[nodiscard]] sim::SimTime data_phase_bit_time(const CanFrame& f) const {
+    return (f.fd && f.brs && data_bit_time_ > 0) ? data_bit_time_ : bit_time_;
+  }
   void finish_clean(NodeId winner, const Pending& pending,
                     sim::SimTime duration);
   void finish_error(NodeId winner, std::uint32_t id, sim::SimTime duration);
@@ -215,6 +240,7 @@ class CanBus {
 
   sim::EventQueue& queue_;
   sim::SimTime bit_time_;
+  sim::SimTime data_bit_time_ = 0;  // 0: classic-only bus
   std::vector<Node> nodes_;
   bool busy_ = false;
   sim::SimTime busy_time_ = 0;      // completed wire time only

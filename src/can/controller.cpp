@@ -45,6 +45,12 @@ void CanController::raise_line(unsigned line) {
 }
 
 void CanController::on_rx(const CanFrame& frame) {
+  if (frame.fd) {
+    // Classic CAN 2.0 register model: like an FD-tolerant classic
+    // controller, it ignores FD traffic (the RX registers cannot
+    // represent DLC codes or payloads past 8 bytes).
+    return;
+  }
   if (rx_fifo_.size() >= config_.rx_fifo_depth) {
     ++stats_.frames_dropped;
     rx_overflowed_ = true;
@@ -122,7 +128,7 @@ std::uint32_t CanController::pack_id(const CanFrame& frame) {
   return v;
 }
 
-std::uint32_t CanController::pack_data(const std::array<std::uint8_t, 8>& data,
+std::uint32_t CanController::pack_data(const std::array<std::uint8_t, kFdMaxPayload>& data,
                                        unsigned word) {
   std::uint32_t v = 0;
   for (unsigned k = 0; k < 4; ++k) {
@@ -131,7 +137,7 @@ std::uint32_t CanController::pack_data(const std::array<std::uint8_t, 8>& data,
   return v;
 }
 
-void CanController::unpack_data(std::array<std::uint8_t, 8>& data,
+void CanController::unpack_data(std::array<std::uint8_t, kFdMaxPayload>& data,
                                 unsigned word, std::uint32_t value) {
   for (unsigned k = 0; k < 4; ++k) {
     data[4 * word + k] = static_cast<std::uint8_t>(value >> (8 * k));

@@ -179,8 +179,8 @@ class CanController final : public mem::Device {
   [[nodiscard]] std::uint32_t status_bits() const;
   [[nodiscard]] static std::uint32_t pack_id(const CanFrame& frame);
   [[nodiscard]] static std::uint32_t pack_data(
-      const std::array<std::uint8_t, 8>& data, unsigned word);
-  static void unpack_data(std::array<std::uint8_t, 8>& data, unsigned word,
+      const std::array<std::uint8_t, kFdMaxPayload>& data, unsigned word);
+  static void unpack_data(std::array<std::uint8_t, kFdMaxPayload>& data, unsigned word,
                           std::uint32_t value);
 
   std::string name_;

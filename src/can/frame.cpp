@@ -17,6 +17,9 @@ std::uint16_t crc15(const std::vector<bool>& bits) {
 }
 
 std::vector<bool> stuffable_bits(const CanFrame& frame) {
+  ACES_CHECK_MSG(!frame.fd,
+                 "stuffable_bits serializes classic frames only; FD frames "
+                 "go through fd_exact_wire_bits");
   ACES_CHECK_MSG(frame.id < (1u << (frame.extended ? 29 : 11)),
                  "identifier out of range for the frame format");
   ACES_CHECK_MSG(frame.dlc <= 8, "dlc is 0..8");
@@ -83,6 +86,89 @@ unsigned exact_wire_bits(const CanFrame& frame) {
     }
   }
   return static_cast<unsigned>(bits.size()) + stuffed + 13;
+}
+
+FdWireBits fd_exact_wire_bits(const CanFrame& frame) {
+  ACES_CHECK_MSG(frame.fd, "fd_exact_wire_bits needs an FD frame");
+  ACES_CHECK_MSG(!frame.rtr, "CAN FD has no remote frames");
+  ACES_CHECK_MSG(frame.id < (1u << (frame.extended ? 29 : 11)),
+                 "identifier out of range for the frame format");
+  const unsigned n = fd_payload_bytes(frame.dlc);  // checks dlc <= 15
+
+  // Dynamically stuffed span: head (nominal rate, SOF..BRS) followed by
+  // ESI + DLC + data (data rate when BRS is set). The rate switches at the
+  // BRS bit, so a stuff bit inserted right after BRS already belongs to
+  // the data phase.
+  std::vector<bool> bits;
+  bits.push_back(false);  // SOF (dominant)
+  if (!frame.extended) {
+    for (int k = 10; k >= 0; --k) {
+      bits.push_back(((frame.id >> k) & 1u) != 0);
+    }
+    bits.push_back(false);  // RRS (dominant where classic RTR sits)
+    bits.push_back(false);  // IDE (standard)
+  } else {
+    for (int k = 28; k >= 18; --k) {  // 11-bit base identifier
+      bits.push_back(((frame.id >> k) & 1u) != 0);
+    }
+    bits.push_back(true);  // SRR (recessive)
+    bits.push_back(true);  // IDE (extended)
+    for (int k = 17; k >= 0; --k) {  // 18-bit identifier extension
+      bits.push_back(((frame.id >> k) & 1u) != 0);
+    }
+    bits.push_back(false);  // RRS
+  }
+  bits.push_back(true);       // FDF/EDL (recessive marks the FD format)
+  bits.push_back(false);      // res
+  bits.push_back(frame.brs);  // BRS — last nominal-rate bit
+  const std::size_t head_len = bits.size();
+  bits.push_back(false);  // ESI (error active)
+  for (int k = 3; k >= 0; --k) {
+    bits.push_back(((frame.dlc >> k) & 1u) != 0);
+  }
+  for (unsigned b = 0; b < n; ++b) {
+    for (int k = 7; k >= 0; --k) {
+      bits.push_back(((frame.data[b] >> k) & 1u) != 0);
+    }
+  }
+
+  unsigned head_stuffs = 0;
+  unsigned data_stuffs = 0;
+  unsigned run = 0;
+  bool last = false;
+  bool have_last = false;
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    bool b = bits[k];
+    if (have_last && b == last) {
+      ++run;
+    } else {
+      run = 1;
+      last = b;
+      have_last = true;
+    }
+    if (run == 5) {
+      // The stuff bit goes out between raw bits k and k+1: still nominal
+      // only while it precedes the BRS sample point.
+      if (k + 1 < head_len) {
+        ++head_stuffs;
+      } else {
+        ++data_stuffs;
+      }
+      last = !b;
+      run = 1;
+    }
+  }
+
+  // CRC field: 4-bit stuff count + CRC-17 (n <= 16) or CRC-21, with a
+  // fixed stuff bit before the first bit and after every 4th — its length
+  // is constant, so no CRC value is needed for the wire length.
+  const unsigned crc_field = n <= 16 ? 27u : 32u;
+
+  FdWireBits w;
+  w.nominal_bits = static_cast<unsigned>(head_len) + head_stuffs + 13;
+  w.data_bits = static_cast<unsigned>(bits.size() - head_len) + data_stuffs +
+                crc_field;
+  return w;
 }
 
 }  // namespace aces::can

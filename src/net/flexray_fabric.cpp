@@ -1,0 +1,276 @@
+#include "net/flexray_fabric.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace aces::net {
+
+using sim::SimTime;
+
+FlexrayFabric::FlexrayFabric(sim::EventQueue& queue,
+                             FlexrayFabricConfig config)
+    : queue_(queue), config_(config) {
+  ACES_CHECK(config_.static_cfg.cycle_length > 0);
+  ACES_CHECK(config_.bitrate_bps > 0);
+  bit_time_ = sim::kSecond / config_.bitrate_bps;
+  ACES_CHECK_MSG(bit_time_ > 0, "bit rate too high for ns resolution");
+  static_segment_ =
+      static_cast<SimTime>(config_.static_cfg.static_slots) *
+      config_.static_cfg.slot_length;
+  if (config_.minislots > 0) {
+    ACES_CHECK(config_.minislot > 0);
+  }
+  ACES_CHECK_MSG(static_segment_ +
+                         static_cast<SimTime>(config_.minislots) *
+                             config_.minislot <=
+                     config_.static_cfg.cycle_length,
+                 "static + dynamic segments exceed the communication cycle");
+}
+
+FlexrayFabric::NodeId FlexrayFabric::attach_node(std::string name) {
+  Node n;
+  n.name = std::move(name);
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void FlexrayFabric::assign_static(std::vector<sched::FlexrayFrame> frames) {
+  ACES_CHECK_MSG(!have_static_, "static schedule already assigned");
+  ACES_CHECK_MSG(!started_, "assign_static must run before start()");
+  static_frames_ = std::move(frames);
+  static_schedule_ =
+      sched::build_static_schedule(config_.static_cfg, static_frames_);
+  ACES_CHECK_MSG(static_schedule_.feasible,
+                 "cannot play an infeasible FlexRay static schedule");
+  have_static_ = true;
+}
+
+void FlexrayFabric::on_static_slot(SlotFn fn) {
+  ACES_CHECK_MSG(static_cast<bool>(fn), "on_static_slot needs a callback");
+  on_slot_ = std::move(fn);
+}
+
+unsigned FlexrayFabric::frame_minislots(unsigned bytes) const {
+  ACES_CHECK_MSG(config_.minislots > 0, "fabric has no dynamic segment");
+  const SimTime duration =
+      bit_time_ * static_cast<SimTime>(frame_bits(bytes));
+  return static_cast<unsigned>((duration + config_.minislot - 1) /
+                               config_.minislot);
+}
+
+FlexrayFabric::DynId FlexrayFabric::add_dynamic_frame(NodeId owner,
+                                                      std::string name,
+                                                      unsigned slot_id,
+                                                      unsigned max_bytes) {
+  ACES_CHECK_MSG(owner >= 0 &&
+                     static_cast<std::size_t>(owner) < nodes_.size(),
+                 "dynamic frame owner is not an attached node");
+  ACES_CHECK_MSG(slot_id >= 1, "dynamic slot ids start at 1");
+  ACES_CHECK_MSG(max_bytes >= 1 && max_bytes <= kMaxPayload,
+                 "dynamic payload ceiling is 1..64 bytes");
+  for (const DynFrame& f : dyn_frames_) {
+    ACES_CHECK_MSG(f.info.slot_id != slot_id,
+                   "dynamic slot id already registered on this fabric");
+  }
+  DynFrame f;
+  f.info.name = std::move(name);
+  f.info.node = owner;
+  f.info.slot_id = slot_id;
+  f.info.max_bytes = max_bytes;
+  f.info.minislots = frame_minislots(max_bytes);  // checks dynamic segment
+  ACES_CHECK_MSG(f.info.minislots <= config_.minislots,
+                 "a max-size frame under '" + f.info.name +
+                     "' cannot fit the dynamic segment");
+  max_slot_id_ = std::max(max_slot_id_, slot_id);
+  dyn_frames_.push_back(std::move(f));
+  return static_cast<DynId>(dyn_frames_.size() - 1);
+}
+
+void FlexrayFabric::send_dynamic(DynId id, const DynPayload& payload) {
+  ACES_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < dyn_frames_.size(),
+                 "unknown dynamic frame");
+  DynFrame& f = dyn_frames_[static_cast<std::size_t>(id)];
+  ACES_CHECK_MSG(payload.bytes <= f.info.max_bytes,
+                 "payload exceeds the registered ceiling of '" +
+                     f.info.name + "'");
+  QueuedPayload q;
+  q.payload = payload;
+  q.queued_at = queue_.now();
+  if (q.payload.timestamp < 0) {
+    q.payload.timestamp = queue_.now();
+  }
+  f.queue.push_back(std::move(q));
+}
+
+void FlexrayFabric::subscribe(NodeId node, DynRxHandler handler) {
+  nodes_[static_cast<std::size_t>(node)].handlers.push_back(
+      std::move(handler));
+}
+
+void FlexrayFabric::subscribe_tx(NodeId node, DynRxHandler handler) {
+  nodes_[static_cast<std::size_t>(node)].tx_handlers.push_back(
+      std::move(handler));
+}
+
+const FlexrayFabric::DynFrameInfo& FlexrayFabric::dyn_info(DynId id) const {
+  ACES_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < dyn_frames_.size(),
+                 "unknown dynamic frame");
+  return dyn_frames_[static_cast<std::size_t>(id)].info;
+}
+
+const FlexrayFabric::DynStats& FlexrayFabric::dyn_stats(DynId id) const {
+  ACES_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < dyn_frames_.size(),
+                 "unknown dynamic frame");
+  return dyn_frames_[static_cast<std::size_t>(id)].stats;
+}
+
+FlexrayFabric::DynId FlexrayFabric::dyn_by_slot(unsigned slot_id) const {
+  for (std::size_t k = 0; k < dyn_frames_.size(); ++k) {
+    if (dyn_frames_[k].info.slot_id == slot_id) {
+      return static_cast<DynId>(k);
+    }
+  }
+  ACES_CHECK_MSG(false, "no dynamic frame registered under this slot id");
+  return -1;
+}
+
+sched::FlexrayDynHopParams FlexrayFabric::dynamic_hop_params(
+    DynId id, SimTime deadline) const {
+  const DynFrameInfo& info = dyn_info(id);
+  sched::FlexrayDynHopParams p;
+  p.cycle_length = config_.static_cfg.cycle_length;
+  p.static_segment = static_segment_;
+  p.minislot = config_.minislot;
+  p.minislots = config_.minislots;
+  p.slot_minislots = info.minislots;
+  p.deadline = deadline;
+  // Run-up to this id's decision point: every assigned higher-priority id
+  // transmits a max-size frame (its registered occupancy), every
+  // unassigned id below consumes one idle minislot.
+  unsigned assigned_below = 0;
+  unsigned assigned_cost = 0;
+  for (const DynFrame& f : dyn_frames_) {
+    if (f.info.slot_id < info.slot_id) {
+      ++assigned_below;
+      assigned_cost += f.info.minislots;
+    }
+  }
+  p.higher_prio_minislots =
+      assigned_cost + (info.slot_id - 1 - assigned_below);
+  return p;
+}
+
+sched::PathHop FlexrayFabric::dynamic_hop(DynId id, SimTime deadline,
+                                          SimTime gateway_latency,
+                                          int bus) const {
+  return sched::flexray_dynamic_hop(dynamic_hop_params(id, deadline),
+                                    gateway_latency, bus);
+}
+
+void FlexrayFabric::start() {
+  ACES_CHECK_MSG(!started_, "FlexrayFabric already started");
+  started_ = true;
+  arm_cycle(queue_.now());
+}
+
+void FlexrayFabric::arm_cycle(SimTime cycle_start) {
+  ++cycles_run_;
+  if (have_static_) {
+    for (const sched::FlexrayAssignment& a : static_schedule_.assignments) {
+      if (cycle_ % a.repetition != a.base_cycle) {
+        continue;
+      }
+      const SimTime slot_start =
+          cycle_start +
+          static_cast<SimTime>(a.slot) * config_.static_cfg.slot_length;
+      queue_.schedule_at(slot_start, [this, &a, slot_start] {
+        ++slots_played_;
+        if (on_slot_) {
+          on_slot_(static_frames_[static_cast<std::size_t>(a.frame)], a,
+                   slot_start);
+        }
+      });
+    }
+  }
+  if (config_.minislots > 0) {
+    const SimTime dyn_start = cycle_start + static_segment_;
+    queue_.schedule_at(dyn_start,
+                       [this, dyn_start] { walk_dynamic(dyn_start, 1, 0); });
+  }
+  const SimTime next = cycle_start + config_.static_cfg.cycle_length;
+  queue_.schedule_at(next, [this, next] {
+    cycle_ = (cycle_ + 1) % 64;
+    arm_cycle(next);
+  });
+}
+
+void FlexrayFabric::walk_dynamic(SimTime t, unsigned slot_id, unsigned used) {
+  if (used >= config_.minislots || slot_id > max_slot_id_) {
+    return;  // the rest of the segment idles
+  }
+  // Decision point of `slot_id`: the registry is scanned at the instant
+  // the counter reaches the id, so frames queued earlier in this very
+  // cycle still catch their slot.
+  // Indexed lookup (not a pointer): a registration while the delivery
+  // event below is in flight may reallocate dyn_frames_.
+  std::size_t fi = dyn_frames_.size();
+  for (std::size_t k = 0; k < dyn_frames_.size(); ++k) {
+    if (dyn_frames_[k].info.slot_id == slot_id) {
+      fi = k;
+      break;
+    }
+  }
+  if (fi < dyn_frames_.size() && !dyn_frames_[fi].queue.empty()) {
+    DynFrame& frame = dyn_frames_[fi];
+    const unsigned need = frame_minislots(frame.queue.front().payload.bytes);
+    if (used + need <= config_.minislots) {
+      // Granted: the frame occupies `need` minislots; delivery (and the
+      // counter's next decision point) at their end.
+      const SimTime done = t + static_cast<SimTime>(need) * config_.minislot;
+      QueuedPayload sent = std::move(frame.queue.front());
+      frame.queue.pop_front();
+      DynStats& s = frame.stats;
+      ++s.sent;
+      const SimTime latency = done - sent.queued_at;
+      s.worst_latency = std::max(s.worst_latency, latency);
+      s.total_latency += latency;
+      queue_.schedule_at(done, [this, fi, sent = std::move(sent), done,
+                                slot_id, used, need] {
+        deliver(dyn_frames_[fi], sent.payload, done);
+        walk_dynamic(done, slot_id + 1, used + need);
+      });
+      return;
+    }
+    // pLatestTx: the frame no longer fits this cycle's budget; its id
+    // consumes one idle minislot and the frame waits for the next cycle.
+    ++frame.stats.deferrals;
+  }
+  const SimTime next = t + config_.minislot;
+  queue_.schedule_at(
+      next, [this, next, slot_id, used] { walk_dynamic(next, slot_id + 1, used + 1); });
+}
+
+void FlexrayFabric::deliver(DynFrame& f, const DynPayload& payload,
+                            SimTime at) {
+  const Node& owner = nodes_[static_cast<std::size_t>(f.info.node)];
+  for (const DynRxHandler& h : owner.tx_handlers) {
+    h(f.info, payload, at);
+  }
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    if (static_cast<NodeId>(k) == f.info.node) {
+      continue;
+    }
+    for (const DynRxHandler& h : nodes_[k].handlers) {
+      h(f.info, payload, at);
+    }
+  }
+}
+
+void FlexrayFabric::reset_stats() {
+  for (DynFrame& f : dyn_frames_) {
+    f.stats = DynStats{};
+  }
+}
+
+}  // namespace aces::net

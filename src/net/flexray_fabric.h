@@ -1,0 +1,224 @@
+// FlexRay fabric simulator: static TDMA segment + minislot dynamic segment.
+//
+// Promotes the schedule replay that used to live in
+// sched::FlexrayStaticDriver into a full bus participant, joined to the
+// shared event queue exactly like can::CanBus. Every communication cycle
+// (fixed length, cycle counter wrapping at 64) runs
+//
+//   static segment    the feasible (slot, base cycle, repetition) schedule
+//                     from sched::build_static_schedule, replayed slot by
+//                     slot (an observer callback sees each instance);
+//   dynamic segment   a minislot scheme: a slot counter walks dynamic slot
+//                     ids in priority order (1 = highest). An id whose
+//                     owner has a frame queued occupies as many minislots
+//                     as the frame's wire time needs — but only if that
+//                     occupancy still fits the cycle's minislot budget
+//                     (the pLatestTx rule); otherwise, and for idle ids,
+//                     the counter consumes exactly one minislot.
+//
+// Dynamic frames carry an opaque payload (up to 64 bytes) with an origin
+// timestamp preserved across gateways, so cross-fabric end-to-end latency
+// stays measurable just like on CAN. Per-frame transmit statistics
+// (sent / deferrals / worst queue-to-delivery latency) mirror
+// can::MessageStats, and dynamic_hop() packages the matching worst-case
+// bound (sched::flexray_dynamic_hop) for path_rta composition.
+//
+// Wire model for the dynamic frame duration: TSS/FSS/FES framing is 11 bit
+// times and every frame byte (5 header + 3 trailer CRC + payload) costs 10
+// bits with its byte-start sequence, so a frame with n payload bytes is
+// 91 + 10n bits at the configured wire bit rate, rounded up to whole
+// minislots. The analysis uses the same rounding on the registered maximum
+// payload, so the simulated occupancy can never exceed the analyzed one.
+//
+// Everything is deterministic: all state advances on the owning event
+// queue, and identical send sequences replay bit-identically.
+#ifndef ACES_NET_FLEXRAY_FABRIC_H
+#define ACES_NET_FLEXRAY_FABRIC_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/flexray.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace aces::net {
+
+struct FlexrayFabricConfig {
+  // Cycle geometry + static segment (sched::FlexrayConfig: cycle length,
+  // static slot count, static slot length).
+  sched::FlexrayConfig static_cfg;
+  // Dynamic segment, starting right after the static segment: 0 minislots
+  // is a static-only fabric. static + dynamic must fit the cycle.
+  unsigned minislots = 0;
+  sim::SimTime minislot = 10 * sim::kMicrosecond;
+  std::uint32_t bitrate_bps = 10'000'000;  // wire rate (FlexRay: 10 Mbit/s)
+};
+
+class FlexrayFabric {
+ public:
+  using NodeId = int;
+  using DynId = int;
+  static constexpr unsigned kMaxPayload = 64;
+
+  struct DynPayload {
+    unsigned bytes = 0;
+    std::array<std::uint8_t, kMaxPayload> data{};
+    // Origin timestamp (ns), metadata only — stamped at first queuing when
+    // unset, preserved by store-and-forward gateways (the CanFrame
+    // convention), so receivers measure true end-to-end latency.
+    std::int64_t timestamp = -1;
+  };
+
+  struct DynFrameInfo {
+    std::string name;
+    NodeId node = -1;        // owning (transmitting) node
+    unsigned slot_id = 0;    // dynamic priority, 1 = highest; unique
+    unsigned max_bytes = 0;  // registered payload ceiling
+    unsigned minislots = 0;  // occupancy of a max-size transmission
+  };
+
+  struct DynStats {
+    std::uint64_t sent = 0;
+    // Decision points that passed while a frame was pending but its
+    // occupancy no longer fit the cycle's remaining minislot budget.
+    std::uint64_t deferrals = 0;
+    sim::SimTime worst_latency = 0;  // queue -> delivery
+    sim::SimTime total_latency = 0;
+  };
+
+  // Static-slot observer: each owned slot instance, at its start.
+  using SlotFn = std::function<void(const sched::FlexrayFrame& frame,
+                                    const sched::FlexrayAssignment& assignment,
+                                    sim::SimTime slot_start)>;
+  // Dynamic delivery: (frame registry entry, payload, end-of-frame time).
+  using DynRxHandler = std::function<void(
+      const DynFrameInfo&, const DynPayload&, sim::SimTime)>;
+
+  FlexrayFabric(sim::EventQueue& queue, FlexrayFabricConfig config);
+  FlexrayFabric(sim::Simulation& sim, FlexrayFabricConfig config)
+      : FlexrayFabric(sim.queue(), config) {}
+
+  // Pinned: armed queue events capture `this`.
+  FlexrayFabric(const FlexrayFabric&) = delete;
+  FlexrayFabric& operator=(const FlexrayFabric&) = delete;
+
+  NodeId attach_node(std::string name);
+
+  // ----- static segment ---------------------------------------------------
+  // Builds the static schedule for `frames` (checked feasible) and installs
+  // it for replay. Call at most once, before start().
+  void assign_static(std::vector<sched::FlexrayFrame> frames);
+  [[nodiscard]] const sched::FlexraySchedule& static_schedule() const {
+    return static_schedule_;
+  }
+  // Optional observer of every replayed static slot instance.
+  void on_static_slot(SlotFn fn);
+
+  // ----- dynamic segment --------------------------------------------------
+  // Registers a dynamic frame owned by `owner`. `slot_id` (>= 1, unique on
+  // the fabric) is the minislot-counter priority; `max_bytes` bounds every
+  // payload sent under this id and fixes the occupancy the analysis
+  // charges. Requires a configured dynamic segment large enough for the
+  // frame. May be called after start(); the walk reads the registry at
+  // each cycle's decision points.
+  DynId add_dynamic_frame(NodeId owner, std::string name, unsigned slot_id,
+                          unsigned max_bytes);
+
+  // Queues a payload for transmission under `id` (at most one transmission
+  // per id per cycle; the queue carries any backlog). Keeping the producer
+  // period >= the cycle length keeps the queue bounded — and is what the
+  // dynamic_hop bound assumes.
+  void send_dynamic(DynId id, const DynPayload& payload);
+
+  // Delivery of every dynamic frame to `node` (transmissions by `node`
+  // itself excluded), at end of frame.
+  void subscribe(NodeId node, DynRxHandler handler);
+  // Transmit-complete: fires on the owning node at end of frame.
+  void subscribe_tx(NodeId node, DynRxHandler handler);
+
+  [[nodiscard]] const DynFrameInfo& dyn_info(DynId id) const;
+  [[nodiscard]] const DynStats& dyn_stats(DynId id) const;
+  // Checked reverse lookup: the registered frame under `slot_id`.
+  [[nodiscard]] DynId dyn_by_slot(unsigned slot_id) const;
+
+  // ----- analysis ---------------------------------------------------------
+  // Worst-case parameters of `id` against the current registry (every
+  // higher-priority id assumed to transmit a max-size frame each cycle).
+  [[nodiscard]] sched::FlexrayDynHopParams dynamic_hop_params(
+      DynId id, sim::SimTime deadline) const;
+  // The same, packaged as a path_rta hop (sched::flexray_dynamic_hop).
+  [[nodiscard]] sched::PathHop dynamic_hop(DynId id, sim::SimTime deadline,
+                                           sim::SimTime gateway_latency = 0,
+                                           int bus = -1) const;
+
+  // ----- runtime ----------------------------------------------------------
+  // Arms communication cycle 0 at the current instant; cycles run forever
+  // (the cycle counter wraps at 64) until the owning queue stops.
+  void start();
+
+  [[nodiscard]] unsigned cycle() const noexcept { return cycle_; }
+  [[nodiscard]] std::uint64_t cycles_run() const noexcept {
+    return cycles_run_;
+  }
+  [[nodiscard]] std::uint64_t slots_played() const noexcept {
+    return slots_played_;
+  }
+  [[nodiscard]] sim::SimTime bit_time() const noexcept { return bit_time_; }
+  // Wire bits / whole-minislot occupancy of an n-byte dynamic frame.
+  [[nodiscard]] unsigned frame_bits(unsigned bytes) const {
+    return 91 + 10 * bytes;
+  }
+  [[nodiscard]] unsigned frame_minislots(unsigned bytes) const;
+
+  // Clears the per-frame statistics (not the protocol state: pending
+  // queues, cycle counters and armed events are untouched), mirroring
+  // CanBus::reset_stats for campaign reuse.
+  void reset_stats();
+
+ private:
+  struct QueuedPayload {
+    DynPayload payload;
+    sim::SimTime queued_at = 0;
+  };
+  struct DynFrame {
+    DynFrameInfo info;
+    std::deque<QueuedPayload> queue;
+    DynStats stats;
+  };
+  struct Node {
+    std::string name;
+    std::vector<DynRxHandler> handlers;
+    std::vector<DynRxHandler> tx_handlers;
+  };
+
+  void arm_cycle(sim::SimTime cycle_start);
+  // One decision point of the dynamic walk: minislot counter at `slot_id`,
+  // `used` minislots consumed so far in this cycle's dynamic segment.
+  void walk_dynamic(sim::SimTime t, unsigned slot_id, unsigned used);
+  void deliver(DynFrame& f, const DynPayload& payload, sim::SimTime at);
+
+  sim::EventQueue& queue_;
+  FlexrayFabricConfig config_;
+  sim::SimTime bit_time_ = 0;
+  sim::SimTime static_segment_ = 0;  // static slots * slot length
+  std::vector<Node> nodes_;
+  std::vector<sched::FlexrayFrame> static_frames_;
+  sched::FlexraySchedule static_schedule_;
+  bool have_static_ = false;
+  SlotFn on_slot_;
+  std::vector<DynFrame> dyn_frames_;
+  unsigned max_slot_id_ = 0;
+  bool started_ = false;
+  unsigned cycle_ = 0;  // communication cycle counter, wraps at 64
+  std::uint64_t cycles_run_ = 0;
+  std::uint64_t slots_played_ = 0;
+};
+
+}  // namespace aces::net
+
+#endif  // ACES_NET_FLEXRAY_FABRIC_H

@@ -34,20 +34,139 @@ void GatewayNode::join(BusId id, can::CanBus& bus) {
                    });
 }
 
+void GatewayNode::join_flexray(BusId id, FlexrayFabric& fabric) {
+  ACES_CHECK_MSG(ports_.find(id) == ports_.end(),
+                 "gateway '" + name_ + "' already joined this bus");
+  Port port;
+  port.flexray = &fabric;
+  port.node = fabric.attach_node(name_);
+  ports_[id] = port;
+  fabric.subscribe(port.node,
+                   [this, id](const FlexrayFabric::DynFrameInfo& info,
+                              const FlexrayFabric::DynPayload& payload,
+                              SimTime at) {
+                     on_flexray_rx(id, info, payload, at);
+                   });
+  fabric.subscribe_tx(port.node,
+                      [this, id](const FlexrayFabric::DynFrameInfo& info,
+                                 const FlexrayFabric::DynPayload&,
+                                 SimTime at) {
+                        on_flexray_tx_done(id, info, at);
+                      });
+}
+
+const GatewayNode::Port& GatewayNode::port_of(BusId id) const {
+  const auto it = ports_.find(id);
+  ACES_CHECK_MSG(it != ports_.end(),
+                 "gateway '" + name_ + "' is not on this bus");
+  return it->second;
+}
+
 void GatewayNode::add_route(const Route& route) {
   ACES_CHECK_MSG(route.from != route.to,
                  "gateway route cannot loop a bus onto itself");
-  ACES_CHECK_MSG(ports_.find(route.from) != ports_.end() &&
-                     ports_.find(route.to) != ports_.end(),
-                 "gateway route references a bus it has not joined");
+  const Port& in = port_of(route.from);
+  const Port& out = port_of(route.to);
+  ACES_CHECK_MSG(in.bus != nullptr && out.bus != nullptr,
+                 "plain routes connect CAN ports (use packed/unpack routes "
+                 "to cross into FlexRay)");
+  if (route.fd && *route.fd) {
+    ACES_CHECK_MSG(out.bus->fd_enabled(),
+                   "route promotes to CAN FD but the egress bus has no "
+                   "data bit rate");
+  }
   routes_.push_back(route);
 }
 
-can::NodeId GatewayNode::node_on(BusId bus) const {
-  const auto it = ports_.find(bus);
-  ACES_CHECK_MSG(it != ports_.end(),
-                 "gateway '" + name_ + "' is not on this bus");
-  return it->second.node;
+void GatewayNode::add_packed_route(const PackedRoute& route) {
+  ACES_CHECK_MSG(route.from != route.to,
+                 "gateway route cannot loop a bus onto itself");
+  const Port& in = port_of(route.from);
+  const Port& out = port_of(route.to);
+  ACES_CHECK_MSG(in.bus != nullptr,
+                 "packed routes aggregate CAN ingress frames");
+  ACES_CHECK_MSG(!route.table.empty(), "packed route needs a packing table");
+  unsigned extent = 0;
+  bool trigger_in_table = false;
+  for (const PackSlot& slot : route.table) {
+    ACES_CHECK_MSG(slot.bytes >= 1, "packing slot cannot be empty");
+    ACES_CHECK_MSG(slot.offset + slot.bytes <= FlexrayFabric::kMaxPayload,
+                   "packing slot exceeds the 64-byte packing buffer");
+    extent = std::max(extent, slot.offset + slot.bytes);
+    trigger_in_table = trigger_in_table || slot.src_id == route.trigger_id;
+  }
+  ACES_CHECK_MSG(trigger_in_table,
+                 "the trigger id must be one of the packing table's ids");
+  PackedRoute stored = route;
+  if (route.egress_dyn >= 0) {
+    ACES_CHECK_MSG(out.flexray != nullptr,
+                   "egress_dyn set but the egress port is not FlexRay");
+    const FlexrayFabric::DynFrameInfo& info =
+        out.flexray->dyn_info(route.egress_dyn);
+    ACES_CHECK_MSG(info.node == out.node,
+                   "the packed route's dynamic frame must be owned by the "
+                   "gateway's node on the egress fabric");
+    if (stored.egress_bytes == 0) {
+      stored.egress_bytes = extent;
+    }
+    ACES_CHECK_MSG(stored.egress_bytes >= extent,
+                   "FlexRay egress payload smaller than the packing table");
+    ACES_CHECK_MSG(stored.egress_bytes <= info.max_bytes,
+                   "FlexRay egress payload exceeds the registered ceiling");
+  } else {
+    ACES_CHECK_MSG(out.bus != nullptr,
+                   "packed route egress port is neither CAN nor FlexRay");
+    const unsigned payload =
+        route.egress_fd ? can::fd_payload_bytes(route.egress_dlc)
+                        : route.egress_dlc;
+    ACES_CHECK_MSG(!route.egress_fd || out.bus->fd_enabled(),
+                   "packed route emits CAN FD but the egress bus has no "
+                   "data bit rate");
+    ACES_CHECK_MSG(route.egress_fd || route.egress_dlc <= 8,
+                   "classic packed egress is limited to dlc 0..8");
+    ACES_CHECK_MSG(payload >= extent,
+                   "packed egress frame smaller than the packing table");
+  }
+  packed_routes_.push_back(std::move(stored));
+  pack_state_.emplace_back();
+}
+
+void GatewayNode::add_unpack_route(const UnpackRoute& route) {
+  ACES_CHECK_MSG(route.from != route.to,
+                 "gateway route cannot loop a bus onto itself");
+  const Port& in = port_of(route.from);
+  const Port& out = port_of(route.to);
+  ACES_CHECK_MSG(out.bus != nullptr,
+                 "unpack routes emit classic CAN frames");
+  if (in.flexray != nullptr) {
+    ACES_CHECK_MSG(route.match_dyn >= 0,
+                   "FlexRay ingress unpack route needs match_dyn");
+    const FlexrayFabric::DynFrameInfo& info =
+        in.flexray->dyn_info(route.match_dyn);
+    ACES_CHECK_MSG(info.node != in.node,
+                   "the gateway never receives its own dynamic frames");
+  } else {
+    ACES_CHECK_MSG(route.match_dyn < 0,
+                   "match_dyn is only meaningful on a FlexRay ingress port");
+  }
+  ACES_CHECK_MSG(!route.table.empty(), "unpack route needs a slicing table");
+  for (const UnpackSlot& slot : route.table) {
+    ACES_CHECK_MSG(slot.dlc >= 1 && slot.dlc <= 8,
+                   "unpacked frames are classic CAN (dlc 1..8)");
+    ACES_CHECK_MSG(slot.offset + slot.dlc <= FlexrayFabric::kMaxPayload,
+                   "unpack slice exceeds the 64-byte payload");
+  }
+  unpack_routes_.push_back(route);
+  unpack_stats_.emplace_back();
+}
+
+can::NodeId GatewayNode::node_on(BusId bus) const { return port_of(bus).node; }
+
+FlexrayFabric::NodeId GatewayNode::flexray_node_on(BusId bus) const {
+  const Port& port = port_of(bus);
+  ACES_CHECK_MSG(port.flexray != nullptr,
+                 "gateway '" + name_ + "' has no FlexRay port on this bus");
+  return port.node;
 }
 
 const GatewayNode::DirectionStats& GatewayNode::direction(BusId from,
@@ -57,39 +176,222 @@ const GatewayNode::DirectionStats& GatewayNode::direction(BusId from,
   return it == directions_.end() ? kEmpty : it->second;
 }
 
+const GatewayNode::TranslationStats& GatewayNode::packed_stats(
+    std::size_t route) const {
+  ACES_CHECK_MSG(route < pack_state_.size(), "unknown packed route");
+  return pack_state_[route].stats;
+}
+
+const GatewayNode::TranslationStats& GatewayNode::unpack_stats(
+    std::size_t route) const {
+  ACES_CHECK_MSG(route < unpack_stats_.size(), "unknown unpack route");
+  return unpack_stats_[route];
+}
+
+bool GatewayNode::translate_format(const Route& route,
+                                   can::CanFrame& out) const {
+  if (route.fd) {
+    if (*route.fd && !out.fd) {
+      if (out.rtr) {
+        return false;  // CAN FD has no remote frames
+      }
+      out.fd = true;
+    } else if (!*route.fd && out.fd) {
+      const unsigned payload = can::fd_payload_bytes(out.dlc);
+      if (payload > 8) {
+        return false;  // does not fit a classic frame
+      }
+      out.dlc = payload;  // DLC codes 0..8 are their own byte counts
+      out.fd = false;
+    }
+  }
+  if (out.fd && route.brs) {
+    out.brs = *route.brs;
+  }
+  return true;
+}
+
+bool GatewayNode::admit(BusId from, BusId to) {
+  DirectionStats& d = dir(from, to);
+  if (d.queued >= config_.queue_depth) {
+    // Bounded store-and-forward buffer: overload drops, it never queues
+    // unboundedly — and the drop is visible to the analysis story.
+    ++d.dropped_overflow;
+    ++stats_.frames_dropped;
+    return false;
+  }
+  ++d.queued;
+  d.peak_queued = std::max(d.peak_queued, d.queued);
+  ++d.forwarded;
+  ++stats_.frames_forwarded;
+  return true;
+}
+
+void GatewayNode::queue_can_egress(BusId from, BusId to, can::CanFrame out,
+                                   SimTime ingress_at, SimTime latency,
+                                   int packed_route, int unpack_route) {
+  // After the processing latency the frame enters the egress mailbox and
+  // competes in arbitration like locally-originated traffic. The origin
+  // timestamp rides along untouched (bus.send only stamps negatives).
+  sim_.schedule_in(latency, [this, from, to, out, ingress_at, packed_route,
+                             unpack_route] {
+    Transit t;
+    t.from = from;
+    t.ingress_at = ingress_at;
+    t.packed_route = packed_route;
+    t.unpack_route = unpack_route;
+    in_transit_[to][out.id].push_back(t);
+    Port& port = ports_[to];
+    port.bus->send(port.node, out);
+  });
+}
+
+void GatewayNode::queue_flexray_egress(BusId from, BusId to,
+                                       FlexrayFabric::DynId dyn,
+                                       FlexrayFabric::DynPayload payload,
+                                       SimTime ingress_at, SimTime latency,
+                                       int packed_route) {
+  const int slot_key =
+      static_cast<int>(ports_[to].flexray->dyn_info(dyn).slot_id);
+  sim_.schedule_in(latency, [this, from, to, dyn, slot_key,
+                             payload = std::move(payload), ingress_at,
+                             packed_route] {
+    Transit t;
+    t.from = from;
+    t.ingress_at = ingress_at;
+    t.packed_route = packed_route;
+    fr_in_transit_[to][slot_key].push_back(t);
+    ports_[to].flexray->send_dynamic(dyn, payload);
+  });
+}
+
 void GatewayNode::on_rx(BusId from, const can::CanFrame& frame, SimTime at) {
   for (const Route& route : routes_) {
     if (route.from != from || !route.matches(frame.id)) {
       continue;
     }
-    DirectionStats& d = dir(from, route.to);
-    if (d.queued >= config_.queue_depth) {
-      // Bounded store-and-forward buffer: overload drops, it never queues
-      // unboundedly — and the drop is visible to the analysis story.
-      ++d.dropped_overflow;
-      ++stats_.frames_dropped;
-      continue;
-    }
-    ++d.queued;
-    d.peak_queued = std::max(d.peak_queued, d.queued);
-    ++d.forwarded;
-    ++stats_.frames_forwarded;
     can::CanFrame out = frame;
     if (route.remap) {
       out.id = *route.remap;
     }
-    // After the processing latency the frame enters the egress mailbox and
-    // competes in arbitration like locally-originated traffic. The origin
-    // timestamp rides along untouched (bus.send only stamps zeros).
-    sim_.schedule_in(config_.forwarding_latency,
-                     [this, from, to = route.to, out, at] {
-                       Transit t;
-                       t.from = from;
-                       t.ingress_at = at;
-                       in_transit_[to][out.id].push_back(t);
-                       Port& port = ports_[to];
-                       port.bus->send(port.node, out);
-                     });
+    if (!translate_format(route, out)) {
+      DirectionStats& d = dir(from, route.to);
+      ++d.dropped_translation;
+      ++stats_.frames_dropped;
+      continue;
+    }
+    if (!admit(from, route.to)) {
+      continue;
+    }
+    queue_can_egress(from, route.to, out, at, config_.forwarding_latency,
+                     -1, -1);
+  }
+  const unsigned pb = frame.rtr ? 0 : can::payload_bytes(frame);
+  for (std::size_t i = 0; i < packed_routes_.size(); ++i) {
+    const PackedRoute& route = packed_routes_[i];
+    if (route.from != from || frame.rtr) {
+      continue;
+    }
+    PackState& st = pack_state_[i];
+    bool touched = false;
+    for (const PackSlot& slot : route.table) {
+      if (slot.src_id != frame.id) {
+        continue;
+      }
+      touched = true;
+      // Latest-value semantics; bytes past the ingress payload read as 0.
+      for (unsigned k = 0; k < slot.bytes; ++k) {
+        st.buffer[slot.offset + k] = k < pb ? frame.data[k] : 0;
+      }
+    }
+    if (!touched) {
+      continue;
+    }
+    ++st.stats.updates;
+    if (frame.id != route.trigger_id) {
+      continue;
+    }
+    const SimTime latency =
+        route.latency < 0 ? config_.forwarding_latency : route.latency;
+    if (!admit(from, route.to)) {
+      continue;
+    }
+    ++st.stats.emitted;
+    if (route.egress_dyn >= 0) {
+      FlexrayFabric::DynPayload p;
+      p.bytes = route.egress_bytes;
+      std::copy_n(st.buffer.begin(), p.bytes, p.data.begin());
+      p.timestamp = frame.timestamp;
+      queue_flexray_egress(from, route.to, route.egress_dyn, std::move(p),
+                           at, latency, static_cast<int>(i));
+    } else {
+      can::CanFrame out;
+      out.id = route.egress_id;
+      out.extended = route.egress_extended;
+      out.rtr = false;
+      out.fd = route.egress_fd;
+      out.brs = route.egress_brs;
+      out.dlc = route.egress_dlc;
+      std::copy_n(st.buffer.begin(), can::payload_bytes(out),
+                  out.data.begin());
+      out.timestamp = frame.timestamp;
+      queue_can_egress(from, route.to, out, at, latency,
+                       static_cast<int>(i), -1);
+    }
+  }
+  for (std::size_t i = 0; i < unpack_routes_.size(); ++i) {
+    const UnpackRoute& route = unpack_routes_[i];
+    if (route.from != from || route.match_dyn >= 0 || frame.rtr ||
+        frame.id != route.match_id) {
+      continue;
+    }
+    run_unpack(i, route, frame.data.data(), pb, frame.timestamp, at);
+  }
+}
+
+void GatewayNode::on_flexray_rx(BusId from,
+                                const FlexrayFabric::DynFrameInfo& info,
+                                const FlexrayFabric::DynPayload& payload,
+                                SimTime at) {
+  const Port& port = ports_[from];
+  for (std::size_t i = 0; i < unpack_routes_.size(); ++i) {
+    const UnpackRoute& route = unpack_routes_[i];
+    if (route.from != from || route.match_dyn < 0 ||
+        port.flexray->dyn_info(route.match_dyn).slot_id != info.slot_id) {
+      continue;
+    }
+    run_unpack(i, route, payload.data.data(), payload.bytes,
+               payload.timestamp, at);
+  }
+}
+
+void GatewayNode::run_unpack(std::size_t route_index,
+                             const UnpackRoute& route,
+                             const std::uint8_t* payload,
+                             unsigned payload_bytes, std::int64_t timestamp,
+                             SimTime at) {
+  TranslationStats& st = unpack_stats_[route_index];
+  ++st.updates;
+  const SimTime latency =
+      route.latency < 0 ? config_.forwarding_latency : route.latency;
+  for (const UnpackSlot& slot : route.table) {
+    if (!admit(route.from, route.to)) {
+      continue;  // direction full: this slice drops, later ones may fit
+    }
+    ++st.emitted;
+    can::CanFrame out;
+    out.id = slot.dst_id;
+    out.extended = slot.extended;
+    out.rtr = false;
+    out.fd = false;
+    out.dlc = slot.dlc;
+    for (unsigned k = 0; k < slot.dlc; ++k) {
+      const unsigned src = slot.offset + k;
+      out.data[k] = src < payload_bytes ? payload[src] : 0;
+    }
+    out.timestamp = timestamp;
+    queue_can_egress(route.from, route.to, out, at, latency, -1,
+                     static_cast<int>(route_index));
   }
 }
 
@@ -109,7 +411,45 @@ void GatewayNode::on_tx_done(BusId to, const can::CanFrame& frame,
   --d.queued;
   ++d.delivered;
   ++stats_.frames_delivered;
-  d.worst_transit = std::max(d.worst_transit, at - t.ingress_at);
+  const SimTime transit = at - t.ingress_at;
+  d.worst_transit = std::max(d.worst_transit, transit);
+  if (t.packed_route >= 0) {
+    TranslationStats& ts =
+        pack_state_[static_cast<std::size_t>(t.packed_route)].stats;
+    ts.worst_transit = std::max(ts.worst_transit, transit);
+  }
+  if (t.unpack_route >= 0) {
+    TranslationStats& ts =
+        unpack_stats_[static_cast<std::size_t>(t.unpack_route)];
+    ts.worst_transit = std::max(ts.worst_transit, transit);
+  }
+}
+
+void GatewayNode::on_flexray_tx_done(BusId to,
+                                     const FlexrayFabric::DynFrameInfo& info,
+                                     SimTime at) {
+  auto& by_slot = fr_in_transit_[to];
+  const auto it = by_slot.find(static_cast<int>(info.slot_id));
+  ACES_CHECK_MSG(it != by_slot.end() && !it->second.empty(),
+                 "gateway '" + name_ + "' completed a dynamic frame it "
+                 "never sent");
+  const Transit t = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) {
+    by_slot.erase(it);
+  }
+  DirectionStats& d = dir(t.from, to);
+  ACES_CHECK(d.queued > 0);
+  --d.queued;
+  ++d.delivered;
+  ++stats_.frames_delivered;
+  const SimTime transit = at - t.ingress_at;
+  d.worst_transit = std::max(d.worst_transit, transit);
+  if (t.packed_route >= 0) {
+    TranslationStats& ts =
+        pack_state_[static_cast<std::size_t>(t.packed_route)].stats;
+    ts.worst_transit = std::max(ts.worst_transit, transit);
+  }
 }
 
 void GatewayNode::reset_stats() {
@@ -118,6 +458,12 @@ void GatewayNode::reset_stats() {
     d = DirectionStats{};
     d.queued = queued;       // live state: frames still inside the gateway
     d.peak_queued = queued;  // the new window's peak starts here
+  }
+  for (PackState& st : pack_state_) {
+    st.stats = TranslationStats{};  // the packing buffer is state, kept
+  }
+  for (TranslationStats& st : unpack_stats_) {
+    st = TranslationStats{};
   }
   stats_ = Stats{};
 }

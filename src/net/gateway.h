@@ -1,4 +1,4 @@
-// Store-and-forward CAN gateway: the node that turns separate buses into a
+// Store-and-forward gateway: the node that turns separate fabrics into a
 // vehicle network.
 //
 // Real vehicles segment traffic onto domain buses (powertrain / body /
@@ -10,13 +10,30 @@
 // latency, and queues the frame into the egress bus's priority-ordered
 // mailbox — where it arbitrates like any other traffic.
 //
+// Heterogeneous fabrics add two translating route kinds and FlexRay ports:
+//
+//   Route (plain)   may also promote a classic frame to CAN FD on an
+//                   FD-capable egress bus (`fd = true`) or demote an FD
+//                   frame that fits 8 bytes back to classic (`fd = false`,
+//                   e.g. leaving an FD backbone for a legacy bus; an FD
+//                   frame too big to demote is dropped and counted);
+//   PackedRoute     N classic ingress frames update a 64-byte packing
+//                   buffer through a signal-packing table; the arrival of
+//                   the designated trigger frame emits ONE aggregated
+//                   frame — a CAN FD frame or a FlexRay dynamic frame —
+//                   carrying the trigger's origin timestamp;
+//   UnpackRoute     the inverse: one big ingress frame (CAN/CAN FD by id,
+//                   or FlexRay dynamic by DynId) fans out into N classic
+//                   frames sliced from its payload, each carrying the big
+//                   frame's origin timestamp.
+//
 // Buffering is bounded per *direction* (ingress bus -> egress bus): at most
 // `queue_depth` frames may be inside the gateway (accepted but not yet
 // delivered on the egress wire) per direction; a frame arriving to a full
 // direction is dropped and counted, never queued — the overload behavior a
-// schedulability argument has to see. CanFrame::timestamp is preserved
-// across the hop, so receivers measure true end-to-end latency, the
-// quantity sched::path_rta bounds.
+// schedulability argument has to see. CanFrame::timestamp (and the FlexRay
+// DynPayload timestamp) is preserved across the hop, so receivers measure
+// true end-to-end latency, the quantity sched::path_rta bounds.
 //
 // A frame the gateway itself transmits is never received back by the
 // gateway on that bus (CAN delivery skips the transmitter), so a pair of
@@ -34,6 +51,7 @@
 #include <vector>
 
 #include "can/bus.h"
+#include "net/flexray_fabric.h"
 #include "sim/simulation.h"
 
 namespace aces::net {
@@ -50,10 +68,71 @@ struct Route {
   std::uint32_t match = 0;
   std::uint32_t mask = 0x7FF;  // compared identifier bits (11-bit default)
   std::optional<std::uint32_t> remap;  // egress identifier override
+  // Egress format translation. `fd = true` promotes to CAN FD (the egress
+  // bus must have a data bit rate), `fd = false` demotes to classic — an
+  // FD frame whose DLC code exceeds 8 bytes cannot demote and is dropped
+  // (counted as dropped_translation). Unset forwards the format verbatim;
+  // forwarding an FD frame onto a classic-only egress bus is then a
+  // configuration error the egress bus rejects. `brs` overrides the
+  // bit-rate switch on (promoted or passed-through) FD egress frames.
+  std::optional<bool> fd{};
+  std::optional<bool> brs{};
 
   [[nodiscard]] bool matches(std::uint32_t id) const {
     return (id & mask) == (match & mask);
   }
+};
+
+// Signal-packing table entry: `bytes` bytes of `src_id`'s payload land at
+// `offset` in the packed payload.
+struct PackSlot {
+  std::uint32_t src_id = 0;
+  unsigned offset = 0;
+  unsigned bytes = 8;
+};
+
+// Aggregating translation (see file comment). The packing buffer holds the
+// latest payload of every table identifier; `trigger_id` (which must be
+// one of the table's identifiers) emits the aggregate after updating its
+// own slot.
+struct PackedRoute {
+  BusId from = -1;
+  BusId to = -1;
+  std::vector<PackSlot> table;
+  std::uint32_t trigger_id = 0;
+  // CAN(-FD) egress (used when egress_dyn < 0). egress_dlc is the DLC
+  // *code*; its payload must cover the table extent.
+  std::uint32_t egress_id = 0;
+  bool egress_extended = false;
+  bool egress_fd = true;
+  bool egress_brs = true;
+  unsigned egress_dlc = 0;
+  // FlexRay egress: >= 0 selects the registered dynamic frame (owned by
+  // this gateway's node on `to`) carrying the packed payload.
+  int egress_dyn = -1;
+  unsigned egress_bytes = 0;  // FlexRay payload size; 0 = table extent
+  // Translation processing latency; < 0 uses the gateway's
+  // forwarding_latency.
+  sim::SimTime latency = -1;
+};
+
+// One slice of an unpacking table: bytes [offset, offset+dlc) of the big
+// payload egress as a classic frame `dst_id` with `dlc` data bytes.
+struct UnpackSlot {
+  std::uint32_t dst_id = 0;
+  bool extended = false;
+  unsigned dlc = 8;
+  unsigned offset = 0;
+};
+
+// Disaggregating translation: the inverse of PackedRoute.
+struct UnpackRoute {
+  BusId from = -1;
+  BusId to = -1;
+  std::uint32_t match_id = 0;  // CAN ingress identifier…
+  int match_dyn = -1;          // …or FlexRay DynId when `from` is FlexRay
+  std::vector<UnpackSlot> table;
+  sim::SimTime latency = -1;  // < 0: the gateway's forwarding_latency
 };
 
 struct GatewayConfig {
@@ -76,16 +155,31 @@ class GatewayNode {
   // Wiring (done by Network::build): join every bus the routing table
   // references, then install the routes.
   void join(BusId id, can::CanBus& bus);
+  void join_flexray(BusId id, FlexrayFabric& fabric);
   void add_route(const Route& route);
+  void add_packed_route(const PackedRoute& route);
+  void add_unpack_route(const UnpackRoute& route);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] can::NodeId node_on(BusId bus) const;
+  // The gateway's node id on a joined FlexRay fabric (for registering the
+  // dynamic frames its packed routes emit).
+  [[nodiscard]] FlexrayFabric::NodeId flexray_node_on(BusId bus) const;
   [[nodiscard]] const std::vector<Route>& routes() const { return routes_; }
+  [[nodiscard]] const std::vector<PackedRoute>& packed_routes() const {
+    return packed_routes_;
+  }
+  [[nodiscard]] const std::vector<UnpackRoute>& unpack_routes() const {
+    return unpack_routes_;
+  }
 
   struct DirectionStats {
     std::uint64_t forwarded = 0;         // accepted into the gateway
     std::uint64_t delivered = 0;         // completed on the egress wire
     std::uint64_t dropped_overflow = 0;  // arrived with the direction full
+    // Frames that could not be format-translated (an FD frame too big to
+    // demote to classic on this direction).
+    std::uint64_t dropped_translation = 0;
     unsigned queued = 0;                 // currently inside the gateway
     unsigned peak_queued = 0;
     // Worst ingress-delivery -> egress-delivery transit (forwarding
@@ -94,6 +188,16 @@ class GatewayNode {
   };
   [[nodiscard]] const DirectionStats& direction(BusId from, BusId to) const;
 
+  // Per translating route (indexed in add order).
+  struct TranslationStats {
+    std::uint64_t updates = 0;  // ingress frames consumed into the buffer
+                                // (pack) / big frames matched (unpack)
+    std::uint64_t emitted = 0;  // egress frames queued
+    sim::SimTime worst_transit = 0;  // trigger/big-frame rx -> egress wire
+  };
+  [[nodiscard]] const TranslationStats& packed_stats(std::size_t route) const;
+  [[nodiscard]] const TranslationStats& unpack_stats(std::size_t route) const;
+
   struct Stats {
     std::uint64_t frames_forwarded = 0;
     std::uint64_t frames_delivered = 0;
@@ -101,39 +205,77 @@ class GatewayNode {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
-  // Clears the forwarding counters (per-direction and aggregate) without
-  // touching live state: frames currently inside the gateway stay queued
-  // and still deliver; `queued` is preserved and `peak_queued` restarts
-  // from it. Pairs with CanBus::reset_stats for fresh measurement windows
-  // on a reused topology.
+  // Clears the forwarding counters (per-direction, per-route and
+  // aggregate) without touching live state: frames currently inside the
+  // gateway stay queued and still deliver; `queued` is preserved and
+  // `peak_queued` restarts from it. Packing buffers are state, not
+  // statistics, and persist. Pairs with CanBus::reset_stats for fresh
+  // measurement windows on a reused topology.
   void reset_stats();
 
  private:
   struct Port {
-    can::CanBus* bus = nullptr;
-    can::NodeId node = -1;
+    can::CanBus* bus = nullptr;         // exactly one of bus/flexray set
+    FlexrayFabric* flexray = nullptr;
+    can::NodeId node = -1;              // node id on whichever fabric
   };
   struct Transit {  // a frame handed to an egress mailbox, awaiting the wire
     BusId from = -1;
     sim::SimTime ingress_at = 0;
+    int packed_route = -1;  // translating route to credit on delivery
+    int unpack_route = -1;
   };
 
   void on_rx(BusId from, const can::CanFrame& frame, sim::SimTime at);
   void on_tx_done(BusId to, const can::CanFrame& frame, sim::SimTime at);
+  void on_flexray_rx(BusId from, const FlexrayFabric::DynFrameInfo& info,
+                     const FlexrayFabric::DynPayload& payload,
+                     sim::SimTime at);
+  void on_flexray_tx_done(BusId to, const FlexrayFabric::DynFrameInfo& info,
+                          sim::SimTime at);
+  // Applies a plain route's format overrides in place; false = the frame
+  // cannot be represented on egress (demotion overflow).
+  [[nodiscard]] bool translate_format(const Route& route,
+                                      can::CanFrame& out) const;
+  // Bounded admission into direction (from, to); false = overflow drop.
+  [[nodiscard]] bool admit(BusId from, BusId to);
+  void queue_can_egress(BusId from, BusId to, can::CanFrame out,
+                        sim::SimTime ingress_at, sim::SimTime latency,
+                        int packed_route, int unpack_route);
+  void queue_flexray_egress(BusId from, BusId to, FlexrayFabric::DynId dyn,
+                            FlexrayFabric::DynPayload payload,
+                            sim::SimTime ingress_at, sim::SimTime latency,
+                            int packed_route);
+  void run_unpack(std::size_t route_index, const UnpackRoute& route,
+                  const std::uint8_t* payload, unsigned payload_bytes,
+                  std::int64_t timestamp, sim::SimTime at);
   [[nodiscard]] DirectionStats& dir(BusId from, BusId to) {
     return directions_[{from, to}];
   }
+  [[nodiscard]] const Port& port_of(BusId id) const;
 
   std::string name_;
   sim::Simulation& sim_;
   GatewayConfig config_;
   std::map<BusId, Port> ports_;
   std::vector<Route> routes_;
+  std::vector<PackedRoute> packed_routes_;
+  std::vector<UnpackRoute> unpack_routes_;
+  // Latest-value packing buffer + statistics, one per packed route.
+  struct PackState {
+    std::array<std::uint8_t, FlexrayFabric::kMaxPayload> buffer{};
+    TranslationStats stats;
+  };
+  std::vector<PackState> pack_state_;
+  std::vector<TranslationStats> unpack_stats_;
   std::map<std::pair<BusId, BusId>, DirectionStats> directions_;
   // Per egress bus, per egress identifier: FIFO of frames handed to the
   // mailbox but not yet delivered (equal-priority mailbox order is FIFO,
   // and retransmission preserves it, so attribution by id is exact).
   std::map<BusId, std::map<std::uint32_t, std::deque<Transit>>> in_transit_;
+  // Same, for FlexRay egress, keyed by dynamic slot id (unique per fabric;
+  // one FIFO per dynamic frame).
+  std::map<BusId, std::map<int, std::deque<Transit>>> fr_in_transit_;
   Stats stats_;
 };
 

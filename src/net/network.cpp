@@ -13,19 +13,61 @@ void NetworkBuilder::check_bus(BusId id) const {
                  "first)");
 }
 
-BusId NetworkBuilder::bus(std::string name, std::uint32_t bitrate_bps) {
+void NetworkBuilder::check_can(BusId id) const {
+  check_bus(id);
+  ACES_CHECK_MSG(buses_[static_cast<std::size_t>(id)].kind ==
+                     BusSpec::Kind::kCan,
+                 "this segment is a FlexRay fabric, not a CAN bus");
+}
+
+void NetworkBuilder::check_flexray(BusId id) const {
+  check_bus(id);
+  ACES_CHECK_MSG(buses_[static_cast<std::size_t>(id)].kind ==
+                     BusSpec::Kind::kFlexray,
+                 "this segment is a CAN bus, not a FlexRay fabric");
+}
+
+NetworkBuilder::GatewaySpec& NetworkBuilder::gateway_spec(GatewayId id) {
+  ACES_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < gateways_.size(),
+                 "unknown gateway id");
+  return gateways_[static_cast<std::size_t>(id)];
+}
+
+BusId NetworkBuilder::bus(std::string name, std::uint32_t bitrate_bps,
+                          std::uint32_t data_bitrate_bps) {
   ACES_CHECK(bitrate_bps > 0);
   BusSpec spec;
   spec.name = std::move(name);
   spec.bitrate_bps = bitrate_bps;
+  spec.data_bitrate_bps = data_bitrate_bps;
   buses_.push_back(std::move(spec));
   return static_cast<BusId>(buses_.size() - 1);
+}
+
+BusId NetworkBuilder::flexray(std::string name, FlexrayFabricConfig config) {
+  BusSpec spec;
+  spec.kind = BusSpec::Kind::kFlexray;
+  spec.name = std::move(name);
+  spec.flexray = config;
+  buses_.push_back(std::move(spec));
+  return static_cast<BusId>(buses_.size() - 1);
+}
+
+NetworkBuilder& NetworkBuilder::flexray_static(
+    BusId id, std::vector<sched::FlexrayFrame> frames) {
+  check_flexray(id);
+  BusSpec& spec = buses_[static_cast<std::size_t>(id)];
+  ACES_CHECK_MSG(!spec.have_static,
+                 "fabric already has a static schedule assigned");
+  spec.static_frames = std::move(frames);
+  spec.have_static = true;
+  return *this;
 }
 
 EcuId NetworkBuilder::ecu(BusId bus, cpu::SystemBuilder system,
                           GuestProgram program,
                           can::CanController::Config controller) {
-  check_bus(bus);
+  check_can(bus);
   ACES_CHECK_MSG(system.clock_hz() > 0,
                  "ISS ECU '" + system.name() +
                      "' needs a clock rate (SystemBuilder::clock_hz or a "
@@ -43,7 +85,7 @@ EcuId NetworkBuilder::ecu(BusId bus, cpu::SystemBuilder system,
 EcuId NetworkBuilder::ecu(BusId bus, std::string name,
                           std::vector<ModelTask> tasks,
                           sim::SimTime context_switch_cost) {
-  check_bus(bus);
+  check_can(bus);
   ModelSpec spec;
   spec.bus = bus;
   spec.name = std::move(name);
@@ -63,23 +105,87 @@ GatewayId NetworkBuilder::gateway(std::string name, GatewayConfig config) {
 }
 
 NetworkBuilder& NetworkBuilder::route(GatewayId gateway, Route route) {
-  ACES_CHECK_MSG(gateway >= 0 &&
-                     static_cast<std::size_t>(gateway) < gateways_.size(),
-                 "unknown gateway id");
-  check_bus(route.from);
-  check_bus(route.to);
-  gateways_[static_cast<std::size_t>(gateway)].routes.push_back(route);
+  check_can(route.from);
+  check_can(route.to);
+  gateway_spec(gateway).routes.push_back(route);
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::packed_route(GatewayId gateway,
+                                             PackedRoute route) {
+  check_can(route.from);
+  check_can(route.to);
+  ACES_CHECK_MSG(route.egress_dyn < 0,
+                 "use packed_route_flexray for FlexRay egress (the dynamic "
+                 "frame is registered at build time)");
+  PackedRouteSpec spec;
+  spec.route = std::move(route);
+  gateway_spec(gateway).packed.push_back(std::move(spec));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::packed_route_flexray(GatewayId gateway,
+                                                     PackedRoute route,
+                                                     std::string dyn_name,
+                                                     unsigned dyn_slot_id,
+                                                     unsigned dyn_max_bytes) {
+  check_can(route.from);
+  check_flexray(route.to);
+  ACES_CHECK_MSG(dyn_slot_id >= 1, "dynamic slot ids start at 1");
+  PackedRouteSpec spec;
+  spec.route = std::move(route);
+  spec.dyn_slot_id = dyn_slot_id;
+  spec.dyn_max_bytes = dyn_max_bytes;
+  spec.dyn_name = std::move(dyn_name);
+  gateway_spec(gateway).packed.push_back(std::move(spec));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::unpack_route(GatewayId gateway,
+                                             UnpackRoute route) {
+  check_can(route.from);
+  check_can(route.to);
+  ACES_CHECK_MSG(route.match_dyn < 0,
+                 "use unpack_route_flexray for FlexRay ingress (matched by "
+                 "dynamic slot id)");
+  UnpackRouteSpec spec;
+  spec.route = std::move(route);
+  gateway_spec(gateway).unpack.push_back(std::move(spec));
+  return *this;
+}
+
+NetworkBuilder& NetworkBuilder::unpack_route_flexray(GatewayId gateway,
+                                                     UnpackRoute route,
+                                                     unsigned match_slot_id) {
+  check_flexray(route.from);
+  check_can(route.to);
+  ACES_CHECK_MSG(match_slot_id >= 1, "dynamic slot ids start at 1");
+  UnpackRouteSpec spec;
+  spec.route = std::move(route);
+  spec.match_slot_id = match_slot_id;
+  gateway_spec(gateway).unpack.push_back(std::move(spec));
   return *this;
 }
 
 Network::Network(const NetworkBuilder& b) : sim_(b.quantum_) {
-  // Buses first: ECUs and gateways attach nodes in declaration order, so
-  // node indices — and with them arbitration tie-breaking and delivery
+  // Segments first: ECUs and gateways attach nodes in declaration order,
+  // so node indices — and with them arbitration tie-breaking and delivery
   // order — are fixed by the description alone.
   for (const NetworkBuilder::BusSpec& spec : b.buses_) {
     bus_names_.push_back(spec.name);
-    buses_.push_back(
-        std::make_unique<can::CanBus>(sim_.queue(), spec.bitrate_bps));
+    if (spec.kind == NetworkBuilder::BusSpec::Kind::kCan) {
+      buses_.push_back(std::make_unique<can::CanBus>(
+          sim_.queue(), spec.bitrate_bps, spec.data_bitrate_bps));
+      flexrays_.push_back(nullptr);
+    } else {
+      buses_.push_back(nullptr);
+      auto fabric = std::make_unique<FlexrayFabric>(sim_, spec.flexray);
+      if (spec.have_static) {
+        fabric->assign_static(spec.static_frames);
+      }
+      fabric->start();  // communication cycles run from t = 0
+      flexrays_.push_back(std::move(fabric));
+    }
   }
   for (const NetworkBuilder::EcuOrder& e : b.order_) {
     if (e.iss) {
@@ -94,22 +200,77 @@ Network::Network(const NetworkBuilder& b) : sim_(b.quantum_) {
           spec.name, spec.tasks, spec.switch_cost));
     }
   }
+  // Gateways in two passes: the first joins segments, registers the
+  // dynamic frames packed routes emit and installs plain + packed routes;
+  // the second resolves unpack routes, so a gateway may unpack a dynamic
+  // frame registered by a gateway declared later.
   for (const NetworkBuilder::GatewaySpec& spec : b.gateways_) {
     auto gw = std::make_unique<GatewayNode>(spec.name, sim_, spec.config);
-    // Join every bus the routing table references, in bus-id order.
+    // Join every segment the routing table references, in id order.
     std::set<BusId> joined;
     for (const Route& r : spec.routes) {
       joined.insert(r.from);
       joined.insert(r.to);
     }
+    for (const NetworkBuilder::PackedRouteSpec& p : spec.packed) {
+      joined.insert(p.route.from);
+      joined.insert(p.route.to);
+    }
+    for (const NetworkBuilder::UnpackRouteSpec& u : spec.unpack) {
+      joined.insert(u.route.from);
+      joined.insert(u.route.to);
+    }
     for (const BusId id : joined) {
-      gw->join(id, *buses_[static_cast<std::size_t>(id)]);
+      if (is_can(id)) {
+        gw->join(id, *buses_[static_cast<std::size_t>(id)]);
+      } else {
+        gw->join_flexray(id, *flexrays_[static_cast<std::size_t>(id)]);
+      }
     }
     for (const Route& r : spec.routes) {
       gw->add_route(r);
     }
+    for (const NetworkBuilder::PackedRouteSpec& p : spec.packed) {
+      PackedRoute r = p.route;
+      if (p.dyn_slot_id > 0) {
+        unsigned max_bytes = p.dyn_max_bytes;
+        if (max_bytes == 0) {  // default: the packing-table extent
+          for (const PackSlot& slot : r.table) {
+            max_bytes = std::max(max_bytes, slot.offset + slot.bytes);
+          }
+        }
+        r.egress_dyn = flexray(r.to).add_dynamic_frame(
+            gw->flexray_node_on(r.to), p.dyn_name, p.dyn_slot_id, max_bytes);
+      }
+      gw->add_packed_route(r);
+    }
     gateways_.push_back(std::move(gw));
   }
+  for (std::size_t g = 0; g < b.gateways_.size(); ++g) {
+    for (const NetworkBuilder::UnpackRouteSpec& u : b.gateways_[g].unpack) {
+      UnpackRoute r = u.route;
+      if (u.match_slot_id > 0) {
+        r.match_dyn = flexray(r.from).dyn_by_slot(u.match_slot_id);
+      }
+      gateways_[g]->add_unpack_route(r);
+    }
+  }
+}
+
+can::CanBus& Network::bus(BusId id) {
+  ACES_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < buses_.size(),
+                 "unknown bus id");
+  ACES_CHECK_MSG(is_can(id), "this segment is a FlexRay fabric (use "
+                             "Network::flexray)");
+  return *buses_[static_cast<std::size_t>(id)];
+}
+
+FlexrayFabric& Network::flexray(BusId id) {
+  ACES_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < buses_.size(),
+                 "unknown bus id");
+  ACES_CHECK_MSG(!is_can(id), "this segment is a CAN bus (use "
+                              "Network::bus)");
+  return *flexrays_[static_cast<std::size_t>(id)];
 }
 
 IssEcuNode& Network::iss(EcuId id) {

@@ -55,8 +55,23 @@ class NetworkBuilder {
     return *this;
   }
 
-  // Declares a CAN bus. Bit rates are independent per bus.
-  BusId bus(std::string name, std::uint32_t bitrate_bps);
+  // Declares a CAN bus. Bit rates are independent per bus; a non-zero
+  // `data_bitrate_bps` (>= the arbitration rate) makes the bus CAN FD
+  // capable — FD frames switch to it for their data phase.
+  BusId bus(std::string name, std::uint32_t bitrate_bps,
+            std::uint32_t data_bitrate_bps = 0);
+
+  // Declares a FlexRay fabric segment. It shares the BusId space with CAN
+  // buses (gateway routes reference either kind), but carries FlexRay
+  // traffic: a static TDMA segment (optionally assigned via
+  // flexray_static) and a minislot dynamic segment that translating
+  // gateway routes read and write. ECUs cannot attach to it — cross into
+  // it through a gateway, as in a real zonal architecture.
+  BusId flexray(std::string name, FlexrayFabricConfig config);
+  // Installs the static schedule replayed by `id` (checked feasible at
+  // build). At most once per fabric.
+  NetworkBuilder& flexray_static(BusId id,
+                                 std::vector<sched::FlexrayFrame> frames);
 
   // ISS fidelity: a cycle-accurate ECU described by `system` (name, clock
   // and memory map come from the SystemBuilder; the CAN controller and the
@@ -72,6 +87,24 @@ class NetworkBuilder {
   GatewayId gateway(std::string name, GatewayConfig config = {});
   NetworkBuilder& route(GatewayId gateway, Route route);
 
+  // Translating routes (see net/gateway.h). packed_route emits onto a CAN
+  // bus (classic or FD per the route's egress descriptor);
+  // packed_route_flexray registers a dynamic frame named `dyn_name` under
+  // `dyn_slot_id` on the egress fabric at build time (owned by the
+  // gateway's node there; `dyn_max_bytes` 0 = the packing-table extent)
+  // and emits onto it. unpack_route slices a CAN/CAN FD ingress frame;
+  // unpack_route_flexray matches the fabric's dynamic frame under
+  // `match_slot_id` — resolvable regardless of which gateway registers it,
+  // in any declaration order.
+  NetworkBuilder& packed_route(GatewayId gateway, PackedRoute route);
+  NetworkBuilder& packed_route_flexray(GatewayId gateway, PackedRoute route,
+                                       std::string dyn_name,
+                                       unsigned dyn_slot_id,
+                                       unsigned dyn_max_bytes = 0);
+  NetworkBuilder& unpack_route(GatewayId gateway, UnpackRoute route);
+  NetworkBuilder& unpack_route_flexray(GatewayId gateway, UnpackRoute route,
+                                       unsigned match_slot_id);
+
   // Materializes the vehicle (guaranteed copy elision: constructed in
   // place at the call site, never moved — bindings and bus references
   // stay valid for the Network's lifetime).
@@ -81,8 +114,14 @@ class NetworkBuilder {
   friend class Network;
 
   struct BusSpec {
+    enum class Kind { kCan, kFlexray };
+    Kind kind = Kind::kCan;
     std::string name;
-    std::uint32_t bitrate_bps = 0;
+    std::uint32_t bitrate_bps = 0;       // CAN arbitration rate
+    std::uint32_t data_bitrate_bps = 0;  // CAN FD data rate; 0 = classic
+    FlexrayFabricConfig flexray;
+    std::vector<sched::FlexrayFrame> static_frames;
+    bool have_static = false;
   };
   struct IssSpec {
     BusId bus = -1;
@@ -100,13 +139,28 @@ class NetworkBuilder {
     bool iss = false;
     std::size_t index = 0;
   };
+  struct PackedRouteSpec {
+    PackedRoute route;
+    unsigned dyn_slot_id = 0;  // 0 = CAN egress
+    unsigned dyn_max_bytes = 0;
+    std::string dyn_name;
+  };
+  struct UnpackRouteSpec {
+    UnpackRoute route;
+    unsigned match_slot_id = 0;  // 0 = CAN ingress (route.match_id)
+  };
   struct GatewaySpec {
     std::string name;
     GatewayConfig config;
     std::vector<Route> routes;
+    std::vector<PackedRouteSpec> packed;
+    std::vector<UnpackRouteSpec> unpack;
   };
 
   void check_bus(BusId id) const;
+  void check_can(BusId id) const;
+  void check_flexray(BusId id) const;
+  GatewaySpec& gateway_spec(GatewayId id);
 
   sim::SimTime quantum_ = 50 * sim::kMicrosecond;
   std::vector<BusSpec> buses_;
@@ -129,11 +183,14 @@ class Network {
   [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
   [[nodiscard]] sim::SimTime now() const noexcept { return sim_.now(); }
 
+  // Segment count (CAN buses + FlexRay fabrics share the BusId space).
   [[nodiscard]] std::size_t bus_count() const { return buses_.size(); }
   [[nodiscard]] std::size_t ecu_count() const { return ecus_.size(); }
-  [[nodiscard]] can::CanBus& bus(BusId id) {
-    return *buses_[static_cast<std::size_t>(id)];
+  [[nodiscard]] bool is_can(BusId id) const {
+    return buses_[static_cast<std::size_t>(id)] != nullptr;
   }
+  [[nodiscard]] can::CanBus& bus(BusId id);
+  [[nodiscard]] FlexrayFabric& flexray(BusId id);
   [[nodiscard]] const std::string& bus_name(BusId id) const {
     return bus_names_[static_cast<std::size_t>(id)];
   }
@@ -163,7 +220,9 @@ class Network {
  private:
   sim::Simulation sim_;
   std::vector<std::string> bus_names_;
+  // Parallel, indexed by BusId: exactly one entry is non-null per id.
   std::vector<std::unique_ptr<can::CanBus>> buses_;
+  std::vector<std::unique_ptr<FlexrayFabric>> flexrays_;
   std::vector<std::unique_ptr<EcuNode>> ecus_;
   std::vector<std::unique_ptr<GatewayNode>> gateways_;
 };

@@ -29,11 +29,25 @@ namespace {
   return can::arbitration_key(f);
 }
 
-void analyze(const std::vector<CanMessage>& messages, SimTime tau,
-             SimTime t_error, std::vector<SimTime>& response,
-             std::vector<bool>& ok_out) {
-  const auto frame_time = [tau](const CanMessage& m) {
+// Worst-case frame time on a bus with nominal bit time `tau` and FD
+// data-phase bit time `tau_data` (== tau on a classic-only bus). FD frames
+// split per phase; their worst-case closed forms (can::fd_worst_case_*)
+// upper-bound the exact phase lengths the simulated bus prices.
+[[nodiscard]] SimTime worst_frame_time(const CanMessage& m, SimTime tau,
+                                       SimTime tau_data) {
+  if (!m.fd) {
     return tau * can::worst_case_wire_bits(m.dlc, m.extended);
+  }
+  const SimTime td = m.brs ? tau_data : tau;
+  return tau * can::fd_worst_case_nominal_bits(m.extended) +
+         td * can::fd_worst_case_data_bits(m.dlc);
+}
+
+void analyze(const std::vector<CanMessage>& messages, SimTime tau,
+             SimTime tau_data, SimTime t_error,
+             std::vector<SimTime>& response, std::vector<bool>& ok_out) {
+  const auto frame_time = [tau, tau_data](const CanMessage& m) {
+    return worst_frame_time(m, tau, tau_data);
   };
   // Hoisted out of the fixed-point recurrences: per-message wire
   // priorities and frame times are loop invariants.
@@ -144,28 +158,31 @@ void analyze(const std::vector<CanMessage>& messages, SimTime tau,
 }  // namespace
 
 CanRtaResult can_rta(const std::vector<CanMessage>& messages,
-                     std::uint32_t bitrate_bps, const CanErrorModel& errors) {
+                     std::uint32_t bitrate_bps, const CanErrorModel& errors,
+                     std::uint32_t data_bitrate_bps) {
   const SimTime tau = sim::kSecond / bitrate_bps;  // bit time
+  // FD data-phase bit time; with no data rate the wire (and so the bound)
+  // runs FD data phases at the nominal rate.
+  const SimTime tau_data =
+      data_bitrate_bps > 0 ? sim::kSecond / data_bitrate_bps : tau;
   CanRtaResult result;
   result.response_fault_free.assign(messages.size(), 0);
   result.response_faulted.assign(messages.size(), 0);
   result.message_ok.assign(messages.size(), false);
 
-  const auto frame_time = [tau](const CanMessage& m) {
-    return tau * can::worst_case_wire_bits(m.dlc, m.extended);
-  };
   double util = 0.0;
   for (const CanMessage& m : messages) {
-    util += static_cast<double>(frame_time(m)) /
+    util += static_cast<double>(worst_frame_time(m, tau, tau_data)) /
             static_cast<double>(m.period);
   }
   result.bus_utilization = util;
 
   std::vector<bool> ok_fault_free(messages.size(), false);
-  analyze(messages, tau, 0, result.response_fault_free, ok_fault_free);
+  analyze(messages, tau, tau_data, 0, result.response_fault_free,
+          ok_fault_free);
   if (errors.min_interarrival > 0) {
-    analyze(messages, tau, errors.min_interarrival, result.response_faulted,
-            result.message_ok);
+    analyze(messages, tau, tau_data, errors.min_interarrival,
+            result.response_faulted, result.message_ok);
   } else {
     result.response_faulted = result.response_fault_free;
     result.message_ok = ok_fault_free;
@@ -199,7 +216,8 @@ namespace {
   // the deadline check — and the overload escape scaled from it — must not
   // be tightened by it.
   m.deadline = m.jitter + hop_deadline;
-  const CanRtaResult r = can_rta(msgs, hop.bitrate_bps, errors);
+  const CanRtaResult r =
+      can_rta(msgs, hop.bitrate_bps, errors, hop.data_bitrate_bps);
   ok = ok && r.message_ok[hop.message];
   return r.response[hop.message];
 }
@@ -214,20 +232,44 @@ PathRtaResult path_rta(const std::vector<PathHop>& hops, SimTime deadline) {
   bool ok_ff = true;
   bool ok_op = true;
   for (const PathHop& hop : hops) {
-    ACES_CHECK_MSG(hop.message < hop.messages.size(),
-                   "path_rta hop message index out of range");
-    cum_ff = hop_bound(hop, cum_ff + hop.gateway_latency, CanErrorModel{},
-                       ok_ff);
-    cum_op = hop_bound(hop, cum_op + hop.gateway_latency, hop.errors, ok_op);
+    if (hop.analysis) {
+      // Fabric plugin: it owns the hop-local bound and verdict; the
+      // holistic composition (inherited bound + gateway latency charged as
+      // release jitter) is identical to the CAN hops'.
+      const HopBound ff =
+          hop.analysis(hop, cum_ff + hop.gateway_latency, false);
+      ok_ff = ok_ff && ff.ok;
+      cum_ff = ff.response;
+      const HopBound op =
+          hop.analysis(hop, cum_op + hop.gateway_latency, true);
+      ok_op = ok_op && op.ok;
+      cum_op = op.response;
+    } else {
+      ACES_CHECK_MSG(hop.message < hop.messages.size(),
+                     "path_rta hop message index out of range");
+      cum_ff = hop_bound(hop, cum_ff + hop.gateway_latency, CanErrorModel{},
+                         ok_ff);
+      cum_op = hop_bound(hop, cum_op + hop.gateway_latency, hop.errors,
+                         ok_op);
+    }
     out.hop_response.push_back(cum_op);
   }
   out.response_fault_free = cum_ff;
   out.response_faulted = cum_op;
   out.response = cum_op;
-  const CanMessage& last = hops.back().messages[hops.back().message];
-  const SimTime e2e_deadline =
-      deadline > 0 ? deadline
-                   : (last.deadline > 0 ? last.deadline : last.period);
+  const PathHop& lh = hops.back();
+  SimTime e2e_deadline = deadline;
+  if (e2e_deadline <= 0) {
+    if (lh.analysis) {
+      ACES_CHECK_MSG(lh.hop_deadline > 0,
+                     "path_rta: a plugin hop ending the path needs "
+                     "hop_deadline (or an explicit end-to-end deadline)");
+      e2e_deadline = lh.hop_deadline;
+    } else {
+      const CanMessage& last = lh.messages[lh.message];
+      e2e_deadline = last.deadline > 0 ? last.deadline : last.period;
+    }
+  }
   out.schedulable = ok_op && out.response <= e2e_deadline;
   out.schedulable_fault_free = ok_ff && cum_ff <= e2e_deadline;
   return out;
@@ -235,10 +277,12 @@ PathRtaResult path_rta(const std::vector<PathHop>& hops, SimTime deadline) {
 
 PathHop make_hop(std::vector<CanMessage> messages, std::uint32_t id,
                  std::uint32_t bitrate_bps, SimTime gateway_latency,
-                 const CanErrorModel& errors, int bus) {
+                 const CanErrorModel& errors, int bus,
+                 std::uint32_t data_bitrate_bps) {
   PathHop hop;
   hop.messages = std::move(messages);
   hop.bitrate_bps = bitrate_bps;
+  hop.data_bitrate_bps = data_bitrate_bps;
   hop.gateway_latency = gateway_latency;
   hop.errors = errors;
   hop.bus = bus;

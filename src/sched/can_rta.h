@@ -26,6 +26,7 @@
 #ifndef ACES_SCHED_CAN_RTA_H
 #define ACES_SCHED_CAN_RTA_H
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -38,11 +39,15 @@ struct CanMessage {
   std::uint32_t id = 0;       // priority: exact wire arbitration order
                               // (can::arbitration_key), so a standard id
                               // outranks an extended one sharing its base
-  unsigned dlc = 8;
+  unsigned dlc = 8;           // classic: 0..8 bytes; FD: DLC code 0..15
   sim::SimTime period = 0;    // T
   sim::SimTime deadline = 0;  // D (0: implicit = T)
   sim::SimTime jitter = 0;    // queuing jitter J
   bool extended = false;      // 29-bit identifier frame format
+  bool fd = false;            // CAN FD frame: worst-case length splits into
+                              // nominal + data phases (can::fd_worst_case_*)
+  bool brs = true;            // FD only: data phase at the data bit rate
+                              // (matches can::CanFrame::brs' default)
 };
 
 // Fault hypothesis for the error-recovery term. Disabled (the exact
@@ -63,9 +68,13 @@ struct CanRtaResult {
   double bus_utilization = 0.0;
 };
 
+// `data_bitrate_bps` > 0 prices FD messages' data phase at that rate
+// (matching a can::CanBus built with the same pair); FD messages on a bus
+// with no data rate run both phases at the nominal rate, like the wire.
 [[nodiscard]] CanRtaResult can_rta(const std::vector<CanMessage>& messages,
                                    std::uint32_t bitrate_bps,
-                                   const CanErrorModel& errors = {});
+                                   const CanErrorModel& errors = {},
+                                   std::uint32_t data_bitrate_bps = 0);
 
 // ----- end-to-end analysis across gateway hops -------------------------------
 //
@@ -79,15 +88,35 @@ struct CanRtaResult {
 // the gateway queuing delay — waiting behind the egress bus's own traffic —
 // is exactly the w-term of the downstream analysis.
 
+struct PathHop;
+
+// Fabric-specific per-hop analysis plugin. Receives the hop, the
+// accumulated upstream bound + gateway latency (`inherited`, charged as
+// release jitter), and whether the hop's fault hypothesis applies
+// (`faulted`; the fault-free pass always runs with false). Returns the new
+// cumulative end-to-end bound — i.e. inherited + this hop's local
+// queue-to-delivery bound — and whether the hop meets its own deadline. A
+// null plugin means the CAN busy-period analysis below (classic, or FD
+// dual-rate when the hop carries a data bit rate).
+struct HopBound {
+  sim::SimTime response = 0;  // cumulative bound including `inherited`
+  bool ok = true;             // hop-local deadline + feasibility verdict
+};
+using HopAnalysis =
+    std::function<HopBound(const PathHop&, sim::SimTime inherited,
+                           bool faulted)>;
+
 struct PathHop {
   // The complete message set competing on this hop's bus. The analyzed
   // message's jitter field is *added to* by the accumulated upstream bound;
   // other routed messages in the set must already carry their own inherited
   // jitter (their upstream bound + gateway latency) for the interference
-  // terms to be sound.
+  // terms to be sound. Unused (may be empty) when `analysis` is set to a
+  // non-CAN fabric plugin.
   std::vector<CanMessage> messages;
   std::size_t message = 0;  // index of the analyzed message in `messages`
   std::uint32_t bitrate_bps = 0;
+  std::uint32_t data_bitrate_bps = 0;  // FD data-phase rate (0: classic bus)
   CanErrorModel errors;               // this hop's fault hypothesis
   sim::SimTime gateway_latency = 0;   // store-and-forward delay charged on
                                       // entry to this hop (0 for the source)
@@ -96,6 +125,14 @@ struct PathHop {
   // the campaign engine matching per-bus fault plans onto hops — keys on
   // it. -1 = untagged.
   int bus = -1;
+  // Fabric plugin (see HopAnalysis). Null: the CAN analysis over
+  // `messages`, which keeps every pre-plugin path_rta result unchanged.
+  HopAnalysis analysis;
+  // Plugin hops only: the hop-local queue-to-delivery deadline (CAN hops
+  // read the analyzed message's deadline/period instead). Must be > 0 when
+  // a plugin hop ends the path and no explicit end-to-end deadline is
+  // passed to path_rta.
+  sim::SimTime hop_deadline = 0;
 };
 
 // Builds one PathHop, locating the analyzed message by identifier (checked:
@@ -104,7 +141,8 @@ struct PathHop {
                                std::uint32_t id, std::uint32_t bitrate_bps,
                                sim::SimTime gateway_latency = 0,
                                const CanErrorModel& errors = {},
-                               int bus = -1);
+                               int bus = -1,
+                               std::uint32_t data_bitrate_bps = 0);
 
 struct PathRtaResult {
   // Operative verdict (fault hypotheses applied where hops declare them)

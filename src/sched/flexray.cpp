@@ -96,56 +96,43 @@ FlexraySchedule build_static_schedule(
   return schedule;
 }
 
-// ----- FlexrayStaticDriver ---------------------------------------------------
+// ----- dynamic-segment path_rta plugin ---------------------------------------
 
-FlexrayStaticDriver::FlexrayStaticDriver(sim::EventQueue& queue,
-                                         FlexrayConfig config,
-                                         std::vector<FlexrayFrame> frames,
-                                         FlexraySchedule schedule)
-    : queue_(queue),
-      config_(config),
-      frames_(std::move(frames)),
-      schedule_(std::move(schedule)) {
-  ACES_CHECK_MSG(schedule_.feasible,
-                 "cannot play an infeasible FlexRay schedule");
-  for (const FlexrayAssignment& a : schedule_.assignments) {
-    ACES_CHECK_MSG(a.frame >= 0 &&
-                       static_cast<std::size_t>(a.frame) < frames_.size(),
-                   "schedule references a frame outside the given set");
-    ACES_CHECK_MSG(a.repetition >= 1 && a.base_cycle < a.repetition,
-                   "assignment '" +
-                       frames_[static_cast<std::size_t>(a.frame)].name +
-                       "' has an invalid (base, repetition) pattern");
-    ACES_CHECK_MSG(a.slot < config_.static_slots,
-                   "assignment '" +
-                       frames_[static_cast<std::size_t>(a.frame)].name +
-                       "' is placed outside the static segment");
-  }
-}
-
-void FlexrayStaticDriver::start(SlotFn on_slot) {
-  ACES_CHECK_MSG(!on_slot_, "FlexrayStaticDriver already started");
-  ACES_CHECK_MSG(static_cast<bool>(on_slot), "start() needs a slot callback");
-  on_slot_ = std::move(on_slot);
-  arm_cycle(queue_.now());
-}
-
-void FlexrayStaticDriver::arm_cycle(sim::SimTime cycle_start) {
-  for (const FlexrayAssignment& a : schedule_.assignments) {
-    if (cycle_ % a.repetition != a.base_cycle) {
-      continue;
-    }
-    const sim::SimTime slot_start =
-        cycle_start + static_cast<sim::SimTime>(a.slot) * config_.slot_length;
-    queue_.schedule_at(slot_start, [this, &a, slot_start] {
-      ++slots_played_;
-      on_slot_(frames_[static_cast<std::size_t>(a.frame)], a, slot_start);
-    });
-  }
-  queue_.schedule_at(cycle_start + config_.cycle_length, [this, cycle_start] {
-    cycle_ = (cycle_ + 1) % 64;
-    arm_cycle(cycle_start + config_.cycle_length);
-  });
+PathHop flexray_dynamic_hop(const FlexrayDynHopParams& params,
+                            sim::SimTime gateway_latency, int bus) {
+  ACES_CHECK(params.cycle_length > 0);
+  ACES_CHECK(params.minislot > 0);
+  ACES_CHECK(params.minislots > 0);
+  ACES_CHECK(params.slot_minislots > 0);
+  ACES_CHECK_MSG(params.static_segment +
+                         static_cast<sim::SimTime>(params.minislots) *
+                             params.minislot <=
+                     params.cycle_length,
+                 "dynamic segment exceeds the communication cycle");
+  ACES_CHECK_MSG(params.deadline > 0,
+                 "the dynamic-segment hop needs a per-hop deadline");
+  PathHop hop;
+  hop.gateway_latency = gateway_latency;
+  hop.bus = bus;
+  hop.hop_deadline = params.deadline;
+  hop.analysis = [params](const PathHop& h, sim::SimTime inherited,
+                          bool /*faulted*/) {
+    // No error model on the FlexRay hop: the fault-free and operative
+    // passes see the same bound.
+    HopBound b;
+    const unsigned need = params.higher_prio_minislots + params.slot_minislots;
+    // Guaranteed transmission requires the worst-case run-up plus the
+    // frame's own occupancy to fit the per-cycle budget; otherwise the
+    // frame can be starved indefinitely by the pLatestTx cutoff.
+    const bool feasible = need <= params.minislots;
+    const sim::SimTime local =
+        params.cycle_length + params.static_segment +
+        static_cast<sim::SimTime>(need) * params.minislot;
+    b.response = inherited + local;
+    b.ok = feasible && local <= h.hop_deadline;
+    return b;
+  };
+  return hop;
 }
 
 }  // namespace aces::sched

@@ -1,4 +1,4 @@
-// FlexRay static-segment schedule construction (extension experiment E12).
+// FlexRay schedule construction and response-time bounds.
 //
 // The static segment is TDMA: each communication cycle contains a fixed
 // number of equal static slots; a frame is assigned a (slot, base cycle,
@@ -6,17 +6,33 @@
 // frame is sent in its slot whenever cycle % repetition == base. Two frames
 // may share a slot iff their (base, repetition) patterns never collide.
 // This is the deterministic counterpart the industry moved to for
-// safety-critical traffic; the bench compares its latency/utilization
-// against CAN for the same message set.
+// safety-critical traffic; bench_flexray_static compares its
+// latency/utilization against CAN for the same message set.
+//
+// The dynamic segment (net::FlexrayFabric simulates it) is a minislot
+// scheme: after the static segment, a slot counter walks priority-ordered
+// dynamic slot ids; an id with a pending frame occupies as many minislots
+// as the frame needs (if it still fits in the cycle's budget), an idle id
+// consumes exactly one. flexray_dynamic_hop packages the conservative
+// worst-case bound as a path_rta fabric plugin: assuming every
+// higher-priority id transmits its longest frame each cycle, a frame that
+// just missed its decision point waits at most one full cycle, then the
+// next static segment, then the higher-priority run-up and its own slot:
+//
+//   R = cycle_length + static_segment
+//       + (higher_prio_minislots + slot_minislots) * minislot
+//
+// and the frame is guaranteed to transmit at all only if that run-up plus
+// its own need fits the budget every cycle
+// (higher_prio_minislots + slot_minislots <= minislots).
 #ifndef ACES_SCHED_FLEXRAY_H
 #define ACES_SCHED_FLEXRAY_H
 
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "sched/can_rta.h"
 #include "sim/event_queue.h"
-#include "sim/simulation.h"
 
 namespace aces::sched {
 
@@ -52,51 +68,31 @@ struct FlexraySchedule {
 [[nodiscard]] FlexraySchedule build_static_schedule(
     const FlexrayConfig& config, const std::vector<FlexrayFrame>& frames);
 
-// Runtime static-segment player: replays a feasible schedule on the shared
-// co-simulation time base. A pure event-queue participant — TDMA slot
-// boundaries, CAN traffic, kernel models and bound cycle-accurate Systems
-// all interleave under the one deterministic scheduler.
-class FlexrayStaticDriver {
- public:
-  // Invoked at the start of each slot instance owned by `frame`.
-  using SlotFn = std::function<void(const FlexrayFrame& frame,
-                                    const FlexrayAssignment& assignment,
-                                    sim::SimTime slot_start)>;
-
-  // `schedule` must be feasible and must have been built from `frames`.
-  FlexrayStaticDriver(sim::EventQueue& queue, FlexrayConfig config,
-                      std::vector<FlexrayFrame> frames,
-                      FlexraySchedule schedule);
-  FlexrayStaticDriver(sim::Simulation& sim, FlexrayConfig config,
-                      std::vector<FlexrayFrame> frames,
-                      FlexraySchedule schedule)
-      : FlexrayStaticDriver(sim.queue(), std::move(config), std::move(frames),
-                            std::move(schedule)) {}
-
-  // Pinned: armed queue events capture `this`.
-  FlexrayStaticDriver(const FlexrayStaticDriver&) = delete;
-  FlexrayStaticDriver& operator=(const FlexrayStaticDriver&) = delete;
-
-  // Arms communication cycle 0 at the current instant; slots fire forever
-  // (every cycle_length) until the owning queue stops being run.
-  void start(SlotFn on_slot);
-
-  [[nodiscard]] unsigned cycle() const noexcept { return cycle_; }
-  [[nodiscard]] std::uint64_t slots_played() const noexcept {
-    return slots_played_;
-  }
-
- private:
-  void arm_cycle(sim::SimTime cycle_start);
-
-  sim::EventQueue& queue_;
-  FlexrayConfig config_;
-  std::vector<FlexrayFrame> frames_;
-  FlexraySchedule schedule_;
-  SlotFn on_slot_;
-  unsigned cycle_ = 0;  // communication cycle counter, wraps at 64
-  std::uint64_t slots_played_ = 0;
+// Worst-case queue-to-delivery bound for one frame of a FlexRay dynamic
+// segment, packaged for path_rta (see the file comment for the formula).
+// net::FlexrayFabric::dynamic_hop fills this from its registry; the struct
+// stands alone so the analysis stays usable without a simulated fabric.
+struct FlexrayDynHopParams {
+  sim::SimTime cycle_length = 0;
+  sim::SimTime static_segment = 0;  // offset of the dynamic segment start
+  sim::SimTime minislot = 0;        // one minislot
+  unsigned minislots = 0;           // dynamic-segment budget per cycle
+  unsigned slot_minislots = 0;      // minislots the analyzed frame occupies
+  // Worst-case run-up before the analyzed id's decision point: the
+  // minislot cost of every assigned dynamic id of higher priority (all
+  // assumed to transmit their longest frame every cycle) plus one idle
+  // minislot per unassigned id below it.
+  unsigned higher_prio_minislots = 0;
+  sim::SimTime deadline = 0;  // hop-local queue-to-delivery deadline
 };
+
+// Builds a path_rta hop whose analysis plugin applies the dynamic-segment
+// bound. The hop has no CAN message set; `gateway_latency` and `bus` mean
+// exactly what they mean on CAN hops. The FlexRay bound carries no error
+// model, so the faulted and fault-free passes coincide on this hop.
+[[nodiscard]] PathHop flexray_dynamic_hop(const FlexrayDynHopParams& params,
+                                          sim::SimTime gateway_latency = 0,
+                                          int bus = -1);
 
 }  // namespace aces::sched
 

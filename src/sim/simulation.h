@@ -10,7 +10,7 @@
 // interleaving:
 //
 //   - purely event-driven components (can::CanBus, rtos::Kernel,
-//     sched::FlexrayStaticDriver) live on the queue and fire at exact
+//     net::FlexrayFabric) live on the queue and fire at exact
 //     nanosecond times, exactly as before;
 //   - clocked participants advance in registration-order round-robin
 //     slices of at most one quantum, and every slice is cut short at the

@@ -10,6 +10,7 @@
 #include "cpu/profiles.h"
 #include "cpu/system.h"
 #include "isa/assembler.h"
+#include "net/flexray_fabric.h"
 #include "sched/flexray.h"
 #include "sim/simulation.h"
 
@@ -487,29 +488,28 @@ TEST(CoSim, ScenariosAreDeterministic) {
 
 // ----- FlexRay static segment on the shared time base -------------------------
 
-TEST(CoSim, FlexrayDriverPlaysSlotsDeterministically) {
+TEST(CoSim, FlexrayFabricPlaysStaticSlotsDeterministically) {
   sim::Simulation sim;
-  sched::FlexrayConfig config;
-  config.cycle_length = 5 * sim::kMillisecond;
-  config.static_slots = 4;
-  config.slot_length = 100 * sim::kMicrosecond;
-  std::vector<sched::FlexrayFrame> frames = {
+  net::FlexrayFabricConfig config;
+  config.static_cfg.cycle_length = 5 * sim::kMillisecond;
+  config.static_cfg.static_slots = 4;
+  config.static_cfg.slot_length = 100 * sim::kMicrosecond;
+  net::FlexrayFabric fabric(sim, config);
+  fabric.assign_static({
       {"fast", 0, 5 * sim::kMillisecond},    // every cycle
       {"slow", 1, 10 * sim::kMillisecond},   // every 2nd cycle
-  };
-  const sched::FlexraySchedule schedule =
-      sched::build_static_schedule(config, frames);
-  ASSERT_TRUE(schedule.feasible);
+  });
+  ASSERT_TRUE(fabric.static_schedule().feasible);
 
-  sched::FlexrayStaticDriver driver(sim, config, frames, schedule);
   std::vector<std::pair<std::string, sim::SimTime>> played;
-  driver.start([&](const sched::FlexrayFrame& f,
-                   const sched::FlexrayAssignment& assignment,
-                   sim::SimTime slot_start) {
-    EXPECT_EQ(slot_start % config.slot_length, 0);
-    EXPECT_LT(assignment.slot, config.static_slots);
+  fabric.on_static_slot([&](const sched::FlexrayFrame& f,
+                            const sched::FlexrayAssignment& assignment,
+                            sim::SimTime slot_start) {
+    EXPECT_EQ(slot_start % config.static_cfg.slot_length, 0);
+    EXPECT_LT(assignment.slot, config.static_cfg.static_slots);
     played.emplace_back(f.name, slot_start);
   });
+  fabric.start();
   sim.run_until(14 * sim::kMillisecond);  // cycles 0, 1 and 2 complete
 
   std::vector<std::pair<std::string, sim::SimTime>> fast, slow;
@@ -522,7 +522,7 @@ TEST(CoSim, FlexrayDriverPlaysSlotsDeterministically) {
   EXPECT_EQ(fast[1].second + 5 * sim::kMillisecond, fast[2].second);
   ASSERT_EQ(slow.size(), 2u);
   EXPECT_EQ(slow[1].second - slow[0].second, 10 * sim::kMillisecond);
-  EXPECT_EQ(driver.slots_played(), played.size());
+  EXPECT_EQ(fabric.slots_played(), played.size());
 }
 
 // ----- mixed fidelity ---------------------------------------------------------

@@ -1,0 +1,400 @@
+// Heterogeneous fabrics: CAN FD conformance (wire-bit closed forms, DLC
+// map, classic-format validation), gateway signal pack/unpack round trips,
+// the FlexRay dynamic segment (grant order, pLatestTx deferral, analytic
+// bound), and the fd_backbone campaign axis (replay identity).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "campaign/presets.h"
+#include "campaign/runner.h"
+#include "can/bus.h"
+#include "can/frame.h"
+#include "net/flexray_fabric.h"
+#include "net/network.h"
+#include "sched/can_rta.h"
+#include "sim/event_queue.h"
+#include "support/rng.h"
+
+namespace aces {
+namespace {
+
+using sim::kMicrosecond;
+using sim::kMillisecond;
+using sim::SimTime;
+
+// ----- CAN FD conformance ----------------------------------------------------
+
+TEST(FdConformance, DlcPayloadMap) {
+  // DLC codes 0..8 carry their own count; 9..15 map onto the FD sizes.
+  for (unsigned dlc = 0; dlc <= 8; ++dlc) {
+    EXPECT_EQ(can::fd_payload_bytes(dlc), dlc);
+  }
+  const unsigned want[7] = {12, 16, 20, 24, 32, 48, 64};
+  for (unsigned dlc = 9; dlc <= 15; ++dlc) {
+    EXPECT_EQ(can::fd_payload_bytes(dlc), want[dlc - 9]);
+  }
+  can::CanFrame f;
+  f.fd = true;
+  f.dlc = 15;
+  EXPECT_EQ(can::payload_bytes(f), 64u);
+  f.fd = false;
+  f.dlc = 8;
+  EXPECT_EQ(can::payload_bytes(f), 8u);
+}
+
+TEST(FdConformance, WorstCaseClosedForms) {
+  // Nominal-phase stuffed worst case: 34 bits (base), 57 bits (extended).
+  EXPECT_EQ(can::fd_worst_case_nominal_bits(false), 34u);
+  EXPECT_EQ(can::fd_worst_case_nominal_bits(true), 57u);
+  // Data-phase stuffed worst case: 10n + 34 under CRC17 (n <= 16 bytes),
+  // 10n + 39 under CRC21 (n > 16 bytes).
+  for (unsigned dlc = 0; dlc <= 15; ++dlc) {
+    const unsigned n = can::fd_payload_bytes(dlc);
+    const unsigned want = n <= 16 ? 10 * n + 34 : 10 * n + 39;
+    EXPECT_EQ(can::fd_worst_case_data_bits(dlc), want) << "dlc=" << dlc;
+  }
+}
+
+TEST(FdConformance, ExactBitsNeverExceedWorstCasePerPhase) {
+  // Property: for random frames, the exact stuffed wire size stays within
+  // the closed-form worst case, phase by phase.
+  support::Rng256 rng(20260807);
+  for (int round = 0; round < 4000; ++round) {
+    can::CanFrame f;
+    f.fd = true;
+    f.extended = (rng.next_u64() & 1) != 0;
+    f.brs = (rng.next_u64() & 1) != 0;
+    f.dlc = static_cast<unsigned>(rng.next_below(16));
+    const unsigned n = can::fd_payload_bytes(f.dlc);
+    for (unsigned k = 0; k < n; ++k) {
+      f.data[k] = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    const can::FdWireBits w = can::fd_exact_wire_bits(f);
+    EXPECT_LE(w.nominal_bits, can::fd_worst_case_nominal_bits(f.extended));
+    EXPECT_LE(w.data_bits, can::fd_worst_case_data_bits(f.dlc));
+    EXPECT_GT(w.nominal_bits, 0u);
+    EXPECT_GT(w.data_bits, 0u);
+  }
+}
+
+TEST(FdConformance, AllOnesAndAllZerosPayloadsStuffHeavily) {
+  // Degenerate payloads exercise the stuffing path hardest; they must
+  // still respect the bound (regression guard for the stuff counter).
+  for (const std::uint8_t fill : {0x00, 0xFF}) {
+    can::CanFrame f;
+    f.fd = true;
+    f.dlc = 15;
+    f.data.fill(fill);
+    const can::FdWireBits w = can::fd_exact_wire_bits(f);
+    EXPECT_LE(w.data_bits, can::fd_worst_case_data_bits(15));
+    // 64 raw payload bytes = 512 bits; stuffing must have added bits.
+    EXPECT_GT(w.data_bits, 512u);
+  }
+}
+
+// ----- classic-format validation --------------------------------------------
+
+TEST(ClassicValidation, DlcAboveEightIsRejected) {
+  // The classic closed form is meaningless past 8 data bytes.
+  EXPECT_THROW((void)can::worst_case_wire_bits(9, false),
+               std::logic_error);
+  EXPECT_THROW((void)can::worst_case_wire_bits(15, true),
+               std::logic_error);
+  EXPECT_EQ(can::worst_case_wire_bits(8, false), 135u);
+
+  sim::EventQueue queue;
+  can::CanBus classic(queue, 500'000);
+  const can::NodeId n = classic.attach_node("n");
+  can::CanFrame bad;
+  bad.id = 0x10;
+  bad.fd = false;
+  bad.dlc = 9;  // classic framing cannot carry an FD DLC code
+  EXPECT_THROW(classic.send(n, bad), std::logic_error);
+
+  can::CanFrame fd_frame;
+  fd_frame.id = 0x11;
+  fd_frame.fd = true;
+  fd_frame.dlc = 9;
+  // A classic-only bus (no data bit rate) rejects FD frames outright.
+  EXPECT_FALSE(classic.fd_enabled());
+  EXPECT_THROW(classic.send(n, fd_frame), std::logic_error);
+
+  can::CanBus fd_bus(queue, 500'000, 2'000'000);
+  const can::NodeId m = fd_bus.attach_node("m");
+  EXPECT_TRUE(fd_bus.fd_enabled());
+  EXPECT_THROW(fd_bus.send(m, bad), std::logic_error);  // still classic
+  fd_bus.send(m, fd_frame);  // and the FD frame is fine here
+}
+
+// ----- gateway signal packing round trip ------------------------------------
+
+TEST(GatewayTranslation, PackUnpackRoundTripIsLossless) {
+  // Property: three classic frames packed into one FD aggregate on a
+  // backbone, then unpacked onto a third bus, reproduce the original
+  // bytes exactly — including the zero-fill of bytes past a short
+  // ingress payload. 25 seeded rounds of random payloads.
+  net::NetworkBuilder nb;
+  const net::BusId a = nb.bus("a", 500'000);
+  const net::BusId b = nb.bus("b", 500'000, 2'000'000);
+  const net::BusId c = nb.bus("c", 500'000);
+  net::GatewayConfig gc;
+  gc.forwarding_latency = 20 * kMicrosecond;
+  const net::GatewayId g1 = nb.gateway("g1", gc);
+  const net::GatewayId g2 = nb.gateway("g2", gc);
+
+  net::PackedRoute pr;
+  pr.from = a;
+  pr.to = b;
+  pr.table = {{0x10, 0, 4}, {0x11, 4, 8}, {0x12, 12, 2}};
+  pr.trigger_id = 0x12;
+  pr.egress_id = 0x200;
+  pr.egress_fd = true;
+  pr.egress_dlc = 10;  // 16 bytes >= 14-byte table extent
+  nb.packed_route(g1, pr);
+
+  net::UnpackRoute ur;
+  ur.from = b;
+  ur.to = c;
+  ur.match_id = 0x200;
+  ur.table = {{0x20, false, 4, 0}, {0x21, false, 8, 4}, {0x22, false, 2, 12}};
+  nb.unpack_route(g2, ur);
+
+  net::Network net = nb.build();
+  const can::NodeId src = net.bus(a).attach_node("src");
+  const can::NodeId sink = net.bus(c).attach_node("sink");
+
+  std::map<std::uint32_t, std::vector<std::vector<std::uint8_t>>> got;
+  net.bus(c).subscribe(sink, [&](const can::CanFrame& f, SimTime) {
+    std::vector<std::uint8_t> bytes(f.data.begin(),
+                                    f.data.begin() + can::payload_bytes(f));
+    got[f.id].push_back(bytes);
+  });
+
+  support::Rng256 rng(42);
+  std::vector<std::array<std::uint8_t, 14>> want;
+  constexpr int kRounds = 25;
+  for (int round = 0; round < kRounds; ++round) {
+    net.simulation().queue().schedule_at(
+        SimTime(round + 1) * 5 * kMillisecond, [&, round] {
+          std::array<std::uint8_t, 14> agg{};
+          // 0x11 sends a short payload on odd rounds: the gateway must
+          // zero-fill its slot past the received bytes.
+          const unsigned b11 = (round & 1) != 0 ? 3 : 8;
+          const struct {
+            std::uint32_t id;
+            unsigned offset;
+            unsigned slot_bytes;
+            unsigned dlc;
+          } sends[3] = {
+              {0x10, 0, 4, 4}, {0x11, 4, 8, b11}, {0x12, 12, 2, 2}};
+          for (const auto& s : sends) {
+            can::CanFrame f;
+            f.id = s.id;
+            f.dlc = s.dlc;
+            for (unsigned k = 0; k < s.dlc; ++k) {
+              f.data[k] = static_cast<std::uint8_t>(rng.next_u64());
+              agg[s.offset + k] = f.data[k];
+            }
+            net.bus(a).send(src, f);
+          }
+          want.push_back(agg);
+        });
+  }
+  net.run_until(SimTime(kRounds + 2) * 5 * kMillisecond);
+
+  ASSERT_EQ(want.size(), static_cast<std::size_t>(kRounds));
+  ASSERT_EQ(got[0x20].size(), static_cast<std::size_t>(kRounds));
+  ASSERT_EQ(got[0x21].size(), static_cast<std::size_t>(kRounds));
+  ASSERT_EQ(got[0x22].size(), static_cast<std::size_t>(kRounds));
+  for (int round = 0; round < kRounds; ++round) {
+    const auto& agg = want[static_cast<std::size_t>(round)];
+    const struct {
+      std::uint32_t id;
+      unsigned offset;
+      unsigned dlc;
+    } slices[3] = {{0x20, 0, 4}, {0x21, 4, 8}, {0x22, 12, 2}};
+    for (const auto& s : slices) {
+      const auto& bytes = got[s.id][static_cast<std::size_t>(round)];
+      ASSERT_EQ(bytes.size(), s.dlc);
+      for (unsigned k = 0; k < s.dlc; ++k) {
+        EXPECT_EQ(bytes[k], agg[s.offset + k])
+            << "round " << round << " id 0x" << std::hex << s.id
+            << std::dec << " byte " << k;
+      }
+    }
+  }
+  // Translation stats: one aggregate per trigger, three slices per big
+  // frame, every update counted.
+  EXPECT_EQ(net.gateway(g1).packed_stats(0).updates, 3u * kRounds);
+  EXPECT_EQ(net.gateway(g1).packed_stats(0).emitted,
+            static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(net.gateway(g2).unpack_stats(0).updates,
+            static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(net.gateway(g2).unpack_stats(0).emitted, 3u * kRounds);
+  EXPECT_GT(net.gateway(g1).packed_stats(0).worst_transit, 0);
+}
+
+// ----- FlexRay dynamic segment ----------------------------------------------
+
+net::FlexrayFabricConfig small_dyn_config(unsigned minislots) {
+  net::FlexrayFabricConfig cfg;
+  cfg.static_cfg.cycle_length = kMillisecond;
+  cfg.static_cfg.static_slots = 1;
+  cfg.static_cfg.slot_length = 50 * kMicrosecond;
+  cfg.minislots = minislots;
+  cfg.minislot = 20 * kMicrosecond;
+  return cfg;
+}
+
+TEST(FlexrayDynamic, GrantsFollowSlotPriorityOrder) {
+  sim::EventQueue queue;
+  // 8-byte frame: 91 + 80 = 171 bits at 10 Mbps = 17.1 us -> 1 minislot
+  // of 20 us. The walk also burns one minislot per idle slot id, so the
+  // highest occupied id (5) needs at least 5 of the 8 minislots.
+  net::FlexrayFabric fabric(queue, small_dyn_config(8));
+  const auto n1 = fabric.attach_node("n1");
+  const auto n2 = fabric.attach_node("n2");
+  const auto n3 = fabric.attach_node("n3");
+  const auto lo = fabric.add_dynamic_frame(n1, "lo", 5, 8);
+  const auto hi = fabric.add_dynamic_frame(n2, "hi", 1, 8);
+  const auto mid = fabric.add_dynamic_frame(n3, "mid", 3, 8);
+  fabric.start();
+
+  const auto obs = fabric.attach_node("obs");
+  std::vector<unsigned> order;
+  fabric.subscribe(obs, [&](const net::FlexrayFabric::DynFrameInfo& i,
+                            const net::FlexrayFabric::DynPayload&,
+                            SimTime) { order.push_back(i.slot_id); });
+
+  // Queue in reverse priority order before the segment starts: the walk
+  // must still grant by slot id, not arrival order.
+  net::FlexrayFabric::DynPayload p;
+  p.bytes = 8;
+  fabric.send_dynamic(lo, p);
+  fabric.send_dynamic(mid, p);
+  fabric.send_dynamic(hi, p);
+  queue.run_until(kMillisecond);
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 5u);
+  EXPECT_EQ(fabric.dyn_stats(hi).deferrals, 0u);
+}
+
+TEST(FlexrayDynamic, LatestTxRuleDefersWhatNoLongerFits) {
+  sim::EventQueue queue;
+  // 24-byte frames: 91 + 240 = 331 bits = 33.1 us -> 2 minislots each.
+  // A 3-minislot segment fits one such frame per cycle: the second is
+  // deferred by the pLatestTx rule and goes out next cycle.
+  net::FlexrayFabric fabric(queue, small_dyn_config(3));
+  const auto n1 = fabric.attach_node("n1");
+  const auto n2 = fabric.attach_node("n2");
+  const auto first = fabric.add_dynamic_frame(n1, "first", 1, 24);
+  const auto second = fabric.add_dynamic_frame(n2, "second", 2, 24);
+  fabric.start();
+
+  std::vector<std::pair<unsigned, SimTime>> deliveries;
+  const auto obs = fabric.attach_node("obs");
+  fabric.subscribe(obs, [&](const net::FlexrayFabric::DynFrameInfo& i,
+                            const net::FlexrayFabric::DynPayload&,
+                            SimTime at) { deliveries.emplace_back(i.slot_id, at); });
+
+  net::FlexrayFabric::DynPayload p;
+  p.bytes = 24;
+  fabric.send_dynamic(first, p);
+  fabric.send_dynamic(second, p);
+  queue.run_until(3 * kMillisecond);
+
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].first, 1u);
+  EXPECT_EQ(deliveries[1].first, 2u);
+  // The deferred frame crossed into the next cycle.
+  EXPECT_LT(deliveries[0].second, kMillisecond);
+  EXPECT_GT(deliveries[1].second, kMillisecond);
+  EXPECT_GE(fabric.dyn_stats(second).deferrals, 1u);
+  EXPECT_EQ(fabric.dyn_stats(first).deferrals, 0u);
+}
+
+TEST(FlexrayDynamic, MeasuredLatencyStaysWithinDynamicHopBound) {
+  sim::EventQueue queue;
+  net::FlexrayFabric fabric(queue, small_dyn_config(10));
+  const auto n1 = fabric.attach_node("n1");
+  const auto n2 = fabric.attach_node("n2");
+  const auto n3 = fabric.attach_node("n3");
+  const auto a = fabric.add_dynamic_frame(n1, "a", 1, 24);
+  const auto b = fabric.add_dynamic_frame(n2, "b", 2, 16);
+  const auto probe = fabric.add_dynamic_frame(n3, "probe", 3, 8);
+  fabric.start();
+
+  // Saturating senders at the cycle period (the bound's assumption).
+  const std::vector<std::pair<net::FlexrayFabric::DynId, unsigned>> senders =
+      {{a, 24}, {b, 16}, {probe, 8}};
+  for (const auto& s : senders) {
+    queue.schedule_every(kMillisecond, [&fabric, s] {
+      net::FlexrayFabric::DynPayload p;
+      p.bytes = s.second;
+      fabric.send_dynamic(s.first, p);
+    });
+  }
+  queue.run_until(500 * kMillisecond);
+
+  const sched::PathRtaResult bound =
+      sched::path_rta({fabric.dynamic_hop(probe, 5 * kMillisecond)});
+  ASSERT_TRUE(bound.schedulable);
+  EXPECT_GT(fabric.dyn_stats(probe).sent, 0u);
+  EXPECT_LE(fabric.dyn_stats(probe).worst_latency, bound.response);
+  // Higher-priority frames also stay within their own (tighter) bounds.
+  EXPECT_LE(fabric.dyn_stats(a).worst_latency,
+            sched::path_rta({fabric.dynamic_hop(a, 5 * kMillisecond)})
+                .response);
+}
+
+// ----- fd_backbone campaign axis --------------------------------------------
+
+TEST(CampaignFdBackbone, SweepRunsAndReplaysBitIdentically) {
+  // The vehicle preset swept over the fd_backbone axis: both variants
+  // fault-free, within their (format-aware) path bounds, with distinct
+  // fingerprints — and the FD variant replays bit-identically.
+  campaign::ScenarioSpec spec =
+      campaign::presets::vehicle_spec(60 * kMillisecond);
+  spec.axes = {
+      {"error_period_ns", {0.0}},
+      {"gw_depth", {8.0}},
+      {"load_pct", {100.0}},
+      {"fd_backbone", {0.0, 1.0}},
+  };
+  spec.replicates = 1;
+  ASSERT_EQ(spec.variant_count(), 2u);
+
+  const campaign::CampaignResult result =
+      campaign::CampaignRunner().run(spec);
+  ASSERT_EQ(result.variants.size(), 2u);
+  for (const auto& v : result.variants) {
+    EXPECT_TRUE(v.violations.empty())
+        << "variant " << v.index << ": " << v.violations.front();
+    for (const auto& p : v.paths) {
+      EXPECT_TRUE(p.bound_schedulable);
+      EXPECT_GT(p.frames, 0u);
+      EXPECT_LE(p.max_latency, p.bound);
+    }
+  }
+  // Same seed discipline, different wire format -> different dynamics.
+  EXPECT_NE(result.variants[0].fingerprint, result.variants[1].fingerprint);
+
+  const campaign::VariantResult replayed = campaign::CampaignRunner().replay(
+      spec, result.variants[1].index, result.variants[1].seed);
+  EXPECT_EQ(replayed.fingerprint, result.variants[1].fingerprint);
+  ASSERT_EQ(replayed.paths.size(), result.variants[1].paths.size());
+  for (std::size_t k = 0; k < replayed.paths.size(); ++k) {
+    EXPECT_EQ(replayed.paths[k].max_latency,
+              result.variants[1].paths[k].max_latency);
+  }
+}
+
+}  // namespace
+}  // namespace aces
