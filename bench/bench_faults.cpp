@@ -1,0 +1,282 @@
+// E13 — fault injection and recovery at campaign scale.
+//
+// Sweeps node-crash instant x supervised reboot delay x bus bit-error
+// period over a supervised single-bus producer (>= 1000 seeded variants by
+// default) and aggregates what the dependability story is made of:
+// heartbeat-miss detection latencies, fault -> recovery distributions, and
+// per-path availability. Three properties are self-checked, not just
+// reported:
+//
+//   determinism   the same subset campaign run at 1, 2 and N workers must
+//                 produce a byte-identical deterministic report;
+//   soundness     every clean variant (no crash, no bit errors) keeps full
+//                 availability and zero supervision activity; every
+//                 error-free crash variant is detected, mitigated and
+//                 recovered with availability above the floor, and mean
+//                 recovery grows with the configured reboot delay;
+//   replay        the first faulted variant, re-run alone from its
+//                 (spec, seed) pair, must reproduce its fingerprint.
+//
+// `--json PATH` writes the BENCH_faults.json CI artifact: the full
+// campaign report (with timing) wrapped with the scaling sweep.
+//
+//   bench_faults [--variants N] [--horizon-ms M] [--json PATH]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "campaign/runner.h"
+#include "support/check.h"
+
+using namespace aces;
+using campaign::CampaignResult;
+using campaign::CampaignRunner;
+using campaign::ScenarioSpec;
+using sim::kMicrosecond;
+using sim::kMillisecond;
+
+namespace {
+
+constexpr std::uint32_t kSignalId = 0x110;
+constexpr std::uint32_t kHeartbeatId = 0x050;
+
+ScenarioSpec fault_sweep_spec(sim::SimTime horizon) {
+  ScenarioSpec spec;
+  spec.name = "fault-sweep";
+  spec.master_seed = 1305;
+  spec.horizon = horizon;
+  spec.axes = {
+      {"fault_at_ns", {0.0, 60.0e6, 120.0e6, 180.0e6, 240.0e6, 300.0e6}},
+      {"reboot_delay_ns", {5.0e6, 20.0e6, 40.0e6}},
+      {"error_period_ns", {0.0, 3.0e6}},
+  };
+  spec.topology = [](const campaign::Variant&) {
+    net::NetworkBuilder nb;
+    const net::BusId bus = nb.bus("pt", 500'000);
+    net::ModelTask sender;
+    sender.name = "speed";
+    sender.priority = 5;
+    sender.exec = 200 * kMicrosecond;
+    sender.period = 10 * kMillisecond;
+    can::CanFrame tx;
+    tx.id = kSignalId;
+    tx.dlc = 4;
+    sender.tx = tx;
+    nb.ecu(bus, "producer", {sender});
+    return nb;
+  };
+
+  campaign::FaultPlan errors;
+  errors.bus = 0;
+  errors.period_axis = "error_period_ns";
+  spec.faults.push_back(errors);
+
+  campaign::NodeFaultPlan crash;
+  crash.ecu = 0;
+  crash.kind = net::NodeFault::Kind::crash;
+  crash.at_axis = "fault_at_ns";
+  spec.node_faults.push_back(crash);
+
+  campaign::PathSpec path;
+  path.name = "speed_signal";
+  path.dst_bus = 0;
+  path.dst_id = kSignalId;
+  path.expected_period = 10 * kMillisecond;
+  spec.paths.push_back(path);
+  spec.assertions.min_availability = 0.3;
+
+  spec.configure = [](net::Network& net, const campaign::Variant& v) {
+    can::CanFrame hb;
+    hb.id = kHeartbeatId;
+    hb.dlc = 1;
+    net.ecu(0).start_heartbeat(hb, 20 * kMillisecond);
+    net::SupervisorNode& sup = net.add_supervisor(0, "sup");
+    net::SupervisorNode::Monitor mon;
+    mon.name = "producer";
+    mon.heartbeat_id = kHeartbeatId;
+    mon.period = 20 * kMillisecond;
+    mon.window = 2 * kMillisecond;
+    mon.delivery_bound = kMillisecond;
+    mon.ecu = &net.ecu(0);
+    mon.mitigations.push_back(net::Mitigation::restart_ecu(
+        net.ecu(0), v.param_ns("reboot_delay_ns")));
+    sup.add_monitor(mon);
+    sup.start();
+  };
+  return spec;
+}
+
+CampaignResult run_with(const ScenarioSpec& spec, unsigned workers) {
+  CampaignRunner::Config cfg;
+  cfg.workers = workers;
+  cfg.watchdog_events = 5'000'000;  // backstop; no variant should trip it
+  return CampaignRunner(cfg).run(spec);
+}
+
+double axis_of(const campaign::VariantResult& v, const char* name) {
+  for (const auto& [axis, value] : v.params) {
+    if (axis == name) {
+      return value;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t want_variants = 1008;
+  sim::SimTime horizon = 400 * kMillisecond;
+  const char* json_path = nullptr;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--json") == 0 && k + 1 < argc) {
+      json_path = argv[++k];
+    } else if (std::strcmp(argv[k], "--variants") == 0 && k + 1 < argc) {
+      want_variants = static_cast<std::size_t>(std::atoll(argv[++k]));
+    } else if (std::strcmp(argv[k], "--horizon-ms") == 0 && k + 1 < argc) {
+      horizon = std::atoll(argv[++k]) * kMillisecond;
+    }
+  }
+
+  ScenarioSpec spec = fault_sweep_spec(horizon);
+  const std::size_t grid = spec.variant_count();
+  spec.replicates = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, (want_variants + grid - 1) / grid));
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("=== E13: fault campaign — %zu variants (%zu-point grid x %u "
+              "replicates), horizon %lld ms, hw threads %u ===\n",
+              spec.variant_count(), grid, spec.replicates,
+              static_cast<long long>(horizon / kMillisecond), hw);
+
+  // --- worker scaling on a subset, determinism checked across counts -----
+  ScenarioSpec subset = spec;
+  subset.replicates = std::max(1u, std::min(spec.replicates, 4u));
+  std::string scaling_json = "[";
+  std::string reference;
+  bool first = true;
+  for (unsigned w : {1u, 2u, hw}) {
+    const CampaignResult r = run_with(subset, w);
+    const std::string deterministic = r.to_json(/*with_timing=*/false);
+    if (reference.empty()) {
+      reference = deterministic;
+    } else {
+      ACES_CHECK_MSG(deterministic == reference,
+                     "deterministic report differs across worker counts");
+    }
+    std::printf("scaling: workers %2u -> %6.2f s (%.1f variants/s)\n", w,
+                r.wall_seconds, r.variants_per_second);
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n    {\"workers\": %u, \"wall_seconds\": %.3f, "
+                  "\"variants_per_second\": %.1f}",
+                  first ? "" : ",", r.workers, r.wall_seconds,
+                  r.variants_per_second);
+    scaling_json += buf;
+    first = false;
+    if (w >= hw) {
+      break;
+    }
+  }
+  scaling_json += "\n  ]";
+  std::printf("scaling subset deterministic report: byte-identical across "
+              "worker counts (%zu variants)\n", subset.variant_count());
+
+  // --- the full campaign -------------------------------------------------
+  const CampaignResult full = run_with(spec, hw);
+  std::printf("supervision: %llu misses, %llu mitigations, %llu recoveries; "
+              "recovery p99 %.2f ms, max %.2f ms; watchdog %llu\n",
+              static_cast<unsigned long long>(full.heartbeat_misses),
+              static_cast<unsigned long long>(full.mitigations),
+              static_cast<unsigned long long>(full.recoveries),
+              static_cast<double>(full.recovery_p99) / 1e6,
+              static_cast<double>(full.recovery_max) / 1e6,
+              static_cast<unsigned long long>(full.watchdog_timeouts));
+  for (const auto& p : full.paths) {
+    std::printf("path %-12s %8llu frames, availability %.4f (worst variant "
+                "%.4f)\n", p.name.c_str(),
+                static_cast<unsigned long long>(p.frames), p.availability,
+                p.min_availability);
+  }
+  ACES_CHECK_MSG(full.watchdog_timeouts == 0,
+                 "a variant tripped the event watchdog");
+
+  // Soundness: clean variants stay fully available; error-free crash
+  // variants detect, mitigate, recover and stay above the availability
+  // floor; recovery time tracks the configured reboot delay.
+  std::uint64_t clean = 0;
+  std::uint64_t crashed = 0;
+  double recovery_sum_fast = 0.0, recovery_sum_slow = 0.0;
+  std::uint64_t recovery_n_fast = 0, recovery_n_slow = 0;
+  for (const auto& v : full.variants) {
+    const double fault_at = axis_of(v, "fault_at_ns");
+    const double err = axis_of(v, "error_period_ns");
+    const double reboot = axis_of(v, "reboot_delay_ns");
+    if (fault_at == 0.0 && err == 0.0) {
+      ++clean;
+      ACES_CHECK_MSG(v.heartbeat_misses == 0 && v.recoveries == 0,
+                     "clean variant saw supervision activity");
+      ACES_CHECK_MSG(v.paths[0].availability > 0.95,
+                     "clean variant lost availability");
+    } else if (fault_at > 0.0 && err == 0.0) {
+      ++crashed;
+      ACES_CHECK_MSG(v.heartbeat_misses >= 1, "crash went undetected");
+      ACES_CHECK_MSG(v.mitigations >= 1, "no mitigation fired");
+      ACES_CHECK_MSG(!v.recovery_times.empty(), "no recovery measured");
+      ACES_CHECK_MSG(v.paths[0].availability > 0.5,
+                     "crash variant fell below the availability floor");
+      for (const sim::SimTime t : v.recovery_times) {
+        if (reboot <= 5.0e6) {
+          recovery_sum_fast += static_cast<double>(t);
+          ++recovery_n_fast;
+        } else if (reboot >= 40.0e6) {
+          recovery_sum_slow += static_cast<double>(t);
+          ++recovery_n_slow;
+        }
+      }
+    }
+  }
+  ACES_CHECK(clean > 0 && crashed > 0);
+  ACES_CHECK(recovery_n_fast > 0 && recovery_n_slow > 0);
+  const double mean_fast = recovery_sum_fast / recovery_n_fast;
+  const double mean_slow = recovery_sum_slow / recovery_n_slow;
+  std::printf("soundness: %llu clean + %llu crash variants checked; mean "
+              "recovery %.2f ms (5 ms reboot) vs %.2f ms (40 ms reboot)\n",
+              static_cast<unsigned long long>(clean),
+              static_cast<unsigned long long>(crashed), mean_fast / 1e6,
+              mean_slow / 1e6);
+  ACES_CHECK_MSG(mean_slow > mean_fast,
+                 "recovery time does not track the reboot delay");
+
+  // Replay: the first crash variant must reproduce bit-identically.
+  for (const auto& v : full.variants) {
+    if (axis_of(v, "fault_at_ns") == 0.0) {
+      continue;
+    }
+    const auto replayed = CampaignRunner().replay(spec, v.index, v.seed);
+    ACES_CHECK_MSG(replayed.fingerprint == v.fingerprint,
+                   "replayed variant fingerprint differs from the campaign");
+    std::printf("replay: variant %u (seed %llu) reproduced fingerprint "
+                "%016llx\n", v.index,
+                static_cast<unsigned long long>(v.seed),
+                static_cast<unsigned long long>(v.fingerprint));
+    break;
+  }
+
+  if (json_path != nullptr) {
+    std::string json = "{\n  \"bench\": \"bench_faults\",\n";
+    json += "  \"scaling\": " + scaling_json + ",\n";
+    json += "  \"campaign\": " + full.to_json(/*with_timing=*/true);
+    // to_json ends with "}\n"; splice it into the wrapper.
+    json.erase(json.size() - 1);
+    json += "\n}\n";
+    std::FILE* f = std::fopen(json_path, "w");
+    ACES_CHECK_MSG(f != nullptr, "cannot open --json output path");
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

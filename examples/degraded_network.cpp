@@ -1,0 +1,422 @@
+// Graceful degradation: a supervised two-bus vehicle rides out three
+// node-level faults.
+//
+//             0x110 @10ms   +----------+  route 0: 0x110 pt->body (primary)
+//   [speed]--------------+  | central  |  route 1: 0x111->0x110   (standby,
+//   [speed_b] 0x111 @10ms+--| gateway  |           pre-declared disabled)
+//   [engine]  ISS, hb 0x055 +----------+
+//   [sup-pt]  supervisor    |          |   [aux]     0x130 @20ms, hb 0x061
+//   ===========powertrain 500k         |   [dash]    consumer
+//                                      |   [sup-body] supervisor + limp-home
+//                  ======body 250k=====+
+//
+// Three drills, one deterministic run:
+//
+//   t=1.500s  speed CRASHES (silent death — vanishes from arbitration).
+//             sup-body deadline-monitors the routed 0x110 signal itself;
+//             the miss fires Mitigation::gateway_failover, which flips the
+//             standby route on: speed_b's hot-standby 0x111 stream is
+//             remapped onto 0x110 and the dash signal resumes.
+//   t=2.503s  engine (full ISS fidelity) HANGS — compute frozen, the
+//             transceiver still acknowledges, exactly the failure alive
+//             supervision exists for. sup-pt misses the 0x055 heartbeat
+//             and fires Mitigation::restart_ecu: a supervised reboot
+//             (image reload, vector patch, core reset) revives the guest.
+//   t=3.503s  aux wedges into a BABBLING IDIOT: software hangs while the
+//             driver floods top-priority 0x001 every 1 ms. sup-body
+//             detects the lost heartbeat, detaches the node from the bus
+//             (the flood dies mid-burst) and publishes limp-home 0x130
+//             substitution frames so the dash keeps seeing safe data.
+//
+// Every detection is measured against the analytic bound
+// period + window + delivery_bound, every count is self-checked exactly,
+// and the whole drill is run twice to pin bit-identical replay.
+//
+//   $ ./examples/degraded_network
+#include <cstdio>
+
+#include "can/bus.h"
+#include "cpu/profiles.h"
+#include "guest_util.h"
+#include "isa/assembler.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+using namespace aces;
+using sim::kMillisecond;
+using sim::kMicrosecond;
+using sim::SimTime;
+
+namespace {
+
+constexpr std::uint32_t kSpeedId = 0x110;    // primary + failover signal
+constexpr std::uint32_t kStandbyId = 0x111;  // hot-standby stream (pt only)
+constexpr std::uint32_t kAuxId = 0x130;      // aux signal + limp substitute
+constexpr std::uint32_t kEngineHb = 0x055;
+constexpr std::uint32_t kAuxHb = 0x061;
+constexpr std::uint32_t kBabbleId = 0x001;
+
+constexpr unsigned kRxLine = 1;
+constexpr std::uint32_t kCount = cpu::kSramBase + 0x100;
+
+constexpr SimTime kCrashAt = 1500 * kMillisecond;
+constexpr SimTime kHangAt = 2503 * kMillisecond;
+constexpr SimTime kBabbleAt = 3503 * kMillisecond;
+constexpr SimTime kHorizon = 5 * sim::kSecond;
+
+can::CanFrame frame(std::uint32_t id, std::uint8_t dlc) {
+  can::CanFrame f;
+  f.id = id;
+  f.dlc = dlc;
+  return f;
+}
+
+// Counting guest for the ISS engine ECU: WFI loop; the RX ISR bumps a
+// SRAM counter for every delivered frame, pops the mailbox, acks.
+net::GuestProgram counting_program() {
+  using namespace isa;
+  using Ctl = can::CanController;
+  Assembler a(Encoding::b32, cpu::kFlashBase);
+  const Label entry = a.bound_label();
+  const Label top = a.bound_label();
+  Instruction wfi;
+  wfi.op = Op::wfi;
+  a.ins(wfi);
+  a.b(top);
+  a.pool();
+  const Label isr = a.bound_label();
+  a.load_literal(r0, cpu::kPeriphBase);
+  examples::emit_inc_word(a, kCount);
+  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
+  a.ins(ins_ret());
+  a.pool();
+  net::GuestProgram p;
+  p.image = a.assemble();
+  p.entry = a.label_address(entry);
+  p.handlers.push_back({kRxLine, a.label_address(isr), 32});
+  return p;
+}
+
+// Everything one drill run measures — compared field by field across the
+// double run to pin bit-identical replay.
+struct DrillResult {
+  std::uint64_t events = 0;
+  // dash-side frame counts on the body bus.
+  std::uint64_t speed_heard = 0;
+  std::uint64_t aux_heard = 0;
+  std::uint64_t babble_heard = 0;
+  SimTime speed_max_gap = 0;  // worst 0x110 inter-arrival (the outage)
+  // per-monitor supervision outcomes.
+  net::SupervisorNode::MonitorStats speed_mon;
+  net::SupervisorNode::MonitorStats engine_mon;
+  net::SupervisorNode::MonitorStats aux_mon;
+  SimTime speed_bound = 0;
+  SimTime engine_bound = 0;
+  SimTime aux_bound = 0;
+  bool aux_still_failed = false;
+  bool aux_attached = true;
+  // engine ISS state.
+  std::uint32_t engine_serviced = 0;
+  std::uint64_t engine_frozen_drops = 0;
+  std::uint64_t engine_reboots = 0;
+  // bus / gateway tallies.
+  std::uint64_t babble_queued = 0;
+  std::uint64_t body_detached_drops = 0;
+  std::uint64_t gw_delivered = 0;
+  std::uint64_t gw_drops_seen = 0;
+};
+
+DrillResult run_drill() {
+  net::NetworkBuilder nb;
+  const net::BusId pt = nb.bus("powertrain", 500'000);
+  const net::BusId body = nb.bus("body", 250'000);
+
+  net::ModelTask speed_task;
+  speed_task.name = "speed";
+  speed_task.priority = 5;
+  speed_task.exec = 200 * kMicrosecond;
+  speed_task.period = 10 * kMillisecond;
+  speed_task.tx = frame(kSpeedId, 4);
+  const net::EcuId speed = nb.ecu(pt, "speed", {speed_task});
+
+  net::ModelTask standby_task = speed_task;
+  standby_task.name = "speed_b";
+  standby_task.tx = frame(kStandbyId, 4);
+  const net::EcuId speed_b = nb.ecu(pt, "speed_b", {standby_task});
+
+  can::CanController::Config cc;
+  cc.rx_line = kRxLine;
+  const net::EcuId engine = nb.ecu(
+      pt,
+      cpu::profiles::modern_mcu().name("engine").clock_hz(8'000'000)
+          .flash_size(16 * 1024),
+      counting_program(), cc);
+
+  net::ModelTask aux_task;
+  aux_task.name = "climate";
+  aux_task.priority = 5;
+  aux_task.exec = 300 * kMicrosecond;
+  aux_task.period = 20 * kMillisecond;
+  aux_task.tx = frame(kAuxId, 4);
+  const net::EcuId aux = nb.ecu(body, "aux", {aux_task});
+
+  net::ModelTask idle;
+  idle.name = "poll";
+  idle.priority = 1;
+  idle.exec = 50 * kMicrosecond;
+  idle.period = 50 * kMillisecond;
+  const net::EcuId dash = nb.ecu(body, "dash", {idle});
+
+  const net::GatewayId gw = nb.gateway("central", {200 * kMicrosecond, 8});
+  net::Route primary;
+  primary.from = pt;
+  primary.to = body;
+  primary.match = kSpeedId;
+  nb.route(gw, primary);
+  net::Route standby;
+  standby.from = pt;
+  standby.to = body;
+  standby.match = kStandbyId;
+  standby.remap = kSpeedId;
+  standby.enabled = false;  // switched on by the failover mitigation
+  nb.route(gw, standby);
+
+  net::Network net = nb.build();
+
+  // --- supervision -----------------------------------------------------
+  net::SupervisorNode& sup_pt = net.add_supervisor(pt, "sup-pt");
+  net::SupervisorNode& sup_body = net.add_supervisor(body, "sup-body");
+  sup_body.watch_gateway(net.gateway(gw));
+
+  net::SupervisorNode::Monitor m;
+  m.name = "engine";
+  m.heartbeat_id = kEngineHb;
+  m.period = 20 * kMillisecond;
+  m.window = 5 * kMillisecond;
+  m.delivery_bound = 2 * kMillisecond;
+  m.ecu = &net.ecu(engine);
+  m.mitigations.push_back(
+      net::Mitigation::restart_ecu(net.ecu(engine), 10 * kMillisecond));
+  const auto engine_mon = sup_pt.add_monitor(m);
+
+  m = {};
+  m.name = "speed-signal";
+  m.heartbeat_id = kSpeedId;  // the routed signal is its own heartbeat
+  m.period = 10 * kMillisecond;
+  m.window = 5 * kMillisecond;
+  m.delivery_bound = 5 * kMillisecond;  // one gateway hop
+  m.ecu = &net.ecu(speed);
+  m.mitigations.push_back(
+      net::Mitigation::gateway_failover(net.gateway(gw), 0, 1));
+  const auto speed_mon = sup_body.add_monitor(m);
+
+  m = {};
+  m.name = "aux";
+  m.heartbeat_id = kAuxHb;
+  m.period = 20 * kMillisecond;
+  m.window = 5 * kMillisecond;
+  m.delivery_bound = 2 * kMillisecond;
+  m.ecu = &net.ecu(aux);
+  m.mitigations.push_back(net::Mitigation::detach_node(
+      net.bus(body), net.ecu(aux).can_node()));
+  can::CanFrame limp = frame(kAuxId, 4);
+  limp.data[0] = 0xEE;  // "degraded data" marker for consumers
+  m.limp_frame = limp;
+  m.limp_period = 20 * kMillisecond;
+  const auto aux_mon = sup_body.add_monitor(m);
+
+  net.ecu(engine).start_heartbeat(frame(kEngineHb, 1), 20 * kMillisecond);
+  net.ecu(aux).start_heartbeat(frame(kAuxHb, 1), 20 * kMillisecond);
+  sup_pt.start();
+  sup_body.start();
+
+  // --- the dash: counts what the body bus actually sees ----------------
+  DrillResult r;
+  SimTime last_speed_at = 0;
+  net.bus(body).subscribe(
+      net.ecu(dash).can_node(), [&](const can::CanFrame& f, SimTime at) {
+        if (f.id == kSpeedId) {
+          ++r.speed_heard;
+          if (at - last_speed_at > r.speed_max_gap)
+            r.speed_max_gap = at - last_speed_at;
+          last_speed_at = at;
+        } else if (f.id == kAuxId) {
+          ++r.aux_heard;
+        } else if (f.id == kBabbleId) {
+          ++r.babble_heard;
+        }
+      });
+
+  // --- the three faults ------------------------------------------------
+  net::NodeFault crash;
+  crash.kind = net::NodeFault::Kind::crash;
+  crash.at = kCrashAt;
+  net.ecu(speed).inject(crash);
+
+  net::NodeFault hang;
+  hang.kind = net::NodeFault::Kind::hang;
+  hang.at = kHangAt;
+  net.ecu(engine).inject(hang);
+
+  net::NodeFault babble;
+  babble.kind = net::NodeFault::Kind::babble;
+  babble.at = kBabbleAt;
+  babble.babble_frame = frame(kBabbleId, 0);  // outranks everything
+  babble.babble_period = kMillisecond;
+  net.ecu(aux).inject(babble);
+  net::NodeFault wedge = hang;  // the classic wedged-software babble
+  wedge.at = kBabbleAt;
+  net.ecu(aux).inject(wedge);
+
+  net.run_until(kHorizon);
+
+  r.events = net.simulation().queue().events_executed();
+  r.speed_mon = sup_body.stats(speed_mon);
+  r.engine_mon = sup_pt.stats(engine_mon);
+  r.aux_mon = sup_body.stats(aux_mon);
+  r.speed_bound = sup_body.detection_bound(speed_mon);
+  r.engine_bound = sup_pt.detection_bound(engine_mon);
+  r.aux_bound = sup_body.detection_bound(aux_mon);
+  r.aux_still_failed = sup_body.failed(aux_mon);
+  r.aux_attached = net.bus(body).attached(net.ecu(aux).can_node());
+  r.engine_serviced = net.iss(engine).read_word(kCount);
+  r.engine_frozen_drops = net.iss(engine).binding().stats().frozen_irq_drops;
+  r.engine_reboots = net.ecu(engine).fault_stats().reboots;
+  r.babble_queued = net.ecu(aux).fault_stats().babble_frames;
+  r.body_detached_drops = net.bus(body).fault_stats().detached_drops;
+  r.gw_delivered = net.gateway(gw).stats().frames_delivered;
+  r.gw_drops_seen = sup_body.gateway_drops();
+  (void)speed_b;
+  return r;
+}
+
+bool same(const net::SupervisorNode::MonitorStats& a,
+          const net::SupervisorNode::MonitorStats& b) {
+  return a.heartbeats == b.heartbeats && a.misses == b.misses &&
+         a.mitigations == b.mitigations && a.recoveries == b.recoveries &&
+         a.limp_frames == b.limp_frames &&
+         a.last_detect_at == b.last_detect_at &&
+         a.worst_detect_latency == b.worst_detect_latency &&
+         a.worst_recover_latency == b.worst_recover_latency;
+}
+
+void print_monitor(const char* name, const net::SupervisorNode::MonitorStats& s,
+                   SimTime bound) {
+  std::printf("%-13s misses %llu  mitigations %llu  recoveries %llu  "
+              "detect %.2fms (bound %.2fms)  recover %.2fms\n",
+              name, static_cast<unsigned long long>(s.misses),
+              static_cast<unsigned long long>(s.mitigations),
+              static_cast<unsigned long long>(s.recoveries),
+              s.worst_detect_latency / 1e6, bound / 1e6,
+              s.worst_recover_latency / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  const DrillResult a = run_drill();
+  const DrillResult b = run_drill();  // the replay
+
+  std::printf("=== graceful degradation: three faults, three mitigations "
+              "===\n\n");
+  print_monitor("speed-signal", a.speed_mon, a.speed_bound);
+  print_monitor("engine", a.engine_mon, a.engine_bound);
+  print_monitor("aux", a.aux_mon, a.aux_bound);
+  std::printf("\n");
+  std::printf("0x110 heard on body      %8llu (worst gap %.2fms)\n",
+              static_cast<unsigned long long>(a.speed_heard),
+              a.speed_max_gap / 1e6);
+  std::printf("0x130 heard on body      %8llu (%llu limp-home)\n",
+              static_cast<unsigned long long>(a.aux_heard),
+              static_cast<unsigned long long>(a.aux_mon.limp_frames));
+  std::printf("babble frames on wire    %8llu of %llu queued\n",
+              static_cast<unsigned long long>(a.babble_heard),
+              static_cast<unsigned long long>(a.babble_queued));
+  std::printf("post-detach flood drops  %8llu\n",
+              static_cast<unsigned long long>(a.body_detached_drops));
+  std::printf("engine frames serviced   %8u (%llu dropped frozen, "
+              "%llu reboot)\n",
+              a.engine_serviced,
+              static_cast<unsigned long long>(a.engine_frozen_drops),
+              static_cast<unsigned long long>(a.engine_reboots));
+  std::printf("gateway delivered        %8llu (drops seen %llu)\n",
+              static_cast<unsigned long long>(a.gw_delivered),
+              static_cast<unsigned long long>(a.gw_drops_seen));
+  std::printf("events executed          %8llu\n",
+              static_cast<unsigned long long>(a.events));
+
+  // --- exact frame accounting ------------------------------------------
+  // 0x110 on body: 150 primary frames before the 1.5s crash, then the
+  // standby stream from the ~1.506s failover to the horizon — one 10ms
+  // period lost to detection. Aux: 175 real 0x130 frames before the
+  // 3.503s wedge + 74 limp-home substitutes. The babble flood lands 23
+  // frames before the detach cuts it off; the remaining 1475 queued
+  // flood frames die as detached drops.
+  ACES_CHECK(a.speed_heard == 499);
+  ACES_CHECK(a.gw_delivered == 499);
+  ACES_CHECK(a.aux_heard == 250);
+  ACES_CHECK(a.aux_mon.limp_frames == 74);
+  ACES_CHECK(a.babble_heard == 23);
+  ACES_CHECK(a.babble_queued == 1498);
+  ACES_CHECK(a.body_detached_drops == 1475);
+  ACES_CHECK(a.engine_serviced == 649);
+  ACES_CHECK(a.engine_frozen_drops == 2);
+
+  // --- drill 1: crash -> gateway failover ------------------------------
+  ACES_CHECK(a.speed_mon.misses == 1);
+  ACES_CHECK(a.speed_mon.mitigations == 1);
+  ACES_CHECK(a.speed_mon.recoveries == 1);
+  ACES_CHECK(a.speed_mon.worst_detect_latency >= 0);
+  ACES_CHECK(a.speed_mon.worst_detect_latency <= a.speed_bound);
+  ACES_CHECK(a.speed_mon.worst_recover_latency >
+              a.speed_mon.worst_detect_latency);
+  // The outage the dash saw is the detection latency plus one standby
+  // period plus the gateway hop — well under bound + period + 5ms slack.
+  ACES_CHECK(a.speed_max_gap <= a.speed_bound + 10 * kMillisecond +
+                                     5 * kMillisecond);
+  ACES_CHECK(a.speed_max_gap > 10 * kMillisecond);
+
+  // --- drill 2: ISS hang -> supervised restart -------------------------
+  ACES_CHECK(a.engine_mon.misses == 1);
+  ACES_CHECK(a.engine_mon.mitigations == 1);
+  ACES_CHECK(a.engine_mon.recoveries == 1);
+  ACES_CHECK(a.engine_mon.worst_detect_latency >= 0);
+  ACES_CHECK(a.engine_mon.worst_detect_latency <= a.engine_bound);
+  ACES_CHECK(a.engine_frozen_drops > 0);
+  ACES_CHECK(a.engine_reboots == 1);
+  ACES_CHECK(a.engine_serviced > 0);
+
+  // --- drill 3: babbling idiot -> detach + limp-home -------------------
+  ACES_CHECK(a.aux_mon.misses == 1);
+  ACES_CHECK(a.aux_mon.mitigations == 1);
+  ACES_CHECK(a.aux_mon.recoveries == 0);  // stays down by design
+  ACES_CHECK(a.aux_still_failed);
+  ACES_CHECK(!a.aux_attached);
+  ACES_CHECK(a.aux_mon.worst_detect_latency >= 0);
+  ACES_CHECK(a.aux_mon.worst_detect_latency <= a.aux_bound);
+  ACES_CHECK(a.aux_mon.limp_frames > 0);
+  ACES_CHECK(a.babble_heard < a.babble_queued);  // flood cut mid-burst
+  ACES_CHECK(a.body_detached_drops > 0);
+  ACES_CHECK(a.gw_drops_seen == 0);
+
+  // --- the replay is bit-identical -------------------------------------
+  ACES_CHECK(a.events == b.events);
+  ACES_CHECK(a.speed_heard == b.speed_heard);
+  ACES_CHECK(a.aux_heard == b.aux_heard);
+  ACES_CHECK(a.babble_heard == b.babble_heard);
+  ACES_CHECK(a.speed_max_gap == b.speed_max_gap);
+  ACES_CHECK(same(a.speed_mon, b.speed_mon));
+  ACES_CHECK(same(a.engine_mon, b.engine_mon));
+  ACES_CHECK(same(a.aux_mon, b.aux_mon));
+  ACES_CHECK(a.engine_serviced == b.engine_serviced);
+  ACES_CHECK(a.engine_frozen_drops == b.engine_frozen_drops);
+  ACES_CHECK(a.babble_queued == b.babble_queued);
+  ACES_CHECK(a.body_detached_drops == b.body_detached_drops);
+  ACES_CHECK(a.gw_delivered == b.gw_delivered);
+
+  std::printf("\nall checks passed: every fault detected within its bound, "
+              "mitigated, and replayed bit-identically.\n");
+  return 0;
+}

@@ -87,6 +87,13 @@ std::uint64_t fingerprint_of(const VariantResult& r) {
   f.add(r.bus_off_events);
   f.add(r.overflow_drops);
   f.add(r.deadline_misses);
+  f.add(r.heartbeat_misses);
+  f.add(r.mitigations);
+  f.add(r.recoveries);
+  for (const sim::SimTime t : r.recovery_times) {
+    f.add(static_cast<std::uint64_t>(t));
+  }
+  f.add(r.watchdog_tripped ? 1 : 0);
   for (const PathResult& p : r.paths) {
     f.add(p.frames);
     f.add(static_cast<std::uint64_t>(p.min_latency));
@@ -173,6 +180,42 @@ VariantResult CampaignRunner::run_variant(const ScenarioSpec& spec,
       hop_errors[plan.bus] = sched::CanErrorModel{period};
     }
 
+    // Node-lifecycle faults: crash / hang / reset / babble against declared
+    // ECUs, at fixed or axis-resolved instants (<= 0 disables).
+    for (const NodeFaultPlan& plan : spec.node_faults) {
+      ACES_CHECK_MSG(plan.ecu >= 0 && static_cast<std::size_t>(plan.ecu) <
+                         net.ecu_count(),
+                     "node fault plan references an unknown ecu");
+      const SimTime at =
+          plan.at_axis.empty() ? plan.at : v.param_ns(plan.at_axis);
+      if (at <= 0) {
+        continue;
+      }
+      net::NodeFault fault;
+      fault.kind = plan.kind;
+      fault.at = at;
+      fault.reboot_delay = plan.reboot_delay;
+      fault.babble_frame = plan.babble_frame;
+      fault.babble_period = plan.babble_period;
+      net.ecu(plan.ecu).inject(fault);
+    }
+
+    // Dead-bus windows: the whole segment silent for a duration.
+    for (const BusFaultPlan& plan : spec.bus_faults) {
+      ACES_CHECK_MSG(plan.bus >= 0 && static_cast<std::size_t>(plan.bus) <
+                         net.bus_count(),
+                     "bus fault plan references an unknown bus");
+      const SimTime at =
+          plan.at_axis.empty() ? plan.at : v.param_ns(plan.at_axis);
+      const SimTime duration = plan.duration_axis.empty()
+                                   ? plan.duration
+                                   : v.param_ns(plan.duration_axis);
+      if (at <= 0 || duration <= 0) {
+        continue;
+      }
+      net.bus(plan.bus).schedule_bus_dead(at, duration);
+    }
+
     // Path probes: measure queue-to-delivery of every destination frame.
     for (std::size_t k = 0; k < spec.paths.size(); ++k) {
       const PathSpec& path = spec.paths[k];
@@ -202,7 +245,30 @@ VariantResult CampaignRunner::run_variant(const ScenarioSpec& spec,
       spec.configure(net, v);
     }
 
+    // Per-variant watchdog: the event limit is deterministic (a pure
+    // function of the executed-event count); the wall-clock limit is the
+    // last-resort backstop for a wedged variant.
+    if (config_.watchdog_events > 0 || config_.watchdog_wall_seconds > 0.0) {
+      const auto started = std::chrono::steady_clock::now();
+      net.simulation().set_watchdog(
+          [this, started](std::uint64_t events) {
+            if (config_.watchdog_events > 0 &&
+                events >= config_.watchdog_events) {
+              return true;
+            }
+            if (config_.watchdog_wall_seconds > 0.0) {
+              const double elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - started).count();
+              if (elapsed >= config_.watchdog_wall_seconds) {
+                return true;
+              }
+            }
+            return false;
+          });
+    }
+
     net.run_until(spec.horizon);
+    out.watchdog_tripped = net.simulation().watchdog_tripped();
 
     // Counters. FlexRay segments carry no CAN fault model — skipped.
     for (std::size_t b = 0; b < net.bus_count(); ++b) {
@@ -226,10 +292,39 @@ VariantResult CampaignRunner::run_variant(const ScenarioSpec& spec,
     }
     out.events = net.simulation().stats().events_executed;
 
+    // Supervision outcome: every supervisor the configure hook installed.
+    for (std::size_t s = 0; s < net.supervisor_count(); ++s) {
+      net::SupervisorNode& sup = net.supervisor(s);
+      for (std::size_t m = 0; m < sup.monitor_count(); ++m) {
+        const auto& st = sup.stats(static_cast<int>(m));
+        out.heartbeat_misses += st.misses;
+        out.mitigations += st.mitigations;
+        out.recoveries += st.recoveries;
+      }
+      out.recovery_times.insert(out.recovery_times.end(),
+                                sup.recovery_samples().begin(),
+                                sup.recovery_samples().end());
+    }
+
     // Bounds and judgment.
     for (std::size_t k = 0; k < spec.paths.size(); ++k) {
       const PathSpec& path = spec.paths[k];
       PathResult& res = out.paths[k];
+      if (path.expected_period > 0) {
+        const auto expected = static_cast<double>(
+            spec.horizon / path.expected_period);
+        res.availability = expected > 0.0
+                               ? static_cast<double>(res.frames) / expected
+                               : 0.0;
+        if (spec.assertions.min_availability > 0.0 &&
+            res.availability < spec.assertions.min_availability) {
+          out.violations.push_back("path '" + path.name +
+                                   "': availability " +
+                                   fmt_double(res.availability) + " < " +
+                                   fmt_double(
+                                       spec.assertions.min_availability));
+        }
+      }
       if (!path.hops) {
         continue;
       }
@@ -271,6 +366,10 @@ VariantResult CampaignRunner::run_variant(const ScenarioSpec& spec,
     if (spec.assertions.no_deadline_misses && out.deadline_misses > 0) {
       out.violations.push_back("deadline misses: " +
                                fmt_u64(out.deadline_misses));
+    }
+    if (out.watchdog_tripped) {
+      out.violations.push_back("watchdog: variant stopped after " +
+                               fmt_u64(out.events) + " events");
     }
   } catch (const std::exception& e) {
     // A throwing variant is a spec bug; flag it instead of tearing down
@@ -344,6 +443,10 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec) const {
                                  std::max(1u, config_.hist_bins));
     agg.hist.bins.assign(config_.hist_bins + 1, 0);
   }
+  out.recovery_hist.bin_width =
+      std::max<SimTime>(1, config_.hist_max /
+                               std::max(1u, config_.hist_bins));
+  out.recovery_hist.bins.assign(config_.hist_bins + 1, 0);
   std::vector<std::uint64_t> path_totals(spec.paths.size(), 0);
   for (const VariantResult& r : out.variants) {
     if (r.violating()) {
@@ -353,6 +456,16 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec) const {
     out.bus_off_events += r.bus_off_events;
     out.deadline_misses += r.deadline_misses;
     out.bit_errors += r.bit_errors;
+    out.heartbeat_misses += r.heartbeat_misses;
+    out.mitigations += r.mitigations;
+    out.recoveries += r.recoveries;
+    for (const SimTime t : r.recovery_times) {
+      out.recovery_hist.add(t);
+      out.recovery_max = std::max(out.recovery_max, t);
+    }
+    if (r.watchdog_tripped) {
+      ++out.watchdog_timeouts;
+    }
     for (std::size_t k = 0; k < r.paths.size(); ++k) {
       const PathResult& p = r.paths[k];
       auto& agg = out.paths[k];
@@ -372,6 +485,12 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec) const {
       if (p.bound > 0 && !p.bound_schedulable) {
         ++agg.unschedulable_variants;
       }
+      if (p.availability >= 0.0) {
+        if (agg.min_availability < 0.0 ||
+            p.availability < agg.min_availability) {
+          agg.min_availability = p.availability;
+        }
+      }
     }
   }
   for (std::size_t k = 0; k < out.paths.size(); ++k) {
@@ -382,7 +501,16 @@ CampaignResult CampaignRunner::run(const ScenarioSpec& spec) const {
                               static_cast<double>(agg.frames);
     agg.p99_latency = agg.hist.percentile(0.99);
     out.unschedulable += agg.unschedulable_variants;
+    if (spec.paths[k].expected_period > 0) {
+      const double expected =
+          static_cast<double>(spec.horizon / spec.paths[k].expected_period) *
+          static_cast<double>(out.variants.size());
+      agg.availability = expected > 0.0
+                             ? static_cast<double>(agg.frames) / expected
+                             : 0.0;
+    }
   }
+  out.recovery_p99 = out.recovery_hist.percentile(0.99);
   return out;
 }
 
@@ -439,6 +567,11 @@ std::string CampaignResult::to_json(bool with_timing,
          fmt_u64(p.bound_exceeded_variants) +
          ", \"unschedulable_variants\": " +
          fmt_u64(p.unschedulable_variants) +
+         (p.availability >= 0.0
+              ? ",\n     \"availability\": " + fmt_double(p.availability) +
+                    ", \"min_availability\": " +
+                    fmt_double(p.min_availability)
+              : std::string()) +
          ",\n     \"histogram\": {\"bin_width_ns\": " +
          fmt_i64(p.hist.bin_width) + ", \"counts\": [";
     for (std::size_t i = 0; i < p.hist.bins.size(); ++i) {
@@ -455,6 +588,12 @@ std::string CampaignResult::to_json(bool with_timing,
        ", \"bus_off_events\": " + fmt_u64(bus_off_events) +
        ", \"deadline_misses\": " + fmt_u64(deadline_misses) +
        ", \"bit_errors\": " + fmt_u64(bit_errors) + "},\n";
+  j += "  \"supervision\": {\"heartbeat_misses\": " +
+       fmt_u64(heartbeat_misses) + ", \"mitigations\": " +
+       fmt_u64(mitigations) + ", \"recoveries\": " + fmt_u64(recoveries) +
+       ",\n    \"recovery_p99_ns\": " + fmt_i64(recovery_p99) +
+       ", \"recovery_max_ns\": " + fmt_i64(recovery_max) +
+       ", \"watchdog_timeouts\": " + fmt_u64(watchdog_timeouts) + "},\n";
   std::uint64_t listed = 0;
   j += "  \"violating_variants\": {\"total\": " +
        fmt_u64(violating_variants) + ", \"entries\": [";

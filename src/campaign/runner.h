@@ -51,6 +51,8 @@ struct PathResult {
   sim::SimTime bound = 0;  // operative path_rta bound (0: no hops given)
   bool bound_schedulable = false;
   bool bound_exceeded = false;  // measured max > schedulable bound
+  // delivered / expected when PathSpec::expected_period > 0, else -1.
+  double availability = -1.0;
 };
 
 struct VariantResult {
@@ -63,6 +65,17 @@ struct VariantResult {
   std::uint64_t overflow_drops = 0;
   std::uint64_t deadline_misses = 0;
   std::uint64_t events = 0;  // simulation events executed
+  // Alive-supervision outcome, summed over every supervisor the variant's
+  // configure hook installed (net::SupervisorNode).
+  std::uint64_t heartbeat_misses = 0;
+  std::uint64_t mitigations = 0;
+  std::uint64_t recoveries = 0;
+  // Every measured fault -> recovery latency, in occurrence order.
+  std::vector<sim::SimTime> recovery_times;
+  // The per-variant watchdog (Config::watchdog_events /
+  // watchdog_wall_seconds) stopped this variant before the horizon: a hung
+  // variant fails loudly instead of wedging the worker pool.
+  bool watchdog_tripped = false;
   // FNV-1a over every counter above (and per-path fields): the replay
   // identity — equal fingerprints mean bit-identical runs.
   std::uint64_t fingerprint = 0;
@@ -88,6 +101,11 @@ struct CampaignResult {
     LatencyHistogram hist;
     std::uint64_t bound_exceeded_variants = 0;
     std::uint64_t unschedulable_variants = 0;
+    // Campaign-wide availability: total delivered / total expected across
+    // variants (-1 when the path declares no expected_period), and the
+    // worst single variant.
+    double availability = -1.0;
+    double min_availability = -1.0;
   };
   std::vector<PathAggregate> paths;
 
@@ -99,6 +117,15 @@ struct CampaignResult {
   std::uint64_t bus_off_events = 0;
   std::uint64_t deadline_misses = 0;
   std::uint64_t bit_errors = 0;
+  // Supervision roll-up: heartbeat deadline misses, mitigation actions
+  // fired, completed recoveries, and the fault -> recovery distribution.
+  std::uint64_t heartbeat_misses = 0;
+  std::uint64_t mitigations = 0;
+  std::uint64_t recoveries = 0;
+  sim::SimTime recovery_p99 = 0;
+  sim::SimTime recovery_max = 0;
+  LatencyHistogram recovery_hist;
+  std::uint64_t watchdog_timeouts = 0;  // variants the watchdog stopped
 
   // Timing (excluded from the deterministic report).
   unsigned workers = 0;
@@ -125,6 +152,15 @@ class CampaignRunner {
     // Histogram geometry shared by every variant (merging requires it).
     unsigned hist_bins = 64;
     sim::SimTime hist_max = 50 * sim::kMillisecond;
+    // Per-variant watchdog, 0 = off. A variant executing more than
+    // `watchdog_events` simulation events (deterministic) or running
+    // longer than `watchdog_wall_seconds` of wall clock (the backstop for
+    // a genuinely wedged variant; trips are timing-dependent, so keep the
+    // event limit as the primary guard in deterministic campaigns) is
+    // stopped and reported as watchdog_tripped instead of hanging its
+    // worker forever.
+    std::uint64_t watchdog_events = 0;
+    double watchdog_wall_seconds = 0.0;
   };
 
   CampaignRunner() = default;

@@ -76,6 +76,36 @@ struct FaultPlan {
   double probability = 1.0;
 };
 
+// Declarative node-lifecycle fault (net::NodeFault) against one declared
+// ECU: crash, hang, reset-with-reboot, or babbling-idiot flood, injected
+// at a fixed instant or one resolved from an axis per variant. Combined
+// with a supervisor installed in ScenarioSpec::configure, this is how a
+// campaign measures recovery-time distributions and path availability
+// under node death.
+struct NodeFaultPlan {
+  net::EcuId ecu = -1;
+  net::NodeFault::Kind kind = net::NodeFault::Kind::crash;
+  // Injection instant in ns: fixed, or resolved from an axis per variant
+  // (the axis wins when named). <= 0 disables the plan for that variant —
+  // the idiom for sweeping fault-free to faulted on one axis.
+  std::string at_axis;
+  sim::SimTime at = 0;
+  sim::SimTime reboot_delay = 0;  // reset kind
+  can::CanFrame babble_frame;     // babble kind
+  sim::SimTime babble_period = 0;
+};
+
+// Declarative dead-bus window: the whole CAN segment goes silent
+// (partition / severed harness) for `duration` starting at `at`, both
+// fixed or axis-resolved. <= 0 on either disables the plan.
+struct BusFaultPlan {
+  net::BusId bus = -1;
+  std::string at_axis;
+  sim::SimTime at = 0;
+  std::string duration_axis;
+  sim::SimTime duration = 0;
+};
+
 // One routed path to measure and bound. The runner attaches a probe node
 // on `dst_bus` and records the queue-to-delivery latency (delivery instant
 // minus CanFrame::timestamp, the stamp gateways preserve) of every `dst_id`
@@ -89,6 +119,11 @@ struct PathSpec {
   // intended constructor; tag hops with their bus id so fault plans attach).
   // Leave empty to measure without a bound.
   std::function<std::vector<sched::PathHop>(const Variant&)> hops;
+  // Nominal production period of this path's traffic. When > 0 the runner
+  // reports per-variant availability = delivered / expected, with
+  // expected = horizon / expected_period — the fraction of the path's
+  // traffic that survived the variant's faults.
+  sim::SimTime expected_period = 0;
 };
 
 // Declarative pass/fail judgment per variant. A variant violating any
@@ -103,6 +138,11 @@ struct Assertions {
   bool no_deadline_misses = true;
   std::uint64_t max_overflow_drops = 0;  // gateway drops tolerated
   std::uint64_t max_bus_off = 0;         // bus-off events tolerated
+  // Minimum per-path availability (paths with expected_period > 0 only);
+  // 0 disables the check. A crashed producer with no mitigation drives
+  // availability toward the fault instant's fraction of the horizon —
+  // this is the assertion that catches it.
+  double min_availability = 0.0;
 };
 
 struct ScenarioSpec {
@@ -119,6 +159,8 @@ struct ScenarioSpec {
   std::function<net::NetworkBuilder(const Variant&)> topology;
 
   std::vector<FaultPlan> faults;
+  std::vector<NodeFaultPlan> node_faults;
+  std::vector<BusFaultPlan> bus_faults;
   std::vector<PathSpec> paths;
   Assertions assertions;
 

@@ -32,6 +32,19 @@ NodeId CanBus::attach_node(std::string name) {
   Node n;
   n.name = std::move(name);
   nodes_.push_back(std::move(n));
+  // A new potential acknowledger joined: suspended lonely transmitters
+  // retry. (Gated so a classic bus build-up never triggers arbitration
+  // from inside attach_node.)
+  bool any_lonely = false;
+  for (const Node& node : nodes_) {
+    any_lonely = any_lonely || node.lonely;
+  }
+  if (any_lonely) {
+    wake_lonely();
+    if (!busy_) {
+      try_start();
+    }
+  }
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -95,6 +108,70 @@ void CanBus::request_recovery(NodeId node) {
   }
 }
 
+void CanBus::detach(NodeId node) {
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.detached) {
+    return;
+  }
+  n.detached = true;
+  if (n.recovery_armed) {
+    // An unpowered controller cannot observe the 128x11 recessive bits;
+    // the sequence restarts from scratch at attach().
+    queue_.cancel(n.recovery_event);
+    n.recovery_armed = false;
+  }
+}
+
+void CanBus::attach(NodeId node) {
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (!n.detached) {
+    return;
+  }
+  n.detached = false;
+  if (n.bus_off && !n.manual_recovery) {
+    arm_recovery(node);
+  }
+  // A new potential acknowledger: suspended lonely transmitters retry.
+  wake_lonely();
+  if (!busy_) {
+    try_start();
+  }
+}
+
+bool CanBus::attached(NodeId node) const {
+  return !nodes_[static_cast<std::size_t>(node)].detached;
+}
+
+bool CanBus::has_ack_peer(NodeId tx) const {
+  for (std::size_t k = 0; k < nodes_.size(); ++k) {
+    const Node& n = nodes_[k];
+    if (static_cast<NodeId>(k) != tx && !n.detached && !n.bus_off) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CanBus::wake_lonely() {
+  for (Node& n : nodes_) {
+    n.lonely = false;
+  }
+}
+
+void CanBus::schedule_bus_dead(sim::SimTime at, sim::SimTime duration) {
+  ACES_CHECK_MSG(duration > 0, "dead-bus window needs a positive duration");
+  queue_.schedule_at(at, [this] {
+    bus_dead_ = true;
+    ++fault_stats_.dead_bus_windows;
+  });
+  queue_.schedule_at(at + duration, [this] {
+    bus_dead_ = false;
+    if (!busy_) {
+      try_start();
+    }
+  });
+}
+
 void CanBus::emit(NodeId node, ErrorEvent::Kind kind) {
   const Node& n = nodes_[static_cast<std::size_t>(node)];
   ErrorEvent e;
@@ -118,6 +195,12 @@ void CanBus::send(NodeId node, const CanFrame& frame) {
     // Reject DLC codes early: a 9..15 code fed through the classic wire
     // formulas would silently under-price the frame.
     ACES_CHECK_MSG(frame.dlc <= 8, "classic dlc is 0..8");
+  }
+  if (nodes_[static_cast<std::size_t>(node)].detached) {
+    // A dead transceiver drives nothing onto the wire; the write is lost
+    // (and observable), not deferred.
+    ++fault_stats_.detached_drops;
+    return;
   }
   Pending p;
   p.frame = frame;
@@ -145,14 +228,19 @@ void CanBus::send(NodeId node, const CanFrame& frame) {
 
 void CanBus::try_start() {
   ACES_CHECK(!busy_);
-  // Arbitration: every fault-confined node presents its head-of-queue
-  // frame; the dominant-winning bit pattern (lowest key) takes the bus.
+  if (bus_dead_) {
+    return;  // wire is cut: backlog drains when the window closes
+  }
+  // Arbitration: every attached, fault-confined node presents its
+  // head-of-queue frame; the dominant-winning bit pattern (lowest key)
+  // takes the bus. Lonely-suspended transmitters sit out until a peer
+  // appears.
   NodeId winner = -1;
   std::uint32_t best_key = 0;
   bool duplicate = false;
   for (std::size_t k = 0; k < nodes_.size(); ++k) {
     const Node& n = nodes_[k];
-    if (n.bus_off || n.queue.empty()) {
+    if (n.bus_off || n.detached || n.lonely || n.queue.empty()) {
       continue;
     }
     const std::uint32_t key = arbitration_key(n.queue.front().frame);
@@ -258,6 +346,30 @@ void CanBus::try_start() {
 
 void CanBus::finish_clean(NodeId winner, const Pending& pending,
                           SimTime duration) {
+  Node& tx = nodes_[static_cast<std::size_t>(winner)];
+  if (ack_errors_ && !has_ack_peer(winner)) {
+    // Nobody drove the ACK slot dominant: the transmitter signals an
+    // error at the end of the data portion and the wire carries the
+    // error frame (always at the nominal rate). The frame re-queues with
+    // its original timestamp for automatic retransmission.
+    const bool passive = state_of(tx) == ErrorState::error_passive;
+    const unsigned signal_bits = kErrorFlagBits + kErrorDelimiterBits +
+                                 kIntermissionBits +
+                                 (passive ? kSuspendTransmissionBits : 0);
+    const SimTime extra = bit_time_ * signal_bits;
+    const std::uint32_t id = pending.frame.id;
+    const std::uint32_t key = arbitration_key(pending.frame);
+    auto it = tx.queue.begin();
+    while (it != tx.queue.end() && arbitration_key(it->frame) < key) {
+      ++it;
+    }
+    tx.queue.insert(it, pending);
+    // busy_ stays set through the error signaling.
+    queue_.schedule_in(extra, [this, winner, id, total = duration + extra] {
+      finish_ack_error(winner, id, total);
+    });
+    return;
+  }
   busy_ = false;
   busy_time_ += duration;
   MessageStats& s = stats_[pending.frame.id];
@@ -273,18 +385,21 @@ void CanBus::finish_clean(NodeId winner, const Pending& pending,
   }
   for (std::size_t k = 0; k < nodes_.size(); ++k) {
     Node& n = nodes_[k];
-    if (static_cast<NodeId>(k) == winner || n.bus_off || n.rec == 0) {
+    if (static_cast<NodeId>(k) == winner || n.bus_off || n.detached ||
+        n.rec == 0) {
       continue;
     }
     move_counter(static_cast<NodeId>(k), n.rec, n.rec - 1);
   }
   // Transmit-complete on the sender, then deliver to every other
-  // fault-confined node (a bus-off node is disconnected from traffic).
+  // attached, fault-confined node (bus-off and detached nodes are
+  // disconnected from traffic).
   for (const TxHandler& h : w.tx_handlers) {
     h(pending.frame, queue_.now());
   }
   for (std::size_t k = 0; k < nodes_.size(); ++k) {
-    if (static_cast<NodeId>(k) == winner || nodes_[k].bus_off) {
+    if (static_cast<NodeId>(k) == winner || nodes_[k].bus_off ||
+        nodes_[k].detached) {
       continue;
     }
     for (const RxHandler& h : nodes_[k].handlers) {
@@ -332,7 +447,7 @@ void CanBus::finish_error(NodeId winner, std::uint32_t id, SimTime duration) {
   emit(winner, ErrorEvent::Kind::tx_error);
   for (std::size_t k = 0; k < nodes_.size(); ++k) {
     Node& n = nodes_[k];
-    if (static_cast<NodeId>(k) == winner || n.bus_off) {
+    if (static_cast<NodeId>(k) == winner || n.bus_off || n.detached) {
       continue;
     }
     // Saturates at 255: an 8-bit counter, like real silicon.
@@ -340,6 +455,30 @@ void CanBus::finish_error(NodeId winner, std::uint32_t id, SimTime duration) {
   }
   // Next arbitration: the corrupted frame (still queued) competes again,
   // unless its node just went bus-off — then it waits for recovery.
+  if (!busy_) {
+    try_start();
+  }
+}
+
+void CanBus::finish_ack_error(NodeId winner, std::uint32_t id,
+                              SimTime duration) {
+  busy_ = false;
+  busy_time_ += duration;
+  ++fault_stats_.ack_errors;
+  ++stats_[id].errors;
+  Node& w = nodes_[static_cast<std::size_t>(winner)];
+  if (state_of(w) == ErrorState::error_active) {
+    // TEC +8, as for any transmit error. ACK errors stop counting at
+    // error-passive (the fault-confinement exception), so a lonely
+    // transmitter can never reach bus-off from missing ACKs alone.
+    bump_tec(w, winner);
+  } else {
+    // Error-passive with nobody acknowledging: suspend retries until a
+    // peer attaches or recovers — bounded behavior instead of an
+    // event-queue livelock.
+    w.lonely = true;
+  }
+  emit(winner, ErrorEvent::Kind::tx_error);
   if (!busy_) {
     try_start();
   }
@@ -360,6 +499,9 @@ void CanBus::arm_recovery(NodeId node) {
     rn.rec = 0;
     ++fault_stats_.recoveries;
     emit(node, ErrorEvent::Kind::state_change);
+    // The recovered node can acknowledge again: wake suspended lonely
+    // transmitters along with restarting arbitration.
+    wake_lonely();
     if (!busy_) {
       try_start();
     }

@@ -134,6 +134,43 @@ class CanBus {
   // keeps queueing; pending frames go out after recovery.
   void send(NodeId node, const CanFrame& frame);
 
+  // ----- node lifecycle (fault injection) ---------------------------------
+  // A detached node has left the wire entirely (dead transceiver /
+  // unpowered ECU): it takes no part in arbitration, receives nothing,
+  // does no TEC/REC bookkeeping, and its send() calls are dropped and
+  // counted (FaultStats::detached_drops). Pending frames stay queued and
+  // compete again after attach(). Detaching cancels an armed bus-off
+  // recovery sequence; attach() re-arms it (unless in manual mode). An
+  // attempt already on the wire completes — detach takes effect at the
+  // next arbitration, like pulling the connector mid-frame would at the
+  // next interframe space.
+  void detach(NodeId node);
+  void attach(NodeId node);
+  [[nodiscard]] bool attached(NodeId node) const;
+
+  // ----- acknowledgement modeling (opt-in) --------------------------------
+  // When enabled, a data/remote frame transmitted with no attached,
+  // fault-confined peer to acknowledge it suffers an ACK error at the end
+  // of the data portion: the wire carries error signaling, the frame is
+  // re-queued for automatic retransmission, and the transmitter's TEC
+  // rises by 8 — but only while error-active. Per the CAN fault-
+  // confinement exception, an error-passive transmitter does NOT bump TEC
+  // on a missing ACK, so a lonely transmitter converges to error-passive
+  // and then *suspends* retries (bounded work, no event-queue livelock)
+  // until a peer attaches or recovers, which restarts arbitration.
+  // Default off: single-transmitter micro-benches and tests predate ACK
+  // modeling and expect lone transmissions to succeed.
+  void set_ack_errors(bool on) { ack_errors_ = on; }
+  [[nodiscard]] bool ack_errors_enabled() const { return ack_errors_; }
+
+  // ----- dead-bus window (harness cut / partition) ------------------------
+  // Schedules a window [at, at+duration) during which the wire is dead: no
+  // arbitration starts (an attempt already in flight completes). Sends
+  // keep queueing and the backlog drains when the window closes. Counted
+  // in FaultStats::dead_bus_windows.
+  void schedule_bus_dead(sim::SimTime at, sim::SimTime duration);
+  [[nodiscard]] bool bus_dead() const { return bus_dead_; }
+
   // ----- fault confinement ------------------------------------------------
   [[nodiscard]] ErrorState error_state(NodeId node) const;
   [[nodiscard]] unsigned tec(NodeId node) const;
@@ -175,6 +212,9 @@ class CanBus {
     // RTA's unique-priority assumption and merges per-id stats.
     std::uint64_t duplicate_id_conflicts = 0;
     std::uint32_t last_duplicate_id = 0;
+    std::uint64_t ack_errors = 0;       // unacknowledged attempts (opt-in)
+    std::uint64_t detached_drops = 0;   // sends from detached nodes
+    std::uint64_t dead_bus_windows = 0; // scheduled wire-dead windows opened
   };
   [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
 
@@ -217,6 +257,10 @@ class CanBus {
     unsigned tec = 0;
     unsigned rec = 0;
     bool bus_off = false;
+    bool detached = false;
+    // Error-passive transmitter with nobody acknowledging: retries are
+    // suspended until a peer (re)appears (see set_ack_errors).
+    bool lonely = false;
     bool manual_recovery = false;
     bool recovery_armed = false;
     sim::EventId recovery_event = 0;
@@ -230,6 +274,12 @@ class CanBus {
   void finish_clean(NodeId winner, const Pending& pending,
                     sim::SimTime duration);
   void finish_error(NodeId winner, std::uint32_t id, sim::SimTime duration);
+  void finish_ack_error(NodeId winner, std::uint32_t id,
+                        sim::SimTime duration);
+  // True when some node other than `tx` would acknowledge a frame.
+  [[nodiscard]] bool has_ack_peer(NodeId tx) const;
+  // Clears every lonely-suspend flag (a potential ACK peer appeared).
+  void wake_lonely();
   void arm_recovery(NodeId node);
   void bump_tec(Node& n, NodeId node);
   // Sets one of a node's error counters and emits a state_change if the
@@ -243,6 +293,8 @@ class CanBus {
   sim::SimTime data_bit_time_ = 0;  // 0: classic-only bus
   std::vector<Node> nodes_;
   bool busy_ = false;
+  bool ack_errors_ = false;
+  bool bus_dead_ = false;
   sim::SimTime busy_time_ = 0;      // completed wire time only
   sim::SimTime tx_started_at_ = 0;  // start of the in-flight attempt
   BitErrorModel error_model_;

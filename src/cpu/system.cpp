@@ -172,9 +172,30 @@ bool SystemBinding::interrupt_deliverable() {
   return intc != nullptr && intc->would_preempt(sys_.core());
 }
 
+void SystemBinding::set_frozen(bool frozen) {
+  if (frozen && !frozen_) {
+    // Freeze at the present: sync a laggard cycle counter forward so the
+    // frozen interval is invisible to cycle accounting when thawed.
+    Core& core = sys_.core();
+    const std::uint64_t now_cycles = cycles_at(sim_.now());
+    if (core.cycles() < now_cycles) {
+      stats_.idle_cycles += now_cycles - core.cycles();
+      core.add_cycles(now_cycles - core.cycles());
+    }
+  }
+  frozen_ = frozen;
+}
+
 void SystemBinding::advance_to(sim::SimTime t) {
   Core& core = sys_.core();
   const std::uint64_t cycle_target = cycles_at(t);
+  if (frozen_) {
+    if (core.cycles() < cycle_target) {
+      stats_.idle_cycles += cycle_target - core.cycles();
+      core.add_cycles(cycle_target - core.cycles());
+    }
+    return;
+  }
   while (core.halt_reason() == HaltReason::none &&
          core.cycles() < cycle_target) {
     if (core.waiting_for_interrupt() && !interrupt_deliverable()) {
@@ -191,7 +212,7 @@ void SystemBinding::advance_to(sim::SimTime t) {
 
 sim::SimTime SystemBinding::next_activity() {
   Core& core = sys_.core();
-  if (core.halt_reason() != HaltReason::none) {
+  if (frozen_ || core.halt_reason() != HaltReason::none) {
     return sim::kNever;
   }
   if (core.waiting_for_interrupt() && !interrupt_deliverable()) {
@@ -206,6 +227,12 @@ void SystemBinding::raise_irq(unsigned line) {
                      "' has no interrupt controller to deliver line " +
                      std::to_string(line) + " to");
   Core& core = sys_.core();
+  if (frozen_) {
+    // A dead core latches nothing: the raise is lost, and a reboot starts
+    // from a clean interrupt state.
+    ++stats_.frozen_irq_drops;
+    return;
+  }
   ++stats_.irq_raises;
   if (core.waiting_for_interrupt()) {
     // A sleeping core's counter may lag the global clock (its window slice

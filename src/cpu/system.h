@@ -362,8 +362,18 @@ class SystemBinding final : public sim::Clocked, public sim::IrqSink {
     std::uint64_t steps = 0;        // core instructions/interrupts stepped
     std::uint64_t idle_cycles = 0;  // cycles slept through without stepping
     std::uint64_t irq_raises = 0;
+    std::uint64_t frozen_irq_drops = 0;  // raises lost while frozen
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  // ----- node-fault support (net::IssEcuNode) -----
+  // A frozen binding models a crashed or hung core: advance_to only syncs
+  // the local cycle counter (zero guest work), next_activity reports
+  // sim::kNever, and raise_irq drops the line (counted). Thawing resumes
+  // the core wherever it was — callers modeling a reboot reset it
+  // explicitly.
+  void set_frozen(bool frozen);
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
 
  private:
   [[nodiscard]] bool interrupt_deliverable();
@@ -372,6 +382,7 @@ class SystemBinding final : public sim::Clocked, public sim::IrqSink {
   sim::Simulation& sim_;
   std::uint64_t hz_;
   Stats stats_;
+  bool frozen_ = false;
 };
 
 inline System SystemBuilder::build() const { return System(*this); }

@@ -195,8 +195,12 @@ void FlexrayFabric::arm_cycle(SimTime cycle_start) {
   }
   if (config_.minislots > 0) {
     const SimTime dyn_start = cycle_start + static_segment_;
-    queue_.schedule_at(dyn_start,
-                       [this, dyn_start] { walk_dynamic(dyn_start, 1, 0); });
+    queue_.schedule_at(dyn_start, [this, dyn_start] {
+      // Fresh per-cycle budget ledger for the bus guardian (sized here:
+      // nodes may attach at any time).
+      guardian_cycle_use_.assign(nodes_.size(), 0);
+      walk_dynamic(dyn_start, 1, 0);
+    });
   }
   const SimTime next = cycle_start + config_.static_cfg.cycle_length;
   queue_.schedule_at(next, [this, next] {
@@ -224,9 +228,28 @@ void FlexrayFabric::walk_dynamic(SimTime t, unsigned slot_id, unsigned used) {
   if (fi < dyn_frames_.size() && !dyn_frames_[fi].queue.empty()) {
     DynFrame& frame = dyn_frames_[fi];
     const unsigned need = frame_minislots(frame.queue.front().payload.bytes);
-    if (used + need <= config_.minislots) {
+    const std::size_t owner = static_cast<std::size_t>(frame.info.node);
+    if (config_.guardian.enabled && guardian_blocked(frame.info.node)) {
+      // Latched off: the guardian keeps the slot silent; one idle
+      // minislot passes, like an unassigned id.
+      ++guardian_stats_.blocked_grants;
+    } else if (config_.guardian.enabled &&
+               owner < guardian_cycle_use_.size() &&
+               guardian_cycle_use_[owner] + need >
+                   config_.guardian.node_budget_minislots) {
+      // Budget crossing: deterministic cutoff at this exact decision
+      // point. The node is off the dynamic segment until released.
+      if (guardian_latched_.size() < nodes_.size()) {
+        guardian_latched_.resize(nodes_.size(), 0);
+      }
+      guardian_latched_[owner] = 1;
+      ++guardian_stats_.cutoffs;
+    } else if (used + need <= config_.minislots) {
       // Granted: the frame occupies `need` minislots; delivery (and the
       // counter's next decision point) at their end.
+      if (config_.guardian.enabled && owner < guardian_cycle_use_.size()) {
+        guardian_cycle_use_[owner] += need;
+      }
       const SimTime done = t + static_cast<SimTime>(need) * config_.minislot;
       QueuedPayload sent = std::move(frame.queue.front());
       frame.queue.pop_front();
@@ -241,10 +264,11 @@ void FlexrayFabric::walk_dynamic(SimTime t, unsigned slot_id, unsigned used) {
         walk_dynamic(done, slot_id + 1, used + need);
       });
       return;
+    } else {
+      // pLatestTx: the frame no longer fits this cycle's budget; its id
+      // consumes one idle minislot and the frame waits for the next cycle.
+      ++frame.stats.deferrals;
     }
-    // pLatestTx: the frame no longer fits this cycle's budget; its id
-    // consumes one idle minislot and the frame waits for the next cycle.
-    ++frame.stats.deferrals;
   }
   const SimTime next = t + config_.minislot;
   queue_.schedule_at(
@@ -267,10 +291,23 @@ void FlexrayFabric::deliver(DynFrame& f, const DynPayload& payload,
   }
 }
 
+bool FlexrayFabric::guardian_blocked(NodeId node) const {
+  const std::size_t k = static_cast<std::size_t>(node);
+  return k < guardian_latched_.size() && guardian_latched_[k] != 0;
+}
+
+void FlexrayFabric::guardian_release(NodeId node) {
+  const std::size_t k = static_cast<std::size_t>(node);
+  if (k < guardian_latched_.size()) {
+    guardian_latched_[k] = 0;
+  }
+}
+
 void FlexrayFabric::reset_stats() {
   for (DynFrame& f : dyn_frames_) {
     f.stats = DynStats{};
   }
+  guardian_stats_ = GuardianStats{};
 }
 
 }  // namespace aces::net

@@ -48,6 +48,19 @@
 
 namespace aces::net {
 
+// Bus guardian for the dynamic segment: an independent watcher that knows
+// each node's communication budget and cuts off a node exceeding it — the
+// FlexRay answer to the babbling-idiot failure. Per communication cycle a
+// node may occupy at most `node_budget_minislots`; a grant that would
+// cross the budget is denied, the slot idles, and the node is *latched
+// off* the dynamic segment (its queued frames never transmit) until
+// guardian_release(). Deterministic: the cutoff happens at the exact
+// decision point the budget would be exceeded.
+struct BusGuardianConfig {
+  bool enabled = false;
+  unsigned node_budget_minislots = 0;
+};
+
 struct FlexrayFabricConfig {
   // Cycle geometry + static segment (sched::FlexrayConfig: cycle length,
   // static slot count, static slot length).
@@ -57,6 +70,7 @@ struct FlexrayFabricConfig {
   unsigned minislots = 0;
   sim::SimTime minislot = 10 * sim::kMicrosecond;
   std::uint32_t bitrate_bps = 10'000'000;  // wire rate (FlexRay: 10 Mbit/s)
+  BusGuardianConfig guardian;
 };
 
 class FlexrayFabric {
@@ -175,6 +189,19 @@ class FlexrayFabric {
   }
   [[nodiscard]] unsigned frame_minislots(unsigned bytes) const;
 
+  // ----- bus guardian -----------------------------------------------------
+  struct GuardianStats {
+    std::uint64_t cutoffs = 0;         // nodes latched off (budget crossed)
+    std::uint64_t blocked_grants = 0;  // decision points denied while latched
+  };
+  [[nodiscard]] const GuardianStats& guardian_stats() const {
+    return guardian_stats_;
+  }
+  [[nodiscard]] bool guardian_blocked(NodeId node) const;
+  // Re-admits a latched-off node (maintenance action after the babbling
+  // fault is cleared); its queued frames compete again next cycle.
+  void guardian_release(NodeId node);
+
   // Clears the per-frame statistics (not the protocol state: pending
   // queues, cycle counters and armed events are untouched), mirroring
   // CanBus::reset_stats for campaign reuse.
@@ -217,6 +244,9 @@ class FlexrayFabric {
   unsigned cycle_ = 0;  // communication cycle counter, wraps at 64
   std::uint64_t cycles_run_ = 0;
   std::uint64_t slots_played_ = 0;
+  GuardianStats guardian_stats_;
+  std::vector<std::uint8_t> guardian_latched_;   // per node, until release
+  std::vector<unsigned> guardian_cycle_use_;     // minislots used this cycle
 };
 
 }  // namespace aces::net

@@ -160,6 +160,11 @@ void GatewayNode::add_unpack_route(const UnpackRoute& route) {
   unpack_stats_.emplace_back();
 }
 
+void GatewayNode::set_route_enabled(std::size_t route, bool enabled) {
+  ACES_CHECK_MSG(route < routes_.size(), "unknown gateway route");
+  routes_[route].enabled = enabled;
+}
+
 can::NodeId GatewayNode::node_on(BusId bus) const { return port_of(bus).node; }
 
 FlexrayFabric::NodeId GatewayNode::flexray_node_on(BusId bus) const {
@@ -211,13 +216,22 @@ bool GatewayNode::translate_format(const Route& route,
   return true;
 }
 
-bool GatewayNode::admit(BusId from, BusId to) {
+void GatewayNode::emit_drop(BusId from, BusId to, std::uint32_t egress_id,
+                            DropReason reason, SimTime at) {
+  for (const DropHandler& h : drop_handlers_) {
+    h(from, to, egress_id, reason, at);
+  }
+}
+
+bool GatewayNode::admit(BusId from, BusId to, std::uint32_t egress_id,
+                        SimTime at) {
   DirectionStats& d = dir(from, to);
   if (d.queued >= config_.queue_depth) {
     // Bounded store-and-forward buffer: overload drops, it never queues
     // unboundedly — and the drop is visible to the analysis story.
     ++d.dropped_overflow;
     ++stats_.frames_dropped;
+    emit_drop(from, to, egress_id, DropReason::overflow, at);
     return false;
   }
   ++d.queued;
@@ -267,7 +281,7 @@ void GatewayNode::queue_flexray_egress(BusId from, BusId to,
 
 void GatewayNode::on_rx(BusId from, const can::CanFrame& frame, SimTime at) {
   for (const Route& route : routes_) {
-    if (route.from != from || !route.matches(frame.id)) {
+    if (!route.enabled || route.from != from || !route.matches(frame.id)) {
       continue;
     }
     can::CanFrame out = frame;
@@ -278,9 +292,10 @@ void GatewayNode::on_rx(BusId from, const can::CanFrame& frame, SimTime at) {
       DirectionStats& d = dir(from, route.to);
       ++d.dropped_translation;
       ++stats_.frames_dropped;
+      emit_drop(from, route.to, out.id, DropReason::translation, at);
       continue;
     }
-    if (!admit(from, route.to)) {
+    if (!admit(from, route.to, out.id, at)) {
       continue;
     }
     queue_can_egress(from, route.to, out, at, config_.forwarding_latency,
@@ -313,7 +328,7 @@ void GatewayNode::on_rx(BusId from, const can::CanFrame& frame, SimTime at) {
     }
     const SimTime latency =
         route.latency < 0 ? config_.forwarding_latency : route.latency;
-    if (!admit(from, route.to)) {
+    if (!admit(from, route.to, route.egress_id, at)) {
       continue;
     }
     ++st.stats.emitted;
@@ -375,7 +390,7 @@ void GatewayNode::run_unpack(std::size_t route_index,
   const SimTime latency =
       route.latency < 0 ? config_.forwarding_latency : route.latency;
   for (const UnpackSlot& slot : route.table) {
-    if (!admit(route.from, route.to)) {
+    if (!admit(route.from, route.to, slot.dst_id, at)) {
       continue;  // direction full: this slice drops, later ones may fit
     }
     ++st.emitted;

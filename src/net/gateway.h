@@ -77,6 +77,11 @@ struct Route {
   // bit-rate switch on (promoted or passed-through) FD egress frames.
   std::optional<bool> fd{};
   std::optional<bool> brs{};
+  // Disabled routes are skipped entirely; toggled at runtime via
+  // GatewayNode::set_route_enabled — the mechanism behind supervisor-driven
+  // failover, where a standby route on a redundant bus is pre-declared
+  // disabled and switched on when the primary's publisher dies.
+  bool enabled = true;
 
   [[nodiscard]] bool matches(std::uint32_t id) const {
     return (id & mask) == (match & mask);
@@ -160,6 +165,21 @@ class GatewayNode {
   void add_packed_route(const PackedRoute& route);
   void add_unpack_route(const UnpackRoute& route);
 
+  // Runtime failover switch for plain routes (indexed in add order).
+  void set_route_enabled(std::size_t route, bool enabled);
+
+  // Drop observability: degradation must be a signal, not just a tally.
+  // Fired at every frame drop with the direction, the egress identifier
+  // the frame would have carried, and the reason — the hook supervisors
+  // and campaign counters wire into.
+  enum class DropReason { overflow, translation };
+  using DropHandler = std::function<void(BusId from, BusId to,
+                                         std::uint32_t egress_id,
+                                         DropReason, sim::SimTime)>;
+  void on_drop(DropHandler handler) {
+    drop_handlers_.push_back(std::move(handler));
+  }
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] can::NodeId node_on(BusId bus) const;
   // The gateway's node id on a joined FlexRay fabric (for registering the
@@ -237,8 +257,12 @@ class GatewayNode {
   // cannot be represented on egress (demotion overflow).
   [[nodiscard]] bool translate_format(const Route& route,
                                       can::CanFrame& out) const;
-  // Bounded admission into direction (from, to); false = overflow drop.
-  [[nodiscard]] bool admit(BusId from, BusId to);
+  // Bounded admission into direction (from, to); false = overflow drop
+  // (fires the drop hooks with `egress_id`).
+  [[nodiscard]] bool admit(BusId from, BusId to, std::uint32_t egress_id,
+                           sim::SimTime at);
+  void emit_drop(BusId from, BusId to, std::uint32_t egress_id,
+                 DropReason reason, sim::SimTime at);
   void queue_can_egress(BusId from, BusId to, can::CanFrame out,
                         sim::SimTime ingress_at, sim::SimTime latency,
                         int packed_route, int unpack_route);
@@ -276,6 +300,7 @@ class GatewayNode {
   // Same, for FlexRay egress, keyed by dynamic slot id (unique per fabric;
   // one FIFO per dynamic frame).
   std::map<BusId, std::map<int, std::deque<Transit>>> fr_in_transit_;
+  std::vector<DropHandler> drop_handlers_;
   Stats stats_;
 };
 

@@ -308,4 +308,10 @@ void Network::send(EcuId ecu_id, can::CanFrame frame) {
   bus(node.bus()).send(node.can_node(), frame);
 }
 
+SupervisorNode& Network::add_supervisor(BusId bus_id, std::string name) {
+  supervisors_.push_back(std::make_unique<SupervisorNode>(
+      sim_, bus(bus_id), bus_id, std::move(name)));
+  return *supervisors_.back();
+}
+
 }  // namespace aces::net

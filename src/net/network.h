@@ -37,6 +37,7 @@
 
 #include "net/gateway.h"
 #include "net/node.h"
+#include "net/supervisor.h"
 
 namespace aces::net {
 
@@ -205,6 +206,18 @@ class Network {
     return *gateways_[static_cast<std::size_t>(id)];
   }
 
+  // Adds an alive-supervision watchdog node on CAN bus `bus` (post-build:
+  // supervisors are runtime dependability infrastructure, configured
+  // against the materialized ECUs/gateways). The returned reference stays
+  // valid for the Network's lifetime.
+  SupervisorNode& add_supervisor(BusId bus, std::string name);
+  [[nodiscard]] std::size_t supervisor_count() const {
+    return supervisors_.size();
+  }
+  [[nodiscard]] SupervisorNode& supervisor(std::size_t k) {
+    return *supervisors_[k];
+  }
+
   void run_until(sim::SimTime horizon) { sim_.run_until(horizon); }
   void run_for(sim::SimTime delta) { sim_.run_for(delta); }
 
@@ -225,6 +238,7 @@ class Network {
   std::vector<std::unique_ptr<FlexrayFabric>> flexrays_;
   std::vector<std::unique_ptr<EcuNode>> ecus_;
   std::vector<std::unique_ptr<GatewayNode>> gateways_;
+  std::vector<std::unique_ptr<SupervisorNode>> supervisors_;
 };
 
 inline Network NetworkBuilder::build() const { return Network(*this); }

@@ -20,30 +20,152 @@ namespace {
 
 }  // namespace
 
+// ----- EcuNode fault machinery ------------------------------------------------
+
+void EcuNode::inject(const NodeFault& fault) {
+  ACES_CHECK_MSG(fault.at >= sim_.now(), "node fault scheduled in the past");
+  switch (fault.kind) {
+    case NodeFault::Kind::crash:
+      sim_.schedule_at(fault.at, [this] { do_crash(); });
+      break;
+    case NodeFault::Kind::hang:
+      sim_.schedule_at(fault.at, [this] { do_hang(); });
+      break;
+    case NodeFault::Kind::reset:
+      sim_.schedule_at(fault.at, [this, delay = fault.reboot_delay] {
+        last_fault_at_ = sim_.now();
+        ++fault_stats_.resets;
+        restart(delay);
+      });
+      break;
+    case NodeFault::Kind::babble:
+      ACES_CHECK_MSG(fault.babble_period > 0,
+                     "babble fault needs a positive period");
+      sim_.schedule_at(fault.at,
+                       [this, frame = fault.babble_frame,
+                        period = fault.babble_period] {
+                         last_fault_at_ = sim_.now();
+                         start_babble(frame, period);
+                       });
+      break;
+  }
+}
+
+void EcuNode::do_crash() {
+  last_fault_at_ = sim_.now();
+  ++fault_stats_.crashes;
+  alive_ = false;
+  bus_.detach(can_node());  // silent death: gone from arbitration
+  halt_compute();
+}
+
+void EcuNode::do_hang() {
+  last_fault_at_ = sim_.now();
+  ++fault_stats_.hangs;
+  alive_ = false;
+  // Compute freezes but the transceiver stays attached: the node still
+  // acknowledges frames and looks healthy at the wire level — only alive
+  // supervision can tell.
+  halt_compute();
+}
+
+void EcuNode::restart(sim::SimTime delay) {
+  if (reboot_pending_) {
+    return;
+  }
+  reboot_pending_ = true;
+  alive_ = false;
+  stop_babble();
+  bus_.detach(can_node());
+  halt_compute();
+  sim_.schedule_in(delay, [this] {
+    reboot_pending_ = false;
+    bus_.attach(can_node());
+    boot_compute();
+    alive_ = true;
+    last_boot_at_ = sim_.now();
+    ++fault_stats_.reboots;
+  });
+}
+
+void EcuNode::stop_babble() {
+  babbling_ = false;
+  ++babble_epoch_;
+}
+
+void EcuNode::start_babble(const can::CanFrame& frame, sim::SimTime period) {
+  babbling_ = true;
+  babble_tick(frame, period, ++babble_epoch_);
+}
+
+void EcuNode::babble_tick(const can::CanFrame& frame, sim::SimTime period,
+                          std::uint64_t epoch) {
+  if (!babbling_ || epoch != babble_epoch_) {
+    return;
+  }
+  can::CanFrame f = frame;
+  f.timestamp = sim_.now();
+  bus_.send(can_node(), f);
+  ++fault_stats_.babble_frames;
+  sim_.schedule_in(period, [this, frame, period, epoch] {
+    babble_tick(frame, period, epoch);
+  });
+}
+
+void EcuNode::start_heartbeat(const can::CanFrame& frame,
+                              sim::SimTime period) {
+  ACES_CHECK_MSG(period > 0, "heartbeat needs a positive period");
+  sim_.schedule_every(period, [this, frame] {
+    if (!alive_) {
+      return;  // dead ECUs do not heartbeat — that is the whole point
+    }
+    can::CanFrame f = frame;
+    f.timestamp = sim_.now();
+    bus_.send(can_node(), f);
+    ++fault_stats_.heartbeats;
+  });
+}
+
+// ----- IssEcuNode -------------------------------------------------------------
+
 IssEcuNode::IssEcuNode(sim::Simulation& sim, can::CanBus& bus, BusId bus_id,
                        const cpu::SystemBuilder& system,
                        const GuestProgram& program,
                        const can::CanController::Config& controller)
-    : bus_id_(bus_id),
+    : EcuNode(sim, bus, bus_id),
       controller_(bus, system.name(), controller),
-      sys_(wire_builder(system, controller_, program)) {
+      sys_(wire_builder(system, controller_, program)),
+      program_(program) {
+  // One-time co-simulation wiring, then the (repeatable) boot sequence.
+  cpu::SystemBinding& binding = sys_.bind(sim);
+  controller_.connect_irq(binding);
+  boot_guest();
+}
+
+void IssEcuNode::boot_guest() {
   // The boot sequence every hand-written example repeated: image, vectors,
-  // line enables, co-simulation binding, IRQ delivery, CTRL, reset.
-  sys_.load(program.image);
-  for (const GuestProgram::Handler& h : program.handlers) {
+  // line enables, CTRL, reset. Re-run on reboot because System::load
+  // restores the image over the patched vector table.
+  sys_.load(program_.image);
+  for (const GuestProgram::Handler& h : program_.handlers) {
     sys_.set_irq_handler(h.line, h.address);
     sys_.ivc()->enable_line(h.line, h.priority);
   }
-  cpu::SystemBinding& binding = sys_.bind(sim);
-  controller_.connect_irq(binding);
-  if (program.ctrl != 0) {
+  if (program_.ctrl != 0) {
     ACES_CHECK(
         sys_.bus()
             .write(cpu::kPeriphBase + can::CanController::kCtrl, 4,
-                   program.ctrl, 0)
+                   program_.ctrl, 0)
             .ok());
   }
-  sys_.core().reset(program.entry, sys_.initial_sp());
+  sys_.core().reset(program_.entry, sys_.initial_sp());
+}
+
+void IssEcuNode::halt_compute() { binding().set_frozen(true); }
+
+void IssEcuNode::boot_compute() {
+  binding().set_frozen(false);
+  boot_guest();
 }
 
 std::uint64_t IssEcuNode::worst_irq_latency(unsigned line) {
@@ -58,8 +180,8 @@ ModelEcuNode::ModelEcuNode(sim::Simulation& sim, can::CanBus& bus,
                            BusId bus_id, std::string name,
                            const std::vector<ModelTask>& tasks,
                            sim::SimTime context_switch_cost)
-    : name_(std::move(name)),
-      bus_id_(bus_id),
+    : EcuNode(sim, bus, bus_id),
+      name_(std::move(name)),
       node_(bus.attach_node(name_)),
       kernel_(sim, context_switch_cost) {
   for (const ModelTask& t : tasks) {

@@ -86,19 +86,94 @@ struct ModelTask {
   std::optional<std::uint32_t> activate_on_rx;
 };
 
+// ----- node lifecycle faults --------------------------------------------------
+
+// One scheduled fault against an ECU (net::EcuNode::inject). The paper's
+// dependability story needs nodes that actually die: a crash is silent
+// death (off the bus, compute frozen — the node vanishes from arbitration);
+// a hang freezes compute but leaves the transceiver attached (the node
+// still acknowledges frames, exactly the failure alive supervision exists
+// to catch); a reset is a crash followed by an automatic reboot after
+// `reboot_delay`; babble floods `babble_frame` every `babble_period` from
+// `at` on — the classic babbling-idiot failure a bus guardian contains.
+struct NodeFault {
+  enum class Kind { crash, hang, reset, babble };
+  Kind kind = Kind::crash;
+  sim::SimTime at = 0;            // injection instant (absolute)
+  sim::SimTime reboot_delay = 0;  // reset: time off the bus before reboot
+  can::CanFrame babble_frame;     // babble: typically a top-priority id
+  sim::SimTime babble_period = 0;
+};
+
 // ----- the fidelity-independent handle ----------------------------------------
 
 class EcuNode {
  public:
+  EcuNode(sim::Simulation& sim, can::CanBus& bus, BusId bus_id)
+      : sim_(sim), bus_(bus), bus_id_(bus_id) {}
   virtual ~EcuNode() = default;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
-  [[nodiscard]] virtual BusId bus() const = 0;
+  [[nodiscard]] BusId bus() const { return bus_id_; }
   [[nodiscard]] virtual can::NodeId can_node() const = 0;
 
   // Fidelity probes: exactly one is non-null.
   [[nodiscard]] virtual cpu::System* system() { return nullptr; }
   [[nodiscard]] virtual rtos::Kernel* kernel() { return nullptr; }
+
+  // ----- fault injection / liveness -----
+  struct FaultStats {
+    std::uint64_t crashes = 0;
+    std::uint64_t hangs = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t reboots = 0;        // completed reboots (reset/restart)
+    std::uint64_t babble_frames = 0;  // flood frames queued on the bus
+    std::uint64_t heartbeats = 0;     // heartbeat frames queued
+  };
+
+  // Schedules `fault` on the simulation (fault.at must be >= now).
+  void inject(const NodeFault& fault);
+  // Supervised restart: takes the node off the bus immediately (killing a
+  // babble flood too) and reboots it `delay` later — the mitigation a
+  // supervisor fires for a hung ECU. No-op while a reboot is in flight.
+  void restart(sim::SimTime delay);
+  void stop_babble();
+  // Emits `frame` on this node every `period` while alive (first at
+  // now + period), stamped at the emission instant — the alive-supervision
+  // heartbeat a net::SupervisorNode deadline-monitors.
+  void start_heartbeat(const can::CanFrame& frame, sim::SimTime period);
+
+  [[nodiscard]] bool alive() const { return alive_; }
+  // Instant of the most recent fault injection (-1: never faulted); the
+  // supervisor's reference point for fault-to-detection latency.
+  [[nodiscard]] sim::SimTime last_fault_at() const { return last_fault_at_; }
+  [[nodiscard]] sim::SimTime last_boot_at() const { return last_boot_at_; }
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
+
+ protected:
+  // Fidelity-specific compute halt/boot: ISS freeze + full guest reboot,
+  // kernel-model halt()/reboot().
+  virtual void halt_compute() = 0;
+  virtual void boot_compute() = 0;
+
+  sim::Simulation& sim_;
+  can::CanBus& bus_;
+
+ private:
+  void do_crash();
+  void do_hang();
+  void start_babble(const can::CanFrame& frame, sim::SimTime period);
+  void babble_tick(const can::CanFrame& frame, sim::SimTime period,
+                   std::uint64_t epoch);
+
+  BusId bus_id_;
+  bool alive_ = true;
+  bool babbling_ = false;
+  bool reboot_pending_ = false;
+  sim::SimTime last_fault_at_ = -1;
+  sim::SimTime last_boot_at_ = 0;
+  std::uint64_t babble_epoch_ = 0;  // kills stale babble chains
+  FaultStats fault_stats_;
 };
 
 // ISS fidelity: the full single-ECU stack (System + CAN controller +
@@ -113,7 +188,6 @@ class IssEcuNode final : public EcuNode {
   [[nodiscard]] std::string_view name() const override {
     return sys_.name();
   }
-  [[nodiscard]] BusId bus() const override { return bus_id_; }
   [[nodiscard]] can::NodeId can_node() const override {
     return controller_.node();
   }
@@ -130,10 +204,20 @@ class IssEcuNode final : public EcuNode {
   // quantity, measured on real traffic).
   [[nodiscard]] std::uint64_t worst_irq_latency(unsigned line);
 
+ protected:
+  // Crash/hang freeze the core in place; reboot re-runs the boot sequence
+  // (image reload, vector patch, line enables, CTRL, core reset) — the
+  // cycle counter survives, so the rebooted guest continues on the shared
+  // time base without replaying history.
+  void halt_compute() override;
+  void boot_compute() override;
+
  private:
-  BusId bus_id_;
+  void boot_guest();
+
   can::CanController controller_;
   cpu::System sys_;
+  GuestProgram program_;  // kept for reboot
 };
 
 // Kernel-model fidelity: an rtos::Kernel on the shared queue plus one raw
@@ -146,7 +230,6 @@ class ModelEcuNode final : public EcuNode {
                sim::SimTime context_switch_cost);
 
   [[nodiscard]] std::string_view name() const override { return name_; }
-  [[nodiscard]] BusId bus() const override { return bus_id_; }
   [[nodiscard]] can::NodeId can_node() const override { return node_; }
   [[nodiscard]] rtos::Kernel* kernel() override { return &kernel_; }
 
@@ -158,9 +241,12 @@ class ModelEcuNode final : public EcuNode {
     return kernel_.stats(task_ids_[k]);
   }
 
+ protected:
+  void halt_compute() override { kernel_.halt(); }
+  void boot_compute() override { kernel_.reboot(); }
+
  private:
   std::string name_;
-  BusId bus_id_;
   can::NodeId node_;
   rtos::Kernel kernel_;
   std::vector<rtos::TaskId> task_ids_;

@@ -1,0 +1,183 @@
+#include "net/supervisor.h"
+
+#include "support/check.h"
+
+namespace aces::net {
+
+// ----- mitigation builders ----------------------------------------------------
+
+Mitigation Mitigation::gateway_failover(GatewayNode& gw, int disable_route,
+                                        int enable_route, sim::SimTime delay) {
+  Mitigation m;
+  m.name = "gateway_failover";
+  m.delay = delay;
+  m.fn = [&gw, disable_route, enable_route] {
+    if (disable_route >= 0) {
+      gw.set_route_enabled(static_cast<std::size_t>(disable_route), false);
+    }
+    if (enable_route >= 0) {
+      gw.set_route_enabled(static_cast<std::size_t>(enable_route), true);
+    }
+  };
+  return m;
+}
+
+Mitigation Mitigation::restart_ecu(EcuNode& ecu, sim::SimTime reboot_delay,
+                                   sim::SimTime delay) {
+  Mitigation m;
+  m.name = "restart_ecu";
+  m.delay = delay;
+  m.fn = [&ecu, reboot_delay] { ecu.restart(reboot_delay); };
+  return m;
+}
+
+Mitigation Mitigation::detach_node(can::CanBus& bus, can::NodeId node,
+                                   sim::SimTime delay) {
+  Mitigation m;
+  m.name = "detach_node";
+  m.delay = delay;
+  m.fn = [&bus, node] { bus.detach(node); };
+  return m;
+}
+
+// ----- SupervisorNode ---------------------------------------------------------
+
+SupervisorNode::SupervisorNode(sim::Simulation& sim, can::CanBus& bus,
+                               BusId bus_id, std::string name)
+    : sim_(sim),
+      canbus_(bus),
+      bus_id_(bus_id),
+      name_(std::move(name)),
+      node_(bus.attach_node(name_)) {
+  canbus_.subscribe(node_, [this](const can::CanFrame& f, sim::SimTime at) {
+    on_frame(f, at);
+  });
+}
+
+SupervisorNode::MonitorId SupervisorNode::add_monitor(Monitor monitor) {
+  ACES_CHECK_MSG(!started_, "add monitors before start()");
+  ACES_CHECK_MSG(monitor.period > 0, "monitor needs a positive period");
+  MonitorState st;
+  st.cfg = std::move(monitor);
+  monitors_.push_back(std::move(st));
+  return static_cast<MonitorId>(monitors_.size() - 1);
+}
+
+void SupervisorNode::start() {
+  ACES_CHECK_MSG(!started_, "supervisor already started");
+  started_ = true;
+  for (std::size_t k = 0; k < monitors_.size(); ++k) {
+    arm_deadline(k);
+  }
+}
+
+sim::SimTime SupervisorNode::detection_bound(MonitorId id) const {
+  const Monitor& m = monitor(id);
+  return m.period + m.window + m.delivery_bound;
+}
+
+const SupervisorNode::Monitor& SupervisorNode::monitor(MonitorId id) const {
+  ACES_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < monitors_.size(),
+                 "unknown monitor");
+  return monitors_[static_cast<std::size_t>(id)].cfg;
+}
+
+const SupervisorNode::MonitorStats& SupervisorNode::stats(MonitorId id) const {
+  ACES_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < monitors_.size(),
+                 "unknown monitor");
+  return monitors_[static_cast<std::size_t>(id)].stats;
+}
+
+bool SupervisorNode::failed(MonitorId id) const {
+  ACES_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < monitors_.size(),
+                 "unknown monitor");
+  return monitors_[static_cast<std::size_t>(id)].failed;
+}
+
+void SupervisorNode::watch_gateway(GatewayNode& gw) {
+  gw.on_drop([this](BusId, BusId, std::uint32_t, GatewayNode::DropReason,
+                    sim::SimTime) { ++gateway_drops_; });
+}
+
+void SupervisorNode::on_frame(const can::CanFrame& frame, sim::SimTime at) {
+  for (std::size_t k = 0; k < monitors_.size(); ++k) {
+    MonitorState& st = monitors_[k];
+    if (frame.id != st.cfg.heartbeat_id) {
+      continue;
+    }
+    ++st.stats.heartbeats;
+    if (st.failed) {
+      // The producer is back: end the degraded mode and record how long
+      // the failure lasted, from the injected fault when known (the
+      // end-to-end quantity), else from detection.
+      st.failed = false;
+      ++st.limp_epoch;  // stops the limp-home chain
+      ++st.stats.recoveries;
+      const sim::SimTime ref =
+          st.fault_ref >= 0 ? st.fault_ref : st.stats.last_detect_at;
+      if (ref >= 0) {
+        const sim::SimTime latency = at - ref;
+        recovery_samples_.push_back(latency);
+        if (latency > st.stats.worst_recover_latency) {
+          st.stats.worst_recover_latency = latency;
+        }
+      }
+      st.fault_ref = -1;
+    }
+    if (started_) {
+      arm_deadline(k);
+    }
+  }
+}
+
+void SupervisorNode::arm_deadline(std::size_t k) {
+  MonitorState& st = monitors_[k];
+  const std::uint64_t epoch = ++st.deadline_epoch;
+  sim_.schedule_in(st.cfg.period + st.cfg.window,
+                   [this, k, epoch] { on_deadline(k, epoch); });
+}
+
+void SupervisorNode::on_deadline(std::size_t k, std::uint64_t epoch) {
+  MonitorState& st = monitors_[k];
+  if (epoch != st.deadline_epoch || st.failed) {
+    return;  // superseded by a heartbeat that arrived in time
+  }
+  const sim::SimTime now = sim_.now();
+  st.failed = true;
+  ++st.stats.misses;
+  st.stats.last_detect_at = now;
+  // Fault-to-detection latency against the monitored ECU's injection
+  // record, when we have one — the measured side of detection_bound().
+  st.fault_ref = -1;
+  if (st.cfg.ecu != nullptr && st.cfg.ecu->last_fault_at() >= 0) {
+    st.fault_ref = st.cfg.ecu->last_fault_at();
+    const sim::SimTime latency = now - st.fault_ref;
+    if (latency > st.stats.worst_detect_latency) {
+      st.stats.worst_detect_latency = latency;
+    }
+  }
+  for (const Mitigation& m : st.cfg.mitigations) {
+    sim_.schedule_in(m.delay, [this, k, fn = m.fn] {
+      ++monitors_[k].stats.mitigations;
+      fn();
+    });
+  }
+  if (st.cfg.limp_frame && st.cfg.limp_period > 0) {
+    limp_tick(k, ++st.limp_epoch);
+  }
+}
+
+void SupervisorNode::limp_tick(std::size_t k, std::uint64_t epoch) {
+  MonitorState& st = monitors_[k];
+  if (!st.failed || epoch != st.limp_epoch) {
+    return;
+  }
+  can::CanFrame f = *st.cfg.limp_frame;
+  f.timestamp = sim_.now();
+  canbus_.send(node_, f);
+  ++st.stats.limp_frames;
+  sim_.schedule_in(st.cfg.limp_period,
+                   [this, k, epoch] { limp_tick(k, epoch); });
+}
+
+}  // namespace aces::net

@@ -1,0 +1,172 @@
+// net::SupervisorNode — alive supervision and graceful degradation.
+//
+// The paper's dependability argument needs more than fault injection: a
+// vehicle network must *notice* a dead node and *do something about it*.
+// SupervisorNode is the watchdog ECU of that story. It sits on one CAN bus
+// as an ordinary node and deadline-monitors the heartbeat frames its peers
+// emit (EcuNode::start_heartbeat): every expected heartbeat re-arms a
+// deadline timer at now + period + window; a timer that fires before the
+// next heartbeat is a *detected failure*.
+//
+// The detection latency is analyzable. A node that dies at time t has, at
+// worst, just emitted a heartbeat, so the next one is due at t + period
+// and the supervisor declares the miss at most
+//
+//   detection_bound = period + window + delivery_bound
+//
+// after the fault — `window` being the configured grace beyond the period
+// and `delivery_bound` the worst-case wire delivery of one heartbeat
+// (sched::can_rta of the heartbeat id, supplied by the caller). Every
+// detection records the measured fault-to-detection latency (against the
+// faulted EcuNode's last_fault_at) so tests assert measured <= bound.
+//
+// On detection the supervisor degrades gracefully rather than stopping:
+//   - mitigations  an ordered list of named actions, each fired at its own
+//     delay after detection — gateway failover to a redundant route,
+//     supervised restart of a hung ECU, detaching a babbling node
+//     (Mitigation::gateway_failover / restart_ecu / detach_node build the
+//     common ones);
+//   - limp-home    an optional substitution frame published periodically
+//     in place of the dead producer's traffic, so consumers keep seeing
+//     (safe, degraded) data until the node recovers.
+//
+// A returning heartbeat ends the failure: limp-home stops, the recovery is
+// counted, and the fault-to-recovery latency is recorded (the quantity
+// campaigns aggregate into recovery-time distributions).
+//
+// Deterministic: everything advances on the owning simulation's queue;
+// deadline timers are epoch-guarded (re-arming invalidates the old timer
+// as a no-op), so double runs replay bit-identically.
+#ifndef ACES_NET_SUPERVISOR_H
+#define ACES_NET_SUPERVISOR_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/bus.h"
+#include "net/gateway.h"
+#include "net/node.h"
+#include "sim/simulation.h"
+
+namespace aces::net {
+
+// One named recovery action, fired `delay` after detection.
+struct Mitigation {
+  std::string name;
+  sim::SimTime delay = 0;
+  std::function<void()> fn;
+
+  // Failover: disable the primary gateway route, enable the standby one
+  // (either index may be negative to skip that half).
+  [[nodiscard]] static Mitigation gateway_failover(GatewayNode& gw,
+                                                   int disable_route,
+                                                   int enable_route,
+                                                   sim::SimTime delay = 0);
+  // Supervised restart of a hung/misbehaving ECU (EcuNode::restart).
+  [[nodiscard]] static Mitigation restart_ecu(EcuNode& ecu,
+                                              sim::SimTime reboot_delay,
+                                              sim::SimTime delay = 0);
+  // Cuts a (babbling) node off its bus (can::CanBus::detach).
+  [[nodiscard]] static Mitigation detach_node(can::CanBus& bus,
+                                              can::NodeId node,
+                                              sim::SimTime delay = 0);
+};
+
+class SupervisorNode {
+ public:
+  using MonitorId = int;
+
+  struct Monitor {
+    std::string name;                 // what is being supervised
+    std::uint32_t heartbeat_id = 0;   // CAN id of the heartbeat frame
+    sim::SimTime period = 0;          // expected heartbeat period
+    sim::SimTime window = 0;          // grace beyond the period
+    sim::SimTime delivery_bound = 0;  // worst-case wire delivery (analysis)
+    EcuNode* ecu = nullptr;           // reference for fault-latency metrics
+    std::vector<Mitigation> mitigations;
+    // Limp-home substitution: published every `limp_period` while failed.
+    std::optional<can::CanFrame> limp_frame;
+    sim::SimTime limp_period = 0;
+  };
+
+  struct MonitorStats {
+    std::uint64_t heartbeats = 0;   // heartbeat frames seen
+    std::uint64_t misses = 0;       // deadline expiries (failures declared)
+    std::uint64_t mitigations = 0;  // mitigation actions fired
+    std::uint64_t recoveries = 0;   // heartbeat resumed after a failure
+    std::uint64_t limp_frames = 0;  // substitution frames published
+    sim::SimTime last_detect_at = -1;
+    // Measured fault -> detection (needs Monitor::ecu; -1 until seen).
+    sim::SimTime worst_detect_latency = -1;
+    // Measured fault -> heartbeat-resumed (-1 until a recovery happened).
+    sim::SimTime worst_recover_latency = -1;
+  };
+
+  // The supervisor attaches itself to `bus` as node `name` and subscribes;
+  // monitors added afterwards are armed by start().
+  SupervisorNode(sim::Simulation& sim, can::CanBus& bus, BusId bus_id,
+                 std::string name);
+
+  SupervisorNode(const SupervisorNode&) = delete;
+  SupervisorNode& operator=(const SupervisorNode&) = delete;
+
+  [[nodiscard]] std::string_view name() const { return name_; }
+  [[nodiscard]] BusId bus() const { return bus_id_; }
+  [[nodiscard]] can::NodeId can_node() const { return node_; }
+
+  MonitorId add_monitor(Monitor monitor);
+  // Arms every monitor's first deadline (now + period + window) — call
+  // once, after the monitored ECUs' heartbeats are started.
+  void start();
+
+  // The analytic detection bound asserted against measured latencies:
+  // period + window + delivery_bound.
+  [[nodiscard]] sim::SimTime detection_bound(MonitorId id) const;
+  [[nodiscard]] const Monitor& monitor(MonitorId id) const;
+  [[nodiscard]] const MonitorStats& stats(MonitorId id) const;
+  [[nodiscard]] std::size_t monitor_count() const { return monitors_.size(); }
+  // True while `id`'s failure is declared and not yet recovered.
+  [[nodiscard]] bool failed(MonitorId id) const;
+  // Every measured fault -> recovery latency, in occurrence order (the
+  // samples campaigns fold into recovery-time distributions).
+  [[nodiscard]] const std::vector<sim::SimTime>& recovery_samples() const {
+    return recovery_samples_;
+  }
+  // Gateway drops observed via watch_gateway since construction.
+  [[nodiscard]] std::uint64_t gateway_drops() const { return gateway_drops_; }
+  // Counts every frame `gw` drops (overflow or translation) against this
+  // supervisor — degradation the network should know about, not silence.
+  void watch_gateway(GatewayNode& gw);
+
+ private:
+  struct MonitorState {
+    Monitor cfg;
+    MonitorStats stats;
+    bool failed = false;
+    std::uint64_t deadline_epoch = 0;  // invalidates superseded timers
+    std::uint64_t limp_epoch = 0;      // kills stale limp-home chains
+    sim::SimTime fault_ref = -1;       // reference instant for latencies
+  };
+
+  void on_frame(const can::CanFrame& frame, sim::SimTime at);
+  void arm_deadline(std::size_t k);
+  void on_deadline(std::size_t k, std::uint64_t epoch);
+  void limp_tick(std::size_t k, std::uint64_t epoch);
+
+  sim::Simulation& sim_;
+  can::CanBus& canbus_;
+  BusId bus_id_;
+  std::string name_;
+  can::NodeId node_;
+  bool started_ = false;
+  std::vector<MonitorState> monitors_;
+  std::vector<sim::SimTime> recovery_samples_;
+  std::uint64_t gateway_drops_ = 0;
+};
+
+}  // namespace aces::net
+
+#endif  // ACES_NET_SUPERVISOR_H

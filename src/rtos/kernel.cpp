@@ -55,7 +55,13 @@ void Kernel::start() {
 }
 
 void Kernel::arm_alarm(const Alarm& alarm) {
-  queue_.schedule_at(alarm.offset, [this, alarm] {
+  // Each link of the self-rescheduling chain carries the epoch it was
+  // armed under; halt() bumps the epoch, so pre-halt links fire as no-ops
+  // and the chain dies without individual cancellation.
+  queue_.schedule_at(alarm.offset, [this, alarm, epoch = alarm_epoch_] {
+    if (epoch != alarm_epoch_) {
+      return;
+    }
     activate(alarm.task);
     Alarm next = alarm;
     next.offset = queue_.now() + alarm.period;
@@ -63,7 +69,44 @@ void Kernel::arm_alarm(const Alarm& alarm) {
   });
 }
 
+void Kernel::halt() {
+  ACES_CHECK_MSG(started_, "halt() before start()");
+  if (halted_) {
+    return;
+  }
+  halted_ = true;
+  ++alarm_epoch_;
+  for (Task& t : tasks_) {
+    ++t.token;  // abandon any in-flight completion event
+    t.state = State::suspended;
+    t.segment = 0;
+    t.segment_left = -1;
+    t.pending = false;
+    t.prio_stack.clear();
+    t.dynamic_priority = t.config.priority;
+    t.blocked_since = -1;
+  }
+  for (Resource& r : resources_) {
+    r.holder = -1;
+  }
+  running_ = -1;
+}
+
+void Kernel::reboot() {
+  ACES_CHECK_MSG(halted_, "reboot() of a kernel that is not halted");
+  halted_ = false;
+  ever_dispatched_ = false;  // the boot dispatch is not a context switch
+  for (const Alarm& alarm : alarms_) {
+    Alarm fresh = alarm;
+    fresh.offset = queue_.now() + alarm.offset;
+    arm_alarm(fresh);
+  }
+}
+
 void Kernel::activate(TaskId id) {
+  if (halted_) {
+    return;
+  }
   Task& t = tasks_[static_cast<std::size_t>(id)];
   ++t.stats.activations;
   if (t.state != State::suspended) {

@@ -93,6 +93,22 @@ class Kernel {
   // ----- runtime API -----
   void activate(TaskId task);  // OSEK ActivateTask (also from "ISRs")
 
+  // ----- node-fault support (net::ModelEcuNode) -----
+  // halt() freezes the kernel where it stands: the running instance is
+  // abandoned (its in-flight completion dies against the task token),
+  // queued activations are dropped, every task returns to suspended with a
+  // clean body position, resources are released, and alarms stop
+  // activating (their queued events die against the alarm epoch).
+  // ActivateTask on a halted kernel is a silent no-op — a dead ECU's
+  // "ISRs" fire into the void. Statistics survive: completions before the
+  // halt stay counted.
+  // reboot() cold-starts a halted kernel: every alarm restarts relative to
+  // now (first activation at now + offset, then its period), and the first
+  // dispatch after reboot is not charged as a context switch.
+  void halt();
+  void reboot();
+  [[nodiscard]] bool halted() const { return halted_; }
+
   [[nodiscard]] const TaskStats& stats(TaskId task) const {
     return tasks_[static_cast<std::size_t>(task)].stats;
   }
@@ -162,6 +178,8 @@ class Kernel {
   sim::SimTime worst_blocking_ = 0;
   bool started_ = false;
   bool ever_dispatched_ = false;
+  bool halted_ = false;
+  std::uint64_t alarm_epoch_ = 0;  // kills pre-halt alarm chains
 };
 
 }  // namespace aces::rtos

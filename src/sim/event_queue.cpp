@@ -60,12 +60,22 @@ bool EventQueue::step(SimTime horizon) {
   return true;
 }
 
+void EventQueue::set_stop_check(StopCheck check) {
+  stop_check_ = std::move(check);
+  stopped_ = false;
+}
+
 std::size_t EventQueue::run_until(SimTime horizon) {
   std::size_t executed = 0;
-  while (step(horizon)) {
+  while (!stopped_ && step(horizon)) {
     ++executed;
+    ++executed_total_;
+    if (stop_check_ && executed_total_ % kStopCheckStride == 0 &&
+        stop_check_(executed_total_)) {
+      stopped_ = true;
+    }
   }
-  if (now_ < horizon) {
+  if (!stopped_ && now_ < horizon) {
     now_ = horizon;
   }
   return executed;

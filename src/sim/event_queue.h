@@ -62,6 +62,21 @@ class EventQueue {
   // `horizon` still run; later ones remain queued.
   std::size_t run_until(SimTime horizon);
 
+  // Cooperative stop check, polled every kStopCheckStride executed events
+  // inside run_until with the queue's lifetime event count. When it returns
+  // true the run stops after the current event and stopped() latches — the
+  // containment layer for livelocked scenarios (a callback chain that never
+  // advances time would otherwise never return control). Deterministic when
+  // the check is a pure function of the executed-event count. Installing a
+  // new check (or an empty one) clears the latch.
+  using StopCheck = std::function<bool(std::uint64_t events_executed)>;
+  static constexpr std::uint64_t kStopCheckStride = 1024;
+  void set_stop_check(StopCheck check);
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_total_;
+  }
+
   // Runs a single event if one is pending within the horizon.
   // Returns false when nothing (non-cancelled) is pending in range.
   bool step(SimTime horizon);
@@ -98,6 +113,9 @@ class EventQueue {
   void arm_periodic(Periodic& p, SimTime at);
 
   SimTime now_ = 0;
+  std::uint64_t executed_total_ = 0;
+  StopCheck stop_check_;
+  bool stopped_ = false;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::priority_queue<Entry, std::vector<Entry>, Later> pending_;

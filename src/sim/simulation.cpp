@@ -34,7 +34,7 @@ void Simulation::run_until(SimTime horizon) {
     // Fire everything due at (or before) the current instant; callbacks may
     // wake sleeping participants, so this happens before slice planning.
     stats_.events_executed += queue_.run_until(now());
-    if (now() >= horizon) {
+    if (queue_.stopped() || now() >= horizon) {
       return;
     }
 
@@ -84,6 +84,9 @@ void Simulation::run_until(SimTime horizon) {
       ++stats_.participants[k].slices;
     }
     stats_.events_executed += queue_.run_until(target);
+    if (queue_.stopped()) {
+      return;
+    }
   }
 }
 

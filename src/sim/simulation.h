@@ -130,6 +130,20 @@ class Simulation {
   // measurement window.
   void reset_stats();
 
+  // Cooperative watchdog: `check` is polled inside the event loop (every
+  // EventQueue::kStopCheckStride executed events, with the lifetime event
+  // count) and a true return aborts the run at the next poll point — even
+  // when a livelocked callback chain never lets time advance. run_until
+  // then returns early with now() frozen at the trip instant;
+  // watchdog_tripped() reports it. Deterministic when the check depends
+  // only on the event count. Installing a new check clears the trip latch.
+  void set_watchdog(EventQueue::StopCheck check) {
+    queue_.set_stop_check(std::move(check));
+  }
+  [[nodiscard]] bool watchdog_tripped() const noexcept {
+    return queue_.stopped();
+  }
+
  private:
   EventQueue queue_;
   SimTime quantum_;

@@ -183,6 +183,170 @@ TEST(Campaign, SeededFaultCampaignsInjectAndAreCounted) {
   EXPECT_EQ(result.bit_errors, faulted_bit_errors);
 }
 
+// ----- node-fault axis, supervision, availability ----------------------------
+
+// One model producer on one bus, publishing 0x120 every 10 ms, with a
+// heartbeat-monitoring supervisor that restarts it on a miss. The
+// "fault_at_ns" axis sweeps from fault-free (0 disables the plan) to a
+// crash mid-run.
+campaign::ScenarioSpec fault_drill_spec() {
+  campaign::ScenarioSpec spec;
+  spec.name = "fault-drill";
+  spec.master_seed = 11;
+  spec.horizon = 500 * kMillisecond;
+  spec.axes = {{"fault_at_ns", {0.0, 100.0e6}}};
+  spec.topology = [](const campaign::Variant&) {
+    net::NetworkBuilder nb;
+    const net::BusId bus = nb.bus("body", 250'000);
+    net::ModelTask sender;
+    sender.name = "sender";
+    sender.priority = 5;
+    sender.exec = 200 * kMicrosecond;
+    sender.period = 10 * kMillisecond;
+    can::CanFrame tx;
+    tx.id = 0x120;
+    tx.dlc = 4;
+    sender.tx = tx;
+    nb.ecu(bus, "producer", {sender});
+    return nb;
+  };
+  campaign::NodeFaultPlan nf;
+  nf.ecu = 0;
+  nf.kind = net::NodeFault::Kind::crash;
+  nf.at_axis = "fault_at_ns";
+  spec.node_faults.push_back(nf);
+  campaign::PathSpec path;
+  path.name = "producer_frames";
+  path.dst_bus = 0;
+  path.dst_id = 0x120;
+  path.expected_period = 10 * kMillisecond;
+  spec.paths.push_back(path);
+  spec.assertions.min_availability = 0.5;
+  spec.configure = [](net::Network& net, const campaign::Variant&) {
+    can::CanFrame hb;
+    hb.id = 0x050;
+    hb.dlc = 1;
+    net.ecu(0).start_heartbeat(hb, 20 * kMillisecond);
+    net::SupervisorNode& sup = net.add_supervisor(0, "sup");
+    net::SupervisorNode::Monitor mon;
+    mon.name = "producer";
+    mon.heartbeat_id = 0x050;
+    mon.period = 20 * kMillisecond;
+    mon.window = 2 * kMillisecond;
+    mon.ecu = &net.ecu(0);
+    mon.mitigations.push_back(
+        net::Mitigation::restart_ecu(net.ecu(0), 10 * kMillisecond));
+    sup.add_monitor(mon);
+    sup.start();
+  };
+  return spec;
+}
+
+TEST(Campaign, NodeFaultAxisMeasuresAvailabilityAndRecovery) {
+  const campaign::ScenarioSpec spec = fault_drill_spec();
+  campaign::CampaignRunner::Config cfg;
+  cfg.workers = 1;
+  const campaign::CampaignResult result =
+      campaign::CampaignRunner(cfg).run(spec);
+  ASSERT_EQ(result.variants.size(), 2u);
+
+  // Variant 0: fault_at 0 disables the plan — clean run, full
+  // availability, no supervision activity.
+  const campaign::VariantResult& clean = result.variants[0];
+  EXPECT_EQ(clean.heartbeat_misses, 0u);
+  EXPECT_EQ(clean.recoveries, 0u);
+  EXPECT_TRUE(clean.recovery_times.empty());
+  ASSERT_GE(clean.paths[0].availability, 0.0);
+  EXPECT_GT(clean.paths[0].availability, 0.95);
+  EXPECT_TRUE(clean.violations.empty());
+
+  // Variant 1: crash at 100 ms, detected and mitigated — a short outage,
+  // one recovery, availability degraded but above the floor.
+  const campaign::VariantResult& faulted = result.variants[1];
+  EXPECT_EQ(faulted.heartbeat_misses, 1u);
+  EXPECT_EQ(faulted.mitigations, 1u);
+  EXPECT_EQ(faulted.recoveries, 1u);
+  ASSERT_EQ(faulted.recovery_times.size(), 1u);
+  EXPECT_GT(faulted.recovery_times[0], 0);
+  EXPECT_LT(faulted.paths[0].availability, clean.paths[0].availability);
+  EXPECT_GT(faulted.paths[0].availability, 0.5);
+  EXPECT_FALSE(faulted.watchdog_tripped);
+  EXPECT_TRUE(faulted.violations.empty());
+
+  // Campaign roll-up + report sections.
+  EXPECT_EQ(result.recoveries, 1u);
+  EXPECT_EQ(result.heartbeat_misses, 1u);
+  EXPECT_GT(result.recovery_p99, 0);
+  EXPECT_GE(result.recovery_max, result.recovery_p99 ? 1 : 0);
+  EXPECT_GE(result.paths[0].availability, 0.9);
+  EXPECT_EQ(result.paths[0].min_availability,
+            faulted.paths[0].availability);
+  const std::string json = result.to_json(/*with_timing=*/false);
+  EXPECT_NE(json.find("\"supervision\""), std::string::npos);
+  EXPECT_NE(json.find("\"availability\""), std::string::npos);
+  EXPECT_NE(json.find("\"watchdog_timeouts\": 0"), std::string::npos);
+}
+
+TEST(Campaign, NodeFaultVariantReplaysBitIdentically) {
+  const campaign::ScenarioSpec spec = fault_drill_spec();
+  campaign::CampaignRunner::Config cfg;
+  cfg.workers = 2;
+  const campaign::CampaignRunner runner(cfg);
+  const campaign::CampaignResult result = runner.run(spec);
+  const campaign::VariantResult& faulted = result.variants[1];
+  ASSERT_EQ(faulted.recoveries, 1u);
+
+  const campaign::VariantResult again =
+      runner.replay(spec, faulted.index, faulted.seed);
+  EXPECT_EQ(again.fingerprint, faulted.fingerprint);
+  EXPECT_EQ(again.recovery_times, faulted.recovery_times);
+  EXPECT_EQ(again.paths[0].availability, faulted.paths[0].availability);
+
+  // And the worker count never changes the deterministic report.
+  campaign::CampaignRunner::Config one;
+  one.workers = 1;
+  const campaign::CampaignResult serial =
+      campaign::CampaignRunner(one).run(spec);
+  EXPECT_EQ(serial.to_json(/*with_timing=*/false),
+            result.to_json(/*with_timing=*/false));
+}
+
+TEST(Campaign, WatchdogStopsAHungVariantLoudly) {
+  campaign::ScenarioSpec spec = fault_drill_spec();
+  spec.axes = {{"fault_at_ns", {0.0}}};
+  // Wedge the variant: a same-instant livelock armed mid-run.
+  const auto base_configure = spec.configure;
+  spec.configure = [base_configure](net::Network& net,
+                                    const campaign::Variant& v) {
+    base_configure(net, v);
+    sim::Simulation& sim = net.simulation();
+    auto spin = std::make_shared<std::function<void()>>();
+    *spin = [&sim, spin] { sim.schedule_in(0, *spin); };
+    sim.schedule_at(10 * kMillisecond, [spin] { (*spin)(); });
+  };
+  campaign::CampaignRunner::Config cfg;
+  cfg.workers = 1;
+  cfg.watchdog_events = 50'000;
+  const campaign::CampaignResult result =
+      campaign::CampaignRunner(cfg).run(spec);
+
+  ASSERT_EQ(result.variants.size(), 1u);
+  const campaign::VariantResult& hung = result.variants[0];
+  EXPECT_TRUE(hung.watchdog_tripped);
+  ASSERT_FALSE(hung.violations.empty());
+  EXPECT_NE(hung.violations.back().find("watchdog"), std::string::npos);
+  EXPECT_EQ(result.watchdog_timeouts, 1u);
+  EXPECT_NE(result.to_json(false).find("\"watchdog_timeouts\": 1"),
+            std::string::npos);
+
+  // The event-count watchdog is deterministic: the stopped variant
+  // replays to the same fingerprint.
+  const campaign::VariantResult again =
+      campaign::CampaignRunner(cfg).replay(spec, hung.index, hung.seed);
+  EXPECT_EQ(again.fingerprint, hung.fingerprint);
+  EXPECT_TRUE(again.watchdog_tripped);
+}
+
 // ----- histogram -------------------------------------------------------------
 
 TEST(CampaignHistogram, BinsPercentilesAndMergeGeometry) {

@@ -358,5 +358,167 @@ TEST(CanFault, FaultedRtaDominatesSimulatedBusUnderInjectedErrors) {
   EXPECT_EQ(total_errors, bus.fault_stats().bit_errors);
 }
 
+// ----- CAN FD under the error machinery --------------------------------------
+
+struct FdBusFixture {
+  sim::EventQueue q;
+  CanBus bus{q, 500'000, 2'000'000};  // 2 us nominal, 0.5 us data phase
+  NodeId a = bus.attach_node("a");
+  NodeId b = bus.attach_node("b");
+};
+
+CanFrame fd_frame(std::uint32_t id, unsigned dlc_code) {
+  CanFrame f;
+  f.id = id;
+  f.fd = true;
+  f.brs = true;
+  f.dlc = dlc_code;
+  f.data.fill(0x5A);
+  return f;
+}
+
+TEST(CanFdFault, DataPhaseErrorIsPricedAtTheDataRateAndRetransmitted) {
+  FdBusFixture f;
+  // Corrupt bit 200 of the first attempt: for a 64-byte BRS frame that is
+  // deep inside the data phase, so most of the carried prefix runs at the
+  // 4x data rate.
+  int remaining = 1;
+  f.bus.set_bit_error_model([&](const CanFrame&, NodeId, SimTime) {
+    if (remaining > 0) {
+      --remaining;
+      return 200;
+    }
+    return -1;
+  });
+  SimTime err_at = -1;
+  f.bus.subscribe_err(f.a, [&](const CanBus::ErrorEvent& e, SimTime at) {
+    if (e.kind == CanBus::ErrorEvent::Kind::tx_error) {
+      err_at = at;
+    }
+  });
+  int received = 0;
+  SimTime delivered_at = 0;
+  f.bus.subscribe(f.b, [&](const CanFrame& fr, SimTime at) {
+    EXPECT_TRUE(fr.fd);
+    ++received;
+    delivered_at = at;
+  });
+  const CanFrame fr = fd_frame(0x100, 15);  // DLC 15 = 64 bytes
+  f.bus.send(f.a, fr);
+  f.q.run_until(10 * kMillisecond);
+
+  EXPECT_EQ(received, 1);  // retransmitted, delivered exactly once
+  EXPECT_EQ(f.bus.fault_stats().bit_errors, 1u);
+  EXPECT_EQ(f.bus.fault_stats().retransmissions, 1u);
+  EXPECT_EQ(f.bus.stats().at(0x100).errors, 1u);
+  // TEC: +8 for the corrupted attempt, -1 for the clean retransmission.
+  EXPECT_EQ(f.bus.tec(f.a), 7u);
+  // The retransmission starts right after the error signaling completes.
+  ASSERT_GE(err_at, 0);
+  EXPECT_EQ(delivered_at, err_at + f.bus.frame_time(fr));
+  // Dual-rate pricing: 201 prefix bits mostly at the data rate plus
+  // 17 error-signaling bits at the nominal rate come to far less than 201
+  // nominal bit times — a classic-rate model would put err_at past 402 us.
+  EXPECT_LT(err_at, 201 * f.bus.bit_time());
+  EXPECT_GT(err_at, 0);
+}
+
+TEST(CanFdFault, RepeatedFdErrorsWalkTecToPassiveThenBusOff) {
+  FdBusFixture f;
+  int corrupt_all = 1;  // stays > 0: every attempt corrupted
+  f.bus.set_bit_error_model([&](const CanFrame&, NodeId, SimTime) {
+    return corrupt_all > 0 ? 40 : -1;
+  });
+  std::vector<ErrorState> states;
+  f.bus.subscribe_err(f.a, [&](const CanBus::ErrorEvent& e, SimTime) {
+    if (e.kind == CanBus::ErrorEvent::Kind::state_change) {
+      states.push_back(e.state);
+      if (e.state == ErrorState::bus_off) {
+        corrupt_all = 0;  // fault clears at bus-off entry
+      }
+    }
+  });
+  int received = 0;
+  f.bus.subscribe(f.b, [&](const CanFrame&, SimTime) { ++received; });
+  f.bus.send(f.a, fd_frame(0x100, 8));
+  f.q.run_until(40 * kMillisecond);
+
+  // 16 corrupted attempts reach TEC 128 (error-passive); 16 more cross
+  // 255 (bus-off). Automatic recovery then re-admits the node and the
+  // still-queued FD frame goes out clean.
+  ASSERT_GE(states.size(), 2u);
+  EXPECT_EQ(states[0], ErrorState::error_passive);
+  EXPECT_EQ(states[1], ErrorState::bus_off);
+  EXPECT_EQ(f.bus.fault_stats().bus_off_events, 1u);
+  EXPECT_EQ(f.bus.fault_stats().recoveries, 1u);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(f.bus.error_state(f.a), ErrorState::error_active);
+}
+
+// ----- lonely transmitter: bounded retries, no livelock ----------------------
+
+TEST(CanAck, LonelyTransmitterSuspendsAfterBoundedRetries) {
+  BusFixture f;
+  f.bus.set_ack_errors(true);
+  f.bus.detach(f.b);  // nobody left to drive the ACK slot
+
+  int received = 0;
+  f.bus.subscribe(f.b, [&](const CanFrame&, SimTime) { ++received; });
+  f.bus.send(f.a, frame(0x100, 4));
+  // The regression this pins: with every peer gone, retransmission must
+  // not livelock the event queue. run_until returning at all is half the
+  // assertion; the exact retry budget is the other half.
+  f.q.run_until(100 * kMillisecond);
+
+  // 16 ACK errors at +8 TEC reach exactly error-passive (TEC 128); the
+  // 17th attempt also fails but — per the fault-confinement exception —
+  // does not bump TEC, and the transmitter suspends instead of retrying.
+  EXPECT_EQ(f.bus.fault_stats().ack_errors, 17u);
+  EXPECT_EQ(f.bus.tec(f.a), 128u);
+  EXPECT_EQ(f.bus.error_state(f.a), ErrorState::error_passive);
+  EXPECT_EQ(received, 0);
+  const std::uint64_t errors_at_suspend = f.bus.fault_stats().ack_errors;
+
+  // Still suspended much later: bounded work, not slow-motion livelock.
+  f.q.run_until(sim::kSecond);
+  EXPECT_EQ(f.bus.fault_stats().ack_errors, errors_at_suspend);
+
+  // A peer reappearing wakes the transmitter; the pending frame delivers.
+  f.bus.attach(f.b);
+  f.q.run_until(2 * sim::kSecond);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(f.bus.stats().at(0x100).sent, 1u);
+}
+
+TEST(CanAck, AllPeersBusOffAlsoSuspendsAndRecoveryRedelivers) {
+  BusFixture f;
+  f.bus.set_ack_errors(true);
+  f.bus.set_manual_bus_off_recovery(f.b, true);
+
+  // Drive b to bus-off: corrupt every attempt by b only.
+  f.bus.set_bit_error_model([&](const CanFrame&, NodeId tx, SimTime) {
+    return tx == f.b ? 0 : -1;
+  });
+  f.bus.send(f.b, frame(0x050, 1));  // b retries itself into bus-off
+  f.q.run_until(50 * kMillisecond);
+  ASSERT_EQ(f.bus.error_state(f.b), ErrorState::bus_off);
+
+  int received = 0;
+  f.bus.subscribe(f.b, [&](const CanFrame&, SimTime) { ++received; });
+  f.bus.send(f.a, frame(0x100, 4));
+  f.q.run_until(sim::kSecond);
+  // b is bus-off, so a has no ACK peer: same bounded suspend as detach.
+  EXPECT_EQ(f.bus.error_state(f.a), ErrorState::error_passive);
+  EXPECT_EQ(received, 0);
+
+  // The fault clears and software requests recovery of b: an ACK peer is
+  // re-admitted and a's pending frame (and b's own queued one) complete.
+  f.bus.set_bit_error_model(nullptr);
+  f.bus.request_recovery(f.b);
+  f.q.run_until(2 * sim::kSecond);
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(f.bus.stats().at(0x100).sent, 1u);
+}
+
 }  // namespace
 }  // namespace aces::can

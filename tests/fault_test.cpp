@@ -1,0 +1,652 @@
+// Node-level fault injection, alive supervision, and graceful degradation:
+// bus detach/attach semantics, dead-bus windows, EcuNode lifecycle faults
+// at both fidelities, SupervisorNode detection within the analytic bound
+// with mitigations and limp-home, the FlexRay bus guardian containing a
+// babbling idiot, gateway drop visibility and route failover, the
+// simulation watchdog stopping a same-instant livelock, and bit-identical
+// double runs of a full fault drill.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/profiles.h"
+#include "isa/assembler.h"
+#include "net/network.h"
+#include "net/supervisor.h"
+#include "sim/simulation.h"
+
+namespace aces::net {
+namespace {
+
+using sim::kMicrosecond;
+using sim::kMillisecond;
+using sim::SimTime;
+
+can::CanFrame frame(std::uint32_t id, unsigned dlc = 4) {
+  can::CanFrame f;
+  f.id = id;
+  f.dlc = dlc;
+  return f;
+}
+
+// ----- bus-level fault primitives --------------------------------------------
+
+TEST(CanDetach, DetachedNodeDropsSendsAndReceivesNothing) {
+  sim::EventQueue q;
+  can::CanBus bus(q, 500'000);
+  const can::NodeId a = bus.attach_node("a");
+  const can::NodeId b = bus.attach_node("b");
+  int b_heard = 0;
+  bus.subscribe(b, [&](const can::CanFrame&, SimTime) { ++b_heard; });
+
+  bus.detach(b);
+  EXPECT_FALSE(bus.attached(b));
+  bus.send(a, frame(0x100));
+  bus.send(b, frame(0x200));  // dropped: the node is off the wire
+  q.run_until(10 * kMillisecond);
+
+  EXPECT_EQ(b_heard, 0);  // detached nodes receive nothing
+  EXPECT_EQ(bus.fault_stats().detached_drops, 1u);
+  EXPECT_EQ(bus.stats().count(0x200), 0u);
+
+  // Reattach: the node transmits and receives again.
+  bus.attach(b);
+  bus.send(b, frame(0x200));
+  bus.send(a, frame(0x100));
+  q.run_until(20 * kMillisecond);
+  EXPECT_EQ(bus.stats().at(0x200).sent, 1u);
+  EXPECT_EQ(b_heard, 1);  // a's post-attach frame, not b's own
+}
+
+TEST(CanDetach, PendingFramesSurviveDetachAndGoOutAfterAttach) {
+  sim::EventQueue q;
+  can::CanBus bus(q, 500'000);
+  const can::NodeId a = bus.attach_node("a");
+  const can::NodeId b = bus.attach_node("b");
+  int heard = 0;
+  bus.subscribe(b, [&](const can::CanFrame&, SimTime) { ++heard; });
+
+  bus.send(a, frame(0x100));       // on the wire immediately
+  q.schedule_at(kMicrosecond, [&] {
+    bus.detach(a);                 // mid-frame: the attempt completes
+    bus.send(a, frame(0x101));     // dropped (detached)
+  });
+  q.run_until(5 * kMillisecond);
+  EXPECT_EQ(heard, 1);  // the in-flight attempt completed
+  EXPECT_EQ(bus.fault_stats().detached_drops, 1u);
+
+  bus.attach(a);
+  bus.send(a, frame(0x102));
+  q.run_until(10 * kMillisecond);
+  EXPECT_EQ(heard, 2);
+}
+
+TEST(CanDeadBus, WindowSilencesWireAndBacklogDrains) {
+  sim::EventQueue q;
+  can::CanBus bus(q, 500'000);
+  const can::NodeId a = bus.attach_node("a");
+  const can::NodeId b = bus.attach_node("b");
+  std::vector<SimTime> deliveries;
+  bus.subscribe(b, [&](const can::CanFrame&, SimTime at) {
+    deliveries.push_back(at);
+  });
+
+  const SimTime window_start = kMillisecond;
+  const SimTime window_len = 5 * kMillisecond;
+  bus.schedule_bus_dead(window_start, window_len);
+  // Queued inside the window: must not appear on the wire until it closes.
+  q.schedule_at(2 * kMillisecond, [&] { bus.send(a, frame(0x100)); });
+  q.run_until(20 * kMillisecond);
+
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_GE(deliveries[0], window_start + window_len);
+  EXPECT_EQ(bus.fault_stats().dead_bus_windows, 1u);
+  EXPECT_FALSE(bus.bus_dead());
+}
+
+// ----- EcuNode lifecycle faults ----------------------------------------------
+
+// One kernel-model producer publishing 0x120 every 10 ms.
+NetworkBuilder model_producer_builder(BusId& bus_out, EcuId& ecu_out) {
+  NetworkBuilder nb;
+  bus_out = nb.bus("body", 250'000);
+  ModelTask sender;
+  sender.name = "sender";
+  sender.priority = 5;
+  sender.exec = 200 * kMicrosecond;
+  sender.period = 10 * kMillisecond;
+  sender.tx = frame(0x120);
+  ecu_out = nb.ecu(bus_out, "producer", {sender});
+  return nb;
+}
+
+TEST(NodeFault, CrashSilencesAModelEcu) {
+  BusId bus;
+  EcuId ecu;
+  NetworkBuilder nb = model_producer_builder(bus, ecu);
+  Network net = nb.build();
+  std::vector<SimTime> deliveries;
+  const can::NodeId probe = net.bus(bus).attach_node("probe");
+  net.bus(bus).subscribe(probe, [&](const can::CanFrame& f, SimTime at) {
+    if (f.id == 0x120) {
+      deliveries.push_back(at);
+    }
+  });
+
+  NodeFault fault;
+  fault.kind = NodeFault::Kind::crash;
+  fault.at = 55 * kMillisecond;
+  net.ecu(ecu).inject(fault);
+  net.run_until(sim::kSecond);
+
+  // Completions at 200us, 10.2ms, ..., 50.2ms — then silence.
+  ASSERT_EQ(deliveries.size(), 6u);
+  EXPECT_LT(deliveries.back(), fault.at);
+  EXPECT_FALSE(net.ecu(ecu).alive());
+  EXPECT_EQ(net.ecu(ecu).fault_stats().crashes, 1u);
+  EXPECT_EQ(net.ecu(ecu).last_fault_at(), fault.at);
+  EXPECT_FALSE(net.bus(bus).attached(net.ecu(ecu).can_node()));
+}
+
+TEST(NodeFault, ResetRebootsAModelEcuAfterTheDelay) {
+  BusId bus;
+  EcuId ecu;
+  NetworkBuilder nb = model_producer_builder(bus, ecu);
+  Network net = nb.build();
+  std::vector<SimTime> deliveries;
+  const can::NodeId probe = net.bus(bus).attach_node("probe");
+  net.bus(bus).subscribe(probe, [&](const can::CanFrame& f, SimTime at) {
+    if (f.id == 0x120) {
+      deliveries.push_back(at);
+    }
+  });
+
+  NodeFault fault;
+  fault.kind = NodeFault::Kind::reset;
+  fault.at = 55 * kMillisecond;
+  fault.reboot_delay = 30 * kMillisecond;
+  net.ecu(ecu).inject(fault);
+  net.run_until(200 * kMillisecond);
+
+  EXPECT_TRUE(net.ecu(ecu).alive());
+  EXPECT_EQ(net.ecu(ecu).fault_stats().resets, 1u);
+  EXPECT_EQ(net.ecu(ecu).fault_stats().reboots, 1u);
+  EXPECT_EQ(net.ecu(ecu).last_boot_at(), fault.at + fault.reboot_delay);
+  // Frames before the fault, silence during the outage, frames after.
+  ASSERT_GE(deliveries.size(), 8u);
+  bool saw_gap = false;
+  for (std::size_t k = 1; k < deliveries.size(); ++k) {
+    if (deliveries[k] - deliveries[k - 1] > 20 * kMillisecond) {
+      saw_gap = true;
+      EXPECT_GE(deliveries[k], fault.at + fault.reboot_delay);
+    }
+  }
+  EXPECT_TRUE(saw_gap);
+}
+
+constexpr unsigned kRxLine = 1;
+constexpr std::uint32_t kCount = cpu::kSramBase + 0x100;
+
+// Minimal counting guest (the net_test idiom): WFI loop; the RX ISR bumps
+// a counter in SRAM, pops the mailbox and acks the line.
+GuestProgram counting_program() {
+  using namespace isa;
+  using Ctl = can::CanController;
+  Assembler a(Encoding::b32, cpu::kFlashBase);
+  const Label entry = a.bound_label();
+  const Label top = a.bound_label();
+  Instruction wfi;
+  wfi.op = Op::wfi;
+  a.ins(wfi);
+  a.b(top);
+  a.pool();
+  const Label isr = a.bound_label();
+  a.load_literal(r0, cpu::kPeriphBase);
+  a.load_literal(r3, kCount);
+  a.ins(ins_ldst_imm(Op::ldr, r2, r3, 0));
+  a.ins(ins_rri(Op::add, r2, r2, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r2, r3, 0));
+  a.ins(ins_mov_imm(r12, 1, SetFlags::any));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kRxPop));
+  a.ins(ins_ldst_imm(Op::str, r12, r0, Ctl::kIrqAck));
+  a.ins(ins_ret());
+  a.pool();
+  GuestProgram p;
+  p.image = a.assemble();
+  p.entry = a.label_address(entry);
+  p.handlers.push_back({kRxLine, a.label_address(isr), 32});
+  return p;
+}
+
+TEST(NodeFault, HangFreezesAnIssEcuAndRestartRevivesIt) {
+  NetworkBuilder nb;
+  const BusId bus = nb.bus("body", 250'000);
+  ModelTask sender;
+  sender.name = "sender";
+  sender.priority = 5;
+  sender.exec = 100 * kMicrosecond;
+  sender.period = 10 * kMillisecond;
+  sender.tx = frame(0x120);
+  nb.ecu(bus, "producer", {sender});
+  can::CanController::Config cc;
+  cc.rx_line = kRxLine;
+  const EcuId iss = nb.ecu(
+      bus,
+      cpu::profiles::modern_mcu().name("iss").clock_hz(8'000'000)
+          .flash_size(16 * 1024),
+      counting_program(), cc);
+  Network net = nb.build();
+
+  net.run_until(100 * kMillisecond);
+  const std::uint32_t before = net.iss(iss).read_word(kCount);
+  EXPECT_GT(before, 0u);
+
+  // Hang: compute freezes but the node stays attached — the wire still
+  // sees a healthy peer, only the serviced-frame counter stops.
+  NodeFault fault;
+  fault.kind = NodeFault::Kind::hang;
+  fault.at = 100 * kMillisecond;
+  net.ecu(iss).inject(fault);
+  net.run_until(200 * kMillisecond);
+  EXPECT_EQ(net.iss(iss).read_word(kCount), before);
+  EXPECT_FALSE(net.ecu(iss).alive());
+  EXPECT_TRUE(net.bus(bus).attached(net.ecu(iss).can_node()));
+  EXPECT_GT(net.iss(iss).binding().stats().frozen_irq_drops, 0u);
+
+  // Supervised restart: full guest reboot; servicing resumes.
+  net.ecu(iss).restart(5 * kMillisecond);
+  net.run_until(300 * kMillisecond);
+  EXPECT_TRUE(net.ecu(iss).alive());
+  EXPECT_EQ(net.ecu(iss).fault_stats().reboots, 1u);
+  EXPECT_GT(net.iss(iss).read_word(kCount), 0u);
+}
+
+// ----- alive supervision -----------------------------------------------------
+
+TEST(Supervisor, DetectsACrashWithinTheAnalyticBoundAndRecovers) {
+  BusId bus;
+  EcuId ecu;
+  NetworkBuilder nb = model_producer_builder(bus, ecu);
+  Network net = nb.build();
+
+  const SimTime hb_period = 20 * kMillisecond;
+  net.ecu(ecu).start_heartbeat(frame(0x050, 1), hb_period);
+
+  SupervisorNode& sup = net.add_supervisor(bus, "sup");
+  SupervisorNode::Monitor mon;
+  mon.name = "producer";
+  mon.heartbeat_id = 0x050;
+  mon.period = hb_period;
+  mon.window = 2 * kMillisecond;
+  mon.delivery_bound = kMillisecond;
+  mon.ecu = &net.ecu(ecu);
+  mon.mitigations.push_back(
+      Mitigation::restart_ecu(net.ecu(ecu), 10 * kMillisecond));
+  const auto id = sup.add_monitor(mon);
+  sup.start();
+
+  NodeFault fault;
+  fault.kind = NodeFault::Kind::crash;
+  fault.at = 105 * kMillisecond;
+  net.ecu(ecu).inject(fault);
+  net.run_until(sim::kSecond);
+
+  const auto& st = sup.stats(id);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.mitigations, 1u);
+  EXPECT_EQ(st.recoveries, 1u);
+  EXPECT_FALSE(sup.failed(id));
+  EXPECT_TRUE(net.ecu(ecu).alive());
+  // The tentpole property: measured fault-to-detection latency within the
+  // analytic bound (heartbeat period + window + delivery bound).
+  ASSERT_GE(st.worst_detect_latency, 0);
+  EXPECT_LE(st.worst_detect_latency, sup.detection_bound(id));
+  // Recovery latency covers detection + mitigation delay + reboot, and is
+  // what campaigns fold into distributions.
+  ASSERT_EQ(sup.recovery_samples().size(), 1u);
+  EXPECT_GT(sup.recovery_samples()[0], st.worst_detect_latency);
+  // Heartbeats resumed after the mitigation rebooted the node.
+  EXPECT_GT(st.heartbeats, 5u);
+}
+
+TEST(Supervisor, LimpHomeSubstitutesFramesWhileFailed) {
+  BusId bus;
+  EcuId ecu;
+  NetworkBuilder nb = model_producer_builder(bus, ecu);
+  Network net = nb.build();
+  net.ecu(ecu).start_heartbeat(frame(0x050, 1), 20 * kMillisecond);
+
+  std::vector<SimTime> limp_seen;
+  const can::NodeId probe = net.bus(bus).attach_node("probe");
+  net.bus(bus).subscribe(probe, [&](const can::CanFrame& f, SimTime at) {
+    if (f.id == 0x121) {
+      limp_seen.push_back(at);
+    }
+  });
+
+  SupervisorNode& sup = net.add_supervisor(bus, "sup");
+  SupervisorNode::Monitor mon;
+  mon.name = "producer";
+  mon.heartbeat_id = 0x050;
+  mon.period = 20 * kMillisecond;
+  mon.window = 2 * kMillisecond;
+  mon.ecu = &net.ecu(ecu);
+  mon.limp_frame = frame(0x121, 2);  // safe substitute for 0x120 traffic
+  mon.limp_period = 10 * kMillisecond;
+  mon.mitigations.push_back(
+      Mitigation::restart_ecu(net.ecu(ecu), 50 * kMillisecond));
+  const auto id = sup.add_monitor(mon);
+  sup.start();
+
+  NodeFault fault;
+  fault.kind = NodeFault::Kind::crash;
+  fault.at = 105 * kMillisecond;
+  net.ecu(ecu).inject(fault);
+  net.run_until(400 * kMillisecond);
+
+  const auto& st = sup.stats(id);
+  ASSERT_GT(st.limp_frames, 0u);
+  EXPECT_EQ(st.limp_frames, limp_seen.size());
+  // Limp frames only exist inside the failure window.
+  EXPECT_GE(limp_seen.front(), st.last_detect_at);
+  EXPECT_EQ(st.recoveries, 1u);
+  // After recovery the limp chain is dead: the last limp frame precedes
+  // the recovery instant (fault + recovery latency).
+  ASSERT_EQ(sup.recovery_samples().size(), 1u);
+  EXPECT_LE(limp_seen.back(), fault.at + sup.recovery_samples()[0]);
+}
+
+// ----- babbling idiot: detection + detach mitigation -------------------------
+
+TEST(Supervisor, DetachMitigationCutsOffABabblingNode) {
+  NetworkBuilder nb;
+  const BusId bus = nb.bus("body", 250'000);
+  ModelTask sender;
+  sender.name = "victim";
+  sender.priority = 5;
+  sender.exec = 100 * kMicrosecond;
+  sender.period = 10 * kMillisecond;
+  sender.tx = frame(0x200);
+  const EcuId victim = nb.ecu(bus, "victim", {sender});
+  ModelTask idle;
+  idle.name = "idle";
+  idle.priority = 1;
+  idle.exec = 100 * kMicrosecond;
+  idle.period = 50 * kMillisecond;
+  const EcuId babbler = nb.ecu(bus, "babbler", {idle});
+  Network net = nb.build();
+
+  net.ecu(babbler).start_heartbeat(frame(0x051, 1), 20 * kMillisecond);
+  SupervisorNode& sup = net.add_supervisor(bus, "sup");
+  SupervisorNode::Monitor mon;
+  mon.name = "babbler";
+  mon.heartbeat_id = 0x051;
+  mon.period = 20 * kMillisecond;
+  mon.window = 2 * kMillisecond;
+  mon.ecu = &net.ecu(babbler);
+  mon.mitigations.push_back(Mitigation::detach_node(
+      net.bus(bus), net.ecu(babbler).can_node()));
+  const auto id = sup.add_monitor(mon);
+  sup.start();
+
+  // Babble: a top-priority flood that starves the victim's traffic — and,
+  // because the flooding ECU's compute is fine but its heartbeats are
+  // crowded out... no: heartbeats keep flowing (the ECU is alive), so the
+  // flood alone isn't detected by alive supervision. Pair the babble with
+  // a hang (the classic failed-ECU babble: software wedged with the
+  // transmit path stuck on), which stops heartbeats too.
+  NodeFault babble;
+  babble.kind = NodeFault::Kind::babble;
+  babble.at = 100 * kMillisecond;
+  babble.babble_frame = frame(0x001, 0);  // outranks everything
+  babble.babble_period = kMillisecond;
+  net.ecu(babbler).inject(babble);
+  NodeFault hang;
+  hang.kind = NodeFault::Kind::hang;
+  hang.at = 100 * kMillisecond;
+  net.ecu(babbler).inject(hang);
+  net.run_until(500 * kMillisecond);
+
+  const auto& st = sup.stats(id);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.mitigations, 1u);
+  ASSERT_GE(st.worst_detect_latency, 0);
+  EXPECT_LE(st.worst_detect_latency, sup.detection_bound(id));
+  // The babbler is off the wire; its flood stopped at the mitigation.
+  EXPECT_FALSE(net.bus(bus).attached(net.ecu(babbler).can_node()));
+  EXPECT_GT(net.bus(bus).fault_stats().detached_drops, 0u);
+  // The victim's traffic kept flowing after the cutoff (frames in the
+  // last 300 ms of the run).
+  const auto& victim_stats = net.bus(bus).stats().at(0x200);
+  EXPECT_GT(victim_stats.sent, 30u);
+  (void)victim;
+}
+
+// ----- FlexRay bus guardian --------------------------------------------------
+
+FlexrayFabricConfig guarded_config(unsigned minislots, unsigned budget) {
+  FlexrayFabricConfig cfg;
+  cfg.static_cfg.cycle_length = kMillisecond;
+  cfg.static_cfg.static_slots = 1;
+  cfg.static_cfg.slot_length = 50 * kMicrosecond;
+  cfg.minislots = minislots;
+  cfg.minislot = 20 * kMicrosecond;
+  cfg.guardian.enabled = true;
+  cfg.guardian.node_budget_minislots = budget;
+  return cfg;
+}
+
+TEST(BusGuardian, LatchesOffANodeCrossingItsBudget) {
+  sim::EventQueue queue;
+  // 8-byte dynamic frames: 171 bits at 10 Mbps = 17.1 us -> 1 minislot.
+  // Budget 1: the babbler's first frame fits, its second crosses and the
+  // guardian latches the node off at exactly that decision point.
+  FlexrayFabric fabric(queue, guarded_config(8, 1));
+  const auto babbler = fabric.attach_node("babbler");
+  const auto victim = fabric.attach_node("victim");
+  const auto flood_a = fabric.add_dynamic_frame(babbler, "flood_a", 1, 8);
+  const auto flood_b = fabric.add_dynamic_frame(babbler, "flood_b", 2, 8);
+  const auto good = fabric.add_dynamic_frame(victim, "good", 3, 8);
+  fabric.start();
+
+  const auto obs = fabric.attach_node("obs");
+  std::vector<unsigned> delivered;
+  fabric.subscribe(obs, [&](const FlexrayFabric::DynFrameInfo& i,
+                            const FlexrayFabric::DynPayload&, SimTime) {
+    delivered.push_back(i.slot_id);
+  });
+
+  FlexrayFabric::DynPayload p;
+  p.bytes = 8;
+  // Flood both babbler ids every cycle for 4 cycles; one victim frame.
+  for (int c = 0; c < 4; ++c) {
+    queue.schedule_at(c * kMillisecond, [&] {
+      fabric.send_dynamic(flood_a, p);
+      fabric.send_dynamic(flood_b, p);
+    });
+  }
+  fabric.send_dynamic(good, p);
+  queue.run_until(4 * kMillisecond);
+
+  // Cycle 0: flood_a granted (budget reached), flood_b crosses -> latch.
+  // Cycles 1..3: both babbler ids blocked at their decision points.
+  EXPECT_EQ(fabric.guardian_stats().cutoffs, 1u);
+  EXPECT_TRUE(fabric.guardian_blocked(babbler));
+  EXPECT_GE(fabric.guardian_stats().blocked_grants, 6u);
+  // The victim's frame went out despite the flood — containment worked.
+  ASSERT_FALSE(delivered.empty());
+  EXPECT_EQ(delivered[0], 1u);  // the one in-budget flood frame
+  bool victim_delivered = false;
+  for (const unsigned s : delivered) {
+    if (s == 3u) {
+      victim_delivered = true;
+    }
+    EXPECT_NE(s, 2u);  // the over-budget id never transmitted
+  }
+  EXPECT_TRUE(victim_delivered);
+  EXPECT_EQ(fabric.dyn_stats(flood_b).sent, 0u);
+
+  // Maintenance release: the node competes again (and latches again the
+  // next time it crosses the budget — deterministic each cycle).
+  const auto cutoffs_before = fabric.guardian_stats().cutoffs;
+  fabric.guardian_release(babbler);
+  EXPECT_FALSE(fabric.guardian_blocked(babbler));
+  queue.run_until(6 * kMillisecond);
+  EXPECT_GT(fabric.dyn_stats(flood_a).sent, 1u);  // backlog resumed
+  EXPECT_GT(fabric.guardian_stats().cutoffs, cutoffs_before);
+}
+
+// ----- gateway drop visibility + failover ------------------------------------
+
+TEST(Gateway, OnDropReportsOverflowAndSupervisorCountsIt) {
+  NetworkBuilder nb;
+  const BusId fast = nb.bus("fast", 1'000'000);
+  const BusId slow = nb.bus("slow", 125'000);
+  GatewayConfig gc;
+  gc.forwarding_latency = 0;
+  gc.queue_depth = 2;
+  const GatewayId gw = nb.gateway("gw", gc);
+  Route r;
+  r.from = fast;
+  r.to = slow;
+  r.match = 0;
+  r.mask = 0;
+  nb.route(gw, r);
+  Network net = nb.build();
+
+  std::vector<std::uint32_t> dropped_ids;
+  net.gateway(gw).on_drop([&](BusId from, BusId to, std::uint32_t id,
+                              GatewayNode::DropReason reason, SimTime) {
+    EXPECT_EQ(from, fast);
+    EXPECT_EQ(to, slow);
+    EXPECT_EQ(reason, GatewayNode::DropReason::overflow);
+    dropped_ids.push_back(id);
+  });
+  SupervisorNode& sup = net.add_supervisor(slow, "sup");
+  sup.watch_gateway(net.gateway(gw));
+
+  const can::NodeId src = net.bus(fast).attach_node("src");
+  for (int k = 0; k < 6; ++k) {
+    net.bus(fast).send(src, frame(0x100 + static_cast<std::uint32_t>(k), 8));
+  }
+  net.run_until(sim::kSecond);
+
+  const auto& d = net.gateway(gw).direction(fast, slow);
+  EXPECT_GE(d.dropped_overflow, 1u);
+  EXPECT_EQ(dropped_ids.size(), d.dropped_overflow);
+  EXPECT_EQ(sup.gateway_drops(), d.dropped_overflow);
+}
+
+TEST(Gateway, RouteFailoverSwitchesToTheStandbyPath) {
+  NetworkBuilder nb;
+  const BusId src = nb.bus("src", 500'000);
+  const BusId primary = nb.bus("primary", 250'000);
+  const BusId standby = nb.bus("standby", 250'000);
+  const GatewayId gw = nb.gateway("gw");
+  Route live;
+  live.from = src;
+  live.to = primary;
+  live.match = 0x100;
+  nb.route(gw, live);
+  Route backup = live;
+  backup.to = standby;
+  backup.enabled = false;  // standby: declared but dormant
+  nb.route(gw, backup);
+  Network net = nb.build();
+
+  int on_primary = 0, on_standby = 0;
+  const can::NodeId p1 = net.bus(primary).attach_node("p1");
+  net.bus(primary).subscribe(
+      p1, [&](const can::CanFrame&, SimTime) { ++on_primary; });
+  const can::NodeId p2 = net.bus(standby).attach_node("p2");
+  net.bus(standby).subscribe(
+      p2, [&](const can::CanFrame&, SimTime) { ++on_standby; });
+
+  const can::NodeId tx = net.bus(src).attach_node("tx");
+  net.simulation().schedule_every(10 * kMillisecond, [&] {
+    net.bus(src).send(tx, frame(0x100));
+  });
+  // The supervisor's failover mitigation, fired directly here: disable
+  // route 0, enable route 1.
+  net.simulation().schedule_at(100 * kMillisecond, [&] {
+    Mitigation m = Mitigation::gateway_failover(net.gateway(gw), 0, 1);
+    m.fn();
+  });
+  net.run_until(200 * kMillisecond);
+
+  EXPECT_GT(on_primary, 0);
+  EXPECT_GT(on_standby, 0);
+  // After the switch nothing else reached the primary: totals add up to
+  // every sent frame (no window where both or neither route was live).
+  EXPECT_EQ(on_primary + on_standby,
+            static_cast<int>(net.bus(src).stats().at(0x100).sent));
+}
+
+// ----- watchdog: livelock containment ----------------------------------------
+
+TEST(Watchdog, StopsASameInstantLivelockDeterministically) {
+  sim::Simulation sim;
+  // A pathological model: an event that re-schedules itself at the same
+  // instant, forever. Without the watchdog run_until would never return.
+  std::function<void()> spin = [&] { sim.schedule_in(0, spin); };
+  sim.schedule_at(kMillisecond, spin);
+  sim.set_watchdog([](std::uint64_t events) { return events >= 10'000; });
+
+  sim.run_until(sim::kSecond);
+
+  EXPECT_TRUE(sim.watchdog_tripped());
+  EXPECT_EQ(sim.now(), kMillisecond);  // stuck instant, not the horizon
+  // The stop-check polls every kStopCheckStride events, so the overshoot
+  // past the limit is bounded by one stride.
+  EXPECT_GE(sim.queue().events_executed(), 10'000u);
+  EXPECT_LT(sim.queue().events_executed(),
+            10'000u + sim::EventQueue::kStopCheckStride);
+}
+
+// ----- determinism -----------------------------------------------------------
+
+TEST(FaultDeterminism, FullDrillDoubleRunIsBitIdentical) {
+  const auto run = [](std::uint64_t& events, std::uint64_t& heartbeats,
+                      SimTime& detect, SimTime& recover) {
+    BusId bus;
+    EcuId ecu;
+    NetworkBuilder nb = model_producer_builder(bus, ecu);
+    Network net = nb.build();
+    net.ecu(ecu).start_heartbeat(frame(0x050, 1), 20 * kMillisecond);
+    SupervisorNode& sup = net.add_supervisor(bus, "sup");
+    SupervisorNode::Monitor mon;
+    mon.name = "producer";
+    mon.heartbeat_id = 0x050;
+    mon.period = 20 * kMillisecond;
+    mon.window = 2 * kMillisecond;
+    mon.ecu = &net.ecu(ecu);
+    mon.limp_frame = frame(0x121, 2);
+    mon.limp_period = 10 * kMillisecond;
+    mon.mitigations.push_back(
+        Mitigation::restart_ecu(net.ecu(ecu), 10 * kMillisecond));
+    const auto id = sup.add_monitor(mon);
+    sup.start();
+    NodeFault fault;
+    fault.kind = NodeFault::Kind::crash;
+    fault.at = 105 * kMillisecond;
+    net.ecu(ecu).inject(fault);
+    net.run_until(sim::kSecond);
+    events = net.simulation().stats().events_executed;
+    heartbeats = sup.stats(id).heartbeats;
+    detect = sup.stats(id).worst_detect_latency;
+    recover = sup.stats(id).worst_recover_latency;
+  };
+  std::uint64_t e1, h1, e2, h2;
+  SimTime d1, r1, d2, r2;
+  run(e1, h1, d1, r1);
+  run(e2, h2, d2, r2);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_GT(h1, 0u);
+  EXPECT_GE(d1, 0);
+}
+
+}  // namespace
+}  // namespace aces::net
