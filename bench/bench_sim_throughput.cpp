@@ -241,11 +241,15 @@ void BM_CoSimGatewayNetwork(benchmark::State& state) {
     const net::GatewayId gw = nb.gateway("central", gc);
     nb.route(gw, {buses[0], buses[1], 0x100, 0x7FF, {}});
     nb.route(gw, {buses[0], buses[2], 0x100, 0x7FF, {}});
+    // Arg: worker threads for the sharded epoch fan-out (the topology
+    // partitions into one shard per bus). Results are thread-invariant;
+    // only the wall clock moves.
+    nb.threads(static_cast<unsigned>(state.range(0)));
     net::Network net = nb.build();
 
     const can::NodeId sensor = net.bus(buses[0]).attach_node("sensor");
-    net.simulation().schedule_every(sim::kMillisecond, [&net, &buses,
-                                                       sensor] {
+    net.shard(buses[0]).schedule_every(sim::kMillisecond, [&net, &buses,
+                                                          sensor] {
       can::CanFrame f;
       f.id = 0x100;
       f.dlc = 4;
@@ -270,7 +274,7 @@ void BM_CoSimGatewayNetwork(benchmark::State& state) {
   state.counters["frames_forwarded"] = benchmark::Counter(
       static_cast<double>(forwarded), benchmark::Counter::kAvgIterations);
 }
-BENCHMARK(BM_CoSimGatewayNetwork);
+BENCHMARK(BM_CoSimGatewayNetwork)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_LoweringThroughput(benchmark::State& state) {
   const kir::KFunction f = workloads::build_crc16();

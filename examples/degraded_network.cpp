@@ -272,7 +272,7 @@ DrillResult run_drill() {
 
   net.run_until(kHorizon);
 
-  r.events = net.simulation().queue().events_executed();
+  r.events = net.simulation().events_executed();
   r.speed_mon = sup_body.stats(speed_mon);
   r.engine_mon = sup_pt.stats(engine_mon);
   r.aux_mon = sup_body.stats(aux_mon);

@@ -309,7 +309,7 @@ Report run_scenario(bool faulted) {
   net::FlexrayFabric& fr = net.flexray(chassis);
   const auto sensor = fr.attach_node("susp_sensor");
   const auto susp_dyn = fr.add_dynamic_frame(sensor, "susp", kSuspSlot, 8);
-  net.simulation().schedule_every(
+  net.shard(chassis).schedule_every(
       10 * kMillisecond, [&fr, susp_dyn] {
         net::FlexrayFabric::DynPayload p;
         p.bytes = 8;

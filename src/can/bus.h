@@ -148,6 +148,10 @@ class CanBus {
   void attach(NodeId node);
   [[nodiscard]] bool attached(NodeId node) const;
 
+  // The event queue (and thus shard) this bus is driven by — the place
+  // cross-shard callers marshal lifecycle calls to (sim::run_on_queue).
+  [[nodiscard]] sim::EventQueue& queue() noexcept { return queue_; }
+
   // ----- acknowledgement modeling (opt-in) --------------------------------
   // When enabled, a data/remote frame transmitted with no attached,
   // fault-confined peer to acknowledge it suffers an ACK error at the end

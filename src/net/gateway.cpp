@@ -8,22 +8,23 @@ namespace aces::net {
 
 using sim::SimTime;
 
-GatewayNode::GatewayNode(std::string name, sim::Simulation& sim,
-                         GatewayConfig config)
-    : name_(std::move(name)), sim_(sim), config_(config) {
+GatewayNode::GatewayNode(std::string name, GatewayConfig config)
+    : name_(std::move(name)), config_(config) {
   ACES_CHECK_MSG(config_.queue_depth > 0,
                  "gateway queue_depth must be >= 1");
   ACES_CHECK_MSG(config_.forwarding_latency >= 0,
                  "gateway forwarding latency cannot be negative");
 }
 
-void GatewayNode::join(BusId id, can::CanBus& bus) {
+void GatewayNode::join(BusId id, can::CanBus& bus, sim::Simulation& shard) {
   ACES_CHECK_MSG(ports_.find(id) == ports_.end(),
                  "gateway '" + name_ + "' already joined this bus");
   Port port;
   port.bus = &bus;
   port.node = bus.attach_node(name_);
+  port.shard = &shard;
   ports_[id] = port;
+  in_transit_[id];  // pre-create: the map skeleton is immutable at runtime
   bus.subscribe(port.node,
                 [this, id](const can::CanFrame& f, SimTime at) {
                   on_rx(id, f, at);
@@ -34,13 +35,16 @@ void GatewayNode::join(BusId id, can::CanBus& bus) {
                    });
 }
 
-void GatewayNode::join_flexray(BusId id, FlexrayFabric& fabric) {
+void GatewayNode::join_flexray(BusId id, FlexrayFabric& fabric,
+                               sim::Simulation& shard) {
   ACES_CHECK_MSG(ports_.find(id) == ports_.end(),
                  "gateway '" + name_ + "' already joined this bus");
   Port port;
   port.flexray = &fabric;
   port.node = fabric.attach_node(name_);
+  port.shard = &shard;
   ports_[id] = port;
+  fr_in_transit_[id];  // pre-create (immutable skeleton at runtime)
   fabric.subscribe(port.node,
                    [this, id](const FlexrayFabric::DynFrameInfo& info,
                               const FlexrayFabric::DynPayload& payload,
@@ -76,6 +80,7 @@ void GatewayNode::add_route(const Route& route) {
                    "data bit rate");
   }
   routes_.push_back(route);
+  dir_state(route.from, route.to);  // pre-create: no map mutation at runtime
 }
 
 void GatewayNode::add_packed_route(const PackedRoute& route) {
@@ -129,6 +134,7 @@ void GatewayNode::add_packed_route(const PackedRoute& route) {
   }
   packed_routes_.push_back(std::move(stored));
   pack_state_.emplace_back();
+  dir_state(route.from, route.to);  // pre-create: no map mutation at runtime
 }
 
 void GatewayNode::add_unpack_route(const UnpackRoute& route) {
@@ -158,11 +164,17 @@ void GatewayNode::add_unpack_route(const UnpackRoute& route) {
   }
   unpack_routes_.push_back(route);
   unpack_stats_.emplace_back();
+  dir_state(route.from, route.to);  // pre-create: no map mutation at runtime
 }
 
 void GatewayNode::set_route_enabled(std::size_t route, bool enabled) {
   ACES_CHECK_MSG(route < routes_.size(), "unknown gateway route");
-  routes_[route].enabled = enabled;
+  // The enabled flag is read by on_rx on the route's ingress shard; apply
+  // the toggle there (immediate when called from that shard or outside a
+  // run, next epoch boundary otherwise — the supervision-latency skew is
+  // bounded by one epoch and deterministic).
+  sim::run_on(*ports_.at(routes_[route].from).shard,
+              [this, route, enabled] { routes_[route].enabled = enabled; });
 }
 
 can::NodeId GatewayNode::node_on(BusId bus) const { return port_of(bus).node; }
@@ -174,11 +186,27 @@ FlexrayFabric::NodeId GatewayNode::flexray_node_on(BusId bus) const {
   return port.node;
 }
 
-const GatewayNode::DirectionStats& GatewayNode::direction(BusId from,
-                                                          BusId to) const {
-  static const DirectionStats kEmpty;
+GatewayNode::DirectionStats GatewayNode::direction(BusId from,
+                                                   BusId to) const {
   const auto it = directions_.find({from, to});
-  return it == directions_.end() ? kEmpty : it->second;
+  if (it == directions_.end()) {
+    return DirectionStats{};
+  }
+  DirectionStats d = it->second.stats;
+  // Unreplayed egress completions have already left the gateway on the
+  // wire — report the true in-flight count.
+  d.queued -= static_cast<unsigned>(it->second.pending_release.size());
+  return d;
+}
+
+GatewayNode::Stats GatewayNode::stats() const {
+  Stats s;
+  for (const auto& [key, st] : directions_) {
+    s.frames_forwarded += st.stats.forwarded;
+    s.frames_delivered += st.stats.delivered;
+    s.frames_dropped += st.stats.dropped_overflow + st.stats.dropped_translation;
+  }
+  return s;
 }
 
 const GatewayNode::TranslationStats& GatewayNode::packed_stats(
@@ -225,20 +253,40 @@ void GatewayNode::emit_drop(BusId from, BusId to, std::uint32_t egress_id,
 
 bool GatewayNode::admit(BusId from, BusId to, std::uint32_t egress_id,
                         SimTime at) {
-  DirectionStats& d = dir(from, to);
+  DirectionState& st = dir_state(from, to);
+  DirectionStats& d = st.stats;
+  // Cross-shard directions decide admission on the egress shard (at
+  // ingress_at + latency) but must reproduce the serial ingress-time
+  // decision bit for bit: every egress-wire completion stamped at or
+  // before this frame's ingress instant freed its slot first in the
+  // serial interleaving, so replay those releases before judging the
+  // queue. Same-shard directions keep the backlog empty and fall straight
+  // through to the historical path.
+  while (!st.pending_release.empty() && st.pending_release.front() <= at) {
+    st.pending_release.pop_front();
+    ACES_CHECK(d.queued > 0);
+    --d.queued;
+  }
   if (d.queued >= config_.queue_depth) {
     // Bounded store-and-forward buffer: overload drops, it never queues
     // unboundedly — and the drop is visible to the analysis story.
     ++d.dropped_overflow;
-    ++stats_.frames_dropped;
     emit_drop(from, to, egress_id, DropReason::overflow, at);
     return false;
   }
   ++d.queued;
   d.peak_queued = std::max(d.peak_queued, d.queued);
   ++d.forwarded;
-  ++stats_.frames_forwarded;
   return true;
+}
+
+void GatewayNode::credit_emitted(int packed_route, int unpack_route) {
+  if (packed_route >= 0) {
+    ++pack_state_[static_cast<std::size_t>(packed_route)].stats.emitted;
+  }
+  if (unpack_route >= 0) {
+    ++unpack_stats_[static_cast<std::size_t>(unpack_route)].emitted;
+  }
 }
 
 void GatewayNode::queue_can_egress(BusId from, BusId to, can::CanFrame out,
@@ -247,8 +295,11 @@ void GatewayNode::queue_can_egress(BusId from, BusId to, can::CanFrame out,
   // After the processing latency the frame enters the egress mailbox and
   // competes in arbitration like locally-originated traffic. The origin
   // timestamp rides along untouched (bus.send only stamps negatives).
-  sim_.schedule_in(latency, [this, from, to, out, ingress_at, packed_route,
-                             unpack_route] {
+  // Admission (and the emitted credit it gates) happens here: at ingress
+  // time on a same-shard direction, replayed on the egress shard on a
+  // cross-shard one.
+  const auto deliver = [this, from, to, out, ingress_at, packed_route,
+                        unpack_route] {
     Transit t;
     t.from = from;
     t.ingress_at = ingress_at;
@@ -257,7 +308,26 @@ void GatewayNode::queue_can_egress(BusId from, BusId to, can::CanFrame out,
     in_transit_[to][out.id].push_back(t);
     Port& port = ports_[to];
     port.bus->send(port.node, out);
-  });
+  };
+  Port& in = ports_[from];
+  Port& egress = ports_[to];
+  if (in.shard == egress.shard) {
+    if (!admit(from, to, out.id, ingress_at)) {
+      return;
+    }
+    credit_emitted(packed_route, unpack_route);
+    in.shard->schedule_in(latency, deliver);
+    return;
+  }
+  in.shard->post_cross(
+      *egress.shard, ingress_at + latency,
+      [this, from, to, out, ingress_at, packed_route, unpack_route, deliver] {
+        if (!admit(from, to, out.id, ingress_at)) {
+          return;
+        }
+        credit_emitted(packed_route, unpack_route);
+        deliver();
+      });
 }
 
 void GatewayNode::queue_flexray_egress(BusId from, BusId to,
@@ -267,16 +337,37 @@ void GatewayNode::queue_flexray_egress(BusId from, BusId to,
                                        int packed_route) {
   const int slot_key =
       static_cast<int>(ports_[to].flexray->dyn_info(dyn).slot_id);
-  sim_.schedule_in(latency, [this, from, to, dyn, slot_key,
-                             payload = std::move(payload), ingress_at,
-                             packed_route] {
+  const std::uint32_t egress_id = packed_routes_[static_cast<std::size_t>(
+      packed_route)].egress_id;
+  const auto deliver = [this, from, to, dyn, slot_key,
+                        payload = std::move(payload), ingress_at,
+                        packed_route] {
     Transit t;
     t.from = from;
     t.ingress_at = ingress_at;
     t.packed_route = packed_route;
     fr_in_transit_[to][slot_key].push_back(t);
     ports_[to].flexray->send_dynamic(dyn, payload);
-  });
+  };
+  Port& in = ports_[from];
+  Port& egress = ports_[to];
+  if (in.shard == egress.shard) {
+    if (!admit(from, to, egress_id, ingress_at)) {
+      return;
+    }
+    credit_emitted(packed_route, -1);
+    in.shard->schedule_in(latency, deliver);
+    return;
+  }
+  in.shard->post_cross(*egress.shard, ingress_at + latency,
+                       [this, from, to, egress_id, ingress_at, packed_route,
+                        deliver] {
+                         if (!admit(from, to, egress_id, ingress_at)) {
+                           return;
+                         }
+                         credit_emitted(packed_route, -1);
+                         deliver();
+                       });
 }
 
 void GatewayNode::on_rx(BusId from, const can::CanFrame& frame, SimTime at) {
@@ -289,13 +380,10 @@ void GatewayNode::on_rx(BusId from, const can::CanFrame& frame, SimTime at) {
       out.id = *route.remap;
     }
     if (!translate_format(route, out)) {
-      DirectionStats& d = dir(from, route.to);
-      ++d.dropped_translation;
-      ++stats_.frames_dropped;
+      // Translation drops are charged on the ingress shard (the decision
+      // needs no egress queue state).
+      ++dir_state(from, route.to).stats.dropped_translation;
       emit_drop(from, route.to, out.id, DropReason::translation, at);
-      continue;
-    }
-    if (!admit(from, route.to, out.id, at)) {
       continue;
     }
     queue_can_egress(from, route.to, out, at, config_.forwarding_latency,
@@ -328,10 +416,6 @@ void GatewayNode::on_rx(BusId from, const can::CanFrame& frame, SimTime at) {
     }
     const SimTime latency =
         route.latency < 0 ? config_.forwarding_latency : route.latency;
-    if (!admit(from, route.to, route.egress_id, at)) {
-      continue;
-    }
-    ++st.stats.emitted;
     if (route.egress_dyn >= 0) {
       FlexrayFabric::DynPayload p;
       p.bytes = route.egress_bytes;
@@ -390,10 +474,8 @@ void GatewayNode::run_unpack(std::size_t route_index,
   const SimTime latency =
       route.latency < 0 ? config_.forwarding_latency : route.latency;
   for (const UnpackSlot& slot : route.table) {
-    if (!admit(route.from, route.to, slot.dst_id, at)) {
-      continue;  // direction full: this slice drops, later ones may fit
-    }
-    ++st.emitted;
+    // A full direction drops this slice inside queue_can_egress; later
+    // slices may still fit.
     can::CanFrame out;
     out.id = slot.dst_id;
     out.extended = slot.extended;
@@ -421,11 +503,17 @@ void GatewayNode::on_tx_done(BusId to, const can::CanFrame& frame,
   if (it->second.empty()) {
     by_id.erase(it);
   }
-  DirectionStats& d = dir(t.from, to);
-  ACES_CHECK(d.queued > 0);
-  --d.queued;
+  DirectionState& st = dir_state(t.from, to);
+  DirectionStats& d = st.stats;
+  if (ports_[t.from].shard == ports_[to].shard) {
+    ACES_CHECK(d.queued > 0);
+    --d.queued;
+  } else {
+    // Cross-shard: the slot is freed by the admission replay at the next
+    // admit whose ingress instant is at or after this completion.
+    st.pending_release.push_back(at);
+  }
   ++d.delivered;
-  ++stats_.frames_delivered;
   const SimTime transit = at - t.ingress_at;
   d.worst_transit = std::max(d.worst_transit, transit);
   if (t.packed_route >= 0) {
@@ -453,11 +541,15 @@ void GatewayNode::on_flexray_tx_done(BusId to,
   if (it->second.empty()) {
     by_slot.erase(it);
   }
-  DirectionStats& d = dir(t.from, to);
-  ACES_CHECK(d.queued > 0);
-  --d.queued;
+  DirectionState& st = dir_state(t.from, to);
+  DirectionStats& d = st.stats;
+  if (ports_[t.from].shard == ports_[to].shard) {
+    ACES_CHECK(d.queued > 0);
+    --d.queued;
+  } else {
+    st.pending_release.push_back(at);
+  }
   ++d.delivered;
-  ++stats_.frames_delivered;
   const SimTime transit = at - t.ingress_at;
   d.worst_transit = std::max(d.worst_transit, transit);
   if (t.packed_route >= 0) {
@@ -468,11 +560,14 @@ void GatewayNode::on_flexray_tx_done(BusId to,
 }
 
 void GatewayNode::reset_stats() {
-  for (auto& [key, d] : directions_) {
-    const unsigned queued = d.queued;
-    d = DirectionStats{};
-    d.queued = queued;       // live state: frames still inside the gateway
-    d.peak_queued = queued;  // the new window's peak starts here
+  for (auto& [key, st] : directions_) {
+    const unsigned queued = st.stats.queued;  // live state, kept (includes
+                                              // the unreplayed backlog)
+    st.stats = DirectionStats{};
+    st.stats.queued = queued;
+    // The new window's peak starts at the true in-gateway count.
+    st.stats.peak_queued =
+        queued - static_cast<unsigned>(st.pending_release.size());
   }
   for (PackState& st : pack_state_) {
     st.stats = TranslationStats{};  // the packing buffer is state, kept
@@ -480,7 +575,6 @@ void GatewayNode::reset_stats() {
   for (TranslationStats& st : unpack_stats_) {
     st = TranslationStats{};
   }
-  stats_ = Stats{};
 }
 
 }  // namespace aces::net

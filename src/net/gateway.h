@@ -150,22 +150,36 @@ struct GatewayConfig {
   unsigned queue_depth = 16;
 };
 
+// Sharding: a gateway may bridge buses living on different sim::Shards —
+// it is the ONLY cross-shard element in a Network. Each port remembers its
+// bus's shard; ingress handling (route match, translation, packing) runs
+// on the ingress shard, egress (mailbox entry, wire completion, per-
+// direction queue accounting) on the egress shard. A cross-shard hop
+// travels through the shard outbox at ingress_time + forwarding_latency —
+// which is exactly why the forwarding latency is the synchronization
+// lookahead. Admission for a cross direction is decided on the egress
+// shard but reproduces the serial ingress-time decision exactly: egress
+// completions stamped at or before the frame's ingress instant are
+// replayed (released) first. Directions whose ports share a shard take
+// today's path byte for byte.
 class GatewayNode {
  public:
-  GatewayNode(std::string name, sim::Simulation& sim, GatewayConfig config);
+  GatewayNode(std::string name, GatewayConfig config);
 
   GatewayNode(const GatewayNode&) = delete;
   GatewayNode& operator=(const GatewayNode&) = delete;
 
   // Wiring (done by Network::build): join every bus the routing table
-  // references, then install the routes.
-  void join(BusId id, can::CanBus& bus);
-  void join_flexray(BusId id, FlexrayFabric& fabric);
+  // references — on the shard that bus lives on — then install the routes.
+  void join(BusId id, can::CanBus& bus, sim::Simulation& shard);
+  void join_flexray(BusId id, FlexrayFabric& fabric, sim::Simulation& shard);
   void add_route(const Route& route);
   void add_packed_route(const PackedRoute& route);
   void add_unpack_route(const UnpackRoute& route);
 
   // Runtime failover switch for plain routes (indexed in add order).
+  // Safe to call from any shard: the toggle is marshaled onto the route's
+  // ingress shard (applied at the next epoch boundary when cross-shard).
   void set_route_enabled(std::size_t route, bool enabled);
 
   // Drop observability: degradation must be a signal, not just a tally.
@@ -206,7 +220,10 @@ class GatewayNode {
     // latency + egress queuing + egress frame time).
     sim::SimTime worst_transit = 0;
   };
-  [[nodiscard]] const DirectionStats& direction(BusId from, BusId to) const;
+  // Returned by value: on a cross-shard direction the internal `queued`
+  // counter lags behind the egress wire by the not-yet-replayed releases;
+  // the returned snapshot reports the true in-gateway count.
+  [[nodiscard]] DirectionStats direction(BusId from, BusId to) const;
 
   // Per translating route (indexed in add order).
   struct TranslationStats {
@@ -223,7 +240,10 @@ class GatewayNode {
     std::uint64_t frames_delivered = 0;
     std::uint64_t frames_dropped = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  // Computed from the per-direction counters (each owned by exactly one
+  // shard thread — an incrementally-maintained aggregate would be a data
+  // race under sharding).
+  [[nodiscard]] Stats stats() const;
 
   // Clears the forwarding counters (per-direction, per-route and
   // aggregate) without touching live state: frames currently inside the
@@ -238,6 +258,7 @@ class GatewayNode {
     can::CanBus* bus = nullptr;         // exactly one of bus/flexray set
     FlexrayFabric* flexray = nullptr;
     can::NodeId node = -1;              // node id on whichever fabric
+    sim::Simulation* shard = nullptr;   // the scheduler this fabric lives on
   };
   struct Transit {  // a frame handed to an egress mailbox, awaiting the wire
     BusId from = -1;
@@ -273,13 +294,22 @@ class GatewayNode {
   void run_unpack(std::size_t route_index, const UnpackRoute& route,
                   const std::uint8_t* payload, unsigned payload_bytes,
                   std::int64_t timestamp, sim::SimTime at);
-  [[nodiscard]] DirectionStats& dir(BusId from, BusId to) {
-    return directions_[{from, to}];
-  }
+  void credit_emitted(int packed_route, int unpack_route);
   [[nodiscard]] const Port& port_of(BusId id) const;
 
+  // Per-direction accounting plus the cross-shard release backlog (see
+  // admit): egress-wire completions at instants the admission replay has
+  // not consumed yet. Same-shard directions never populate it, so the
+  // replay loop is a no-op there and the serial admission path is intact.
+  struct DirectionState {
+    DirectionStats stats;
+    std::deque<sim::SimTime> pending_release;
+  };
+  [[nodiscard]] DirectionState& dir_state(BusId from, BusId to) {
+    return directions_[{from, to}];
+  }
+
   std::string name_;
-  sim::Simulation& sim_;
   GatewayConfig config_;
   std::map<BusId, Port> ports_;
   std::vector<Route> routes_;
@@ -292,7 +322,7 @@ class GatewayNode {
   };
   std::vector<PackState> pack_state_;
   std::vector<TranslationStats> unpack_stats_;
-  std::map<std::pair<BusId, BusId>, DirectionStats> directions_;
+  std::map<std::pair<BusId, BusId>, DirectionState> directions_;
   // Per egress bus, per egress identifier: FIFO of frames handed to the
   // mailbox but not yet delivered (equal-priority mailbox order is FIFO,
   // and retransmission preserves it, so attribution by id is exact).
@@ -301,7 +331,6 @@ class GatewayNode {
   // one FIFO per dynamic frame).
   std::map<BusId, std::map<int, std::deque<Transit>>> fr_in_transit_;
   std::vector<DropHandler> drop_handlers_;
-  Stats stats_;
 };
 
 }  // namespace aces::net

@@ -1,11 +1,47 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <utility>
 
 #include "support/check.h"
 
 namespace aces::net {
+
+namespace {
+
+// Union-find over BusIds for the partitioning pass.
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      parent[i] = i;
+    }
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) {
+      return false;
+    }
+    // Smaller root wins: component representatives stay deterministic.
+    if (b < a) {
+      std::swap(a, b);
+    }
+    parent[b] = a;
+    return true;
+  }
+  std::vector<std::size_t> parent;
+};
+
+}  // namespace
 
 void NetworkBuilder::check_bus(BusId id) const {
   ACES_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < buses_.size(),
@@ -168,18 +204,130 @@ NetworkBuilder& NetworkBuilder::unpack_route_flexray(GatewayId gateway,
 }
 
 Network::Network(const NetworkBuilder& b) : sim_(b.quantum_) {
-  // Segments first: ECUs and gateways attach nodes in declaration order,
+  // ----- partitioning pass ---------------------------------------------------
+  // Each bus/fabric (with its attached ECUs) is assigned to one shard;
+  // gateway routes are the only edges between segments. A directed edge's
+  // latency is its route's effective forwarding latency; the minimum over
+  // all cross-shard edges becomes the synchronization lookahead. Merged
+  // into one shard are: everything, when the builder pinned shards(1);
+  // zero-latency edges (no lookahead to exploit); and directions mixing
+  // several latencies (the egress-side admission replay requires frames
+  // of a direction to arrive in ingress order, which uniform latency
+  // guarantees). An explicit cap merges the tightest-coupled components
+  // first. All of it is a pure function of the builder description, so
+  // shard assignment — and therefore every simulation result — is
+  // deterministic.
+  const std::size_t nbuses = b.buses_.size();
+  UnionFind uf(nbuses);
+  std::map<std::pair<BusId, BusId>, std::set<sim::SimTime>> edge_lat;
+  for (const NetworkBuilder::GatewaySpec& spec : b.gateways_) {
+    for (const Route& r : spec.routes) {
+      edge_lat[{r.from, r.to}].insert(spec.config.forwarding_latency);
+    }
+    for (const NetworkBuilder::PackedRouteSpec& p : spec.packed) {
+      const sim::SimTime lat = p.route.latency < 0
+                                   ? spec.config.forwarding_latency
+                                   : p.route.latency;
+      edge_lat[{p.route.from, p.route.to}].insert(lat);
+    }
+    for (const NetworkBuilder::UnpackRouteSpec& u : spec.unpack) {
+      const sim::SimTime lat = u.route.latency < 0
+                                   ? spec.config.forwarding_latency
+                                   : u.route.latency;
+      edge_lat[{u.route.from, u.route.to}].insert(lat);
+    }
+  }
+  if (b.shards_ == 1) {
+    for (std::size_t i = 1; i < nbuses; ++i) {
+      uf.unite(0, i);
+    }
+  } else {
+    for (const auto& [edge, lats] : edge_lat) {
+      if (*lats.begin() <= 0 || lats.size() > 1) {
+        uf.unite(static_cast<std::size_t>(edge.first),
+                 static_cast<std::size_t>(edge.second));
+      }
+    }
+    if (b.shards_ >= 2) {
+      // Cap: repeatedly merge across the smallest-latency remaining edge
+      // (ties by bus ids) until within budget.
+      auto component_count = [&] {
+        std::set<std::size_t> roots;
+        for (std::size_t i = 0; i < nbuses; ++i) {
+          roots.insert(uf.find(i));
+        }
+        return roots.size();
+      };
+      while (component_count() > b.shards_) {
+        const std::pair<BusId, BusId>* best = nullptr;
+        sim::SimTime best_lat = sim::kNever;
+        for (const auto& [edge, lats] : edge_lat) {
+          if (uf.find(static_cast<std::size_t>(edge.first)) ==
+              uf.find(static_cast<std::size_t>(edge.second))) {
+            continue;
+          }
+          if (*lats.begin() < best_lat) {
+            best_lat = *lats.begin();
+            best = &edge;
+          }
+        }
+        if (best == nullptr) {
+          // Disconnected components only: merge the two smallest ids.
+          std::set<std::size_t> roots;
+          for (std::size_t i = 0; i < nbuses; ++i) {
+            roots.insert(uf.find(i));
+          }
+          auto it = roots.begin();
+          const std::size_t a = *it++;
+          uf.unite(a, *it);
+          continue;
+        }
+        uf.unite(static_cast<std::size_t>(best->first),
+                 static_cast<std::size_t>(best->second));
+      }
+    }
+  }
+  // Lookahead = min effective latency over the edges still crossing.
+  sim::SimTime lookahead = sim::kNever;
+  for (const auto& [edge, lats] : edge_lat) {
+    if (uf.find(static_cast<std::size_t>(edge.first)) !=
+        uf.find(static_cast<std::size_t>(edge.second))) {
+      lookahead = std::min(lookahead, *lats.begin());
+    }
+  }
+  // Shard indices in order of each component's smallest BusId.
+  std::map<std::size_t, sim::Simulation*> shard_of_root;
+  shard_of_bus_.resize(nbuses, nullptr);
+  for (std::size_t i = 0; i < nbuses; ++i) {
+    const std::size_t root = uf.find(i);
+    auto it = shard_of_root.find(root);
+    if (it == shard_of_root.end()) {
+      it = shard_of_root.emplace(root, &sim_.add_shard()).first;
+    }
+    shard_of_bus_[i] = it->second;
+  }
+  if (sim_.shard_count() == 0) {
+    sim_.add_shard();  // degenerate bus-less network still has a timeline
+  }
+  if (lookahead != sim::kNever) {
+    sim_.set_lookahead(lookahead);
+  }
+  sim_.set_threads(b.threads_);
+
+  // Segments next: ECUs and gateways attach nodes in declaration order,
   // so node indices — and with them arbitration tie-breaking and delivery
   // order — are fixed by the description alone.
-  for (const NetworkBuilder::BusSpec& spec : b.buses_) {
+  for (std::size_t i = 0; i < nbuses; ++i) {
+    const NetworkBuilder::BusSpec& spec = b.buses_[i];
+    sim::Simulation& shard = *shard_of_bus_[i];
     bus_names_.push_back(spec.name);
     if (spec.kind == NetworkBuilder::BusSpec::Kind::kCan) {
       buses_.push_back(std::make_unique<can::CanBus>(
-          sim_.queue(), spec.bitrate_bps, spec.data_bitrate_bps));
+          shard.queue(), spec.bitrate_bps, spec.data_bitrate_bps));
       flexrays_.push_back(nullptr);
     } else {
       buses_.push_back(nullptr);
-      auto fabric = std::make_unique<FlexrayFabric>(sim_, spec.flexray);
+      auto fabric = std::make_unique<FlexrayFabric>(shard, spec.flexray);
       if (spec.have_static) {
         fabric->assign_static(spec.static_frames);
       }
@@ -191,12 +339,14 @@ Network::Network(const NetworkBuilder& b) : sim_(b.quantum_) {
     if (e.iss) {
       const NetworkBuilder::IssSpec& spec = b.iss_[e.index];
       ecus_.push_back(std::make_unique<IssEcuNode>(
-          sim_, *buses_[static_cast<std::size_t>(spec.bus)], spec.bus,
+          *shard_of_bus_[static_cast<std::size_t>(spec.bus)],
+          *buses_[static_cast<std::size_t>(spec.bus)], spec.bus,
           spec.system, spec.program, spec.controller));
     } else {
       const NetworkBuilder::ModelSpec& spec = b.models_[e.index];
       ecus_.push_back(std::make_unique<ModelEcuNode>(
-          sim_, *buses_[static_cast<std::size_t>(spec.bus)], spec.bus,
+          *shard_of_bus_[static_cast<std::size_t>(spec.bus)],
+          *buses_[static_cast<std::size_t>(spec.bus)], spec.bus,
           spec.name, spec.tasks, spec.switch_cost));
     }
   }
@@ -205,7 +355,7 @@ Network::Network(const NetworkBuilder& b) : sim_(b.quantum_) {
   // the second resolves unpack routes, so a gateway may unpack a dynamic
   // frame registered by a gateway declared later.
   for (const NetworkBuilder::GatewaySpec& spec : b.gateways_) {
-    auto gw = std::make_unique<GatewayNode>(spec.name, sim_, spec.config);
+    auto gw = std::make_unique<GatewayNode>(spec.name, spec.config);
     // Join every segment the routing table references, in id order.
     std::set<BusId> joined;
     for (const Route& r : spec.routes) {
@@ -221,10 +371,11 @@ Network::Network(const NetworkBuilder& b) : sim_(b.quantum_) {
       joined.insert(u.route.to);
     }
     for (const BusId id : joined) {
+      sim::Simulation& shard = *shard_of_bus_[static_cast<std::size_t>(id)];
       if (is_can(id)) {
-        gw->join(id, *buses_[static_cast<std::size_t>(id)]);
+        gw->join(id, *buses_[static_cast<std::size_t>(id)], shard);
       } else {
-        gw->join_flexray(id, *flexrays_[static_cast<std::size_t>(id)]);
+        gw->join_flexray(id, *flexrays_[static_cast<std::size_t>(id)], shard);
       }
     }
     for (const Route& r : spec.routes) {
@@ -291,26 +442,27 @@ void Network::send_every(EcuId ecu_id, sim::SimTime period,
   EcuNode& node = ecu(ecu_id);
   can::CanBus& b = bus(node.bus());
   const can::NodeId n = node.can_node();
-  sim_.schedule_every(
-      period, [this, &b, n, frame, mutate = std::move(mutate)]() mutable {
+  sim::Simulation& s = shard(node.bus());
+  s.schedule_every(
+      period, [&s, &b, n, frame, mutate = std::move(mutate)]() mutable {
         if (mutate) {
           mutate(frame);
         }
         can::CanFrame f = frame;
-        f.timestamp = sim_.now();
+        f.timestamp = s.now();
         b.send(n, f);
       });
 }
 
 void Network::send(EcuId ecu_id, can::CanFrame frame) {
   EcuNode& node = ecu(ecu_id);
-  frame.timestamp = sim_.now();
+  frame.timestamp = shard(node.bus()).now();
   bus(node.bus()).send(node.can_node(), frame);
 }
 
 SupervisorNode& Network::add_supervisor(BusId bus_id, std::string name) {
   supervisors_.push_back(std::make_unique<SupervisorNode>(
-      sim_, bus(bus_id), bus_id, std::move(name)));
+      shard(bus_id), bus(bus_id), bus_id, std::move(name)));
   return *supervisors_.back();
 }
 

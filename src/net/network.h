@@ -38,6 +38,7 @@
 #include "net/gateway.h"
 #include "net/node.h"
 #include "net/supervisor.h"
+#include "sim/sharded.h"
 
 namespace aces::net {
 
@@ -53,6 +54,29 @@ class NetworkBuilder {
   // Co-simulation quantum for the built network's time base.
   NetworkBuilder& quantum(sim::SimTime q) {
     quantum_ = q;
+    return *this;
+  }
+
+  // Sharding policy. build() partitions the topology into gateway-bounded
+  // shards: each bus/fabric and its attached ECUs live on one sim::Shard,
+  // gateways are the only cross-shard edges, and the minimum cross-shard
+  // forwarding latency becomes the synchronization lookahead. Buses
+  // bridged at zero latency (or by a direction with mixed per-route
+  // latencies, where the egress admission replay would lose the serial
+  // order) are merged into one shard. 0 (default) = as many shards as the
+  // topology allows; 1 = single shard, byte-for-byte the pre-sharding
+  // scheduler; k >= 2 caps the count by merging the tightest-coupled
+  // shards first.
+  NetworkBuilder& shards(unsigned n) {
+    shards_ = n;
+    return *this;
+  }
+
+  // Worker threads for the built network's epoch fan-out
+  // (ShardedSimulation::set_threads): 0 (default) = min(hardware
+  // concurrency, shard count). Thread count never changes results.
+  NetworkBuilder& threads(unsigned n) {
+    threads_ = n;
     return *this;
   }
 
@@ -164,6 +188,8 @@ class NetworkBuilder {
   GatewaySpec& gateway_spec(GatewayId id);
 
   sim::SimTime quantum_ = 50 * sim::kMicrosecond;
+  unsigned shards_ = 0;
+  unsigned threads_ = 0;
   std::vector<BusSpec> buses_;
   std::vector<EcuOrder> order_;
   std::vector<IssSpec> iss_;
@@ -181,8 +207,18 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
-  [[nodiscard]] sim::SimTime now() const noexcept { return sim_.now(); }
+  [[nodiscard]] sim::ShardedSimulation& simulation() noexcept { return sim_; }
+  [[nodiscard]] sim::SimTime now() const { return sim_.now(); }
+
+  // The shard-local scheduler a segment lives on: the place to schedule
+  // events that touch that bus (a single-shard network has exactly one).
+  [[nodiscard]] sim::Simulation& shard(BusId bus) {
+    return *shard_of_bus_.at(static_cast<std::size_t>(bus));
+  }
+  [[nodiscard]] std::size_t shard_count() const {
+    return sim_.shard_count();
+  }
+  [[nodiscard]] sim::SimTime lookahead() const { return sim_.lookahead(); }
 
   // Segment count (CAN buses + FlexRay fabrics share the BusId space).
   [[nodiscard]] std::size_t bus_count() const { return buses_.size(); }
@@ -231,7 +267,9 @@ class Network {
   void send(EcuId ecu, can::CanFrame frame);
 
  private:
-  sim::Simulation sim_;
+  sim::ShardedSimulation sim_;
+  // Parallel, indexed by BusId: the shard each segment was assigned to.
+  std::vector<sim::Simulation*> shard_of_bus_;
   std::vector<std::string> bus_names_;
   // Parallel, indexed by BusId: exactly one entry is non-null per id.
   std::vector<std::unique_ptr<can::CanBus>> buses_;

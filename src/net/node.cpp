@@ -70,6 +70,13 @@ void EcuNode::do_hang() {
 }
 
 void EcuNode::restart(sim::SimTime delay) {
+  // A supervisor on another shard restarts this ECU through here;
+  // run_on marshals the whole sequence to the ECU's own shard (an
+  // immediate call when caller and ECU share one).
+  sim::run_on(sim_, [this, delay] { restart_now(delay); });
+}
+
+void EcuNode::restart_now(sim::SimTime delay) {
   if (reboot_pending_) {
     return;
   }

@@ -136,6 +136,8 @@ class EcuNode {
   // Supervised restart: takes the node off the bus immediately (killing a
   // babble flood too) and reboots it `delay` later — the mitigation a
   // supervisor fires for a hung ECU. No-op while a reboot is in flight.
+  // Safe to call from any shard: the sequence is marshaled to the ECU's
+  // own shard (sim::run_on), immediate when the caller shares it.
   void restart(sim::SimTime delay);
   void stop_babble();
   // Emits `frame` on this node every `period` while alive (first at
@@ -160,6 +162,7 @@ class EcuNode {
   can::CanBus& bus_;
 
  private:
+  void restart_now(sim::SimTime delay);
   void do_crash();
   void do_hang();
   void start_babble(const can::CanFrame& frame, sim::SimTime period);

@@ -36,7 +36,12 @@ Mitigation Mitigation::detach_node(can::CanBus& bus, can::NodeId node,
   Mitigation m;
   m.name = "detach_node";
   m.delay = delay;
-  m.fn = [&bus, node] { bus.detach(node); };
+  // The supervisor may live on a different shard than the bus it is
+  // silencing; run_on_queue marshals the detach to the bus's shard (an
+  // immediate call when they share one).
+  m.fn = [&bus, node] {
+    sim::run_on_queue(bus.queue(), [&bus, node] { bus.detach(node); });
+  };
   return m;
 }
 

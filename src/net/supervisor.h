@@ -40,6 +40,7 @@
 #ifndef ACES_NET_SUPERVISOR_H
 #define ACES_NET_SUPERVISOR_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -135,8 +136,13 @@ class SupervisorNode {
   [[nodiscard]] const std::vector<sim::SimTime>& recovery_samples() const {
     return recovery_samples_;
   }
-  // Gateway drops observed via watch_gateway since construction.
-  [[nodiscard]] std::uint64_t gateway_drops() const { return gateway_drops_; }
+  // Gateway drops observed via watch_gateway since construction. The
+  // counter is atomic: a watched gateway's drop callbacks can fire on
+  // whichever shard owns the dropping direction, not necessarily the
+  // supervisor's.
+  [[nodiscard]] std::uint64_t gateway_drops() const {
+    return gateway_drops_.load(std::memory_order_relaxed);
+  }
   // Counts every frame `gw` drops (overflow or translation) against this
   // supervisor — degradation the network should know about, not silence.
   void watch_gateway(GatewayNode& gw);
@@ -164,7 +170,7 @@ class SupervisorNode {
   bool started_ = false;
   std::vector<MonitorState> monitors_;
   std::vector<sim::SimTime> recovery_samples_;
-  std::uint64_t gateway_drops_ = 0;
+  std::atomic<std::uint64_t> gateway_drops_{0};
 };
 
 }  // namespace aces::net

@@ -12,22 +12,39 @@ EventId EventQueue::schedule_at(SimTime at, std::function<void()> fn) {
   return id;
 }
 
-void EventQueue::schedule_every(SimTime period, std::function<void()> fn) {
+EventId EventQueue::schedule_every(SimTime period, std::function<void()> fn) {
   ACES_CHECK_MSG(period > 0, "periodic events need a positive period");
-  periodics_.push_back(Periodic{period, std::move(fn)});
+  const EventId id = next_id_++;
+  periodics_.push_back(Periodic{period, std::move(fn), id});
+  periodic_by_id_[id] = &periodics_.back();
   arm_periodic(periodics_.back(), now_);
+  return id;
 }
 
 void EventQueue::arm_periodic(Periodic& p, SimTime at) {
   // `p` lives in periodics_ (deque: stable address for the queue's
   // lifetime), so the rearming lambda can capture it by reference.
-  (void)schedule_at(at, [this, &p] {
+  if (p.dead) {
+    return;
+  }
+  p.current = schedule_at(at, [this, &p] {
     p.fn();
     arm_periodic(p, now_ + p.period);
   });
 }
 
 void EventQueue::cancel(EventId id) {
+  // A periodic series: drop the armed occurrence and pin the series dead
+  // so it never rearms — even when cancelled from inside its own callback
+  // (the occurrence already fired; the dead flag stops the rearm).
+  const auto pit = periodic_by_id_.find(id);
+  if (pit != periodic_by_id_.end()) {
+    Periodic& p = *pit->second;
+    p.dead = true;
+    periodic_by_id_.erase(pit);
+    cancel(p.current);
+    return;
+  }
   // Only ids still in the heap move to the cancelled set: a fired (or
   // repeatedly cancelled) id is dropped here, so the sets never leak.
   if (live_.erase(id) != 0) {

@@ -13,10 +13,13 @@
 #include <functional>
 #include <limits>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 namespace aces::sim {
+
+class Shard;
 
 using SimTime = std::int64_t;  // nanoseconds
 
@@ -50,11 +53,13 @@ class EventQueue {
   // the callback for its own lifetime (this is the safe home for the
   // self-rescheduling periodic-sender pattern — a loop-local
   // std::function that reschedules itself dangles once its scope ends).
-  // Periodic events cannot be cancelled individually.
-  void schedule_every(SimTime period, std::function<void()> fn);
+  // The returned id cancels the whole series: the pending occurrence is
+  // dropped and the series never rearms (safe to call from inside fn).
+  EventId schedule_every(SimTime period, std::function<void()> fn);
 
-  // Marks an event as cancelled; a no-op if it already fired (or was
-  // already cancelled). O(1): ids live in hash sets, never searched.
+  // Marks an event (or a periodic series) as cancelled; a no-op if it
+  // already fired (or was already cancelled). O(1): ids live in hash
+  // sets/maps, never searched.
   void cancel(EventId id);
 
   // Runs events until the queue is empty or the horizon is passed.
@@ -87,6 +92,12 @@ class EventQueue {
 
   [[nodiscard]] bool empty() const noexcept { return live_.empty(); }
 
+  // The shard this queue belongs to, if any (set by sim::Shard; null for a
+  // standalone queue). Lets bus-level helpers marshal mutations onto the
+  // owning shard's thread without depending on the scheduler layer.
+  void set_owner(Shard* owner) noexcept { owner_ = owner; }
+  [[nodiscard]] Shard* owner() const noexcept { return owner_; }
+
  private:
   struct Entry {
     SimTime at = 0;
@@ -106,6 +117,9 @@ class EventQueue {
   struct Periodic {
     SimTime period = 0;
     std::function<void()> fn;
+    EventId id = 0;       // the stable handle schedule_every returned
+    EventId current = 0;  // the currently armed occurrence
+    bool dead = false;    // cancelled: never rearms again
   };
 
   // Pops cancelled entries off the head of the heap.
@@ -118,10 +132,12 @@ class EventQueue {
   bool stopped_ = false;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+  Shard* owner_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, Later> pending_;
   std::unordered_set<EventId> live_;       // scheduled, not fired/cancelled
   std::unordered_set<EventId> cancelled_;  // cancelled, still in the heap
   std::deque<Periodic> periodics_;         // stable homes for recurring fns
+  std::unordered_map<EventId, Periodic*> periodic_by_id_;
 };
 
 }  // namespace aces::sim

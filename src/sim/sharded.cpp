@@ -1,0 +1,325 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/check.h"
+
+namespace aces::sim {
+
+// ----- worker pool ------------------------------------------------------------
+
+// Persistent workers driven by a generation barrier. Each epoch the
+// coordinator publishes (shards, target), workers pull shard indices off a
+// shared cursor (load balancing is free: results never depend on who runs
+// what), and the coordinator blocks until all workers report done. An
+// exception from any shard (ACES_CHECK throws std::logic_error) is
+// captured and rethrown on the coordinator thread after the barrier.
+struct ShardedSimulation::Pool {
+  explicit Pool(unsigned n) : count(n) {
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      workers.emplace_back([this] { work(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(m);
+      quit = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : workers) {
+      t.join();
+    }
+  }
+
+  void run(std::vector<std::unique_ptr<Shard>>& shards, SimTime target) {
+    {
+      const std::lock_guard<std::mutex> lock(m);
+      job = &shards;
+      job_target = target;
+      cursor.store(0, std::memory_order_relaxed);
+      done = 0;
+      error = nullptr;
+      ++generation;
+    }
+    work_cv.notify_all();
+    std::unique_lock<std::mutex> lock(m);
+    done_cv.wait(lock, [this] { return done == count; });
+    if (error) {
+      std::exception_ptr e = std::exchange(error, nullptr);
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+  void work() {
+    std::uint64_t seen = 0;
+    while (true) {
+      std::vector<std::unique_ptr<Shard>>* shards = nullptr;
+      SimTime target = 0;
+      {
+        std::unique_lock<std::mutex> lock(m);
+        work_cv.wait(lock, [&] { return quit || generation != seen; });
+        if (quit) {
+          return;
+        }
+        seen = generation;
+        shards = job;
+        target = job_target;
+      }
+      while (true) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= shards->size()) {
+          break;
+        }
+        try {
+          (*shards)[i]->run_until(target);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(m);
+          if (!error) {
+            error = std::current_exception();
+          }
+        }
+      }
+      const std::lock_guard<std::mutex> lock(m);
+      if (++done == count) {
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  const unsigned count;
+  std::mutex m;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> workers;
+  std::vector<std::unique_ptr<Shard>>* job = nullptr;
+  SimTime job_target = 0;
+  std::atomic<std::size_t> cursor{0};
+  std::size_t done = 0;
+  std::uint64_t generation = 0;
+  bool quit = false;
+  std::exception_ptr error;
+};
+
+// ----- coordinator ------------------------------------------------------------
+
+ShardedSimulation::ShardedSimulation(SimTime quantum) : quantum_(quantum) {
+  ACES_CHECK_MSG(quantum >= 1, "co-simulation quantum must be >= 1 ns");
+}
+
+ShardedSimulation::~ShardedSimulation() = default;
+
+Shard& ShardedSimulation::add_shard() {
+  shards_.push_back(std::make_unique<Shard>(quantum_));
+  shards_.back()->index_ = shards_.size() - 1;
+  return *shards_.back();
+}
+
+void ShardedSimulation::set_lookahead(SimTime delta) {
+  ACES_CHECK_MSG(delta >= 1, "cross-shard lookahead must be >= 1 ns");
+  lookahead_ = delta;
+}
+
+void ShardedSimulation::set_threads(unsigned n) {
+  threads_setting_ = n;
+  pool_.reset();  // rebuilt lazily at the next parallel epoch
+}
+
+unsigned ShardedSimulation::threads() const {
+  unsigned n = threads_setting_;
+  if (n == 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const unsigned cap =
+      static_cast<unsigned>(std::max<std::size_t>(1, shards_.size()));
+  return std::min(n, cap);
+}
+
+SimTime ShardedSimulation::now() const {
+  ACES_CHECK_MSG(!shards_.empty(), "ShardedSimulation has no shards");
+  return shards_.front()->now();
+}
+
+void ShardedSimulation::run_until(SimTime horizon) {
+  ACES_CHECK_MSG(!shards_.empty(), "ShardedSimulation has no shards");
+  if (shards_.size() == 1) {
+    // Single shard: exactly the pre-sharding scheduler, no epochs, no
+    // barrier, watchdog installed directly (see set_watchdog).
+    shards_.front()->run_until(horizon);
+    return;
+  }
+  run_epochs(horizon);
+}
+
+void ShardedSimulation::run_epochs(SimTime horizon) {
+  ACES_CHECK_MSG(horizon >= now(), "cannot run the simulation backwards");
+  ACES_CHECK_MSG(horizon < kNever, "run_until needs a finite horizon");
+  if (tripped_) {
+    return;  // matches the serial latch: frozen until a new watchdog
+  }
+  while (true) {
+    // Size the epoch: nothing anywhere can happen before `quiet`, and
+    // anything created at t >= quiet reaches another shard no earlier
+    // than t + lookahead, so every event strictly before `boundary` is
+    // safe to run without hearing from other shards. The max() clamp
+    // guarantees progress (a zero-width epoch would spin: run_until(now)
+    // does not advance busy participants).
+    SimTime quiet = kNever;
+    for (const auto& s : shards_) {
+      quiet = std::min(quiet, s->next_wake());
+    }
+    SimTime boundary = horizon + 1;  // horizon inclusive, like run_until
+    if (quiet != kNever && lookahead_ != kNever &&
+        quiet < boundary - lookahead_) {
+      boundary = quiet + lookahead_;
+    }
+    boundary = std::max(boundary, now() + 1);
+
+    if (watchdog_) {
+      // In-epoch livelock backstop, deterministic across thread counts:
+      // each shard polls the global check against (everyone else's count
+      // snapshotted at this barrier + its own live count). The exact
+      // boundary-time evaluation below is the authoritative trip.
+      const std::uint64_t total = events_executed();
+      for (auto& s : shards_) {
+        const std::uint64_t others = total - s->queue().events_executed();
+        s->set_watchdog([check = watchdog_, others](std::uint64_t mine) {
+          return check(others + mine);
+        });
+      }
+    }
+    for (auto& s : shards_) {
+      s->epoch_end_ = boundary;
+    }
+    run_all(boundary - 1);
+    ++epochs_;
+    if (any_stopped()) {
+      tripped_ = true;
+      return;
+    }
+    merge_outboxes(boundary);
+    if (watchdog_ && watchdog_(events_executed())) {
+      tripped_ = true;
+      return;
+    }
+    if (boundary > horizon) {
+      return;
+    }
+  }
+}
+
+void ShardedSimulation::run_all(SimTime target) {
+  const unsigned n = threads();
+  if (n <= 1) {
+    for (auto& s : shards_) {
+      s->run_until(target);
+    }
+    return;
+  }
+  if (!pool_ || pool_->count != n) {
+    pool_ = std::make_unique<Pool>(n);
+  }
+  pool_->run(shards_, target);
+}
+
+void ShardedSimulation::merge_outboxes(SimTime boundary) {
+  struct Envelope {
+    Shard::CrossEvent* event;
+    std::size_t source;
+    std::size_t seq;
+  };
+  std::vector<Envelope> all;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    std::vector<Shard::CrossEvent>& out = shards_[k]->outbox_;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].relaxed) {
+        out[i].at = boundary;  // bounded-lateness control-plane marshaling
+      }
+      ACES_CHECK_MSG(out[i].at >= boundary,
+                     "merged cross-shard event predates the epoch boundary");
+      all.push_back(Envelope{&out[i], k, i});
+    }
+  }
+  // Deterministic merge order — (timestamp, source shard, post order) —
+  // so same-instant cross-shard arrivals get FIFO sequence numbers on the
+  // destination queue in an order no thread schedule can change.
+  std::sort(all.begin(), all.end(), [](const Envelope& a, const Envelope& b) {
+    if (a.event->at != b.event->at) {
+      return a.event->at < b.event->at;
+    }
+    if (a.source != b.source) {
+      return a.source < b.source;
+    }
+    return a.seq < b.seq;
+  });
+  for (Envelope& env : all) {
+    env.event->dst->queue_.schedule_at(env.event->at, std::move(env.event->fn));
+  }
+  for (auto& s : shards_) {
+    s->outbox_.clear();
+  }
+}
+
+bool ShardedSimulation::any_stopped() const {
+  for (const auto& s : shards_) {
+    if (s->watchdog_tripped()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const Simulation::Stats& ShardedSimulation::stats() const {
+  agg_ = Simulation::Stats{};
+  for (const auto& s : shards_) {
+    const Simulation::Stats& st = s->stats();
+    agg_.events_executed += st.events_executed;
+    agg_.slices += st.slices;
+    agg_.idle_jumps += st.idle_jumps;
+    agg_.participants.insert(agg_.participants.end(), st.participants.begin(),
+                             st.participants.end());
+  }
+  return agg_;
+}
+
+void ShardedSimulation::reset_stats() {
+  for (auto& s : shards_) {
+    s->reset_stats();
+  }
+}
+
+std::uint64_t ShardedSimulation::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->queue().events_executed();
+  }
+  return total;
+}
+
+void ShardedSimulation::set_watchdog(EventQueue::StopCheck check) {
+  watchdog_ = std::move(check);
+  tripped_ = false;
+  for (auto& s : shards_) {
+    // Single shard gets the check verbatim (serial semantics, including
+    // the latch-clear); multi-shard latches clear here and per-epoch
+    // wrappers are installed by run_epochs.
+    s->set_watchdog(shards_.size() == 1 ? watchdog_ : EventQueue::StopCheck{});
+  }
+}
+
+bool ShardedSimulation::watchdog_tripped() const {
+  if (shards_.size() == 1) {
+    return shards_.front()->watchdog_tripped();
+  }
+  return tripped_;
+}
+
+}  // namespace aces::sim

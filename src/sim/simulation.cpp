@@ -6,11 +6,18 @@
 
 namespace aces::sim {
 
-Simulation::Simulation(SimTime quantum) : quantum_(quantum) {
+namespace {
+thread_local Shard* t_current_shard = nullptr;
+}  // namespace
+
+Shard::Shard(SimTime quantum) : quantum_(quantum) {
   ACES_CHECK_MSG(quantum >= 1, "co-simulation quantum must be >= 1 ns");
+  queue_.set_owner(this);
 }
 
-void Simulation::add(Clocked& participant) {
+Shard* Shard::current() noexcept { return t_current_shard; }
+
+void Shard::add(Clocked& participant) {
   for (const Clocked* p : participants_) {
     ACES_CHECK_MSG(p != &participant,
                    "clocked participant registered twice");
@@ -21,14 +28,18 @@ void Simulation::add(Clocked& participant) {
   stats_.participants.push_back(std::move(ps));
 }
 
-void Simulation::run_until(SimTime horizon) {
+void Shard::run_until(SimTime horizon) {
   ACES_CHECK_MSG(horizon >= now(), "cannot run the simulation backwards");
   ACES_CHECK_MSG(!running_,
                  "Simulation::run_until re-entered from a callback");
   running_ = true;
+  t_current_shard = this;
   const struct Guard {
     bool& flag;
-    ~Guard() { flag = false; }
+    ~Guard() {
+      flag = false;
+      t_current_shard = nullptr;
+    }
   } guard{running_};
   while (true) {
     // Fire everything due at (or before) the current instant; callbacks may
@@ -90,7 +101,7 @@ void Simulation::run_until(SimTime horizon) {
   }
 }
 
-void Simulation::reset_stats() {
+void Shard::reset_stats() {
   stats_.events_executed = 0;
   stats_.slices = 0;
   stats_.idle_jumps = 0;
@@ -98,6 +109,55 @@ void Simulation::reset_stats() {
     ps.slices = 0;
     ps.idle_windows = 0;
   }
+}
+
+SimTime Shard::next_wake() {
+  SimTime wake = queue_.next_time();
+  for (Clocked* p : participants_) {
+    const SimTime t = p->next_activity();
+    wake = std::min(wake, t <= now() ? now() : t);
+  }
+  return wake;
+}
+
+void Shard::post_cross(Shard& dst, SimTime at, std::function<void()> fn) {
+  if (&dst == this || current() == nullptr) {
+    dst.queue_.schedule_at(at, std::move(fn));
+    return;
+  }
+  ACES_CHECK_MSG(current() == this,
+                 "cross-shard post from a shard that is not running");
+  ACES_CHECK_MSG(at >= epoch_end_,
+                 "cross-shard event breaks the lookahead contract");
+  outbox_.push_back(CrossEvent{&dst, at, false, std::move(fn)});
+}
+
+void Shard::post_cross_relaxed(Shard& dst, std::function<void()> fn) {
+  if (&dst == this || current() == nullptr) {
+    fn();
+    return;
+  }
+  ACES_CHECK_MSG(current() == this,
+                 "cross-shard post from a shard that is not running");
+  outbox_.push_back(CrossEvent{&dst, 0, true, std::move(fn)});
+}
+
+void run_on(Shard& target, std::function<void()> fn) {
+  Shard* cur = Shard::current();
+  if (cur == nullptr || cur == &target) {
+    fn();
+    return;
+  }
+  cur->post_cross_relaxed(target, std::move(fn));
+}
+
+void run_on_queue(EventQueue& queue, std::function<void()> fn) {
+  Shard* owner = queue.owner();
+  if (owner == nullptr) {
+    fn();
+    return;
+  }
+  run_on(*owner, std::move(fn));
 }
 
 }  // namespace aces::sim

@@ -72,12 +72,19 @@ class IrqSink {
   virtual void clear_irq(unsigned line) = 0;
 };
 
-class Simulation {
+// One shard-local scheduler: an EventQueue plus the clocked participants
+// that live on it, advanced by the round-robin loop below. Historically
+// this class WAS the whole simulation (and the `Simulation` alias keeps
+// that spelling working everywhere); under ShardedSimulation (sharded.h)
+// several Shards run on a worker pool in lock-stepped epochs, and
+// cross-shard work travels through per-shard outboxes merged
+// deterministically at epoch boundaries.
+class Shard {
  public:
   // `quantum` bounds how far a busy clocked participant may run ahead of
   // the others between interleaving points (and therefore the causality
   // skew of mid-slice actions). Must be >= 1 ns.
-  explicit Simulation(SimTime quantum = 50 * kMicrosecond);
+  explicit Shard(SimTime quantum = 50 * kMicrosecond);
 
   [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
   [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
@@ -90,8 +97,8 @@ class Simulation {
   EventId schedule_in(SimTime delay, std::function<void()> fn) {
     return queue_.schedule_in(delay, std::move(fn));
   }
-  void schedule_every(SimTime period, std::function<void()> fn) {
-    queue_.schedule_every(period, std::move(fn));
+  EventId schedule_every(SimTime period, std::function<void()> fn) {
+    return queue_.schedule_every(period, std::move(fn));
   }
   void cancel(EventId id) { queue_.cancel(id); }
 
@@ -144,13 +151,69 @@ class Simulation {
     return queue_.stopped();
   }
 
+  // ----- sharding (inert when the shard runs standalone) --------------------
+
+  // Position within the owning ShardedSimulation (0 when standalone).
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+  // The shard whose run_until loop is executing on this thread, or null
+  // outside any run (build time, coordinator thread). Thread-local.
+  [[nodiscard]] static Shard* current() noexcept;
+
+  // Posts fn to run on `dst` at absolute time `at`. Same-shard (or
+  // outside any run loop) this is a plain schedule_at; cross-shard it
+  // lands in this shard's outbox and is merged at the next epoch
+  // boundary — `at` must respect the lookahead contract (at >= the
+  // current epoch's end), which the coordinator enforces with a check.
+  void post_cross(Shard& dst, SimTime at, std::function<void()> fn);
+
+  // Posts fn to run on `dst` "as soon as the synchronization allows":
+  // immediately when already on dst (or outside any run loop), otherwise
+  // stamped at the next epoch boundary. For control-plane mutations
+  // (route toggles, detach/restart) whose exact instant tolerates the
+  // bounded one-epoch skew.
+  void post_cross_relaxed(Shard& dst, std::function<void()> fn);
+
+  // Earliest instant anything on this shard can happen: the next queue
+  // event or the earliest participant activity (busy participants count
+  // as `now()`). kNever when fully idle. Drives the coordinator's
+  // adaptive epoch sizing.
+  [[nodiscard]] SimTime next_wake();
+
  private:
+  friend class ShardedSimulation;
+
+  struct CrossEvent {
+    Shard* dst = nullptr;
+    SimTime at = 0;
+    bool relaxed = false;  // stamp with the merge boundary instead of `at`
+    std::function<void()> fn;
+  };
+
   EventQueue queue_;
   SimTime quantum_;
   std::vector<Clocked*> participants_;
   Stats stats_;
   bool running_ = false;  // re-entrancy guard for run_until
+  std::size_t index_ = 0;
+  SimTime epoch_end_ = kNever;  // current epoch boundary, set per epoch
+  std::vector<CrossEvent> outbox_;
 };
+
+// The name most of the codebase uses: a single-shard simulation IS the
+// shard-local scheduler, unchanged.
+using Simulation = Shard;
+
+// Runs fn under `target`'s scheduler: immediately when already on that
+// shard's thread (or outside any run loop — identical to a direct call),
+// otherwise marshaled through the calling shard's outbox and delivered at
+// the next epoch boundary (bounded lateness, deterministic order).
+void run_on(Shard& target, std::function<void()> fn);
+
+// Same, addressed by an EventQueue: resolves the queue's owning shard
+// (standalone queues run fn immediately). Lets can::CanBus-level code
+// marshal without seeing the scheduler layer.
+void run_on_queue(EventQueue& queue, std::function<void()> fn);
 
 }  // namespace aces::sim
 

@@ -178,7 +178,7 @@ TEST(GatewayTranslation, PackUnpackRoundTripIsLossless) {
   std::vector<std::array<std::uint8_t, 14>> want;
   constexpr int kRounds = 25;
   for (int round = 0; round < kRounds; ++round) {
-    net.simulation().queue().schedule_at(
+    net.shard(a).schedule_at(
         SimTime(round + 1) * 5 * kMillisecond, [&, round] {
           std::array<std::uint8_t, 14> agg{};
           // 0x11 sends a short payload on odd rounds: the gateway must

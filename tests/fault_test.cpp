@@ -563,12 +563,12 @@ TEST(Gateway, RouteFailoverSwitchesToTheStandbyPath) {
       p2, [&](const can::CanFrame&, SimTime) { ++on_standby; });
 
   const can::NodeId tx = net.bus(src).attach_node("tx");
-  net.simulation().schedule_every(10 * kMillisecond, [&] {
+  net.shard(src).schedule_every(10 * kMillisecond, [&] {
     net.bus(src).send(tx, frame(0x100));
   });
   // The supervisor's failover mitigation, fired directly here: disable
   // route 0, enable route 1.
-  net.simulation().schedule_at(100 * kMillisecond, [&] {
+  net.shard(src).schedule_at(100 * kMillisecond, [&] {
     Mitigation m = Mitigation::gateway_failover(net.gateway(gw), 0, 1);
     m.fn();
   });

@@ -85,7 +85,7 @@ TEST(Gateway, ForwardsMatchingFramesWithRemapAndLatency) {
   can::CanFrame outside;  // 0x300: not forwarded
   outside.id = 0x300;
   outside.dlc = 2;
-  net.simulation().schedule_at(kMillisecond, [&] {
+  net.shard(a).schedule_at(kMillisecond, [&] {
     net.bus(a).send(src, in_window);
     net.bus(a).send(src, outside);
   });
@@ -155,8 +155,11 @@ TEST(Gateway, BoundedQueueDropsOnOverflowAndRecovers) {
   late.dlc = 1;
   net.bus(fast).send(src, late);
   net.run_until(2 * sim::kSecond);
-  EXPECT_EQ(d.forwarded + d.dropped_overflow, 7u);
-  EXPECT_EQ(d.forwarded, d.delivered);
+  // direction() is a point-in-time snapshot — re-fetch after the run.
+  const GatewayNode::DirectionStats after =
+      net.gateway(gw).direction(fast, slow);
+  EXPECT_EQ(after.forwarded + after.dropped_overflow, 7u);
+  EXPECT_EQ(after.forwarded, after.delivered);
 }
 
 TEST(EcuNode, BothFidelitiesAttachThroughOneCall) {
@@ -269,9 +272,11 @@ struct PathFixture {
     const can::NodeId src2 = net.bus(src_bus).attach_node("src2");
     const can::NodeId dst = net.bus(dst_bus).attach_node("dst");
     const can::NodeId dst2 = net.bus(dst_bus).attach_node("dst2");
-    const auto periodic = [&net](can::CanBus& bus, can::NodeId node,
-                                 std::uint32_t id, SimTime period) {
-      net.simulation().schedule_every(period, [&bus, node, id] {
+    const auto periodic = [](can::CanBus& bus, can::NodeId node,
+                             std::uint32_t id, SimTime period) {
+      // Schedule on the bus's own shard queue: traffic generation must
+      // live where the bus lives once the network is sharded.
+      bus.queue().schedule_every(period, [&bus, node, id] {
         can::CanFrame f;
         f.id = id;
         f.dlc = 8;

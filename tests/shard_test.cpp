@@ -1,0 +1,468 @@
+// Sharded co-simulation tests: the ShardedSimulation epoch machinery
+// (adaptive boundaries, deterministic cross-shard merge, watchdog
+// propagation), the NetworkBuilder partitioning pass (gateway-bounded
+// shards, lookahead derivation, zero-latency collapse), and the contract
+// the whole PR rests on — double runs are bit-identical at any thread
+// count, and a sharded model-fidelity network reproduces the single-shard
+// run exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/sharded.h"
+
+namespace aces::sim {
+namespace {
+
+using aces::net::BusId;
+using aces::net::GatewayId;
+using aces::net::ModelTask;
+using aces::net::NetworkBuilder;
+
+// ----- coordinator-level: epochs, merge order, determinism -------------------
+
+TEST(ShardedSimulation, SingleShardIsThePlainScheduler) {
+  ShardedSimulation sim;
+  Shard& s = sim.add_shard();
+  std::vector<SimTime> fired;
+  s.schedule_at(10, [&] { fired.push_back(s.now()); });
+  s.schedule_at(30, [&] { fired.push_back(s.now()); });
+  sim.run_until(100);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 30}));
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.epochs(), 0u);  // short-circuited, no epoch machinery
+}
+
+TEST(ShardedSimulation, CrossShardEventLandsAtItsExactTimestamp) {
+  ShardedSimulation sim;
+  Shard& a = sim.add_shard();
+  Shard& b = sim.add_shard();
+  sim.set_lookahead(100);
+  sim.set_threads(1);
+  std::vector<SimTime> arrivals;
+  // Posted mid-epoch from a's loop: crosses at least one boundary, must
+  // still fire on b at exactly t=500 (the stamp, not the boundary).
+  a.schedule_at(17, [&] {
+    Shard::current()->post_cross(b, 500, [&] { arrivals.push_back(b.now()); });
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(arrivals, (std::vector<SimTime>{500}));
+}
+
+TEST(ShardedSimulation, SameInstantCrossShardArrivalsMergeInShardOrder) {
+  // Three source shards all post to shard 0 at the same instant; the
+  // merge order must be (timestamp, source shard, post order) — FIFO
+  // sequence numbers on the destination queue — at every thread count.
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ShardedSimulation sim;
+    Shard& dst = sim.add_shard();
+    std::vector<Shard*> src;
+    for (int k = 0; k < 3; ++k) {
+      src.push_back(&sim.add_shard());
+    }
+    sim.set_lookahead(50);
+    sim.set_threads(threads);
+    std::vector<int> order;
+    for (int k = 0; k < 3; ++k) {
+      Shard* s = src[static_cast<std::size_t>(k)];
+      s->schedule_at(10, [&, s, k] {
+        // Two posts per shard, same timestamp: post order is the tie-break.
+        Shard::current()->post_cross(dst, 200,
+                                     [&order, k] { order.push_back(2 * k); });
+        Shard::current()->post_cross(
+            dst, 200, [&order, k] { order.push_back(2 * k + 1); });
+      });
+    }
+    sim.run_until(400);
+    // Source shards 1..3 in index order, each shard's two posts in post
+    // order: {0,1} then {2,3} then {4,5}.
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}))
+        << "threads=" << threads;
+    EXPECT_EQ(dst.now(), 400);
+  }
+}
+
+TEST(ShardedSimulation, PostCrossBelowTheLookaheadContractThrows) {
+  ShardedSimulation sim;
+  Shard& a = sim.add_shard();
+  Shard& b = sim.add_shard();
+  sim.set_lookahead(100);
+  sim.set_threads(1);
+  bool threw = false;
+  a.schedule_at(10, [&] {
+    try {
+      Shard::current()->post_cross(b, 11, [] {});  // 11 < epoch end
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  sim.run_until(1000);
+  EXPECT_TRUE(threw);
+}
+
+TEST(ShardedSimulation, IdleShardsJumpInFewEpochs) {
+  ShardedSimulation sim;
+  Shard& a = sim.add_shard();
+  sim.add_shard();
+  sim.set_lookahead(10);  // tiny lookahead, huge horizon
+  sim.set_threads(1);
+  int fired = 0;
+  a.schedule_at(1'000'000, [&] { ++fired; });
+  sim.run_until(100'000'000);
+  EXPECT_EQ(fired, 1);
+  // Adaptive epochs: one hop to the event, one tail hop — not 10^7 ticks.
+  EXPECT_LE(sim.epochs(), 4u);
+}
+
+TEST(ShardedSimulation, RelaxedPostRunsAtTheNextBoundary) {
+  ShardedSimulation sim;
+  Shard& a = sim.add_shard();
+  Shard& b = sim.add_shard();
+  sim.set_lookahead(100);
+  sim.set_threads(1);
+  SimTime applied_at = -1;
+  a.schedule_at(10, [&] {
+    run_on(b, [&] { applied_at = b.now(); });
+  });
+  sim.run_until(1000);
+  // Bounded lateness: after the posting instant, at most one epoch later.
+  EXPECT_GE(applied_at, 10);
+  EXPECT_LE(applied_at, 10 + 100);
+}
+
+TEST(ShardedSimulation, DoubleRunsAreIdenticalAcrossThreadCounts) {
+  // A ping-pong workload: every arrival posts back to the peer shard at
+  // +lookahead, two independent chains plus same-instant collisions.
+  // The full arrival trace (shard, time, tag) must be identical at every
+  // thread count.
+  using Trace = std::vector<std::tuple<int, SimTime, int>>;
+  const auto run = [](unsigned threads) {
+    ShardedSimulation sim;
+    Shard& a = sim.add_shard();
+    Shard& b = sim.add_shard();
+    sim.set_lookahead(100);
+    sim.set_threads(threads);
+    auto trace = std::make_shared<Trace>();
+    std::function<void(Shard&, Shard&, int)> bounce =
+        [&bounce, trace](Shard& here, Shard& peer, int tag) {
+          trace->emplace_back(static_cast<int>(here.index()), here.now(), tag);
+          if (here.now() < 2000) {
+            Shard::current()->post_cross(
+                peer, here.now() + 100,
+                [&peer, &here, tag, &bounce] { bounce(peer, here, tag); });
+          }
+        };
+    a.schedule_at(0, [&] { bounce(a, b, 1); });
+    a.schedule_at(0, [&] { bounce(a, b, 2); });
+    b.schedule_at(50, [&] { bounce(b, a, 3); });
+    sim.run_until(3000);
+    Trace out = *trace;
+    return out;
+  };
+  const Trace t1 = run(1);
+  const Trace t2 = run(2);
+  const Trace t4 = run(4);
+  EXPECT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t4);
+}
+
+TEST(ShardedSimulation, WatchdogTripsOnTheGlobalCountAcrossShards) {
+  for (const unsigned threads : {1u, 2u}) {
+    ShardedSimulation sim;
+    Shard& a = sim.add_shard();
+    Shard& b = sim.add_shard();
+    sim.set_lookahead(100);
+    sim.set_threads(threads);
+    // Shard a livelocks at t=10: same-instant self-rescheduling chain
+    // that never advances time. Only the watchdog can stop the run.
+    auto spin = std::make_shared<std::function<void()>>();
+    *spin = [&a, spin] { a.schedule_in(0, *spin); };
+    a.schedule_at(10, [spin] { (*spin)(); });
+    int b_fired = 0;
+    b.schedule_at(5, [&] { ++b_fired; });
+    sim.set_watchdog([](std::uint64_t events) { return events >= 50'000; });
+    sim.run_until(kSecond);
+    EXPECT_TRUE(sim.watchdog_tripped());
+    EXPECT_EQ(b_fired, 1);  // the healthy shard ran its pre-trip work
+    EXPECT_LT(sim.now(), kSecond);
+    // Tripped latch: further runs are frozen until a new watchdog.
+    const SimTime frozen = sim.now();
+    sim.run_until(kSecond);
+    EXPECT_EQ(sim.now(), frozen);
+  }
+}
+
+// ----- partitioning pass ------------------------------------------------------
+
+net::GatewayConfig gw_cfg(SimTime latency) {
+  net::GatewayConfig gc;
+  gc.forwarding_latency = latency;
+  return gc;
+}
+
+TEST(NetworkSharding, GatewayBoundedPartitionAndLookahead) {
+  NetworkBuilder nb;
+  const BusId pt = nb.bus("powertrain", 500'000);
+  const BusId body = nb.bus("body", 125'000);
+  const BusId diag = nb.bus("diag", 250'000);
+  const GatewayId gw = nb.gateway("central", gw_cfg(200 * kMicrosecond));
+  nb.route(gw, {pt, body, 0x100, 0x7FF, {}});
+  nb.route(gw, {body, diag, 0x200, 0x7FF, {}});
+  net::Network net = nb.build();
+  // Three buses, gateway-bounded edges only: one shard per bus, the
+  // uniform forwarding latency is the lookahead.
+  EXPECT_EQ(net.shard_count(), 3u);
+  EXPECT_EQ(net.lookahead(), 200 * kMicrosecond);
+  // Distinct buses, distinct shards.
+  EXPECT_NE(&net.shard(pt), &net.shard(body));
+  EXPECT_NE(&net.shard(body), &net.shard(diag));
+}
+
+TEST(NetworkSharding, ZeroLatencyGatewayMergesItsBuses) {
+  NetworkBuilder nb;
+  const BusId a = nb.bus("a", 500'000);
+  const BusId b = nb.bus("b", 500'000);
+  const GatewayId gw = nb.gateway("gw", gw_cfg(0));
+  nb.route(gw, {a, b, 0x100, 0x7FF, {}});
+  net::Network net = nb.build();
+  // Zero lookahead cannot shard: both buses collapse onto one shard and
+  // the network runs the pre-sharding single-shard path.
+  EXPECT_EQ(net.shard_count(), 1u);
+  EXPECT_EQ(&net.shard(a), &net.shard(b));
+}
+
+TEST(NetworkSharding, MixedPerRouteLatenciesMergeTheDirection) {
+  NetworkBuilder nb;
+  const BusId a = nb.bus("a", 500'000);
+  const BusId b = nb.bus("b", 500'000, 2'000'000);
+  const GatewayId gw = nb.gateway("gw", gw_cfg(100 * kMicrosecond));
+  nb.route(gw, {a, b, 0x100, 0x7FF, {}});
+  net::PackedRoute pr;
+  pr.from = a;
+  pr.to = b;
+  pr.table = {{0x10, 0, 4}};
+  pr.trigger_id = 0x10;
+  pr.egress_id = 0x200;
+  pr.egress_fd = true;
+  pr.egress_dlc = 9;
+  pr.latency = 40 * kMicrosecond;  // second distinct latency a -> b
+  nb.packed_route(gw, pr);
+  net::Network net = nb.build();
+  // Two distinct latencies on one directed pair would break the egress
+  // admission replay; the partitioner merges those buses instead.
+  EXPECT_EQ(net.shard_count(), 1u);
+}
+
+TEST(NetworkSharding, ShardCapMergesTightestCoupledFirst) {
+  NetworkBuilder nb;
+  const BusId a = nb.bus("a", 500'000);
+  const BusId b = nb.bus("b", 500'000);
+  const BusId c = nb.bus("c", 500'000);
+  const GatewayId g1 = nb.gateway("g1", gw_cfg(50 * kMicrosecond));
+  const GatewayId g2 = nb.gateway("g2", gw_cfg(500 * kMicrosecond));
+  nb.route(g1, {a, b, 0x100, 0x7FF, {}});  // tight coupling a -- b
+  nb.route(g2, {b, c, 0x200, 0x7FF, {}});  // loose coupling b -- c
+  nb.shards(2);
+  net::Network net = nb.build();
+  // The cap merges the 50us edge away; the 500us edge survives and its
+  // latency becomes the (larger) lookahead.
+  EXPECT_EQ(net.shard_count(), 2u);
+  EXPECT_EQ(&net.shard(a), &net.shard(b));
+  EXPECT_NE(&net.shard(b), &net.shard(c));
+  EXPECT_EQ(net.lookahead(), 500 * kMicrosecond);
+}
+
+// ----- net-level determinism: sharded == single-shard ------------------------
+
+// A three-bus kernel-model vehicle: periodic senders on two buses, a
+// central gateway routing both directions, RX-activated consumers.
+// Model-fidelity networks are pure event-driven, so the sharded run must
+// reproduce the single-shard run EXACTLY (same frames, same instants).
+NetworkBuilder vehicle_topology() {
+  NetworkBuilder nb;
+  const BusId pt = nb.bus("powertrain", 500'000);
+  const BusId body = nb.bus("body", 125'000);
+  const BusId diag = nb.bus("diag", 250'000);
+  const GatewayId gw = nb.gateway("central", gw_cfg(200 * kMicrosecond));
+  nb.route(gw, {pt, body, 0x100, 0x700, {}});
+  nb.route(gw, {body, pt, 0x300, 0x700, {}});
+  nb.route(gw, {pt, diag, 0x100, 0x700, {}});
+
+  ModelTask speed;
+  speed.name = "speed";
+  speed.priority = 5;
+  speed.exec = 200 * kMicrosecond;
+  speed.period = 5 * kMillisecond;
+  speed.deadline = 5 * kMillisecond;
+  can::CanFrame speed_tx;
+  speed_tx.id = 0x120;
+  speed_tx.dlc = 8;
+  speed.tx = speed_tx;
+  nb.ecu(pt, "engine", {speed});
+
+  ModelTask door;
+  door.name = "door";
+  door.priority = 4;
+  door.exec = 300 * kMicrosecond;
+  door.period = 10 * kMillisecond;
+  door.deadline = 10 * kMillisecond;
+  can::CanFrame door_tx;
+  door_tx.id = 0x320;
+  door_tx.dlc = 4;
+  door.tx = door_tx;
+  nb.ecu(body, "door", {door});
+  return nb;
+}
+
+struct RunSignature {
+  std::uint64_t frames = 0;
+  std::uint64_t latency_hash = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t delivered = 0;
+
+  bool operator==(const RunSignature& o) const {
+    return frames == o.frames && latency_hash == o.latency_hash &&
+           forwarded == o.forwarded && delivered == o.delivered;
+  }
+};
+
+RunSignature run_vehicle(NetworkBuilder nb, unsigned threads) {
+  nb.threads(threads);
+  net::Network net = nb.build();
+  RunSignature sig;
+  // Observe every delivery on every bus: id and exact end-of-frame time
+  // folded into an order-independent-but-exact hash (sum of products).
+  for (std::size_t b = 0; b < net.bus_count(); ++b) {
+    const auto id = static_cast<BusId>(b);
+    const can::NodeId probe = net.bus(id).attach_node("probe");
+    net.bus(id).subscribe(probe,
+                          [&sig](const can::CanFrame& f, SimTime at) {
+                            ++sig.frames;
+                            sig.latency_hash +=
+                                (static_cast<std::uint64_t>(f.id) + 1) *
+                                static_cast<std::uint64_t>(at);
+                          });
+  }
+  net.run_until(400 * kMillisecond);
+  sig.forwarded = net.gateway(0).stats().frames_forwarded;
+  sig.delivered = net.gateway(0).stats().frames_delivered;
+  return sig;
+}
+
+TEST(NetworkSharding, ShardedVehicleReproducesTheSingleShardRun) {
+  NetworkBuilder sharded = vehicle_topology();
+  NetworkBuilder single = vehicle_topology();
+  single.shards(1);
+  {
+    net::Network probe = vehicle_topology().build();
+    ASSERT_EQ(probe.shard_count(), 3u);  // the sharded build really shards
+  }
+  const RunSignature base = run_vehicle(single, 1);
+  EXPECT_GT(base.frames, 0u);
+  EXPECT_GT(base.forwarded, 0u);
+  // 1-vs-N shards and 1-vs-N threads: all identical to the serial run.
+  EXPECT_EQ(run_vehicle(sharded, 1), base);
+  EXPECT_EQ(run_vehicle(sharded, 2), base);
+  EXPECT_EQ(run_vehicle(sharded, 4), base);
+}
+
+TEST(NetworkSharding, ZonalFlexrayTopologyIsShardCountInvariant) {
+  // CAN zone -> translating gateway -> FlexRay backbone -> gateway -> CAN
+  // zone: the cross-fabric path of the zonal example, here pinned to be
+  // identical between the single-shard and sharded builds.
+  const auto topology = [] {
+    NetworkBuilder nb;
+    const BusId zone_f = nb.bus("zone_front", 500'000);
+    const BusId zone_r = nb.bus("zone_rear", 500'000);
+    net::FlexrayFabricConfig fc;
+    fc.static_cfg.cycle_length = kMillisecond;
+    fc.static_cfg.static_slots = 1;
+    fc.static_cfg.slot_length = 50 * kMicrosecond;
+    fc.minislots = 40;  // dynamic slot id 30 is reachable within a cycle
+    fc.minislot = 20 * kMicrosecond;
+    const BusId bb = nb.flexray("backbone", fc);
+    const GatewayId gf = nb.gateway("gw_front", gw_cfg(100 * kMicrosecond));
+    const GatewayId gr = nb.gateway("gw_rear", gw_cfg(100 * kMicrosecond));
+    net::PackedRoute pr;
+    pr.from = zone_f;
+    pr.to = bb;
+    pr.table = {{0x10, 0, 4}, {0x11, 4, 4}};
+    pr.trigger_id = 0x11;
+    nb.packed_route_flexray(gf, pr, "agg", 30);
+    net::UnpackRoute ur;
+    ur.from = bb;
+    ur.to = zone_r;
+    ur.table = {{0x20, false, 4, 0}, {0x21, false, 4, 4}};
+    nb.unpack_route_flexray(gr, ur, 30);
+
+    ModelTask sensor;
+    sensor.name = "sensor";
+    sensor.priority = 5;
+    sensor.exec = 100 * kMicrosecond;
+    sensor.period = 5 * kMillisecond;
+    sensor.deadline = 5 * kMillisecond;
+    can::CanFrame sensor_tx;
+    sensor_tx.id = 0x10;
+    sensor_tx.dlc = 4;
+    sensor.tx = sensor_tx;
+    ModelTask trigger = sensor;
+    trigger.name = "trigger";
+    trigger.priority = 4;
+    can::CanFrame trigger_tx;
+    trigger_tx.id = 0x11;
+    trigger_tx.dlc = 4;
+    trigger.tx = trigger_tx;
+    nb.ecu(zone_f, "front_sensors", {sensor, trigger});
+    return nb;
+  };
+  const auto run = [&](bool single_shard, unsigned threads) {
+    NetworkBuilder nb = topology();
+    if (single_shard) {
+      nb.shards(1);
+    }
+    nb.threads(threads);
+    net::Network net = nb.build();
+    std::uint64_t frames = 0, hash = 0;
+    const can::NodeId probe = net.bus(1).attach_node("probe");
+    net.bus(1).subscribe(probe, [&](const can::CanFrame& f, SimTime at) {
+      ++frames;
+      hash += (static_cast<std::uint64_t>(f.id) + 1) *
+              static_cast<std::uint64_t>(at);
+    });
+    net.run_until(200 * kMillisecond);
+    return std::pair<std::uint64_t, std::uint64_t>(frames, hash);
+  };
+  {
+    net::Network probe = topology().build();
+    ASSERT_EQ(probe.shard_count(), 3u);
+  }
+  const auto base = run(true, 1);
+  EXPECT_GT(base.first, 0u);
+  EXPECT_EQ(run(false, 1), base);
+  EXPECT_EQ(run(false, 2), base);
+}
+
+TEST(NetworkSharding, WatchdogTripPropagatesAcrossNetworkShards) {
+  NetworkBuilder nb = vehicle_topology();
+  net::Network net = nb.build();
+  ASSERT_GT(net.shard_count(), 1u);
+  // Livelock one shard's queue mid-run; the global watchdog must stop
+  // every shard, and the trip must be visible at the network surface.
+  sim::Simulation& victim = net.shard(0);
+  auto spin = std::make_shared<std::function<void()>>();
+  *spin = [&victim, spin] { victim.schedule_in(0, *spin); };
+  victim.schedule_at(20 * kMillisecond, [spin] { (*spin)(); });
+  net.simulation().set_watchdog(
+      [](std::uint64_t events) { return events >= 100'000; });
+  net.run_until(kSecond);
+  EXPECT_TRUE(net.simulation().watchdog_tripped());
+  EXPECT_LT(net.now(), kSecond);
+}
+
+}  // namespace
+}  // namespace aces::sim

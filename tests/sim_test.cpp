@@ -132,6 +132,47 @@ TEST(EventQueue, ScheduleEveryInterleavesFifoWithPlainEvents) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 1}));
 }
 
+TEST(EventQueue, ScheduleEveryCancelStopsTheWholeSeries) {
+  EventQueue q;
+  std::vector<SimTime> fire_times;
+  const EventId id =
+      q.schedule_every(10, [&] { fire_times.push_back(q.now()); });
+  q.run_until(25);  // fires at 0, 10, 20; next occurrence armed for 30
+  q.cancel(id);     // cancellation mid-period kills the armed occurrence
+  q.run_until(100);
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{0, 10, 20}));
+  q.cancel(id);  // double-cancel of a periodic id is a no-op
+  q.run_until(200);
+  EXPECT_EQ(fire_times.size(), 3u);
+}
+
+TEST(EventQueue, ScheduleEveryCancelFromInsideItsOwnCallback) {
+  EventQueue q;
+  int fired = 0;
+  EventId id = 0;
+  id = q.schedule_every(10, [&] {
+    ++fired;
+    if (fired == 3) {
+      q.cancel(id);  // self-cancel: the rearm after this firing must die
+    }
+  });
+  q.run_until(1000);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, ScheduleEveryIdsAreIndependent) {
+  EventQueue q;
+  int a = 0, b = 0;
+  const EventId ida = q.schedule_every(10, [&] { ++a; });
+  const EventId idb = q.schedule_every(10, [&] { ++b; });
+  EXPECT_NE(ida, idb);
+  q.run_until(5);
+  q.cancel(ida);
+  q.run_until(45);  // b keeps firing: 0, 10, 20, 30, 40
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 5);
+}
+
 TEST(EventQueue, NextTimePeeksEarliestLiveEvent) {
   EventQueue q;
   EXPECT_EQ(q.next_time(), kNever);
