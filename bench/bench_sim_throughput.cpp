@@ -18,13 +18,15 @@ using namespace aces::bench;
 
 namespace {
 
-void IssThroughput(benchmark::State& state, std::uint32_t decode_cache_lines) {
+void IssThroughput(benchmark::State& state, std::uint32_t decode_cache_lines,
+                   cpu::DispatchTier tier) {
   const workloads::Kernel& kernel = workloads::autoindy_suite()[4];  // crc16
   const kir::KFunction f = kernel.build();
   const kir::LoweredProgram prog =
       kir::lower_program({&f}, isa::Encoding::b32, cpu::kFlashBase);
   cpu::System sys(system_for(isa::Encoding::b32, MemRegime::zero_wait)
-                      .decode_cache_lines(decode_cache_lines));
+                      .decode_cache_lines(decode_cache_lines)
+                      .dispatch_tier(tier));
   sys.load(prog.image);
   support::Rng256 rng(1);
   const workloads::Instance in = kernel.make_instance(rng, workloads::kDataBase);
@@ -41,17 +43,41 @@ void IssThroughput(benchmark::State& state, std::uint32_t decode_cache_lines) {
   // scaled for reading against the paper's MHz-class cores).
   state.counters["guest_mips"] = benchmark::Counter(
       static_cast<double>(instructions) * 1e-6, benchmark::Counter::kIsRate);
+  // Speed-tier health counters: how much of the run the tiers actually
+  // carried (a formation or invalidation bug shows up here long before it
+  // shows up as a throughput regression).
+  const cpu::Core::JitStats js = sys.core().jit_stats();
+  state.counters["decode_hits"] = static_cast<double>(js.decode_hits);
+  state.counters["blocks_formed"] = static_cast<double>(js.blocks_formed);
+  state.counters["block_hits"] = static_cast<double>(js.block_hits);
+  state.counters["block_instructions"] =
+      static_cast<double>(js.block_instructions);
+  state.counters["avg_block_length"] = js.avg_block_length;
+  if (instructions > 0) {
+    state.counters["block_insn_share"] =
+        static_cast<double>(js.block_instructions) /
+        static_cast<double>(instructions);
+  }
 }
 
+// The three-tier ladder CI tracks (BENCH_core.json): superblock is the
+// default shipping configuration, the per-insn decode-cache tier is the
+// previous PR's configuration, and Uncached doubles as the pre-decode-cache
+// baseline. The perf smoke gate asserts Superblock >= 2x the per-insn tier.
+void BM_IssInstructionThroughputSuperblock(benchmark::State& state) {
+  IssThroughput(state, 2048, cpu::DispatchTier::superblock);
+}
+BENCHMARK(BM_IssInstructionThroughputSuperblock);
+
 void BM_IssInstructionThroughput(benchmark::State& state) {
-  IssThroughput(state, 2048);  // decoded-instruction cache (the default)
+  IssThroughput(state, 2048, cpu::DispatchTier::per_insn);
 }
 BENCHMARK(BM_IssInstructionThroughput);
 
 // The pre-decode-cache configuration, kept as a self-measuring baseline so
 // the speedup is visible in every BENCH_core.json artifact.
 void BM_IssInstructionThroughputUncached(benchmark::State& state) {
-  IssThroughput(state, 0);
+  IssThroughput(state, 0, cpu::DispatchTier::per_insn);
 }
 BENCHMARK(BM_IssInstructionThroughputUncached);
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include <limits>
+
 #include "cpu/fpb.h"
+#include "cpu/hostmem.h"
 #include "cpu/intc.h"
 #include "support/bits.h"
 #include "support/check.h"
@@ -17,35 +20,9 @@ using isa::SetFlags;
 using support::bits;
 using support::sign_extend;
 
-namespace {
-
-// Raw host-storage accessors for the DirectSpan fast paths (little-endian,
-// like ByteStore; the per-byte loops compile down to plain loads/stores).
-[[nodiscard]] inline std::uint32_t load_le(const std::uint8_t* p,
-                                           unsigned size) {
-  std::uint32_t v = 0;
-  for (unsigned k = 0; k < size; ++k) {
-    v |= static_cast<std::uint32_t>(p[k]) << (8 * k);
-  }
-  return v;
-}
-
-inline void store_le(std::uint8_t* p, unsigned size, std::uint32_t v) {
-  for (unsigned k = 0; k < size; ++k) {
-    p[k] = static_cast<std::uint8_t>(v >> (8 * k));
-  }
-}
-
-// Naturally aligned 1/2/4-byte access fully inside the span?
-[[nodiscard]] inline bool span_covers(const mem::DirectSpan& s,
-                                      std::uint32_t addr, unsigned size) {
-  // s.size >= 4 is guaranteed at acquisition, so size <= s.size never
-  // underflows the subtraction.
-  return s.size != 0 && addr >= s.base && addr - s.base <= s.size - size &&
-         (addr & (size - 1)) == 0;
-}
-
-}  // namespace
+using hostmem::load_le;
+using hostmem::span_covers;
+using hostmem::store_le;
 
 Core::Core(CoreConfig config, mem::MemPort& ifetch, mem::MemPort& data)
     : config_(config),
@@ -54,9 +31,14 @@ Core::Core(CoreConfig config, mem::MemPort& ifetch, mem::MemPort& data)
       data_(data) {
   privileged_ = config_.privileged;
   if (config_.decode_cache_lines != 0) {
-    dcache_.emplace(config_.decode_cache_lines,
-                    config_.encoding == isa::Encoding::w32 ? 2u : 1u);
+    const unsigned pc_shift = config_.encoding == isa::Encoding::w32 ? 2u : 1u;
+    dcache_.emplace(config_.decode_cache_lines, pc_shift);
+    if (config_.dispatch_tier == DispatchTier::superblock) {
+      sbcache_.emplace(config_.decode_cache_lines, pc_shift);
+    }
   }
+  code_snoop_.wire(dcache_ ? &*dcache_ : nullptr,
+                   sbcache_ ? &*sbcache_ : nullptr);
   data_spans_ok_ = data_.offers_direct_spans();
   ifetch_spans_ok_ = ifetch_.offers_direct_spans();
 }
@@ -75,6 +57,7 @@ void Core::reset(std::uint32_t entry_pc, std::uint32_t initial_sp) {
   fault_info_ = CoreFault{};
   // A reset is a reboot: callers commonly reload images through backdoors
   // the snoops don't see from a standalone core, so start decoding fresh.
+  sb_resume_block_ = nullptr;
   invalidate_decoded();
 }
 
@@ -156,6 +139,9 @@ bool Core::mem_write(std::uint32_t addr, unsigned size, std::uint32_t value,
   if (dcache_) {
     dcache_->snoop_write(addr, size);
   }
+  if (sbcache_) {
+    sbcache_->snoop_write(addr, size);
+  }
   ++stats_.stores;
   return true;
 }
@@ -201,27 +187,6 @@ void Core::do_fault(mem::Fault kind, std::uint32_t addr, mem::Access access) {
     return;
   }
   halt(HaltReason::fault);
-}
-
-// ----- flags ------------------------------------------------------------------
-
-void Core::set_nz(std::uint32_t result) {
-  flags_.n = (result >> 31) != 0;
-  flags_.z = result == 0;
-}
-
-std::uint32_t Core::add_with_carry(std::uint32_t a, std::uint32_t b,
-                                   bool carry_in, bool set) {
-  const std::uint64_t u = static_cast<std::uint64_t>(a) + b + (carry_in ? 1 : 0);
-  const std::int64_t s = static_cast<std::int64_t>(static_cast<std::int32_t>(a)) +
-                         static_cast<std::int32_t>(b) + (carry_in ? 1 : 0);
-  const auto r = static_cast<std::uint32_t>(u);
-  if (set) {
-    set_nz(r);
-    flags_.c = (u >> 32) != 0;
-    flags_.v = s != static_cast<std::int32_t>(r);
-  }
-  return r;
 }
 
 // ----- IT blocks ---------------------------------------------------------------
@@ -440,7 +405,18 @@ bool Core::step() {
       return false;
     }
   }
+  if (sbcache_) {
+    // Single-stepping still exercises block dispatch (the resume cursor
+    // carries the position between steps), so direct step() drivers — the
+    // differential fuzzer above all — test the same machinery run() uses.
+    run_span(insns_ + 1, std::numeric_limits<std::uint64_t>::max());
+  } else {
+    step_insn();
+  }
+  return halt_ == HaltReason::none;
+}
 
+void Core::step_insn() {
   cur_pc_ = regs_[isa::pc];
   std::uint32_t fetch_cycles = 0;
   const Decoded* d = nullptr;
@@ -451,18 +427,18 @@ bool Core::step() {
     // counters; compare them before trusting a hit (only when they exist).
     if (fpb_ != nullptr && fpb_->version() != fpb_version_seen_) {
       fpb_version_seen_ = fpb_->version();
-      dcache_->invalidate_all();
+      invalidate_decoded();
     }
     if (mpu_ != nullptr && mpu_->version() != mpu_version_seen_) {
       mpu_version_seen_ = mpu_->version();
-      dcache_->invalidate_all();
+      invalidate_decoded();
     }
     DecodeCache::Line* line = dcache_->lookup(cur_pc_);
     if (line != nullptr && line->privileged == privileged_) {
       ++dcache_->stats().hits;
       if (!replay_fetch(*line, &fetch_cycles)) {
         cycles_ += fetch_cycles;
-        return halt_ == HaltReason::none;
+        return;
       }
       // Execute straight from the cache line: invalidation only bumps the
       // generation (it never rewrites line contents mid-instruction), so
@@ -477,7 +453,7 @@ bool Core::step() {
     FetchReplay replay = FetchReplay::one_read;
     if (!fetch_decode(cur_pc_, &fresh, &fetch_cycles, &replay)) {
       cycles_ += fetch_cycles;
-      return halt_ == HaltReason::none;
+      return;
     }
     if (dcache_) {
       std::uint32_t fixed_cycles = replay == FetchReplay::fixed ? 1 : 0;
@@ -500,6 +476,8 @@ bool Core::step() {
         }
       }
       dcache_->install(cur_pc_, fresh, replay, fixed_cycles, privileged_);
+      code_snoop_.widen(cur_pc_,
+                        cur_pc_ + static_cast<std::uint32_t>(fresh.size));
     }
     d = &fresh;
   }
@@ -514,18 +492,101 @@ bool Core::step() {
   cycles_ += std::max(fetch_cycles, exec_cycles);
   ++insns_;
   ++stats_.instructions;
-  return halt_ == HaltReason::none;
+}
+
+HaltReason Core::run_chunk(std::uint64_t max_instructions,
+                           std::uint64_t cycle_limit) {
+  const std::uint64_t start = insns_;
+  const std::uint64_t ilimit =
+      max_instructions > std::numeric_limits<std::uint64_t>::max() - start
+          ? std::numeric_limits<std::uint64_t>::max()
+          : start + max_instructions;
+  while (halt_ == HaltReason::none) {
+    if (insns_ >= ilimit) {
+      return HaltReason::insn_limit;
+    }
+    if (cycles_ >= cycle_limit) {
+      return HaltReason::none;
+    }
+    // Boundary protocol, shared with the superblock dispatcher's internal
+    // boundaries: hook first (exactly once per instruction boundary), then
+    // sleep/interrupt attention, then execution.
+    if (cycle_hook_) {
+      cycle_hook_(cycles_);
+    }
+    if (wfi_) {
+      if (intc_ != nullptr && intc_->dispatch_needed() &&
+          intc_->would_preempt(*this)) {
+        wfi_ = false;
+      } else {
+        // Idle with nothing deliverable: hand back to the caller, which
+        // either ticks cycles (run) or fast-forwards to the next event
+        // (System::advance_to). This boundary's hook already ran.
+        return HaltReason::none;
+      }
+    }
+    if (intc_ != nullptr && intc_->dispatch_needed()) {
+      intc_->poll(*this);
+      if (halt_ != HaltReason::none) {
+        break;
+      }
+    }
+    if (sbcache_) {
+      run_span(ilimit, cycle_limit);
+    } else {
+      step_insn();
+    }
+  }
+  return halt_;
 }
 
 HaltReason Core::run(std::uint64_t max_instructions) {
-  const std::uint64_t limit = insns_ + max_instructions;
+  const std::uint64_t limit =
+      max_instructions > std::numeric_limits<std::uint64_t>::max() - insns_
+          ? std::numeric_limits<std::uint64_t>::max()
+          : insns_ + max_instructions;
   while (halt_ == HaltReason::none) {
     if (insns_ >= limit) {
       return HaltReason::insn_limit;
     }
-    (void)step();
+    const HaltReason r =
+        run_chunk(limit - insns_, std::numeric_limits<std::uint64_t>::max());
+    if (r != HaltReason::none) {
+      return r;
+    }
+    // Only a wfi with no deliverable interrupt returns `none` under an
+    // unbounded cycle limit; model the sleeping core one cycle at a time
+    // (the chunk already ran this boundary's hook).
+    if (wfi_) {
+      cycles_ += 1;
+    }
   }
   return halt_;
+}
+
+Core::JitStats Core::jit_stats() const {
+  JitStats s;
+  if (dcache_) {
+    const DecodeCache::Stats& d = dcache_->stats();
+    s.decode_hits = d.hits;
+    s.decode_misses = d.misses;
+    s.decode_invalidations = d.invalidations;
+  }
+  if (sbcache_) {
+    const SuperblockCache::Stats& b = sbcache_->stats();
+    s.blocks_formed = b.blocks_formed;
+    s.blocks_killed = b.blocks_killed;
+    s.block_splits = b.block_splits;
+    s.block_flushes = b.block_flushes;
+    s.block_hits = b.hits;
+    s.block_misses = b.misses;
+    s.block_instructions = b.block_instructions;
+    if (b.blocks_formed > 0) {
+      s.avg_block_length = static_cast<double>(b.entries_chained) /
+                           static_cast<double>(b.blocks_formed);
+    }
+  }
+  return s;
 }
 
 // ----- execute ---------------------------------------------------------------------

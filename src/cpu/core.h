@@ -20,6 +20,7 @@
 #include <optional>
 
 #include "cpu/decode_cache.h"
+#include "cpu/superblock.h"
 #include "cpu/timings.h"
 #include "isa/codec.h"
 #include "isa/isa.h"
@@ -52,6 +53,18 @@ struct CoreFault {
   mem::Access access = mem::Access::read;
 };
 
+// Host-side dispatch speed tier. All tiers retire bit-identical
+// (pc, cycles) traces — the knob only trades host work for fidelity of
+// nothing; the three-way differential fuzzer proves it.
+//   off        — decode from scratch every step (the reference tier).
+//   per_insn   — decoded-instruction cache, one dispatch per step.
+//   superblock — chain decoded entries into straight-line superblocks and
+//                run them through a threaded-dispatch loop, falling back to
+//                per_insn wherever formation is unsafe (stateful fetch
+//                timing, MPU-guarded memory, IT-block entry) or a block was
+//                invalidated.
+enum class DispatchTier : std::uint8_t { off, per_insn, superblock };
+
 struct CoreConfig {
   isa::Encoding encoding = isa::Encoding::b32;
   CoreTimings timings = CoreTimings::modern_mcu();
@@ -61,10 +74,12 @@ struct CoreConfig {
   // Initial privilege (OSEK kernels run tasks unprivileged).
   bool privileged = true;
   // Decoded-instruction cache size (direct-mapped, power of two). 0
-  // disables it — every step then decodes from scratch, which is the
-  // reference the differential tests compare the cached runs against.
+  // disables all caching — every step then decodes from scratch, which is
+  // the reference the differential tests compare the cached runs against.
   // Host-side speed only; retired (pc, cycles) traces are identical.
   std::uint32_t decode_cache_lines = 2048;
+  // Requested speed tier; clamped to `off` when decode_cache_lines == 0.
+  DispatchTier dispatch_tier = DispatchTier::superblock;
 };
 
 class Core {
@@ -101,6 +116,15 @@ class Core {
   bool step();
   // Runs until halt or the instruction budget is exhausted.
   HaltReason run(std::uint64_t max_instructions);
+  // Batch stepping for co-simulation slices: runs until halt, the (relative)
+  // instruction budget, the (absolute) cycle limit, or a WFI with no
+  // deliverable interrupt. Returns insn_limit for an exhausted budget, the
+  // halt reason on halt, and none otherwise (cycle limit reached or idle in
+  // WFI — callers distinguish via waiting_for_interrupt()). Semantically
+  // identical to a step() loop with the same guards; the superblock tier
+  // makes it fast by staying inside block dispatch between boundaries.
+  HaltReason run_chunk(std::uint64_t max_instructions,
+                       std::uint64_t cycle_limit);
 
   // ----- state access -----
   [[nodiscard]] std::uint32_t reg(isa::Reg r) const { return regs_[r]; }
@@ -150,17 +174,52 @@ class Core {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
-  // ----- decoded-instruction cache -----
+  // ----- decoded-instruction cache / superblock tier -----
   [[nodiscard]] DecodeCache* decode_cache() {
     return dcache_ ? &*dcache_ : nullptr;
   }
-  // Drops every cached decode (used by the fault-injector upset hook and
-  // anything else that mutates code behind the memory system's back).
+  [[nodiscard]] SuperblockCache* superblock_cache() {
+    return sbcache_ ? &*sbcache_ : nullptr;
+  }
+  // The tier actually running (the config request clamped by cache size).
+  [[nodiscard]] DispatchTier dispatch_tier() const {
+    return sbcache_   ? DispatchTier::superblock
+           : dcache_ ? DispatchTier::per_insn
+                      : DispatchTier::off;
+  }
+  // The bus-facing write snoop covering every decoded-code cache this core
+  // keeps (System wires it to the bus), or nullptr when nothing is cached.
+  [[nodiscard]] mem::WriteSnoop* code_write_snoop() {
+    return (dcache_ || sbcache_) ? &code_snoop_ : nullptr;
+  }
+  // Drops every cached decode and superblock (used by the fault-injector
+  // upset hook and anything else that mutates code behind the memory
+  // system's back).
   void invalidate_decoded() {
     if (dcache_) {
       dcache_->invalidate_all();
     }
+    if (sbcache_) {
+      sbcache_->invalidate_all();
+    }
+    code_snoop_.clear_window();
   }
+
+  // Aggregated speed-tier counters (decode cache + superblock cache).
+  struct JitStats {
+    std::uint64_t decode_hits = 0;
+    std::uint64_t decode_misses = 0;
+    std::uint64_t decode_invalidations = 0;
+    std::uint64_t blocks_formed = 0;
+    std::uint64_t blocks_killed = 0;
+    std::uint64_t block_splits = 0;
+    std::uint64_t block_flushes = 0;
+    std::uint64_t block_hits = 0;
+    std::uint64_t block_misses = 0;
+    std::uint64_t block_instructions = 0;
+    double avg_block_length = 0.0;  // entries per formed block
+  };
+  [[nodiscard]] JitStats jit_stats() const;
 
  private:
   // Fetches and decodes at `addr`, charging fetch cycles (halfword-stream
@@ -176,6 +235,27 @@ class Core {
   bool replay_fetch(const DecodeCache::Line& line, std::uint32_t* fetch_cycles);
   void execute(const Decoded& d, std::uint32_t* exec_cycles);
 
+  // One instruction (or fault/handler entry), with no boundary attention:
+  // the caller has already run the cycle hook, WFI gate and interrupt poll
+  // for this boundary. The per-instruction tier's whole body.
+  void step_insn();
+
+  // Superblock tier (superblock.cpp). run_span executes from the current pc
+  // through block dispatch until a limit, an invalidation, a halt, or a
+  // departure from straight-line code, servicing every entry boundary's
+  // attention (hook/poll) itself; on any bail-out it retires at least one
+  // instruction via step_insn() so callers always make progress. ilimit is
+  // an absolute insns_ bound, climit an absolute cycles_ bound.
+  void run_span(std::uint64_t ilimit, std::uint64_t climit);
+  // Decode-ahead for formation: yields the decoded instruction and its
+  // state-free fetch cost at `pc` without charging cycles (FPB patch, a
+  // valid fixed decode-cache line, or a fixed_fetch_cost-gated real read
+  // whose observed cost must match the prediction). False: unsafe here.
+  bool peek_decode(std::uint32_t pc, Decoded* out, std::uint32_t* fixed);
+  // Builds and installs the superblock starting at `start_pc`, or returns
+  // nullptr when fewer than two entries chain.
+  SuperblockCache::Block* form_superblock(std::uint32_t start_pc);
+
   // Memory helpers: MPU check + data port access; sets pending fault.
   bool mem_read(std::uint32_t addr, unsigned size, std::uint32_t* value,
                 std::uint32_t* cycles, bool sign_extend, unsigned ext_bits);
@@ -189,10 +269,26 @@ class Core {
   void do_fault(mem::Fault kind, std::uint32_t addr, mem::Access access);
   void halt(HaltReason reason) { halt_ = reason; }
 
-  // Flag helpers.
-  void set_nz(std::uint32_t result);
+  // Flag helpers (inline: both execution tiers sit on them).
+  void set_nz(std::uint32_t result) {
+    flags_.n = (result >> 31) != 0;
+    flags_.z = result == 0;
+  }
   std::uint32_t add_with_carry(std::uint32_t a, std::uint32_t b, bool carry_in,
-                               bool set_flags);
+                               bool set_flags) {
+    const std::uint64_t u =
+        static_cast<std::uint64_t>(a) + b + (carry_in ? 1 : 0);
+    const std::int64_t s =
+        static_cast<std::int64_t>(static_cast<std::int32_t>(a)) +
+        static_cast<std::int32_t>(b) + (carry_in ? 1 : 0);
+    const auto r = static_cast<std::uint32_t>(u);
+    if (set_flags) {
+      set_nz(r);
+      flags_.c = (u >> 32) != 0;
+      flags_.v = s != static_cast<std::int32_t>(r);
+    }
+    return r;
+  }
 
   // IT block bookkeeping (B32).
   [[nodiscard]] bool it_active() const { return it_remaining_ > 0; }
@@ -239,6 +335,14 @@ class Core {
 
   // ----- fast paths -----
   std::optional<DecodeCache> dcache_;
+  std::optional<SuperblockCache> sbcache_;
+  CodeWriteSnoop code_snoop_;
+  // Resume cursor: where block execution bailed on an instruction/cycle
+  // limit, so the next span re-enters mid-block instead of missing. Valid
+  // only while (gen, seq, pc, privilege) still match.
+  SuperblockCache::Block* sb_resume_block_ = nullptr;
+  std::uint32_t sb_resume_seq_ = 0;
+  std::uint32_t sb_resume_idx_ = 0;
   std::uint32_t fpb_version_seen_ = 0;
   std::uint32_t mpu_version_seen_ = 0;
   // Cached data-side DirectSpan (size 0: none) plus a negative window for

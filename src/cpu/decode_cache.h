@@ -28,6 +28,11 @@
 // Known hole: mutating code bytes through a bit-band alias of the SRAM that
 // holds them bypasses the watch window (the alias write carries the alias
 // address). No modeled scenario executes from bit-banded data.
+//
+// This cache is the middle rung of the dispatch ladder: the superblock tier
+// (cpu/superblock.h) chains `fixed`-replay entries of decode-cache grade
+// into straight-line blocks, reusing valid lines during formation and
+// mirroring every invalidation source above at block granularity.
 #ifndef ACES_CPU_DECODE_CACHE_H
 #define ACES_CPU_DECODE_CACHE_H
 

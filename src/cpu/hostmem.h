@@ -1,0 +1,39 @@
+// Raw host-storage accessors shared by the per-instruction and superblock
+// execution tiers (core.cpp, superblock.cpp). Little-endian, like ByteStore;
+// the per-byte loops compile down to plain loads/stores.
+#ifndef ACES_CPU_HOSTMEM_H
+#define ACES_CPU_HOSTMEM_H
+
+#include <cstdint>
+
+#include "mem/device.h"
+
+namespace aces::cpu::hostmem {
+
+[[nodiscard]] inline std::uint32_t load_le(const std::uint8_t* p,
+                                           unsigned size) {
+  std::uint32_t v = 0;
+  for (unsigned k = 0; k < size; ++k) {
+    v |= static_cast<std::uint32_t>(p[k]) << (8 * k);
+  }
+  return v;
+}
+
+inline void store_le(std::uint8_t* p, unsigned size, std::uint32_t v) {
+  for (unsigned k = 0; k < size; ++k) {
+    p[k] = static_cast<std::uint8_t>(v >> (8 * k));
+  }
+}
+
+// Naturally aligned 1/2/4-byte access fully inside the span?
+[[nodiscard]] inline bool span_covers(const mem::DirectSpan& s,
+                                      std::uint32_t addr, unsigned size) {
+  // s.size >= 4 is guaranteed at acquisition, so size <= s.size never
+  // underflows the subtraction.
+  return s.size != 0 && addr >= s.base && addr - s.base <= s.size - size &&
+         (addr & (size - 1)) == 0;
+}
+
+}  // namespace aces::cpu::hostmem
+
+#endif  // ACES_CPU_HOSTMEM_H

@@ -1,0 +1,1206 @@
+// SuperblockCache bookkeeping + the superblock execution tier of Core:
+// formation (form_superblock / peek_decode) and the threaded-dispatch
+// executor (run_span). See superblock.h for the invalidation contract.
+//
+// Dispatch is a computed-goto loop on GNU-compatible compilers (built with
+// -fno-gcse so GCC does not merge the indirect jumps back into one —
+// clang needs no flag). Define ACES_SB_SWITCH_DISPATCH to force the
+// portable switch fallback; both compile to the same handler bodies.
+
+#include "cpu/superblock.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <limits>
+#include <span>
+
+#include "cpu/core.h"
+#include "cpu/fpb.h"
+#include "cpu/hostmem.h"
+#include "cpu/intc.h"
+#include "support/bits.h"
+
+namespace aces::cpu {
+
+using hostmem::load_le;
+using hostmem::span_covers;
+using hostmem::store_le;
+using isa::AddrMode;
+using isa::Cond;
+using isa::Instruction;
+using isa::Op;
+using isa::SetFlags;
+
+// ----- SuperblockCache -------------------------------------------------------
+
+SuperblockCache::SuperblockCache(std::uint32_t num_blocks, unsigned pc_shift)
+    : blocks_(num_blocks), mask_(num_blocks - 1), pc_shift_(pc_shift) {
+  scratch_.reserve(kMaxEntries);
+}
+
+SuperblockCache::Block* SuperblockCache::install(std::uint32_t start_pc,
+                                                 bool privileged) {
+  Block& b = blocks_[(start_pc >> pc_shift_) & mask_];
+  if (b.gen == generation_) {
+    ++stats_.blocks_killed;  // direct-mapped eviction
+  } else {
+    ++live_;
+  }
+  b.entries.swap(scratch_);
+  b.start_pc = start_pc;
+  const Entry& last = b.entries.back();
+  b.end_pc = last.pc + static_cast<std::uint32_t>(last.d.size);
+  b.gen = generation_;
+  ++b.seq;
+  b.privileged = privileged;
+  watch_lo_ = std::min(watch_lo_, b.start_pc);
+  watch_hi_ = std::max(watch_hi_, b.end_pc);
+  ++stats_.blocks_formed;
+  stats_.entries_chained += b.entries.size();
+  return &b;
+}
+
+void SuperblockCache::invalidate_all() {
+  ++stats_.block_flushes;
+  stats_.blocks_killed += live_;
+  live_ = 0;
+  watch_lo_ = 0xFFFF'FFFFu;
+  watch_hi_ = 0;
+  if (++generation_ == 0) {
+    // Generation wrap: scrub so no stale block can ever re-match.
+    for (Block& b : blocks_) {
+      b.gen = 0;
+    }
+    generation_ = 1;
+  }
+}
+
+void SuperblockCache::invalidate_range(std::uint32_t addr, std::uint32_t len) {
+  if (len > 256) {
+    invalidate_all();  // image reload: not worth probing per word
+    return;
+  }
+  // The rewritten bytes may make a previously-unformable pc chainable;
+  // reopen formation everywhere (range writes are rare SMC events).
+  no_form_.fill(0);
+  // A block overlapping [addr, addr+len) must start in
+  // (addr - kMaxSpanBytes, addr + len): probe every aligned candidate start.
+  // Bounded (~kMaxSpanBytes/step + len/step probes) and only reached when
+  // the write already hit the watch window.
+  const std::uint64_t wend = static_cast<std::uint64_t>(addr) + len;
+  const std::uint32_t step = 1u << pc_shift_;
+  std::uint64_t s = addr > (kMaxSpanBytes - step)
+                        ? (addr - (kMaxSpanBytes - step)) & ~(step - 1)
+                        : 0;
+  for (; s < wend; s += step) {
+    const auto pc = static_cast<std::uint32_t>(s);
+    Block& b = blocks_[(pc >> pc_shift_) & mask_];
+    if (b.gen != generation_ || b.start_pc != pc) {
+      continue;
+    }
+    if (b.end_pc > addr && static_cast<std::uint64_t>(b.start_pc) < wend) {
+      b.gen = 0;
+      --live_;
+      ++stats_.blocks_killed;
+      if (addr > b.start_pc) {
+        ++stats_.block_splits;  // landed strictly inside the chained range
+      }
+    }
+  }
+}
+
+// ----- formation -------------------------------------------------------------
+
+namespace {
+
+// Ops that architecturally write `rd` (rd == pc makes them terminators and
+// disqualifies specialization).
+bool writes_rd(Op op) {
+  switch (op) {
+    case Op::add:
+    case Op::adc:
+    case Op::sub:
+    case Op::sbc:
+    case Op::rsb:
+    case Op::and_:
+    case Op::orr:
+    case Op::eor:
+    case Op::bic:
+    case Op::mov:
+    case Op::mvn:
+    case Op::lsl:
+    case Op::lsr:
+    case Op::asr:
+    case Op::ror:
+    case Op::mul:
+    case Op::mla:
+    case Op::sdiv:
+    case Op::udiv:
+    case Op::movw:
+    case Op::movt:
+    case Op::bfi:
+    case Op::bfc:
+    case Op::ubfx:
+    case Op::sbfx:
+    case Op::rbit:
+    case Op::rev:
+    case Op::rev16:
+    case Op::clz:
+    case Op::sxtb:
+    case Op::sxth:
+    case Op::uxtb:
+    case Op::uxth:
+    case Op::ldr:
+    case Op::ldrb:
+    case Op::ldrh:
+    case Op::ldrsb:
+    case Op::ldrsh:
+    case Op::adr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Anything that can leave the straight line ends the block (and is included
+// as its final, generic-or-not entry).
+bool is_terminator(const Instruction& i) {
+  switch (i.op) {
+    case Op::b:
+    case Op::bl:
+    case Op::bx:
+    case Op::cbz:
+    case Op::cbnz:
+    case Op::tbb:
+    case Op::svc:
+    case Op::bkpt:
+    case Op::wfi:  // sleeps: the wfi gate only runs at span entry
+      return true;
+    case Op::ldm:
+    case Op::pop:
+      return ((i.reglist >> isa::pc) & 1u) != 0;
+    default:
+      return writes_rd(i.op) && i.rd == isa::pc;
+  }
+}
+
+// Body length of an IT block (same decode as Core::start_it). Bodies are
+// specialized in place: each slot's condition is static (the IT pattern is
+// part of the instruction), so formation bakes it into the entry and the
+// dispatch gate applies it — no live IT state on the hot path.
+int it_body_len(const Instruction& it) {
+  const std::uint8_t mask = it.it_mask & 0xFu;
+  for (int b = 0; b <= 3; ++b) {
+    if ((mask >> b) & 1u) {
+      return 4 - b;
+    }
+  }
+  return 0;
+}
+
+// Specialization rules: rd != pc for writers, memory classes only when no
+// MPU is wired (the generic funnel performs the MPU data check), and direct
+// branches only when the link-time target stays below the magic
+// exception-return range. W32 conditions are fine — every specialized
+// handler begins with the SB_INSN cond gate, mirroring execute()'s
+// annulled-slot path (1 cycle, ++predicated_skips).
+ExecClass classify(const Instruction& i, std::uint32_t pc, bool has_mpu,
+                   bool* set_out) {
+  *set_out = i.set_flags == SetFlags::yes;
+  if (writes_rd(i.op) && i.rd == isa::pc) {
+    return ExecClass::generic;
+  }
+  if (i.rn == isa::pc || i.rm == isa::pc) {
+    // pc-reading operands (literal loads, mov rd, pc) stay generic so the
+    // dispatcher does not have to materialize regs[pc] on every entry.
+    return ExecClass::generic;
+  }
+  switch (i.op) {
+    case Op::nop:
+      // A conditional nop differs from an executed one only in the
+      // predicated_skips counter; keep it generic so stats stay exact.
+      return i.cond == Cond::al ? ExecClass::nop : ExecClass::generic;
+    case Op::b:
+    case Op::cbz:
+    case Op::cbnz: {
+      const std::uint32_t target =
+          pc + static_cast<std::uint32_t>(static_cast<std::int32_t>(i.imm));
+      if ((target & ~1u) >= kExcReturnBase) {
+        return ExecClass::generic;  // magic exit/exception-return address
+      }
+      return i.op == Op::b ? ExecClass::branch : ExecClass::cbz;
+    }
+    case Op::mov:
+      return ExecClass::mov;
+    case Op::mvn:
+      return ExecClass::mvn;
+    case Op::add:
+      return ExecClass::add;
+    case Op::adc:
+      return ExecClass::adc;
+    case Op::sub:
+      return ExecClass::sub;
+    case Op::sbc:
+      return ExecClass::sbc;
+    case Op::rsb:
+      return ExecClass::rsb;
+    case Op::cmp:
+      return ExecClass::cmp;
+    case Op::cmn:
+      return ExecClass::cmn;
+    case Op::and_:
+      return ExecClass::and_;
+    case Op::orr:
+      return ExecClass::orr;
+    case Op::eor:
+      return ExecClass::eor;
+    case Op::bic:
+      return ExecClass::bic;
+    case Op::tst:
+      return ExecClass::tst;
+    case Op::teq:
+      return ExecClass::teq;
+    case Op::lsl:
+    case Op::lsr:
+    case Op::asr:
+    case Op::ror:
+      return ExecClass::shift;
+    case Op::mul:
+      return ExecClass::mul;
+    case Op::movw:
+      return ExecClass::movw;
+    case Op::movt:
+      return ExecClass::movt;
+    case Op::ubfx:
+      return ExecClass::ubfx;
+    case Op::sxtb:
+      return ExecClass::sxtb;
+    case Op::sxth:
+      return ExecClass::sxth;
+    case Op::uxtb:
+      return ExecClass::uxtb;
+    case Op::uxth:
+      return ExecClass::uxth;
+    case Op::adr:
+      return ExecClass::adr;
+    case Op::ldr:
+      if (!has_mpu && i.addr == AddrMode::offset_imm) return ExecClass::ldr_imm;
+      if (!has_mpu && i.addr == AddrMode::offset_reg) return ExecClass::ldr_reg;
+      return ExecClass::generic;
+    case Op::ldrb:
+      if (!has_mpu && i.addr == AddrMode::offset_imm) {
+        return ExecClass::ldrb_imm;
+      }
+      if (!has_mpu && i.addr == AddrMode::offset_reg) {
+        return ExecClass::ldrb_reg;
+      }
+      return ExecClass::generic;
+    case Op::ldrh:
+      if (!has_mpu && i.addr == AddrMode::offset_imm) {
+        return ExecClass::ldrh_imm;
+      }
+      if (!has_mpu && i.addr == AddrMode::offset_reg) {
+        return ExecClass::ldrh_reg;
+      }
+      return ExecClass::generic;
+    case Op::str:
+      if (!has_mpu && i.addr == AddrMode::offset_imm) return ExecClass::str_imm;
+      if (!has_mpu && i.addr == AddrMode::offset_reg) return ExecClass::str_reg;
+      return ExecClass::generic;
+    case Op::strb:
+      if (!has_mpu && i.addr == AddrMode::offset_imm) {
+        return ExecClass::strb_imm;
+      }
+      if (!has_mpu && i.addr == AddrMode::offset_reg) {
+        return ExecClass::strb_reg;
+      }
+      return ExecClass::generic;
+    case Op::strh:
+      if (!has_mpu && i.addr == AddrMode::offset_imm) {
+        return ExecClass::strh_imm;
+      }
+      if (!has_mpu && i.addr == AddrMode::offset_reg) {
+        return ExecClass::strh_reg;
+      }
+      return ExecClass::generic;
+    default:
+      return ExecClass::generic;
+  }
+}
+
+}  // namespace
+
+bool Core::peek_decode(std::uint32_t pc, Decoded* out, std::uint32_t* fixed) {
+  // Flash-patch hits are fixed-cost by construction (patch RAM, 1 cycle);
+  // a patched-in breakpoint must fall to the per-instruction tier.
+  if (fpb_ != nullptr) {
+    if (const auto patch = fpb_->lookup(pc)) {
+      if (patch->breakpoint) {
+        return false;
+      }
+      out->insn = patch->replacement;
+      out->size = patch->replacement_size;
+      *fixed = 1;
+      return true;
+    }
+  }
+  // A valid fixed-replay decode-cache line already proved everything below
+  // (state-free cost, MPU fetch check under this privilege, FPB miss at the
+  // current version — entry gates compared versions before we got here).
+  if (DecodeCache::Line* line = dcache_->lookup(pc);
+      line != nullptr && line->privileged == privileged_ &&
+      line->replay == FetchReplay::fixed) {
+    *out = line->d;
+    *fixed = line->fixed_cycles;
+    return true;
+  }
+  const unsigned unit = config_.encoding == isa::Encoding::w32 ? 4 : 2;
+  if (mpu_ != nullptr &&
+      mpu_->check(pc, unit, mem::Access::fetch, privileged_) !=
+          mem::Fault::none) {
+    return false;
+  }
+  // Only provably state-free fetch regions may be chained; the observed
+  // cost of the probe read must match the prediction (a probe over SRAM or
+  // fixed-regime flash perturbs nothing but flash stream-hit statistics,
+  // same tolerance as decode_cache.h documents for `fixed` replay).
+  const std::optional<std::uint32_t> pred = ifetch_.fixed_fetch_cost(pc, unit);
+  if (!pred) {
+    return false;
+  }
+  const mem::MemResult first = ifetch_.read(pc, unit, mem::Access::fetch,
+                                            cycles_);
+  if (!first.ok()) {
+    return false;
+  }
+  std::uint32_t observed = first.cycles;
+  std::uint32_t total = *pred;
+  std::uint8_t buf[4] = {0, 0, 0, 0};
+  for (unsigned k = 0; k < unit; ++k) {
+    buf[k] = static_cast<std::uint8_t>(first.value >> (8 * k));
+  }
+  int n = codec_.decode(std::span<const std::uint8_t>(buf, unit), out->insn);
+  if (n == 0 && unit == 2) {
+    const auto pred2 = ifetch_.fixed_fetch_cost(pc + 2, 2);
+    if (!pred2) {
+      return false;
+    }
+    const mem::MemResult second =
+        ifetch_.read(pc + 2, 2, mem::Access::fetch, cycles_ + observed);
+    if (!second.ok()) {
+      return false;
+    }
+    observed += second.cycles;
+    total += *pred2;
+    buf[2] = static_cast<std::uint8_t>(second.value);
+    buf[3] = static_cast<std::uint8_t>(second.value >> 8);
+    n = codec_.decode(std::span<const std::uint8_t>(buf, 4), out->insn);
+  }
+  if (n == 0 || observed != total) {
+    return false;
+  }
+  out->size = n;
+  *fixed = total;
+  return true;
+}
+
+SuperblockCache::Block* Core::form_superblock(std::uint32_t start_pc) {
+  SuperblockCache& sb = *sbcache_;
+  std::vector<SuperblockCache::Entry>& out = sb.scratch();
+  out.clear();
+  std::uint32_t pc = start_pc;
+  // Open IT body being specialized. A body slot must be a pure in-dispatch
+  // class (no execute() funnel, no memory slow path, no pc change) so the
+  // dispatcher never needs live IT state mid-body; otherwise the block is
+  // cut just before the IT instruction and per-insn runs the real thing.
+  int it_body = 0;           // body entries still to chain
+  int it_pos = 0;            // next body position (0-based)
+  std::size_t it_index = 0;  // scratch index of the open body's IT entry
+  std::array<isa::Cond, 4> it_conds{};
+  bool terminated = false;
+  while (!terminated && out.size() < SuperblockCache::kMaxEntries) {
+    if (((pc ^ start_pc) & ~(SuperblockCache::kPageBytes - 1)) != 0) {
+      break;  // page boundary: bounds the blast radius of one guest write
+    }
+    SuperblockCache::Entry e;
+    if (!peek_decode(pc, &e.d, &e.fixed_cycles)) {
+      break;
+    }
+    e.pc = pc;
+    if (it_body > 0) {
+      // Bake the slot's static condition (the SB_INSN gate applies it) and
+      // the inside-IT rule that only compares write flags.
+      e.d.insn.cond = it_conds[static_cast<std::size_t>(it_pos)];
+      e.klass = classify(e.d.insn, pc, mpu_ != nullptr, &e.set);
+      // Only the contiguous pure in-dispatch range [nop, adr] may sit in a
+      // body: no generic funnel, no memory slow path, no pc change.
+      if (static_cast<std::uint8_t>(e.klass) <
+              static_cast<std::uint8_t>(ExecClass::nop) ||
+          static_cast<std::uint8_t>(e.klass) >
+              static_cast<std::uint8_t>(ExecClass::adr)) {
+        it_body = -1;  // unspecializable body: cut before the IT entry
+        break;
+      }
+      const Op op = e.d.insn.op;
+      e.set = e.set && (op == Op::cmp || op == Op::cmn || op == Op::tst ||
+                        op == Op::teq);
+      e.it_info = static_cast<std::uint8_t>(++it_pos);
+      --it_body;
+    } else {
+      terminated = is_terminator(e.d.insn);
+      e.klass = classify(e.d.insn, pc, mpu_ != nullptr, &e.set);
+      if (e.d.insn.op == Op::it &&
+          (it_body = it_body_len(e.d.insn)) > 0) {
+        // Snapshot the exact start_it() expansion (the core is outside any
+        // IT block during formation), then rewind: the body runs on baked
+        // conditions and cold paths rebuild this state when needed.
+        start_it(e.d.insn);
+        it_conds = it_conds_;
+        clear_it_state();
+        it_pos = 0;
+        it_index = out.size();
+        e.klass = ExecClass::it_;
+        e.set = false;
+      }
+    }
+    e.base_cycles = std::max(e.fixed_cycles, config_.timings.data_op);
+    out.push_back(e);
+    pc += static_cast<std::uint32_t>(e.d.size);
+  }
+  if (it_body != 0) {
+    // Half-chained IT body (ran out of room, or a slot was rejected):
+    // never leave one in a block — cut back to just before the IT.
+    out.resize(it_index);
+  }
+  if (out.size() < 2) {
+    out.clear();
+    return nullptr;  // chaining one entry buys nothing over per-insn
+  }
+  SuperblockCache::Block* b = sb.install(start_pc, privileged_);
+  code_snoop_.widen(start_pc, b->end_pc);
+  return b;
+}
+
+// ----- threaded-dispatch executor --------------------------------------------
+
+// One X per ExecClass enumerator, in declaration order (the computed-goto
+// table is built from this list; the static_assert below pins the count).
+#define ACES_SB_FOR_EACH_CLASS(X)                                           \
+  X(generic) X(nop) X(mov) X(mvn) X(add) X(adc) X(sub) X(sbc) X(rsb)        \
+  X(cmp) X(cmn) X(and_) X(orr) X(eor) X(bic) X(tst) X(teq) X(shift)         \
+  X(mul) X(movw) X(movt) X(ubfx) X(sxtb) X(sxth) X(uxtb) X(uxth) X(adr)     \
+  X(it_) X(branch) X(cbz)                                                   \
+  X(ldr_imm) X(ldrb_imm) X(ldrh_imm) X(ldr_reg) X(ldrb_reg) X(ldrh_reg)     \
+  X(str_imm) X(strb_imm) X(strh_imm) X(str_reg) X(strb_reg) X(strh_reg)
+
+#if defined(__GNUC__) && !defined(ACES_SB_SWITCH_DISPATCH)
+#define ACES_SB_THREADED 1
+#define ACES_SB_DISPATCH() goto* kLabels[static_cast<std::size_t>(e->klass)]
+#else
+#define ACES_SB_THREADED 0
+#define ACES_SB_DISPATCH() goto dispatch_switch
+#endif
+
+// The hot instruction boundary, expanded INLINE at the end of every handler
+// (not a shared label): each handler gets its own indirect-branch site, so
+// a fixed entry sequence trains one BTB slot per (class, successor) pair
+// instead of funneling every prediction through a single site. Cold
+// outcomes leave the straight line to shared labels.
+// `estop` folds the block-end and instruction-budget exits into one
+// compare: done and e advance in lockstep between recomputes (every
+// dispatch_entry), so e == estop fires exactly where the separate
+// `e == eend || done >= istop` checks would — boundary_slow re-derives
+// which. The cycle limit keeps its own compare (its distance is not
+// entry-countable: entries charge variable cycles), but it is perfectly
+// predicted in the common unbounded-climit case. Attentive spans pin
+// estop one entry ahead so attention still precedes every entry.
+#define ACES_SB_NEXT()                            \
+  do {                                            \
+    ++e;                                          \
+    if (e == estop) {                             \
+      goto boundary_slow;                         \
+    }                                             \
+    if (cyc >= climit) {                          \
+      goto park;                                  \
+    }                                             \
+    ++done;                                       \
+    ACES_SB_DISPATCH();                           \
+  } while (0)
+
+void Core::run_span(std::uint64_t ilimit, std::uint64_t climit) {
+#if ACES_SB_THREADED
+#define ACES_SB_LABEL_ADDR(name) &&lbl_##name,
+  static const void* const kLabels[] = {
+      ACES_SB_FOR_EACH_CLASS(ACES_SB_LABEL_ADDR)};
+#undef ACES_SB_LABEL_ADDR
+  static_assert(std::size(kLabels) ==
+                    static_cast<std::size_t>(ExecClass::count),
+                "kLabels must cover every ExecClass in order");
+#endif
+  // All locals up front: the handler gotos may not jump over initialized
+  // declarations at function scope.
+  SuperblockCache& sb = *sbcache_;
+  const CoreTimings& t = config_.timings;
+  SuperblockCache::Block* block = nullptr;
+  const SuperblockCache::Entry* e = nullptr;     // cursor (the hot induction)
+  const SuperblockCache::Entry* ents = nullptr;  // first entry (loop-back)
+  const SuperblockCache::Entry* eend = nullptr;  // one past the last entry
+  const SuperblockCache::Entry* estop = nullptr;  // next mandatory slow check
+  // Span-invariant attention state. All three are host-API-owned (nothing a
+  // guest instruction, device write, or the hook itself can install or
+  // remove mid-span), so hoisting them keeps the interior boundary down to
+  // two limit compares plus predictable tests held in registers.
+  const bool hooked = static_cast<bool>(cycle_hook_);
+  InterruptController* const intc = intc_;
+  const bool vgates = fpb_ != nullptr || mpu_ != nullptr;
+  // Hot counters live in registers between sync points; SB_SYNC() flushes
+  // them back (as a delta, so `done` keeps counting monotonically against
+  // `istop`) before anything outside the dispatcher — hook, poll,
+  // execute(), step_insn() — can observe core state, and before returning.
+  std::uint64_t cyc = cycles_;
+  std::uint64_t done = 0;
+  std::uint64_t flushed = 0;
+  const std::uint64_t istop = ilimit - insns_;  // caller ensures insns_ < ilimit
+  // A span is `attentive` when an interior boundary has real work: a cycle
+  // hook, live version gates, or a pending interrupt. In a quiet span none
+  // of these can appear between specialized entries (hooks and the FPB/MPU
+  // are host-owned, fast-path stores only touch plain RAM), so the interior
+  // boundary collapses to the two limit compares. Generic entries and polls
+  // can change the pending picture, so they re-evaluate it.
+  bool attentive =
+      hooked || vgates || (intc != nullptr && intc->dispatch_needed());
+  // Rebuilds the architectural IT state per-insn would hold at the boundary
+  // before `be` (body position it_info - 1): the IT entry sits it_info
+  // slots back in the same block. Cold paths only — exception stacking and
+  // per-insn fallback must see the exact psr bits; the dispatcher itself
+  // runs the body on conditions baked into the entries.
+  const auto materialize_it = [this](const SuperblockCache::Entry* be) {
+    start_it(be[-static_cast<std::ptrdiff_t>(be->it_info)].d.insn);
+    const auto pos = static_cast<std::uint8_t>(be->it_info - 1);
+    it_pos_ = pos;
+    it_remaining_ = static_cast<std::uint8_t>(it_remaining_ - pos);
+  };
+
+#define SB_SYNC()                              \
+  do {                                         \
+    cycles_ = cyc;                             \
+    const std::uint64_t d_ = done - flushed;   \
+    insns_ += d_;                              \
+    stats_.instructions += d_;                 \
+    sb.stats().block_instructions += d_;       \
+    flushed = done;                            \
+  } while (0)
+
+  // The caller (step / run_chunk) has already serviced this boundary's
+  // attention (cycle hook, WFI gate, interrupt poll), so entry and cursor
+  // resume dispatch directly; run_span services every *interior* boundary.
+  if (dcache_) {
+    if ((fpb_ != nullptr && fpb_->version() != fpb_version_seen_) ||
+        (mpu_ != nullptr && mpu_->version() != mpu_version_seen_)) {
+      step_insn();  // refreshes seen versions + invalidates both caches
+      return;
+    }
+  }
+  if (sb_resume_block_ != nullptr) {
+    SuperblockCache::Block* rb = sb_resume_block_;
+    sb_resume_block_ = nullptr;
+    if (rb->gen == sb.generation() && rb->seq == sb_resume_seq_ &&
+        rb->privileged == privileged_ &&
+        sb_resume_idx_ < rb->entries.size() &&
+        rb->entries[sb_resume_idx_].pc == regs_[isa::pc]) {
+      // Architectural state (including any IT progress) is exactly as when
+      // the cursor was parked: the only code that ran in between was the
+      // caller's boundary attention, and a delivered interrupt or handler
+      // entry would have moved the pc.
+      block = rb;
+      ents = rb->entries.data();
+      eend = ents + rb->entries.size();
+      e = ents + sb_resume_idx_;
+      if (e->it_info != 0) {
+        // Parking materialized the IT state for the caller's boundary
+        // attention; back in the dispatcher the baked conditions take over.
+        clear_it_state();
+      }
+      goto dispatch_entry;
+    }
+  }
+  if (it_active()) {
+    // Blocks are formed for IT-free entry; mid-IT resume is handled by the
+    // cursor path above, everything else runs per-instruction.
+    step_insn();
+    return;
+  }
+  block = sb.lookup(regs_[isa::pc], privileged_);
+  if (block != nullptr) {
+    ++sb.stats().hits;
+  } else {
+    // Hot unformable pcs (a WFI idle loop's wake point above all) would
+    // otherwise pay the failed probe reads and decode on every single
+    // re-entry; the negative cache drops that to one compare.
+    if (sb.known_unformable(regs_[isa::pc])) {
+      ++sb.stats().misses;
+      step_insn();
+      return;
+    }
+    block = form_superblock(regs_[isa::pc]);
+    if (block == nullptr) {
+      sb.note_unformable(regs_[isa::pc]);
+      ++sb.stats().misses;
+      step_insn();
+      return;
+    }
+  }
+  // The entries vector is stable for the whole span: installs only happen
+  // at span entry, and invalidation flips `gen` without touching storage.
+  ents = block->entries.data();
+  eend = ents + block->entries.size();
+  e = ents;
+  goto dispatch_entry;
+
+boundary_slow:
+  // The folded e == estop exit: untangle which underlying condition fired
+  // (checked in the same order the per-entry tail used to).
+  if (e == eend) {
+    goto span_done;
+  }
+  // falls through: instruction budget, attention, or a stale estop
+
+boundary:
+  // Re-entry boundary for the in-dispatch loop-back (pc_changed): the
+  // handlers themselves run the inline ACES_SB_NEXT() copy of these checks.
+  if (done >= istop || cyc >= climit) {
+    goto park;
+  }
+  if (attentive) {
+    goto boundary_attend;
+  }
+  // falls through into dispatch
+
+dispatch_entry:
+  // regs[pc] and cur_pc_ are NOT updated per entry: the classifier rejects
+  // pc-reading operands, so only the handlers that need the pc (adr,
+  // branches, the generic funnel) and the exit/attention points materialize
+  // it. Every return path below leaves regs[pc] exactly as the
+  // per-instruction tier would.
+  estop = attentive ? e + 1
+                    : e + static_cast<std::ptrdiff_t>(std::min(
+                              static_cast<std::uint64_t>(eend - e),
+                              istop - done));
+  ++done;  // counts into insns_ / instructions / block_instructions at sync
+  ACES_SB_DISPATCH();
+
+#if !ACES_SB_THREADED
+dispatch_switch:
+  switch (e->klass) {
+#define ACES_SB_CASE(name) \
+  case ExecClass::name:    \
+    goto lbl_##name;
+    ACES_SB_FOR_EACH_CLASS(ACES_SB_CASE)
+#undef ACES_SB_CASE
+    case ExecClass::count:
+      break;
+  }
+  goto lbl_generic;  // unreachable: every klass has a case
+#endif
+
+// ----- specialized handlers (rd != pc, outside IT bodies) -----
+// SB_INSN opens every handler: bind the instruction and apply W32
+// predication exactly like execute() — a failed condition is an annulled
+// slot (max(fetch, data_op) cycles, ++predicated_skips, no effects).
+#define SB_INSN                                                  \
+  const Instruction& i = e->d.insn;                              \
+  if (i.cond != Cond::al && !isa::cond_holds(i.cond, flags_)) {  \
+    ++stats_.predicated_skips;                                   \
+    cyc += e->base_cycles;                                   \
+    ACES_SB_NEXT();                                             \
+  }
+#define SB_OP2 \
+  (i.uses_imm ? static_cast<std::uint32_t>(i.imm) : regs_[i.rm])
+
+lbl_nop : {
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_mov : {
+  SB_INSN;
+  const std::uint32_t v = SB_OP2;
+  regs_[i.rd] = v;
+  if (e->set) {
+    set_nz(v);
+  }
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_mvn : {
+  SB_INSN;
+  const std::uint32_t v = ~SB_OP2;
+  regs_[i.rd] = v;
+  if (e->set) {
+    set_nz(v);
+  }
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_add : {
+  SB_INSN;
+  regs_[i.rd] = add_with_carry(regs_[i.rn], SB_OP2, false, e->set);
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_adc : {
+  SB_INSN;
+  regs_[i.rd] = add_with_carry(regs_[i.rn], SB_OP2, flags_.c, e->set);
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_sub : {
+  SB_INSN;
+  regs_[i.rd] = add_with_carry(regs_[i.rn], ~SB_OP2, true, e->set);
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_sbc : {
+  SB_INSN;
+  regs_[i.rd] = add_with_carry(regs_[i.rn], ~SB_OP2, flags_.c, e->set);
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_rsb : {
+  SB_INSN;
+  regs_[i.rd] = add_with_carry(~regs_[i.rn], SB_OP2, true, e->set);
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_cmp : {
+  SB_INSN;
+  (void)add_with_carry(regs_[i.rn], ~SB_OP2, true, true);
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_cmn : {
+  SB_INSN;
+  (void)add_with_carry(regs_[i.rn], SB_OP2, false, true);
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_and_ : {
+  SB_INSN;
+  const std::uint32_t v = regs_[i.rn] & SB_OP2;
+  regs_[i.rd] = v;
+  if (e->set) {
+    set_nz(v);
+  }
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_orr : {
+  SB_INSN;
+  const std::uint32_t v = regs_[i.rn] | SB_OP2;
+  regs_[i.rd] = v;
+  if (e->set) {
+    set_nz(v);
+  }
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_eor : {
+  SB_INSN;
+  const std::uint32_t v = regs_[i.rn] ^ SB_OP2;
+  regs_[i.rd] = v;
+  if (e->set) {
+    set_nz(v);
+  }
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_bic : {
+  SB_INSN;
+  const std::uint32_t v = regs_[i.rn] & ~SB_OP2;
+  regs_[i.rd] = v;
+  if (e->set) {
+    set_nz(v);
+  }
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_tst : {
+  SB_INSN;
+  set_nz(regs_[i.rn] & SB_OP2);
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_teq : {
+  SB_INSN;
+  set_nz(regs_[i.rn] ^ SB_OP2);
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_shift : {
+  SB_INSN;
+  const std::uint32_t v = regs_[i.rn];
+  const std::uint32_t amount_full =
+      i.uses_imm ? static_cast<std::uint32_t>(i.imm) : (regs_[i.rm] & 0xFF);
+  std::uint32_t r = v;
+  bool carry = flags_.c;
+  if (amount_full != 0) {
+    const std::uint32_t a = amount_full;
+    switch (i.op) {
+      case Op::lsl:
+        r = a >= 32 ? 0 : v << a;
+        carry = a <= 32 && ((v >> (32 - std::min(a, 32u))) & 1u);
+        if (a > 32) carry = false;
+        break;
+      case Op::lsr:
+        r = a >= 32 ? 0 : v >> a;
+        carry = a <= 32 && ((v >> (std::min(a, 32u) - 1)) & 1u);
+        if (a > 32) carry = false;
+        break;
+      case Op::asr:
+        r = a >= 32 ? (v >> 31 ? 0xFFFFFFFFu : 0)
+                    : static_cast<std::uint32_t>(static_cast<std::int32_t>(v) >>
+                                                 static_cast<int>(a));
+        carry = a >= 32 ? (v >> 31) != 0 : ((v >> (a - 1)) & 1u) != 0;
+        break;
+      default: {
+        const unsigned rot = a % 32;
+        r = support::rotate_right(v, rot);
+        carry = (r >> 31) != 0;
+        break;
+      }
+    }
+  }
+  regs_[i.rd] = r;
+  if (e->set) {
+    set_nz(r);
+    if (amount_full != 0) {
+      flags_.c = carry;
+    }
+  }
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_mul : {
+  SB_INSN;
+  regs_[i.rd] = regs_[i.rn] * regs_[i.rm];
+  if (e->set) {
+    set_nz(regs_[i.rd]);
+  }
+  // Early termination reads the (possibly just-written) rm, like execute().
+  cyc += std::max(e->fixed_cycles, mul_cycles(regs_[i.rm]));
+}
+  ACES_SB_NEXT();
+
+lbl_movw : {
+  SB_INSN;
+  regs_[i.rd] = static_cast<std::uint32_t>(i.imm) & 0xFFFFu;
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_movt : {
+  SB_INSN;
+  regs_[i.rd] = (regs_[i.rd] & 0xFFFFu) |
+                ((static_cast<std::uint32_t>(i.imm) & 0xFFFFu) << 16);
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_ubfx : {
+  SB_INSN;
+  regs_[i.rd] =
+      support::bits(regs_[i.rn], static_cast<unsigned>(i.imm), i.width);
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_sxtb : {
+  SB_INSN;
+  regs_[i.rd] =
+      static_cast<std::uint32_t>(support::sign_extend(regs_[i.rm] & 0xFF, 8));
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_sxth : {
+  SB_INSN;
+  regs_[i.rd] = static_cast<std::uint32_t>(
+      support::sign_extend(regs_[i.rm] & 0xFFFF, 16));
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_uxtb : {
+  SB_INSN;
+  regs_[i.rd] = regs_[i.rm] & 0xFF;
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_uxth : {
+  SB_INSN;
+  regs_[i.rd] = regs_[i.rm] & 0xFFFF;
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+lbl_adr : {
+  SB_INSN;
+  regs_[i.rd] =
+      static_cast<std::uint32_t>(support::align_down(e->pc + 4, 4)) +
+      static_cast<std::uint32_t>(i.imm);
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+// The IT instruction of a fully-specialized body: its whole effect (the
+// per-slot conditions) is baked into the body entries, so executing it is
+// pure cost. Never predicated — its cond field is the block's first
+// condition, not a guard (same rule as execute()).
+lbl_it_ : {
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+// ----- direct branches (classifier-checked: target < kExcReturnBase) -----
+// Taken-path parity with branch_to(): mask bit 0, charge the pipeline
+// refill on top of the base cost, count the taken branch. clear_it_state()
+// is skipped — specialized entries never execute inside an IT block, so
+// the IT state is already clear.
+lbl_branch : {
+  SB_INSN;  // an untaken conditional b is an annulled slot, like execute()
+  regs_[isa::pc] =
+      (e->pc + static_cast<std::uint32_t>(static_cast<std::int32_t>(i.imm))) &
+      ~1u;
+  cyc += e->base_cycles + t.branch_taken_penalty;
+  ++stats_.taken_branches;
+}
+  goto pc_changed;
+
+lbl_cbz : {
+  SB_INSN;
+  if ((regs_[i.rn] == 0) == (i.op == Op::cbz)) {
+    regs_[isa::pc] = (e->pc + static_cast<std::uint32_t>(
+                                  static_cast<std::int32_t>(i.imm))) &
+                     ~1u;
+    cyc += e->base_cycles + t.branch_taken_penalty;
+    ++stats_.taken_branches;
+    goto pc_changed;
+  }
+  cyc += e->base_cycles;
+}
+  ACES_SB_NEXT();
+
+// ----- memory fast paths (no MPU by classifier rule) -----
+// A miss on the cached DirectSpan funnels the whole entry through
+// execute(), which retries span acquisition and takes the virtual path.
+#define SB_LOAD(SIZE, ADDR_EXPR)                                           \
+  {                                                                        \
+    SB_INSN;                                                               \
+    const std::uint32_t addr = (ADDR_EXPR);                                \
+    if (!span_covers(dspan_, addr, (SIZE)) &&                              \
+        !(acquire_data_span(addr) && span_covers(dspan_, addr, (SIZE)))) { \
+      goto slow_entry;                                                     \
+    }                                                                      \
+    regs_[i.rd] = load_le(dspan_.data + (addr - dspan_.base), (SIZE));     \
+    ++stats_.loads;                                                        \
+    cyc += std::max(e->fixed_cycles, t.data_op + t.load_extra +        \
+                                             dspan_.read_cycles);          \
+  }                                                                        \
+  ACES_SB_NEXT();
+
+#define SB_STORE(SIZE, ADDR_EXPR)                                           \
+  {                                                                         \
+    SB_INSN;                                                                \
+    const std::uint32_t addr = (ADDR_EXPR);                                 \
+    if ((!span_covers(dspan_, addr, (SIZE)) &&                              \
+         !(acquire_data_span(addr) && span_covers(dspan_, addr, (SIZE)))) || \
+        !dspan_.writable) {                                                 \
+      goto slow_entry;                                                      \
+    }                                                                       \
+    store_le(dspan_.data + (addr - dspan_.base), (SIZE), regs_[i.rd]);      \
+    ++stats_.stores;                                                        \
+    cyc += std::max(e->fixed_cycles, t.data_op + t.store_extra +        \
+                                             dspan_.write_cycles);          \
+    dcache_->snoop_write(addr, (SIZE));                                     \
+    sb.snoop_write(addr, (SIZE));                                           \
+    if (block->gen != sb.generation()) {                                    \
+      regs_[isa::pc] = e->pc + static_cast<std::uint32_t>(e->d.size);       \
+      SB_SYNC();                                                            \
+      return; /* self-modifying store killed this very block */             \
+    }                                                                       \
+  }                                                                         \
+  ACES_SB_NEXT();
+
+lbl_ldr_imm:
+  SB_LOAD(4, regs_[i.rn] + static_cast<std::uint32_t>(i.imm))
+lbl_ldrb_imm:
+  SB_LOAD(1, regs_[i.rn] + static_cast<std::uint32_t>(i.imm))
+lbl_ldrh_imm:
+  SB_LOAD(2, regs_[i.rn] + static_cast<std::uint32_t>(i.imm))
+lbl_ldr_reg:
+  SB_LOAD(4, regs_[i.rn] + regs_[i.rm])
+lbl_ldrb_reg:
+  SB_LOAD(1, regs_[i.rn] + regs_[i.rm])
+lbl_ldrh_reg:
+  SB_LOAD(2, regs_[i.rn] + regs_[i.rm])
+
+lbl_str_imm:
+  SB_STORE(4, regs_[i.rn] + static_cast<std::uint32_t>(i.imm))
+lbl_strb_imm:
+  SB_STORE(1, regs_[i.rn] + static_cast<std::uint32_t>(i.imm))
+lbl_strh_imm:
+  SB_STORE(2, regs_[i.rn] + static_cast<std::uint32_t>(i.imm))
+lbl_str_reg:
+  SB_STORE(4, regs_[i.rn] + regs_[i.rm])
+lbl_strb_reg:
+  SB_STORE(1, regs_[i.rn] + regs_[i.rm])
+lbl_strh_reg:
+  SB_STORE(2, regs_[i.rn] + regs_[i.rm])
+
+#undef SB_LOAD
+#undef SB_STORE
+#undef SB_INSN
+#undef SB_OP2
+
+// ----- generic funnel: full execute() semantics for one entry -----
+lbl_generic:
+slow_entry : {
+  // execute() expects the per-insn contract: cur_pc_ at the instruction,
+  // regs[pc] sequentially advanced, real counters current.
+  cur_pc_ = e->pc;
+  regs_[isa::pc] = e->pc + static_cast<std::uint32_t>(e->d.size);
+  SB_SYNC();
+  std::uint32_t exec_cycles = 0;
+  execute(e->d, &exec_cycles);
+  cyc = cycles_ + std::max(e->fixed_cycles, exec_cycles);
+  if (halt_ != HaltReason::none) {
+    SB_SYNC();
+    return;
+  }
+  if (regs_[isa::pc] != e->pc + static_cast<std::uint32_t>(e->d.size)) {
+    goto pc_changed;
+  }
+  if (block->gen != sb.generation()) {
+    SB_SYNC();
+    return;  // a store / snooped write inside execute() killed this block
+  }
+  // An MMIO store may have raised an interrupt line synchronously. Re-pin
+  // estop to the very next boundary so the tail's folded check routes it
+  // to boundary_attend before another entry runs.
+  if (intc != nullptr && intc->dispatch_needed()) {
+    attentive = true;
+    estop = e + 1;
+  }
+}
+  ACES_SB_NEXT();
+
+span_done:
+  regs_[isa::pc] = block->end_pc;  // fall-through past the last entry
+  SB_SYNC();
+  return;  // untaken terminator: outer loop re-enters per protocol
+
+park:
+  // An interior boundary hit the instruction or cycle budget: park a resume
+  // cursor so the next call (after the caller services the boundary — hook,
+  // poll, WFI gate) re-enters dispatch at this exact entry.
+  regs_[isa::pc] = e->pc;
+  SB_SYNC();
+  if (e->it_info != 0) {
+    materialize_it(e);  // parked mid-IT-body: leave the real state live
+  }
+  sb_resume_block_ = block;
+  sb_resume_seq_ = block->seq;
+  sb_resume_idx_ = static_cast<std::uint32_t>(e - ents);
+  return;
+
+boundary_attend:
+  // Present the per-insn boundary state to the hook / controller: regs[pc]
+  // at the next entry (exception stacking pushes it), counters current.
+  // Inside a specialized IT body that includes the live IT state — the
+  // stacked psr must carry the IT bits, and every step_insn fallback below
+  // must see the body the way the per-insn tier would.
+  regs_[isa::pc] = e->pc;
+  if (e->it_info != 0) {
+    materialize_it(e);
+  }
+  if (hooked) {
+    SB_SYNC();
+    cycle_hook_(cycles_);
+    cyc = cycles_;
+    if (block->gen != sb.generation()) {
+      step_insn();  // the hook invalidated decodes (e.g. injector upset)
+      return;
+    }
+  }
+  if (intc != nullptr && intc->dispatch_needed()) {
+    SB_SYNC();
+    intc->poll(*this);
+    if (halt_ != HaltReason::none) {
+      return;
+    }
+    if (regs_[isa::pc] != e->pc || block->gen != sb.generation() ||
+        privileged_ != block->privileged) {
+      // Vectored to a handler (or hardware stacking snooped this block):
+      // this boundary is already serviced, so retire one instruction
+      // per-insn before handing back to the outer loop.
+      step_insn();
+      return;
+    }
+    cyc = cycles_;
+    // The poll may have drained the pending set; re-evaluate so the span
+    // can go quiet again (hook and gates keep it attentive for good).
+    attentive =
+        hooked || vgates || (intc != nullptr && intc->dispatch_needed());
+  }
+  if (vgates &&
+      ((fpb_ != nullptr && fpb_->version() != fpb_version_seen_) ||
+       (mpu_ != nullptr && mpu_->version() != mpu_version_seen_))) {
+    SB_SYNC();
+    step_insn();  // a mid-block remap/reconfig: refresh + re-decode fresh
+    return;
+  }
+  if (e->it_info != 0) {
+    clear_it_state();  // attention over: the baked conditions take over
+  }
+  goto dispatch_entry;
+
+pc_changed:
+  // A generic entry moved the pc (taken branch, fault vector, exception
+  // return, ldm restart). The hot self-loop — a backward branch to this
+  // block's own head — re-enters without leaving the dispatcher.
+  if (regs_[isa::pc] == block->start_pc && block->gen == sb.generation() &&
+      block->privileged == privileged_ && !it_active() && !wfi_ &&
+      halt_ == HaltReason::none) {
+    ++sb.stats().hits;
+    e = ents;
+    goto boundary;
+  }
+  SB_SYNC();
+  return;
+}
+
+#undef SB_SYNC
+#undef ACES_SB_NEXT
+#undef ACES_SB_DISPATCH
+#undef ACES_SB_THREADED
+#undef ACES_SB_FOR_EACH_CLASS
+
+}  // namespace aces::cpu

@@ -1,0 +1,212 @@
+// Superblock tier: straight-line runs of decoded instructions executed by a
+// threaded-dispatch loop (core.cpp's per-instruction tier is the fallback).
+//
+// A superblock chains consecutive decode-cache-grade entries starting at a
+// block-entry pc and ending at the first terminator: any branch, any op that
+// can leave the straight line (svc/bkpt/wfi, pop/ldm touching pc, any
+// rd==pc writer), a 1 KiB page boundary, or the length cap. Every entry
+// records the *modeled* fixed fetch cost, so block execution charges exactly
+// the cycles the per-instruction tier would — the tiers are bit-identical in
+// (pc, cycles) traces, proven by the three-way differential fuzzer.
+//
+// Formation is only attempted where the fetch cost is provably state-free
+// (MemPort::fixed_fetch_cost answers: SRAM, flash in its 1-cycle or
+// prefetch-off regimes, FPB patch RAM) and the observed read cost matches
+// the prediction. Everywhere else — TCM under a fault injector, streaming
+// flash, I-cache fronted ports — the core stays on the per-instruction tier,
+// which replays fetches so stateful timing advances exactly.
+//
+// Invalidation mirrors the decode cache and adds block granularity: the
+// core-side store snoop and the bus write snoop kill any block whose chained
+// range the write lands in (a hit strictly inside the range counts as a
+// split — the prefix/suffix re-form lazily); FPB/MPU version bumps, fault-
+// injector upsets and reset() flush everything via a generation bump; a
+// privilege mismatch at entry is a miss. Interrupts are polled at every
+// entry boundary, gated by InterruptController::dispatch_needed(), so IRQ
+// delivery instants are unchanged from the per-instruction tier.
+#ifndef ACES_CPU_SUPERBLOCK_H
+#define ACES_CPU_SUPERBLOCK_H
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/decode_cache.h"
+#include "mem/bus.h"
+
+namespace aces::cpu {
+
+// How the threaded dispatcher executes one entry. `generic` funnels through
+// Core::execute() (full semantics: IT predication, faults, every op); the
+// rest are straight-line specializations valid only for rd != pc, outside
+// IT bodies, and (for memory classes) cores without an MPU — the classifier
+// in superblock.cpp enforces those rules at formation time. W32-encoded
+// conditions are handled in-line: every specialized handler gates on
+// cond_holds and charges the annulled-slot cycle on failure, exactly like
+// Core::execute().
+enum class ExecClass : std::uint8_t {
+  generic,
+  nop,
+  // ALU with dynamic operand2 (imm or rm, per Instruction::uses_imm).
+  mov, mvn, add, adc, sub, sbc, rsb, cmp, cmn,
+  and_, orr, eor, bic, tst, teq,
+  shift,  // lsl/lsr/asr/ror, imm or register amount
+  mul,
+  movw, movt, ubfx,
+  sxtb, sxth, uxtb, uxth,
+  adr,
+  it_,     // IT instruction whose whole body was specialized (cost only)
+  branch,  // direct b with an in-range target (taken: loops back in-dispatch)
+  cbz,     // cbz/cbnz with an in-range target
+  // Loads/stores on the DirectSpan fast path (slow path: generic funnel).
+  ldr_imm, ldrb_imm, ldrh_imm, ldr_reg, ldrb_reg, ldrh_reg,
+  str_imm, strb_imm, strh_imm, str_reg, strb_reg, strh_reg,
+  count,
+};
+
+class SuperblockCache {
+ public:
+  // Formation stops at a page boundary so one guest write can only ever
+  // affect blocks in its own and the previous page; the length cap bounds
+  // formation cost (interrupt delivery is exact regardless — the executor
+  // polls at every entry boundary).
+  static constexpr std::uint32_t kMaxEntries = 32;
+  static constexpr std::uint32_t kPageBytes = 1024;
+  // Longest possible chained byte range (for the snoop probe window).
+  static constexpr std::uint32_t kMaxSpanBytes = kMaxEntries * 4;
+
+  struct Entry {
+    Decoded d;
+    std::uint32_t pc = 0;
+    std::uint32_t fixed_cycles = 0;  // modeled fetch cost of this entry
+    std::uint32_t base_cycles = 0;   // max(fixed_cycles, timings.data_op)
+    ExecClass klass = ExecClass::generic;
+    bool set = false;  // effective flag-setting (classifier-validated)
+    // 1-based position inside a specialized IT body (0 = outside). The
+    // body's static condition is baked into d.insn.cond for the dispatch
+    // gate; this field lets the cold paths rebuild the architectural IT
+    // state (the IT entry sits it_info slots back) for exception stacking
+    // and per-instruction fallback.
+    std::uint8_t it_info = 0;
+  };
+
+  struct Block {
+    std::vector<Entry> entries;
+    std::uint32_t start_pc = 0;
+    std::uint32_t end_pc = 0;  // one past the last chained byte
+    std::uint32_t gen = 0;     // valid iff == cache generation
+    std::uint32_t seq = 0;     // bumped per install (guards resume cursors)
+    bool privileged = false;
+  };
+
+  struct Stats {
+    std::uint64_t blocks_formed = 0;
+    std::uint64_t blocks_killed = 0;   // snoop/flush/evict invalidations
+    std::uint64_t block_splits = 0;    // kills landing strictly mid-range
+    std::uint64_t block_flushes = 0;   // invalidate_all calls
+    std::uint64_t hits = 0;            // block entries from the dispatcher
+    std::uint64_t misses = 0;          // lookups that fell to per-insn
+    std::uint64_t entries_chained = 0; // sum of formed block lengths
+    std::uint64_t block_instructions = 0;  // insns retired inside blocks
+  };
+
+  // `num_blocks` must be a power of two; `pc_shift` as in DecodeCache.
+  explicit SuperblockCache(std::uint32_t num_blocks, unsigned pc_shift = 1);
+
+  [[nodiscard]] Block* lookup(std::uint32_t pc, bool privileged) {
+    Block& b = blocks_[(pc >> pc_shift_) & mask_];
+    return (b.gen == generation_ && b.start_pc == pc &&
+            b.privileged == privileged)
+               ? &b
+               : nullptr;
+  }
+
+  // Formation scratch: build entries here, then install() moves them into
+  // the mapped slot (recycling the evicted block's capacity).
+  [[nodiscard]] std::vector<Entry>& scratch() { return scratch_; }
+  Block* install(std::uint32_t start_pc, bool privileged);
+
+  // Negative formation cache: pcs where form_superblock just failed (a WFI
+  // idle loop, a lone terminator, stateful fetch). Purely host-side — the
+  // dispatcher falls back to step_insn either way — but it spares the
+  // failed probe reads and decode on every re-entry. Entries die with the
+  // generation, so any full flush (FPB/MPU bump, injector upset, reset)
+  // re-opens formation.
+  [[nodiscard]] bool known_unformable(std::uint32_t pc) const {
+    return no_form_[(pc >> pc_shift_) & (no_form_.size() - 1)] ==
+           ((static_cast<std::uint64_t>(generation_) << 32) | pc);
+  }
+  void note_unformable(std::uint32_t pc) {
+    no_form_[(pc >> pc_shift_) & (no_form_.size() - 1)] =
+        (static_cast<std::uint64_t>(generation_) << 32) | pc;
+  }
+
+  void invalidate_all();
+  void invalidate_range(std::uint32_t addr, std::uint32_t len);
+
+  // Core-side store snoop (DirectSpan writes bypass the bus); two compares
+  // when the store is outside the chained-pc window.
+  void snoop_write(std::uint32_t addr, std::uint32_t len) {
+    if (addr < watch_hi_ &&
+        static_cast<std::uint64_t>(addr) + len > watch_lo_) {
+      invalidate_range(addr, len);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t generation() const { return generation_; }
+  [[nodiscard]] Stats& stats() { return stats_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<Block> blocks_;
+  std::vector<Entry> scratch_;
+  // (generation << 32 | pc) per slot; gen 0 never matches (blocks start
+  // invalid at gen 0, the cache itself at gen 1).
+  std::array<std::uint64_t, 16> no_form_{};
+  std::uint32_t mask_ = 0;
+  unsigned pc_shift_ = 1;
+  std::uint32_t generation_ = 1;  // blocks start at gen 0: all invalid
+  std::uint32_t live_ = 0;        // currently-valid blocks (flush accounting)
+  std::uint32_t watch_lo_ = 0xFFFF'FFFFu;
+  std::uint32_t watch_hi_ = 0;
+  Stats stats_;
+};
+
+// The single bus-facing write snoop for a core: fans out to whichever of
+// the decode cache and superblock cache exist. Its watch window is the
+// union of theirs (widened at install time, cleared only on a full flush of
+// both), so the bus pre-check stays two compares for data-only writes.
+class CodeWriteSnoop final : public mem::WriteSnoop {
+ public:
+  void wire(DecodeCache* dcache, SuperblockCache* sbcache) {
+    dcache_ = dcache;
+    sbcache_ = sbcache;
+  }
+
+  void widen(std::uint32_t lo, std::uint32_t hi) {
+    watch_lo_ = std::min(watch_lo_, lo);
+    watch_hi_ = std::max(watch_hi_, hi);
+  }
+  void clear_window() {
+    watch_lo_ = 0xFFFF'FFFFu;
+    watch_hi_ = 0;
+  }
+
+  void on_write(std::uint32_t addr, std::uint32_t len) override {
+    if (dcache_ != nullptr) {
+      dcache_->snoop_write(addr, len);
+    }
+    if (sbcache_ != nullptr) {
+      sbcache_->snoop_write(addr, len);
+    }
+  }
+
+ private:
+  DecodeCache* dcache_ = nullptr;
+  SuperblockCache* sbcache_ = nullptr;
+};
+
+}  // namespace aces::cpu
+
+#endif  // ACES_CPU_SUPERBLOCK_H

@@ -1,5 +1,7 @@
 #include "cpu/system.h"
 
+#include <limits>
+
 namespace aces::cpu {
 
 System::System(const SystemBuilder& b)
@@ -93,9 +95,10 @@ System::System(const SystemBuilder& b)
     injector_->set_upset_hook([this] { core_->invalidate_decoded(); });
   }
   // Host-side pokes and image (re)loads through the bus invalidate cached
-  // decodes; the window check makes data-only writes cost two compares.
-  if (core_->decode_cache() != nullptr) {
-    bus_.set_write_snoop(core_->decode_cache());
+  // decodes (decode cache and superblocks alike, via the core's fan-out
+  // snoop); the window check makes data-only writes cost two compares.
+  if (core_->code_write_snoop() != nullptr) {
+    bus_.set_write_snoop(core_->code_write_snoop());
   }
 }
 
@@ -205,8 +208,13 @@ void SystemBinding::advance_to(sim::SimTime t) {
       core.add_cycles(cycle_target - core.cycles());
       return;
     }
-    (void)core.step();
-    ++stats_.steps;
+    // Batch the whole slice into the core: the superblock tier stays in
+    // block dispatch between boundaries instead of paying step() overhead
+    // per instruction. `steps` counts retired instructions.
+    const std::uint64_t before = core.instructions();
+    (void)core.run_chunk(std::numeric_limits<std::uint64_t>::max(),
+                         cycle_target);
+    stats_.steps += core.instructions() - before;
   }
 }
 

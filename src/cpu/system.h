@@ -92,6 +92,13 @@ class SystemBuilder {
     core_.decode_cache_lines = lines;
     return *this;
   }
+  // Host-side dispatch speed tier (off / per_insn / superblock); modeled
+  // cycles are identical on every tier. Defaults to superblock; clamped to
+  // off when decode_cache_lines is 0.
+  SystemBuilder& dispatch_tier(DispatchTier tier) {
+    core_.dispatch_tier = tier;
+    return *this;
+  }
 
   // ----- memories -----
   SystemBuilder& flash(const mem::FlashConfig& c,

@@ -164,7 +164,26 @@ struct Flags {
   friend bool operator==(const Flags&, const Flags&) = default;
 };
 
-[[nodiscard]] bool cond_holds(Cond c, const Flags& f);
+[[nodiscard]] inline bool cond_holds(Cond c, const Flags& f) {
+  switch (c) {
+    case Cond::eq: return f.z;
+    case Cond::ne: return !f.z;
+    case Cond::cs: return f.c;
+    case Cond::cc: return !f.c;
+    case Cond::mi: return f.n;
+    case Cond::pl: return !f.n;
+    case Cond::vs: return f.v;
+    case Cond::vc: return !f.v;
+    case Cond::hi: return f.c && !f.z;
+    case Cond::ls: return !f.c || f.z;
+    case Cond::ge: return f.n == f.v;
+    case Cond::lt: return f.n != f.v;
+    case Cond::gt: return !f.z && f.n == f.v;
+    case Cond::le: return f.z || f.n != f.v;
+    case Cond::al: return true;
+  }
+  return true;
+}
 
 }  // namespace aces::isa
 

@@ -363,13 +363,19 @@ TEST(Campaign, WatchdogStopsAHungVariantLoudly) {
   spec.axes = {{"fault_at_ns", {0.0}}};
   // Wedge the variant: a same-instant livelock armed mid-run.
   const auto base_configure = spec.configure;
-  spec.configure = [base_configure](net::Network& net,
-                                    const campaign::Variant& v) {
+  // The chain's queued copies capture a raw pointer to the function (a
+  // self-owning shared_ptr would be a leak cycle), so the spec keeps the
+  // per-variant function objects alive for the campaign's lifetime.
+  auto spins = std::make_shared<
+      std::vector<std::shared_ptr<std::function<void()>>>>();
+  spec.configure = [base_configure, spins](net::Network& net,
+                                           const campaign::Variant& v) {
     base_configure(net, v);
     sim::Simulation& sim = net.shard(0);
     auto spin = std::make_shared<std::function<void()>>();
-    *spin = [&sim, spin] { sim.schedule_in(0, *spin); };
+    *spin = [&sim, raw = spin.get()] { sim.schedule_in(0, *raw); };
     sim.schedule_at(10 * kMillisecond, [spin] { (*spin)(); });
+    spins->push_back(spin);
   };
   campaign::CampaignRunner::Config cfg;
   cfg.workers = 1;

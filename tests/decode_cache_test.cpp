@@ -61,7 +61,12 @@ TEST(DecodeCache, GuestStoreOverCachedInstructionIsExecutedFresh) {
   a.ins(ins_ret());
   const Image image = a.assemble();
 
-  System sys(profiles::modern_mcu().flash_size(16 * 1024));
+  // Pinned to the per-instruction tier: the assertions below count decode
+  // cache hits/invalidations, which the superblock tier bypasses (its SMC
+  // handling is covered by superblock_test.cpp and the three-way fuzzer).
+  System sys(profiles::modern_mcu()
+                 .flash_size(16 * 1024)
+                 .dispatch_tier(DispatchTier::per_insn));
   sys.load(image);
   const std::uint16_t patched =
       encode_halfword(ins_mov_imm(r2, 9, SetFlags::yes));

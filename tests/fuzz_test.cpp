@@ -342,6 +342,90 @@ TEST(KirFuzz, CachedAndUncachedRunsRetireIdenticalTraces) {
   }
 }
 
+// The same property, one tier up: all three dispatch tiers — uncached
+// reference, per-instruction decode cache, and the threaded superblock
+// dispatcher — must retire identical (pc, cycles) traces step by step. A
+// seeded invalidation storm flushes the cached tiers' decoded state at
+// random instants mid-run; a flush may cost host work but must never move a
+// guest-visible cycle. The final assertion proves the superblock tier
+// actually engaged (blocks formed and retired instructions) rather than
+// trivially passing by falling back to per-instruction execution.
+TEST(KirFuzz, AllDispatchTiersRetireIdenticalTraces) {
+  support::Rng256 rng(0x5B0C);
+  std::uint64_t block_instructions = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const KFunction f = generate(rng, trial);
+    std::uint32_t args[4];
+    for (auto& a : args) {
+      a = rng.next_u32();
+    }
+    for (const Encoding enc :
+         {Encoding::w32, Encoding::n16, Encoding::b32}) {
+      for (const std::uint32_t flash_wait : {1u, 5u}) {
+        const kir::LoweredProgram prog =
+            kir::lower_program({&f}, enc, cpu::kFlashBase);
+        const auto builder = [&](std::uint32_t cache_lines,
+                                 cpu::DispatchTier tier) {
+          return cpu::SystemBuilder()
+              .encoding(enc)
+              .flash_size(256 * 1024)
+              .flash_wait(flash_wait)
+              .decode_cache_lines(cache_lines)
+              .dispatch_tier(tier);
+        };
+        cpu::System reference(builder(0, cpu::DispatchTier::off));
+        cpu::System per_insn(builder(1024, cpu::DispatchTier::per_insn));
+        cpu::System sblock(builder(1024, cpu::DispatchTier::superblock));
+        cpu::System* const systems[] = {&reference, &per_insn, &sblock};
+        const std::uint32_t entry = prog.entry_of(f.name());
+        for (cpu::System* sys : systems) {
+          sys->load(prog.image);
+          sys->core().reset(entry, sys->initial_sp());
+          for (int k = 0; k < 4; ++k) {
+            sys->core().set_reg(static_cast<isa::Reg>(k), args[k]);
+          }
+        }
+        ASSERT_EQ(sblock.core().dispatch_tier(),
+                  cpu::DispatchTier::superblock);
+        for (std::uint64_t step = 0; step < 1'000'000; ++step) {
+          // Invalidation storm: flush the cached tiers' decoded state at a
+          // random subset of boundaries (including mid-block for the
+          // superblock tier, which is resumed via its cursor and must
+          // re-form or fall back without a timing wobble).
+          if (rng.chance(0.05)) {
+            per_insn.core().invalidate_decoded();
+            sblock.core().invalidate_decoded();
+          }
+          const bool a = reference.core().step();
+          const bool b = per_insn.core().step();
+          const bool c = sblock.core().step();
+          ASSERT_EQ(a, b) << f.name() << " step " << step;
+          ASSERT_EQ(a, c) << f.name() << " step " << step;
+          for (cpu::System* sys : {&per_insn, &sblock}) {
+            ASSERT_EQ(sys->core().pc(), reference.core().pc())
+                << f.name() << " on " << isa::encoding_name(enc) << " wait "
+                << flash_wait << " step " << step;
+            ASSERT_EQ(sys->core().cycles(), reference.core().cycles())
+                << f.name() << " on " << isa::encoding_name(enc) << " wait "
+                << flash_wait << " step " << step;
+          }
+          if (!a) {
+            break;
+          }
+        }
+        for (cpu::System* sys : systems) {
+          ASSERT_EQ(sys->core().halt_reason(), cpu::HaltReason::exited)
+              << f.name();
+          ASSERT_EQ(sys->core().reg(isa::r0), reference.core().reg(isa::r0));
+        }
+        block_instructions += sblock.core().jit_stats().block_instructions;
+      }
+    }
+  }
+  // The property is vacuous if the superblock tier never ran a block.
+  EXPECT_GT(block_instructions, 0u);
+}
+
 // ----- 3. decode fuzz ----------------------------------------------------------
 
 class DecodeFuzz : public ::testing::TestWithParam<Encoding> {};

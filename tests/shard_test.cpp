@@ -180,8 +180,10 @@ TEST(ShardedSimulation, WatchdogTripsOnTheGlobalCountAcrossShards) {
     sim.set_threads(threads);
     // Shard a livelocks at t=10: same-instant self-rescheduling chain
     // that never advances time. Only the watchdog can stop the run.
+    // The chain captures a raw pointer to the function (a self-owning
+    // shared_ptr would be a leak cycle); the local keeps it alive.
     auto spin = std::make_shared<std::function<void()>>();
-    *spin = [&a, spin] { a.schedule_in(0, *spin); };
+    *spin = [&a, raw = spin.get()] { a.schedule_in(0, *raw); };
     a.schedule_at(10, [spin] { (*spin)(); });
     int b_fired = 0;
     b.schedule_at(5, [&] { ++b_fired; });
@@ -337,18 +339,30 @@ RunSignature run_vehicle(NetworkBuilder nb, unsigned threads) {
   RunSignature sig;
   // Observe every delivery on every bus: id and exact end-of-frame time
   // folded into an order-independent-but-exact hash (sum of products).
+  // Accumulate per bus: each bus lives on one shard, so its callbacks are
+  // sequential, but different buses fire on different worker threads — a
+  // shared accumulator would be a data race. Folded after the run.
+  struct BusAcc {
+    std::uint64_t frames = 0;
+    std::uint64_t hash = 0;
+  };
+  std::vector<BusAcc> acc(net.bus_count());
   for (std::size_t b = 0; b < net.bus_count(); ++b) {
     const auto id = static_cast<BusId>(b);
     const can::NodeId probe = net.bus(id).attach_node("probe");
     net.bus(id).subscribe(probe,
-                          [&sig](const can::CanFrame& f, SimTime at) {
-                            ++sig.frames;
-                            sig.latency_hash +=
+                          [a = &acc[b]](const can::CanFrame& f, SimTime at) {
+                            ++a->frames;
+                            a->hash +=
                                 (static_cast<std::uint64_t>(f.id) + 1) *
                                 static_cast<std::uint64_t>(at);
                           });
   }
   net.run_until(400 * kMillisecond);
+  for (const BusAcc& a : acc) {
+    sig.frames += a.frames;
+    sig.latency_hash += a.hash;
+  }
   sig.forwarded = net.gateway(0).stats().frames_forwarded;
   sig.delivered = net.gateway(0).stats().frames_delivered;
   return sig;
@@ -455,7 +469,7 @@ TEST(NetworkSharding, WatchdogTripPropagatesAcrossNetworkShards) {
   // every shard, and the trip must be visible at the network surface.
   sim::Simulation& victim = net.shard(0);
   auto spin = std::make_shared<std::function<void()>>();
-  *spin = [&victim, spin] { victim.schedule_in(0, *spin); };
+  *spin = [&victim, raw = spin.get()] { victim.schedule_in(0, *raw); };
   victim.schedule_at(20 * kMillisecond, [spin] { (*spin)(); });
   net.simulation().set_watchdog(
       [](std::uint64_t events) { return events >= 100'000; });
